@@ -1,0 +1,354 @@
+//! A passive AXI protocol monitor.
+//!
+//! The monitor observes the beats crossing one AXI boundary (in the
+//! reproduction it is wired at the interconnect's master port, i.e. the
+//! FPGA-PS interface) and records violations of the channel-ordering
+//! rules the models rely on:
+//!
+//! * every burst transfers exactly `len` data beats, with `LAST` set on
+//!   the final beat only;
+//! * write data follows its address request (the paper notes data
+//!   channels depend on address channels on today's platforms, §II);
+//! * responses arrive in request order (in-order memory subsystem);
+//! * every R/W data beat carries exactly `AxSIZE` bytes.
+//!
+//! Violations are collected rather than panicking so integration tests
+//! can assert `is_clean()` and print all diagnostics on failure.
+
+use std::collections::VecDeque;
+
+use sim::Cycle;
+
+use crate::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+
+/// One recorded protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Cycle at which the violation was observed.
+    pub cycle: Cycle,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle {}: {}", self.cycle, self.message)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingRead {
+    ar: ArBeat,
+    beats_seen: u32,
+}
+
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    aw: AwBeat,
+    beats_seen: u32,
+}
+
+/// Passive monitor for one AXI boundary. Feed it every beat crossing the
+/// boundary via the `observe_*` methods.
+///
+/// # Example
+///
+/// ```
+/// use axi::checker::ProtocolMonitor;
+/// use axi::beat::{ArBeat, RBeat};
+/// use axi::types::{AxiId, BurstSize};
+///
+/// let mut mon = ProtocolMonitor::new();
+/// mon.observe_ar(0, &ArBeat::new(0x100, 2, BurstSize::B4));
+/// mon.observe_r(5, &RBeat::new(AxiId(0), vec![0; 4], false));
+/// mon.observe_r(6, &RBeat::new(AxiId(0), vec![0; 4], true));
+/// assert!(mon.is_clean());
+/// assert_eq!(mon.reads_completed(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolMonitor {
+    reads: VecDeque<PendingRead>,
+    writes: VecDeque<PendingWrite>,
+    /// Writes whose data completed, awaiting a B response.
+    awaiting_b: VecDeque<AwBeat>,
+    errors: Vec<ProtocolError>,
+    reads_completed: u64,
+    writes_completed: u64,
+}
+
+impl ProtocolMonitor {
+    /// Creates a monitor with no observed traffic.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn error(&mut self, cycle: Cycle, message: impl Into<String>) {
+        self.errors.push(ProtocolError {
+            cycle,
+            message: message.into(),
+        });
+    }
+
+    /// Observes a read request crossing the boundary.
+    pub fn observe_ar(&mut self, cycle: Cycle, ar: &ArBeat) {
+        if ar.len == 0 {
+            self.error(cycle, format!("AR with zero length at {:#x}", ar.addr));
+        }
+        self.reads.push_back(PendingRead {
+            ar: ar.clone(),
+            beats_seen: 0,
+        });
+    }
+
+    /// Observes a write request crossing the boundary.
+    pub fn observe_aw(&mut self, cycle: Cycle, aw: &AwBeat) {
+        if aw.len == 0 {
+            self.error(cycle, format!("AW with zero length at {:#x}", aw.addr));
+        }
+        self.writes.push_back(PendingWrite {
+            aw: aw.clone(),
+            beats_seen: 0,
+        });
+    }
+
+    /// Observes a write-data beat crossing the boundary.
+    pub fn observe_w(&mut self, cycle: Cycle, w: &WBeat) {
+        let mut problems: Vec<String> = Vec::new();
+        let mut finished = false;
+        match self.writes.front_mut() {
+            None => problems.push("W beat with no outstanding AW".into()),
+            Some(head) => {
+                if w.data.len() as u64 != head.aw.size.bytes() {
+                    problems.push(format!(
+                        "W beat carries {} bytes, burst size is {}",
+                        w.data.len(),
+                        head.aw.size.bytes()
+                    ));
+                }
+                head.beats_seen += 1;
+                let is_final = head.beats_seen == head.aw.len;
+                if w.last != is_final {
+                    problems.push(format!(
+                        "WLAST={} on beat {}/{} of write at {:#x}",
+                        w.last, head.beats_seen, head.aw.len, head.aw.addr
+                    ));
+                }
+                finished = is_final || w.last;
+            }
+        }
+        for msg in problems {
+            self.error(cycle, msg);
+        }
+        if finished {
+            // Close out the burst on `last` even if the count mismatched,
+            // so one error doesn't cascade into spurious ones.
+            let done = self.writes.pop_front().expect("head exists");
+            self.awaiting_b.push_back(done.aw);
+        }
+    }
+
+    /// Observes a read-data beat crossing the boundary.
+    pub fn observe_r(&mut self, cycle: Cycle, r: &RBeat) {
+        let mut problems: Vec<String> = Vec::new();
+        let mut finished = false;
+        match self.reads.front_mut() {
+            None => problems.push("R beat with no outstanding AR".into()),
+            Some(head) => {
+                if r.data.len() as u64 != head.ar.size.bytes() {
+                    problems.push(format!(
+                        "R beat carries {} bytes, burst size is {}",
+                        r.data.len(),
+                        head.ar.size.bytes()
+                    ));
+                }
+                if r.id != head.ar.id {
+                    problems.push(format!(
+                        "R beat id {} does not match in-order AR id {}",
+                        r.id, head.ar.id
+                    ));
+                }
+                head.beats_seen += 1;
+                let is_final = head.beats_seen == head.ar.len;
+                if r.last != is_final {
+                    problems.push(format!(
+                        "RLAST={} on beat {}/{} of read at {:#x}",
+                        r.last, head.beats_seen, head.ar.len, head.ar.addr
+                    ));
+                }
+                finished = is_final || r.last;
+            }
+        }
+        for msg in problems {
+            self.error(cycle, msg);
+        }
+        if finished {
+            self.reads.pop_front();
+            self.reads_completed += 1;
+        }
+    }
+
+    /// Observes a write response crossing the boundary.
+    pub fn observe_b(&mut self, cycle: Cycle, b: &BBeat) {
+        match self.awaiting_b.pop_front() {
+            Some(aw) => {
+                if b.id != aw.id {
+                    let msg = format!(
+                        "B id {} does not match in-order AW id {}",
+                        b.id, aw.id
+                    );
+                    self.error(cycle, msg);
+                }
+                self.writes_completed += 1;
+            }
+            None => self.error(cycle, "B response with no completed write burst"),
+        }
+    }
+
+    /// Whether no violations have been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// All recorded violations, in observation order.
+    pub fn errors(&self) -> &[ProtocolError] {
+        &self.errors
+    }
+
+    /// Read bursts fully completed (all beats observed).
+    pub fn reads_completed(&self) -> u64 {
+        self.reads_completed
+    }
+
+    /// Write bursts fully completed (data and response observed).
+    pub fn writes_completed(&self) -> u64 {
+        self.writes_completed
+    }
+
+    /// Read bursts issued but not yet complete.
+    pub fn reads_outstanding(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Write bursts with data or response still pending.
+    pub fn writes_outstanding(&self) -> usize {
+        self.writes.len() + self.awaiting_b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AxiId, BurstSize};
+
+    fn wbeat(bytes: usize, last: bool) -> WBeat {
+        WBeat::new(vec![0; bytes], last)
+    }
+
+    #[test]
+    fn clean_read_burst() {
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_ar(0, &ArBeat::new(0, 3, BurstSize::B8));
+        for i in 0..3 {
+            mon.observe_r(i, &RBeat::new(AxiId(0), vec![0; 8], i == 2));
+        }
+        assert!(mon.is_clean(), "{:?}", mon.errors());
+        assert_eq!(mon.reads_completed(), 1);
+        assert_eq!(mon.reads_outstanding(), 0);
+    }
+
+    #[test]
+    fn clean_write_burst() {
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_aw(0, &AwBeat::new(0, 2, BurstSize::B4));
+        mon.observe_w(1, &wbeat(4, false));
+        mon.observe_w(2, &wbeat(4, true));
+        assert_eq!(mon.writes_outstanding(), 1); // awaiting B
+        mon.observe_b(5, &BBeat::new(AxiId(0)));
+        assert!(mon.is_clean(), "{:?}", mon.errors());
+        assert_eq!(mon.writes_completed(), 1);
+        assert_eq!(mon.writes_outstanding(), 0);
+    }
+
+    #[test]
+    fn detects_missing_last_on_read() {
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_ar(0, &ArBeat::new(0, 1, BurstSize::B4));
+        mon.observe_r(1, &RBeat::new(AxiId(0), vec![0; 4], false));
+        assert!(!mon.is_clean());
+        assert!(mon.errors()[0].message.contains("RLAST"));
+    }
+
+    #[test]
+    fn detects_early_last_on_write() {
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_aw(0, &AwBeat::new(0, 4, BurstSize::B4));
+        mon.observe_w(1, &wbeat(4, true)); // last on beat 1 of 4
+        assert!(!mon.is_clean());
+        assert!(mon.errors()[0].message.contains("WLAST"));
+        // Burst was closed out on last; no cascade on the next burst.
+        mon.observe_aw(2, &AwBeat::new(64, 1, BurstSize::B4));
+        mon.observe_w(3, &wbeat(4, true));
+        assert_eq!(mon.errors().len(), 1);
+    }
+
+    #[test]
+    fn detects_orphan_data_and_response() {
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_w(0, &wbeat(4, true));
+        mon.observe_r(1, &RBeat::new(AxiId(0), vec![0; 4], true));
+        mon.observe_b(2, &BBeat::new(AxiId(0)));
+        assert_eq!(mon.errors().len(), 3);
+        assert!(mon.errors()[0].message.contains("no outstanding AW"));
+        assert!(mon.errors()[1].message.contains("no outstanding AR"));
+        assert!(mon.errors()[2].message.contains("no completed write"));
+    }
+
+    #[test]
+    fn detects_wrong_beat_width() {
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_ar(0, &ArBeat::new(0, 1, BurstSize::B16));
+        mon.observe_r(1, &RBeat::new(AxiId(0), vec![0; 4], true));
+        assert!(!mon.is_clean());
+        assert!(mon.errors()[0].message.contains("16"));
+    }
+
+    #[test]
+    fn detects_id_mismatch_in_order() {
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_ar(0, &ArBeat::new(0, 1, BurstSize::B4).with_id(AxiId(1)));
+        mon.observe_r(1, &RBeat::new(AxiId(2), vec![0; 4], true));
+        assert!(!mon.is_clean());
+        assert!(mon.errors()[0].message.contains("id"));
+    }
+
+    #[test]
+    fn interleaved_reads_and_writes_stay_independent() {
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_ar(0, &ArBeat::new(0, 1, BurstSize::B4));
+        mon.observe_aw(0, &AwBeat::new(64, 1, BurstSize::B4));
+        mon.observe_w(1, &wbeat(4, true));
+        mon.observe_r(1, &RBeat::new(AxiId(0), vec![0; 4], true));
+        mon.observe_b(2, &BBeat::new(AxiId(0)));
+        assert!(mon.is_clean(), "{:?}", mon.errors());
+        assert_eq!(mon.reads_completed(), 1);
+        assert_eq!(mon.writes_completed(), 1);
+    }
+
+    #[test]
+    fn zero_length_requests_flagged() {
+        let mut mon = ProtocolMonitor::new();
+        let mut ar = ArBeat::new(0, 1, BurstSize::B4);
+        ar.len = 0;
+        mon.observe_ar(0, &ar);
+        assert!(!mon.is_clean());
+    }
+
+    #[test]
+    fn error_display_contains_cycle() {
+        let e = ProtocolError {
+            cycle: 12,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "cycle 12: boom");
+    }
+}

@@ -1,0 +1,49 @@
+//! Behavioral model of the AMBA AXI protocol (AXI3/AXI4 + AXI4-Lite).
+//!
+//! This crate is the protocol substrate of the AXI HyperConnect
+//! reproduction. It models the five independent AXI channels (AR, AW, W,
+//! R, B) at *beat* granularity:
+//!
+//! * [`beat`] — the per-channel payloads ([`ArBeat`], [`AwBeat`],
+//!   [`WBeat`], [`RBeat`], [`BBeat`]);
+//! * [`burst`] — burst arithmetic: lengths, 4 KiB boundary rule,
+//!   splitting a burst into *nominal-size* sub-bursts (the equalization
+//!   of Restuccia et al., TECS 2019, used by the HyperConnect's
+//!   Transaction Supervisor);
+//! * [`txn`] — validated read/write transaction descriptors;
+//! * [`port`] — the queue bundle representing one AXI master/slave port
+//!   boundary, and the [`AxiInterconnect`] trait implemented by both the
+//!   HyperConnect and the SmartConnect baseline;
+//! * [`lite`] — the AXI4-Lite control plane used by the hypervisor to
+//!   program memory-mapped register files;
+//! * [`checker`] — a protocol monitor that asserts channel-ordering
+//!   invariants during simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use axi::txn::ReadRequest;
+//! use axi::types::{AxiVersion, BurstSize};
+//!
+//! // A 16-beat by 4-byte read: the paper's "16-word burst".
+//! let req = ReadRequest::new(0x1000, 16, BurstSize::B4)?;
+//! assert_eq!(req.total_bytes(), 64);
+//! assert!(req.validate(AxiVersion::Axi4).is_ok());
+//! # Ok::<(), axi::types::TxnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beat;
+pub mod burst;
+pub mod checker;
+pub mod lite;
+pub mod port;
+pub mod routing;
+pub mod txn;
+pub mod types;
+
+pub use beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+pub use port::{AxiInterconnect, AxiPort, PortConfig};
+pub use types::{AxiId, AxiVersion, BurstKind, BurstSize, PortId, Resp, TxnError};

@@ -1,0 +1,227 @@
+//! AXI port boundaries: the queue bundle both interconnect models expose,
+//! and the [`AxiInterconnect`] trait the benchmark harness swaps between
+//! the HyperConnect and the SmartConnect baseline.
+
+use sim::{Component, Cycle, TimedFifo};
+
+use crate::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+
+/// Queue sizing and latency for one [`AxiPort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortConfig {
+    /// Capacity of the AR and AW queues, in requests.
+    pub addr_capacity: usize,
+    /// Capacity of the W and R queues, in beats.
+    pub data_capacity: usize,
+    /// Capacity of the B queue, in responses.
+    pub resp_capacity: usize,
+    /// Cycles between pushing into a queue and visibility at its output.
+    /// Latency 0 models a plain wire boundary; the interconnect models
+    /// add their pipeline latency internally.
+    pub latency: Cycle,
+}
+
+impl PortConfig {
+    /// A zero-latency boundary with generous buffering — the default for
+    /// the external edges of an interconnect model.
+    pub fn wire() -> Self {
+        Self {
+            addr_capacity: 8,
+            data_capacity: 64,
+            resp_capacity: 8,
+            latency: 0,
+        }
+    }
+
+    /// A single-cycle registered boundary (one pipeline stage).
+    pub fn registered() -> Self {
+        Self {
+            latency: 1,
+            ..Self::wire()
+        }
+    }
+
+    /// Overrides the address-queue capacity.
+    pub fn addr_capacity(mut self, n: usize) -> Self {
+        self.addr_capacity = n;
+        self
+    }
+
+    /// Overrides the data-queue capacity.
+    pub fn data_capacity(mut self, n: usize) -> Self {
+        self.data_capacity = n;
+        self
+    }
+}
+
+impl Default for PortConfig {
+    fn default() -> Self {
+        Self::wire()
+    }
+}
+
+/// One AXI port boundary: five independent channel queues.
+///
+/// Orientation convention: `ar`, `aw` and `w` flow *downstream* (from a
+/// master toward memory); `r` and `b` flow *upstream* (back toward the
+/// master). At an interconnect **slave port** the accelerator pushes
+/// `ar/aw/w` and pops `r/b`; at the interconnect **master port** the
+/// interconnect pushes `ar/aw/w` and the memory controller pops them,
+/// pushing `r/b` back.
+#[derive(Debug, Clone)]
+pub struct AxiPort {
+    /// Read-address channel, downstream.
+    pub ar: TimedFifo<ArBeat>,
+    /// Write-address channel, downstream.
+    pub aw: TimedFifo<AwBeat>,
+    /// Write-data channel, downstream.
+    pub w: TimedFifo<WBeat>,
+    /// Read-data channel, upstream.
+    pub r: TimedFifo<RBeat>,
+    /// Write-response channel, upstream.
+    pub b: TimedFifo<BBeat>,
+}
+
+impl AxiPort {
+    /// Creates a port with the given configuration.
+    pub fn new(config: PortConfig) -> Self {
+        Self {
+            ar: TimedFifo::new(config.addr_capacity, config.latency),
+            aw: TimedFifo::new(config.addr_capacity, config.latency),
+            w: TimedFifo::new(config.data_capacity, config.latency),
+            r: TimedFifo::new(config.data_capacity, config.latency),
+            b: TimedFifo::new(config.resp_capacity, config.latency),
+        }
+    }
+
+    /// Whether every queue is empty (the port is quiescent).
+    pub fn is_idle(&self) -> bool {
+        self.ar.is_empty()
+            && self.aw.is_empty()
+            && self.w.is_empty()
+            && self.r.is_empty()
+            && self.b.is_empty()
+    }
+
+    /// Total queued elements across all five channels.
+    pub fn occupancy(&self) -> usize {
+        self.ar.len() + self.aw.len() + self.w.len() + self.r.len() + self.b.len()
+    }
+
+    /// Flushes every channel queue (synchronous reset).
+    pub fn clear(&mut self) {
+        self.ar.clear();
+        self.aw.clear();
+        self.w.clear();
+        self.r.clear();
+        self.b.clear();
+    }
+}
+
+impl Default for AxiPort {
+    fn default() -> Self {
+        Self::new(PortConfig::default())
+    }
+}
+
+/// Behaviour common to every N-slave-ports, 1-master-port AXI
+/// interconnect model (the architecture the paper studies: a set of
+/// accelerators funneled into one FPGA-PS interface port).
+///
+/// Implemented by `hyperconnect::HyperConnect` and
+/// `smartconnect::SmartConnect`; the benchmark harness is generic over
+/// this trait so every experiment runs identically on both.
+pub trait AxiInterconnect: Component {
+    /// Number of slave (accelerator-facing) ports.
+    fn num_ports(&self) -> usize;
+
+    /// The `i`-th slave port boundary.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `i >= num_ports()`.
+    fn port(&mut self, i: usize) -> &mut AxiPort;
+
+    /// The single master port boundary (toward the FPGA-PS interface).
+    fn mem_port(&mut self) -> &mut AxiPort;
+
+    /// Short human-readable model name for reports (e.g. `"HyperConnect"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether all internal state and boundary queues are empty.
+    fn is_idle(&self) -> bool;
+}
+
+impl<T: AxiInterconnect + ?Sized> AxiInterconnect for Box<T> {
+    fn num_ports(&self) -> usize {
+        (**self).num_ports()
+    }
+    fn port(&mut self, i: usize) -> &mut AxiPort {
+        (**self).port(i)
+    }
+    fn mem_port(&mut self) -> &mut AxiPort {
+        (**self).mem_port()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn is_idle(&self) -> bool {
+        (**self).is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BurstSize;
+
+    #[test]
+    fn wire_config_is_zero_latency() {
+        let cfg = PortConfig::wire();
+        assert_eq!(cfg.latency, 0);
+        let reg = PortConfig::registered();
+        assert_eq!(reg.latency, 1);
+        assert_eq!(reg.addr_capacity, cfg.addr_capacity);
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = PortConfig::wire().addr_capacity(2).data_capacity(4);
+        assert_eq!(cfg.addr_capacity, 2);
+        assert_eq!(cfg.data_capacity, 4);
+    }
+
+    #[test]
+    fn new_port_is_idle() {
+        let p = AxiPort::default();
+        assert!(p.is_idle());
+        assert_eq!(p.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_counts_all_channels() {
+        let mut p = AxiPort::default();
+        p.ar.push(0, ArBeat::new(0, 1, BurstSize::B4)).unwrap();
+        p.w.push(0, WBeat::new(vec![0; 4], true)).unwrap();
+        p.b.push(0, BBeat::new(crate::types::AxiId(0))).unwrap();
+        assert_eq!(p.occupancy(), 3);
+        assert!(!p.is_idle());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut p = AxiPort::default();
+        p.aw.push(0, AwBeat::new(0, 1, BurstSize::B4)).unwrap();
+        p.r.push(0, RBeat::new(crate::types::AxiId(0), vec![], true))
+            .unwrap();
+        p.clear();
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn queue_capacities_respected() {
+        let mut p = AxiPort::new(PortConfig::wire().addr_capacity(1));
+        p.ar.push(0, ArBeat::new(0, 1, BurstSize::B4)).unwrap();
+        assert!(p.ar.push(0, ArBeat::new(64, 1, BurstSize::B4)).is_err());
+    }
+}

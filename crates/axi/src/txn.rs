@@ -1,0 +1,393 @@
+//! Validated transaction descriptors — what a master *intends* to do
+//! before it is expressed as channel beats.
+
+use crate::beat::{ArBeat, AwBeat, WBeat};
+use crate::burst::{check_alignment, check_wrap_len, crosses_4k};
+use crate::types::{AxiId, AxiVersion, BurstKind, BurstSize, TxnError};
+
+/// A read transaction descriptor.
+///
+/// # Example
+///
+/// ```
+/// use axi::txn::ReadRequest;
+/// use axi::types::{AxiVersion, BurstSize};
+///
+/// let req = ReadRequest::new(0x2000, 8, BurstSize::B16)?;
+/// assert_eq!(req.total_bytes(), 128);
+/// let ar = req.to_ar(5, 100);
+/// assert_eq!(ar.tag, 5);
+/// assert_eq!(ar.issued_at, 100);
+/// # Ok::<(), axi::types::TxnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRequest {
+    addr: u64,
+    len: u32,
+    size: BurstSize,
+    kind: BurstKind,
+    id: AxiId,
+}
+
+impl ReadRequest {
+    /// Creates an INCR read request after checking basic legality
+    /// (non-zero aligned burst that does not cross 4 KiB).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TxnError`] describing the first violated rule.
+    pub fn new(addr: u64, len: u32, size: BurstSize) -> Result<Self, TxnError> {
+        let req = Self {
+            addr,
+            len,
+            size,
+            kind: BurstKind::Incr,
+            id: AxiId::default(),
+        };
+        req.check_basic()?;
+        Ok(req)
+    }
+
+    /// Creates a WRAP read request (cache-line style).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TxnError`] for illegal wrap lengths or misalignment.
+    pub fn new_wrap(addr: u64, len: u32, size: BurstSize) -> Result<Self, TxnError> {
+        check_wrap_len(len)?;
+        check_alignment(addr, size)?;
+        Ok(Self {
+            addr,
+            len,
+            size,
+            kind: BurstKind::Wrap,
+            id: AxiId::default(),
+        })
+    }
+
+    /// Sets the AXI ID.
+    pub fn with_id(mut self, id: AxiId) -> Self {
+        self.id = id;
+        self
+    }
+
+    fn check_basic(&self) -> Result<(), TxnError> {
+        if self.len == 0 {
+            return Err(TxnError::LenZero);
+        }
+        check_alignment(self.addr, self.size)?;
+        if self.kind == BurstKind::Incr && crosses_4k(self.addr, self.len, self.size) {
+            return Err(TxnError::Crosses4K {
+                addr: self.addr,
+                bytes: self.total_bytes(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the request against a protocol revision's burst limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::LenTooLong`] if the revision cannot express
+    /// the burst.
+    pub fn validate(&self, version: AxiVersion) -> Result<(), TxnError> {
+        if self.len > version.max_burst_len() {
+            return Err(TxnError::LenTooLong {
+                len: self.len,
+                max: version.max_burst_len(),
+            });
+        }
+        self.check_basic()
+    }
+
+    /// Start address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Burst length in beats.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the burst is empty (never true for a validated request).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Beat size.
+    pub fn size(&self) -> BurstSize {
+        self.size
+    }
+
+    /// Burst kind.
+    pub fn kind(&self) -> BurstKind {
+        self.kind
+    }
+
+    /// AXI ID.
+    pub fn id(&self) -> AxiId {
+        self.id
+    }
+
+    /// Total bytes transferred.
+    pub fn total_bytes(&self) -> u64 {
+        crate::burst::total_bytes(self.len, self.size)
+    }
+
+    /// Lowers the descriptor to an AR beat with tag and timestamp.
+    pub fn to_ar(&self, tag: u64, now: sim::Cycle) -> ArBeat {
+        ArBeat {
+            id: self.id,
+            addr: self.addr,
+            len: self.len,
+            size: self.size,
+            burst: self.kind,
+            qos: 0,
+            tag,
+            issued_at: now,
+        }
+    }
+}
+
+/// A write transaction descriptor.
+///
+/// # Example
+///
+/// ```
+/// use axi::txn::WriteRequest;
+/// use axi::types::BurstSize;
+///
+/// let req = WriteRequest::new(0x3000, 4, BurstSize::B4)?;
+/// let (aw, wbeats) = req.to_beats(9, 50, |_, _| 0xEE);
+/// assert_eq!(aw.len, 4);
+/// assert_eq!(wbeats.len(), 4);
+/// assert!(wbeats[3].last);
+/// # Ok::<(), axi::types::TxnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRequest {
+    addr: u64,
+    len: u32,
+    size: BurstSize,
+    kind: BurstKind,
+    id: AxiId,
+}
+
+impl WriteRequest {
+    /// Creates an INCR write request after checking basic legality.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TxnError`] describing the first violated rule.
+    pub fn new(addr: u64, len: u32, size: BurstSize) -> Result<Self, TxnError> {
+        if len == 0 {
+            return Err(TxnError::LenZero);
+        }
+        check_alignment(addr, size)?;
+        if crosses_4k(addr, len, size) {
+            return Err(TxnError::Crosses4K {
+                addr,
+                bytes: crate::burst::total_bytes(len, size),
+            });
+        }
+        Ok(Self {
+            addr,
+            len,
+            size,
+            kind: BurstKind::Incr,
+            id: AxiId::default(),
+        })
+    }
+
+    /// Sets the AXI ID.
+    pub fn with_id(mut self, id: AxiId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Validates the request against a protocol revision's burst limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::LenTooLong`] if the revision cannot express
+    /// the burst.
+    pub fn validate(&self, version: AxiVersion) -> Result<(), TxnError> {
+        if self.len > version.max_burst_len() {
+            return Err(TxnError::LenTooLong {
+                len: self.len,
+                max: version.max_burst_len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Start address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Burst length in beats.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the burst is empty (never true for a validated request).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Beat size.
+    pub fn size(&self) -> BurstSize {
+        self.size
+    }
+
+    /// AXI ID.
+    pub fn id(&self) -> AxiId {
+        self.id
+    }
+
+    /// Total bytes transferred.
+    pub fn total_bytes(&self) -> u64 {
+        crate::burst::total_bytes(self.len, self.size)
+    }
+
+    /// Lowers the descriptor to an AW beat plus its W-beat stream, with
+    /// data produced by `fill(beat_index, byte_index)`.
+    pub fn to_beats(
+        &self,
+        tag: u64,
+        now: sim::Cycle,
+        fill: impl FnMut(u32, u64) -> u8,
+    ) -> (AwBeat, Vec<WBeat>) {
+        let aw = AwBeat {
+            id: self.id,
+            addr: self.addr,
+            len: self.len,
+            size: self.size,
+            burst: self.kind,
+            qos: 0,
+            tag,
+            issued_at: now,
+        };
+        let mut wbeats = WBeat::stream(self.len, self.size, tag, fill);
+        for w in &mut wbeats {
+            w.issued_at = now;
+        }
+        (aw, wbeats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn read_request_rejects_zero_len() {
+        assert_eq!(
+            ReadRequest::new(0, 0, BurstSize::B4).unwrap_err(),
+            TxnError::LenZero
+        );
+    }
+
+    #[test]
+    fn read_request_rejects_misaligned() {
+        assert!(matches!(
+            ReadRequest::new(0x1002, 4, BurstSize::B4),
+            Err(TxnError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn read_request_rejects_4k_crossing() {
+        assert!(matches!(
+            ReadRequest::new(0x0FF0, 4, BurstSize::B16),
+            Err(TxnError::Crosses4K { .. })
+        ));
+    }
+
+    #[test]
+    fn read_request_axi3_length_limit() {
+        let req = ReadRequest::new(0, 32, BurstSize::B4).unwrap();
+        assert!(matches!(
+            req.validate(AxiVersion::Axi3),
+            Err(TxnError::LenTooLong { len: 32, max: 16 })
+        ));
+        assert!(req.validate(AxiVersion::Axi4).is_ok());
+    }
+
+    #[test]
+    fn wrap_request_valid_and_invalid() {
+        assert!(ReadRequest::new_wrap(0x100, 8, BurstSize::B8).is_ok());
+        assert!(matches!(
+            ReadRequest::new_wrap(0x100, 3, BurstSize::B8),
+            Err(TxnError::BadWrapLen { len: 3 })
+        ));
+    }
+
+    #[test]
+    fn read_lowering_carries_metadata() {
+        let req = ReadRequest::new(0x800, 2, BurstSize::B8)
+            .unwrap()
+            .with_id(AxiId(4));
+        let ar = req.to_ar(77, 123);
+        assert_eq!(ar.id, AxiId(4));
+        assert_eq!(ar.addr, 0x800);
+        assert_eq!(ar.len, 2);
+        assert_eq!(ar.tag, 77);
+        assert_eq!(ar.issued_at, 123);
+    }
+
+    #[test]
+    fn write_request_rejections() {
+        assert_eq!(
+            WriteRequest::new(0, 0, BurstSize::B4).unwrap_err(),
+            TxnError::LenZero
+        );
+        assert!(matches!(
+            WriteRequest::new(1, 1, BurstSize::B4),
+            Err(TxnError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            WriteRequest::new(0x0FFC, 2, BurstSize::B4),
+            Err(TxnError::Crosses4K { .. })
+        ));
+    }
+
+    #[test]
+    fn write_lowering_produces_full_stream() {
+        let req = WriteRequest::new(0x100, 3, BurstSize::B4).unwrap();
+        let (aw, ws) = req.to_beats(5, 10, |beat, _| beat as u8);
+        assert_eq!(aw.tag, 5);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[1].data, vec![1; 4]);
+        assert!(ws.iter().all(|w| w.issued_at == 10 && w.tag == 5));
+        assert!(ws[2].last && !ws[0].last && !ws[1].last);
+    }
+
+    proptest! {
+        /// Any constructed (valid) read request round-trips through its
+        /// AR beat unchanged.
+        #[test]
+        fn valid_reads_roundtrip(
+            page in 0u64..1000,
+            len in 1u32..256,
+            size_idx in 0usize..5,
+        ) {
+            let size = BurstSize::ALL[size_idx];
+            // Anchor at a 4 KiB page so only the length can overflow it.
+            let addr = page * 4096;
+            if crate::burst::total_bytes(len, size) > 4096 {
+                prop_assert!(ReadRequest::new(addr, len, size).is_err());
+            } else {
+                let req = ReadRequest::new(addr, len, size).unwrap();
+                let ar = req.to_ar(0, 0);
+                prop_assert_eq!(ar.addr, addr);
+                prop_assert_eq!(ar.len, len);
+                prop_assert_eq!(ar.size, size);
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Core AXI vocabulary types shared by every model in the workspace.
+
+/// Index of an interconnect slave port (one per hardware accelerator).
+///
+/// A newtype rather than a bare `usize` so a port index can never be
+/// confused with a transaction count or a queue index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub usize);
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// An AXI transaction ID (`ARID`/`AWID`/`RID`/`BID`).
+///
+/// IDs identify transaction streams; in this reproduction transactions
+/// are served in-order per port (as today's FPGA SoC memory controllers
+/// do, per the paper), so IDs are transported but not used for reordering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AxiId(pub u16);
+
+impl std::fmt::Display for AxiId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "id{}", self.0)
+    }
+}
+
+/// AXI protocol revision. The HyperConnect supports both (paper §V-A,
+/// *Compatibility*); the revision bounds the maximum burst length.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AxiVersion {
+    /// AXI3: bursts of 1–16 beats.
+    Axi3,
+    /// AXI4: INCR bursts of 1–256 beats.
+    #[default]
+    Axi4,
+}
+
+impl AxiVersion {
+    /// The maximum INCR burst length in beats for this revision.
+    pub fn max_burst_len(self) -> u32 {
+        match self {
+            AxiVersion::Axi3 => 16,
+            AxiVersion::Axi4 => 256,
+        }
+    }
+}
+
+impl std::fmt::Display for AxiVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxiVersion::Axi3 => write!(f, "AXI3"),
+            AxiVersion::Axi4 => write!(f, "AXI4"),
+        }
+    }
+}
+
+/// The burst type carried on `AxBURST`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BurstKind {
+    /// Fixed address (FIFO-style peripherals).
+    Fixed,
+    /// Incrementing address — the common case for memory access.
+    #[default]
+    Incr,
+    /// Wrapping burst (cache-line fills).
+    Wrap,
+}
+
+impl std::fmt::Display for BurstKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BurstKind::Fixed => write!(f, "FIXED"),
+            BurstKind::Incr => write!(f, "INCR"),
+            BurstKind::Wrap => write!(f, "WRAP"),
+        }
+    }
+}
+
+/// Bytes transferred per beat (`AxSIZE`), restricted to powers of two
+/// between 1 and 128 as in the AXI specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BurstSize {
+    /// 1 byte per beat.
+    B1,
+    /// 2 bytes per beat.
+    B2,
+    /// 4 bytes per beat — a "word" in the paper's Fig. 3(b).
+    B4,
+    /// 8 bytes per beat.
+    B8,
+    /// 16 bytes per beat — a 128-bit HP port beat on Zynq UltraScale+.
+    B16,
+    /// 32 bytes per beat.
+    B32,
+    /// 64 bytes per beat.
+    B64,
+    /// 128 bytes per beat.
+    B128,
+}
+
+impl BurstSize {
+    /// All sizes in increasing order.
+    pub const ALL: [BurstSize; 8] = [
+        BurstSize::B1,
+        BurstSize::B2,
+        BurstSize::B4,
+        BurstSize::B8,
+        BurstSize::B16,
+        BurstSize::B32,
+        BurstSize::B64,
+        BurstSize::B128,
+    ];
+
+    /// Bytes per beat.
+    pub fn bytes(self) -> u64 {
+        match self {
+            BurstSize::B1 => 1,
+            BurstSize::B2 => 2,
+            BurstSize::B4 => 4,
+            BurstSize::B8 => 8,
+            BurstSize::B16 => 16,
+            BurstSize::B32 => 32,
+            BurstSize::B64 => 64,
+            BurstSize::B128 => 128,
+        }
+    }
+
+    /// The `AxSIZE` encoding (log2 of the byte count).
+    pub fn encoding(self) -> u8 {
+        self.bytes().trailing_zeros() as u8
+    }
+
+    /// Constructs a size from a byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::BadSize`] if `bytes` is not a power of two in
+    /// `1..=128`.
+    pub fn from_bytes(bytes: u64) -> Result<Self, TxnError> {
+        match bytes {
+            1 => Ok(BurstSize::B1),
+            2 => Ok(BurstSize::B2),
+            4 => Ok(BurstSize::B4),
+            8 => Ok(BurstSize::B8),
+            16 => Ok(BurstSize::B16),
+            32 => Ok(BurstSize::B32),
+            64 => Ok(BurstSize::B64),
+            128 => Ok(BurstSize::B128),
+            _ => Err(TxnError::BadSize { bytes }),
+        }
+    }
+}
+
+impl std::fmt::Display for BurstSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}B/beat", self.bytes())
+    }
+}
+
+/// The AXI response code carried on R and B channels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Resp {
+    /// Normal success.
+    #[default]
+    Okay,
+    /// Exclusive-access success.
+    ExOkay,
+    /// Slave error.
+    SlvErr,
+    /// Decode error (no slave at the address).
+    DecErr,
+}
+
+impl Resp {
+    /// Whether the response indicates success.
+    pub fn is_ok(self) -> bool {
+        matches!(self, Resp::Okay | Resp::ExOkay)
+    }
+}
+
+impl std::fmt::Display for Resp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Resp::Okay => write!(f, "OKAY"),
+            Resp::ExOkay => write!(f, "EXOKAY"),
+            Resp::SlvErr => write!(f, "SLVERR"),
+            Resp::DecErr => write!(f, "DECERR"),
+        }
+    }
+}
+
+/// Validation failure for a transaction descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnError {
+    /// Burst length of zero beats.
+    LenZero,
+    /// Burst length exceeds the revision's limit.
+    LenTooLong {
+        /// Requested beats.
+        len: u32,
+        /// Maximum allowed by the revision.
+        max: u32,
+    },
+    /// An INCR burst would cross a 4 KiB address boundary.
+    Crosses4K {
+        /// Start address of the offending burst.
+        addr: u64,
+        /// Total bytes of the burst.
+        bytes: u64,
+    },
+    /// The address is not aligned to the beat size (this reproduction
+    /// models aligned transfers only).
+    Unaligned {
+        /// Offending address.
+        addr: u64,
+        /// Beat size in bytes.
+        size: u64,
+    },
+    /// Not a legal `AxSIZE` byte count.
+    BadSize {
+        /// Offending byte count.
+        bytes: u64,
+    },
+    /// WRAP bursts must have a length of 2, 4, 8 or 16 beats.
+    BadWrapLen {
+        /// Requested beats.
+        len: u32,
+    },
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::LenZero => write!(f, "burst length must be at least one beat"),
+            TxnError::LenTooLong { len, max } => {
+                write!(f, "burst length {len} exceeds the revision maximum of {max}")
+            }
+            TxnError::Crosses4K { addr, bytes } => write!(
+                f,
+                "burst of {bytes} bytes at {addr:#x} crosses a 4 KiB boundary"
+            ),
+            TxnError::Unaligned { addr, size } => {
+                write!(f, "address {addr:#x} is not aligned to the beat size {size}")
+            }
+            TxnError::BadSize { bytes } => {
+                write!(f, "{bytes} is not a legal AxSIZE byte count")
+            }
+            TxnError::BadWrapLen { len } => {
+                write!(f, "wrap burst length {len} is not 2, 4, 8 or 16")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_id_display() {
+        assert_eq!(PortId(3).to_string(), "port3");
+    }
+
+    #[test]
+    fn axi_id_display_and_default() {
+        assert_eq!(AxiId::default(), AxiId(0));
+        assert_eq!(AxiId(7).to_string(), "id7");
+    }
+
+    #[test]
+    fn version_burst_limits() {
+        assert_eq!(AxiVersion::Axi3.max_burst_len(), 16);
+        assert_eq!(AxiVersion::Axi4.max_burst_len(), 256);
+        assert_eq!(AxiVersion::default(), AxiVersion::Axi4);
+    }
+
+    #[test]
+    fn burst_size_bytes_roundtrip() {
+        for size in BurstSize::ALL {
+            assert_eq!(BurstSize::from_bytes(size.bytes()), Ok(size));
+        }
+    }
+
+    #[test]
+    fn burst_size_encoding_is_log2() {
+        assert_eq!(BurstSize::B1.encoding(), 0);
+        assert_eq!(BurstSize::B4.encoding(), 2);
+        assert_eq!(BurstSize::B128.encoding(), 7);
+    }
+
+    #[test]
+    fn burst_size_rejects_non_power_of_two() {
+        assert_eq!(
+            BurstSize::from_bytes(3),
+            Err(TxnError::BadSize { bytes: 3 })
+        );
+        assert_eq!(
+            BurstSize::from_bytes(256),
+            Err(TxnError::BadSize { bytes: 256 })
+        );
+        assert_eq!(
+            BurstSize::from_bytes(0),
+            Err(TxnError::BadSize { bytes: 0 })
+        );
+    }
+
+    #[test]
+    fn resp_success_classification() {
+        assert!(Resp::Okay.is_ok());
+        assert!(Resp::ExOkay.is_ok());
+        assert!(!Resp::SlvErr.is_ok());
+        assert!(!Resp::DecErr.is_ok());
+    }
+
+    #[test]
+    fn displays_are_never_empty() {
+        assert!(!AxiVersion::Axi3.to_string().is_empty());
+        assert!(!BurstKind::Wrap.to_string().is_empty());
+        assert!(!BurstSize::B16.to_string().is_empty());
+        assert!(!Resp::DecErr.to_string().is_empty());
+    }
+
+    #[test]
+    fn txn_error_messages() {
+        let e = TxnError::Crosses4K {
+            addr: 0xff0,
+            bytes: 64,
+        };
+        assert!(e.to_string().contains("4 KiB"));
+        assert!(TxnError::LenZero.to_string().contains("at least one"));
+        let e = TxnError::LenTooLong { len: 300, max: 256 };
+        assert!(e.to_string().contains("300"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion benches — one per paper artifact.
+//!
+//! Each bench runs the corresponding experiment harness (with a reduced
+//! measurement window where the full figure uses a long one, so `cargo
+//! bench` completes in minutes) and asserts the paper's qualitative
+//! result so a regression in the models fails the bench rather than
+//! silently producing a wrong figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const BENCH_WINDOW: u64 = 2_000_000;
+
+fn bench_fig3a(c: &mut Criterion) {
+    c.bench_function("fig3a_channel_latencies", |b| {
+        b.iter(|| {
+            let f = bench::fig3a::run();
+            assert_eq!((f.hc.d_ar, f.hc.d_r), (4, 2));
+            assert!(f.sc.d_ar > f.hc.d_ar);
+            black_box(f)
+        })
+    });
+}
+
+fn bench_fig3b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3b_access_time");
+    g.sample_size(10);
+    for bytes in [4u64, 64, 16 << 10] {
+        g.bench_function(format!("{bytes}B"), |b| {
+            b.iter(|| {
+                let hc = bench::fig3b::access_time(bench::Design::HyperConnect, bytes, 1);
+                let sc = bench::fig3b::access_time(bench::Design::SmartConnect, bytes, 1);
+                assert!(hc <= sc);
+                black_box((hc, sc))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_isolation");
+    g.sample_size(10);
+    g.bench_function("both_designs", |b| {
+        b.iter(|| {
+            let rows = bench::fig4::run_with_window(BENCH_WINDOW);
+            black_box(rows)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_contention");
+    g.sample_size(10);
+    g.bench_function("sc_vs_hc9010", |b| {
+        b.iter(|| {
+            let sc = bench::fig5::smartconnect_contention(BENCH_WINDOW);
+            let hc = bench::fig5::hyperconnect_contention(90, BENCH_WINDOW);
+            assert!(hc.chaidnn_fps >= sc.chaidnn_fps);
+            black_box((sc, hc))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_resources", |b| {
+        b.iter(|| {
+            let rows = bench::table1::run();
+            assert!(rows[0].modeled.ff < rows[1].modeled.ff);
+            black_box(rows)
+        })
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("a2_fairness", |b| {
+        b.iter(|| black_box(bench::ablation::fairness_sweep(500_000)))
+    });
+    g.bench_function("a4_scaling", |b| {
+        b.iter(|| black_box(bench::ablation::scaling_sweep()))
+    });
+    g.bench_function("a5_worst_case", |b| {
+        b.iter(|| {
+            for p in bench::ablation::worst_case_check(500_000) {
+                assert!(p.observed_worst <= p.bound);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig3a,
+    bench_fig3b,
+    bench_fig4,
+    bench_fig5,
+    bench_table1,
+    bench_ablations
+);
+criterion_main!(figures);

@@ -1,0 +1,94 @@
+//! Criterion benches of the simulator itself: how fast the models run
+//! on the host. Useful to size experiments and catch performance
+//! regressions in the kernel primitives.
+
+use axi::types::BurstSize;
+use axi::{ArBeat, AxiInterconnect};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_timed_fifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/timed_fifo");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut f = sim::TimedFifo::new(16, 1);
+            for now in 0..1024u64 {
+                let _ = f.push(now, now);
+                black_box(f.pop_ready(now));
+            }
+            f
+        })
+    });
+    g.finish();
+}
+
+fn bench_hyperconnect_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/system_cycles");
+    const CYCLES: u64 = 100_000;
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("contended_2port_100k", |b| {
+        b.iter(|| {
+            let mut sys = bench::make_system(bench::Design::HyperConnect);
+            sys.add_accelerator(Box::new(ha::traffic::BandwidthStealer::new(
+                "a",
+                0x1000_0000,
+                1 << 20,
+                16,
+                BurstSize::B16,
+            )));
+            sys.add_accelerator(Box::new(ha::traffic::BandwidthStealer::new(
+                "b",
+                0x3000_0000,
+                1 << 20,
+                256,
+                BurstSize::B16,
+            )));
+            sys.run_for(CYCLES);
+            black_box(sys.now())
+        })
+    });
+    g.finish();
+}
+
+fn bench_interconnect_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/interconnect_tick");
+    const CYCLES: u64 = 100_000;
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("hyperconnect_idle_100k", |b| {
+        b.iter(|| {
+            use sim::Component;
+            let mut hc =
+                hyperconnect::HyperConnect::new(hyperconnect::HcConfig::new(2));
+            for now in 0..CYCLES {
+                hc.tick(now);
+            }
+            black_box(hc.is_idle())
+        })
+    });
+    g.bench_function("hyperconnect_loaded_100k", |b| {
+        b.iter(|| {
+            use sim::Component;
+            let mut hc =
+                hyperconnect::HyperConnect::new(hyperconnect::HcConfig::new(2));
+            for now in 0..CYCLES {
+                let _ = hc
+                    .port((now % 2) as usize)
+                    .ar
+                    .push(now, ArBeat::new(now * 64, 16, BurstSize::B4));
+                hc.tick(now);
+                while hc.mem_port().ar.pop_ready(now).is_some() {}
+            }
+            black_box(hc.num_ports())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernel,
+    bench_timed_fifo,
+    bench_hyperconnect_cycles,
+    bench_interconnect_only
+);
+criterion_main!(kernel);

@@ -1,0 +1,459 @@
+//! Design-choice ablations (DESIGN.md experiments A1–A6).
+//!
+//! These go beyond the paper's figures to probe the *reasons* behind
+//! the HyperConnect's design decisions:
+//!
+//! * **A1 granularity** — worst-case interference grows with the
+//!   round-robin granularity `g` (paper §V-B: `g × (N − 1)`);
+//! * **A2 fairness** — unfairness under plain round robin scales with
+//!   the burst-length ratio; equalization removes it;
+//! * **A3 reservation** — achieved bandwidth tracks the programmed
+//!   budget and respects the analytical guarantee;
+//! * **A4 scaling** — propagation latency stays fixed as ports are
+//!   added, while area grows linearly;
+//! * **A5 worst case** — simulated worst-case read latency never
+//!   exceeds the closed-form bound of `hyperconnect::analysis`;
+//! * **A6 PS protection** — throttling FPGA traffic (budget + the
+//!   outstanding limit) bounds the latency that PS software sees at the
+//!   shared memory controller.
+
+use axi::lite::LiteBus;
+use axi::types::BurstSize;
+use axi::AxiInterconnect;
+use ha::dma::{Dma, DmaConfig};
+use ha::traffic::BandwidthStealer;
+use hyperconnect::analysis::ServiceModel;
+use hyperconnect::{HcConfig, HyperConnect};
+use hypervisor::Hypervisor;
+use mem::{MemConfig, MemoryController};
+use sim::Cycle;
+use smartconnect::{GranularityPolicy, ScConfig, SmartConnect};
+
+use crate::{make_interconnect_n, Design, SocSystemBoxed};
+
+/// A1 — victim worst-case burst latency under contention, as a function
+/// of the arbiter's fixed granularity `g`. Four ports: one victim with a
+/// single-transaction window against three saturating aggressors, so up
+/// to `g x (N-1)` aggressor transactions can be granted between two
+/// victim grants (paper §V-B). The HyperConnect corresponds to `g = 1`.
+pub fn granularity_sweep(window: Cycle) -> Vec<(u32, Cycle)> {
+    [1u32, 2, 4, 8]
+        .iter()
+        .map(|&g| {
+            let sc = SmartConnect::new(
+                ScConfig::new(4).granularity(GranularityPolicy::Fixed(g)),
+            );
+            // A shallow memory pipeline keeps queueing delay small so
+            // the *arbitration* interference dominates — the regime the
+            // paper's g x (N-1) argument addresses.
+            let mem_cfg = MemConfig::zcu102()
+                .first_word_latency(4)
+                .pipeline_depth(2);
+            let mut sys = axi_hyperconnect::SocSystem::new(
+                Box::new(sc) as Box<dyn AxiInterconnect>,
+                MemoryController::new(mem_cfg),
+            );
+            // Victim: modest 16-beat bursts, one transaction at a time.
+            sys.add_accelerator(Box::new(Dma::new(
+                "victim",
+                DmaConfig {
+                    read_bytes: 1 << 20,
+                    write_bytes: 0,
+                    burst_beats: 16,
+                    max_outstanding: 1,
+                    jobs: None,
+                    ..DmaConfig::case_study()
+                },
+            )));
+            // Three aggressors with matching burst sizes and deep
+            // pipelining: enough queued work for any granularity.
+            for i in 1..4u64 {
+                sys.add_accelerator(Box::new(BandwidthStealer::new(
+                    "aggressor",
+                    0x3000_0000 + (i << 24),
+                    1 << 20,
+                    16,
+                    BurstSize::B16,
+                )));
+            }
+            sys.run_for(window);
+            let victim: &Dma = sys
+                .accelerator(0)
+                .as_any()
+                .downcast_ref()
+                .expect("victim is a Dma");
+            let worst = victim
+                .read_txn_latency()
+                .and_then(|l| l.max())
+                .unwrap_or(0);
+            (g, worst)
+        })
+        .collect()
+}
+
+/// A2 — unfairness ratio (aggressor bytes / victim bytes) as a function
+/// of the aggressor's burst length, on both designs. Victim uses
+/// 16-beat bursts throughout.
+pub fn fairness_sweep(window: Cycle) -> Vec<(u32, f64, f64)> {
+    let run = |design: Design, burst: u32| -> f64 {
+        let mut sys = crate::make_system(design);
+        sys.add_accelerator(Box::new(BandwidthStealer::new(
+            "victim",
+            0x1000_0000,
+            1 << 20,
+            16,
+            BurstSize::B16,
+        )));
+        sys.add_accelerator(Box::new(BandwidthStealer::new(
+            "aggr",
+            0x3000_0000,
+            1 << 20,
+            burst,
+            BurstSize::B16,
+        )));
+        sys.run_for(window);
+        let victim = sys.accelerator(0).jobs_completed() * 16;
+        let aggr = sys.accelerator(1).jobs_completed() * burst as u64;
+        aggr as f64 / victim.max(1) as f64
+    };
+    [16u32, 32, 64, 128, 256]
+        .iter()
+        .map(|&b| {
+            (
+                b,
+                run(Design::SmartConnect, b),
+                run(Design::HyperConnect, b),
+            )
+        })
+        .collect()
+}
+
+/// A3 result row.
+#[derive(Debug, Clone, Copy)]
+pub struct ReservationPoint {
+    /// Percent share programmed for port 0.
+    pub share: u32,
+    /// Bytes port 0 actually moved in the window.
+    pub achieved_bytes: u64,
+    /// Analytical minimum bytes guaranteed by the budget.
+    pub guaranteed_bytes: u64,
+}
+
+/// A3 — achieved versus guaranteed bandwidth as the programmed share of
+/// a saturating reader sweeps from 10% to 90% (the other port takes the
+/// complement).
+pub fn reservation_sweep(window: Cycle) -> Vec<ReservationPoint> {
+    const HC_BASE: u64 = 0xA000_0000;
+    const PERIOD: u32 = 50_000;
+    [10u32, 30, 50, 70, 90]
+        .iter()
+        .map(|&share| {
+            let hc = HyperConnect::new(HcConfig::new(2));
+            let mut bus = LiteBus::new();
+            bus.map(HC_BASE, 0x1000, hc.regs());
+            let hv = Hypervisor::new(bus, HC_BASE).expect("device present");
+            hv.hc().set_period(PERIOD).unwrap();
+            let mem_lat = MemConfig::zcu102().first_word_latency;
+            let budgets = hv
+                .set_bandwidth_shares(&[share, 100 - share], mem_lat)
+                .unwrap();
+            let mut sys = axi_hyperconnect::SocSystem::new(
+                Box::new(hc) as Box<dyn AxiInterconnect>,
+                MemoryController::new(MemConfig::zcu102()),
+            );
+            for (name, base) in [("a", 0x1000_0000u64), ("b", 0x3000_0000)] {
+                sys.add_accelerator(Box::new(BandwidthStealer::new(
+                    name,
+                    base,
+                    1 << 20,
+                    16,
+                    BurstSize::B16,
+                )));
+            }
+            sys.run_for(window);
+            let stealer: &BandwidthStealer = sys
+                .accelerator(0)
+                .as_any()
+                .downcast_ref()
+                .expect("port 0 is a stealer");
+            let model = ServiceModel::hyperconnect(2, 16, mem_lat);
+            let per_period = model.guaranteed_bytes_per_period(budgets[0], 16);
+            let periods = window / PERIOD as u64;
+            ReservationPoint {
+                share,
+                achieved_bytes: stealer.bytes_received(),
+                guaranteed_bytes: per_period * periods,
+            }
+        })
+        .collect()
+}
+
+/// A4 result row.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Port count.
+    pub ports: usize,
+    /// Measured AR propagation latency (must stay 4 cycles).
+    pub d_ar: Cycle,
+    /// Modeled LUTs.
+    pub lut: u64,
+    /// Modeled FFs.
+    pub ff: u64,
+}
+
+/// A4 — latency and area versus port count.
+pub fn scaling_sweep() -> Vec<ScalingPoint> {
+    use sim::Component;
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&n| {
+            let mut ic = make_interconnect_n(Design::HyperConnect, n);
+            ic.port(0)
+                .ar
+                .push(0, axi::ArBeat::new(0x100, 1, BurstSize::B4))
+                .unwrap();
+            let mut d_ar = 0;
+            for now in 0..100 {
+                ic.tick(now);
+                if ic.mem_port().ar.has_ready(now) {
+                    d_ar = now;
+                    break;
+                }
+            }
+            let area = resources::hyperconnect(resources::ModelParams {
+                num_ports: n,
+                ..resources::ModelParams::default()
+            })
+            .total;
+            ScalingPoint {
+                ports: n,
+                d_ar,
+                lut: area.lut,
+                ff: area.ff,
+            }
+        })
+        .collect()
+}
+
+/// A5 result.
+#[derive(Debug, Clone, Copy)]
+pub struct WorstCasePoint {
+    /// Port count.
+    pub ports: usize,
+    /// Worst observed sub-transaction read latency (cycles).
+    pub observed_worst: Cycle,
+    /// Closed-form bound from `hyperconnect::analysis`.
+    pub bound: Cycle,
+}
+
+/// A5 — adversarial worst-case versus the analytical bound: one
+/// monitored port against N−1 saturating aggressors, all equalized.
+pub fn worst_case_check(window: Cycle) -> Vec<WorstCasePoint> {
+    [2usize, 4]
+        .iter()
+        .map(|&n| {
+            let mut sys: SocSystemBoxed = axi_hyperconnect::SocSystem::new(
+                make_interconnect_n(Design::HyperConnect, n),
+                MemoryController::new(MemConfig::zcu102()),
+            );
+            sys.add_accelerator(Box::new(Dma::new(
+                "probe",
+                DmaConfig {
+                    read_bytes: 1 << 18,
+                    write_bytes: 0,
+                    burst_beats: 16,
+                    max_outstanding: 1,
+                    jobs: None,
+                    ..DmaConfig::case_study()
+                },
+            )));
+            for i in 1..n {
+                sys.add_accelerator(Box::new(BandwidthStealer::new(
+                    "aggr",
+                    0x3000_0000 + ((i as u64) << 24),
+                    1 << 20,
+                    256,
+                    BurstSize::B16,
+                )));
+            }
+            sys.run_for(window);
+            let probe: &Dma = sys
+                .accelerator(0)
+                .as_any()
+                .downcast_ref()
+                .expect("probe is a Dma");
+            let observed = probe
+                .read_txn_latency()
+                .and_then(|l| l.max())
+                .expect("probe issued transactions");
+            let mem = MemConfig::zcu102();
+            let model = ServiceModel::hyperconnect(n, 16, mem.first_word_latency);
+            WorstCasePoint {
+                ports: n,
+                observed_worst: observed,
+                bound: model.worst_case_read_latency(),
+            }
+        })
+        .collect()
+}
+
+/// A6 result.
+#[derive(Debug, Clone, Copy)]
+pub struct PsProtectionPoint {
+    /// Percent of the memory capacity budgeted to the FPGA side
+    /// (`None` = reservation off, default outstanding limit).
+    pub fpga_share: Option<u32>,
+    /// Outstanding sub-transaction limit programmed per FPGA port.
+    pub max_outstanding: u32,
+    /// Worst-case PS (CPU) line-read latency observed, cycles.
+    pub ps_worst: Cycle,
+    /// Mean PS latency, cycles.
+    pub ps_mean: f64,
+}
+
+/// A6 — throttling FPGA traffic protects PS software (paper §V-A: the
+/// reservation mechanism also controls "the overall memory traffic
+/// coming from the FPGA fabric directed to the shared memory subsystem,
+/// which can delay the execution of software running on the
+/// processors"). A CPU model reads cache lines through the PS port of
+/// the memory controller while two saturating accelerators run behind a
+/// HyperConnect; the sweep tightens the FPGA budget.
+pub fn ps_protection_sweep(window: Cycle) -> Vec<PsProtectionPoint> {
+    const HC_BASE: u64 = 0xA000_0000;
+    const PERIOD: u32 = 20_000;
+    let run = |fpga_share: Option<u32>, max_out: u32| -> PsProtectionPoint {
+        let hc = HyperConnect::new(HcConfig::new(2));
+        let mut bus = LiteBus::new();
+        bus.map(HC_BASE, 0x1000, hc.regs());
+        let hv = Hypervisor::new(bus, HC_BASE).expect("device present");
+        hv.hc().set_period(PERIOD).unwrap();
+        if let Some(share) = fpga_share {
+            let capacity = hyperconnect::analysis::period_capacity_txns(
+                PERIOD as u64,
+                16,
+                MemConfig::zcu102().first_word_latency,
+            );
+            let per_port = capacity * share / 100 / 2;
+            hv.hc().set_budget(0, per_port).unwrap();
+            hv.hc().set_budget(1, per_port).unwrap();
+        }
+        // The outstanding limit bounds the *instantaneous* FPGA backlog
+        // inside the memory controller (the budget bounds the rate).
+        hv.hc().set_max_outstanding(0, max_out).unwrap();
+        hv.hc().set_max_outstanding(1, max_out).unwrap();
+        let mut hc = hc;
+        let mut memory = MemoryController::new(MemConfig::zcu102());
+        memory.enable_ps_port();
+        let mut cpu = mem::PsCpu::new(200);
+        let mut gens = [
+            BandwidthStealer::new("g0", 0x1000_0000, 1 << 20, 256, BurstSize::B16),
+            BandwidthStealer::new("g1", 0x3000_0000, 1 << 20, 256, BurstSize::B16),
+        ];
+        use ha::Accelerator;
+        use sim::Component;
+        for now in 0..window {
+            for (i, g) in gens.iter_mut().enumerate() {
+                g.tick(now, hc.port(i));
+            }
+            hc.tick(now);
+            cpu.tick(now, memory.ps_port_mut());
+            memory.tick(now, hc.mem_port());
+        }
+        PsProtectionPoint {
+            fpga_share,
+            max_outstanding: max_out,
+            ps_worst: cpu.latency().max().unwrap_or(0),
+            ps_mean: cpu.latency().mean().unwrap_or(0.0),
+        }
+    };
+    vec![run(None, 4), run(Some(60), 2), run(Some(20), 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: Cycle = 1_000_000;
+
+    #[test]
+    fn a1_interference_grows_with_granularity() {
+        let sweep = granularity_sweep(W);
+        assert_eq!(sweep.len(), 4);
+        let g1 = sweep[0].1;
+        let g8 = sweep[3].1;
+        assert!(
+            g8 > g1,
+            "worst case must grow with granularity: g1={g1} g8={g8}"
+        );
+    }
+
+    #[test]
+    fn a2_equalization_bounds_unfairness() {
+        let sweep = fairness_sweep(W);
+        for (burst, sc_ratio, hc_ratio) in sweep {
+            assert!(
+                hc_ratio < 1.5,
+                "HyperConnect unfair at burst {burst}: {hc_ratio}"
+            );
+            if burst >= 64 {
+                assert!(
+                    sc_ratio > 2.0,
+                    "SmartConnect should be unfair at burst {burst}: {sc_ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a3_achieved_tracks_guarantee() {
+        let sweep = reservation_sweep(2_000_000);
+        for p in &sweep {
+            assert!(
+                p.achieved_bytes as f64 >= 0.9 * p.guaranteed_bytes as f64,
+                "share {}: achieved {} below guarantee {}",
+                p.share,
+                p.achieved_bytes,
+                p.guaranteed_bytes
+            );
+        }
+        // Monotone in the share.
+        for w in sweep.windows(2) {
+            assert!(w[1].achieved_bytes > w[0].achieved_bytes);
+        }
+    }
+
+    #[test]
+    fn a4_latency_flat_area_linear() {
+        let sweep = scaling_sweep();
+        for p in &sweep {
+            assert_eq!(p.d_ar, 4, "AR latency must not grow with {} ports", p.ports);
+        }
+        assert!(sweep[4].lut > 4 * sweep[0].lut);
+    }
+
+    #[test]
+    fn a6_throttling_fpga_protects_ps() {
+        let sweep = ps_protection_sweep(500_000);
+        assert_eq!(sweep.len(), 3);
+        let unmanaged = sweep[0].ps_worst;
+        let tight = sweep[2].ps_worst;
+        assert!(
+            tight < unmanaged,
+            "tight FPGA budget must reduce PS worst case: {unmanaged} -> {tight}"
+        );
+        assert!(sweep[2].ps_mean < sweep[0].ps_mean);
+    }
+
+    #[test]
+    fn a5_simulation_within_bound() {
+        for p in worst_case_check(W) {
+            assert!(
+                p.observed_worst <= p.bound,
+                "N={}: observed {} exceeds bound {}",
+                p.ports,
+                p.observed_worst,
+                p.bound
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates Fig. 3(a): per-channel propagation latency.
+
+use bench::report::{improvement_percent, render_table};
+
+fn main() {
+    let f = bench::fig3a::run();
+    let rows: Vec<Vec<String>> = [
+        ("AR", f.hc.d_ar, f.sc.d_ar, 66.0),
+        ("AW", f.hc.d_aw, f.sc.d_aw, 66.0),
+        ("R", f.hc.d_r, f.sc.d_r, 82.0),
+        ("W", f.hc.d_w, f.sc.d_w, 33.0),
+        ("B", f.hc.d_b, f.sc.d_b, 0.0),
+    ]
+    .iter()
+    .map(|&(ch, hc, sc, paper)| {
+        vec![
+            ch.to_string(),
+            hc.to_string(),
+            sc.to_string(),
+            format!("{:.0}%", improvement_percent(sc as f64, hc as f64)),
+            format!("{paper:.0}%"),
+        ]
+    })
+    .collect();
+    println!("Fig. 3(a) — propagation latency per AXI channel (cycles)\n");
+    print!(
+        "{}",
+        render_table(
+            &["channel", "HyperConnect", "SmartConnect", "improvement", "paper"],
+            &rows
+        )
+    );
+    println!(
+        "\nread transaction (AR+R):   {} vs {} cycles ({:.0}% better; paper: 74%)",
+        f.hc.read_total(),
+        f.sc.read_total(),
+        improvement_percent(f.sc.read_total() as f64, f.hc.read_total() as f64)
+    );
+    println!(
+        "write transaction (AW+W+B): {} vs {} cycles ({:.0}% better; paper: 41%)",
+        f.hc.write_total(),
+        f.sc.write_total(),
+        improvement_percent(f.sc.write_total() as f64, f.hc.write_total() as f64)
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 4: isolation performance of CHaiDNN and `HA_DMA`.
+
+use bench::report::render_table;
+
+fn main() {
+    println!("Fig. 4 — performance in isolation (no contention)\n");
+    let rows: Vec<Vec<String>> = bench::fig4::run()
+        .iter()
+        .map(|row| {
+            vec![
+                row.name.to_string(),
+                format!("{:.1}", row.hc_rate),
+                format!("{:.1}", row.sc_rate),
+                format!("{:.3}", row.ratio()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["accelerator", "HyperConnect", "SmartConnect", "HC/SC"],
+            &rows
+        )
+    );
+    println!("\npaper: no performance degradation with the HyperConnect (ratio = 1).");
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table I: resource consumption on the ZCU102.
+
+use bench::report::render_table;
+
+fn main() {
+    println!("Table I — resource consumption (two-input instances, ZCU102)\n");
+    let rows: Vec<Vec<String>> = bench::table1::run()
+        .iter()
+        .map(|row| {
+            vec![
+                row.design.to_string(),
+                format!(
+                    "{} ({:.1}%)",
+                    row.modeled.lut,
+                    100.0 * row.modeled.lut_fraction()
+                ),
+                format!(
+                    "{} ({:.1}%)",
+                    row.modeled.ff,
+                    100.0 * row.modeled.ff_fraction()
+                ),
+                row.modeled.bram.to_string(),
+                row.modeled.dsp.to_string(),
+                format!("{} / {}", row.paper.lut, row.paper.ff),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["design", "LUT (274080)", "FF (548160)", "BRAM", "DSP", "paper LUT/FF"],
+            &rows
+        )
+    );
+    println!("\nmodeled by the analytical area model in `resources` (see DESIGN.md).");
+    // Per-module breakdown of the HyperConnect.
+    println!("\nHyperConnect per-module breakdown (raw structural counts):");
+    let report = resources::hyperconnect(resources::ModelParams::default());
+    for (module, r) in &report.breakdown {
+        println!("  {module:<16} {:>5} LUT  {:>5} FF", r.lut, r.ff);
+    }
+}

@@ -1,0 +1,221 @@
+//! Fig. 3(a): propagation latency introduced on each AXI channel.
+//!
+//! Paper reference (ZCU102): HyperConnect d_AR = d_AW = 4 cycles,
+//! d_R = d_W = d_B = 2 cycles; improvements over the SmartConnect of
+//! 66% (AR/AW), 82% (R), 33% (W) and 0% (B) — i.e. SmartConnect ≈ 12,
+//! 12, 11, 3, 2 cycles.
+//!
+//! Measurement mirrors the paper's FPGA timer: a beat is injected at a
+//! port boundary and the cycle of its appearance at the opposite
+//! boundary is recorded, on an otherwise idle interconnect (steady
+//! state for the data channels, whose routing is established by their
+//! address request).
+
+use axi::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+use axi::types::{AxiId, BurstSize};
+use axi::AxiInterconnect;
+use sim::Cycle;
+
+use crate::{make_interconnect, Design};
+
+/// Measured per-channel latencies, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelLatencies {
+    /// Read-address channel.
+    pub d_ar: Cycle,
+    /// Write-address channel.
+    pub d_aw: Cycle,
+    /// Read-data channel.
+    pub d_r: Cycle,
+    /// Write-data channel (steady state, routing established).
+    pub d_w: Cycle,
+    /// Write-response channel.
+    pub d_b: Cycle,
+}
+
+impl ChannelLatencies {
+    /// Total latency added to a read transaction (paper: d_AR + d_R).
+    pub fn read_total(&self) -> Cycle {
+        self.d_ar + self.d_r
+    }
+
+    /// Total latency added to a write transaction
+    /// (paper: d_AW + d_W + d_B).
+    pub fn write_total(&self) -> Cycle {
+        self.d_aw + self.d_w + self.d_b
+    }
+}
+
+const PROBE_LIMIT: Cycle = 200;
+
+fn tick_until<I: AxiInterconnect>(
+    ic: &mut I,
+    start: Cycle,
+    mut probe: impl FnMut(&mut I, Cycle) -> bool,
+) -> Cycle {
+    for now in start..start + PROBE_LIMIT {
+        ic.tick(now);
+        if probe(ic, now) {
+            return now;
+        }
+    }
+    panic!("probe not observed within {PROBE_LIMIT} cycles");
+}
+
+/// Measures all five channel latencies for a fresh instance of
+/// `design`.
+pub fn measure(design: Design) -> ChannelLatencies {
+    // d_AR: push at 0, observe at the master port.
+    let mut ic = make_interconnect(design);
+    ic.port(0)
+        .ar
+        .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    let d_ar = tick_until(&mut ic, 0, |ic, now| ic.mem_port().ar.has_ready(now));
+
+    // d_AW.
+    let mut ic = make_interconnect(design);
+    ic.port(0)
+        .aw
+        .push(0, AwBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    let d_aw = tick_until(&mut ic, 0, |ic, now| ic.mem_port().aw.has_ready(now));
+
+    // d_R: establish routing with a read, then inject the data beat at
+    // the master port and watch the slave port.
+    let mut ic = make_interconnect(design);
+    ic.port(0)
+        .ar
+        .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    let granted = tick_until(&mut ic, 0, |ic, now| {
+        ic.mem_port().ar.pop_ready(now).is_some()
+    });
+    let inject = granted + 1;
+    ic.mem_port()
+        .r
+        .push(inject, RBeat::new(AxiId(0), vec![0; 4], true))
+        .unwrap();
+    let seen = tick_until(&mut ic, inject, |ic, now| ic.port(0).r.has_ready(now));
+    let d_r = seen - inject;
+
+    // d_W: issue a 2-beat write, let the first beat establish routing,
+    // then measure a fresh beat in steady state.
+    let mut ic = make_interconnect(design);
+    ic.port(0)
+        .aw
+        .push(0, AwBeat::new(0x100, 2, BurstSize::B4))
+        .unwrap();
+    ic.port(0)
+        .w
+        .push(0, WBeat::new(vec![0; 4], false))
+        .unwrap();
+    let first = tick_until(&mut ic, 0, |ic, now| {
+        ic.mem_port().w.pop_ready(now).is_some()
+    });
+    let inject = first + 1;
+    ic.port(0)
+        .w
+        .push(inject, WBeat::new(vec![0; 4], true))
+        .unwrap();
+    let seen = tick_until(&mut ic, inject, |ic, now| ic.mem_port().w.has_ready(now));
+    let d_w = seen - inject;
+
+    // d_B: complete the write's routing, then inject the response.
+    let mut ic = make_interconnect(design);
+    ic.port(0)
+        .aw
+        .push(0, AwBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    ic.port(0).w.push(0, WBeat::new(vec![0; 4], true)).unwrap();
+    let drained = tick_until(&mut ic, 0, |ic, now| {
+        ic.mem_port().aw.pop_ready(now);
+        ic.mem_port().w.pop_ready(now).is_some()
+    });
+    let inject = drained + 1;
+    ic.mem_port()
+        .b
+        .push(inject, BBeat::new(AxiId(0)))
+        .unwrap();
+    let seen = tick_until(&mut ic, inject, |ic, now| ic.port(0).b.has_ready(now));
+    let d_b = seen - inject;
+
+    ChannelLatencies {
+        d_ar,
+        d_aw,
+        d_r,
+        d_w,
+        d_b,
+    }
+}
+
+/// The complete Fig. 3(a) dataset: both designs plus improvements.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3a {
+    /// HyperConnect latencies.
+    pub hc: ChannelLatencies,
+    /// SmartConnect latencies.
+    pub sc: ChannelLatencies,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig3a {
+    Fig3a {
+        hc: measure(Design::HyperConnect),
+        sc: measure(Design::SmartConnect),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperconnect_matches_paper_constants() {
+        let hc = measure(Design::HyperConnect);
+        assert_eq!(
+            hc,
+            ChannelLatencies {
+                d_ar: 4,
+                d_aw: 4,
+                d_r: 2,
+                d_w: 2,
+                d_b: 2
+            }
+        );
+        assert_eq!(hc.read_total(), 6);
+        assert_eq!(hc.write_total(), 8);
+    }
+
+    #[test]
+    fn smartconnect_matches_calibration() {
+        let sc = measure(Design::SmartConnect);
+        assert_eq!(
+            sc,
+            ChannelLatencies {
+                d_ar: 12,
+                d_aw: 12,
+                d_r: 11,
+                d_w: 3,
+                d_b: 2
+            }
+        );
+    }
+
+    #[test]
+    fn improvements_match_paper_shape() {
+        let f = run();
+        let imp = |b: Cycle, n: Cycle| 100.0 * (b - n) as f64 / b as f64;
+        // Paper: 66% AR/AW, 82% R, 33% W, 0% B.
+        assert!((imp(f.sc.d_ar, f.hc.d_ar) - 66.7).abs() < 1.0);
+        assert!((imp(f.sc.d_r, f.hc.d_r) - 81.8).abs() < 1.0);
+        assert!((imp(f.sc.d_w, f.hc.d_w) - 33.3).abs() < 1.0);
+        assert_eq!(f.sc.d_b, f.hc.d_b);
+        // Paper: 74% per read transaction, 41% per write. (The paper's
+        // own per-channel numbers give ~53% for writes; we assert the
+        // direction and a generous band around both.)
+        assert!((imp(f.sc.read_total(), f.hc.read_total()) - 74.0).abs() < 1.0);
+        let w_imp = imp(f.sc.write_total(), f.hc.write_total());
+        assert!((35.0..60.0).contains(&w_imp), "{w_imp}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Renders a fixed-width table: a header row plus data rows. Column
+/// widths adapt to the longest cell.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Percentage improvement of `new` over `baseline` (positive = new is
+/// smaller/faster), as the paper reports latency improvements.
+pub fn improvement_percent(baseline: f64, new: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    100.0 * (baseline - new) / baseline
+}
+
+/// Formats a byte count with a binary-prefix unit.
+pub fn human_bytes(bytes: u64) -> String {
+    match bytes {
+        b if b >= 1 << 20 => format!("{} MiB", b >> 20),
+        b if b >= 1 << 10 => format!("{} KiB", b >> 10),
+        b => format!("{b} B"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+        // Columns aligned: "value" header starts where "22" starts.
+        let header_col = lines[0].find("value").unwrap();
+        let cell_col = lines[3].find("22").unwrap();
+        assert_eq!(header_col, cell_col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert_eq!(improvement_percent(12.0, 4.0), 66.66666666666667);
+        assert_eq!(improvement_percent(0.0, 4.0), 0.0);
+        assert!(improvement_percent(4.0, 12.0) < 0.0);
+    }
+
+    #[test]
+    fn byte_units() {
+        assert_eq!(human_bytes(4), "4 B");
+        assert_eq!(human_bytes(64), "64 B");
+        assert_eq!(human_bytes(16 << 10), "16 KiB");
+        assert_eq!(human_bytes(4 << 20), "4 MiB");
+    }
+}

@@ -1,0 +1,282 @@
+//! Closed-form worst-case bounds for the HyperConnect.
+//!
+//! The paper argues the HyperConnect's slim, open architecture makes it
+//! "prone to worst-case timing analysis" (§V-B) without carrying out the
+//! analysis for lack of space. This module provides that analysis for
+//! the modeled microarchitecture, and the property/integration tests
+//! verify that simulation never exceeds these bounds.
+//!
+//! All bounds are in fabric clock cycles and assume the in-order memory
+//! model of the workspace's `mem` crate: a burst of `L` beats occupies
+//! the memory data path for `L` cycles after a fixed first-word
+//! latency.
+
+/// Fixed per-channel propagation latencies of the HyperConnect
+/// (paper Fig. 3a).
+pub mod propagation {
+    /// Read-address channel: slave eFIFO + TS + EXBAR + master eFIFO.
+    pub const D_AR: u64 = 4;
+    /// Write-address channel.
+    pub const D_AW: u64 = 4;
+    /// Read-data channel: slave eFIFO + master eFIFO (proactive TS and
+    /// EXBAR add no latency).
+    pub const D_R: u64 = 2;
+    /// Write-data channel.
+    pub const D_W: u64 = 2;
+    /// Write-response channel.
+    pub const D_B: u64 = 2;
+
+    /// Total interconnect latency on a read transaction.
+    pub const READ_TOTAL: u64 = D_AR + D_R;
+    /// Total interconnect latency on a write transaction.
+    pub const WRITE_TOTAL: u64 = D_AW + D_W + D_B;
+}
+
+/// Parameters of a worst-case service analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Number of slave ports (`N`).
+    pub num_ports: usize,
+    /// Nominal burst length in beats (equalized transaction size).
+    pub nominal_beats: u32,
+    /// Memory first-word latency in cycles.
+    pub mem_latency: u64,
+    /// Memory write-response latency in cycles (last data beat
+    /// committed to B response).
+    pub write_resp_latency: u64,
+    /// Round-robin granularity (1 for the EXBAR; `g` for interconnects
+    /// with variable granularity such as the SmartConnect).
+    pub rr_granularity: u32,
+    /// Per-port outstanding sub-transaction limit (`MAX_OUT` register,
+    /// reset value 4): bounds how many interfering transactions can be
+    /// queued downstream of the arbiter per port.
+    pub max_outstanding: u32,
+}
+
+impl ServiceModel {
+    /// The HyperConnect's service model for `num_ports` ports with the
+    /// reset-value outstanding limit.
+    pub fn hyperconnect(num_ports: usize, nominal_beats: u32, mem_latency: u64) -> Self {
+        Self {
+            num_ports,
+            nominal_beats,
+            mem_latency,
+            write_resp_latency: 4,
+            rr_granularity: 1,
+            max_outstanding: 4,
+        }
+    }
+
+    /// Overrides the per-port outstanding limit.
+    pub fn max_outstanding(mut self, k: u32) -> Self {
+        self.max_outstanding = k.max(1);
+        self
+    }
+
+    /// Worst-case cycles for the memory to serve one equalized
+    /// transaction once granted: its data-path occupancy. The fixed
+    /// first-word latency is pipelined across back-to-back transactions,
+    /// so it appears once per *busy interval*, not per transaction; for
+    /// a per-transaction bound it is included.
+    pub fn service_time(&self) -> u64 {
+        self.mem_latency + self.nominal_beats as u64
+    }
+
+    /// Data-path occupancy of one equalized transaction in steady
+    /// state (latency hidden by pipelining).
+    pub fn occupancy(&self) -> u64 {
+        self.nominal_beats as u64
+    }
+
+    /// Worst-case number of *interfering transactions* granted between
+    /// two consecutive grants of one port: `g × (N − 1)` (paper §V-B) —
+    /// with the EXBAR's fixed granularity of one this is `N − 1`.
+    pub fn max_interfering_txns(&self) -> u64 {
+        self.rr_granularity as u64 * (self.num_ports as u64 - 1)
+    }
+
+    /// Worst-case number of interfering transactions *in flight* ahead
+    /// of a newly arrived request: every other port can hold its full
+    /// outstanding allowance queued downstream of the arbiter.
+    ///
+    /// `max_outstanding` here is the per-port limit of in-flight
+    /// equalized transactions *on the shared data path in the analyzed
+    /// direction*. Ports that interfere on both directions at once can
+    /// queue up to `2 × MAX_OUT`; pass the doubled value for a bound
+    /// that is sound under mixed read/write interference.
+    pub fn max_interfering_in_flight(&self) -> u64 {
+        self.max_interfering_txns() * self.max_outstanding as u64
+    }
+
+    /// Worst-case cycles from a sub-transaction reaching its TS stage
+    /// to its final data beat, assuming every other port is backlogged:
+    /// all in-flight interference drains, then the request is served,
+    /// plus the interconnect propagation.
+    pub fn worst_case_read_latency(&self) -> u64 {
+        let interference = self.max_interfering_in_flight() * self.occupancy();
+        interference + self.service_time() + propagation::READ_TOTAL
+    }
+
+    /// Worst-case cycles for a full (unequalized) read of `total_beats`
+    /// beats issued with an own outstanding window of one: each of its
+    /// sub-transactions can suffer one full interference round.
+    pub fn worst_case_read_burst_latency(&self, total_beats: u32) -> u64 {
+        let subs = total_beats.div_ceil(self.nominal_beats) as u64;
+        let per_round = (self.max_interfering_in_flight() + 1) * self.occupancy();
+        // Each sub waits one full round in the worst case; latency and
+        // propagation are paid once (pipelined thereafter).
+        subs * per_round + self.mem_latency + propagation::READ_TOTAL
+    }
+
+    /// Worst-case cycles from a write sub-transaction reaching its TS
+    /// stage to its (merged) B response. Unlike a read — whose data
+    /// transfer *is* its memory service — a write pays its own W-stream
+    /// transfer on the shared W channel (it may only start after the
+    /// grant, serialized behind interfering writes), then the memory
+    /// service, then the B-response latency.
+    pub fn worst_case_write_latency(&self) -> u64 {
+        let interference = self.max_interfering_in_flight() * self.occupancy();
+        interference
+            + self.occupancy() // own W-stream transfer
+            + self.service_time()
+            + self.write_resp_latency
+            + propagation::WRITE_TOTAL
+    }
+
+    /// Minimum bytes per period guaranteed to a port with budget `b`
+    /// sub-transactions per period of `t` cycles, with `bytes_per_beat`
+    /// wide data beats — the reservation guarantee of Pagani et al.
+    /// (ECRTS 2019), assuming the
+    /// port is backlogged and the schedule is feasible (total budgets'
+    /// occupancy fits in the period).
+    pub fn guaranteed_bytes_per_period(&self, budget: u32, bytes_per_beat: u64) -> u64 {
+        budget as u64 * self.nominal_beats as u64 * bytes_per_beat
+    }
+
+    /// Whether a set of per-port budgets is feasible within a period of
+    /// `t` cycles: total data-path occupancy (plus one pipeline fill)
+    /// must fit.
+    pub fn budgets_feasible(&self, budgets: &[u32], period: u64) -> bool {
+        let total: u64 = budgets
+            .iter()
+            .map(|&b| b as u64 * self.occupancy())
+            .sum();
+        total + self.mem_latency <= period
+    }
+}
+
+/// Splits a total bandwidth capacity (in equalized transactions per
+/// period) into per-port budgets according to percentage shares,
+/// flooring each share — the translation the hypervisor driver performs
+/// for the paper's `HC-X-Y` configurations.
+///
+/// # Panics
+///
+/// Panics if the shares do not sum to 100 or the lengths mismatch.
+pub fn budgets_from_shares(capacity_txns: u32, shares_percent: &[u32]) -> Vec<u32> {
+    let sum: u32 = shares_percent.iter().sum();
+    assert_eq!(sum, 100, "shares must sum to 100 percent");
+    shares_percent
+        .iter()
+        .map(|&s| capacity_txns * s / 100)
+        .collect()
+}
+
+/// Transactions-per-period capacity of the memory path for a given
+/// period, nominal burst and memory model: how many equalized
+/// transactions fit in one reservation period.
+pub fn period_capacity_txns(period: u64, nominal_beats: u32, mem_latency: u64) -> u32 {
+    (period.saturating_sub(mem_latency) / nominal_beats as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_constants_match_paper() {
+        assert_eq!(propagation::D_AR, 4);
+        assert_eq!(propagation::D_AW, 4);
+        assert_eq!(propagation::D_R, 2);
+        assert_eq!(propagation::D_W, 2);
+        assert_eq!(propagation::D_B, 2);
+        assert_eq!(propagation::READ_TOTAL, 6);
+        assert_eq!(propagation::WRITE_TOTAL, 8);
+    }
+
+    #[test]
+    fn interference_scales_with_ports_and_granularity() {
+        let hc = ServiceModel::hyperconnect(4, 16, 22);
+        assert_eq!(hc.max_interfering_txns(), 3);
+        assert_eq!(hc.max_interfering_in_flight(), 12);
+        let sc = ServiceModel {
+            rr_granularity: 4,
+            ..hc
+        };
+        assert_eq!(sc.max_interfering_txns(), 12);
+        assert!(sc.worst_case_read_latency() > hc.worst_case_read_latency());
+    }
+
+    #[test]
+    fn worst_case_single_txn() {
+        let m = ServiceModel::hyperconnect(2, 16, 22);
+        // 1 port * 4 outstanding interfering txns * 16 + (22 + 16) + 6.
+        assert_eq!(m.worst_case_read_latency(), 4 * 16 + 38 + 6);
+        // Tightening the outstanding limit tightens the bound.
+        let tight = m.max_outstanding(1);
+        assert_eq!(tight.worst_case_read_latency(), 16 + 38 + 6);
+    }
+
+    #[test]
+    fn burst_bound_grows_with_subs() {
+        let m = ServiceModel::hyperconnect(2, 16, 22).max_outstanding(1);
+        let one = m.worst_case_read_burst_latency(16);
+        let four = m.worst_case_read_burst_latency(64);
+        assert!(four > one);
+        assert_eq!(four - one, 3 * 2 * 16); // 3 more subs * round of 2 txns * 16
+    }
+
+    #[test]
+    fn write_bound_exceeds_read_bound() {
+        let m = ServiceModel::hyperconnect(2, 16, 22);
+        // Writes additionally pay their own W transfer, the B-response
+        // latency and the longer propagation path.
+        assert_eq!(
+            m.worst_case_write_latency() - m.worst_case_read_latency(),
+            m.occupancy()
+                + m.write_resp_latency
+                + (propagation::WRITE_TOTAL - propagation::READ_TOTAL)
+        );
+    }
+
+    #[test]
+    fn budget_shares() {
+        let budgets = budgets_from_shares(1000, &[90, 10]);
+        assert_eq!(budgets, vec![900, 100]);
+        let budgets = budgets_from_shares(33, &[50, 50]);
+        assert_eq!(budgets, vec![16, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn shares_must_sum_to_100() {
+        let _ = budgets_from_shares(10, &[60, 60]);
+    }
+
+    #[test]
+    fn capacity_and_feasibility() {
+        let cap = period_capacity_txns(65_536, 16, 22);
+        assert_eq!(cap, (65_536 - 22) / 16);
+        let m = ServiceModel::hyperconnect(2, 16, 22);
+        let budgets = budgets_from_shares(cap, &[70, 30]);
+        assert!(m.budgets_feasible(&budgets, 65_536));
+        assert!(!m.budgets_feasible(&[u32::MAX / 32, 0], 65_536));
+    }
+
+    #[test]
+    fn guaranteed_bandwidth() {
+        let m = ServiceModel::hyperconnect(2, 16, 22);
+        // 100 txns * 16 beats * 16 bytes.
+        assert_eq!(m.guaranteed_bytes_per_period(100, 16), 25_600);
+    }
+}

@@ -1,0 +1,123 @@
+//! The central unit: synchronous reservation-period management.
+//!
+//! Paper §V-B: "the reservation period is recharged for all the TS
+//! modules by the central unit in a synchronous manner". Every `PERIOD`
+//! cycles the central unit reloads each port's budget counter from the
+//! register file and clears the per-period transaction counters.
+
+use sim::Cycle;
+
+use crate::regfile::RegFile;
+use crate::supervisor::TransactionSupervisor;
+
+/// Periodic budget-recharge logic shared by all TS modules.
+#[derive(Debug, Clone, Copy)]
+pub struct CentralUnit {
+    next_boundary: Cycle,
+    periods_elapsed: u64,
+}
+
+impl CentralUnit {
+    /// Creates a central unit that recharges immediately on the first
+    /// tick (cycle 0 starts the first reservation period).
+    pub fn new() -> Self {
+        Self {
+            next_boundary: 0,
+            periods_elapsed: 0,
+        }
+    }
+
+    /// Number of completed recharges (period boundaries crossed).
+    pub fn periods_elapsed(&self) -> u64 {
+        self.periods_elapsed
+    }
+
+    /// Cycle of the next period boundary.
+    pub fn next_boundary(&self) -> Cycle {
+        self.next_boundary
+    }
+
+    /// Recharges all budgets if a period boundary has been reached.
+    /// Returns `true` when a recharge happened.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        regfile: &mut RegFile,
+        supervisors: &mut [TransactionSupervisor],
+    ) -> bool {
+        if now < self.next_boundary {
+            return false;
+        }
+        for (i, ts) in supervisors.iter_mut().enumerate() {
+            ts.recharge(regfile.port(i).budget);
+        }
+        regfile.recharge();
+        self.periods_elapsed += 1;
+        self.next_boundary = now + regfile.period() as Cycle;
+        true
+    }
+}
+
+impl Default for CentralUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_tick_recharges() {
+        let mut cu = CentralUnit::new();
+        let mut rf = RegFile::new(2);
+        rf.set_budget(0, 5);
+        let mut ts = vec![
+            TransactionSupervisor::new(8),
+            TransactionSupervisor::new(8),
+        ];
+        assert!(cu.tick(0, &mut rf, &mut ts));
+        assert_eq!(ts[0].budget_left(), Some(5));
+        assert_eq!(ts[1].budget_left(), None); // unlimited
+        assert_eq!(cu.periods_elapsed(), 1);
+        assert_eq!(cu.next_boundary(), rf.period() as u64);
+    }
+
+    #[test]
+    fn recharge_happens_exactly_at_period() {
+        let mut cu = CentralUnit::new();
+        let mut rf = RegFile::new(1);
+        rf.set_period(100);
+        rf.set_budget(0, 3);
+        let mut ts = vec![TransactionSupervisor::new(8)];
+        cu.tick(0, &mut rf, &mut ts);
+        for now in 1..100 {
+            assert!(!cu.tick(now, &mut rf, &mut ts), "cycle {now}");
+        }
+        assert!(cu.tick(100, &mut rf, &mut ts));
+        assert_eq!(cu.periods_elapsed(), 2);
+    }
+
+    #[test]
+    fn period_change_applies_at_next_boundary() {
+        let mut cu = CentralUnit::new();
+        let mut rf = RegFile::new(1);
+        rf.set_period(10);
+        let mut ts = vec![TransactionSupervisor::new(8)];
+        cu.tick(0, &mut rf, &mut ts);
+        rf.set_period(50); // runtime reconfiguration
+        assert!(cu.tick(10, &mut rf, &mut ts));
+        assert_eq!(cu.next_boundary(), 60);
+    }
+
+    #[test]
+    fn recharge_clears_regfile_period_counters() {
+        let mut cu = CentralUnit::new();
+        let mut rf = RegFile::new(1);
+        rf.port_mut(0).txn_this_period = 7;
+        let mut ts = vec![TransactionSupervisor::new(8)];
+        cu.tick(0, &mut rf, &mut ts);
+        assert_eq!(rf.port(0).txn_this_period, 0);
+    }
+}

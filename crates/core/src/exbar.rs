@@ -1,0 +1,491 @@
+//! The EXBAR: a low-latency crossbar with fixed-granularity round-robin
+//! arbitration and proactive response routing.
+//!
+//! Paper §V-B: the EXBAR resolves conflicts among the read/write address
+//! requests propagated by the TS modules, using round-robin with a
+//! *fixed granularity of one transaction per TS module per round* —
+//! unlike the SmartConnect, whose variable granularity lets a port
+//! interfere with another for up to `g × (N − 1)` transactions. The
+//! EXBAR records grant order as *routing information* in circular
+//! buffers and uses it to route the R, W and B channels proactively,
+//! adding one cycle of latency per address request and none on the data
+//! and response channels.
+
+use std::collections::VecDeque;
+
+use axi::beat::{ArBeat, AwBeat};
+use axi::routing::{RouteEntry, RouteQueue};
+use axi::AxiPort;
+use sim::{Cycle, TimedFifo};
+
+use crate::config::ArbitrationPolicy;
+use crate::efifo::EFifo;
+use crate::supervisor::TransactionSupervisor;
+
+/// Per-port grant counters (for fairness analysis).
+#[derive(Debug, Clone, Default)]
+pub struct ExbarStats {
+    /// Read-address grants per port.
+    pub ar_grants: Vec<u64>,
+    /// Write-address grants per port.
+    pub aw_grants: Vec<u64>,
+}
+
+/// The crossbar connecting N Transaction Supervisors to the master port.
+#[derive(Debug)]
+pub struct Exbar {
+    policy: ArbitrationPolicy,
+    ar_rr: usize,
+    aw_rr: usize,
+    /// The crossbar's one-cycle output register for read requests.
+    ar_stage: TimedFifo<ArBeat>,
+    /// The crossbar's one-cycle output register for write requests.
+    aw_stage: TimedFifo<AwBeat>,
+    /// Grant order of reads — routes R beats back to ports.
+    read_routes: RouteQueue,
+    /// Grant order of writes — routes B responses back to ports.
+    b_routes: RouteQueue,
+    /// Grant order of writes — which port supplies the next W beats.
+    w_routes: VecDeque<usize>,
+    stats: ExbarStats,
+}
+
+impl Exbar {
+    /// Creates an EXBAR for `num_ports` inputs with routing buffers of
+    /// `routing_depth` outstanding transactions.
+    pub fn new(num_ports: usize, routing_depth: usize) -> Self {
+        Self::with_policy(num_ports, routing_depth, ArbitrationPolicy::RoundRobin)
+    }
+
+    /// Creates an EXBAR with an explicit arbitration policy.
+    pub fn with_policy(
+        num_ports: usize,
+        routing_depth: usize,
+        policy: ArbitrationPolicy,
+    ) -> Self {
+        Self {
+            policy,
+            ar_rr: 0,
+            aw_rr: 0,
+            ar_stage: TimedFifo::new(2, 1),
+            aw_stage: TimedFifo::new(2, 1),
+            read_routes: RouteQueue::new(routing_depth),
+            b_routes: RouteQueue::new(routing_depth),
+            w_routes: VecDeque::new(),
+            stats: ExbarStats {
+                ar_grants: vec![0; num_ports],
+                aw_grants: vec![0; num_ports],
+            },
+        }
+    }
+
+    /// Grant counters.
+    pub fn stats(&self) -> &ExbarStats {
+        &self.stats
+    }
+
+    /// Whether the EXBAR holds no in-flight state.
+    pub fn is_idle(&self) -> bool {
+        self.ar_stage.is_empty()
+            && self.aw_stage.is_empty()
+            && self.read_routes.is_empty()
+            && self.b_routes.is_empty()
+            && self.w_routes.is_empty()
+    }
+
+    /// Round-robin scan starting *after* the last granted port —
+    /// granularity is fixed at one transaction per grant.
+    fn rr_pick<F>(start: usize, n: usize, mut ready: F) -> Option<usize>
+    where
+        F: FnMut(usize) -> bool,
+    {
+        (1..=n).map(|k| (start + k) % n).find(|&p| ready(p))
+    }
+
+    /// Picks the next port to grant according to the configured policy.
+    fn pick<F>(&self, start: usize, n: usize, mut ready: F) -> Option<usize>
+    where
+        F: FnMut(usize) -> bool,
+    {
+        match self.policy {
+            ArbitrationPolicy::RoundRobin => Self::rr_pick(start, n, ready),
+            ArbitrationPolicy::FixedPriority => (0..n).find(|&p| ready(p)),
+        }
+    }
+
+    /// Arbitrates one read request among the TS stages. Returns `true`
+    /// if a grant happened.
+    pub fn arbitrate_ar(&mut self, now: Cycle, ts: &mut [TransactionSupervisor]) -> bool {
+        if self.ar_stage.is_full() || self.read_routes.is_full() {
+            return false;
+        }
+        let n = ts.len();
+        let Some(port) = self.pick(self.ar_rr, n, |p| ts[p].ar_stage.has_ready(now)) else {
+            return false;
+        };
+        let sub = ts[port].ar_stage.pop_ready(now).expect("checked ready");
+        self.read_routes
+            .push(RouteEntry {
+                port,
+                final_sub: sub.final_sub,
+                tag: sub.beat.tag,
+            })
+            .expect("checked space");
+        self.ar_stage.push(now, sub.beat).expect("checked space");
+        self.ar_rr = port;
+        self.stats.ar_grants[port] += 1;
+        true
+    }
+
+    /// Arbitrates one write request among the TS stages. Returns `true`
+    /// if a grant happened.
+    pub fn arbitrate_aw(&mut self, now: Cycle, ts: &mut [TransactionSupervisor]) -> bool {
+        if self.aw_stage.is_full() || self.b_routes.is_full() {
+            return false;
+        }
+        let n = ts.len();
+        let Some(port) = self.pick(self.aw_rr, n, |p| ts[p].aw_stage.has_ready(now)) else {
+            return false;
+        };
+        let sub = ts[port].aw_stage.pop_ready(now).expect("checked ready");
+        self.b_routes
+            .push(RouteEntry {
+                port,
+                final_sub: sub.final_sub,
+                tag: sub.beat.tag,
+            })
+            .expect("checked space");
+        self.w_routes.push_back(port);
+        self.aw_stage.push(now, sub.beat).expect("checked space");
+        self.aw_rr = port;
+        self.stats.aw_grants[port] += 1;
+        true
+    }
+
+    /// Moves granted requests from the crossbar registers into the
+    /// master eFIFO. Returns `true` on any movement.
+    pub fn move_to_mem(&mut self, now: Cycle, mem_port: &mut AxiPort) -> bool {
+        let mut progress = false;
+        if self.ar_stage.has_ready(now) && !mem_port.ar.is_full() {
+            let beat = self.ar_stage.pop_ready(now).expect("checked ready");
+            mem_port.ar.push(now, beat).expect("checked space");
+            progress = true;
+        }
+        if self.aw_stage.has_ready(now) && !mem_port.aw.is_full() {
+            let beat = self.aw_stage.pop_ready(now).expect("checked ready");
+            mem_port.aw.push(now, beat).expect("checked space");
+            progress = true;
+        }
+        progress
+    }
+
+    /// Moves one write-data beat from the port at the head of the W
+    /// routing order into the master eFIFO (proactive: the stored grant
+    /// order fully determines the source port). Returns `true` on
+    /// movement.
+    pub fn move_w(
+        &mut self,
+        now: Cycle,
+        ts: &mut [TransactionSupervisor],
+        mem_port: &mut AxiPort,
+    ) -> bool {
+        let Some(&port) = self.w_routes.front() else {
+            return false;
+        };
+        if mem_port.w.is_full() || !ts[port].w_stage.has_ready(now) {
+            return false;
+        }
+        let beat = ts[port].w_stage.pop_ready(now).expect("checked ready");
+        let last = beat.last;
+        mem_port.w.push(now, beat).expect("checked space");
+        if last {
+            self.w_routes.pop_front();
+        }
+        true
+    }
+
+    /// Routes one read-data beat from the master eFIFO back to the port
+    /// recorded at the head of the read routing order. Returns `true` on
+    /// movement.
+    pub fn route_r(
+        &mut self,
+        now: Cycle,
+        ts: &mut [TransactionSupervisor],
+        efifos: &mut [EFifo],
+        mem_port: &mut AxiPort,
+    ) -> bool {
+        if !mem_port.r.has_ready(now) {
+            return false;
+        }
+        let Some(route) = self.read_routes.head().copied() else {
+            // A data beat with no routing record would be a model bug;
+            // surface it loudly rather than silently dropping data.
+            panic!("R beat arrived with empty routing information");
+        };
+        if !efifos[route.port].can_push_r() {
+            return false;
+        }
+        let beat = mem_port.r.pop_ready(now).expect("checked ready");
+        let sub_end = ts[route.port].deliver_r(now, beat, route.final_sub, &mut efifos[route.port]);
+        if sub_end {
+            self.read_routes.pop();
+        }
+        true
+    }
+
+    /// Routes one write response from the master eFIFO back to the port
+    /// recorded at the head of the B routing order. Returns `true` on
+    /// movement.
+    pub fn route_b(
+        &mut self,
+        now: Cycle,
+        ts: &mut [TransactionSupervisor],
+        efifos: &mut [EFifo],
+        mem_port: &mut AxiPort,
+    ) -> bool {
+        if !mem_port.b.has_ready(now) {
+            return false;
+        }
+        let Some(route) = self.b_routes.head().copied() else {
+            panic!("B response arrived with empty routing information");
+        };
+        if !efifos[route.port].can_push_b() {
+            return false;
+        }
+        let beat = mem_port.b.pop_ready(now).expect("checked ready");
+        ts[route.port].deliver_b(now, beat, route.final_sub, &mut efifos[route.port]);
+        self.b_routes.pop();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::TsRuntime;
+    use axi::types::BurstSize;
+    use axi::{ArBeat, PortConfig};
+
+    fn rt() -> TsRuntime {
+        TsRuntime {
+            nominal: 16,
+            max_outstanding: 8,
+            enabled: true,
+        }
+    }
+
+    fn setup(n: usize) -> (Exbar, Vec<TransactionSupervisor>, Vec<EFifo>, AxiPort) {
+        let exbar = Exbar::new(n, 32);
+        let ts = (0..n).map(|_| TransactionSupervisor::new(32)).collect();
+        let efifos = (0..n).map(|_| EFifo::new(4, 32, 4)).collect();
+        let mem_port = AxiPort::new(PortConfig::registered());
+        (exbar, ts, efifos, mem_port)
+    }
+
+    /// Stages a sub-AR on a TS by pushing through its eFIFO and running
+    /// ingest/issue until the stage holds it.
+    fn stage_ar(ts: &mut TransactionSupervisor, ef: &mut EFifo, now: Cycle, addr: u64) {
+        ef.port
+            .ar
+            .push(now.saturating_sub(1), ArBeat::new(addr, 1, BurstSize::B4))
+            .unwrap();
+        ts.ingest(now, ef, rt());
+        ts.issue(now, rt());
+    }
+
+    #[test]
+    fn round_robin_alternates_between_ports() {
+        let (mut exbar, mut ts, mut efifos, _mem) = setup(2);
+        // Fill both TS stages repeatedly and observe alternating grants.
+        let mut grants = Vec::new();
+        for now in 1..20 {
+            for p in 0..2 {
+                if ts[p].ar_stage.is_empty() {
+                    stage_ar(&mut ts[p], &mut efifos[p], now, (p as u64) * 0x1000);
+                }
+            }
+            if exbar.arbitrate_ar(now + 1, &mut ts) {
+                // Who was granted? The rr pointer tracks it.
+                grants.push(exbar.ar_rr);
+            }
+            // Drain the crossbar register so arbitration can continue.
+            exbar.ar_stage.pop_ready(now + 2);
+        }
+        assert!(grants.len() >= 4);
+        for pair in grants.windows(2) {
+            assert_ne!(pair[0], pair[1], "granularity-1 RR must alternate");
+        }
+    }
+
+    #[test]
+    fn grants_recorded_in_routing_order() {
+        let (mut exbar, mut ts, mut efifos, mut mem) = setup(2);
+        stage_ar(&mut ts[0], &mut efifos[0], 1, 0x0);
+        stage_ar(&mut ts[1], &mut efifos[1], 1, 0x1000);
+        // Both stages ready at cycle 2.
+        assert!(exbar.arbitrate_ar(2, &mut ts));
+        assert!(exbar.arbitrate_ar(3, &mut ts));
+        assert!(!exbar.arbitrate_ar(4, &mut ts)); // nothing left
+        // Routing order matches grant order.
+        let first = exbar.read_routes.head().unwrap().port;
+        exbar.move_to_mem(3, &mut mem);
+        exbar.move_to_mem(4, &mut mem);
+        let ar1 = mem.ar.pop_ready(5).unwrap();
+        assert_eq!(
+            first == 0,
+            ar1.addr == 0,
+            "first routed port matches first memory request"
+        );
+    }
+
+    #[test]
+    fn exbar_latency_one_cycle_per_request() {
+        let (mut exbar, mut ts, mut efifos, mut mem) = setup(1);
+        stage_ar(&mut ts[0], &mut efifos[0], 1, 0x40);
+        assert!(exbar.arbitrate_ar(2, &mut ts));
+        // Granted at 2, in the crossbar register until 3.
+        assert!(!exbar.move_to_mem(2, &mut mem));
+        assert!(exbar.move_to_mem(3, &mut mem));
+        // Master eFIFO adds its own cycle.
+        assert!(mem.ar.pop_ready(3).is_none());
+        assert!(mem.ar.pop_ready(4).is_some());
+    }
+
+    #[test]
+    fn w_beats_follow_aw_grant_order() {
+        let (mut exbar, mut ts, mut efifos, mut mem) = setup(2);
+        // Port 1 writes first, then port 0; W beats must come out in
+        // that order even if port 0's data is staged earlier.
+        for (port, when) in [(1usize, 1u64), (0, 3)] {
+            efifos[port]
+                .port
+                .aw
+                .push(when - 1, axi::AwBeat::new(port as u64 * 0x100, 1, BurstSize::B4))
+                .unwrap();
+            efifos[port]
+                .port
+                .w
+                .push(when - 1, axi::WBeat::new(vec![port as u8; 4], true))
+                .unwrap();
+            ts[port].ingest(when, &mut efifos[port], rt());
+            ts[port].issue(when, rt());
+        }
+        assert!(exbar.arbitrate_aw(2, &mut ts)); // port 1 granted first
+        assert!(exbar.arbitrate_aw(4, &mut ts)); // then port 0
+        let mut data = Vec::new();
+        for now in 2..12 {
+            exbar.move_w(now, &mut ts, &mut mem);
+            if let Some(w) = mem.w.pop_ready(now) {
+                data.push(w.data[0]);
+            }
+        }
+        assert_eq!(data, vec![1, 0]);
+    }
+
+    #[test]
+    fn route_r_respects_backpressure_without_loss() {
+        let (mut exbar, mut ts, mut efifos, mut mem) = setup(1);
+        // Tiny R queue on the eFIFO.
+        efifos[0] = EFifo::new(4, 1, 4);
+        exbar
+            .read_routes
+            .push(RouteEntry {
+                port: 0,
+                final_sub: true,
+                tag: 0,
+            })
+            .unwrap();
+        let beat = axi::RBeat::new(axi::types::AxiId(0), vec![0; 4], false);
+        mem.r.push(0, beat.clone()).unwrap();
+        mem.r.push(0, beat.clone()).unwrap();
+        assert!(exbar.route_r(1, &mut ts, &mut efifos, &mut mem));
+        // Second beat blocked: the eFIFO R queue (capacity 1) is full.
+        assert!(!exbar.route_r(1, &mut ts, &mut efifos, &mut mem));
+        assert_eq!(mem.r.len(), 1);
+        // Draining the eFIFO unblocks routing.
+        efifos[0].port.r.pop_ready(2).unwrap();
+        assert!(exbar.route_r(2, &mut ts, &mut efifos, &mut mem));
+    }
+
+    #[test]
+    #[should_panic(expected = "routing information")]
+    fn r_without_route_is_a_model_bug() {
+        let (mut exbar, mut ts, mut efifos, mut mem) = setup(1);
+        mem.r
+            .push(0, axi::RBeat::new(axi::types::AxiId(0), vec![0; 4], true))
+            .unwrap();
+        exbar.route_r(1, &mut ts, &mut efifos, &mut mem);
+    }
+
+    #[test]
+    fn b_routed_and_merged() {
+        let (mut exbar, mut ts, mut efifos, mut mem) = setup(1);
+        exbar
+            .b_routes
+            .push(RouteEntry {
+                port: 0,
+                final_sub: true,
+                tag: 5,
+            })
+            .unwrap();
+        // TS expects one outstanding write for bookkeeping symmetry.
+        mem.b
+            .push(0, axi::BBeat::new(axi::types::AxiId(0)).with_tag(5))
+            .unwrap();
+        assert!(exbar.route_b(1, &mut ts, &mut efifos, &mut mem));
+        assert!(exbar.b_routes.is_empty());
+        assert_eq!(efifos[0].port.b.pop_ready(2).unwrap().tag, 5);
+    }
+
+    #[test]
+    fn idle_detection() {
+        let (exbar, _, _, _) = setup(2);
+        assert!(exbar.is_idle());
+    }
+
+    #[test]
+    fn fixed_priority_always_grants_port_zero() {
+        let mut exbar =
+            Exbar::with_policy(2, 32, ArbitrationPolicy::FixedPriority);
+        let mut ts: Vec<TransactionSupervisor> =
+            (0..2).map(|_| TransactionSupervisor::new(32)).collect();
+        let mut efifos: Vec<EFifo> = (0..2).map(|_| EFifo::new(4, 32, 4)).collect();
+        let unlimited = TsRuntime {
+            nominal: 16,
+            max_outstanding: 64,
+            enabled: true,
+        };
+        let mut grants = Vec::new();
+        for now in 1..30u64 {
+            for p in 0..2 {
+                let _ = efifos[p].port.ar.push(
+                    now.saturating_sub(1),
+                    ArBeat::new((p as u64) * 0x1000, 1, BurstSize::B4),
+                );
+                ts[p].ingest(now, &mut efifos[p], unlimited);
+                ts[p].issue(now, unlimited);
+            }
+            if exbar.arbitrate_ar(now + 1, &mut ts) {
+                grants.push(exbar.read_routes.head().map(|r| r.port));
+                // Drain so arbitration continues.
+                exbar.ar_stage.pop_ready(now + 2);
+                exbar.read_routes.pop();
+            }
+        }
+        assert!(grants.len() >= 5);
+        // Port 0 is always chosen while it has work: starvation hazard.
+        assert!(grants.iter().all(|&g| g == Some(0)), "{grants:?}");
+    }
+
+    #[test]
+    fn priority_falls_through_when_winner_is_idle() {
+        let mut exbar =
+            Exbar::with_policy(2, 32, ArbitrationPolicy::FixedPriority);
+        let mut ts: Vec<TransactionSupervisor> =
+            (0..2).map(|_| TransactionSupervisor::new(32)).collect();
+        let mut efifos: Vec<EFifo> = (0..2).map(|_| EFifo::new(4, 32, 4)).collect();
+        stage_ar(&mut ts[1], &mut efifos[1], 1, 0x2000);
+        assert!(exbar.arbitrate_ar(2, &mut ts));
+        assert_eq!(exbar.read_routes.head().unwrap().port, 1);
+    }
+}

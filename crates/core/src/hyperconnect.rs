@@ -1,0 +1,532 @@
+//! The assembled AXI HyperConnect interconnect.
+//!
+//! Pipeline (paper Fig. 2): each slave port is an eFIFO feeding a
+//! Transaction Supervisor; all TS modules feed the EXBAR crossbar, whose
+//! output is a buffered master eFIFO toward the FPGA-PS interface. The
+//! central unit recharges reservation budgets synchronously, and an
+//! AXI-Lite register file exposes runtime reconfiguration to the
+//! hypervisor.
+//!
+//! Per-channel propagation latency by construction (paper Fig. 3a):
+//!
+//! * AR/AW: 4 cycles — slave eFIFO (1) + TS (1) + EXBAR (1) + master
+//!   eFIFO (1);
+//! * R/W/B: 2 cycles — slave eFIFO (1) + master eFIFO (1); the TS and
+//!   EXBAR handle these channels proactively using stored routing
+//!   information.
+
+use axi::lite::LiteHandle;
+use axi::{AxiInterconnect, AxiPort, PortConfig};
+use sim::trace::Tracer;
+use sim::{Component, Cycle};
+
+use crate::central::CentralUnit;
+use crate::config::HcConfig;
+use crate::efifo::EFifo;
+use crate::exbar::Exbar;
+use crate::regfile::RegFile;
+use crate::supervisor::{TransactionSupervisor, TsRuntime, TsStats};
+
+/// The AXI HyperConnect: a predictable, hypervisor-controlled N-to-1
+/// AXI interconnect.
+///
+/// # Example
+///
+/// ```
+/// use hyperconnect::{HcConfig, HyperConnect};
+/// use axi::AxiInterconnect;
+///
+/// let mut hc = HyperConnect::new(HcConfig::new(2));
+/// assert_eq!(hc.num_ports(), 2);
+/// // The hypervisor reconfigures it through the register file handle:
+/// hc.regs().write32(0x04, 10_000); // reservation period
+/// ```
+#[derive(Debug)]
+pub struct HyperConnect {
+    config: HcConfig,
+    regs: LiteHandle<RegFile>,
+    efifos: Vec<EFifo>,
+    supervisors: Vec<TransactionSupervisor>,
+    exbar: Exbar,
+    central: CentralUnit,
+    mem_port: AxiPort,
+    runtime_scratch: Vec<TsRuntime>,
+    tracer: Tracer,
+}
+
+impl HyperConnect {
+    /// Instantiates a HyperConnect with the given synthesis-time
+    /// configuration and a reset-state register file.
+    pub fn new(config: HcConfig) -> Self {
+        let n = config.num_ports;
+        let efifos = (0..n)
+            .map(|_| {
+                EFifo::new(
+                    config.efifo_addr_depth,
+                    config.efifo_data_depth,
+                    config.efifo_resp_depth,
+                )
+            })
+            .collect();
+        let supervisors = (0..n)
+            .map(|_| TransactionSupervisor::new(config.efifo_data_depth))
+            .collect();
+        Self {
+            config,
+            regs: LiteHandle::new(RegFile::new(n)),
+            efifos,
+            supervisors,
+            exbar: Exbar::with_policy(n, config.routing_depth, config.arbitration),
+            central: CentralUnit::new(),
+            mem_port: AxiPort::new(
+                PortConfig::registered()
+                    .addr_capacity(config.efifo_addr_depth)
+                    .data_capacity(config.efifo_data_depth),
+            ),
+            runtime_scratch: Vec::with_capacity(n),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Enables event tracing (period recharges, decouple transitions),
+    /// retaining the most recent `capacity` events — the open-design
+    /// observability the paper contrasts with closed-source IPs.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// The event trace (empty unless [`Self::enable_trace`] was called).
+    pub fn trace(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The synthesis-time configuration.
+    pub fn config(&self) -> &HcConfig {
+        &self.config
+    }
+
+    /// A clonable handle to the AXI-Lite register file — what the
+    /// hypervisor maps into its address space to control the IP.
+    pub fn regs(&self) -> LiteHandle<RegFile> {
+        self.regs.clone()
+    }
+
+    /// Per-port TS statistics.
+    pub fn port_stats(&self, i: usize) -> TsStats {
+        self.supervisors[i].stats()
+    }
+
+    /// Completed-read latency distribution for port `i`.
+    pub fn read_latency(&self, i: usize) -> sim::stats::LatencyStat {
+        *self.supervisors[i].read_latency()
+    }
+
+    /// Completed-write latency distribution for port `i`.
+    pub fn write_latency(&self, i: usize) -> sim::stats::LatencyStat {
+        *self.supervisors[i].write_latency()
+    }
+
+    /// EXBAR grant counters (fairness analysis).
+    pub fn grant_stats(&self) -> &crate::exbar::ExbarStats {
+        self.exbar.stats()
+    }
+
+    /// Responses grounded at port `i` while it was decoupled.
+    pub fn dropped_responses(&self, i: usize) -> u64 {
+        self.efifos[i].dropped_responses()
+    }
+
+    /// Number of completed reservation periods.
+    pub fn periods_elapsed(&self) -> u64 {
+        self.central.periods_elapsed()
+    }
+}
+
+impl Component for HyperConnect {
+    fn tick(&mut self, now: Cycle) -> bool {
+        // Phase 0: consult the register file once — runtime config,
+        // decouple flags, period recharge, counter write-back.
+        let central = &mut self.central;
+        let supervisors = &mut self.supervisors;
+        let efifos = &mut self.efifos;
+        let scratch = &mut self.runtime_scratch;
+        let tracer = &mut self.tracer;
+        let mut enabled = true;
+        let mut progress = self.regs.with(|rf| {
+            if !rf.is_enabled() {
+                enabled = false;
+                return false;
+            }
+            let recharged = central.tick(now, rf, supervisors);
+            if recharged {
+                tracer.emit(
+                    now,
+                    "central",
+                    format!("budget recharge, period {}", central.periods_elapsed()),
+                );
+            }
+            scratch.clear();
+            for (i, efifo) in efifos.iter_mut().enumerate() {
+                let port = rf.port(i);
+                scratch.push(TsRuntime {
+                    nominal: rf.nominal_burst(),
+                    max_outstanding: port.max_outstanding,
+                    enabled: port.enabled,
+                });
+                if efifo.is_decoupled() == port.enabled {
+                    tracer.emit(
+                        now,
+                        "efifo",
+                        format!(
+                            "port {i} {}",
+                            if port.enabled { "recoupled" } else { "DECOUPLED" }
+                        ),
+                    );
+                }
+                efifo.set_decoupled(!port.enabled);
+            }
+            // Counter write-back so the hypervisor can observe activity.
+            for (i, ts) in supervisors.iter().enumerate() {
+                let port = rf.port_mut(i);
+                port.txn_this_period = ts.txn_this_period();
+                port.txn_total = ts.txn_total();
+            }
+            recharged
+        });
+        if !enabled {
+            return false;
+        }
+
+        // Phase 1: per-port ingest (split/equalize) and issue
+        // (reservation + outstanding limits).
+        for ((ts, efifo), &rt) in supervisors
+            .iter_mut()
+            .zip(self.efifos.iter_mut())
+            .zip(self.runtime_scratch.iter())
+        {
+            progress |= ts.ingest(now, efifo, rt);
+            progress |= ts.issue(now, rt);
+        }
+
+        // Phase 2: crossbar — address arbitration, data movement,
+        // proactive response routing.
+        progress |= self.exbar.arbitrate_ar(now, supervisors);
+        progress |= self.exbar.arbitrate_aw(now, supervisors);
+        progress |= self.exbar.move_w(now, supervisors, &mut self.mem_port);
+        progress |= self.exbar.move_to_mem(now, &mut self.mem_port);
+        progress |= self
+            .exbar
+            .route_r(now, supervisors, &mut self.efifos, &mut self.mem_port);
+        progress |= self
+            .exbar
+            .route_b(now, supervisors, &mut self.efifos, &mut self.mem_port);
+        progress
+    }
+}
+
+impl AxiInterconnect for HyperConnect {
+    fn num_ports(&self) -> usize {
+        self.config.num_ports
+    }
+
+    fn port(&mut self, i: usize) -> &mut AxiPort {
+        &mut self.efifos[i].port
+    }
+
+    fn mem_port(&mut self) -> &mut AxiPort {
+        &mut self.mem_port
+    }
+
+    fn name(&self) -> &'static str {
+        "HyperConnect"
+    }
+
+    fn is_idle(&self) -> bool {
+        self.efifos.iter().all(|e| e.port.is_idle())
+            && self.supervisors.iter().all(|t| t.is_idle())
+            && self.exbar.is_idle()
+            && self.mem_port.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi::types::BurstSize;
+    use axi::{ArBeat, AwBeat, WBeat};
+
+    /// Ticks the interconnect through `cycles` cycles.
+    fn run(hc: &mut HyperConnect, cycles: Cycle) {
+        for now in 0..cycles {
+            hc.tick(now);
+        }
+    }
+
+    #[test]
+    fn ar_propagation_latency_is_four_cycles() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        // Push at cycle 0 (after the cycle-0 tick has run, the beat was
+        // pushed before tick 0 here, so count from push cycle).
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        let mut arrival = None;
+        for now in 0..20 {
+            hc.tick(now);
+            if arrival.is_none() && hc.mem_port().ar.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(4), "AR latency must be 4 cycles");
+    }
+
+    #[test]
+    fn aw_propagation_latency_is_four_cycles() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.port(1)
+            .aw
+            .push(0, AwBeat::new(0x200, 1, BurstSize::B4))
+            .unwrap();
+        let mut arrival = None;
+        for now in 0..20 {
+            hc.tick(now);
+            if arrival.is_none() && hc.mem_port().aw.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(4), "AW latency must be 4 cycles");
+    }
+
+    #[test]
+    fn w_propagation_latency_is_two_cycles() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0x200, 1, BurstSize::B4))
+            .unwrap();
+        hc.port(0)
+            .w
+            .push(0, WBeat::new(vec![1; 4], true))
+            .unwrap();
+        let mut arrival = None;
+        for now in 0..20 {
+            hc.tick(now);
+            if arrival.is_none() && hc.mem_port().w.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        // W needs its AW grant before it can move; the W beat itself
+        // traverses only the two eFIFOs. The AW is granted at cycle 3
+        // (visible in EXBAR stage), W routing exists from then on; the W
+        // beat (visible at 1) moves at 3 and appears at 4... but the
+        // paper's d_W is the pure channel traversal: measured with the
+        // routing already established. See `w_latency_streaming` below
+        // for the steady-state check; here we assert it arrives.
+        assert!(arrival.is_some());
+    }
+
+    #[test]
+    fn w_latency_streaming_is_two_cycles_behind_push() {
+        // With the write address long granted, subsequent W beats take
+        // exactly 2 cycles (slave eFIFO + master eFIFO).
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0x200, 4, BurstSize::B4))
+            .unwrap();
+        // First beat pushed immediately, rest later.
+        hc.port(0).w.push(0, WBeat::new(vec![0; 4], false)).unwrap();
+        for now in 0..6 {
+            hc.tick(now);
+            hc.mem_port().w.pop_ready(now);
+        }
+        // Routing is established; now measure a fresh beat.
+        hc.port(0).w.push(6, WBeat::new(vec![1; 4], false)).unwrap();
+        let mut arrival = None;
+        for now in 6..16 {
+            hc.tick(now);
+            if arrival.is_none() && hc.mem_port().w.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(8), "steady-state W latency must be 2");
+    }
+
+    #[test]
+    fn r_propagation_latency_is_two_cycles() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        // Issue a read so routing information exists.
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        for now in 0..6 {
+            hc.tick(now);
+            hc.mem_port().ar.pop_ready(now);
+        }
+        // Memory responds at cycle 6.
+        hc.mem_port()
+            .r
+            .push(6, axi::RBeat::new(axi::types::AxiId(0), vec![0; 4], true))
+            .unwrap();
+        let mut arrival = None;
+        for now in 6..16 {
+            hc.tick(now);
+            if arrival.is_none() && hc.port(0).r.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(8), "R latency must be 2 cycles");
+    }
+
+    #[test]
+    fn b_propagation_latency_is_two_cycles() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0, 1, BurstSize::B4))
+            .unwrap();
+        hc.port(0).w.push(0, WBeat::new(vec![0; 4], true)).unwrap();
+        for now in 0..8 {
+            hc.tick(now);
+            hc.mem_port().aw.pop_ready(now);
+            hc.mem_port().w.pop_ready(now);
+        }
+        hc.mem_port()
+            .b
+            .push(8, axi::BBeat::new(axi::types::AxiId(0)))
+            .unwrap();
+        let mut arrival = None;
+        for now in 8..18 {
+            hc.tick(now);
+            if arrival.is_none() && hc.port(0).b.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(10), "B latency must be 2 cycles");
+    }
+
+    #[test]
+    fn global_disable_freezes_everything() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.regs().write32(crate::regfile::offsets::CTRL, 0);
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 1, BurstSize::B4))
+            .unwrap();
+        run(&mut hc, 20);
+        assert!(hc.mem_port().ar.pop_ready(20).is_none());
+        // Re-enable: traffic flows again.
+        hc.regs().write32(crate::regfile::offsets::CTRL, 1);
+        for now in 20..40 {
+            hc.tick(now);
+        }
+        assert!(hc.mem_port().ar.pop_ready(40).is_some());
+    }
+
+    #[test]
+    fn decoupled_port_is_isolated_but_others_flow() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        let p0 = crate::regfile::port_block_offset(0) + crate::regfile::offsets::PORT_CTRL;
+        hc.regs().write32(p0, 0); // decouple port 0
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 1, BurstSize::B4))
+            .unwrap();
+        hc.port(1)
+            .ar
+            .push(0, ArBeat::new(0x1000, 1, BurstSize::B4))
+            .unwrap();
+        let mut seen = Vec::new();
+        for now in 0..20 {
+            hc.tick(now);
+            if let Some(ar) = hc.mem_port().ar.pop_ready(now) {
+                seen.push(ar.addr);
+            }
+        }
+        assert_eq!(seen, vec![0x1000], "only port 1 traffic reaches memory");
+    }
+
+    #[test]
+    fn counters_visible_through_regfile() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
+        run(&mut hc, 30);
+        let off = crate::regfile::port_block_offset(0) + crate::regfile::offsets::PORT_TXN_TOTAL;
+        // 64 beats at nominal 16 = 4 sub-transactions.
+        assert_eq!(hc.regs().read32(off), 4);
+    }
+
+    #[test]
+    fn is_idle_after_draining() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        assert!(hc.is_idle());
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 1, BurstSize::B4))
+            .unwrap();
+        assert!(!hc.is_idle());
+        run(&mut hc, 10);
+        // The request reached the mem port; drain it and the routing
+        // entry is still outstanding, so not idle.
+        assert!(!hc.is_idle());
+    }
+
+    #[test]
+    fn trace_records_recharges_and_decoupling() {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.enable_trace(64);
+        hc.regs().write32(crate::regfile::offsets::PERIOD, 100);
+        run(&mut hc, 250);
+        // Decouple port 1 at runtime.
+        let p1 = crate::regfile::port_block_offset(1) + crate::regfile::offsets::PORT_CTRL;
+        hc.regs().write32(p1, 0);
+        for now in 250..260 {
+            hc.tick(now);
+        }
+        let lines = hc.trace().dump();
+        assert!(
+            lines.iter().filter(|l| l.contains("budget recharge")).count() >= 3,
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.contains("port 1 DECOUPLED")));
+        // Recouple and observe the transition.
+        hc.regs().write32(p1, 1);
+        for now in 260..270 {
+            hc.tick(now);
+        }
+        assert!(hc.trace().dump().iter().any(|l| l.contains("port 1 recoupled")));
+    }
+
+    #[test]
+    fn sustained_ar_throughput_is_one_per_cycle() {
+        // With a single port and short bursts, the pipeline must sustain
+        // one sub-request per cycle at the master port.
+        let mut hc = HyperConnect::new(HcConfig::new(1));
+        // Raise the outstanding limit so it doesn't throttle.
+        let off = crate::regfile::port_block_offset(0) + crate::regfile::offsets::PORT_MAX_OUT;
+        hc.regs().write32(off, 64);
+        let mut arrivals = Vec::new();
+        for now in 0..40u64 {
+            // Keep the input eFIFO fed.
+            let _ = hc
+                .port(0)
+                .ar
+                .push(now, ArBeat::new(now * 64, 1, BurstSize::B4));
+            hc.tick(now);
+            if hc.mem_port().ar.pop_ready(now).is_some() {
+                arrivals.push(now);
+            }
+        }
+        assert!(arrivals.len() >= 20);
+        // After the pipeline fills, arrivals are back-to-back.
+        let steady = &arrivals[4..];
+        for pair in steady.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1, "bubble in AR pipeline");
+        }
+    }
+}

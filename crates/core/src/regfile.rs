@@ -1,0 +1,357 @@
+//! The HyperConnect's memory-mapped register file (AXI-Lite control
+//! interface).
+//!
+//! This is the paper's *runtime reconfiguration* surface (§V-A): the
+//! hypervisor programs bandwidth budgets, the reservation period, the
+//! nominal burst size, outstanding-transaction limits and per-port
+//! decoupling by writing these registers through the PS-FPGA interface,
+//! with no re-synthesis.
+//!
+//! # Register map
+//!
+//! | Offset | Name | Access | Meaning |
+//! |---|---|---|---|
+//! | `0x00` | `CTRL` | RW | bit 0: global enable (reset value 1) |
+//! | `0x04` | `PERIOD` | RW | reservation period T in cycles |
+//! | `0x08` | `NOMINAL` | RW | nominal burst length in beats (1–256) |
+//! | `0x0C` | `NPORTS` | RO | number of slave ports |
+//! | `0x10` | `VERSION` | RO | IP identification (`0x4843_2020`) |
+//!
+//! Per-port block at `0x40 + i * 0x20`:
+//!
+//! | Offset | Name | Access | Meaning |
+//! |---|---|---|---|
+//! | `+0x00` | `BUDGET` | RW | sub-transactions per period (`0xFFFF_FFFF` = unlimited) |
+//! | `+0x04` | `PORT_CTRL` | RW | bit 0: port enable / not decoupled (reset 1) |
+//! | `+0x08` | `MAX_OUT` | RW | outstanding sub-transaction limit per direction |
+//! | `+0x0C` | `TXN_PERIOD` | RO | sub-transactions issued in the current period |
+//! | `+0x10` | `TXN_TOTAL` | RO | sub-transactions issued since reset (low 32 bits) |
+
+use axi::lite::LiteDevice;
+
+/// Value read back from the `VERSION` register.
+pub const IP_VERSION: u32 = 0x4843_2020; // "HC  "
+
+/// `BUDGET` value meaning "no reservation enforced on this port".
+pub const BUDGET_UNLIMITED: u32 = u32::MAX;
+
+const REG_CTRL: u64 = 0x00;
+const REG_PERIOD: u64 = 0x04;
+const REG_NOMINAL: u64 = 0x08;
+const REG_NPORTS: u64 = 0x0C;
+const REG_VERSION: u64 = 0x10;
+const PORT_BASE: u64 = 0x40;
+const PORT_STRIDE: u64 = 0x20;
+const PORT_BUDGET: u64 = 0x00;
+const PORT_CTRL: u64 = 0x04;
+const PORT_MAX_OUT: u64 = 0x08;
+const PORT_TXN_PERIOD: u64 = 0x0C;
+const PORT_TXN_TOTAL: u64 = 0x10;
+
+/// Runtime-visible state of one slave port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortRegs {
+    /// Sub-transactions allowed per reservation period.
+    pub budget: u32,
+    /// Whether the port is coupled to the system (false = decoupled).
+    pub enabled: bool,
+    /// Maximum outstanding sub-transactions per direction.
+    pub max_outstanding: u32,
+    /// Sub-transactions issued in the current period (updated by the TS).
+    pub txn_this_period: u32,
+    /// Sub-transactions issued since reset (updated by the TS).
+    pub txn_total: u64,
+}
+
+impl Default for PortRegs {
+    fn default() -> Self {
+        Self {
+            budget: BUDGET_UNLIMITED,
+            enabled: true,
+            max_outstanding: 4,
+            txn_this_period: 0,
+            txn_total: 0,
+        }
+    }
+}
+
+/// The HyperConnect register file.
+///
+/// Owned jointly (through [`axi::lite::LiteHandle`]) by the simulated
+/// interconnect, which consults it every cycle, and by the hypervisor
+/// driver, which reads/writes it over the modeled control bus.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    enabled: bool,
+    period: u32,
+    nominal_burst: u32,
+    ports: Vec<PortRegs>,
+}
+
+impl RegFile {
+    /// Default reservation period in cycles.
+    pub const DEFAULT_PERIOD: u32 = 65_536;
+
+    /// Default nominal burst length in beats — the 16-beat burst that
+    /// both the paper's Fig. 3(b) and the Xilinx DMA defaults use.
+    pub const DEFAULT_NOMINAL: u32 = 16;
+
+    /// Creates the reset-state register file for `num_ports` ports.
+    ///
+    /// Reset state: globally enabled, all ports enabled, unlimited
+    /// budgets, period `65536`, nominal burst `16` beats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ports` is zero.
+    pub fn new(num_ports: usize) -> Self {
+        assert!(num_ports > 0, "register file needs at least one port");
+        Self {
+            enabled: true,
+            period: Self::DEFAULT_PERIOD,
+            nominal_burst: Self::DEFAULT_NOMINAL,
+            ports: vec![PortRegs::default(); num_ports],
+        }
+    }
+
+    /// Number of per-port register blocks.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Global enable.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Reservation period in cycles.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Nominal burst length in beats.
+    pub fn nominal_burst(&self) -> u32 {
+        self.nominal_burst
+    }
+
+    /// The register block of port `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn port(&self, i: usize) -> &PortRegs {
+        &self.ports[i]
+    }
+
+    /// Mutable register block of port `i` (used by the TS to update
+    /// transaction counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn port_mut(&mut self, i: usize) -> &mut PortRegs {
+        &mut self.ports[i]
+    }
+
+    /// Typed write helpers used by tests and the driver model.
+    pub fn set_budget(&mut self, port: usize, budget: u32) {
+        self.ports[port].budget = budget;
+    }
+
+    /// Enables/decouples port `i`.
+    pub fn set_enabled(&mut self, port: usize, enabled: bool) {
+        self.ports[port].enabled = enabled;
+    }
+
+    /// Sets the reservation period (clamped to at least 1).
+    pub fn set_period(&mut self, period: u32) {
+        self.period = period.max(1);
+    }
+
+    /// Sets the nominal burst length (clamped to 1–256).
+    pub fn set_nominal_burst(&mut self, beats: u32) {
+        self.nominal_burst = beats.clamp(1, 256);
+    }
+
+    /// Clears all per-period transaction counters (called by the central
+    /// unit at each period boundary).
+    pub fn recharge(&mut self) {
+        for p in &mut self.ports {
+            p.txn_this_period = 0;
+        }
+    }
+
+    fn decode_port(&self, offset: u64) -> Option<(usize, u64)> {
+        if offset < PORT_BASE {
+            return None;
+        }
+        let idx = ((offset - PORT_BASE) / PORT_STRIDE) as usize;
+        let reg = (offset - PORT_BASE) % PORT_STRIDE;
+        (idx < self.ports.len()).then_some((idx, reg))
+    }
+}
+
+impl LiteDevice for RegFile {
+    fn read32(&mut self, offset: u64) -> u32 {
+        match offset {
+            REG_CTRL => self.enabled as u32,
+            REG_PERIOD => self.period,
+            REG_NOMINAL => self.nominal_burst,
+            REG_NPORTS => self.ports.len() as u32,
+            REG_VERSION => IP_VERSION,
+            _ => match self.decode_port(offset) {
+                Some((i, PORT_BUDGET)) => self.ports[i].budget,
+                Some((i, PORT_CTRL)) => self.ports[i].enabled as u32,
+                Some((i, PORT_MAX_OUT)) => self.ports[i].max_outstanding,
+                Some((i, PORT_TXN_PERIOD)) => self.ports[i].txn_this_period,
+                Some((i, PORT_TXN_TOTAL)) => self.ports[i].txn_total as u32,
+                _ => 0,
+            },
+        }
+    }
+
+    fn write32(&mut self, offset: u64, value: u32) {
+        match offset {
+            REG_CTRL => self.enabled = value & 1 != 0,
+            REG_PERIOD => self.set_period(value),
+            REG_NOMINAL => self.set_nominal_burst(value),
+            // RO registers: writes ignored.
+            REG_NPORTS | REG_VERSION => {}
+            _ => match self.decode_port(offset) {
+                Some((i, PORT_BUDGET)) => self.ports[i].budget = value,
+                Some((i, PORT_CTRL)) => self.ports[i].enabled = value & 1 != 0,
+                Some((i, PORT_MAX_OUT)) => self.ports[i].max_outstanding = value.max(1),
+                // RO / unmapped: ignored.
+                _ => {}
+            },
+        }
+    }
+}
+
+/// Byte offset of port `i`'s register block (for drivers).
+pub fn port_block_offset(i: usize) -> u64 {
+    PORT_BASE + i as u64 * PORT_STRIDE
+}
+
+/// Offsets of the global registers (for drivers).
+pub mod offsets {
+    /// Global enable register.
+    pub const CTRL: u64 = super::REG_CTRL;
+    /// Reservation period register.
+    pub const PERIOD: u64 = super::REG_PERIOD;
+    /// Nominal burst register.
+    pub const NOMINAL: u64 = super::REG_NOMINAL;
+    /// Port count (read-only).
+    pub const NPORTS: u64 = super::REG_NPORTS;
+    /// IP version (read-only).
+    pub const VERSION: u64 = super::REG_VERSION;
+    /// Per-port `BUDGET` offset within a port block.
+    pub const PORT_BUDGET: u64 = super::PORT_BUDGET;
+    /// Per-port `PORT_CTRL` offset within a port block.
+    pub const PORT_CTRL: u64 = super::PORT_CTRL;
+    /// Per-port `MAX_OUT` offset within a port block.
+    pub const PORT_MAX_OUT: u64 = super::PORT_MAX_OUT;
+    /// Per-port `TXN_PERIOD` offset within a port block.
+    pub const PORT_TXN_PERIOD: u64 = super::PORT_TXN_PERIOD;
+    /// Per-port `TXN_TOTAL` offset within a port block.
+    pub const PORT_TXN_TOTAL: u64 = super::PORT_TXN_TOTAL;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state() {
+        let mut rf = RegFile::new(2);
+        assert!(rf.is_enabled());
+        assert_eq!(rf.period(), 65_536);
+        assert_eq!(rf.nominal_burst(), 16);
+        assert_eq!(rf.read32(REG_NPORTS), 2);
+        assert_eq!(rf.read32(REG_VERSION), IP_VERSION);
+        assert_eq!(rf.port(0).budget, BUDGET_UNLIMITED);
+        assert!(rf.port(1).enabled);
+    }
+
+    #[test]
+    fn global_registers_via_lite() {
+        let mut rf = RegFile::new(2);
+        rf.write32(REG_CTRL, 0);
+        assert!(!rf.is_enabled());
+        rf.write32(REG_PERIOD, 1000);
+        assert_eq!(rf.period(), 1000);
+        rf.write32(REG_NOMINAL, 8);
+        assert_eq!(rf.nominal_burst(), 8);
+        assert_eq!(rf.read32(REG_PERIOD), 1000);
+    }
+
+    #[test]
+    fn clamping() {
+        let mut rf = RegFile::new(1);
+        rf.write32(REG_PERIOD, 0);
+        assert_eq!(rf.period(), 1);
+        rf.write32(REG_NOMINAL, 0);
+        assert_eq!(rf.nominal_burst(), 1);
+        rf.write32(REG_NOMINAL, 10_000);
+        assert_eq!(rf.nominal_burst(), 256);
+    }
+
+    #[test]
+    fn per_port_registers_via_lite() {
+        let mut rf = RegFile::new(3);
+        let p1 = port_block_offset(1);
+        rf.write32(p1 + PORT_BUDGET, 42);
+        rf.write32(p1 + PORT_CTRL, 0);
+        rf.write32(p1 + PORT_MAX_OUT, 7);
+        assert_eq!(rf.port(1).budget, 42);
+        assert!(!rf.port(1).enabled);
+        assert_eq!(rf.port(1).max_outstanding, 7);
+        // Other ports untouched.
+        assert_eq!(rf.port(0).budget, BUDGET_UNLIMITED);
+        assert!(rf.port(2).enabled);
+        assert_eq!(rf.read32(p1 + PORT_BUDGET), 42);
+    }
+
+    #[test]
+    fn readonly_registers_ignore_writes() {
+        let mut rf = RegFile::new(2);
+        rf.write32(REG_NPORTS, 99);
+        rf.write32(REG_VERSION, 99);
+        assert_eq!(rf.read32(REG_NPORTS), 2);
+        assert_eq!(rf.read32(REG_VERSION), IP_VERSION);
+        let p0 = port_block_offset(0);
+        rf.write32(p0 + PORT_TXN_PERIOD, 5);
+        assert_eq!(rf.read32(p0 + PORT_TXN_PERIOD), 0);
+    }
+
+    #[test]
+    fn counters_and_recharge() {
+        let mut rf = RegFile::new(2);
+        rf.port_mut(0).txn_this_period = 9;
+        rf.port_mut(0).txn_total = 100;
+        rf.recharge();
+        assert_eq!(rf.port(0).txn_this_period, 0);
+        assert_eq!(rf.port(0).txn_total, 100);
+    }
+
+    #[test]
+    fn out_of_range_port_block_reads_zero() {
+        let mut rf = RegFile::new(1);
+        let beyond = port_block_offset(5);
+        assert_eq!(rf.read32(beyond), 0);
+        rf.write32(beyond, 1); // ignored
+    }
+
+    #[test]
+    fn max_out_write_clamps_to_one() {
+        let mut rf = RegFile::new(1);
+        rf.write32(port_block_offset(0) + PORT_MAX_OUT, 0);
+        assert_eq!(rf.port(0).max_outstanding, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        let _ = RegFile::new(0);
+    }
+}

@@ -1,0 +1,620 @@
+//! The Transaction Supervisor (TS): burst equalization, outstanding
+//! limiting and bandwidth reservation for one slave port.
+//!
+//! Paper §V-B: the TS is the core module for bandwidth and memory-access
+//! management. Reads and writes are managed by independent subsystems
+//! (the AXI channels are parallel). The TS
+//!
+//! * **equalizes** bursts to a *nominal* length (Restuccia et al., TECS
+//!   2019): read requests are split into sub-requests of nominal size
+//!   and their data merged back; write requests are split along with
+//!   their data, and the write responses merged into one;
+//! * **limits outstanding transactions** per direction to a programmed
+//!   value;
+//! * **enforces bandwidth reservation** (Pagani et al., ECRTS 2019): a
+//!   budget of sub-transactions per port, recharged every reservation
+//!   period by the central unit — combined with equalization this bounds
+//!   both the number of transactions *and* the data moved in any period;
+//! * adds exactly **one cycle** of latency on each address request and
+//!   none on the R/W/B channels, which are handled proactively.
+
+use std::collections::VecDeque;
+
+use axi::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+use axi::burst::split_incr;
+use axi::types::BurstKind;
+use sim::stats::LatencyStat;
+use sim::{Cycle, TimedFifo};
+
+use crate::efifo::EFifo;
+use crate::regfile::BUDGET_UNLIMITED;
+
+/// An equalized (sub-)read request staged for arbitration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubAr {
+    /// The sub-request itself (original tag/ID/timestamp preserved).
+    pub beat: ArBeat,
+    /// Whether this is the final fragment of the original burst.
+    pub final_sub: bool,
+}
+
+/// An equalized (sub-)write request staged for arbitration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubAw {
+    /// The sub-request itself (original tag/ID/timestamp preserved).
+    pub beat: AwBeat,
+    /// Whether this is the final fragment of the original burst.
+    pub final_sub: bool,
+}
+
+/// Per-tick runtime configuration of a TS, read from the register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsRuntime {
+    /// Nominal burst length in beats.
+    pub nominal: u32,
+    /// Outstanding sub-transaction limit per direction.
+    pub max_outstanding: u32,
+    /// Whether the port is enabled (coupled).
+    pub enabled: bool,
+}
+
+/// Aggregate per-port counters exposed by the TS.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TsStats {
+    /// Original read bursts fully completed.
+    pub reads_completed: u64,
+    /// Original write bursts fully completed (B delivered).
+    pub writes_completed: u64,
+    /// Bytes of read data delivered to the accelerator.
+    pub bytes_read: u64,
+    /// Bytes of write data forwarded toward memory.
+    pub bytes_written: u64,
+    /// Sub-transactions issued since reset.
+    pub subs_issued: u64,
+    /// Cycles an issue-eligible sub-transaction was stalled by an
+    /// exhausted budget (reservation throttling at work).
+    pub budget_stall_cycles: u64,
+}
+
+/// The Transaction Supervisor for one slave port.
+#[derive(Debug)]
+pub struct TransactionSupervisor {
+    // --- read management subsystem ---
+    ar_split: VecDeque<SubAr>,
+    /// Staged sub-reads toward the EXBAR (the TS's one-cycle register).
+    pub ar_stage: TimedFifo<SubAr>,
+    read_outstanding: u32,
+    // --- write management subsystem ---
+    aw_split: VecDeque<SubAw>,
+    /// Staged sub-writes toward the EXBAR.
+    pub aw_stage: TimedFifo<SubAw>,
+    /// Upcoming sub-burst lengths for W-stream re-chunking.
+    w_sublens: VecDeque<u32>,
+    w_current_left: u32,
+    /// Re-chunked write data toward the EXBAR (proactive: no latency).
+    pub w_stage: TimedFifo<WBeat>,
+    write_outstanding: u32,
+    // --- reservation ---
+    budget_left: Option<u32>,
+    txn_this_period: u32,
+    txn_total: u64,
+    // --- statistics ---
+    stats: TsStats,
+    read_latency: LatencyStat,
+    write_latency: LatencyStat,
+}
+
+impl TransactionSupervisor {
+    /// Creates a TS with the given W staging depth (beats).
+    pub fn new(w_depth: usize) -> Self {
+        Self {
+            ar_split: VecDeque::new(),
+            ar_stage: TimedFifo::new(2, 1),
+            read_outstanding: 0,
+            aw_split: VecDeque::new(),
+            aw_stage: TimedFifo::new(2, 1),
+            w_sublens: VecDeque::new(),
+            w_current_left: 0,
+            w_stage: TimedFifo::new(w_depth.max(2), 0),
+            write_outstanding: 0,
+            budget_left: None,
+            txn_this_period: 0,
+            txn_total: 0,
+            stats: TsStats::default(),
+            read_latency: LatencyStat::new(),
+            write_latency: LatencyStat::new(),
+        }
+    }
+
+    /// Recharges the reservation budget (called synchronously for all
+    /// ports by the central unit at each period boundary). The register
+    /// value [`BUDGET_UNLIMITED`] disables reservation for the port.
+    pub fn recharge(&mut self, budget_reg: u32) {
+        self.budget_left = (budget_reg != BUDGET_UNLIMITED).then_some(budget_reg);
+        self.txn_this_period = 0;
+    }
+
+    /// Remaining budget this period (`None` = unlimited).
+    pub fn budget_left(&self) -> Option<u32> {
+        self.budget_left
+    }
+
+    /// Sub-transactions issued in the current period.
+    pub fn txn_this_period(&self) -> u32 {
+        self.txn_this_period
+    }
+
+    /// Sub-transactions issued since reset.
+    pub fn txn_total(&self) -> u64 {
+        self.txn_total
+    }
+
+    /// Outstanding read sub-transactions.
+    pub fn read_outstanding(&self) -> u32 {
+        self.read_outstanding
+    }
+
+    /// Outstanding write sub-transactions.
+    pub fn write_outstanding(&self) -> u32 {
+        self.write_outstanding
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> TsStats {
+        self.stats
+    }
+
+    /// Completed-read latency distribution (AR issue to final R beat).
+    pub fn read_latency(&self) -> &LatencyStat {
+        &self.read_latency
+    }
+
+    /// Completed-write latency distribution (AW issue to merged B).
+    pub fn write_latency(&self) -> &LatencyStat {
+        &self.write_latency
+    }
+
+    /// Whether the TS holds no in-flight state.
+    pub fn is_idle(&self) -> bool {
+        self.ar_split.is_empty()
+            && self.ar_stage.is_empty()
+            && self.aw_split.is_empty()
+            && self.aw_stage.is_empty()
+            && self.w_sublens.is_empty()
+            && self.w_current_left == 0
+            && self.w_stage.is_empty()
+            && self.read_outstanding == 0
+            && self.write_outstanding == 0
+    }
+
+    fn split_ar(&mut self, ar: ArBeat, nominal: u32) {
+        if ar.burst != BurstKind::Incr || ar.len <= nominal {
+            self.ar_split.push_back(SubAr {
+                beat: ar,
+                final_sub: true,
+            });
+            return;
+        }
+        let subs = split_incr(ar.addr, ar.len, ar.size, nominal);
+        let count = subs.len();
+        for (i, s) in subs.into_iter().enumerate() {
+            let mut beat = ar.clone();
+            beat.addr = s.addr;
+            beat.len = s.len;
+            self.ar_split.push_back(SubAr {
+                beat,
+                final_sub: i == count - 1,
+            });
+        }
+    }
+
+    fn split_aw(&mut self, aw: AwBeat, nominal: u32) {
+        if aw.burst != BurstKind::Incr || aw.len <= nominal {
+            self.w_sublens.push_back(aw.len);
+            self.aw_split.push_back(SubAw {
+                beat: aw,
+                final_sub: true,
+            });
+            return;
+        }
+        let subs = split_incr(aw.addr, aw.len, aw.size, nominal);
+        let count = subs.len();
+        for (i, s) in subs.into_iter().enumerate() {
+            let mut beat = aw.clone();
+            beat.addr = s.addr;
+            beat.len = s.len;
+            self.w_sublens.push_back(s.len);
+            self.aw_split.push_back(SubAw {
+                beat,
+                final_sub: i == count - 1,
+            });
+        }
+    }
+
+    /// Consumes new requests and data from the port's eFIFO: splits
+    /// address requests to the nominal size and re-chunks the W stream.
+    /// Returns `true` on any progress.
+    pub fn ingest(&mut self, now: Cycle, efifo: &mut EFifo, rt: TsRuntime) -> bool {
+        if !rt.enabled {
+            return false;
+        }
+        let mut progress = false;
+        // One original request per cycle per direction enters the
+        // splitter once the previous one is fully staged.
+        if self.ar_split.is_empty() {
+            if let Some(ar) = efifo.pop_ar(now) {
+                self.split_ar(ar, rt.nominal);
+                progress = true;
+            }
+        }
+        if self.aw_split.is_empty() {
+            if let Some(aw) = efifo.pop_aw(now) {
+                self.split_aw(aw, rt.nominal);
+                progress = true;
+            }
+        }
+        // W stream: one beat per cycle, with LAST rewritten to the
+        // equalized sub-burst boundaries.
+        if !self.w_stage.is_full() && (self.w_current_left > 0 || !self.w_sublens.is_empty()) {
+            if let Some(mut w) = efifo.pop_w(now) {
+                if self.w_current_left == 0 {
+                    self.w_current_left = self
+                        .w_sublens
+                        .pop_front()
+                        .expect("checked non-empty");
+                }
+                w.last = self.w_current_left == 1;
+                self.w_current_left -= 1;
+                self.stats.bytes_written += w.data.len() as u64;
+                self.w_stage.push(now, w).expect("checked space");
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    fn budget_available(&self) -> bool {
+        self.budget_left.is_none_or(|b| b > 0)
+    }
+
+    fn consume_budget(&mut self) {
+        if let Some(b) = self.budget_left.as_mut() {
+            *b -= 1;
+        }
+        self.txn_this_period += 1;
+        self.txn_total += 1;
+        self.stats.subs_issued += 1;
+    }
+
+    /// Moves split sub-requests into the arbitration stages, enforcing
+    /// the reservation budget and the outstanding limits. Returns `true`
+    /// on any progress.
+    pub fn issue(&mut self, now: Cycle, rt: TsRuntime) -> bool {
+        if !rt.enabled {
+            return false;
+        }
+        let mut progress = false;
+        let mut stalled_by_budget = false;
+        if !self.ar_split.is_empty()
+            && self.read_outstanding < rt.max_outstanding
+            && !self.ar_stage.is_full()
+        {
+            if self.budget_available() {
+                let sub = self.ar_split.pop_front().expect("checked non-empty");
+                self.ar_stage.push(now, sub).expect("checked space");
+                self.read_outstanding += 1;
+                self.consume_budget();
+                progress = true;
+            } else {
+                stalled_by_budget = true;
+            }
+        }
+        if !self.aw_split.is_empty()
+            && self.write_outstanding < rt.max_outstanding
+            && !self.aw_stage.is_full()
+        {
+            if self.budget_available() {
+                let sub = self.aw_split.pop_front().expect("checked non-empty");
+                self.aw_stage.push(now, sub).expect("checked space");
+                self.write_outstanding += 1;
+                self.consume_budget();
+                progress = true;
+            } else {
+                stalled_by_budget = true;
+            }
+        }
+        if stalled_by_budget {
+            self.stats.budget_stall_cycles += 1;
+        }
+        progress
+    }
+
+    /// Delivers a read-data beat coming back from the EXBAR, rewriting
+    /// the LAST flag so only the final fragment of the original burst
+    /// carries it. Returns whether the beat ended a sub-burst.
+    ///
+    /// The caller must have checked [`EFifo::can_push_r`].
+    pub fn deliver_r(
+        &mut self,
+        now: Cycle,
+        mut beat: RBeat,
+        final_sub: bool,
+        efifo: &mut EFifo,
+    ) -> bool {
+        let sub_end = beat.last;
+        beat.last = final_sub && sub_end;
+        self.stats.bytes_read += beat.data.len() as u64;
+        if beat.last {
+            self.stats.reads_completed += 1;
+            self.read_latency.record(now.saturating_sub(beat.issued_at));
+        }
+        let accepted = efifo.push_r(now, beat);
+        debug_assert!(accepted, "caller must check can_push_r");
+        if sub_end {
+            self.read_outstanding = self.read_outstanding.saturating_sub(1);
+        }
+        sub_end
+    }
+
+    /// Delivers a write response coming back from the EXBAR: responses
+    /// of intermediate fragments are merged (swallowed); only the final
+    /// fragment's response reaches the accelerator.
+    ///
+    /// The caller must have checked [`EFifo::can_push_b`].
+    pub fn deliver_b(&mut self, now: Cycle, beat: BBeat, final_sub: bool, efifo: &mut EFifo) {
+        self.write_outstanding = self.write_outstanding.saturating_sub(1);
+        if final_sub {
+            self.stats.writes_completed += 1;
+            self.write_latency.record(now.saturating_sub(beat.issued_at));
+            let accepted = efifo.push_b(now, beat);
+            debug_assert!(accepted, "caller must check can_push_b");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi::types::{AxiId, BurstSize};
+
+    fn rt() -> TsRuntime {
+        TsRuntime {
+            nominal: 16,
+            max_outstanding: 4,
+            enabled: true,
+        }
+    }
+
+    fn efifo() -> EFifo {
+        EFifo::new(4, 32, 4)
+    }
+
+    #[test]
+    fn short_read_not_split() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ef.port.ar.push(0, ArBeat::new(0, 8, BurstSize::B4)).unwrap();
+        assert!(ts.ingest(1, &mut ef, rt()));
+        ts.issue(1, rt());
+        let sub = ts.ar_stage.pop_ready(2).unwrap();
+        assert_eq!(sub.beat.len, 8);
+        assert!(sub.final_sub);
+        assert_eq!(ts.read_outstanding(), 1);
+    }
+
+    #[test]
+    fn long_read_split_to_nominal() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 40, BurstSize::B4).with_tag(9))
+            .unwrap();
+        ts.ingest(1, &mut ef, rt());
+        let mut lens = Vec::new();
+        let mut finals = Vec::new();
+        for now in 1..20 {
+            ts.issue(now, rt());
+            if let Some(sub) = ts.ar_stage.pop_ready(now) {
+                lens.push(sub.beat.len);
+                finals.push(sub.final_sub);
+                assert_eq!(sub.beat.tag, 9);
+            }
+        }
+        assert_eq!(lens, vec![16, 16, 8]);
+        assert_eq!(finals, vec![false, false, true]);
+    }
+
+    #[test]
+    fn ts_stage_latency_is_one_cycle() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ef.port.ar.push(0, ArBeat::new(0, 1, BurstSize::B4)).unwrap();
+        ts.ingest(1, &mut ef, rt());
+        ts.issue(1, rt());
+        assert!(ts.ar_stage.pop_ready(1).is_none());
+        assert!(ts.ar_stage.pop_ready(2).is_some());
+    }
+
+    #[test]
+    fn outstanding_limit_blocks_issue() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        let limit = TsRuntime {
+            max_outstanding: 1,
+            ..rt()
+        };
+        ef.port.ar.push(0, ArBeat::new(0, 32, BurstSize::B4)).unwrap();
+        ts.ingest(1, &mut ef, limit);
+        ts.issue(1, limit);
+        assert_eq!(ts.read_outstanding(), 1);
+        // Second sub cannot issue until the first completes.
+        for now in 2..6 {
+            ts.issue(now, limit);
+        }
+        assert_eq!(ts.read_outstanding(), 1);
+        // Complete the first sub-burst.
+        ts.ar_stage.pop_ready(2).unwrap();
+        let beat = RBeat::new(AxiId(0), vec![0; 4], true);
+        ts.deliver_r(10, beat, false, &mut ef);
+        assert_eq!(ts.read_outstanding(), 0);
+        ts.issue(11, limit);
+        assert_eq!(ts.read_outstanding(), 1);
+    }
+
+    #[test]
+    fn budget_throttles_and_recharges() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ts.recharge(2);
+        ef.port.ar.push(0, ArBeat::new(0, 64, BurstSize::B4)).unwrap();
+        ts.ingest(1, &mut ef, rt());
+        for now in 1..10 {
+            ts.issue(now, rt());
+            ts.ar_stage.pop_ready(now); // keep the stage drained
+        }
+        // Only 2 of 4 subs issued.
+        assert_eq!(ts.txn_this_period(), 2);
+        assert_eq!(ts.budget_left(), Some(0));
+        assert!(ts.stats().budget_stall_cycles > 0);
+        ts.recharge(2);
+        for now in 10..20 {
+            ts.issue(now, rt());
+            ts.ar_stage.pop_ready(now);
+        }
+        assert_eq!(ts.txn_total(), 4);
+    }
+
+    #[test]
+    fn unlimited_budget_never_stalls() {
+        let mut ts = TransactionSupervisor::new(32);
+        ts.recharge(BUDGET_UNLIMITED);
+        assert_eq!(ts.budget_left(), None);
+        let mut ef = efifo();
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4))
+            .unwrap();
+        ts.ingest(1, &mut ef, rt());
+        for now in 1..40 {
+            ts.issue(now, rt());
+            ts.ar_stage.pop_ready(now);
+            // Immediately complete each sub so outstanding never limits.
+            if ts.read_outstanding() > 0 {
+                let beat = RBeat::new(AxiId(0), vec![0; 4], true);
+                ts.deliver_r(now, beat, false, &mut ef);
+            }
+        }
+        assert_eq!(ts.txn_total(), 16);
+        assert_eq!(ts.stats().budget_stall_cycles, 0);
+    }
+
+    #[test]
+    fn write_split_rechunks_w_stream() {
+        let mut ts = TransactionSupervisor::new(64);
+        let mut ef = efifo();
+        let rt8 = TsRuntime {
+            nominal: 8,
+            ..rt()
+        };
+        ef.port
+            .aw
+            .push(0, AwBeat::new(0, 20, BurstSize::B4))
+            .unwrap();
+        for i in 0..20u32 {
+            // HA marks only the final beat.
+            ef.port
+                .w
+                .push(i as u64 / 8, WBeat::new(vec![i as u8; 4], i == 19))
+                .unwrap();
+        }
+        let mut lasts = Vec::new();
+        for now in 1..64 {
+            ts.ingest(now, &mut ef, rt8);
+            if let Some(w) = ts.w_stage.pop_ready(now) {
+                lasts.push(w.last);
+            }
+        }
+        assert_eq!(lasts.len(), 20);
+        let last_positions: Vec<usize> = lasts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| l.then_some(i))
+            .collect();
+        // Sub-bursts of 8, 8, 4 beats.
+        assert_eq!(last_positions, vec![7, 15, 19]);
+    }
+
+    #[test]
+    fn b_merge_emits_single_response() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ef.port
+            .aw
+            .push(0, AwBeat::new(0, 48, BurstSize::B4).with_tag(3))
+            .unwrap();
+        ts.ingest(1, &mut ef, rt());
+        // Three sub-AWs issue.
+        for now in 1..10 {
+            ts.issue(now, rt());
+            ts.aw_stage.pop_ready(now);
+        }
+        assert_eq!(ts.write_outstanding(), 3);
+        // Two intermediate Bs are swallowed; the final one is emitted.
+        ts.deliver_b(20, BBeat::new(AxiId(0)).with_tag(3), false, &mut ef);
+        ts.deliver_b(21, BBeat::new(AxiId(0)).with_tag(3), false, &mut ef);
+        assert!(ef.port.b.pop_ready(30).is_none());
+        ts.deliver_b(22, BBeat::new(AxiId(0)).with_tag(3), true, &mut ef);
+        assert_eq!(ts.write_outstanding(), 0);
+        let b = ef.port.b.pop_ready(30).unwrap();
+        assert_eq!(b.tag, 3);
+        assert_eq!(ts.stats().writes_completed, 1);
+    }
+
+    #[test]
+    fn r_merge_rewrites_last_flags() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        // Two sub-bursts of a single original read.
+        let mk = |last| RBeat::new(AxiId(0), vec![0; 4], last).with_issued_at(0);
+        ts.deliver_r(5, mk(false), false, &mut ef);
+        ts.deliver_r(6, mk(true), false, &mut ef); // end of sub 1
+        ts.deliver_r(7, mk(false), true, &mut ef);
+        ts.deliver_r(8, mk(true), true, &mut ef); // end of original
+        let beats: Vec<RBeat> = std::iter::from_fn(|| ef.port.r.pop_ready(20)).collect();
+        assert_eq!(beats.len(), 4);
+        let lasts: Vec<bool> = beats.iter().map(|b| b.last).collect();
+        assert_eq!(lasts, vec![false, false, false, true]);
+        assert_eq!(ts.stats().reads_completed, 1);
+        assert_eq!(ts.read_latency().count(), 1);
+        assert_eq!(ts.read_latency().max(), Some(8));
+    }
+
+    #[test]
+    fn disabled_ts_does_nothing() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        let disabled = TsRuntime {
+            enabled: false,
+            ..rt()
+        };
+        ef.port.ar.push(0, ArBeat::new(0, 4, BurstSize::B4)).unwrap();
+        assert!(!ts.ingest(1, &mut ef, disabled));
+        assert!(!ts.issue(1, disabled));
+        assert!(ts.is_idle());
+    }
+
+    #[test]
+    fn fixed_bursts_pass_unsplit() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        let mut ar = ArBeat::new(0x100, 64, BurstSize::B4);
+        ar.burst = BurstKind::Fixed;
+        ef.port.ar.push(0, ar).unwrap();
+        ts.ingest(1, &mut ef, rt());
+        ts.issue(1, rt());
+        let sub = ts.ar_stage.pop_ready(2).unwrap();
+        assert_eq!(sub.beat.len, 64);
+        assert!(sub.final_sub);
+    }
+}

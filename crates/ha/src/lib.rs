@@ -1,0 +1,53 @@
+//! Hardware-accelerator models: the bus masters of the evaluation.
+//!
+//! The paper evaluates the interconnects with Xilinx AXI DMAs (which
+//! saturate the platform's memory bandwidth) and with the CHaiDNN deep
+//! neural network accelerator running quantized GoogleNet. This crate
+//! provides behavioral models of both, plus synthetic traffic generators
+//! for the fairness/reservation ablations:
+//!
+//! * [`engine`] — reusable read/write burst engines (issue logic,
+//!   outstanding limiting, 4 KiB clamping, latency bookkeeping);
+//! * [`dma`] — a Xilinx-AXI-DMA-like engine moving configurable amounts
+//!   of data per job (`HA_DMA` in the paper's case study);
+//! * [`chaidnn`] — a layer-schedule replay of a CHaiDNN-style DNN
+//!   accelerator, with a bundled quantized-GoogleNet schedule
+//!   (`HA_CHaiDNN`);
+//! * [`traffic`] — synthetic masters: constant-rate readers, the
+//!   *bandwidth stealer* of the fairness experiment, and a seeded
+//!   random mix.
+//!
+//! All models implement [`Accelerator`] and drive one interconnect
+//! slave port.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaidnn;
+pub mod dma;
+pub mod engine;
+pub mod traffic;
+
+use axi::AxiPort;
+use sim::Cycle;
+
+/// A bus master occupying one interconnect slave port.
+pub trait Accelerator: std::any::Any {
+    /// Advances the accelerator one cycle against its port. Returns
+    /// `true` if any state changed.
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Whether the accelerator has completed a finite workload (always
+    /// `false` for free-running generators).
+    fn is_done(&self) -> bool;
+
+    /// Completed work items (DMA jobs, DNN frames, ...).
+    fn jobs_completed(&self) -> u64;
+
+    /// Type-erased view for downcasting to the concrete model (the
+    /// benchmark harness uses this to read model-specific statistics).
+    fn as_any(&self) -> &dyn std::any::Any;
+}

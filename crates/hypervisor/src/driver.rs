@@ -1,0 +1,446 @@
+//! The HyperConnect register driver.
+//!
+//! The paper ships the IP with an open-source driver; this is its model:
+//! a thin, well-typed layer over the memory-mapped register file,
+//! performing all accesses through the AXI-Lite bus (the PS-FPGA
+//! interface path a real hypervisor would use), never touching model
+//! internals.
+
+use axi::lite::{DecodeError, LiteBus};
+use hyperconnect::analysis::{budgets_from_shares, period_capacity_txns};
+use hyperconnect::regfile::{offsets, port_block_offset, BUDGET_UNLIMITED, IP_VERSION};
+
+/// Typed accessor for one HyperConnect instance mapped on a [`LiteBus`].
+///
+/// Borrow-based: the hypervisor owns the bus, drivers are created on
+/// demand for the device being configured.
+#[derive(Debug, Clone, Copy)]
+pub struct HcDriver<'b> {
+    bus: &'b LiteBus,
+    base: u64,
+}
+
+/// Error returned by driver operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverError {
+    /// The bus had no device at the accessed address.
+    Bus(DecodeError),
+    /// The device did not identify as a HyperConnect.
+    WrongDevice {
+        /// The VERSION register value found.
+        found: u32,
+    },
+    /// A port index beyond the device's port count.
+    BadPort {
+        /// The offending index.
+        port: usize,
+        /// Ports the device actually has.
+        num_ports: usize,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Bus(e) => write!(f, "bus error: {e}"),
+            DriverError::WrongDevice { found } => {
+                write!(f, "device version {found:#x} is not a HyperConnect")
+            }
+            DriverError::BadPort { port, num_ports } => {
+                write!(f, "port {port} out of range (device has {num_ports})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<DecodeError> for DriverError {
+    fn from(e: DecodeError) -> Self {
+        DriverError::Bus(e)
+    }
+}
+
+impl<'b> HcDriver<'b> {
+    /// Binds a driver to the device at `base`, verifying its VERSION
+    /// register.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Bus`] if nothing is mapped at `base`;
+    /// [`DriverError::WrongDevice`] if the ID register mismatches.
+    pub fn probe(bus: &'b LiteBus, base: u64) -> Result<Self, DriverError> {
+        let version = bus.read32(base + offsets::VERSION)?;
+        if version != IP_VERSION {
+            return Err(DriverError::WrongDevice { found: version });
+        }
+        Ok(Self { bus, base })
+    }
+
+    /// Number of slave ports reported by the device.
+    pub fn num_ports(&self) -> Result<usize, DriverError> {
+        Ok(self.bus.read32(self.base + offsets::NPORTS)? as usize)
+    }
+
+    fn check_port(&self, port: usize) -> Result<(), DriverError> {
+        let n = self.num_ports()?;
+        if port >= n {
+            return Err(DriverError::BadPort { port, num_ports: n });
+        }
+        Ok(())
+    }
+
+    /// Globally enables or disables the interconnect.
+    pub fn set_enabled(&self, enabled: bool) -> Result<(), DriverError> {
+        Ok(self.bus.write32(self.base + offsets::CTRL, enabled as u32)?)
+    }
+
+    /// Programs the reservation period in cycles.
+    pub fn set_period(&self, cycles: u32) -> Result<(), DriverError> {
+        Ok(self.bus.write32(self.base + offsets::PERIOD, cycles)?)
+    }
+
+    /// Reads the reservation period.
+    pub fn period(&self) -> Result<u32, DriverError> {
+        Ok(self.bus.read32(self.base + offsets::PERIOD)?)
+    }
+
+    /// Programs the nominal burst length in beats.
+    pub fn set_nominal_burst(&self, beats: u32) -> Result<(), DriverError> {
+        Ok(self.bus.write32(self.base + offsets::NOMINAL, beats)?)
+    }
+
+    /// Reads the nominal burst length.
+    pub fn nominal_burst(&self) -> Result<u32, DriverError> {
+        Ok(self.bus.read32(self.base + offsets::NOMINAL)?)
+    }
+
+    /// Programs a port's budget (sub-transactions per period);
+    /// [`BUDGET_UNLIMITED`] disables reservation for the port.
+    pub fn set_budget(&self, port: usize, budget: u32) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_BUDGET;
+        Ok(self.bus.write32(off, budget)?)
+    }
+
+    /// Reads a port's budget.
+    pub fn budget(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_BUDGET;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// Removes reservation from every port.
+    pub fn clear_budgets(&self) -> Result<(), DriverError> {
+        for p in 0..self.num_ports()? {
+            self.set_budget(p, BUDGET_UNLIMITED)?;
+        }
+        Ok(())
+    }
+
+    /// Partitions the bus bandwidth by percentage shares (the paper's
+    /// `HC-X-Y`): translates shares into per-port budgets given the
+    /// current period, nominal burst and the memory's first-word
+    /// latency, then programs them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors; panics (via the analysis helper) if the
+    /// shares do not sum to 100 or the count mismatches the port count.
+    pub fn set_bandwidth_shares(
+        &self,
+        shares_percent: &[u32],
+        mem_first_word_latency: u64,
+    ) -> Result<Vec<u32>, DriverError> {
+        let n = self.num_ports()?;
+        assert_eq!(shares_percent.len(), n, "one share per port required");
+        let period = self.period()? as u64;
+        let nominal = self.nominal_burst()?;
+        let capacity = period_capacity_txns(period, nominal, mem_first_word_latency);
+        let budgets = budgets_from_shares(capacity, shares_percent);
+        for (p, &b) in budgets.iter().enumerate() {
+            self.set_budget(p, b)?;
+        }
+        Ok(budgets)
+    }
+
+    /// Programs a port's outstanding-transaction limit.
+    pub fn set_max_outstanding(&self, port: usize, limit: u32) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_MAX_OUT;
+        Ok(self.bus.write32(off, limit)?)
+    }
+
+    /// Decouples (`true`) or recouples (`false`) a port — the paper's
+    /// memory-subsystem decoupling for misbehaving accelerators.
+    pub fn set_decoupled(&self, port: usize, decoupled: bool) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_CTRL;
+        Ok(self.bus.write32(off, (!decoupled) as u32)?)
+    }
+
+    /// Whether a port is currently decoupled.
+    pub fn is_decoupled(&self, port: usize) -> Result<bool, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_CTRL;
+        Ok(self.bus.read32(off)? & 1 == 0)
+    }
+
+    /// Sub-transactions a port issued in the current period.
+    pub fn txns_this_period(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_TXN_PERIOD;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// Sub-transactions a port issued since reset (low 32 bits).
+    pub fn txns_total(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_TXN_TOTAL;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// Captures the full runtime configuration — used around dynamic
+    /// partial reconfiguration, where a bitstream swap must restore the
+    /// interconnect policy afterwards.
+    pub fn snapshot(&self) -> Result<HcSnapshot, DriverError> {
+        let n = self.num_ports()?;
+        let mut ports = Vec::with_capacity(n);
+        for p in 0..n {
+            let block = self.base + port_block_offset(p);
+            ports.push(PortSnapshot {
+                budget: self.bus.read32(block + offsets::PORT_BUDGET)?,
+                enabled: self.bus.read32(block + offsets::PORT_CTRL)? & 1 == 1,
+                max_outstanding: self.bus.read32(block + offsets::PORT_MAX_OUT)?,
+            });
+        }
+        Ok(HcSnapshot {
+            period: self.period()?,
+            nominal_burst: self.nominal_burst()?,
+            ports,
+        })
+    }
+
+    /// Reprograms the device from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot's port count does not match the device.
+    pub fn restore(&self, snapshot: &HcSnapshot) -> Result<(), DriverError> {
+        let n = self.num_ports()?;
+        if snapshot.ports.len() != n {
+            return Err(DriverError::BadPort {
+                port: snapshot.ports.len(),
+                num_ports: n,
+            });
+        }
+        self.set_period(snapshot.period)?;
+        self.set_nominal_burst(snapshot.nominal_burst)?;
+        for (p, s) in snapshot.ports.iter().enumerate() {
+            self.set_budget(p, s.budget)?;
+            self.set_max_outstanding(p, s.max_outstanding)?;
+            self.set_decoupled(p, !s.enabled)?;
+        }
+        Ok(())
+    }
+}
+
+/// Saved runtime configuration of one port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSnapshot {
+    /// Budget register value.
+    pub budget: u32,
+    /// Coupled state.
+    pub enabled: bool,
+    /// Outstanding limit.
+    pub max_outstanding: u32,
+}
+
+/// Saved runtime configuration of a whole HyperConnect — see
+/// [`HcDriver::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HcSnapshot {
+    /// Reservation period in cycles.
+    pub period: u32,
+    /// Nominal burst length in beats.
+    pub nominal_burst: u32,
+    /// Per-port configuration, in port order.
+    pub ports: Vec<PortSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi::lite::LiteHandle;
+    use hyperconnect::{HcConfig, HyperConnect};
+
+    const BASE: u64 = 0xA000_0000;
+
+    fn bus_with_hc(n: usize) -> (LiteBus, HyperConnect) {
+        let hc = HyperConnect::new(HcConfig::new(n));
+        let mut bus = LiteBus::new();
+        bus.map(BASE, 0x1000, hc.regs());
+        (bus, hc)
+    }
+
+    #[test]
+    fn probe_succeeds_on_hyperconnect() {
+        let (bus, _hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        assert_eq!(drv.num_ports().unwrap(), 2);
+    }
+
+    #[test]
+    fn probe_fails_on_empty_bus() {
+        let bus = LiteBus::new();
+        assert!(matches!(
+            HcDriver::probe(&bus, BASE),
+            Err(DriverError::Bus(_))
+        ));
+    }
+
+    #[test]
+    fn probe_fails_on_wrong_device() {
+        #[derive(Default)]
+        struct NotHc;
+        impl axi::lite::LiteDevice for NotHc {
+            fn read32(&mut self, _o: u64) -> u32 {
+                0xBAD
+            }
+            fn write32(&mut self, _o: u64, _v: u32) {}
+        }
+        let mut bus = LiteBus::new();
+        bus.map(BASE, 0x1000, LiteHandle::new(NotHc));
+        assert_eq!(
+            HcDriver::probe(&bus, BASE).unwrap_err(),
+            DriverError::WrongDevice { found: 0xBAD }
+        );
+    }
+
+    #[test]
+    fn global_configuration_roundtrip() {
+        let (bus, _hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        drv.set_period(10_000).unwrap();
+        drv.set_nominal_burst(8).unwrap();
+        assert_eq!(drv.period().unwrap(), 10_000);
+        assert_eq!(drv.nominal_burst().unwrap(), 8);
+    }
+
+    #[test]
+    fn budget_and_decouple_roundtrip() {
+        let (bus, _hc) = bus_with_hc(3);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        drv.set_budget(1, 500).unwrap();
+        assert_eq!(drv.budget(1).unwrap(), 500);
+        assert!(!drv.is_decoupled(1).unwrap());
+        drv.set_decoupled(1, true).unwrap();
+        assert!(drv.is_decoupled(1).unwrap());
+        drv.set_decoupled(1, false).unwrap();
+        assert!(!drv.is_decoupled(1).unwrap());
+        drv.clear_budgets().unwrap();
+        assert_eq!(drv.budget(1).unwrap(), BUDGET_UNLIMITED);
+    }
+
+    #[test]
+    fn bad_port_rejected() {
+        let (bus, _hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        assert_eq!(
+            drv.set_budget(5, 1).unwrap_err(),
+            DriverError::BadPort {
+                port: 5,
+                num_ports: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bandwidth_shares_program_budgets() {
+        let (bus, _hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        drv.set_period(16_022).unwrap(); // capacity = (16022-22)/16 = 1000
+        let budgets = drv.set_bandwidth_shares(&[90, 10], 22).unwrap();
+        assert_eq!(budgets, vec![900, 100]);
+        assert_eq!(drv.budget(0).unwrap(), 900);
+        assert_eq!(drv.budget(1).unwrap(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "one share per port")]
+    fn share_count_must_match_ports() {
+        let (bus, _hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        let _ = drv.set_bandwidth_shares(&[100], 22);
+    }
+
+    #[test]
+    fn driver_changes_reach_the_interconnect() {
+        use axi::types::BurstSize;
+        use axi::{ArBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (bus, mut hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        drv.set_decoupled(0, true).unwrap();
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 1, BurstSize::B4))
+            .unwrap();
+        for now in 0..20 {
+            hc.tick(now);
+        }
+        assert!(
+            hc.mem_port().ar.pop_ready(20).is_none(),
+            "decoupled port must not reach memory"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let (bus, _hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        drv.set_period(12_345).unwrap();
+        drv.set_nominal_burst(8).unwrap();
+        drv.set_budget(0, 77).unwrap();
+        drv.set_max_outstanding(1, 9).unwrap();
+        drv.set_decoupled(1, true).unwrap();
+        let snap = drv.snapshot().unwrap();
+        // Scramble everything (as a DPR bitstream swap would reset it).
+        drv.set_period(1).unwrap();
+        drv.set_nominal_burst(1).unwrap();
+        drv.clear_budgets().unwrap();
+        drv.set_decoupled(1, false).unwrap();
+        drv.set_max_outstanding(1, 1).unwrap();
+        // Restore and verify.
+        drv.restore(&snap).unwrap();
+        assert_eq!(drv.period().unwrap(), 12_345);
+        assert_eq!(drv.nominal_burst().unwrap(), 8);
+        assert_eq!(drv.budget(0).unwrap(), 77);
+        assert!(drv.is_decoupled(1).unwrap());
+        assert_eq!(drv.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshot() {
+        let (bus, _hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        let mut snap = drv.snapshot().unwrap();
+        snap.ports.pop();
+        assert!(matches!(
+            drv.restore(&snap),
+            Err(DriverError::BadPort { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DriverError::WrongDevice { found: 0x1 };
+        assert!(e.to_string().contains("not a HyperConnect"));
+        let e = DriverError::BadPort {
+            port: 9,
+            num_ports: 2,
+        };
+        assert!(e.to_string().contains("9"));
+    }
+}

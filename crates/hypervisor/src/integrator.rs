@@ -1,0 +1,387 @@
+//! The system-integration flow: IP-XACT component descriptions and
+//! design assembly.
+//!
+//! The paper's framework (§IV) assumes accelerators are delivered as IP
+//! with an XML description (IP-XACT) and that a *system integrator*
+//! connects every HA master port to a HyperConnect slave port, the
+//! HyperConnect master port to the FPGA-PS interface, and the control
+//! ports to the PS-FPGA interface. This module models that flow: typed
+//! component descriptions, an IP-XACT 2014 XML exporter, and a design
+//! assembler that validates the connection rules before "synthesis".
+
+/// Direction/role of an AXI bus interface on a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IfaceRole {
+    /// An AXI master (initiator) interface.
+    Master,
+    /// An AXI slave (target) interface.
+    Slave,
+    /// An AXI4-Lite control slave interface.
+    ControlSlave,
+}
+
+impl IfaceRole {
+    fn ipxact_mode(self) -> &'static str {
+        match self {
+            IfaceRole::Master => "master",
+            IfaceRole::Slave | IfaceRole::ControlSlave => "slave",
+        }
+    }
+}
+
+/// One bus interface of a component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusInterface {
+    /// Interface name (e.g. `M00_AXI`).
+    pub name: String,
+    /// Role of the interface.
+    pub role: IfaceRole,
+}
+
+/// An IP component description (the unit of exchange between
+/// application developers and the system integrator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentDesc {
+    /// Vendor identifier (reverse-DNS style).
+    pub vendor: String,
+    /// IP library name.
+    pub library: String,
+    /// Component name.
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// The component's bus interfaces.
+    pub interfaces: Vec<BusInterface>,
+    /// Named integer parameters (e.g. `NUM_PORTS`).
+    pub parameters: Vec<(String, u64)>,
+}
+
+impl ComponentDesc {
+    /// The description of an N-port HyperConnect as exported by this
+    /// reproduction.
+    pub fn hyperconnect(num_ports: usize) -> Self {
+        let mut interfaces: Vec<BusInterface> = (0..num_ports)
+            .map(|i| BusInterface {
+                name: format!("S{i:02}_AXI"),
+                role: IfaceRole::Slave,
+            })
+            .collect();
+        interfaces.push(BusInterface {
+            name: "M00_AXI".into(),
+            role: IfaceRole::Master,
+        });
+        interfaces.push(BusInterface {
+            name: "S_AXI_CTRL".into(),
+            role: IfaceRole::ControlSlave,
+        });
+        Self {
+            vendor: "it.sssup.retis".into(),
+            library: "interconnect".into(),
+            name: "axi_hyperconnect".into(),
+            version: "1.0".into(),
+            interfaces,
+            parameters: vec![("NUM_PORTS".into(), num_ports as u64)],
+        }
+    }
+
+    /// A generic accelerator description with one master and one
+    /// control-slave interface (the standard HA shape of §II).
+    pub fn accelerator(name: impl Into<String>) -> Self {
+        Self {
+            vendor: "com.example".into(),
+            library: "accelerators".into(),
+            name: name.into(),
+            version: "1.0".into(),
+            interfaces: vec![
+                BusInterface {
+                    name: "M_AXI".into(),
+                    role: IfaceRole::Master,
+                },
+                BusInterface {
+                    name: "S_AXI_CTRL".into(),
+                    role: IfaceRole::ControlSlave,
+                },
+            ],
+            parameters: Vec::new(),
+        }
+    }
+
+    /// Interfaces with the given role.
+    pub fn interfaces_with_role(&self, role: IfaceRole) -> impl Iterator<Item = &BusInterface> {
+        self.interfaces.iter().filter(move |i| i.role == role)
+    }
+
+    /// Serializes the component as IP-XACT 2014 XML.
+    pub fn to_ipxact_xml(&self) -> String {
+        let mut xml = String::new();
+        xml.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        xml.push_str(
+            "<ipxact:component xmlns:ipxact=\"http://www.accellera.org/XMLSchema/IPXACT/1685-2014\">\n",
+        );
+        xml.push_str(&format!(
+            "  <ipxact:vendor>{}</ipxact:vendor>\n",
+            escape(&self.vendor)
+        ));
+        xml.push_str(&format!(
+            "  <ipxact:library>{}</ipxact:library>\n",
+            escape(&self.library)
+        ));
+        xml.push_str(&format!(
+            "  <ipxact:name>{}</ipxact:name>\n",
+            escape(&self.name)
+        ));
+        xml.push_str(&format!(
+            "  <ipxact:version>{}</ipxact:version>\n",
+            escape(&self.version)
+        ));
+        xml.push_str("  <ipxact:busInterfaces>\n");
+        for iface in &self.interfaces {
+            xml.push_str("    <ipxact:busInterface>\n");
+            xml.push_str(&format!(
+                "      <ipxact:name>{}</ipxact:name>\n",
+                escape(&iface.name)
+            ));
+            xml.push_str(&format!(
+                "      <ipxact:{mode}/>\n",
+                mode = iface.role.ipxact_mode()
+            ));
+            xml.push_str("    </ipxact:busInterface>\n");
+        }
+        xml.push_str("  </ipxact:busInterfaces>\n");
+        if !self.parameters.is_empty() {
+            xml.push_str("  <ipxact:parameters>\n");
+            for (name, value) in &self.parameters {
+                xml.push_str("    <ipxact:parameter>\n");
+                xml.push_str(&format!(
+                    "      <ipxact:name>{}</ipxact:name>\n",
+                    escape(name)
+                ));
+                xml.push_str(&format!(
+                    "      <ipxact:value>{value}</ipxact:value>\n"
+                ));
+                xml.push_str("    </ipxact:parameter>\n");
+            }
+            xml.push_str("  </ipxact:parameters>\n");
+        }
+        xml.push_str("</ipxact:component>\n");
+        xml
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Errors detected while assembling a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrationError {
+    /// More accelerators than interconnect slave ports.
+    NotEnoughPorts {
+        /// Accelerators to connect.
+        accelerators: usize,
+        /// Available slave ports.
+        ports: usize,
+    },
+    /// An accelerator exposes no AXI master interface to connect.
+    NoMasterInterface {
+        /// The offending component name.
+        component: String,
+    },
+}
+
+impl std::fmt::Display for IntegrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrationError::NotEnoughPorts {
+                accelerators,
+                ports,
+            } => write!(
+                f,
+                "{accelerators} accelerators but only {ports} interconnect ports"
+            ),
+            IntegrationError::NoMasterInterface { component } => {
+                write!(f, "component {component} has no AXI master interface")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrationError {}
+
+/// One validated connection of the assembled design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// `instance.interface` on the initiating side.
+    pub from: String,
+    /// `instance.interface` on the target side.
+    pub to: String,
+}
+
+/// A validated design: the HyperConnect plus connected accelerators.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// The interconnect component.
+    pub interconnect: ComponentDesc,
+    /// The accelerator components, in slave-port order.
+    pub accelerators: Vec<ComponentDesc>,
+    /// All validated connections.
+    pub connections: Vec<Connection>,
+}
+
+impl Design {
+    /// Assembles and validates a design: each accelerator's master
+    /// interface is connected to the next interconnect slave port; the
+    /// interconnect master port goes to the FPGA-PS interface; all
+    /// control interfaces go to the PS-FPGA interface (owned by the
+    /// hypervisor).
+    ///
+    /// # Errors
+    ///
+    /// See [`IntegrationError`].
+    pub fn assemble(
+        interconnect: ComponentDesc,
+        accelerators: Vec<ComponentDesc>,
+    ) -> Result<Self, IntegrationError> {
+        let slave_ports: Vec<&BusInterface> = interconnect
+            .interfaces_with_role(IfaceRole::Slave)
+            .collect();
+        if accelerators.len() > slave_ports.len() {
+            return Err(IntegrationError::NotEnoughPorts {
+                accelerators: accelerators.len(),
+                ports: slave_ports.len(),
+            });
+        }
+        let mut connections = Vec::new();
+        for (i, acc) in accelerators.iter().enumerate() {
+            let master = acc
+                .interfaces_with_role(IfaceRole::Master)
+                .next()
+                .ok_or_else(|| IntegrationError::NoMasterInterface {
+                    component: acc.name.clone(),
+                })?;
+            connections.push(Connection {
+                from: format!("{}.{}", acc.name, master.name),
+                to: format!("{}.{}", interconnect.name, slave_ports[i].name),
+            });
+            for ctrl in acc.interfaces_with_role(IfaceRole::ControlSlave) {
+                connections.push(Connection {
+                    from: "ps.M_AXI_HPM0".into(),
+                    to: format!("{}.{}", acc.name, ctrl.name),
+                });
+            }
+        }
+        connections.push(Connection {
+            from: format!("{}.M00_AXI", interconnect.name),
+            to: "ps.S_AXI_HP0".into(),
+        });
+        connections.push(Connection {
+            from: "ps.M_AXI_HPM0".into(),
+            to: format!("{}.S_AXI_CTRL", interconnect.name),
+        });
+        Ok(Self {
+            interconnect,
+            accelerators,
+            connections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperconnect_description_shape() {
+        let desc = ComponentDesc::hyperconnect(3);
+        assert_eq!(
+            desc.interfaces_with_role(IfaceRole::Slave).count(),
+            3
+        );
+        assert_eq!(desc.interfaces_with_role(IfaceRole::Master).count(), 1);
+        assert_eq!(
+            desc.interfaces_with_role(IfaceRole::ControlSlave).count(),
+            1
+        );
+        assert_eq!(desc.parameters[0], ("NUM_PORTS".into(), 3));
+    }
+
+    #[test]
+    fn ipxact_export_is_wellformed_enough() {
+        let xml = ComponentDesc::hyperconnect(2).to_ipxact_xml();
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.contains("<ipxact:name>axi_hyperconnect</ipxact:name>"));
+        assert!(xml.contains("S00_AXI"));
+        assert!(xml.contains("S01_AXI"));
+        assert!(xml.contains("M00_AXI"));
+        assert!(xml.contains("NUM_PORTS"));
+        assert!(xml.ends_with("</ipxact:component>\n"));
+        // Balanced open/close of busInterface elements.
+        assert_eq!(
+            xml.matches("<ipxact:busInterface>").count(),
+            xml.matches("</ipxact:busInterface>").count()
+        );
+    }
+
+    #[test]
+    fn xml_escaping() {
+        let mut desc = ComponentDesc::accelerator("a<b>&\"c");
+        desc.vendor = "v&v".into();
+        let xml = desc.to_ipxact_xml();
+        assert!(xml.contains("a&lt;b&gt;&amp;&quot;c"));
+        assert!(xml.contains("v&amp;v"));
+        assert!(!xml.contains("a<b>"));
+    }
+
+    #[test]
+    fn assemble_connects_everything() {
+        let design = Design::assemble(
+            ComponentDesc::hyperconnect(2),
+            vec![
+                ComponentDesc::accelerator("chaidnn"),
+                ComponentDesc::accelerator("dma"),
+            ],
+        )
+        .unwrap();
+        let conns: Vec<String> = design
+            .connections
+            .iter()
+            .map(|c| format!("{} -> {}", c.from, c.to))
+            .collect();
+        assert!(conns.contains(&"chaidnn.M_AXI -> axi_hyperconnect.S00_AXI".to_string()));
+        assert!(conns.contains(&"dma.M_AXI -> axi_hyperconnect.S01_AXI".to_string()));
+        assert!(conns.contains(&"axi_hyperconnect.M00_AXI -> ps.S_AXI_HP0".to_string()));
+        assert!(conns.contains(&"ps.M_AXI_HPM0 -> axi_hyperconnect.S_AXI_CTRL".to_string()));
+    }
+
+    #[test]
+    fn assemble_rejects_too_many_accelerators() {
+        let err = Design::assemble(
+            ComponentDesc::hyperconnect(1),
+            vec![
+                ComponentDesc::accelerator("a"),
+                ComponentDesc::accelerator("b"),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            IntegrationError::NotEnoughPorts {
+                accelerators: 2,
+                ports: 1
+            }
+        );
+        assert!(err.to_string().contains("2 accelerators"));
+    }
+
+    #[test]
+    fn assemble_rejects_masterless_component() {
+        let mut acc = ComponentDesc::accelerator("broken");
+        acc.interfaces.retain(|i| i.role != IfaceRole::Master);
+        let err =
+            Design::assemble(ComponentDesc::hyperconnect(1), vec![acc]).unwrap_err();
+        assert!(matches!(err, IntegrationError::NoMasterInterface { .. }));
+    }
+}

@@ -1,0 +1,406 @@
+//! The hypervisor proper: domains, bandwidth partitioning, interrupt
+//! routing, and run-time health monitoring.
+
+use std::collections::HashMap;
+
+use axi::lite::LiteBus;
+use axi::types::PortId;
+
+use crate::domain::{Criticality, Domain, DomainId};
+use crate::driver::{DriverError, HcDriver};
+
+/// Errors surfaced by hypervisor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HvError {
+    /// Underlying register-driver failure.
+    Driver(DriverError),
+    /// The referenced domain does not exist.
+    UnknownDomain(DomainId),
+    /// The referenced port is already assigned to a domain.
+    PortTaken(PortId),
+    /// The referenced port is not assigned to any domain.
+    UnassignedPort(PortId),
+}
+
+impl std::fmt::Display for HvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HvError::Driver(e) => write!(f, "driver: {e}"),
+            HvError::UnknownDomain(d) => write!(f, "unknown domain {d}"),
+            HvError::PortTaken(p) => write!(f, "{p} is already assigned"),
+            HvError::UnassignedPort(p) => write!(f, "{p} is not assigned to any domain"),
+        }
+    }
+}
+
+impl std::error::Error for HvError {}
+
+impl From<DriverError> for HvError {
+    fn from(e: DriverError) -> Self {
+        HvError::Driver(e)
+    }
+}
+
+/// Health-monitoring policy for a port: how many sub-transactions per
+/// reservation period the accelerator *declared* it needs, and how many
+/// consecutive violations are tolerated before the hypervisor decouples
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorPolicy {
+    /// Declared sub-transactions per period.
+    pub declared_txns_per_period: u32,
+    /// Consecutive violating polls tolerated before decoupling.
+    pub violations_allowed: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct MonitorState {
+    consecutive_violations: u32,
+    decoupled_by_monitor: bool,
+}
+
+/// A decoupling event recorded by the health monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecoupleEvent {
+    /// The offending port.
+    pub port: PortId,
+    /// Sub-transactions observed in the violating period.
+    pub observed: u32,
+    /// The declared limit.
+    pub declared: u32,
+}
+
+/// The hypervisor: owns the control bus, the domain table and the
+/// monitoring state for one HyperConnect instance.
+///
+/// # Example
+///
+/// ```
+/// use axi::lite::LiteBus;
+/// use axi::types::PortId;
+/// use hyperconnect::{HcConfig, HyperConnect};
+/// use hypervisor::{Criticality, Hypervisor};
+///
+/// # fn main() -> Result<(), hypervisor::HvError> {
+/// let hc = HyperConnect::new(HcConfig::new(2));
+/// let mut bus = LiteBus::new();
+/// bus.map(0xA000_0000, 0x1000, hc.regs());
+/// let mut hv = Hypervisor::new(bus, 0xA000_0000)?;
+/// let dom = hv.create_domain("perception", Criticality::Safety);
+/// hv.assign_port(dom, PortId(0))?;
+/// hv.hc().set_period(50_000)?;
+/// hv.set_bandwidth_shares(&[90, 10], 22)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Hypervisor {
+    bus: LiteBus,
+    hc_base: u64,
+    domains: Vec<Domain>,
+    port_owner: HashMap<usize, DomainId>,
+    policies: HashMap<usize, MonitorPolicy>,
+    monitor: HashMap<usize, MonitorState>,
+    decouple_log: Vec<DecoupleEvent>,
+}
+
+impl std::fmt::Debug for Hypervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hypervisor")
+            .field("domains", &self.domains.len())
+            .field("assigned_ports", &self.port_owner.len())
+            .finish()
+    }
+}
+
+impl Hypervisor {
+    /// Creates a hypervisor controlling the HyperConnect mapped at
+    /// `hc_base` on `bus`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no HyperConnect responds at `hc_base`.
+    pub fn new(bus: LiteBus, hc_base: u64) -> Result<Self, HvError> {
+        // Probe once to validate the mapping.
+        HcDriver::probe(&bus, hc_base)?;
+        Ok(Self {
+            bus,
+            hc_base,
+            domains: Vec::new(),
+            port_owner: HashMap::new(),
+            policies: HashMap::new(),
+            monitor: HashMap::new(),
+            decouple_log: Vec::new(),
+        })
+    }
+
+    /// A register driver bound to the managed device.
+    pub fn hc(&self) -> HcDriver<'_> {
+        HcDriver::probe(&self.bus, self.hc_base).expect("validated at construction")
+    }
+
+    /// Creates a new domain and returns its ID.
+    pub fn create_domain(
+        &mut self,
+        name: impl Into<String>,
+        criticality: Criticality,
+    ) -> DomainId {
+        let id = DomainId(self.domains.len() as u32);
+        self.domains.push(Domain::new(id, name, criticality));
+        id
+    }
+
+    /// The domain table.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// Looks up a domain.
+    pub fn domain(&self, id: DomainId) -> Result<&Domain, HvError> {
+        self.domains
+            .get(id.0 as usize)
+            .ok_or(HvError::UnknownDomain(id))
+    }
+
+    fn domain_mut(&mut self, id: DomainId) -> Result<&mut Domain, HvError> {
+        self.domains
+            .get_mut(id.0 as usize)
+            .ok_or(HvError::UnknownDomain(id))
+    }
+
+    /// Assigns interconnect port `port` to `domain` (each port belongs
+    /// to exactly one domain — the isolation granted via standard memory
+    /// virtualization in the paper's framework).
+    pub fn assign_port(&mut self, domain: DomainId, port: PortId) -> Result<(), HvError> {
+        if self.port_owner.contains_key(&port.0) {
+            return Err(HvError::PortTaken(port));
+        }
+        self.domain_mut(domain)?.assign(port);
+        self.port_owner.insert(port.0, domain);
+        Ok(())
+    }
+
+    /// The domain owning `port`, if any.
+    pub fn owner_of(&self, port: PortId) -> Option<DomainId> {
+        self.port_owner.get(&port.0).copied()
+    }
+
+    /// Routes an accelerator-completion interrupt from `port` to its
+    /// owning domain.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::UnassignedPort`] if no domain owns the port.
+    pub fn route_irq(&mut self, port: PortId) -> Result<DomainId, HvError> {
+        let owner = self
+            .owner_of(port)
+            .ok_or(HvError::UnassignedPort(port))?;
+        self.domain_mut(owner)?.raise_irq();
+        Ok(owner)
+    }
+
+    /// Partitions bandwidth by percentage shares across ports (the
+    /// paper's `HC-X-Y` configurations).
+    pub fn set_bandwidth_shares(
+        &self,
+        shares_percent: &[u32],
+        mem_first_word_latency: u64,
+    ) -> Result<Vec<u32>, HvError> {
+        Ok(self
+            .hc()
+            .set_bandwidth_shares(shares_percent, mem_first_word_latency)?)
+    }
+
+    /// Installs a health-monitoring policy for a port.
+    pub fn set_monitor_policy(&mut self, port: PortId, policy: MonitorPolicy) {
+        self.policies.insert(port.0, policy);
+        self.monitor.entry(port.0).or_default();
+    }
+
+    /// Polls the per-period transaction counters and decouples any port
+    /// that exceeded its declared budget for more than the allowed
+    /// number of consecutive polls. Returns the ports decoupled by this
+    /// poll. Intended to be called once per reservation period.
+    pub fn poll_health(&mut self) -> Result<Vec<DecoupleEvent>, HvError> {
+        let mut events = Vec::new();
+        let mut ports: Vec<usize> = self.policies.keys().copied().collect();
+        ports.sort_unstable();
+        for p in ports {
+            let policy = self.policies[&p];
+            if self
+                .monitor
+                .get(&p)
+                .is_some_and(|s| s.decoupled_by_monitor)
+            {
+                continue;
+            }
+            let observed = self.hc().txns_this_period(p)?;
+            let violating = observed > policy.declared_txns_per_period;
+            let violations = {
+                let state = self.monitor.entry(p).or_default();
+                if violating {
+                    state.consecutive_violations += 1;
+                } else {
+                    state.consecutive_violations = 0;
+                }
+                state.consecutive_violations
+            };
+            if violating && violations > policy.violations_allowed {
+                self.hc().set_decoupled(p, true)?;
+                self.monitor
+                    .get_mut(&p)
+                    .expect("inserted above")
+                    .decoupled_by_monitor = true;
+                let event = DecoupleEvent {
+                    port: PortId(p),
+                    observed,
+                    declared: policy.declared_txns_per_period,
+                };
+                self.decouple_log.push(event.clone());
+                events.push(event);
+            }
+        }
+        Ok(events)
+    }
+
+    /// All decoupling events since boot.
+    pub fn decouple_log(&self) -> &[DecoupleEvent] {
+        &self.decouple_log
+    }
+
+    /// Manually recouples a port (e.g. after the offending domain was
+    /// restarted) and clears its monitor state.
+    pub fn recouple(&mut self, port: PortId) -> Result<(), HvError> {
+        self.hc().set_decoupled(port.0, false)?;
+        self.monitor.insert(port.0, MonitorState::default());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperconnect::{HcConfig, HyperConnect};
+
+    const BASE: u64 = 0xA000_0000;
+
+    fn hypervisor(n: usize) -> (Hypervisor, HyperConnect) {
+        let hc = HyperConnect::new(HcConfig::new(n));
+        let mut bus = LiteBus::new();
+        bus.map(BASE, 0x1000, hc.regs());
+        (Hypervisor::new(bus, BASE).unwrap(), hc)
+    }
+
+    #[test]
+    fn construction_probes_device() {
+        let bus = LiteBus::new();
+        assert!(matches!(
+            Hypervisor::new(bus, BASE),
+            Err(HvError::Driver(_))
+        ));
+    }
+
+    #[test]
+    fn domain_and_port_assignment() {
+        let (mut hv, _hc) = hypervisor(2);
+        let crit = hv.create_domain("vision", Criticality::Safety);
+        let best = hv.create_domain("logging", Criticality::BestEffort);
+        hv.assign_port(crit, PortId(0)).unwrap();
+        hv.assign_port(best, PortId(1)).unwrap();
+        assert_eq!(hv.owner_of(PortId(0)), Some(crit));
+        assert_eq!(
+            hv.assign_port(best, PortId(0)).unwrap_err(),
+            HvError::PortTaken(PortId(0))
+        );
+        assert_eq!(hv.domains().len(), 2);
+        assert!(hv.domain(crit).unwrap().owns(PortId(0)));
+        assert!(matches!(
+            hv.domain(DomainId(9)),
+            Err(HvError::UnknownDomain(_))
+        ));
+    }
+
+    #[test]
+    fn irq_routing() {
+        let (mut hv, _hc) = hypervisor(2);
+        let d = hv.create_domain("vm", Criticality::Mission);
+        hv.assign_port(d, PortId(1)).unwrap();
+        assert_eq!(hv.route_irq(PortId(1)).unwrap(), d);
+        assert_eq!(hv.domain(d).unwrap().total_irqs(), 1);
+        assert_eq!(
+            hv.route_irq(PortId(0)).unwrap_err(),
+            HvError::UnassignedPort(PortId(0))
+        );
+    }
+
+    #[test]
+    fn bandwidth_shares_reach_device() {
+        let (hv, _hc) = hypervisor(2);
+        hv.hc().set_period(16_022).unwrap();
+        let budgets = hv.set_bandwidth_shares(&[70, 30], 22).unwrap();
+        assert_eq!(budgets, vec![700, 300]);
+        assert_eq!(hv.hc().budget(0).unwrap(), 700);
+    }
+
+    #[test]
+    fn health_monitor_decouples_after_tolerance() {
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_monitor_policy(
+            PortId(0),
+            MonitorPolicy {
+                declared_txns_per_period: 10,
+                violations_allowed: 1,
+            },
+        );
+        // Make the device report a violating counter: issue real traffic.
+        use axi::types::BurstSize;
+        use axi::{ArBeat, AxiInterconnect};
+        use sim::Component;
+        // Raise the outstanding limit so all 16 sub-transactions issue
+        // without waiting for read data (none is returned here).
+        hv.hc().set_max_outstanding(0, 64).unwrap();
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4)) // 16 subs > 10
+            .unwrap();
+        for now in 0..80 {
+            hc.tick(now);
+            while hc.mem_port().ar.pop_ready(now).is_some() {}
+        }
+        // First poll: violation 1 (tolerated).
+        assert!(hv.poll_health().unwrap().is_empty());
+        // Second poll: violation 2 > allowed 1 -> decouple.
+        let events = hv.poll_health().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].port, PortId(0));
+        assert!(hv.hc().is_decoupled(0).unwrap());
+        assert_eq!(hv.decouple_log().len(), 1);
+        // Already-decoupled ports are not re-reported.
+        assert!(hv.poll_health().unwrap().is_empty());
+        // Recoupling clears state.
+        hv.recouple(PortId(0)).unwrap();
+        assert!(!hv.hc().is_decoupled(0).unwrap());
+    }
+
+    #[test]
+    fn well_behaved_port_never_decoupled() {
+        let (mut hv, _hc) = hypervisor(2);
+        hv.set_monitor_policy(
+            PortId(1),
+            MonitorPolicy {
+                declared_txns_per_period: 100,
+                violations_allowed: 0,
+            },
+        );
+        for _ in 0..10 {
+            assert!(hv.poll_health().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(HvError::PortTaken(PortId(1)).to_string().contains("port1"));
+        assert!(HvError::UnknownDomain(DomainId(3))
+            .to_string()
+            .contains("dom3"));
+    }
+}

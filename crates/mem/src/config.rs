@@ -1,0 +1,130 @@
+//! Memory-controller configuration.
+
+use sim::Cycle;
+
+/// Open-page DRAM row-buffer policy: per-bank row buffers make the
+/// first-word latency depend on locality (row hit vs row miss) instead
+/// of being flat.
+///
+/// Addresses map to banks by low-order row interleaving:
+/// `bank = (addr / row_bytes) % banks`, `row = addr / (row_bytes *
+/// banks)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowPolicy {
+    /// Number of banks (power of two).
+    pub banks: u32,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// First-word latency on a row hit.
+    pub hit_latency: Cycle,
+    /// First-word latency on a row miss (precharge + activate).
+    pub miss_latency: Cycle,
+}
+
+impl Default for RowPolicy {
+    /// DDR4-flavoured defaults at the modeled 150 MHz fabric clock.
+    fn default() -> Self {
+        Self {
+            banks: 4,
+            row_bytes: 2048,
+            hit_latency: 12,
+            miss_latency: 34,
+        }
+    }
+}
+
+/// Timing and capacity parameters of the modeled DRAM controller.
+///
+/// Defaults approximate a Zynq UltraScale+ DDR controller seen from the
+/// programmable logic at 150 MHz through an HP port: a couple dozen
+/// cycles to the first word, then one (128-bit) beat per cycle while a
+/// burst streams, with a handful of outstanding transactions in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Cycles from a request entering service to its first data beat
+    /// (row activation + controller pipeline + FPGA-PS interface).
+    pub first_word_latency: Cycle,
+    /// Cycles from the end of a write burst's bus occupancy to its B
+    /// response.
+    pub write_resp_latency: Cycle,
+    /// Maximum requests in the service pipeline (accepted but not yet
+    /// serving). Models the controller's outstanding-transaction depth.
+    pub pipeline_depth: usize,
+    /// Maximum completed-but-unserved write bursts buffered.
+    pub write_buffer_depth: usize,
+    /// Optional open-page row-buffer model; `None` uses the flat
+    /// `first_word_latency` for every request.
+    pub row_policy: Option<RowPolicy>,
+}
+
+impl MemConfig {
+    /// The default ZCU102-like configuration used across experiments.
+    pub fn zcu102() -> Self {
+        Self {
+            first_word_latency: 22,
+            write_resp_latency: 4,
+            pipeline_depth: 8,
+            write_buffer_depth: 8,
+            row_policy: None,
+        }
+    }
+
+    /// A fast, almost-ideal memory (useful to isolate interconnect
+    /// effects in unit tests).
+    pub fn ideal() -> Self {
+        Self {
+            first_word_latency: 1,
+            write_resp_latency: 1,
+            pipeline_depth: 16,
+            write_buffer_depth: 16,
+            row_policy: None,
+        }
+    }
+
+    /// Overrides the first-word latency.
+    pub fn first_word_latency(mut self, cycles: Cycle) -> Self {
+        self.first_word_latency = cycles;
+        self
+    }
+
+    /// Overrides the pipeline depth.
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Enables the open-page row-buffer model.
+    pub fn row_policy(mut self, policy: RowPolicy) -> Self {
+        self.row_policy = Some(policy);
+        self
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::zcu102()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zcu102() {
+        assert_eq!(MemConfig::default(), MemConfig::zcu102());
+        assert_eq!(MemConfig::default().first_word_latency, 22);
+    }
+
+    #[test]
+    fn ideal_is_faster() {
+        assert!(MemConfig::ideal().first_word_latency < MemConfig::zcu102().first_word_latency);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = MemConfig::default().first_word_latency(5).pipeline_depth(2);
+        assert_eq!(cfg.first_word_latency, 5);
+        assert_eq!(cfg.pipeline_depth, 2);
+    }
+}

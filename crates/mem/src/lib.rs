@@ -1,0 +1,47 @@
+//! PS-side memory substrate: FPGA-PS interface + in-order DRAM
+//! controller model with a real backing store.
+//!
+//! The paper's architecture funnels all accelerator traffic through one
+//! FPGA-PS interface port into the processing system's DRAM controller
+//! (Fig. 1). This crate models that endpoint:
+//!
+//! * [`SparseMemory`] — a byte-addressable backing store, so reads
+//!   return previously written data and end-to-end data-integrity tests
+//!   are possible;
+//! * [`MemoryController`] — an in-order AXI slave that accepts requests
+//!   from an interconnect's master port and serves them with a
+//!   configurable first-word latency and one beat per cycle of streaming
+//!   bandwidth (the paper notes today's FPGA SoC memory controllers
+//!   serve transactions in order, §V-A *Compatibility*).
+//!
+//! # Example
+//!
+//! ```
+//! use axi::{ArBeat, AxiPort};
+//! use axi::types::BurstSize;
+//! use mem::{MemConfig, MemoryController};
+//!
+//! let mut port = AxiPort::default();
+//! let mut ctrl = MemoryController::new(MemConfig::default());
+//! port.ar.push(0, ArBeat::new(0x1000, 4, BurstSize::B16)).unwrap();
+//! // Tick until all four beats come back.
+//! let mut got = 0;
+//! for now in 0..200 {
+//!     ctrl.tick(now, &mut port);
+//!     while port.r.pop_ready(now).is_some() { got += 1; }
+//! }
+//! assert_eq!(got, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backing;
+pub mod config;
+pub mod controller;
+pub mod ps;
+
+pub use backing::SparseMemory;
+pub use config::{MemConfig, RowPolicy};
+pub use controller::{MemStats, MemoryController};
+pub use ps::PsCpu;

@@ -1,0 +1,134 @@
+//! Model-based property tests: the kernel queues against simple
+//! reference implementations.
+
+use proptest::prelude::*;
+use sim::fifo::DelayQueue;
+use sim::TimedFifo;
+use std::collections::VecDeque;
+
+/// One randomized queue operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push the next sequence number.
+    Push,
+    /// Pop if the head is visible.
+    Pop,
+    /// Advance the clock.
+    Advance(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Push),
+        Just(Op::Pop),
+        (1u8..5).prop_map(Op::Advance),
+    ]
+}
+
+proptest! {
+    /// `TimedFifo` behaves exactly like a reference queue of
+    /// `(visible_at, value)` pairs with FIFO order and capacity.
+    #[test]
+    fn timed_fifo_matches_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        capacity in 1usize..8,
+        latency in 0u64..4,
+    ) {
+        let mut dut = TimedFifo::new(capacity, latency);
+        let mut reference: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Op::Push => {
+                    let dut_ok = dut.push(now, seq).is_ok();
+                    let ref_ok = reference.len() < capacity;
+                    prop_assert_eq!(dut_ok, ref_ok, "push acceptance at {}", now);
+                    if ref_ok {
+                        reference.push_back((now + latency, seq));
+                    }
+                    seq += 1;
+                }
+                Op::Pop => {
+                    let expect = match reference.front() {
+                        Some(&(ready, v)) if ready <= now => {
+                            reference.pop_front();
+                            Some(v)
+                        }
+                        _ => None,
+                    };
+                    prop_assert_eq!(dut.pop_ready(now), expect, "pop at {}", now);
+                }
+                Op::Advance(d) => now += d as u64,
+            }
+            prop_assert_eq!(dut.len(), reference.len());
+            prop_assert_eq!(dut.is_empty(), reference.is_empty());
+            prop_assert_eq!(dut.is_full(), reference.len() >= capacity);
+        }
+    }
+
+    /// `DelayQueue` with per-entry delays matches the same reference.
+    #[test]
+    fn delay_queue_matches_reference(
+        ops in proptest::collection::vec((op_strategy(), 0u64..6), 1..200),
+        capacity in 1usize..8,
+    ) {
+        let mut dut: DelayQueue<u64> = DelayQueue::new(capacity);
+        let mut reference: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for (op, delay) in ops {
+            match op {
+                Op::Push => {
+                    let dut_ok = dut.push(now, delay, seq).is_ok();
+                    let ref_ok = reference.len() < capacity;
+                    prop_assert_eq!(dut_ok, ref_ok);
+                    if ref_ok {
+                        reference.push_back((now + delay, seq));
+                    }
+                    seq += 1;
+                }
+                Op::Pop => {
+                    let expect = match reference.front() {
+                        Some(&(ready, v)) if ready <= now => {
+                            reference.pop_front();
+                            Some(v)
+                        }
+                        _ => None,
+                    };
+                    prop_assert_eq!(dut.pop_ready(now), expect);
+                }
+                Op::Advance(d) => now += d as u64,
+            }
+            prop_assert_eq!(dut.len(), reference.len());
+        }
+    }
+
+    /// Whatever goes in comes out, once, in order — across any schedule.
+    #[test]
+    fn timed_fifo_conserves_elements(
+        gaps in proptest::collection::vec(0u64..4, 1..64),
+        capacity in 1usize..6,
+        latency in 0u64..3,
+    ) {
+        let mut fifo = TimedFifo::new(capacity, latency);
+        let mut now = 0;
+        let mut pushed = Vec::new();
+        let mut popped = Vec::new();
+        for (seq, gap) in gaps.into_iter().enumerate() {
+            now += gap;
+            if fifo.push(now, seq as u64).is_ok() {
+                pushed.push(seq as u64);
+            }
+            if let Some(v) = fifo.pop_ready(now) {
+                popped.push(v);
+            }
+        }
+        // Drain.
+        now += latency + 1;
+        while let Some(v) = fifo.pop_ready(now) {
+            popped.push(v);
+        }
+        prop_assert_eq!(popped, pushed);
+    }
+}

@@ -1,0 +1,682 @@
+//! Behavioral model of the Xilinx AXI SmartConnect — the closed-source
+//! state-of-the-art interconnect the paper compares against.
+//!
+//! The real SmartConnect's internals are not public; the paper (and the
+//! prior work it builds on) characterizes it through externally
+//! measurable behaviour, which is exactly what this model reproduces:
+//!
+//! * deeper pipelines than the HyperConnect — per-channel propagation
+//!   latencies calibrated to the paper's Fig. 3(a) measurements
+//!   (AR/AW ≈ 12 cycles, R ≈ 11, W ≈ 3, B ≈ 2);
+//! * round-robin arbitration with **variable granularity**: once a port
+//!   is selected it may be granted up to `g` consecutive transactions,
+//!   so a port can suffer up to `g × (N − 1)` interfering transactions
+//!   (paper §V-B);
+//! * **no burst equalization**: heterogeneous burst sizes translate
+//!   directly into unfair bandwidth shares (Restuccia et al., TECS
+//!   2019);
+//! * **no bandwidth reservation, no decoupling, no runtime
+//!   reconfiguration**; QoS signals are ignored (SmartConnect PG247).
+//!
+//! The model implements the same [`axi::AxiInterconnect`] trait as the
+//! HyperConnect so every experiment in the benchmark harness runs
+//! unchanged on both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use axi::beat::{ArBeat, AwBeat, RBeat};
+use axi::routing::{RouteEntry, RouteQueue};
+use axi::{AxiInterconnect, AxiPort, PortConfig};
+use sim::{Component, Cycle, SimRng, TimedFifo};
+
+/// How the arbiter chooses its per-port grant granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GranularityPolicy {
+    /// Always grant exactly `g` consecutive transactions per selection.
+    Fixed(u32),
+    /// Grant a uniformly random 1..=`g` consecutive transactions per
+    /// selection (the observed, timing-dependent behaviour).
+    UpTo(u32),
+}
+
+impl GranularityPolicy {
+    /// The largest granularity the policy can produce.
+    pub fn max(&self) -> u32 {
+        match *self {
+            GranularityPolicy::Fixed(g) | GranularityPolicy::UpTo(g) => g,
+        }
+    }
+}
+
+/// Configuration of a [`SmartConnect`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScConfig {
+    /// Number of slave (accelerator-facing) ports.
+    pub num_ports: usize,
+    /// Internal AR/AW pipeline latency (cycles), excluding the boundary
+    /// registers and the arbitration stage.
+    pub addr_pipe_latency: Cycle,
+    /// Internal R return-path latency (cycles), excluding boundaries.
+    pub r_pipe_latency: Cycle,
+    /// Internal W path latency (cycles), excluding boundaries.
+    pub w_pipe_latency: Cycle,
+    /// Internal B return-path latency (cycles), excluding boundaries.
+    pub b_pipe_latency: Cycle,
+    /// Arbitration granularity policy.
+    pub granularity: GranularityPolicy,
+    /// Outstanding transaction limit per port per direction.
+    pub max_outstanding: u32,
+    /// Boundary queue depths.
+    pub addr_depth: usize,
+    /// Data queue depths (W/R), in beats.
+    pub data_depth: usize,
+    /// Routing buffer depth (outstanding transactions).
+    pub routing_depth: usize,
+    /// RNG seed for the granularity draw.
+    pub seed: u64,
+}
+
+impl ScConfig {
+    /// A SmartConnect calibrated to the paper's measured latencies:
+    /// with the two boundary registers and one arbitration stage this
+    /// yields AR/AW = 12, R = 11, W = 3 and B = 2 cycles end to end.
+    pub fn new(num_ports: usize) -> Self {
+        assert!(num_ports > 0, "an interconnect needs at least one port");
+        Self {
+            num_ports,
+            addr_pipe_latency: 9,
+            r_pipe_latency: 9,
+            w_pipe_latency: 1,
+            b_pipe_latency: 0,
+            granularity: GranularityPolicy::UpTo(4),
+            max_outstanding: 8,
+            addr_depth: 8,
+            data_depth: 64,
+            routing_depth: 64,
+            seed: 0x5C05_C05C,
+        }
+    }
+
+    /// Sets the granularity policy.
+    pub fn granularity(mut self, policy: GranularityPolicy) -> Self {
+        self.granularity = policy;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for ScConfig {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+/// Per-port counters of the SmartConnect model.
+#[derive(Debug, Clone, Default)]
+pub struct ScStats {
+    /// Read grants per port.
+    pub ar_grants: Vec<u64>,
+    /// Write grants per port.
+    pub aw_grants: Vec<u64>,
+    /// Bytes of read data returned per port.
+    pub bytes_read: Vec<u64>,
+    /// Bytes of write data forwarded per port.
+    pub bytes_written: Vec<u64>,
+}
+
+/// The SmartConnect baseline model (N slave ports, one master port).
+///
+/// # Example
+///
+/// ```
+/// use axi::{ArBeat, AxiInterconnect};
+/// use axi::types::BurstSize;
+/// use sim::Component;
+/// use smartconnect::{ScConfig, SmartConnect};
+///
+/// let mut sc = SmartConnect::new(ScConfig::new(2));
+/// sc.port(0).ar.push(0, ArBeat::new(0x100, 1, BurstSize::B4)).unwrap();
+/// for now in 0..13 { sc.tick(now); }
+/// // The request appears at the master port after the calibrated
+/// // 12-cycle pipeline.
+/// assert!(sc.mem_port().ar.pop_ready(12).is_some());
+/// ```
+#[derive(Debug)]
+pub struct SmartConnect {
+    config: ScConfig,
+    slave_ports: Vec<AxiPort>,
+    ar_pipes: Vec<TimedFifo<ArBeat>>,
+    aw_pipes: Vec<TimedFifo<AwBeat>>,
+    w_pipes: Vec<TimedFifo<axi::WBeat>>,
+    grant_ar: TimedFifo<ArBeat>,
+    grant_aw: TimedFifo<AwBeat>,
+    r_pipe: TimedFifo<RBeat>,
+    b_pipe: TimedFifo<axi::BBeat>,
+    read_routes: RouteQueue,
+    b_routes: RouteQueue,
+    w_routes: VecDeque<usize>,
+    mem_port: AxiPort,
+    // Arbitration state.
+    ar_rr: usize,
+    ar_grants_left: u32,
+    aw_rr: usize,
+    aw_grants_left: u32,
+    rng: SimRng,
+    // Outstanding counters per port (reads, writes).
+    out_reads: Vec<u32>,
+    out_writes: Vec<u32>,
+    stats: ScStats,
+}
+
+impl SmartConnect {
+    /// Instantiates a SmartConnect model.
+    pub fn new(config: ScConfig) -> Self {
+        let n = config.num_ports;
+        let boundary = PortConfig {
+            addr_capacity: config.addr_depth,
+            data_capacity: config.data_depth,
+            resp_capacity: config.addr_depth,
+            latency: 1,
+        };
+        Self {
+            config,
+            slave_ports: (0..n).map(|_| AxiPort::new(boundary)).collect(),
+            ar_pipes: (0..n)
+                .map(|_| TimedFifo::new(config.addr_depth, config.addr_pipe_latency))
+                .collect(),
+            aw_pipes: (0..n)
+                .map(|_| TimedFifo::new(config.addr_depth, config.addr_pipe_latency))
+                .collect(),
+            w_pipes: (0..n)
+                .map(|_| TimedFifo::new(config.data_depth, config.w_pipe_latency))
+                .collect(),
+            grant_ar: TimedFifo::new(2, 1),
+            grant_aw: TimedFifo::new(2, 1),
+            r_pipe: TimedFifo::new(config.data_depth, config.r_pipe_latency),
+            b_pipe: TimedFifo::new(config.addr_depth, config.b_pipe_latency),
+            read_routes: RouteQueue::new(config.routing_depth),
+            b_routes: RouteQueue::new(config.routing_depth),
+            w_routes: VecDeque::new(),
+            mem_port: AxiPort::new(boundary),
+            ar_rr: 0,
+            ar_grants_left: 0,
+            aw_rr: 0,
+            aw_grants_left: 0,
+            rng: SimRng::seed(config.seed),
+            out_reads: vec![0; n],
+            out_writes: vec![0; n],
+            stats: ScStats {
+                ar_grants: vec![0; n],
+                aw_grants: vec![0; n],
+                bytes_read: vec![0; n],
+                bytes_written: vec![0; n],
+            },
+        }
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> &ScConfig {
+        &self.config
+    }
+
+    /// Aggregate per-port counters.
+    pub fn stats(&self) -> &ScStats {
+        &self.stats
+    }
+
+    fn draw_granularity(&mut self) -> u32 {
+        match self.config.granularity {
+            GranularityPolicy::Fixed(g) => g.max(1),
+            GranularityPolicy::UpTo(g) => self.rng.range_u64(1, g.max(1) as u64) as u32,
+        }
+    }
+
+    fn accept(&mut self, now: Cycle) -> bool {
+        let mut progress = false;
+        for p in 0..self.config.num_ports {
+            if self.slave_ports[p].ar.has_ready(now)
+                && !self.ar_pipes[p].is_full()
+                && self.out_reads[p] < self.config.max_outstanding
+            {
+                let ar = self.slave_ports[p].ar.pop_ready(now).expect("ready");
+                self.ar_pipes[p].push(now, ar).expect("space");
+                self.out_reads[p] += 1;
+                progress = true;
+            }
+            if self.slave_ports[p].aw.has_ready(now)
+                && !self.aw_pipes[p].is_full()
+                && self.out_writes[p] < self.config.max_outstanding
+            {
+                let aw = self.slave_ports[p].aw.pop_ready(now).expect("ready");
+                self.aw_pipes[p].push(now, aw).expect("space");
+                self.out_writes[p] += 1;
+                progress = true;
+            }
+            if self.slave_ports[p].w.has_ready(now) && !self.w_pipes[p].is_full() {
+                let w = self.slave_ports[p].w.pop_ready(now).expect("ready");
+                self.stats.bytes_written[p] += w.data.len() as u64;
+                self.w_pipes[p].push(now, w).expect("space");
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    fn arbitrate_ar(&mut self, now: Cycle) -> bool {
+        if self.grant_ar.is_full() || self.read_routes.is_full() {
+            return false;
+        }
+        let n = self.config.num_ports;
+        // Continue the current port's grant window if possible.
+        let port = if self.ar_grants_left > 0 && self.ar_pipes[self.ar_rr].has_ready(now) {
+            Some(self.ar_rr)
+        } else {
+            let next = (1..=n)
+                .map(|k| (self.ar_rr + k) % n)
+                .find(|&p| self.ar_pipes[p].has_ready(now));
+            if let Some(p) = next {
+                self.ar_rr = p;
+                self.ar_grants_left = self.draw_granularity();
+            }
+            next
+        };
+        let Some(p) = port else { return false };
+        let ar = self.ar_pipes[p].pop_ready(now).expect("ready");
+        self.read_routes
+            .push(RouteEntry {
+                port: p,
+                final_sub: true,
+                tag: ar.tag,
+            })
+            .expect("space");
+        self.grant_ar.push(now, ar).expect("space");
+        self.ar_grants_left = self.ar_grants_left.saturating_sub(1);
+        self.stats.ar_grants[p] += 1;
+        true
+    }
+
+    fn arbitrate_aw(&mut self, now: Cycle) -> bool {
+        if self.grant_aw.is_full() || self.b_routes.is_full() {
+            return false;
+        }
+        let n = self.config.num_ports;
+        let port = if self.aw_grants_left > 0 && self.aw_pipes[self.aw_rr].has_ready(now) {
+            Some(self.aw_rr)
+        } else {
+            let next = (1..=n)
+                .map(|k| (self.aw_rr + k) % n)
+                .find(|&p| self.aw_pipes[p].has_ready(now));
+            if let Some(p) = next {
+                self.aw_rr = p;
+                self.aw_grants_left = self.draw_granularity();
+            }
+            next
+        };
+        let Some(p) = port else { return false };
+        let aw = self.aw_pipes[p].pop_ready(now).expect("ready");
+        self.b_routes
+            .push(RouteEntry {
+                port: p,
+                final_sub: true,
+                tag: aw.tag,
+            })
+            .expect("space");
+        self.w_routes.push_back(p);
+        self.grant_aw.push(now, aw).expect("space");
+        self.aw_grants_left = self.aw_grants_left.saturating_sub(1);
+        self.stats.aw_grants[p] += 1;
+        true
+    }
+
+    fn move_to_mem(&mut self, now: Cycle) -> bool {
+        let mut progress = false;
+        if self.grant_ar.has_ready(now) && !self.mem_port.ar.is_full() {
+            let beat = self.grant_ar.pop_ready(now).expect("ready");
+            self.mem_port.ar.push(now, beat).expect("space");
+            progress = true;
+        }
+        if self.grant_aw.has_ready(now) && !self.mem_port.aw.is_full() {
+            let beat = self.grant_aw.pop_ready(now).expect("ready");
+            self.mem_port.aw.push(now, beat).expect("space");
+            progress = true;
+        }
+        if let Some(&p) = self.w_routes.front() {
+            if self.w_pipes[p].has_ready(now) && !self.mem_port.w.is_full() {
+                let beat = self.w_pipes[p].pop_ready(now).expect("ready");
+                let last = beat.last;
+                self.mem_port.w.push(now, beat).expect("space");
+                if last {
+                    self.w_routes.pop_front();
+                }
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    fn return_paths(&mut self, now: Cycle) -> bool {
+        let mut progress = false;
+        // Master port into the shared return pipes.
+        if self.mem_port.r.has_ready(now) && !self.r_pipe.is_full() {
+            let beat = self.mem_port.r.pop_ready(now).expect("ready");
+            self.r_pipe.push(now, beat).expect("space");
+            progress = true;
+        }
+        if self.mem_port.b.has_ready(now) && !self.b_pipe.is_full() {
+            let beat = self.mem_port.b.pop_ready(now).expect("ready");
+            self.b_pipe.push(now, beat).expect("space");
+            progress = true;
+        }
+        // Route to the owning slave ports.
+        if self.r_pipe.has_ready(now) {
+            let route = *self
+                .read_routes
+                .head()
+                .expect("R beat without routing information");
+            if !self.slave_ports[route.port].r.is_full() {
+                let beat = self.r_pipe.pop_ready(now).expect("ready");
+                let last = beat.last;
+                self.stats.bytes_read[route.port] += beat.data.len() as u64;
+                self.slave_ports[route.port].r.push(now, beat).expect("space");
+                if last {
+                    self.read_routes.pop();
+                    self.out_reads[route.port] =
+                        self.out_reads[route.port].saturating_sub(1);
+                }
+                progress = true;
+            }
+        }
+        if self.b_pipe.has_ready(now) {
+            let route = *self
+                .b_routes
+                .head()
+                .expect("B response without routing information");
+            if !self.slave_ports[route.port].b.is_full() {
+                let beat = self.b_pipe.pop_ready(now).expect("ready");
+                self.slave_ports[route.port].b.push(now, beat).expect("space");
+                self.b_routes.pop();
+                self.out_writes[route.port] =
+                    self.out_writes[route.port].saturating_sub(1);
+                progress = true;
+            }
+        }
+        progress
+    }
+}
+
+impl Component for SmartConnect {
+    fn tick(&mut self, now: Cycle) -> bool {
+        let mut progress = false;
+        progress |= self.accept(now);
+        progress |= self.arbitrate_ar(now);
+        progress |= self.arbitrate_aw(now);
+        progress |= self.move_to_mem(now);
+        progress |= self.return_paths(now);
+        progress
+    }
+}
+
+impl AxiInterconnect for SmartConnect {
+    fn num_ports(&self) -> usize {
+        self.config.num_ports
+    }
+
+    fn port(&mut self, i: usize) -> &mut AxiPort {
+        &mut self.slave_ports[i]
+    }
+
+    fn mem_port(&mut self) -> &mut AxiPort {
+        &mut self.mem_port
+    }
+
+    fn name(&self) -> &'static str {
+        "SmartConnect"
+    }
+
+    fn is_idle(&self) -> bool {
+        self.slave_ports.iter().all(AxiPort::is_idle)
+            && self.ar_pipes.iter().all(TimedFifo::is_empty)
+            && self.aw_pipes.iter().all(TimedFifo::is_empty)
+            && self.w_pipes.iter().all(TimedFifo::is_empty)
+            && self.grant_ar.is_empty()
+            && self.grant_aw.is_empty()
+            && self.r_pipe.is_empty()
+            && self.b_pipe.is_empty()
+            && self.read_routes.is_empty()
+            && self.b_routes.is_empty()
+            && self.w_routes.is_empty()
+            && self.mem_port.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi::types::{AxiId, BurstSize};
+    use axi::{ArBeat, AwBeat, BBeat, WBeat};
+
+    #[test]
+    fn ar_latency_is_twelve_cycles() {
+        let mut sc = SmartConnect::new(ScConfig::new(2));
+        sc.port(0)
+            .ar
+            .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        let mut arrival = None;
+        for now in 0..30 {
+            sc.tick(now);
+            if arrival.is_none() && sc.mem_port().ar.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(12));
+    }
+
+    #[test]
+    fn aw_latency_is_twelve_cycles() {
+        let mut sc = SmartConnect::new(ScConfig::new(2));
+        sc.port(1)
+            .aw
+            .push(0, AwBeat::new(0x200, 1, BurstSize::B4))
+            .unwrap();
+        let mut arrival = None;
+        for now in 0..30 {
+            sc.tick(now);
+            if arrival.is_none() && sc.mem_port().aw.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(12));
+    }
+
+    #[test]
+    fn w_latency_is_three_cycles() {
+        let mut sc = SmartConnect::new(ScConfig::new(2));
+        sc.port(0)
+            .aw
+            .push(0, AwBeat::new(0, 2, BurstSize::B4))
+            .unwrap();
+        // Let the AW win its grant first so W routing exists.
+        for now in 0..14 {
+            sc.tick(now);
+        }
+        sc.port(0).w.push(14, WBeat::new(vec![1; 4], false)).unwrap();
+        let mut arrival = None;
+        for now in 14..30 {
+            sc.tick(now);
+            if arrival.is_none() && sc.mem_port().w.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(17), "W latency must be 3 cycles");
+    }
+
+    #[test]
+    fn r_latency_is_eleven_cycles() {
+        let mut sc = SmartConnect::new(ScConfig::new(2));
+        sc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 1, BurstSize::B4))
+            .unwrap();
+        for now in 0..14 {
+            sc.tick(now);
+            sc.mem_port().ar.pop_ready(now);
+        }
+        sc.mem_port()
+            .r
+            .push(14, RBeat::new(AxiId(0), vec![0; 4], true))
+            .unwrap();
+        let mut arrival = None;
+        for now in 14..40 {
+            sc.tick(now);
+            if arrival.is_none() && sc.port(0).r.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(25), "R latency must be 11 cycles");
+    }
+
+    #[test]
+    fn b_latency_is_two_cycles() {
+        let mut sc = SmartConnect::new(ScConfig::new(2));
+        sc.port(0)
+            .aw
+            .push(0, AwBeat::new(0, 1, BurstSize::B4))
+            .unwrap();
+        sc.port(0).w.push(0, WBeat::new(vec![0; 4], true)).unwrap();
+        for now in 0..20 {
+            sc.tick(now);
+            sc.mem_port().aw.pop_ready(now);
+            sc.mem_port().w.pop_ready(now);
+        }
+        sc.mem_port().b.push(20, BBeat::new(AxiId(0))).unwrap();
+        let mut arrival = None;
+        for now in 20..40 {
+            sc.tick(now);
+            if arrival.is_none() && sc.port(0).b.has_ready(now) {
+                arrival = Some(now);
+            }
+        }
+        assert_eq!(arrival, Some(22), "B latency must be 2 cycles");
+    }
+
+    #[test]
+    fn no_burst_splitting() {
+        let mut sc = SmartConnect::new(ScConfig::new(2));
+        sc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4))
+            .unwrap();
+        let mut seen = None;
+        for now in 0..30 {
+            sc.tick(now);
+            if let Some(ar) = sc.mem_port().ar.pop_ready(now) {
+                seen = Some(ar.len);
+            }
+        }
+        assert_eq!(seen, Some(256), "the SmartConnect must not equalize");
+    }
+
+    #[test]
+    fn fixed_granularity_grants_in_batches() {
+        let cfg = ScConfig::new(2).granularity(GranularityPolicy::Fixed(3));
+        let mut sc = SmartConnect::new(cfg);
+        // Keep both ports loaded with single-beat reads.
+        let mut grants: Vec<u64> = Vec::new();
+        for now in 0..200u64 {
+            for p in 0..2 {
+                let _ = sc
+                    .port(p)
+                    .ar
+                    .push(now, ArBeat::new(now * 64, 1, BurstSize::B4));
+            }
+            sc.tick(now);
+            // Track cumulative grants.
+            if let Some(ar) = sc.mem_port().ar.pop_ready(now) {
+                grants.push(ar.addr);
+            }
+            // Complete reads instantly so outstanding never throttles.
+            while sc.mem_port().r.pop_ready(now).is_some() {}
+            let n_out: u32 = sc.out_reads.iter().sum();
+            if n_out > 0 {
+                // Feed back fake single-beat responses.
+                let _ = sc
+                    .mem_port()
+                    .r
+                    .push(now, RBeat::new(AxiId(0), vec![0; 4], true));
+            }
+            while sc.port(0).r.pop_ready(now).is_some() {}
+            while sc.port(1).r.pop_ready(now).is_some() {}
+        }
+        let s = sc.stats();
+        // With fixed granularity 3 and both ports saturated, grants stay
+        // roughly balanced overall.
+        let a = s.ar_grants[0] as i64;
+        let b = s.ar_grants[1] as i64;
+        assert!((a - b).abs() <= 3, "grants {a} vs {b}");
+    }
+
+    #[test]
+    fn up_to_granularity_is_seed_deterministic() {
+        let mk = |seed| {
+            let cfg = ScConfig::new(2).seed(seed);
+            let mut sc = SmartConnect::new(cfg);
+            let mut order = Vec::new();
+            for now in 0..300u64 {
+                for p in 0..2u64 {
+                    let _ = sc
+                        .port(p as usize)
+                        .ar
+                        .push(now, ArBeat::new(p * 0x10000 + now * 64, 1, BurstSize::B4));
+                }
+                sc.tick(now);
+                if let Some(ar) = sc.mem_port().ar.pop_ready(now) {
+                    order.push(ar.addr >= 0x10000);
+                }
+                let _ = sc
+                    .mem_port()
+                    .r
+                    .push(now, RBeat::new(AxiId(0), vec![0; 4], true));
+                while sc.port(0).r.pop_ready(now).is_some() {}
+                while sc.port(1).r.pop_ready(now).is_some() {}
+            }
+            order
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn outstanding_limit_throttles_acceptance() {
+        let mut cfg = ScConfig::new(1);
+        cfg.max_outstanding = 2;
+        let mut sc = SmartConnect::new(cfg);
+        for i in 0..4u64 {
+            sc.port(0)
+                .ar
+                .push(0, ArBeat::new(i * 64, 1, BurstSize::B4))
+                .unwrap();
+        }
+        for now in 0..30 {
+            sc.tick(now);
+        }
+        // Only two accepted; the rest wait in the boundary queue.
+        assert_eq!(sc.port(0).ar.len(), 2);
+    }
+
+    #[test]
+    fn idle_after_reset() {
+        let sc = SmartConnect::new(ScConfig::default());
+        assert!(sc.is_idle());
+        assert_eq!(sc.name(), "SmartConnect");
+        assert_eq!(sc.num_ports(), 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! `hcsim` — command-line scenario runner for the AXI HyperConnect
+//! reproduction.
+//!
+//! ```text
+//! USAGE:
+//!     hcsim <scenario> [--design hc|sc] [--cycles N] [--ports N]
+//!
+//! SCENARIOS:
+//!     latency     per-channel propagation latencies of the design
+//!     contention  CHaiDNN + greedy DMA (the paper's case study)
+//!     fairness    16-beat victim vs 256-beat aggressor
+//!     stress      four mixed masters, protocol monitor armed
+//! ```
+
+use std::process::ExitCode;
+
+use axi::types::BurstSize;
+use axi::AxiInterconnect;
+use axi_hyperconnect::SocSystem;
+use ha::chaidnn::{Chaidnn, ChaidnnConfig};
+use ha::dma::{Dma, DmaConfig};
+use ha::traffic::{BandwidthStealer, RandomTraffic};
+use hyperconnect::{HcConfig, HyperConnect};
+use mem::{MemConfig, MemoryController};
+use smartconnect::{ScConfig, SmartConnect};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Args {
+    scenario: String,
+    design: String,
+    cycles: u64,
+    ports: usize,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        scenario: String::new(),
+        design: "hc".into(),
+        cycles: 3_000_000,
+        ports: 2,
+    };
+    let mut it = argv.iter();
+    args.scenario = it
+        .next()
+        .ok_or_else(|| "missing scenario".to_string())?
+        .clone();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--design" => {
+                if value != "hc" && value != "sc" {
+                    return Err(format!("unknown design {value} (hc|sc)"));
+                }
+                args.design = value.clone();
+            }
+            "--cycles" => {
+                args.cycles = value
+                    .parse()
+                    .map_err(|_| format!("bad cycle count {value}"))?;
+            }
+            "--ports" => {
+                args.ports = value
+                    .parse()
+                    .map_err(|_| format!("bad port count {value}"))?;
+                if args.ports == 0 {
+                    return Err("need at least one port".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn make_design(design: &str, ports: usize) -> Box<dyn AxiInterconnect> {
+    match design {
+        "hc" => Box::new(HyperConnect::new(HcConfig::new(ports))),
+        _ => Box::new(SmartConnect::new(ScConfig::new(ports))),
+    }
+}
+
+fn scenario_latency(args: &Args) {
+    use sim::Component;
+    let mut ic = make_design(&args.design, args.ports.max(1));
+    ic.port(0)
+        .ar
+        .push(0, axi::ArBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    for now in 0..100 {
+        ic.tick(now);
+        if ic.mem_port().ar.has_ready(now) {
+            println!("{}: AR propagation latency = {now} cycles", ic.name());
+            return;
+        }
+    }
+    println!("no propagation within 100 cycles (bug)");
+}
+
+fn scenario_contention(args: &Args) {
+    let mut sys = SocSystem::new(
+        make_design(&args.design, 2),
+        MemoryController::new(MemConfig::zcu102()),
+    );
+    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())));
+    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())));
+    sys.run_for(args.cycles);
+    println!(
+        "CHaiDNN: {:.1} fps   HA_DMA: {:.1} jobs/s   ({} cycles, {})",
+        sys.rate_per_second(0),
+        sys.rate_per_second(1),
+        args.cycles,
+        sys.interconnect().name(),
+    );
+}
+
+fn scenario_fairness(args: &Args) {
+    let mut sys = SocSystem::new(
+        make_design(&args.design, 2),
+        MemoryController::new(MemConfig::zcu102()),
+    );
+    sys.add_accelerator(Box::new(BandwidthStealer::new(
+        "victim",
+        0x1000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+    )));
+    sys.add_accelerator(Box::new(BandwidthStealer::new(
+        "aggressor",
+        0x3000_0000,
+        1 << 20,
+        256,
+        BurstSize::B16,
+    )));
+    sys.run_for(args.cycles);
+    let victim = sys.accelerator(0).jobs_completed() * 16 * 16;
+    let aggr = sys.accelerator(1).jobs_completed() * 256 * 16;
+    println!(
+        "victim {:.2} MiB vs aggressor {:.2} MiB  (ratio {:.2}x, {})",
+        victim as f64 / (1 << 20) as f64,
+        aggr as f64 / (1 << 20) as f64,
+        aggr as f64 / victim.max(1) as f64,
+        sys.interconnect().name(),
+    );
+}
+
+fn scenario_stress(args: &Args) {
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.attach_monitor();
+    let mut sys = SocSystem::new(make_design(&args.design, 4), memory);
+    sys.add_accelerator(Box::new(RandomTraffic::new(
+        "rnd0", 0x1000_0000, 1 << 20, BurstSize::B16, 64, 10, 1,
+    )));
+    sys.add_accelerator(Box::new(BandwidthStealer::new(
+        "steal", 0x3000_0000, 1 << 20, 256, BurstSize::B16,
+    )));
+    sys.add_accelerator(Box::new(RandomTraffic::new(
+        "rnd1", 0x5000_0000, 1 << 20, BurstSize::B4, 32, 50, 2,
+    )));
+    sys.add_accelerator(Box::new(Dma::new("dma", DmaConfig::case_study())));
+    sys.run_for(args.cycles);
+    let name = sys.interconnect().name();
+    let monitor = sys.memory().monitor().expect("attached");
+    println!(
+        "{} cycles on {}: {} reads, {} writes, utilization {:.1}%, {}",
+        args.cycles,
+        name,
+        monitor.reads_completed(),
+        monitor.writes_completed(),
+        100.0 * sys.memory().stats().utilization(sys.now()),
+        if monitor.is_clean() {
+            "protocol clean".to_string()
+        } else {
+            format!("{} PROTOCOL VIOLATIONS", monitor.errors().len())
+        }
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: hcsim <latency|contention|fairness|stress> \
+                 [--design hc|sc] [--cycles N] [--ports N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.scenario.as_str() {
+        "latency" => scenario_latency(&args),
+        "contention" => scenario_contention(&args),
+        "fairness" => scenario_fairness(&args),
+        "stress" => scenario_stress(&args),
+        other => {
+            eprintln!("error: unknown scenario {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let args = parse_args(&argv("stress")).unwrap();
+        assert_eq!(args.scenario, "stress");
+        assert_eq!(args.design, "hc");
+        assert_eq!(args.cycles, 3_000_000);
+        assert_eq!(args.ports, 2);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let args =
+            parse_args(&argv("fairness --design sc --cycles 1000 --ports 4")).unwrap();
+        assert_eq!(args.design, "sc");
+        assert_eq!(args.cycles, 1000);
+        assert_eq!(args.ports, 4);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("x --design nope")).is_err());
+        assert!(parse_args(&argv("x --cycles abc")).is_err());
+        assert!(parse_args(&argv("x --ports 0")).is_err());
+        assert!(parse_args(&argv("x --cycles")).is_err());
+        assert!(parse_args(&argv("x --bogus 1")).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! # AXI HyperConnect — behavioral reproduction
+//!
+//! A cycle-level, pure-Rust reproduction of *"AXI HyperConnect: A
+//! Predictable, Hypervisor-level Interconnect for Hardware Accelerators
+//! in FPGA SoC"* (Restuccia, Biondi, Marinoni, Cicero, Buttazzo — DAC
+//! 2020), including every substrate the paper's evaluation depends on:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`sim`] | cycle-based simulation kernel |
+//! | [`axi`] | AMBA AXI3/AXI4 protocol model + AXI-Lite + checker |
+//! | [`mem`] | in-order DRAM controller model with backing store |
+//! | [`hyperconnect`] | **the paper's contribution** (eFIFO, TS, EXBAR, central unit, register file, worst-case analysis) |
+//! | [`smartconnect`] | the Xilinx SmartConnect baseline model |
+//! | [`ha`] | accelerator models: AXI DMA, CHaiDNN-style DNN, traffic generators |
+//! | [`hypervisor`] | domains, register driver, bandwidth partitioning, IP-XACT integration |
+//! | [`resources`] | analytical area model regenerating Table I |
+//!
+//! This crate ties them together with [`SocSystem`], the full-system
+//! assembly used by the examples, the integration tests and the
+//! benchmark harness that regenerates every figure and table of the
+//! paper (see `crates/bench`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use axi_hyperconnect::SocSystem;
+//! use axi::types::BurstSize;
+//! use ha::dma::{Dma, DmaConfig};
+//! use ha::Accelerator;
+//! use hyperconnect::{HcConfig, HyperConnect};
+//! use mem::{MemConfig, MemoryController};
+//!
+//! // Two DMAs behind a HyperConnect, as in the paper's Fig. 1 (N = 2).
+//! let mut sys = SocSystem::new(
+//!     HyperConnect::new(HcConfig::new(2)),
+//!     MemoryController::new(MemConfig::default()),
+//! );
+//! sys.add_accelerator(Box::new(Dma::new(
+//!     "dma0",
+//!     DmaConfig::reader(16 * 1024, 16, BurstSize::B16),
+//! )));
+//! assert!(sys.run_until_done(1_000_000).is_done());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod system;
+
+pub use system::SocSystem;
+
+// Re-export the workspace crates under one roof for downstream users.
+pub use axi;
+pub use ha;
+pub use hyperconnect;
+pub use hypervisor;
+pub use mem;
+pub use resources;
+pub use sim;
+pub use smartconnect;

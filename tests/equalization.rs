@@ -1,0 +1,175 @@
+//! Integration tests of transaction equalization: every burst reaching
+//! the memory is at most the nominal size, yet accelerators observe
+//! exactly the transactions they issued (split → merge is identity).
+
+use axi::beat::{ArBeat, AwBeat, WBeat};
+use axi::types::BurstSize;
+use axi::AxiInterconnect;
+use axi_hyperconnect::SocSystem;
+use ha::dma::{Dma, DmaConfig};
+use hyperconnect::{HcConfig, HyperConnect};
+use mem::{MemConfig, MemoryController};
+use sim::Component;
+
+#[test]
+fn all_memory_bursts_at_most_nominal() {
+    let hc = HyperConnect::new(HcConfig::new(2));
+    let regs = hc.regs();
+    regs.write32(hyperconnect::regfile::offsets::NOMINAL, 16);
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.attach_monitor();
+    let mut sys = SocSystem::new(hc, memory);
+    // A DMA with huge 256-beat bursts.
+    sys.add_accelerator(Box::new(Dma::new(
+        "big",
+        DmaConfig {
+            read_bytes: 256 * 1024,
+            write_bytes: 256 * 1024,
+            burst_beats: 256,
+            jobs: Some(1),
+            ..DmaConfig::case_study()
+        },
+    )));
+    // Watch burst lengths at the memory boundary via the monitor-side
+    // trace: we re-derive them from reads/writes served plus beats.
+    assert!(sys.run_until_done(10_000_000).is_done());
+    let stats = sys.memory().stats();
+    // 512 KiB at 16 B/beat = 32768 beats; at most 16 beats per burst
+    // means at least 2048 bursts.
+    assert_eq!(stats.beats_served, 32 * 1024);
+    assert!(
+        stats.reads_served + stats.writes_served >= 2048,
+        "bursts were not equalized: only {} bursts",
+        stats.reads_served + stats.writes_served
+    );
+    let m = sys.memory().monitor().unwrap();
+    assert!(m.is_clean(), "{:?}", m.errors());
+}
+
+#[test]
+fn nominal_burst_is_runtime_reconfigurable() {
+    for nominal in [4u32, 8, 64] {
+        let hc = HyperConnect::new(HcConfig::new(1));
+        hc.regs()
+            .write32(hyperconnect::regfile::offsets::NOMINAL, nominal);
+        let mut memory = MemoryController::new(MemConfig::zcu102());
+        memory.attach_request_trace();
+        let mut sys = SocSystem::new(hc, memory);
+        sys.add_accelerator(Box::new(Dma::new(
+            "d",
+            DmaConfig {
+                read_bytes: 64 * 256, // 1024 beats of 16 B
+                write_bytes: 0,
+                burst_beats: 256,
+                jobs: Some(1),
+                ..DmaConfig::case_study()
+            },
+        )));
+        assert!(sys.run_until_done(1_000_000).is_done());
+        let ars = sys.memory().ar_trace().unwrap().len() as u32;
+        assert_eq!(
+            ars,
+            1024 / nominal,
+            "nominal {nominal}: wrong sub-transaction count"
+        );
+    }
+}
+
+/// Manually drives one long read and one long write through a
+/// HyperConnect wired to a real memory, checking that what comes back
+/// to the accelerator side is byte-exact and correctly framed.
+#[test]
+fn split_then_merge_is_identity_at_the_accelerator() {
+    let mut hc = HyperConnect::new(HcConfig::new(1));
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.memory_mut().fill_pattern(0x8000, 4096);
+
+    // --- read of 96 beats x 4B (splits into 6 sub-bursts of 16) ---
+    hc.port(0)
+        .ar
+        .push(0, ArBeat::new(0x8000, 96, BurstSize::B4).with_tag(7))
+        .unwrap();
+    let mut beats = Vec::new();
+    for now in 0..5_000 {
+        hc.tick(now);
+        memory.tick(now, hc.mem_port());
+        while let Some(r) = hc.port(0).r.pop_ready(now) {
+            beats.push(r);
+        }
+    }
+    assert_eq!(beats.len(), 96, "every requested beat arrives exactly once");
+    // Only the final beat carries LAST; data matches the backing store.
+    for (i, beat) in beats.iter().enumerate() {
+        assert_eq!(beat.last, i == 95, "beat {i} last flag");
+        assert_eq!(beat.tag, 7, "beat {i} tag");
+        let expected = memory.memory().read(0x8000 + i as u64 * 4, 4);
+        assert_eq!(beat.data, expected, "beat {i} data");
+    }
+
+    // --- write of 40 beats x 4B (splits into 3 sub-bursts) ---
+    hc.port(0)
+        .aw
+        .push(5_000, AwBeat::new(0xA000, 40, BurstSize::B4).with_tag(9))
+        .unwrap();
+    let mut pending_w: std::collections::VecDeque<WBeat> = (0..40u32)
+        .map(|i| WBeat::new(vec![i as u8; 4], i == 39).with_tag(9))
+        .collect();
+    let mut b_resps = Vec::new();
+    for now in 5_000..12_000 {
+        // Stream the W beats as the eFIFO accepts them (AXI handshake).
+        if let Some(beat) = pending_w.front() {
+            if hc.port(0).w.push(now, beat.clone()).is_ok() {
+                pending_w.pop_front();
+            }
+        }
+        hc.tick(now);
+        memory.tick(now, hc.mem_port());
+        while let Some(b) = hc.port(0).b.pop_ready(now) {
+            b_resps.push(b);
+        }
+    }
+    assert!(pending_w.is_empty(), "all W beats accepted");
+    // Exactly one merged response, carrying the original tag.
+    assert_eq!(b_resps.len(), 1, "responses must be merged into one");
+    assert_eq!(b_resps[0].tag, 9);
+    // Every byte committed.
+    for i in 0..40u64 {
+        assert_eq!(
+            memory.memory().read(0xA000 + i * 4, 4),
+            vec![i as u8; 4],
+            "beat {i} committed"
+        );
+    }
+}
+
+#[test]
+fn equalization_does_not_reduce_throughput() {
+    // Same 1 MiB read issued as 256-beat bursts (equalized) versus
+    // native 16-beat bursts: completion times must be nearly equal.
+    let time = |burst: u32| {
+        let mut sys = SocSystem::new(
+            HyperConnect::new(HcConfig::new(1)),
+            MemoryController::new(MemConfig::zcu102()),
+        );
+        sys.add_accelerator(Box::new(Dma::new(
+            "d",
+            DmaConfig {
+                read_bytes: 1 << 20,
+                write_bytes: 0,
+                burst_beats: burst,
+                jobs: Some(1),
+                ..DmaConfig::case_study()
+            },
+        )));
+        let out = sys.run_until_done(10_000_000);
+        assert!(out.is_done());
+        out.cycle()
+    };
+    let native = time(16);
+    let equalized = time(256);
+    let ratio = equalized as f64 / native as f64;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "equalization cost: {native} vs {equalized}"
+    );
+}

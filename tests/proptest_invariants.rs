@@ -1,0 +1,349 @@
+//! Property-based tests of the system-level invariants, driven by a
+//! scripted master executing randomized operation sequences through the
+//! full stack (HyperConnect + memory controller).
+
+use std::collections::VecDeque;
+
+use axi::checker::ProtocolMonitor;
+use axi::txn::{ReadRequest, WriteRequest};
+use axi::types::BurstSize;
+use axi::{AxiInterconnect, AxiPort, WBeat};
+use hyperconnect::{HcConfig, HyperConnect};
+use mem::{MemConfig, MemoryController};
+use proptest::prelude::*;
+use sim::{Component, Cycle};
+
+/// One randomized operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Read { addr: u64, beats: u32 },
+    Write { addr: u64, beats: u32, seed: u8 },
+}
+
+/// A master that executes operations strictly in sequence (one at a
+/// time), recording read-back data for comparison with a shadow model.
+struct ScriptedMaster {
+    ops: VecDeque<Op>,
+    current: Option<Op>,
+    // Progress within the current op.
+    issued: bool,
+    w_sent: u32,
+    beats_seen: u32,
+    read_back: Vec<u8>,
+    tag: u64,
+    /// (op index, data) for each completed read.
+    reads_done: Vec<Vec<u8>>,
+    writes_done: usize,
+}
+
+impl ScriptedMaster {
+    fn new(ops: Vec<Op>) -> Self {
+        Self {
+            ops: ops.into(),
+            current: None,
+            issued: false,
+            w_sent: 0,
+            beats_seen: 0,
+            read_back: Vec::new(),
+            tag: 0,
+            reads_done: Vec::new(),
+            writes_done: 0,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.ops.is_empty() && self.current.is_none()
+    }
+
+    fn fill_byte(addr: u64, seed: u8) -> u8 {
+        (addr as u8).wrapping_mul(31).wrapping_add(seed)
+    }
+
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) {
+        if self.current.is_none() {
+            self.current = self.ops.pop_front();
+            self.issued = false;
+            self.w_sent = 0;
+            self.beats_seen = 0;
+            self.read_back.clear();
+        }
+        let Some(op) = self.current.clone() else {
+            return;
+        };
+        match op {
+            Op::Read { addr, beats } => {
+                if !self.issued && !port.ar.is_full() {
+                    let req = ReadRequest::new(addr, beats, BurstSize::B4)
+                        .expect("generated reads are legal");
+                    port.ar.push(now, req.to_ar(self.tag, now)).unwrap();
+                    self.tag += 1;
+                    self.issued = true;
+                }
+                while let Some(beat) = port.r.pop_ready(now) {
+                    self.read_back.extend_from_slice(&beat.data);
+                    self.beats_seen += 1;
+                    if beat.last {
+                        assert_eq!(self.beats_seen, beats, "merged read beat count");
+                        self.reads_done.push(std::mem::take(&mut self.read_back));
+                        self.current = None;
+                    }
+                }
+            }
+            Op::Write { addr, beats, seed } => {
+                if !self.issued && !port.aw.is_full() {
+                    let req = WriteRequest::new(addr, beats, BurstSize::B4)
+                        .expect("generated writes are legal");
+                    let (aw, _) = req.to_beats(self.tag, now, |_, _| 0);
+                    port.aw.push(now, aw).unwrap();
+                    self.tag += 1;
+                    self.issued = true;
+                }
+                if self.issued && self.w_sent < beats && !port.w.is_full() {
+                    let beat_addr = addr + self.w_sent as u64 * 4;
+                    let data: Vec<u8> =
+                        (0..4).map(|b| Self::fill_byte(beat_addr + b, seed)).collect();
+                    port.w
+                        .push(now, WBeat::new(data, self.w_sent + 1 == beats))
+                        .unwrap();
+                    self.w_sent += 1;
+                }
+                if port.b.pop_ready(now).is_some() {
+                    self.writes_done += 1;
+                    self.current = None;
+                }
+            }
+        }
+    }
+}
+
+/// A shadow memory model: applies the same ops in order.
+fn shadow_expected_reads(ops: &[Op]) -> Vec<Vec<u8>> {
+    let mut mem = std::collections::HashMap::<u64, u8>::new();
+    let mut reads = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Write { addr, beats, seed } => {
+                for i in 0..beats as u64 * 4 {
+                    mem.insert(addr + i, ScriptedMaster::fill_byte(addr + i, seed));
+                }
+            }
+            Op::Read { addr, beats } => {
+                let data: Vec<u8> = (0..beats as u64 * 4)
+                    .map(|i| mem.get(&(addr + i)).copied().unwrap_or(0))
+                    .collect();
+                reads.push(data);
+            }
+        }
+    }
+    reads
+}
+
+/// Strategy: ops at 4-byte-aligned addresses inside one 4 KiB page per
+/// slot so no burst crosses a page.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let place = (0u64..16, 1u32..64).prop_flat_map(|(page, beats)| {
+        // Keep the burst inside the page.
+        let max_start = 4096 - beats as u64 * 4;
+        (Just(page), Just(beats), 0..=max_start / 4)
+    });
+    prop_oneof![
+        place
+            .clone()
+            .prop_map(|(page, beats, slot)| Op::Read {
+                addr: 0x1_0000 + page * 4096 + slot * 4,
+                beats,
+            }),
+        (place, any::<u8>()).prop_map(|((page, beats, slot), seed)| Op::Write {
+            addr: 0x1_0000 + page * 4096 + slot * 4,
+            beats,
+            seed,
+        }),
+    ]
+}
+
+fn run_script(ops: Vec<Op>, nominal: u32) -> (ScriptedMaster, ProtocolMonitor) {
+    let hc = HyperConnect::new(HcConfig::new(2));
+    hc.regs()
+        .write32(hyperconnect::regfile::offsets::NOMINAL, nominal);
+    let mut hc = hc;
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.attach_monitor();
+    let mut master = ScriptedMaster::new(ops);
+    let mut now = 0;
+    while !master.is_done() {
+        master.tick(now, hc.port(0));
+        hc.tick(now);
+        memory.tick(now, hc.mem_port());
+        now += 1;
+        assert!(now < 5_000_000, "script did not complete");
+    }
+    // Drain the pipeline.
+    for extra in now..now + 200 {
+        hc.tick(extra);
+        memory.tick(extra, hc.mem_port());
+    }
+    let monitor = memory.monitor().unwrap().clone();
+    (master, monitor)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end sequential consistency: reads observe exactly the
+    /// data of the writes that preceded them, through splitting,
+    /// merging, arbitration and the real memory controller — for any
+    /// operation sequence and any nominal burst size.
+    #[test]
+    fn scripted_ops_are_sequentially_consistent(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        nominal in 1u32..32,
+    ) {
+        let expected = shadow_expected_reads(&ops);
+        let (master, monitor) = run_script(ops, nominal);
+        prop_assert_eq!(master.reads_done.len(), expected.len());
+        for (i, (got, want)) in master.reads_done.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(got, want, "read {} data mismatch", i);
+        }
+        prop_assert!(monitor.is_clean(), "{:?}", monitor.errors());
+        prop_assert_eq!(monitor.reads_outstanding(), 0);
+        prop_assert_eq!(monitor.writes_outstanding(), 0);
+    }
+
+    /// The reservation budget is never exceeded in any period, for any
+    /// budget/period combination, measured at the memory boundary.
+    #[test]
+    fn budget_never_exceeded(
+        budget in 1u32..40,
+        period in 500u32..4000,
+    ) {
+        use ha::Accelerator;
+        let hc = HyperConnect::new(HcConfig::new(1));
+        hc.regs().write32(hyperconnect::regfile::offsets::PERIOD, period);
+        let p0 = hyperconnect::regfile::port_block_offset(0);
+        hc.regs().write32(p0 + hyperconnect::regfile::offsets::PORT_BUDGET, budget);
+        let mut hc = hc;
+        let mut memory = MemoryController::new(MemConfig::zcu102());
+        memory.attach_request_trace();
+        let mut gen = ha::traffic::BandwidthStealer::new(
+            "g", 0x1000_0000, 1 << 20, 64, BurstSize::B16);
+        for now in 0..20_000u64 {
+            gen.tick(now, hc.port(0));
+            hc.tick(now);
+            memory.tick(now, hc.mem_port());
+        }
+        let mut log = sim::stats::EventLog::new();
+        for &(cycle, _) in memory.ar_trace().unwrap() {
+            log.record(cycle);
+        }
+        // Aligned windows, shifted by the 3-cycle EXBAR-to-memory lag.
+        for start in (0..20_000u64).step_by(period as usize) {
+            let n = log.count_in_window(start + 3, period as u64);
+            prop_assert!(
+                n as u32 <= budget,
+                "{} sub-txns in period at {} exceeds budget {}", n, start, budget
+            );
+        }
+    }
+
+    /// The worst-case latency bound holds for random nominal sizes and
+    /// outstanding limits under adversarial two-port contention.
+    #[test]
+    fn analysis_bound_is_sound(
+        nominal_pow in 2u32..6, // nominal = 4..32
+        max_out in 1u32..6,
+    ) {
+        use ha::Accelerator;
+        let nominal = 1 << nominal_pow;
+        let hc = HyperConnect::new(HcConfig::new(2));
+        hc.regs().write32(hyperconnect::regfile::offsets::NOMINAL, nominal);
+        for p in 0..2 {
+            let off = hyperconnect::regfile::port_block_offset(p)
+                + hyperconnect::regfile::offsets::PORT_MAX_OUT;
+            hc.regs().write32(off, max_out);
+        }
+        let mut hc = hc;
+        let mut memory = MemoryController::new(MemConfig::zcu102());
+        let mut probe = ha::dma::Dma::new("probe", ha::dma::DmaConfig {
+            read_bytes: 1 << 16,
+            write_bytes: 0,
+            burst_beats: nominal,
+            max_outstanding: 1,
+            jobs: None,
+            ..ha::dma::DmaConfig::case_study()
+        });
+        let mut aggr = ha::traffic::BandwidthStealer::new(
+            "a", 0x3000_0000, 1 << 20, 256, BurstSize::B16);
+        for now in 0..300_000u64 {
+            probe.tick(now, hc.port(0));
+            aggr.tick(now, hc.port(1));
+            hc.tick(now);
+            memory.tick(now, hc.mem_port());
+        }
+        let observed = probe.read_txn_latency().and_then(|l| l.max()).unwrap_or(0);
+        let model = hyperconnect::analysis::ServiceModel::hyperconnect(
+            2, nominal, MemConfig::zcu102().first_word_latency,
+        ).max_outstanding(max_out);
+        prop_assert!(
+            observed <= model.worst_case_read_latency(),
+            "observed {} > bound {} (nominal {}, K {})",
+            observed, model.worst_case_read_latency(), nominal, max_out
+        );
+    }
+
+    /// The write-path bound holds under adversarial write interference.
+    #[test]
+    fn write_bound_is_sound(
+        nominal_pow in 2u32..6,
+        max_out in 1u32..5,
+    ) {
+        use ha::Accelerator;
+        let nominal = 1 << nominal_pow;
+        let hc = HyperConnect::new(HcConfig::new(2));
+        hc.regs().write32(hyperconnect::regfile::offsets::NOMINAL, nominal);
+        for p in 0..2 {
+            let off = hyperconnect::regfile::port_block_offset(p)
+                + hyperconnect::regfile::offsets::PORT_MAX_OUT;
+            hc.regs().write32(off, max_out);
+        }
+        let mut hc = hc;
+        let mut memory = MemoryController::new(MemConfig::zcu102());
+        // Write-only probe with a one-transaction window.
+        let mut probe = ha::dma::Dma::new("probe", ha::dma::DmaConfig {
+            src_base: 0,
+            dst_base: 0x2000_0000,
+            read_bytes: 0,
+            write_bytes: 1 << 16,
+            burst_beats: nominal,
+            max_outstanding: 1,
+            jobs: None,
+            size: axi::types::BurstSize::B16,
+        });
+        // Write-only aggressor saturating the bus.
+        let mut aggr = ha::dma::Dma::new("aggr", ha::dma::DmaConfig {
+            src_base: 0,
+            dst_base: 0x3000_0000,
+            read_bytes: 0,
+            write_bytes: 1 << 20,
+            burst_beats: 256,
+            max_outstanding: 8,
+            jobs: None,
+            size: axi::types::BurstSize::B16,
+        });
+        for now in 0..300_000u64 {
+            probe.tick(now, hc.port(0));
+            aggr.tick(now, hc.port(1));
+            hc.tick(now);
+            memory.tick(now, hc.mem_port());
+        }
+        let observed = hc.write_latency(0).max().unwrap_or(0);
+        prop_assert!(observed > 0, "probe never completed a write");
+        let model = hyperconnect::analysis::ServiceModel::hyperconnect(
+            2, nominal, MemConfig::zcu102().first_word_latency,
+        ).max_outstanding(max_out);
+        prop_assert!(
+            observed <= model.worst_case_write_latency(),
+            "observed {} > bound {} (nominal {}, K {})",
+            observed, model.worst_case_write_latency(), nominal, max_out
+        );
+    }
+}
