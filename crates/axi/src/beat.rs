@@ -331,7 +331,9 @@ mod tests {
 
     #[test]
     fn w_stream_shape() {
-        let beats = WBeat::stream(4, BurstSize::B4, 7, |beat, byte| (beat * 10 + byte as u32) as u8);
+        let beats = WBeat::stream(4, BurstSize::B4, 7, |beat, byte| {
+            (beat * 10 + byte as u32) as u8
+        });
         assert_eq!(beats.len(), 4);
         assert!(beats[..3].iter().all(|b| !b.last));
         assert!(beats[3].last);

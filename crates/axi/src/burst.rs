@@ -218,7 +218,10 @@ mod tests {
     fn fixed_beats_stay_put() {
         use crate::types::BurstKind;
         for i in 0..8 {
-            assert_eq!(beat_addr(BurstKind::Fixed, 0x400, 8, BurstSize::B4, i), 0x400);
+            assert_eq!(
+                beat_addr(BurstKind::Fixed, 0x400, 8, BurstSize::B4, i),
+                0x400
+            );
         }
     }
 

@@ -17,6 +17,7 @@
 
 use std::collections::VecDeque;
 
+use sim::stats::CounterBank;
 use sim::Cycle;
 
 use crate::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
@@ -33,6 +34,130 @@ pub struct ProtocolError {
 impl std::fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "cycle {}: {}", self.cycle, self.message)
+    }
+}
+
+/// Category of a structured [`Violation`].
+///
+/// The discriminants double as indices into a
+/// [`CounterBank`](sim::stats::CounterBank) of [`COUNT`](Self::COUNT)
+/// slots, which is how the HyperConnect exposes per-port violation
+/// counters through its register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// Request addressed a region no slave decodes (surfaces as DECERR).
+    AddressDecode,
+    /// An INCR burst crossed a 4 KiB address boundary.
+    Boundary4K,
+    /// WLAST asserted on the wrong beat of a write burst.
+    WlastMismatch,
+    /// Data or response beat inconsistent with the request stream
+    /// (orphan beat, ID mismatch, early/late LAST on R).
+    StreamIntegrity,
+    /// A channel handshake stalled beyond the hang threshold.
+    HandshakeHang,
+    /// A port demanded more transactions than its reserved budget.
+    BudgetOverrun,
+    /// An error response (SLVERR/DECERR) crossed the boundary.
+    ErrorResponse,
+    /// A malformed beat (zero-length burst, wrong beat width).
+    Malformed,
+}
+
+impl ViolationKind {
+    /// Number of violation categories.
+    pub const COUNT: usize = 8;
+
+    /// Every category, in index order.
+    pub const ALL: [ViolationKind; Self::COUNT] = [
+        ViolationKind::AddressDecode,
+        ViolationKind::Boundary4K,
+        ViolationKind::WlastMismatch,
+        ViolationKind::StreamIntegrity,
+        ViolationKind::HandshakeHang,
+        ViolationKind::BudgetOverrun,
+        ViolationKind::ErrorResponse,
+        ViolationKind::Malformed,
+    ];
+
+    /// Stable index of this category (counter-bank slot).
+    pub fn index(self) -> usize {
+        match self {
+            ViolationKind::AddressDecode => 0,
+            ViolationKind::Boundary4K => 1,
+            ViolationKind::WlastMismatch => 2,
+            ViolationKind::StreamIntegrity => 3,
+            ViolationKind::HandshakeHang => 4,
+            ViolationKind::BudgetOverrun => 5,
+            ViolationKind::ErrorResponse => 6,
+            ViolationKind::Malformed => 7,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::AddressDecode => "address-decode",
+            ViolationKind::Boundary4K => "4k-boundary",
+            ViolationKind::WlastMismatch => "wlast-mismatch",
+            ViolationKind::StreamIntegrity => "stream-integrity",
+            ViolationKind::HandshakeHang => "handshake-hang",
+            ViolationKind::BudgetOverrun => "budget-overrun",
+            ViolationKind::ErrorResponse => "error-response",
+            ViolationKind::Malformed => "malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured misbehavior report: what happened, when, and on which
+/// slave port (when the observer knows it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Cycle at which the violation was observed.
+    pub cycle: Cycle,
+    /// Slave-port index the offending traffic entered through, when the
+    /// observing component is port-attributed.
+    pub port: Option<usize>,
+    /// Category of the violation.
+    pub kind: ViolationKind,
+    /// Free-form diagnostic detail.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Creates a violation report with no port attribution.
+    pub fn new(cycle: Cycle, kind: ViolationKind, detail: impl Into<String>) -> Self {
+        Self {
+            cycle,
+            port: None,
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attributes the violation to a slave port.
+    pub fn at_port(mut self, port: usize) -> Self {
+        self.port = Some(port);
+        self
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.port {
+            Some(p) => write!(
+                f,
+                "cycle {} port {}: [{}] {}",
+                self.cycle, p, self.kind, self.detail
+            ),
+            None => write!(f, "cycle {}: [{}] {}", self.cycle, self.kind, self.detail),
+        }
     }
 }
 
@@ -65,15 +190,34 @@ struct PendingWrite {
 /// assert!(mon.is_clean());
 /// assert_eq!(mon.reads_completed(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ProtocolMonitor {
     reads: VecDeque<PendingRead>,
     writes: VecDeque<PendingWrite>,
     /// Writes whose data completed, awaiting a B response.
     awaiting_b: VecDeque<AwBeat>,
     errors: Vec<ProtocolError>,
+    violations: Vec<Violation>,
+    counters: CounterBank,
+    port: Option<usize>,
     reads_completed: u64,
     writes_completed: u64,
+}
+
+impl Default for ProtocolMonitor {
+    fn default() -> Self {
+        Self {
+            reads: VecDeque::new(),
+            writes: VecDeque::new(),
+            awaiting_b: VecDeque::new(),
+            errors: Vec::new(),
+            violations: Vec::new(),
+            counters: CounterBank::new(ViolationKind::COUNT),
+            port: None,
+            reads_completed: 0,
+            writes_completed: 0,
+        }
+    }
 }
 
 impl ProtocolMonitor {
@@ -82,17 +226,52 @@ impl ProtocolMonitor {
         Self::default()
     }
 
-    fn error(&mut self, cycle: Cycle, message: impl Into<String>) {
-        self.errors.push(ProtocolError {
-            cycle,
-            message: message.into(),
-        });
+    /// Creates a monitor whose reports are attributed to slave port
+    /// `port`.
+    pub fn with_port(port: usize) -> Self {
+        Self {
+            port: Some(port),
+            ..Self::default()
+        }
+    }
+
+    /// Records a structured violation observed by an external detector
+    /// (e.g. the interconnect's transaction supervisor), counting it in
+    /// the per-kind bank. Protocol-rule categories also surface through
+    /// [`errors`](Self::errors)/[`is_clean`](Self::is_clean);
+    /// [`ViolationKind::ErrorResponse`] does not, because error
+    /// responses are protocol-legal.
+    pub fn record_violation(
+        &mut self,
+        cycle: Cycle,
+        kind: ViolationKind,
+        detail: impl Into<String>,
+    ) {
+        let detail = detail.into();
+        self.counters.incr(kind.index());
+        if kind != ViolationKind::ErrorResponse {
+            self.errors.push(ProtocolError {
+                cycle,
+                message: detail.clone(),
+            });
+        }
+        let mut v = Violation::new(cycle, kind, detail);
+        v.port = self.port;
+        self.violations.push(v);
+    }
+
+    fn error(&mut self, cycle: Cycle, kind: ViolationKind, message: impl Into<String>) {
+        self.record_violation(cycle, kind, message);
     }
 
     /// Observes a read request crossing the boundary.
     pub fn observe_ar(&mut self, cycle: Cycle, ar: &ArBeat) {
         if ar.len == 0 {
-            self.error(cycle, format!("AR with zero length at {:#x}", ar.addr));
+            self.error(
+                cycle,
+                ViolationKind::Malformed,
+                format!("AR with zero length at {:#x}", ar.addr),
+            );
         }
         self.reads.push_back(PendingRead {
             ar: ar.clone(),
@@ -103,7 +282,11 @@ impl ProtocolMonitor {
     /// Observes a write request crossing the boundary.
     pub fn observe_aw(&mut self, cycle: Cycle, aw: &AwBeat) {
         if aw.len == 0 {
-            self.error(cycle, format!("AW with zero length at {:#x}", aw.addr));
+            self.error(
+                cycle,
+                ViolationKind::Malformed,
+                format!("AW with zero length at {:#x}", aw.addr),
+            );
         }
         self.writes.push_back(PendingWrite {
             aw: aw.clone(),
@@ -113,31 +296,40 @@ impl ProtocolMonitor {
 
     /// Observes a write-data beat crossing the boundary.
     pub fn observe_w(&mut self, cycle: Cycle, w: &WBeat) {
-        let mut problems: Vec<String> = Vec::new();
+        let mut problems: Vec<(ViolationKind, String)> = Vec::new();
         let mut finished = false;
         match self.writes.front_mut() {
-            None => problems.push("W beat with no outstanding AW".into()),
+            None => problems.push((
+                ViolationKind::StreamIntegrity,
+                "W beat with no outstanding AW".into(),
+            )),
             Some(head) => {
                 if w.data.len() as u64 != head.aw.size.bytes() {
-                    problems.push(format!(
-                        "W beat carries {} bytes, burst size is {}",
-                        w.data.len(),
-                        head.aw.size.bytes()
+                    problems.push((
+                        ViolationKind::Malformed,
+                        format!(
+                            "W beat carries {} bytes, burst size is {}",
+                            w.data.len(),
+                            head.aw.size.bytes()
+                        ),
                     ));
                 }
                 head.beats_seen += 1;
                 let is_final = head.beats_seen == head.aw.len;
                 if w.last != is_final {
-                    problems.push(format!(
-                        "WLAST={} on beat {}/{} of write at {:#x}",
-                        w.last, head.beats_seen, head.aw.len, head.aw.addr
+                    problems.push((
+                        ViolationKind::WlastMismatch,
+                        format!(
+                            "WLAST={} on beat {}/{} of write at {:#x}",
+                            w.last, head.beats_seen, head.aw.len, head.aw.addr
+                        ),
                     ));
                 }
                 finished = is_final || w.last;
             }
         }
-        for msg in problems {
-            self.error(cycle, msg);
+        for (kind, msg) in problems {
+            self.error(cycle, kind, msg);
         }
         if finished {
             // Close out the burst on `last` even if the count mismatched,
@@ -149,37 +341,55 @@ impl ProtocolMonitor {
 
     /// Observes a read-data beat crossing the boundary.
     pub fn observe_r(&mut self, cycle: Cycle, r: &RBeat) {
-        let mut problems: Vec<String> = Vec::new();
+        let mut problems: Vec<(ViolationKind, String)> = Vec::new();
         let mut finished = false;
+        if !r.resp.is_ok() {
+            problems.push((
+                ViolationKind::ErrorResponse,
+                format!("R beat carries {:?} response", r.resp),
+            ));
+        }
         match self.reads.front_mut() {
-            None => problems.push("R beat with no outstanding AR".into()),
+            None => problems.push((
+                ViolationKind::StreamIntegrity,
+                "R beat with no outstanding AR".into(),
+            )),
             Some(head) => {
                 if r.data.len() as u64 != head.ar.size.bytes() {
-                    problems.push(format!(
-                        "R beat carries {} bytes, burst size is {}",
-                        r.data.len(),
-                        head.ar.size.bytes()
+                    problems.push((
+                        ViolationKind::Malformed,
+                        format!(
+                            "R beat carries {} bytes, burst size is {}",
+                            r.data.len(),
+                            head.ar.size.bytes()
+                        ),
                     ));
                 }
                 if r.id != head.ar.id {
-                    problems.push(format!(
-                        "R beat id {} does not match in-order AR id {}",
-                        r.id, head.ar.id
+                    problems.push((
+                        ViolationKind::StreamIntegrity,
+                        format!(
+                            "R beat id {} does not match in-order AR id {}",
+                            r.id, head.ar.id
+                        ),
                     ));
                 }
                 head.beats_seen += 1;
                 let is_final = head.beats_seen == head.ar.len;
                 if r.last != is_final {
-                    problems.push(format!(
-                        "RLAST={} on beat {}/{} of read at {:#x}",
-                        r.last, head.beats_seen, head.ar.len, head.ar.addr
+                    problems.push((
+                        ViolationKind::StreamIntegrity,
+                        format!(
+                            "RLAST={} on beat {}/{} of read at {:#x}",
+                            r.last, head.beats_seen, head.ar.len, head.ar.addr
+                        ),
                     ));
                 }
                 finished = is_final || r.last;
             }
         }
-        for msg in problems {
-            self.error(cycle, msg);
+        for (kind, msg) in problems {
+            self.error(cycle, kind, msg);
         }
         if finished {
             self.reads.pop_front();
@@ -189,18 +399,26 @@ impl ProtocolMonitor {
 
     /// Observes a write response crossing the boundary.
     pub fn observe_b(&mut self, cycle: Cycle, b: &BBeat) {
+        if !b.resp.is_ok() {
+            self.error(
+                cycle,
+                ViolationKind::ErrorResponse,
+                format!("B response carries {:?}", b.resp),
+            );
+        }
         match self.awaiting_b.pop_front() {
             Some(aw) => {
                 if b.id != aw.id {
-                    let msg = format!(
-                        "B id {} does not match in-order AW id {}",
-                        b.id, aw.id
-                    );
-                    self.error(cycle, msg);
+                    let msg = format!("B id {} does not match in-order AW id {}", b.id, aw.id);
+                    self.error(cycle, ViolationKind::StreamIntegrity, msg);
                 }
                 self.writes_completed += 1;
             }
-            None => self.error(cycle, "B response with no completed write burst"),
+            None => self.error(
+                cycle,
+                ViolationKind::StreamIntegrity,
+                "B response with no completed write burst",
+            ),
         }
     }
 
@@ -212,6 +430,29 @@ impl ProtocolMonitor {
     /// All recorded violations, in observation order.
     pub fn errors(&self) -> &[ProtocolError] {
         &self.errors
+    }
+
+    /// All structured violation reports, in observation order
+    /// (includes [`ViolationKind::ErrorResponse`] observations that do
+    /// not appear in [`errors`](Self::errors)).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Violations recorded in category `kind`.
+    pub fn violation_count(&self, kind: ViolationKind) -> u64 {
+        self.counters.get(kind.index())
+    }
+
+    /// Total structured violations across all categories.
+    pub fn total_violations(&self) -> u64 {
+        self.counters.total()
+    }
+
+    /// The per-kind violation counter bank (indexed by
+    /// [`ViolationKind::index`]).
+    pub fn violation_counters(&self) -> &CounterBank {
+        &self.counters
     }
 
     /// Read bursts fully completed (all beats observed).
@@ -350,5 +591,62 @@ mod tests {
             message: "boom".into(),
         };
         assert_eq!(e.to_string(), "cycle 12: boom");
+    }
+
+    #[test]
+    fn violation_kind_indices_are_stable() {
+        for (i, kind) in ViolationKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        assert_eq!(ViolationKind::ALL.len(), ViolationKind::COUNT);
+    }
+
+    #[test]
+    fn violations_are_classified_and_counted() {
+        let mut mon = ProtocolMonitor::with_port(3);
+        mon.observe_aw(0, &AwBeat::new(0, 4, BurstSize::B4));
+        mon.observe_w(1, &wbeat(4, true)); // WLAST on beat 1 of 4
+        mon.observe_r(2, &RBeat::new(AxiId(0), vec![0; 4], true)); // orphan
+        assert_eq!(mon.violation_count(ViolationKind::WlastMismatch), 1);
+        assert_eq!(mon.violation_count(ViolationKind::StreamIntegrity), 1);
+        assert_eq!(mon.total_violations(), 2);
+        assert_eq!(mon.violations().len(), 2);
+        assert_eq!(mon.violations()[0].port, Some(3));
+        assert_eq!(mon.violations()[0].kind, ViolationKind::WlastMismatch);
+        // Structured reports and legacy errors stay in lockstep for
+        // protocol-rule categories.
+        assert_eq!(mon.errors().len(), 2);
+    }
+
+    #[test]
+    fn error_responses_counted_but_boundary_stays_clean() {
+        use crate::types::Resp;
+        let mut mon = ProtocolMonitor::new();
+        mon.observe_ar(0, &ArBeat::new(0, 1, BurstSize::B4));
+        mon.observe_r(
+            4,
+            &RBeat::new(AxiId(0), vec![0; 4], true).with_resp(Resp::DecErr),
+        );
+        mon.observe_aw(5, &AwBeat::new(64, 1, BurstSize::B4));
+        mon.observe_w(6, &wbeat(4, true));
+        mon.observe_b(8, &BBeat::new(AxiId(0)).with_resp(Resp::SlvErr));
+        // Error responses are protocol-legal: the boundary is clean but
+        // the structured reports record them.
+        assert!(mon.is_clean(), "{:?}", mon.errors());
+        assert_eq!(mon.violation_count(ViolationKind::ErrorResponse), 2);
+        assert_eq!(mon.violations().len(), 2);
+    }
+
+    #[test]
+    fn external_detectors_record_through_the_monitor() {
+        let mut mon = ProtocolMonitor::with_port(1);
+        mon.record_violation(9, ViolationKind::Boundary4K, "burst crosses 4 KiB");
+        assert!(!mon.is_clean());
+        assert_eq!(mon.violation_count(ViolationKind::Boundary4K), 1);
+        let v = &mon.violations()[0];
+        assert_eq!(v.cycle, 9);
+        assert_eq!(v.port, Some(1));
+        assert!(v.to_string().contains("port 1"));
+        assert!(v.to_string().contains("4k-boundary"));
     }
 }

@@ -45,5 +45,6 @@ pub mod txn;
 pub mod types;
 
 pub use beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+pub use checker::{Violation, ViolationKind};
 pub use port::{AxiInterconnect, AxiPort, PortConfig};
 pub use types::{AxiId, AxiVersion, BurstKind, BurstSize, PortId, Resp, TxnError};

@@ -12,9 +12,7 @@
 //! calls: the paper's evaluation never measures control-path timing, and
 //! configuration happens at integration time or between workload phases.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A memory-mapped 32-bit register device (AXI4-Lite slave).
 pub trait LiteDevice {
@@ -68,18 +66,24 @@ impl<T: LiteDevice> LiteHandle<T> {
 
     /// Performs a 32-bit register read.
     pub fn read32(&self, offset: u64) -> u32 {
-        self.0.lock().read32(offset)
+        self.0
+            .lock()
+            .expect("poisoned register lock")
+            .read32(offset)
     }
 
     /// Performs a 32-bit register write.
     pub fn write32(&self, offset: u64, value: u32) {
-        self.0.lock().write32(offset, value)
+        self.0
+            .lock()
+            .expect("poisoned register lock")
+            .write32(offset, value)
     }
 
     /// Runs `f` with exclusive access to the underlying device — used by
     /// the owning simulated component to consult configuration state.
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
-        f(&mut self.0.lock())
+        f(&mut self.0.lock().expect("poisoned register lock"))
     }
 }
 

@@ -179,6 +179,26 @@ impl Resp {
     pub fn is_ok(self) -> bool {
         matches!(self, Resp::Okay | Resp::ExOkay)
     }
+
+    /// Severity rank used when merging split-burst responses: DECERR >
+    /// SLVERR > OKAY/EXOKAY.
+    fn severity(self) -> u8 {
+        match self {
+            Resp::Okay | Resp::ExOkay => 0,
+            Resp::SlvErr => 1,
+            Resp::DecErr => 2,
+        }
+    }
+
+    /// The worse of two responses — what an interconnect must report
+    /// when merging the responses of split sub-bursts into one.
+    pub fn worst(self, other: Resp) -> Resp {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 impl std::fmt::Display for Resp {
@@ -236,14 +256,20 @@ impl std::fmt::Display for TxnError {
         match self {
             TxnError::LenZero => write!(f, "burst length must be at least one beat"),
             TxnError::LenTooLong { len, max } => {
-                write!(f, "burst length {len} exceeds the revision maximum of {max}")
+                write!(
+                    f,
+                    "burst length {len} exceeds the revision maximum of {max}"
+                )
             }
             TxnError::Crosses4K { addr, bytes } => write!(
                 f,
                 "burst of {bytes} bytes at {addr:#x} crosses a 4 KiB boundary"
             ),
             TxnError::Unaligned { addr, size } => {
-                write!(f, "address {addr:#x} is not aligned to the beat size {size}")
+                write!(
+                    f,
+                    "address {addr:#x} is not aligned to the beat size {size}"
+                )
             }
             TxnError::BadSize { bytes } => {
                 write!(f, "{bytes} is not a legal AxSIZE byte count")
@@ -315,6 +341,16 @@ mod tests {
         assert!(Resp::ExOkay.is_ok());
         assert!(!Resp::SlvErr.is_ok());
         assert!(!Resp::DecErr.is_ok());
+    }
+
+    #[test]
+    fn resp_merge_keeps_the_worst() {
+        assert_eq!(Resp::Okay.worst(Resp::Okay), Resp::Okay);
+        assert_eq!(Resp::Okay.worst(Resp::SlvErr), Resp::SlvErr);
+        assert_eq!(Resp::SlvErr.worst(Resp::Okay), Resp::SlvErr);
+        assert_eq!(Resp::SlvErr.worst(Resp::DecErr), Resp::DecErr);
+        assert_eq!(Resp::DecErr.worst(Resp::SlvErr), Resp::DecErr);
+        assert_eq!(Resp::ExOkay.worst(Resp::Okay), Resp::ExOkay);
     }
 
     #[test]

@@ -58,8 +58,7 @@ fn bench_interconnect_only(c: &mut Criterion) {
     g.bench_function("hyperconnect_idle_100k", |b| {
         b.iter(|| {
             use sim::Component;
-            let mut hc =
-                hyperconnect::HyperConnect::new(hyperconnect::HcConfig::new(2));
+            let mut hc = hyperconnect::HyperConnect::new(hyperconnect::HcConfig::new(2));
             for now in 0..CYCLES {
                 hc.tick(now);
             }
@@ -69,8 +68,7 @@ fn bench_interconnect_only(c: &mut Criterion) {
     g.bench_function("hyperconnect_loaded_100k", |b| {
         b.iter(|| {
             use sim::Component;
-            let mut hc =
-                hyperconnect::HyperConnect::new(hyperconnect::HcConfig::new(2));
+            let mut hc = hyperconnect::HyperConnect::new(hyperconnect::HcConfig::new(2));
             for now in 0..CYCLES {
                 let _ = hc
                     .port((now % 2) as usize)

@@ -40,15 +40,11 @@ pub fn granularity_sweep(window: Cycle) -> Vec<(u32, Cycle)> {
     [1u32, 2, 4, 8]
         .iter()
         .map(|&g| {
-            let sc = SmartConnect::new(
-                ScConfig::new(4).granularity(GranularityPolicy::Fixed(g)),
-            );
+            let sc = SmartConnect::new(ScConfig::new(4).granularity(GranularityPolicy::Fixed(g)));
             // A shallow memory pipeline keeps queueing delay small so
             // the *arbitration* interference dominates — the regime the
             // paper's g x (N-1) argument addresses.
-            let mem_cfg = MemConfig::zcu102()
-                .first_word_latency(4)
-                .pipeline_depth(2);
+            let mem_cfg = MemConfig::zcu102().first_word_latency(4).pipeline_depth(2);
             let mut sys = axi_hyperconnect::SocSystem::new(
                 Box::new(sc) as Box<dyn AxiInterconnect>,
                 MemoryController::new(mem_cfg),
@@ -82,10 +78,7 @@ pub fn granularity_sweep(window: Cycle) -> Vec<(u32, Cycle)> {
                 .as_any()
                 .downcast_ref()
                 .expect("victim is a Dma");
-            let worst = victim
-                .read_txn_latency()
-                .and_then(|l| l.max())
-                .unwrap_or(0);
+            let worst = victim.read_txn_latency().and_then(|l| l.max()).unwrap_or(0);
             (g, worst)
         })
         .collect()

@@ -88,8 +88,7 @@ fn main() {
         .iter()
         .map(|p| {
             vec![
-                p.fpga_share
-                    .map_or("off".to_string(), |s| format!("{s}%")),
+                p.fpga_share.map_or("off".to_string(), |s| format!("{s}%")),
                 p.max_outstanding.to_string(),
                 p.ps_worst.to_string(),
                 format!("{:.1}", p.ps_mean),
@@ -99,7 +98,12 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["FPGA budget", "max outstanding", "PS worst (cycles)", "PS mean"],
+            &[
+                "FPGA budget",
+                "max outstanding",
+                "PS worst (cycles)",
+                "PS mean"
+            ],
             &rows
         )
     );

@@ -26,7 +26,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["channel", "HyperConnect", "SmartConnect", "improvement", "paper"],
+            &[
+                "channel",
+                "HyperConnect",
+                "SmartConnect",
+                "improvement",
+                "paper"
+            ],
             &rows
         )
     );

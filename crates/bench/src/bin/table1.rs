@@ -28,7 +28,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["design", "LUT (274080)", "FF (548160)", "BRAM", "DSP", "paper LUT/FF"],
+            &[
+                "design",
+                "LUT (274080)",
+                "FF (548160)",
+                "BRAM",
+                "DSP",
+                "paper LUT/FF"
+            ],
             &rows
         )
     );

@@ -106,10 +106,7 @@ pub fn measure(design: Design) -> ChannelLatencies {
         .aw
         .push(0, AwBeat::new(0x100, 2, BurstSize::B4))
         .unwrap();
-    ic.port(0)
-        .w
-        .push(0, WBeat::new(vec![0; 4], false))
-        .unwrap();
+    ic.port(0).w.push(0, WBeat::new(vec![0; 4], false)).unwrap();
     let first = tick_until(&mut ic, 0, |ic, now| {
         ic.mem_port().w.pop_ready(now).is_some()
     });
@@ -133,10 +130,7 @@ pub fn measure(design: Design) -> ChannelLatencies {
         ic.mem_port().w.pop_ready(now).is_some()
     });
     let inject = drained + 1;
-    ic.mem_port()
-        .b
-        .push(inject, BBeat::new(AxiId(0)))
-        .unwrap();
+    ic.mem_port().b.push(inject, BBeat::new(AxiId(0))).unwrap();
     let seen = tick_until(&mut ic, inject, |ic, now| ic.port(0).b.has_ready(now));
     let d_b = seen - inject;
 

@@ -89,8 +89,14 @@ mod tests {
 
     #[test]
     fn factories_produce_the_right_designs() {
-        assert_eq!(make_interconnect(Design::HyperConnect).name(), "HyperConnect");
-        assert_eq!(make_interconnect(Design::SmartConnect).name(), "SmartConnect");
+        assert_eq!(
+            make_interconnect(Design::HyperConnect).name(),
+            "HyperConnect"
+        );
+        assert_eq!(
+            make_interconnect(Design::SmartConnect).name(),
+            "SmartConnect"
+        );
         assert_eq!(make_interconnect_n(Design::HyperConnect, 4).num_ports(), 4);
     }
 

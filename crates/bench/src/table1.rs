@@ -46,10 +46,8 @@ mod tests {
     #[test]
     fn rows_match_paper_within_2_percent() {
         for row in run() {
-            let lut_err =
-                row.modeled.lut.abs_diff(row.paper.lut) as f64 / row.paper.lut as f64;
-            let ff_err =
-                row.modeled.ff.abs_diff(row.paper.ff) as f64 / row.paper.ff as f64;
+            let lut_err = row.modeled.lut.abs_diff(row.paper.lut) as f64 / row.paper.lut as f64;
+            let ff_err = row.modeled.ff.abs_diff(row.paper.ff) as f64 / row.paper.ff as f64;
             assert!(lut_err < 0.02, "{}: LUT error {lut_err}", row.design);
             assert!(ff_err < 0.02, "{}: FF error {ff_err}", row.design);
             assert_eq!(row.modeled.bram, row.paper.bram);

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this dependency-free re-implementation of the
+//! criterion API subset its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Throughput`], [`criterion_group!`] and
+//! [`criterion_main!`]. Measurement is a simple mean over a fixed
+//! number of wall-clock samples, reported as plain text — enough to
+//! compare runs by hand, with none of upstream's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (upstream defaults to 100;
+/// this stub keeps runs short).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// The benchmark driver handed to every `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// Work-rate annotation attached to a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-iteration timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            elapsed: Vec::new(),
+        }
+    }
+
+    /// Times `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.elapsed.is_empty() {
+            return Duration::ZERO;
+        }
+        self.elapsed.iter().sum::<Duration>() / self.elapsed.len() as u32
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mean = bencher.mean();
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Elements(n) => format!(" ({:.3e} elem/s)", per_sec(n)),
+            Throughput::Bytes(n) => format!(" ({:.3e} B/s)", per_sec(n)),
+        }
+    });
+    println!(
+        "bench: {name:<40} mean {:>12.3?} over {} samples{}",
+        mean,
+        bencher.elapsed.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u32;
+        Criterion::default().bench_function("t", |b| {
+            b.iter(|| calls += 1);
+        });
+        // Warm-up + samples.
+        assert_eq!(calls, 1 + DEFAULT_SAMPLES as u32);
+    }
+
+    #[test]
+    fn group_configuration_applies() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        g.bench_function("inner", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 4);
+    }
+
+    mod macro_surface {
+        fn target(c: &mut crate::Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        crate::criterion_group!(benches, target);
+
+        #[test]
+        fn group_macro_compiles_and_runs() {
+            benches();
+        }
+    }
+}

@@ -157,10 +157,7 @@ impl ServiceModel {
     /// `t` cycles: total data-path occupancy (plus one pipeline fill)
     /// must fit.
     pub fn budgets_feasible(&self, budgets: &[u32], period: u64) -> bool {
-        let total: u64 = budgets
-            .iter()
-            .map(|&b| b as u64 * self.occupancy())
-            .sum();
+        let total: u64 = budgets.iter().map(|&b| b as u64 * self.occupancy()).sum();
         total + self.mem_latency <= period
     }
 }

@@ -73,10 +73,7 @@ mod tests {
         let mut cu = CentralUnit::new();
         let mut rf = RegFile::new(2);
         rf.set_budget(0, 5);
-        let mut ts = vec![
-            TransactionSupervisor::new(8),
-            TransactionSupervisor::new(8),
-        ];
+        let mut ts = vec![TransactionSupervisor::new(8), TransactionSupervisor::new(8)];
         assert!(cu.tick(0, &mut rf, &mut ts));
         assert_eq!(ts[0].budget_left(), Some(5));
         assert_eq!(ts[1].budget_left(), None); // unlimited

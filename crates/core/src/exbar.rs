@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use axi::beat::{ArBeat, AwBeat};
+use axi::beat::{ArBeat, AwBeat, WBeat};
 use axi::routing::{RouteEntry, RouteQueue};
 use axi::AxiPort;
 use sim::{Cycle, TimedFifo};
@@ -21,6 +21,25 @@ use sim::{Cycle, TimedFifo};
 use crate::config::ArbitrationPolicy;
 use crate::efifo::EFifo;
 use crate::supervisor::TransactionSupervisor;
+
+/// One granted write burst awaiting its W data, in grant order.
+///
+/// Besides the source port the entry remembers the burst geometry so
+/// that, when the port is decoupled mid-burst, the EXBAR can complete
+/// the burst with strobe-disabled filler beats (the AXI-firewall
+/// behavior real decouplers implement) instead of head-of-line blocking
+/// every other port's writes forever.
+#[derive(Debug, Clone, Copy)]
+struct WRoute {
+    /// Source port of the granted write.
+    port: usize,
+    /// Beats the granted sub-burst owes.
+    beats: u32,
+    /// Bytes per beat.
+    bytes: usize,
+    /// Beats already moved to memory.
+    moved: u32,
+}
 
 /// Per-port grant counters (for fairness analysis).
 #[derive(Debug, Clone, Default)]
@@ -46,7 +65,9 @@ pub struct Exbar {
     /// Grant order of writes — routes B responses back to ports.
     b_routes: RouteQueue,
     /// Grant order of writes — which port supplies the next W beats.
-    w_routes: VecDeque<usize>,
+    w_routes: VecDeque<WRoute>,
+    /// Strobe-disabled filler beats synthesized for decoupled ports.
+    firewall_beats: u64,
     stats: ExbarStats,
 }
 
@@ -58,11 +79,7 @@ impl Exbar {
     }
 
     /// Creates an EXBAR with an explicit arbitration policy.
-    pub fn with_policy(
-        num_ports: usize,
-        routing_depth: usize,
-        policy: ArbitrationPolicy,
-    ) -> Self {
+    pub fn with_policy(num_ports: usize, routing_depth: usize, policy: ArbitrationPolicy) -> Self {
         Self {
             policy,
             ar_rr: 0,
@@ -72,6 +89,7 @@ impl Exbar {
             read_routes: RouteQueue::new(routing_depth),
             b_routes: RouteQueue::new(routing_depth),
             w_routes: VecDeque::new(),
+            firewall_beats: 0,
             stats: ExbarStats {
                 ar_grants: vec![0; num_ports],
                 aw_grants: vec![0; num_ports],
@@ -82,6 +100,12 @@ impl Exbar {
     /// Grant counters.
     pub fn stats(&self) -> &ExbarStats {
         &self.stats
+    }
+
+    /// Strobe-disabled W beats synthesized to complete write bursts of
+    /// decoupled ports (see [`Exbar::move_w`]).
+    pub fn firewall_beats(&self) -> u64 {
+        self.firewall_beats
     }
 
     /// Whether the EXBAR holds no in-flight state.
@@ -155,7 +179,12 @@ impl Exbar {
                 tag: sub.beat.tag,
             })
             .expect("checked space");
-        self.w_routes.push_back(port);
+        self.w_routes.push_back(WRoute {
+            port,
+            beats: sub.beat.len,
+            bytes: sub.beat.size.bytes() as usize,
+            moved: 0,
+        });
         self.aw_stage.push(now, sub.beat).expect("checked space");
         self.aw_rr = port;
         self.stats.aw_grants[port] += 1;
@@ -183,23 +212,40 @@ impl Exbar {
     /// routing order into the master eFIFO (proactive: the stored grant
     /// order fully determines the source port). Returns `true` on
     /// movement.
+    ///
+    /// If the head port has been decoupled and is no longer feeding its
+    /// granted burst, the EXBAR completes the burst with strobe-disabled
+    /// filler beats (which commit nothing downstream) so one hung writer
+    /// cannot head-of-line block every other port's write channel.
     pub fn move_w(
         &mut self,
         now: Cycle,
         ts: &mut [TransactionSupervisor],
+        efifos: &[EFifo],
         mem_port: &mut AxiPort,
     ) -> bool {
-        let Some(&port) = self.w_routes.front() else {
+        let Some(route) = self.w_routes.front().copied() else {
             return false;
         };
-        if mem_port.w.is_full() || !ts[port].w_stage.has_ready(now) {
+        if mem_port.w.is_full() {
             return false;
         }
-        let beat = ts[port].w_stage.pop_ready(now).expect("checked ready");
+        let port = route.port;
+        let beat = if ts[port].w_stage.has_ready(now) {
+            ts[port].w_stage.pop_ready(now).expect("checked ready")
+        } else if efifos[port].is_decoupled() {
+            let last = route.moved + 1 >= route.beats;
+            self.firewall_beats += 1;
+            WBeat::new(vec![0; route.bytes], last).with_strobe(0)
+        } else {
+            return false;
+        };
         let last = beat.last;
         mem_port.w.push(now, beat).expect("checked space");
         if last {
             self.w_routes.pop_front();
+        } else {
+            self.w_routes.front_mut().expect("still present").moved += 1;
         }
         true
     }
@@ -326,7 +372,7 @@ mod tests {
         assert!(exbar.arbitrate_ar(2, &mut ts));
         assert!(exbar.arbitrate_ar(3, &mut ts));
         assert!(!exbar.arbitrate_ar(4, &mut ts)); // nothing left
-        // Routing order matches grant order.
+                                                  // Routing order matches grant order.
         let first = exbar.read_routes.head().unwrap().port;
         exbar.move_to_mem(3, &mut mem);
         exbar.move_to_mem(4, &mut mem);
@@ -360,7 +406,10 @@ mod tests {
             efifos[port]
                 .port
                 .aw
-                .push(when - 1, axi::AwBeat::new(port as u64 * 0x100, 1, BurstSize::B4))
+                .push(
+                    when - 1,
+                    axi::AwBeat::new(port as u64 * 0x100, 1, BurstSize::B4),
+                )
                 .unwrap();
             efifos[port]
                 .port
@@ -374,12 +423,71 @@ mod tests {
         assert!(exbar.arbitrate_aw(4, &mut ts)); // then port 0
         let mut data = Vec::new();
         for now in 2..12 {
-            exbar.move_w(now, &mut ts, &mut mem);
+            exbar.move_w(now, &mut ts, &efifos, &mut mem);
             if let Some(w) = mem.w.pop_ready(now) {
                 data.push(w.data[0]);
             }
         }
         assert_eq!(data, vec![1, 0]);
+    }
+
+    #[test]
+    fn decoupled_writer_completed_with_firewall_beats() {
+        let (mut exbar, mut ts, mut efifos, mut mem) = setup(2);
+        // Port 0 is granted a 4-beat write but supplies only one beat
+        // before hanging; port 1 has a 1-beat write queued behind it.
+        efifos[0]
+            .port
+            .aw
+            .push(0, axi::AwBeat::new(0x0, 4, BurstSize::B4))
+            .unwrap();
+        efifos[0]
+            .port
+            .w
+            .push(0, axi::WBeat::new(vec![7; 4], false))
+            .unwrap();
+        ts[0].ingest(1, &mut efifos[0], rt());
+        ts[0].issue(1, rt());
+        assert!(exbar.arbitrate_aw(2, &mut ts));
+        efifos[1]
+            .port
+            .aw
+            .push(2, axi::AwBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        efifos[1]
+            .port
+            .w
+            .push(2, axi::WBeat::new(vec![9; 4], true))
+            .unwrap();
+        ts[1].ingest(3, &mut efifos[1], rt());
+        ts[1].issue(3, rt());
+        assert!(exbar.arbitrate_aw(4, &mut ts));
+        // Move the one real beat; the channel then wedges on port 0.
+        for now in 2..10 {
+            ts[0].ingest(now, &mut efifos[0], rt());
+            exbar.move_w(now, &mut ts, &efifos, &mut mem);
+        }
+        assert_eq!(mem.w.len(), 1);
+        assert!(!exbar.move_w(10, &mut ts, &efifos, &mut mem));
+        // Decoupling port 0 lets the EXBAR firewall the rest of the
+        // burst and port 1's write drain behind it.
+        efifos[0].set_decoupled(true);
+        let mut beats = Vec::new();
+        for now in 11..20 {
+            exbar.move_w(now, &mut ts, &efifos, &mut mem);
+            while let Some(w) = mem.w.pop_ready(now) {
+                beats.push((w.data[0], w.strb, w.last));
+            }
+        }
+        assert_eq!(exbar.firewall_beats(), 3);
+        // Real beat, three strobe-less fillers ending the burst, then
+        // port 1's real beat.
+        assert_eq!(beats.len(), 5);
+        assert_eq!(beats[0], (7, axi::beat::STRB_ALL, false));
+        assert!(beats[1..4].iter().all(|&(d, s, _)| d == 0 && s == 0));
+        assert!(beats[3].2, "filler completes the burst with LAST");
+        assert_eq!(beats[4], (9, axi::beat::STRB_ALL, true));
+        assert!(exbar.w_routes.is_empty());
     }
 
     #[test]
@@ -445,8 +553,7 @@ mod tests {
 
     #[test]
     fn fixed_priority_always_grants_port_zero() {
-        let mut exbar =
-            Exbar::with_policy(2, 32, ArbitrationPolicy::FixedPriority);
+        let mut exbar = Exbar::with_policy(2, 32, ArbitrationPolicy::FixedPriority);
         let mut ts: Vec<TransactionSupervisor> =
             (0..2).map(|_| TransactionSupervisor::new(32)).collect();
         let mut efifos: Vec<EFifo> = (0..2).map(|_| EFifo::new(4, 32, 4)).collect();
@@ -479,8 +586,7 @@ mod tests {
 
     #[test]
     fn priority_falls_through_when_winner_is_idle() {
-        let mut exbar =
-            Exbar::with_policy(2, 32, ArbitrationPolicy::FixedPriority);
+        let mut exbar = Exbar::with_policy(2, 32, ArbitrationPolicy::FixedPriority);
         let mut ts: Vec<TransactionSupervisor> =
             (0..2).map(|_| TransactionSupervisor::new(32)).collect();
         let mut efifos: Vec<EFifo> = (0..2).map(|_| EFifo::new(4, 32, 4)).collect();

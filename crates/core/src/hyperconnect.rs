@@ -15,8 +15,10 @@
 //!   EXBAR handle these channels proactively using stored routing
 //!   information.
 
+use axi::checker::{Violation, ViolationKind};
 use axi::lite::LiteHandle;
 use axi::{AxiInterconnect, AxiPort, PortConfig};
+use sim::stats::CounterBank;
 use sim::trace::Tracer;
 use sim::{Component, Cycle};
 
@@ -52,6 +54,10 @@ pub struct HyperConnect {
     mem_port: AxiPort,
     runtime_scratch: Vec<TsRuntime>,
     tracer: Tracer,
+    /// Per-port structured violation log (drained from the TS modules).
+    violation_log: Vec<Vec<Violation>>,
+    /// Per-port violation counters, indexed by [`ViolationKind::index`].
+    violation_counters: Vec<CounterBank>,
 }
 
 impl HyperConnect {
@@ -85,6 +91,10 @@ impl HyperConnect {
             ),
             runtime_scratch: Vec::with_capacity(n),
             tracer: Tracer::disabled(),
+            violation_log: (0..n).map(|_| Vec::new()).collect(),
+            violation_counters: (0..n)
+                .map(|_| CounterBank::new(ViolationKind::COUNT))
+                .collect(),
         }
     }
 
@@ -136,6 +146,28 @@ impl HyperConnect {
         self.efifos[i].dropped_responses()
     }
 
+    /// Structured violations detected on port `i` since reset, in
+    /// detection order.
+    pub fn violations(&self, i: usize) -> &[Violation] {
+        &self.violation_log[i]
+    }
+
+    /// Violations of a given kind detected on port `i`.
+    pub fn violation_count(&self, i: usize, kind: ViolationKind) -> u64 {
+        self.violation_counters[i].get(kind.index())
+    }
+
+    /// All violations detected on port `i`, across kinds.
+    pub fn total_violations(&self, i: usize) -> u64 {
+        self.violation_counters[i].total()
+    }
+
+    /// Strobe-disabled W beats the EXBAR synthesized to complete write
+    /// bursts of decoupled ports.
+    pub fn firewall_beats(&self) -> u64 {
+        self.exbar.firewall_beats()
+    }
+
     /// Number of completed reservation periods.
     pub fn periods_elapsed(&self) -> u64 {
         self.central.periods_elapsed()
@@ -151,6 +183,7 @@ impl Component for HyperConnect {
         let efifos = &mut self.efifos;
         let scratch = &mut self.runtime_scratch;
         let tracer = &mut self.tracer;
+        let counters = &self.violation_counters;
         let mut enabled = true;
         let mut progress = self.regs.with(|rf| {
             if !rf.is_enabled() {
@@ -179,17 +212,24 @@ impl Component for HyperConnect {
                         "efifo",
                         format!(
                             "port {i} {}",
-                            if port.enabled { "recoupled" } else { "DECOUPLED" }
+                            if port.enabled {
+                                "recoupled"
+                            } else {
+                                "DECOUPLED"
+                            }
                         ),
                     );
                 }
                 efifo.set_decoupled(!port.enabled);
             }
-            // Counter write-back so the hypervisor can observe activity.
+            // Counter write-back so the hypervisor can observe activity
+            // and health through the register file.
             for (i, ts) in supervisors.iter().enumerate() {
                 let port = rf.port_mut(i);
                 port.txn_this_period = ts.txn_this_period();
                 port.txn_total = ts.txn_total();
+                port.violations = counters[i].total() as u32;
+                port.outstanding = ts.read_outstanding() + ts.write_outstanding();
             }
             recharged
         });
@@ -212,7 +252,9 @@ impl Component for HyperConnect {
         // proactive response routing.
         progress |= self.exbar.arbitrate_ar(now, supervisors);
         progress |= self.exbar.arbitrate_aw(now, supervisors);
-        progress |= self.exbar.move_w(now, supervisors, &mut self.mem_port);
+        progress |= self
+            .exbar
+            .move_w(now, supervisors, &self.efifos, &mut self.mem_port);
         progress |= self.exbar.move_to_mem(now, &mut self.mem_port);
         progress |= self
             .exbar
@@ -220,6 +262,20 @@ impl Component for HyperConnect {
         progress |= self
             .exbar
             .route_b(now, supervisors, &mut self.efifos, &mut self.mem_port);
+
+        // Phase 3: drain structured violations detected this cycle and
+        // attribute them to their ports.
+        for (i, ts) in supervisors.iter_mut().enumerate() {
+            if !ts.has_violations() {
+                continue;
+            }
+            for v in ts.take_violations() {
+                let v = v.at_port(i);
+                self.violation_counters[i].incr(v.kind.index());
+                self.tracer.emit(now, "violation", v.to_string());
+                self.violation_log[i].push(v);
+            }
+        }
         progress
     }
 }
@@ -305,10 +361,7 @@ mod tests {
             .aw
             .push(0, AwBeat::new(0x200, 1, BurstSize::B4))
             .unwrap();
-        hc.port(0)
-            .w
-            .push(0, WBeat::new(vec![1; 4], true))
-            .unwrap();
+        hc.port(0).w.push(0, WBeat::new(vec![1; 4], true)).unwrap();
         let mut arrival = None;
         for now in 0..20 {
             hc.tick(now);
@@ -462,6 +515,54 @@ mod tests {
     }
 
     #[test]
+    fn violations_attributed_and_visible_through_regfile() {
+        use crate::regfile::{offsets, port_block_offset};
+        use axi::checker::ViolationKind;
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        // Port 1 drives a 4-beat write with WLAST asserted a beat early.
+        hc.port(1)
+            .aw
+            .push(0, AwBeat::new(0x100, 4, BurstSize::B4))
+            .unwrap();
+        for i in 0..4u32 {
+            hc.port(1)
+                .w
+                .push(0, WBeat::new(vec![0; 4], i == 2))
+                .unwrap();
+        }
+        run(&mut hc, 20);
+        // Two mismatches (early assert + missing final), on port 1 only.
+        assert_eq!(hc.violation_count(1, ViolationKind::WlastMismatch), 2);
+        assert_eq!(hc.total_violations(0), 0);
+        let vs = hc.violations(1);
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().all(|v| v.port == Some(1)));
+        // And the hypervisor sees the same count through AXI-Lite.
+        let off = port_block_offset(1) + offsets::PORT_VIOLATIONS;
+        assert_eq!(hc.regs().read32(off), 2);
+        assert_eq!(
+            hc.regs()
+                .read32(port_block_offset(0) + offsets::PORT_VIOLATIONS),
+            0
+        );
+    }
+
+    #[test]
+    fn outstanding_counter_visible_through_regfile() {
+        use crate::regfile::{offsets, port_block_offset};
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
+        // Run only a few cycles: subs have issued but no data returned,
+        // so some are in flight and the register reflects that.
+        run(&mut hc, 8);
+        let off = port_block_offset(0) + offsets::PORT_OUTSTANDING;
+        assert!(hc.regs().read32(off) > 0);
+    }
+
+    #[test]
     fn is_idle_after_draining() {
         let mut hc = HyperConnect::new(HcConfig::new(2));
         assert!(hc.is_idle());
@@ -490,7 +591,11 @@ mod tests {
         }
         let lines = hc.trace().dump();
         assert!(
-            lines.iter().filter(|l| l.contains("budget recharge")).count() >= 3,
+            lines
+                .iter()
+                .filter(|l| l.contains("budget recharge"))
+                .count()
+                >= 3,
             "{lines:?}"
         );
         assert!(lines.iter().any(|l| l.contains("port 1 DECOUPLED")));
@@ -499,7 +604,11 @@ mod tests {
         for now in 260..270 {
             hc.tick(now);
         }
-        assert!(hc.trace().dump().iter().any(|l| l.contains("port 1 recoupled")));
+        assert!(hc
+            .trace()
+            .dump()
+            .iter()
+            .any(|l| l.contains("port 1 recoupled")));
     }
 
     #[test]

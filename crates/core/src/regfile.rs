@@ -26,6 +26,8 @@
 //! | `+0x08` | `MAX_OUT` | RW | outstanding sub-transaction limit per direction |
 //! | `+0x0C` | `TXN_PERIOD` | RO | sub-transactions issued in the current period |
 //! | `+0x10` | `TXN_TOTAL` | RO | sub-transactions issued since reset (low 32 bits) |
+//! | `+0x14` | `VIOLATIONS` | RO | structured protocol violations detected since reset |
+//! | `+0x18` | `OUTSTANDING` | RO | in-flight sub-transactions (reads + writes) |
 
 use axi::lite::LiteDevice;
 
@@ -47,6 +49,8 @@ const PORT_CTRL: u64 = 0x04;
 const PORT_MAX_OUT: u64 = 0x08;
 const PORT_TXN_PERIOD: u64 = 0x0C;
 const PORT_TXN_TOTAL: u64 = 0x10;
+const PORT_VIOLATIONS: u64 = 0x14;
+const PORT_OUTSTANDING: u64 = 0x18;
 
 /// Runtime-visible state of one slave port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +65,11 @@ pub struct PortRegs {
     pub txn_this_period: u32,
     /// Sub-transactions issued since reset (updated by the TS).
     pub txn_total: u64,
+    /// Structured violations detected on this port since reset (updated
+    /// by the interconnect; the hypervisor watchdog polls it).
+    pub violations: u32,
+    /// In-flight sub-transactions, reads plus writes (updated by the TS).
+    pub outstanding: u32,
 }
 
 impl Default for PortRegs {
@@ -71,6 +80,8 @@ impl Default for PortRegs {
             max_outstanding: 4,
             txn_this_period: 0,
             txn_total: 0,
+            violations: 0,
+            outstanding: 0,
         }
     }
 }
@@ -205,6 +216,8 @@ impl LiteDevice for RegFile {
                 Some((i, PORT_MAX_OUT)) => self.ports[i].max_outstanding,
                 Some((i, PORT_TXN_PERIOD)) => self.ports[i].txn_this_period,
                 Some((i, PORT_TXN_TOTAL)) => self.ports[i].txn_total as u32,
+                Some((i, PORT_VIOLATIONS)) => self.ports[i].violations,
+                Some((i, PORT_OUTSTANDING)) => self.ports[i].outstanding,
                 _ => 0,
             },
         }
@@ -255,6 +268,10 @@ pub mod offsets {
     pub const PORT_TXN_PERIOD: u64 = super::PORT_TXN_PERIOD;
     /// Per-port `TXN_TOTAL` offset within a port block.
     pub const PORT_TXN_TOTAL: u64 = super::PORT_TXN_TOTAL;
+    /// Per-port `VIOLATIONS` offset within a port block (read-only).
+    pub const PORT_VIOLATIONS: u64 = super::PORT_VIOLATIONS;
+    /// Per-port `OUTSTANDING` offset within a port block (read-only).
+    pub const PORT_OUTSTANDING: u64 = super::PORT_OUTSTANDING;
 }
 
 #[cfg(test)]
@@ -322,6 +339,23 @@ mod tests {
         let p0 = port_block_offset(0);
         rf.write32(p0 + PORT_TXN_PERIOD, 5);
         assert_eq!(rf.read32(p0 + PORT_TXN_PERIOD), 0);
+        rf.write32(p0 + PORT_VIOLATIONS, 5);
+        rf.write32(p0 + PORT_OUTSTANDING, 5);
+        assert_eq!(rf.read32(p0 + PORT_VIOLATIONS), 0);
+        assert_eq!(rf.read32(p0 + PORT_OUTSTANDING), 0);
+    }
+
+    #[test]
+    fn health_registers_reflect_written_back_state() {
+        let mut rf = RegFile::new(2);
+        rf.port_mut(1).violations = 3;
+        rf.port_mut(1).outstanding = 5;
+        let p1 = port_block_offset(1);
+        assert_eq!(rf.read32(p1 + PORT_VIOLATIONS), 3);
+        assert_eq!(rf.read32(p1 + PORT_OUTSTANDING), 5);
+        // Port 0 unaffected.
+        let p0 = port_block_offset(0);
+        assert_eq!(rf.read32(p0 + PORT_VIOLATIONS), 0);
     }
 
     #[test]

@@ -173,9 +173,7 @@ mod tests {
 
     fn burst(tag: u64, beats: u32) -> Vec<RBeat> {
         (0..beats)
-            .map(|i| {
-                RBeat::new(AxiId(0), vec![tag as u8; 4], i == beats - 1).with_tag(tag)
-            })
+            .map(|i| RBeat::new(AxiId(0), vec![tag as u8; 4], i == beats - 1).with_tag(tag))
             .collect()
     }
 

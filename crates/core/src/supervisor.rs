@@ -21,13 +21,20 @@
 use std::collections::VecDeque;
 
 use axi::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
-use axi::burst::split_incr;
-use axi::types::BurstKind;
+use axi::burst::{crosses_4k, split_incr};
+use axi::checker::{Violation, ViolationKind};
+use axi::types::{BurstKind, Resp};
 use sim::stats::LatencyStat;
 use sim::{Cycle, TimedFifo};
 
 use crate::efifo::EFifo;
 use crate::regfile::BUDGET_UNLIMITED;
+
+/// Consecutive cycles the W channel may starve a pending write burst
+/// before the TS reports a [`ViolationKind::HandshakeHang`]. The
+/// detector re-arms after each report, so a persistent hang produces a
+/// report every `W_HANG_THRESHOLD` cycles.
+pub const W_HANG_THRESHOLD: u32 = 64;
 
 /// An equalized (sub-)read request staged for arbitration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +98,12 @@ pub struct TransactionSupervisor {
     /// Upcoming sub-burst lengths for W-stream re-chunking.
     w_sublens: VecDeque<u32>,
     w_current_left: u32,
+    /// Original (pre-split) burst lengths, for WLAST-position checking
+    /// against what the accelerator actually drives.
+    w_orig_lens: VecDeque<u32>,
+    w_orig_left: u32,
+    /// Cycles the W channel has starved a pending write burst.
+    w_starved: u32,
     /// Re-chunked write data toward the EXBAR (proactive: no latency).
     pub w_stage: TimedFifo<WBeat>,
     write_outstanding: u32,
@@ -98,10 +111,15 @@ pub struct TransactionSupervisor {
     budget_left: Option<u32>,
     txn_this_period: u32,
     txn_total: u64,
+    overrun_reported: bool,
+    // --- error-response merging ---
+    r_sub_resp: Resp,
+    b_merged_resp: Resp,
     // --- statistics ---
     stats: TsStats,
     read_latency: LatencyStat,
     write_latency: LatencyStat,
+    violations: Vec<Violation>,
 }
 
 impl TransactionSupervisor {
@@ -115,15 +133,37 @@ impl TransactionSupervisor {
             aw_stage: TimedFifo::new(2, 1),
             w_sublens: VecDeque::new(),
             w_current_left: 0,
+            w_orig_lens: VecDeque::new(),
+            w_orig_left: 0,
+            w_starved: 0,
             w_stage: TimedFifo::new(w_depth.max(2), 0),
             write_outstanding: 0,
             budget_left: None,
             txn_this_period: 0,
             txn_total: 0,
+            overrun_reported: false,
+            r_sub_resp: Resp::Okay,
+            b_merged_resp: Resp::Okay,
             stats: TsStats::default(),
             read_latency: LatencyStat::new(),
             write_latency: LatencyStat::new(),
+            violations: Vec::new(),
         }
+    }
+
+    fn record(&mut self, cycle: Cycle, kind: ViolationKind, detail: String) {
+        self.violations.push(Violation::new(cycle, kind, detail));
+    }
+
+    /// Drains the structured violations this TS has detected since the
+    /// last call (the interconnect attributes them to its port).
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Whether any violations are waiting to be drained.
+    pub fn has_violations(&self) -> bool {
+        !self.violations.is_empty()
     }
 
     /// Recharges the reservation budget (called synchronously for all
@@ -132,6 +172,7 @@ impl TransactionSupervisor {
     pub fn recharge(&mut self, budget_reg: u32) {
         self.budget_left = (budget_reg != BUDGET_UNLIMITED).then_some(budget_reg);
         self.txn_this_period = 0;
+        self.overrun_reported = false;
     }
 
     /// Remaining budget this period (`None` = unlimited).
@@ -243,12 +284,27 @@ impl TransactionSupervisor {
         // splitter once the previous one is fully staged.
         if self.ar_split.is_empty() {
             if let Some(ar) = efifo.pop_ar(now) {
+                if ar.burst == BurstKind::Incr && crosses_4k(ar.addr, ar.len, ar.size) {
+                    self.record(
+                        now,
+                        ViolationKind::Boundary4K,
+                        format!("AR {:#x} len {} crosses a 4 KiB boundary", ar.addr, ar.len),
+                    );
+                }
                 self.split_ar(ar, rt.nominal);
                 progress = true;
             }
         }
         if self.aw_split.is_empty() {
             if let Some(aw) = efifo.pop_aw(now) {
+                if aw.burst == BurstKind::Incr && crosses_4k(aw.addr, aw.len, aw.size) {
+                    self.record(
+                        now,
+                        ViolationKind::Boundary4K,
+                        format!("AW {:#x} len {} crosses a 4 KiB boundary", aw.addr, aw.len),
+                    );
+                }
+                self.w_orig_lens.push_back(aw.len);
                 self.split_aw(aw, rt.nominal);
                 progress = true;
             }
@@ -257,17 +313,46 @@ impl TransactionSupervisor {
         // equalized sub-burst boundaries.
         if !self.w_stage.is_full() && (self.w_current_left > 0 || !self.w_sublens.is_empty()) {
             if let Some(mut w) = efifo.pop_w(now) {
+                self.w_starved = 0;
                 if self.w_current_left == 0 {
-                    self.w_current_left = self
-                        .w_sublens
-                        .pop_front()
-                        .expect("checked non-empty");
+                    self.w_current_left = self.w_sublens.pop_front().expect("checked non-empty");
                 }
+                if self.w_orig_left == 0 {
+                    self.w_orig_left = self.w_orig_lens.pop_front().unwrap_or(0);
+                }
+                // Check the accelerator's WLAST against the original
+                // burst boundary before rewriting it.
+                let expected_last = self.w_orig_left == 1;
+                if w.last != expected_last {
+                    self.record(
+                        now,
+                        ViolationKind::WlastMismatch,
+                        format!(
+                            "WLAST={} on beat with {} remaining in the original burst",
+                            w.last, self.w_orig_left
+                        ),
+                    );
+                }
+                self.w_orig_left = self.w_orig_left.saturating_sub(1);
                 w.last = self.w_current_left == 1;
                 self.w_current_left -= 1;
                 self.stats.bytes_written += w.data.len() as u64;
                 self.w_stage.push(now, w).expect("checked space");
                 progress = true;
+            } else {
+                // Write data is owed (an AW was accepted) but the
+                // accelerator is not driving the W channel.
+                self.w_starved += 1;
+                if self.w_starved >= W_HANG_THRESHOLD {
+                    self.w_starved = 0;
+                    self.record(
+                        now,
+                        ViolationKind::HandshakeHang,
+                        format!(
+                            "W channel starved for {W_HANG_THRESHOLD} cycles with a write pending"
+                        ),
+                    );
+                }
             }
         }
         progress
@@ -325,6 +410,17 @@ impl TransactionSupervisor {
         }
         if stalled_by_budget {
             self.stats.budget_stall_cycles += 1;
+            if !self.overrun_reported {
+                self.overrun_reported = true;
+                self.record(
+                    now,
+                    ViolationKind::BudgetOverrun,
+                    format!(
+                        "issue throttled: reservation budget exhausted after {} sub-transactions",
+                        self.txn_this_period
+                    ),
+                );
+            }
         }
         progress
     }
@@ -343,6 +439,22 @@ impl TransactionSupervisor {
     ) -> bool {
         let sub_end = beat.last;
         beat.last = final_sub && sub_end;
+        self.r_sub_resp = self.r_sub_resp.worst(beat.resp);
+        if sub_end && !self.r_sub_resp.is_ok() {
+            let kind = if self.r_sub_resp == Resp::DecErr {
+                ViolationKind::AddressDecode
+            } else {
+                ViolationKind::ErrorResponse
+            };
+            self.record(
+                now,
+                kind,
+                format!("read sub-burst completed with {}", self.r_sub_resp),
+            );
+            self.r_sub_resp = Resp::Okay;
+        } else if sub_end {
+            self.r_sub_resp = Resp::Okay;
+        }
         self.stats.bytes_read += beat.data.len() as u64;
         if beat.last {
             self.stats.reads_completed += 1;
@@ -361,11 +473,32 @@ impl TransactionSupervisor {
     /// fragment's response reaches the accelerator.
     ///
     /// The caller must have checked [`EFifo::can_push_b`].
-    pub fn deliver_b(&mut self, now: Cycle, beat: BBeat, final_sub: bool, efifo: &mut EFifo) {
+    pub fn deliver_b(&mut self, now: Cycle, mut beat: BBeat, final_sub: bool, efifo: &mut EFifo) {
         self.write_outstanding = self.write_outstanding.saturating_sub(1);
+        self.b_merged_resp = self.b_merged_resp.worst(beat.resp);
         if final_sub {
+            // The merged response reports the worst outcome across all
+            // sub-bursts of the original write (AXI merge rule).
+            beat.resp = self.b_merged_resp;
+            if !self.b_merged_resp.is_ok() {
+                let kind = if self.b_merged_resp == Resp::DecErr {
+                    ViolationKind::AddressDecode
+                } else {
+                    ViolationKind::ErrorResponse
+                };
+                self.record(
+                    now,
+                    kind,
+                    format!(
+                        "write completed with merged response {}",
+                        self.b_merged_resp
+                    ),
+                );
+            }
+            self.b_merged_resp = Resp::Okay;
             self.stats.writes_completed += 1;
-            self.write_latency.record(now.saturating_sub(beat.issued_at));
+            self.write_latency
+                .record(now.saturating_sub(beat.issued_at));
             let accepted = efifo.push_b(now, beat);
             debug_assert!(accepted, "caller must check can_push_b");
         }
@@ -393,7 +526,10 @@ mod tests {
     fn short_read_not_split() {
         let mut ts = TransactionSupervisor::new(32);
         let mut ef = efifo();
-        ef.port.ar.push(0, ArBeat::new(0, 8, BurstSize::B4)).unwrap();
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 8, BurstSize::B4))
+            .unwrap();
         assert!(ts.ingest(1, &mut ef, rt()));
         ts.issue(1, rt());
         let sub = ts.ar_stage.pop_ready(2).unwrap();
@@ -429,7 +565,10 @@ mod tests {
     fn ts_stage_latency_is_one_cycle() {
         let mut ts = TransactionSupervisor::new(32);
         let mut ef = efifo();
-        ef.port.ar.push(0, ArBeat::new(0, 1, BurstSize::B4)).unwrap();
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 1, BurstSize::B4))
+            .unwrap();
         ts.ingest(1, &mut ef, rt());
         ts.issue(1, rt());
         assert!(ts.ar_stage.pop_ready(1).is_none());
@@ -444,7 +583,10 @@ mod tests {
             max_outstanding: 1,
             ..rt()
         };
-        ef.port.ar.push(0, ArBeat::new(0, 32, BurstSize::B4)).unwrap();
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 32, BurstSize::B4))
+            .unwrap();
         ts.ingest(1, &mut ef, limit);
         ts.issue(1, limit);
         assert_eq!(ts.read_outstanding(), 1);
@@ -467,7 +609,10 @@ mod tests {
         let mut ts = TransactionSupervisor::new(32);
         let mut ef = efifo();
         ts.recharge(2);
-        ef.port.ar.push(0, ArBeat::new(0, 64, BurstSize::B4)).unwrap();
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
         ts.ingest(1, &mut ef, rt());
         for now in 1..10 {
             ts.issue(now, rt());
@@ -513,10 +658,7 @@ mod tests {
     fn write_split_rechunks_w_stream() {
         let mut ts = TransactionSupervisor::new(64);
         let mut ef = efifo();
-        let rt8 = TsRuntime {
-            nominal: 8,
-            ..rt()
-        };
+        let rt8 = TsRuntime { nominal: 8, ..rt() };
         ef.port
             .aw
             .push(0, AwBeat::new(0, 20, BurstSize::B4))
@@ -598,10 +740,198 @@ mod tests {
             enabled: false,
             ..rt()
         };
-        ef.port.ar.push(0, ArBeat::new(0, 4, BurstSize::B4)).unwrap();
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 4, BurstSize::B4))
+            .unwrap();
         assert!(!ts.ingest(1, &mut ef, disabled));
         assert!(!ts.issue(1, disabled));
         assert!(ts.is_idle());
+    }
+
+    #[test]
+    fn boundary_4k_crossing_is_reported() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        // 16 beats x 4 bytes starting 0xFC0 ends at 0x1000 exactly: OK.
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0xFC0, 16, BurstSize::B4))
+            .unwrap();
+        ts.ingest(1, &mut ef, rt());
+        assert!(!ts.has_violations());
+        // 17 beats from 0xFC0 crosses into the next 4 KiB page.
+        ef.port
+            .ar
+            .push(1, ArBeat::new(0xFC0, 17, BurstSize::B4))
+            .unwrap();
+        // Drain the staged subs so the splitter accepts the next AR.
+        for now in 2..40 {
+            ts.issue(now, rt());
+            if ts.ar_stage.pop_ready(now).is_some() && ts.read_outstanding() > 0 {
+                let beat = RBeat::new(AxiId(0), vec![0; 4], true);
+                ts.deliver_r(now, beat, false, &mut ef);
+            }
+            ts.ingest(now, &mut ef, rt());
+        }
+        let vs = ts.take_violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind, ViolationKind::Boundary4K);
+        assert!(!ts.has_violations());
+    }
+
+    #[test]
+    fn wlast_mismatch_is_reported() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ef.port
+            .aw
+            .push(0, AwBeat::new(0, 4, BurstSize::B4))
+            .unwrap();
+        // LAST asserted one beat early (on beat 2 of 4) and missing on
+        // the true final beat: two violations.
+        for i in 0..4u32 {
+            ef.port.w.push(0, WBeat::new(vec![0; 4], i == 2)).unwrap();
+        }
+        for now in 1..10 {
+            ts.ingest(now, &mut ef, rt());
+            ts.w_stage.pop_ready(now);
+        }
+        let vs = ts.take_violations();
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().all(|v| v.kind == ViolationKind::WlastMismatch));
+    }
+
+    #[test]
+    fn well_formed_wlast_is_silent() {
+        let mut ts = TransactionSupervisor::new(64);
+        let mut ef = efifo();
+        let rt8 = TsRuntime { nominal: 8, ..rt() };
+        ef.port
+            .aw
+            .push(0, AwBeat::new(0, 20, BurstSize::B4))
+            .unwrap();
+        for i in 0..20u32 {
+            ef.port
+                .w
+                .push(i as u64 / 8, WBeat::new(vec![0; 4], i == 19))
+                .unwrap();
+        }
+        for now in 1..64 {
+            ts.ingest(now, &mut ef, rt8);
+            ts.w_stage.pop_ready(now);
+        }
+        assert!(!ts.has_violations());
+    }
+
+    #[test]
+    fn stalled_w_channel_triggers_hang_report() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ef.port
+            .aw
+            .push(0, AwBeat::new(0, 4, BurstSize::B4))
+            .unwrap();
+        // The HA never drives W. The detector fires once per threshold
+        // window and re-arms.
+        for now in 1..(2 * W_HANG_THRESHOLD as u64 + 2) {
+            ts.ingest(now, &mut ef, rt());
+        }
+        let vs = ts.take_violations();
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().all(|v| v.kind == ViolationKind::HandshakeHang));
+    }
+
+    #[test]
+    fn budget_overrun_reported_once_per_period() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ts.recharge(1);
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
+        ts.ingest(1, &mut ef, rt());
+        for now in 1..10 {
+            ts.issue(now, rt());
+            ts.ar_stage.pop_ready(now);
+        }
+        let vs = ts.take_violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind, ViolationKind::BudgetOverrun);
+        // A recharge re-arms the reporter for the next period.
+        ts.recharge(1);
+        for now in 10..20 {
+            ts.issue(now, rt());
+            ts.ar_stage.pop_ready(now);
+        }
+        let vs = ts.take_violations();
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn b_merge_surfaces_worst_response() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        ef.port
+            .aw
+            .push(0, AwBeat::new(0, 48, BurstSize::B4))
+            .unwrap();
+        ts.ingest(1, &mut ef, rt());
+        for now in 1..10 {
+            ts.issue(now, rt());
+            ts.aw_stage.pop_ready(now);
+        }
+        use axi::types::Resp;
+        // Middle sub-burst hits a faulty slave; the merged B must carry
+        // SLVERR even though the final sub-burst succeeded.
+        ts.deliver_b(20, BBeat::new(AxiId(0)), false, &mut ef);
+        ts.deliver_b(
+            21,
+            BBeat::new(AxiId(0)).with_resp(Resp::SlvErr),
+            false,
+            &mut ef,
+        );
+        ts.deliver_b(22, BBeat::new(AxiId(0)), true, &mut ef);
+        let b = ef.port.b.pop_ready(30).unwrap();
+        assert_eq!(b.resp, Resp::SlvErr);
+        let vs = ts.take_violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].kind, ViolationKind::ErrorResponse);
+        // The merge state resets for the next write.
+        ef.port
+            .aw
+            .push(30, AwBeat::new(0, 8, BurstSize::B4))
+            .unwrap();
+        ts.ingest(31, &mut ef, rt());
+        for now in 31..35 {
+            ts.issue(now, rt());
+            ts.aw_stage.pop_ready(now);
+        }
+        ts.deliver_b(40, BBeat::new(AxiId(0)), true, &mut ef);
+        assert_eq!(ef.port.b.pop_ready(50).unwrap().resp, Resp::Okay);
+        assert!(!ts.has_violations());
+    }
+
+    #[test]
+    fn r_error_classified_by_kind() {
+        use axi::types::Resp;
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        let mk = |last, resp| {
+            RBeat::new(AxiId(0), vec![0; 4], last)
+                .with_issued_at(0)
+                .with_resp(resp)
+        };
+        // A DECERR read maps to an address-decode violation.
+        ts.deliver_r(5, mk(false, Resp::Okay), true, &mut ef);
+        ts.deliver_r(6, mk(true, Resp::DecErr), true, &mut ef);
+        // A SLVERR read maps to a generic error-response violation.
+        ts.deliver_r(7, mk(true, Resp::SlvErr), true, &mut ef);
+        let vs = ts.take_violations();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].kind, ViolationKind::AddressDecode);
+        assert_eq!(vs[1].kind, ViolationKind::ErrorResponse);
     }
 
     #[test]

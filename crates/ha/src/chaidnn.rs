@@ -306,8 +306,7 @@ impl Accelerator for Chaidnn {
             Phase::Weights(eng) | Phase::Inputs(eng) => {
                 let before = eng.received_beats();
                 progress |= eng.tick(now, port);
-                self.bytes_moved +=
-                    (eng.received_beats() - before) * self.config.size.bytes();
+                self.bytes_moved += (eng.received_beats() - before) * self.config.size.bytes();
                 advance = eng.is_done();
             }
             Phase::Compute { left } => {
@@ -324,10 +323,8 @@ impl Accelerator for Chaidnn {
         }
         if advance {
             if let Some(Phase::Outputs(_)) = &self.phase {
-                self.bytes_moved += round_beats(
-                    self.layers[self.layer_idx].output_bytes,
-                    self.config.size,
-                );
+                self.bytes_moved +=
+                    round_beats(self.layers[self.layer_idx].output_bytes, self.config.size);
             }
             self.advance_phase(now);
             progress = true;

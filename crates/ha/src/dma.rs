@@ -246,8 +246,10 @@ mod tests {
     fn run_system(dma: &mut Dma, cycles: Cycle) -> (MemoryController, u64) {
         let mut hc = HyperConnect::new(HcConfig::new(1));
         let mut ctrl = MemoryController::new(MemConfig::default());
-        ctrl.memory_mut()
-            .fill_pattern(dma.config().src_base, dma.config().read_bytes.max(64) as usize);
+        ctrl.memory_mut().fill_pattern(
+            dma.config().src_base,
+            dma.config().read_bytes.max(64) as usize,
+        );
         let mut finished_at = 0;
         for now in 0..cycles {
             dma.tick(now, hc.port(0));

@@ -1,0 +1,478 @@
+//! Misbehaving bus masters for fault-injection experiments.
+//!
+//! The paper's hypervisor-level argument (§III, §V) is that an FPGA SoC
+//! interconnect must stay predictable *even when an accelerator
+//! misbehaves* — a buggy or malicious HA must not be able to take the
+//! bus down or starve the other ports. These models deliberately break
+//! the AXI rules a well-behaved master honors, one rule per model:
+//!
+//! * [`RogueReader`] — reads from addresses outside the decoded range;
+//! * [`BoundaryViolator`] — INCR bursts that cross 4 KiB boundaries;
+//! * [`WlastViolator`] — write data with WLAST in the wrong position;
+//! * [`StalledWriter`] — posts write addresses, then never drives W;
+//! * [`RunawayMaster`] — issues reads as fast as the port accepts them,
+//!   ignoring any declared in-flight envelope.
+//!
+//! All of them keep consuming responses (except where hanging *is* the
+//! fault), so the misbehavior under test is isolated.
+
+use axi::types::{AxiId, BurstSize};
+use axi::{ArBeat, AwBeat, AxiPort, WBeat};
+use sim::Cycle;
+
+use crate::Accelerator;
+
+/// A master that reads from addresses beyond the decoded range, so
+/// every burst earns a DECERR. Models a misprogrammed DMA pointer or a
+/// malicious scatter list.
+#[derive(Debug)]
+pub struct RogueReader {
+    name: String,
+    /// First illegal address to read (caller picks something at or past
+    /// the memory's decode limit).
+    rogue_base: u64,
+    burst_beats: u32,
+    size: BurstSize,
+    max_outstanding: u32,
+    outstanding: u32,
+    next_tag: u64,
+    bursts_completed: u64,
+    error_responses: u64,
+}
+
+impl RogueReader {
+    /// Creates a rogue reader issuing `burst_beats`-beat bursts at
+    /// `rogue_base` (an address the caller knows is not decoded).
+    pub fn new(
+        name: impl Into<String>,
+        rogue_base: u64,
+        burst_beats: u32,
+        size: BurstSize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            rogue_base,
+            burst_beats: burst_beats.max(1),
+            size,
+            max_outstanding: 2,
+            outstanding: 0,
+            next_tag: 0,
+            bursts_completed: 0,
+            error_responses: 0,
+        }
+    }
+
+    /// Error responses (SLVERR/DECERR) observed on completed bursts.
+    pub fn error_responses(&self) -> u64 {
+        self.error_responses
+    }
+}
+
+impl Accelerator for RogueReader {
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
+        let mut progress = false;
+        if self.outstanding < self.max_outstanding && !port.ar.is_full() {
+            let beat = ArBeat::new(self.rogue_base, self.burst_beats, self.size)
+                .with_id(AxiId(0xE0))
+                .with_tag(self.next_tag)
+                .with_issued_at(now);
+            port.ar.push(now, beat).expect("checked space");
+            self.next_tag += 1;
+            self.outstanding += 1;
+            progress = true;
+        }
+        while let Some(beat) = port.r.pop_ready(now) {
+            if !beat.resp.is_ok() {
+                self.error_responses += 1;
+            }
+            if beat.last {
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.bursts_completed += 1;
+            }
+            progress = true;
+        }
+        progress
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    fn jobs_completed(&self) -> u64 {
+        self.bursts_completed
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A master whose INCR read bursts straddle 4 KiB boundaries — the AXI
+/// rule every compliant master must honor (A3.4.1). Models a burst
+/// engine missing its boundary-clamp logic.
+#[derive(Debug)]
+pub struct BoundaryViolator {
+    name: String,
+    base: u64,
+    burst_beats: u32,
+    size: BurstSize,
+    outstanding: u32,
+    next_tag: u64,
+    bursts_completed: u64,
+}
+
+impl BoundaryViolator {
+    /// Creates a violator anchored near the end of the 4 KiB page that
+    /// contains `base` — each burst starts `burst_beats / 2` beats
+    /// before the boundary, guaranteeing a crossing.
+    pub fn new(name: impl Into<String>, base: u64, burst_beats: u32, size: BurstSize) -> Self {
+        let beats = burst_beats.max(2);
+        let page_end = (base | 0xFFF) + 1;
+        let start = page_end - (beats as u64 / 2) * size.bytes();
+        Self {
+            name: name.into(),
+            base: start,
+            burst_beats: beats,
+            size,
+            outstanding: 0,
+            next_tag: 0,
+            bursts_completed: 0,
+        }
+    }
+}
+
+impl Accelerator for BoundaryViolator {
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
+        let mut progress = false;
+        if self.outstanding < 1 && !port.ar.is_full() {
+            let beat = ArBeat::new(self.base, self.burst_beats, self.size)
+                .with_id(AxiId(0xE1))
+                .with_tag(self.next_tag)
+                .with_issued_at(now);
+            port.ar.push(now, beat).expect("checked space");
+            self.next_tag += 1;
+            self.outstanding += 1;
+            progress = true;
+        }
+        while let Some(beat) = port.r.pop_ready(now) {
+            if beat.last {
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.bursts_completed += 1;
+            }
+            progress = true;
+        }
+        progress
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    fn jobs_completed(&self) -> u64 {
+        self.bursts_completed
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A writer that supplies the right number of W beats but asserts WLAST
+/// in the wrong place: one beat early, and never on the true final
+/// beat. Models an off-by-one in a streaming pipeline's end-of-frame
+/// logic.
+#[derive(Debug)]
+pub struct WlastViolator {
+    name: String,
+    base: u64,
+    burst_beats: u32,
+    size: BurstSize,
+    /// Beats of the current burst still to drive (0 = need a new AW).
+    w_left: u32,
+    in_flight: bool,
+    next_tag: u64,
+    bursts_completed: u64,
+}
+
+impl WlastViolator {
+    /// Creates a WLAST violator writing `burst_beats`-beat bursts at
+    /// `base` (at least 2 beats, so "one early" is distinct from the
+    /// real end).
+    pub fn new(name: impl Into<String>, base: u64, burst_beats: u32, size: BurstSize) -> Self {
+        Self {
+            name: name.into(),
+            base,
+            burst_beats: burst_beats.max(2),
+            size,
+            w_left: 0,
+            in_flight: false,
+            next_tag: 0,
+            bursts_completed: 0,
+        }
+    }
+}
+
+impl Accelerator for WlastViolator {
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
+        let mut progress = false;
+        if !self.in_flight && !port.aw.is_full() {
+            let beat = AwBeat::new(self.base, self.burst_beats, self.size)
+                .with_id(AxiId(0xE2))
+                .with_tag(self.next_tag)
+                .with_issued_at(now);
+            port.aw.push(now, beat).expect("checked space");
+            self.next_tag += 1;
+            self.w_left = self.burst_beats;
+            self.in_flight = true;
+            progress = true;
+        }
+        if self.w_left > 0 && !port.w.is_full() {
+            // The bug: LAST goes on the second-to-last beat instead of
+            // the last one.
+            let wrong_last = self.w_left == 2;
+            let beat = WBeat::new(vec![0xAB; self.size.bytes() as usize], wrong_last);
+            port.w.push(now, beat).expect("checked space");
+            self.w_left -= 1;
+            progress = true;
+        }
+        while let Some(_b) = port.b.pop_ready(now) {
+            self.in_flight = false;
+            self.bursts_completed += 1;
+            progress = true;
+        }
+        progress
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    fn jobs_completed(&self) -> u64 {
+        self.bursts_completed
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A writer that posts a write address and then never drives a single W
+/// beat — the classic hung-handshake fault that wedges an unprotected
+/// interconnect (the granted write blocks every later write at the
+/// arbiter). Models a crashed accelerator kernel.
+#[derive(Debug)]
+pub struct StalledWriter {
+    name: String,
+    base: u64,
+    burst_beats: u32,
+    size: BurstSize,
+    posted: bool,
+}
+
+impl StalledWriter {
+    /// Creates a stalled writer that will post one `burst_beats`-beat
+    /// write address at `base` and then hang forever.
+    pub fn new(name: impl Into<String>, base: u64, burst_beats: u32, size: BurstSize) -> Self {
+        Self {
+            name: name.into(),
+            base,
+            burst_beats: burst_beats.max(1),
+            size,
+            posted: false,
+        }
+    }
+}
+
+impl Accelerator for StalledWriter {
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
+        if !self.posted && !port.aw.is_full() {
+            let beat = AwBeat::new(self.base, self.burst_beats, self.size)
+                .with_id(AxiId(0xE3))
+                .with_issued_at(now);
+            port.aw.push(now, beat).expect("checked space");
+            self.posted = true;
+            return true;
+        }
+        // Never drives W; drains nothing. The hang is the workload.
+        false
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    fn jobs_completed(&self) -> u64 {
+        0
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A master that issues read bursts every cycle the port accepts one,
+/// with no self-imposed outstanding limit — a runaway issue rate that
+/// blows through any in-flight envelope the accelerator declared to the
+/// hypervisor. Models a control-loop bug re-triggering a DMA
+/// descriptor.
+#[derive(Debug)]
+pub struct RunawayMaster {
+    name: String,
+    base: u64,
+    region_bytes: u64,
+    burst_beats: u32,
+    size: BurstSize,
+    cursor: u64,
+    next_tag: u64,
+    bursts_completed: u64,
+}
+
+impl RunawayMaster {
+    /// Creates a runaway reader sweeping `region_bytes` at `base`.
+    pub fn new(
+        name: impl Into<String>,
+        base: u64,
+        region_bytes: u64,
+        burst_beats: u32,
+        size: BurstSize,
+    ) -> Self {
+        let beats = burst_beats.max(1);
+        Self {
+            name: name.into(),
+            base,
+            region_bytes: region_bytes.max(beats as u64 * size.bytes()),
+            burst_beats: beats,
+            size,
+            cursor: 0,
+            next_tag: 0,
+            bursts_completed: 0,
+        }
+    }
+}
+
+impl Accelerator for RunawayMaster {
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
+        let mut progress = false;
+        // No outstanding check at all: push until the queue refuses.
+        while !port.ar.is_full() {
+            let addr = self.base + self.cursor;
+            let beat = ArBeat::new(addr, self.burst_beats, self.size)
+                .with_id(AxiId(0xE4))
+                .with_tag(self.next_tag)
+                .with_issued_at(now);
+            port.ar.push(now, beat).expect("checked space");
+            self.next_tag += 1;
+            self.cursor =
+                (self.cursor + self.burst_beats as u64 * self.size.bytes()) % self.region_bytes;
+            progress = true;
+        }
+        while let Some(beat) = port.r.pop_ready(now) {
+            if beat.last {
+                self.bursts_completed += 1;
+            }
+            progress = true;
+        }
+        progress
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    fn jobs_completed(&self) -> u64 {
+        self.bursts_completed
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi::burst::crosses_4k;
+
+    #[test]
+    fn rogue_reader_targets_its_rogue_base() {
+        let mut rogue = RogueReader::new("rogue", 0x8000_0000, 4, BurstSize::B4);
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        rogue.tick(0, &mut port);
+        let ar = port.ar.pop_ready(0).unwrap();
+        assert_eq!(ar.addr, 0x8000_0000);
+        // An error response is counted.
+        port.r
+            .push(
+                0,
+                axi::RBeat::new(ar.id, vec![0; 4], true).with_resp(axi::types::Resp::DecErr),
+            )
+            .unwrap();
+        rogue.tick(1, &mut port);
+        assert_eq!(rogue.error_responses(), 1);
+        assert_eq!(rogue.jobs_completed(), 1);
+    }
+
+    #[test]
+    fn boundary_violator_always_crosses() {
+        let mut bad = BoundaryViolator::new("cross", 0x10_0000, 16, BurstSize::B4);
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        bad.tick(0, &mut port);
+        let ar = port.ar.pop_ready(0).unwrap();
+        assert!(crosses_4k(ar.addr, ar.len, ar.size), "{:#x}", ar.addr);
+    }
+
+    #[test]
+    fn wlast_violator_marks_wrong_beat() {
+        let mut bad = WlastViolator::new("wlast", 0, 4, BurstSize::B4);
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        for now in 0..8 {
+            bad.tick(now, &mut port);
+        }
+        assert!(port.aw.pop_ready(8).is_some());
+        let lasts: Vec<bool> = std::iter::from_fn(|| port.w.pop_ready(8))
+            .map(|w| w.last)
+            .collect();
+        // 4 beats, LAST on the third (one early), none on the fourth.
+        assert_eq!(lasts, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn stalled_writer_posts_aw_and_nothing_else() {
+        let mut bad = StalledWriter::new("stall", 0x100, 8, BurstSize::B4);
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        for now in 0..50 {
+            bad.tick(now, &mut port);
+        }
+        assert!(port.aw.pop_ready(50).is_some());
+        assert!(port.aw.pop_ready(50).is_none(), "only one AW");
+        assert!(port.w.pop_ready(50).is_none(), "never drives W");
+    }
+
+    #[test]
+    fn runaway_fills_the_address_queue() {
+        let mut bad = RunawayMaster::new("runaway", 0, 1 << 16, 4, BurstSize::B4);
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        bad.tick(0, &mut port);
+        assert!(port.ar.is_full(), "pushes until the port refuses");
+    }
+}

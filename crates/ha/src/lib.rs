@@ -15,7 +15,10 @@
 //!   (`HA_CHaiDNN`);
 //! * [`traffic`] — synthetic masters: constant-rate readers, the
 //!   *bandwidth stealer* of the fairness experiment, and a seeded
-//!   random mix.
+//!   random mix;
+//! * [`fault`] — deliberately misbehaving masters (illegal addresses,
+//!   4 KiB-crossing bursts, WLAST corruption, hung W channels, runaway
+//!   issue rates) for the fault-injection experiments.
 //!
 //! All models implement [`Accelerator`] and drive one interconnect
 //! slave port.
@@ -26,6 +29,7 @@
 pub mod chaidnn;
 pub mod dma;
 pub mod engine;
+pub mod fault;
 pub mod traffic;
 
 use axi::AxiPort;

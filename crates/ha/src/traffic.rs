@@ -347,8 +347,7 @@ mod tests {
     #[test]
     fn random_traffic_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut t =
-                RandomTraffic::new("rnd", 0, 1 << 20, BurstSize::B16, 32, 20, seed);
+            let mut t = RandomTraffic::new("rnd", 0, 1 << 20, BurstSize::B16, 32, 20, seed);
             run_one(&mut t, 30_000);
             t.jobs_completed()
         };

@@ -92,7 +92,9 @@ impl<'b> HcDriver<'b> {
 
     /// Globally enables or disables the interconnect.
     pub fn set_enabled(&self, enabled: bool) -> Result<(), DriverError> {
-        Ok(self.bus.write32(self.base + offsets::CTRL, enabled as u32)?)
+        Ok(self
+            .bus
+            .write32(self.base + offsets::CTRL, enabled as u32)?)
     }
 
     /// Programs the reservation period in cycles.
@@ -197,6 +199,20 @@ impl<'b> HcDriver<'b> {
     pub fn txns_total(&self, port: usize) -> Result<u32, DriverError> {
         self.check_port(port)?;
         let off = self.base + port_block_offset(port) + offsets::PORT_TXN_TOTAL;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// Structured protocol violations detected on a port since reset.
+    pub fn violations(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_VIOLATIONS;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// In-flight sub-transactions (reads plus writes) on a port.
+    pub fn outstanding(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_OUTSTANDING;
         Ok(self.bus.read32(off)?)
     }
 

@@ -156,9 +156,7 @@ impl ComponentDesc {
                     "      <ipxact:name>{}</ipxact:name>\n",
                     escape(name)
                 ));
-                xml.push_str(&format!(
-                    "      <ipxact:value>{value}</ipxact:value>\n"
-                ));
+                xml.push_str(&format!("      <ipxact:value>{value}</ipxact:value>\n"));
                 xml.push_str("    </ipxact:parameter>\n");
             }
             xml.push_str("  </ipxact:parameters>\n");
@@ -296,10 +294,7 @@ mod tests {
     #[test]
     fn hyperconnect_description_shape() {
         let desc = ComponentDesc::hyperconnect(3);
-        assert_eq!(
-            desc.interfaces_with_role(IfaceRole::Slave).count(),
-            3
-        );
+        assert_eq!(desc.interfaces_with_role(IfaceRole::Slave).count(), 3);
         assert_eq!(desc.interfaces_with_role(IfaceRole::Master).count(), 1);
         assert_eq!(
             desc.interfaces_with_role(IfaceRole::ControlSlave).count(),
@@ -380,8 +375,7 @@ mod tests {
     fn assemble_rejects_masterless_component() {
         let mut acc = ComponentDesc::accelerator("broken");
         acc.interfaces.retain(|i| i.role != IfaceRole::Master);
-        let err =
-            Design::assemble(ComponentDesc::hyperconnect(1), vec![acc]).unwrap_err();
+        let err = Design::assemble(ComponentDesc::hyperconnect(1), vec![acc]).unwrap_err();
         assert!(matches!(err, IntegrationError::NoMasterInterface { .. }));
     }
 }

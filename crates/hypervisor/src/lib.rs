@@ -28,4 +28,6 @@ pub mod manager;
 
 pub use domain::{Criticality, Domain, DomainId};
 pub use driver::HcDriver;
-pub use manager::{Hypervisor, HvError, MonitorPolicy};
+pub use manager::{
+    HvError, Hypervisor, MonitorPolicy, WatchdogEvent, WatchdogPolicy, WatchdogReason,
+};

@@ -59,6 +59,50 @@ struct MonitorState {
     decoupled_by_monitor: bool,
 }
 
+/// Watchdog policy for a port: thresholds on the interconnect's
+/// *structured violation* counter and on the in-flight transaction count,
+/// read over AXI-Lite from the `VIOLATIONS` / `OUTSTANDING` registers.
+///
+/// Complements [`MonitorPolicy`] (which reacts to bandwidth overuse):
+/// the watchdog reacts to protocol-level misbehavior — illegal
+/// addresses, 4 KiB crossings, WLAST corruption, hung handshakes — and
+/// to runaway issue rates that exceed the declared in-flight envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogPolicy {
+    /// Total structured violations tolerated before decoupling.
+    pub violations_allowed: u32,
+    /// Optional cap on in-flight sub-transactions; `None` disables the
+    /// outstanding check.
+    pub outstanding_allowed: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WatchdogState {
+    decoupled_by_watchdog: bool,
+}
+
+/// Why the watchdog decoupled a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogReason {
+    /// The structured-violation counter exceeded the policy threshold.
+    Violations,
+    /// The in-flight transaction count exceeded the policy cap.
+    Outstanding,
+}
+
+/// A decoupling event recorded by the watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogEvent {
+    /// The offending port.
+    pub port: PortId,
+    /// What tripped the watchdog.
+    pub reason: WatchdogReason,
+    /// Violation count observed at the decoupling poll.
+    pub violations: u32,
+    /// In-flight sub-transactions observed at the decoupling poll.
+    pub outstanding: u32,
+}
+
 /// A decoupling event recorded by the health monitor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecoupleEvent {
@@ -101,6 +145,9 @@ pub struct Hypervisor {
     policies: HashMap<usize, MonitorPolicy>,
     monitor: HashMap<usize, MonitorState>,
     decouple_log: Vec<DecoupleEvent>,
+    watchdog_policies: HashMap<usize, WatchdogPolicy>,
+    watchdog: HashMap<usize, WatchdogState>,
+    watchdog_log: Vec<WatchdogEvent>,
 }
 
 impl std::fmt::Debug for Hypervisor {
@@ -130,6 +177,9 @@ impl Hypervisor {
             policies: HashMap::new(),
             monitor: HashMap::new(),
             decouple_log: Vec::new(),
+            watchdog_policies: HashMap::new(),
+            watchdog: HashMap::new(),
+            watchdog_log: Vec::new(),
         })
     }
 
@@ -139,11 +189,7 @@ impl Hypervisor {
     }
 
     /// Creates a new domain and returns its ID.
-    pub fn create_domain(
-        &mut self,
-        name: impl Into<String>,
-        criticality: Criticality,
-    ) -> DomainId {
+    pub fn create_domain(&mut self, name: impl Into<String>, criticality: Criticality) -> DomainId {
         let id = DomainId(self.domains.len() as u32);
         self.domains.push(Domain::new(id, name, criticality));
         id
@@ -191,9 +237,7 @@ impl Hypervisor {
     ///
     /// [`HvError::UnassignedPort`] if no domain owns the port.
     pub fn route_irq(&mut self, port: PortId) -> Result<DomainId, HvError> {
-        let owner = self
-            .owner_of(port)
-            .ok_or(HvError::UnassignedPort(port))?;
+        let owner = self.owner_of(port).ok_or(HvError::UnassignedPort(port))?;
         self.domain_mut(owner)?.raise_irq();
         Ok(owner)
     }
@@ -226,11 +270,7 @@ impl Hypervisor {
         ports.sort_unstable();
         for p in ports {
             let policy = self.policies[&p];
-            if self
-                .monitor
-                .get(&p)
-                .is_some_and(|s| s.decoupled_by_monitor)
-            {
+            if self.monitor.get(&p).is_some_and(|s| s.decoupled_by_monitor) {
                 continue;
             }
             let observed = self.hc().txns_this_period(p)?;
@@ -267,11 +307,75 @@ impl Hypervisor {
         &self.decouple_log
     }
 
+    /// Installs a watchdog policy for a port.
+    pub fn set_watchdog_policy(&mut self, port: PortId, policy: WatchdogPolicy) {
+        self.watchdog_policies.insert(port.0, policy);
+        self.watchdog.entry(port.0).or_default();
+    }
+
+    /// Polls the violation and outstanding counters of every watched
+    /// port and decouples any port over its [`WatchdogPolicy`]
+    /// thresholds. Returns the ports decoupled by this poll.
+    ///
+    /// Unlike [`Hypervisor::poll_health`] (periodic, bandwidth-oriented)
+    /// this can be called at any rate; a port is decoupled at the first
+    /// poll that observes it over threshold.
+    pub fn poll_watchdog(&mut self) -> Result<Vec<WatchdogEvent>, HvError> {
+        let mut events = Vec::new();
+        let mut ports: Vec<usize> = self.watchdog_policies.keys().copied().collect();
+        ports.sort_unstable();
+        for p in ports {
+            let policy = self.watchdog_policies[&p];
+            if self
+                .watchdog
+                .get(&p)
+                .is_some_and(|s| s.decoupled_by_watchdog)
+            {
+                continue;
+            }
+            let violations = self.hc().violations(p)?;
+            let outstanding = self.hc().outstanding(p)?;
+            let reason = if violations > policy.violations_allowed {
+                Some(WatchdogReason::Violations)
+            } else if policy
+                .outstanding_allowed
+                .is_some_and(|cap| outstanding > cap)
+            {
+                Some(WatchdogReason::Outstanding)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                self.hc().set_decoupled(p, true)?;
+                self.watchdog.entry(p).or_default().decoupled_by_watchdog = true;
+                let event = WatchdogEvent {
+                    port: PortId(p),
+                    reason,
+                    violations,
+                    outstanding,
+                };
+                self.watchdog_log.push(event.clone());
+                events.push(event);
+            }
+        }
+        Ok(events)
+    }
+
+    /// All watchdog decoupling events since boot.
+    pub fn watchdog_log(&self) -> &[WatchdogEvent] {
+        &self.watchdog_log
+    }
+
     /// Manually recouples a port (e.g. after the offending domain was
-    /// restarted) and clears its monitor state.
+    /// restarted) and clears its monitor and watchdog state.
+    ///
+    /// Note the interconnect's violation counter is cumulative since
+    /// reset, so a recoupled port that misbehaved before will trip the
+    /// watchdog again at the next poll unless its policy is raised.
     pub fn recouple(&mut self, port: PortId) -> Result<(), HvError> {
         self.hc().set_decoupled(port.0, false)?;
         self.monitor.insert(port.0, MonitorState::default());
+        self.watchdog.insert(port.0, WatchdogState::default());
         Ok(())
     }
 }
@@ -394,6 +498,94 @@ mod tests {
         for _ in 0..10 {
             assert!(hv.poll_health().unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn watchdog_decouples_on_violations() {
+        use axi::types::BurstSize;
+        use axi::{AwBeat, AxiInterconnect, WBeat};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_watchdog_policy(
+            PortId(0),
+            WatchdogPolicy {
+                violations_allowed: 0,
+                outstanding_allowed: None,
+            },
+        );
+        // Clean device: nothing trips.
+        assert!(hv.poll_watchdog().unwrap().is_empty());
+        // Port 0 corrupts WLAST on a 4-beat write.
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0x0, 4, BurstSize::B4))
+            .unwrap();
+        for i in 0..4u32 {
+            hc.port(0)
+                .w
+                .push(0, WBeat::new(vec![0; 4], i == 1))
+                .unwrap();
+        }
+        for now in 0..20 {
+            hc.tick(now);
+        }
+        let events = hv.poll_watchdog().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].port, PortId(0));
+        assert_eq!(events[0].reason, WatchdogReason::Violations);
+        assert!(events[0].violations > 0);
+        assert!(hv.hc().is_decoupled(0).unwrap());
+        assert_eq!(hv.watchdog_log().len(), 1);
+        // Already decoupled: no duplicate reports.
+        assert!(hv.poll_watchdog().unwrap().is_empty());
+    }
+
+    #[test]
+    fn watchdog_decouples_on_outstanding_cap() {
+        use axi::types::BurstSize;
+        use axi::{ArBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_watchdog_policy(
+            PortId(0),
+            WatchdogPolicy {
+                violations_allowed: u32::MAX,
+                outstanding_allowed: Some(2),
+            },
+        );
+        hv.hc().set_max_outstanding(0, 64).unwrap();
+        // A long read issues many subs; no data returns, so the
+        // in-flight count climbs past the declared cap.
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4))
+            .unwrap();
+        for now in 0..40 {
+            hc.tick(now);
+            while hc.mem_port().ar.pop_ready(now).is_some() {}
+        }
+        let events = hv.poll_watchdog().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].reason, WatchdogReason::Outstanding);
+        assert!(events[0].outstanding > 2);
+        assert!(hv.hc().is_decoupled(0).unwrap());
+    }
+
+    #[test]
+    fn recouple_clears_watchdog_state() {
+        let (mut hv, _hc) = hypervisor(2);
+        hv.set_watchdog_policy(
+            PortId(1),
+            WatchdogPolicy {
+                violations_allowed: 5,
+                outstanding_allowed: Some(8),
+            },
+        );
+        assert!(hv.poll_watchdog().unwrap().is_empty());
+        hv.recouple(PortId(1)).unwrap();
+        assert!(hv.poll_watchdog().unwrap().is_empty());
     }
 
     #[test]

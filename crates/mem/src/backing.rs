@@ -146,8 +146,7 @@ mod tests {
 
     #[test]
     fn pattern_bytes_vary() {
-        let distinct: std::collections::HashSet<u8> =
-            (0u64..64).map(pattern_byte).collect();
+        let distinct: std::collections::HashSet<u8> = (0u64..64).map(pattern_byte).collect();
         assert!(distinct.len() > 16, "pattern should not be constant");
     }
 

@@ -55,6 +55,15 @@ pub struct MemConfig {
     /// Optional open-page row-buffer model; `None` uses the flat
     /// `first_word_latency` for every request.
     pub row_policy: Option<RowPolicy>,
+    /// Optional top of the decoded address range: requests touching any
+    /// address at or above this limit complete with a DECERR response
+    /// and do not access backing storage. `None` decodes the full
+    /// address space (the historical behavior).
+    pub decode_limit: Option<u64>,
+    /// Optional faulty slave region `[start, end)`: requests touching
+    /// it complete with SLVERR and writes are dropped. Models a
+    /// misconfigured or failing slave for fault-injection runs.
+    pub slverr_range: Option<(u64, u64)>,
 }
 
 impl MemConfig {
@@ -66,6 +75,8 @@ impl MemConfig {
             pipeline_depth: 8,
             write_buffer_depth: 8,
             row_policy: None,
+            decode_limit: None,
+            slverr_range: None,
         }
     }
 
@@ -78,6 +89,8 @@ impl MemConfig {
             pipeline_depth: 16,
             write_buffer_depth: 16,
             row_policy: None,
+            decode_limit: None,
+            slverr_range: None,
         }
     }
 
@@ -97,6 +110,35 @@ impl MemConfig {
     pub fn row_policy(mut self, policy: RowPolicy) -> Self {
         self.row_policy = Some(policy);
         self
+    }
+
+    /// Limits the decoded address range to `[0, limit)`; accesses at or
+    /// beyond it return DECERR.
+    pub fn decode_limit(mut self, limit: u64) -> Self {
+        self.decode_limit = Some(limit);
+        self
+    }
+
+    /// Marks `[start, end)` as a faulty region returning SLVERR.
+    pub fn slverr_range(mut self, start: u64, end: u64) -> Self {
+        self.slverr_range = Some((start, end));
+        self
+    }
+
+    /// The response a burst occupying `[start, end)` bytes deserves
+    /// under this configuration's decode and fault regions.
+    pub fn response_for(&self, start: u64, end: u64) -> axi::types::Resp {
+        if let Some(limit) = self.decode_limit {
+            if end > limit {
+                return axi::types::Resp::DecErr;
+            }
+        }
+        if let Some((lo, hi)) = self.slverr_range {
+            if start < hi && end > lo {
+                return axi::types::Resp::SlvErr;
+            }
+        }
+        axi::types::Resp::Okay
     }
 }
 
@@ -126,5 +168,27 @@ mod tests {
         let cfg = MemConfig::default().first_word_latency(5).pipeline_depth(2);
         assert_eq!(cfg.first_word_latency, 5);
         assert_eq!(cfg.pipeline_depth, 2);
+    }
+
+    #[test]
+    fn response_regions() {
+        use axi::types::Resp;
+        let cfg = MemConfig::zcu102()
+            .decode_limit(0x8000_0000)
+            .slverr_range(0x1000, 0x2000);
+        // Fully decoded, outside the fault region.
+        assert_eq!(cfg.response_for(0x4000, 0x4040), Resp::Okay);
+        // Touching the top of the decoded range.
+        assert_eq!(cfg.response_for(0x7FFF_FFF0, 0x8000_0010), Resp::DecErr);
+        assert_eq!(cfg.response_for(0x9000_0000, 0x9000_0040), Resp::DecErr);
+        // Overlapping the faulty region (decode wins over slave fault).
+        assert_eq!(cfg.response_for(0x0FF0, 0x1010), Resp::SlvErr);
+        assert_eq!(cfg.response_for(0x1FFF, 0x2001), Resp::SlvErr);
+        assert_eq!(cfg.response_for(0x2000, 0x2040), Resp::Okay);
+        // Unconfigured controller decodes everything.
+        assert_eq!(
+            MemConfig::zcu102().response_for(u64::MAX - 64, u64::MAX),
+            Resp::Okay
+        );
     }
 }

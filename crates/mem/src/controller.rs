@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use axi::beat::{AwBeat, BBeat, RBeat, WBeat};
 use axi::burst::beat_addr;
 use axi::checker::ProtocolMonitor;
+use axi::types::{BurstKind, BurstSize, Resp};
 use axi::{AxiPort, PortConfig};
 use sim::fifo::DelayQueue;
 use sim::{Cycle, TimedFifo};
@@ -31,6 +32,8 @@ pub struct MemStats {
     pub row_hits: u64,
     /// Row-buffer misses (0 unless a row policy is enabled).
     pub row_misses: u64,
+    /// Bursts completed with an SLVERR or DECERR response.
+    pub error_responses: u64,
 }
 
 impl MemStats {
@@ -56,8 +59,23 @@ enum Origin {
 
 #[derive(Debug)]
 enum Job {
-    Read(axi::ArBeat, Origin),
-    Write(AwBeat, Vec<WBeat>),
+    Read(axi::ArBeat, Origin, Resp),
+    Write(AwBeat, Vec<WBeat>, Resp),
+}
+
+/// Byte extent `[start, end)` a burst's data transfer touches, used for
+/// address decoding.
+fn burst_extent(burst: BurstKind, addr: u64, len: u32, size: BurstSize) -> (u64, u64) {
+    let bytes = size.bytes();
+    match burst {
+        BurstKind::Fixed => (addr, addr.saturating_add(bytes)),
+        BurstKind::Incr => (addr, addr.saturating_add(len as u64 * bytes)),
+        BurstKind::Wrap => {
+            let container = len as u64 * bytes;
+            let base = addr - (addr % container.max(1));
+            (base, base.saturating_add(container))
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -130,10 +148,7 @@ impl MemoryController {
             config,
             memory,
             service: DelayQueue::new(config.pipeline_depth),
-            open_rows: vec![
-                None;
-                config.row_policy.map_or(0, |p| p.banks as usize)
-            ],
+            open_rows: vec![None; config.row_policy.map_or(0, |p| p.banks as usize)],
             ps_port: None,
             active: None,
             aw_pending: VecDeque::new(),
@@ -269,10 +284,7 @@ impl MemoryController {
             return false;
         }
         // PS port has acceptance priority.
-        let ps_ready = self
-            .ps_port
-            .as_ref()
-            .is_some_and(|p| p.ar.has_ready(now));
+        let ps_ready = self.ps_port.as_ref().is_some_and(|p| p.ar.has_ready(now));
         if ps_ready {
             let ar = self
                 .ps_port
@@ -282,8 +294,10 @@ impl MemoryController {
                 .pop_ready(now)
                 .expect("checked ready");
             let delay = self.service_delay(ar.addr);
+            let (lo, hi) = burst_extent(ar.burst, ar.addr, ar.len, ar.size);
+            let resp = self.config.response_for(lo, hi);
             self.service
-                .push(now, delay, Job::Read(ar, Origin::Ps))
+                .push(now, delay, Job::Read(ar, Origin::Ps, resp))
                 .expect("checked space");
             return true;
         }
@@ -296,8 +310,10 @@ impl MemoryController {
                 t.push((now, ar.addr));
             }
             let delay = self.service_delay(ar.addr);
+            let (lo, hi) = burst_extent(ar.burst, ar.addr, ar.len, ar.size);
+            let resp = self.config.response_for(lo, hi);
             self.service
-                .push(now, delay, Job::Read(ar, Origin::Fpga))
+                .push(now, delay, Job::Read(ar, Origin::Fpga, resp))
                 .expect("checked space");
             return true;
         }
@@ -348,8 +364,10 @@ impl MemoryController {
         let aw = self.aw_pending.pop_front().expect("assembly implies head");
         let data = std::mem::take(&mut self.assembly);
         let delay = self.service_delay(aw.addr);
+        let (lo, hi) = burst_extent(aw.burst, aw.addr, aw.len, aw.size);
+        let resp = self.config.response_for(lo, hi);
         self.service
-            .push(now, delay, Job::Write(aw, data))
+            .push(now, delay, Job::Write(aw, data, resp))
             .expect("checked space");
         true
     }
@@ -368,8 +386,9 @@ impl MemoryController {
             return false;
         };
         match &mut active.job {
-            Job::Read(ar, origin) => {
+            Job::Read(ar, origin, resp) => {
                 let origin = *origin;
+                let resp = *resp;
                 let target_full = match origin {
                     Origin::Fpga => port.r.is_full(),
                     Origin::Ps => self
@@ -385,11 +404,19 @@ impl MemoryController {
                 let idx = active.beats_done;
                 let addr = beat_addr(ar.burst, ar.addr, ar.len, ar.size, idx);
                 let bytes = ar.size.bytes() as usize;
-                let data = self.memory.read(addr, bytes);
+                // Error reads still stream the full beat count (AXI
+                // requires it), but data is undefined — modeled as
+                // zeros, never touching backing storage.
+                let data = if resp.is_ok() {
+                    self.memory.read(addr, bytes)
+                } else {
+                    vec![0; bytes]
+                };
                 let last = idx + 1 == ar.len;
                 let beat = RBeat::new(ar.id, data, last)
                     .with_tag(ar.tag)
-                    .with_issued_at(ar.issued_at);
+                    .with_issued_at(ar.issued_at)
+                    .with_resp(resp);
                 match origin {
                     Origin::Fpga => {
                         if let Some(m) = self.monitor.as_mut() {
@@ -415,16 +442,24 @@ impl MemoryController {
                         Origin::Fpga => self.stats.reads_served += 1,
                         Origin::Ps => self.stats.ps_reads_served += 1,
                     }
+                    if !resp.is_ok() {
+                        self.stats.error_responses += 1;
+                    }
                     self.active = None;
                 }
                 true
             }
-            Job::Write(aw, data) => {
+            Job::Write(aw, data, resp) => {
+                let resp = *resp;
                 let idx = active.beats_done;
                 if (idx as usize) < data.len() {
                     let addr = beat_addr(aw.burst, aw.addr, aw.len, aw.size, idx);
                     let beat = &data[idx as usize];
-                    if beat.strb == axi::beat::STRB_ALL {
+                    // Erroring writes occupy the data path but never
+                    // commit to backing storage.
+                    if !resp.is_ok() {
+                        // no commit
+                    } else if beat.strb == axi::beat::STRB_ALL {
                         self.memory.write(addr, &beat.data);
                     } else {
                         // Sparse (strobed) commit: only enabled bytes.
@@ -447,9 +482,13 @@ impl MemoryController {
                     }
                     let beat = BBeat::new(aw.id)
                         .with_tag(aw.tag)
-                        .with_issued_at(aw.issued_at);
+                        .with_issued_at(aw.issued_at)
+                        .with_resp(resp);
                     self.b_pipe.push(now, beat).expect("checked space");
                     self.stats.writes_served += 1;
+                    if !resp.is_ok() {
+                        self.stats.error_responses += 1;
+                    }
                     self.active = None;
                     true
                 }
@@ -507,9 +546,7 @@ mod tests {
     fn burst_read_streams_one_beat_per_cycle() {
         let mut ctrl = MemoryController::new(MemConfig::default().first_word_latency(5));
         let mut port = AxiPort::default();
-        port.ar
-            .push(0, ArBeat::new(0, 8, BurstSize::B16))
-            .unwrap();
+        port.ar.push(0, ArBeat::new(0, 8, BurstSize::B16)).unwrap();
         let mut beat_cycles = Vec::new();
         for now in 0..40 {
             ctrl.tick(now, &mut port);
@@ -551,9 +588,7 @@ mod tests {
         let mut port = AxiPort::default();
         let aw = AwBeat::new(0x200, 2, BurstSize::B4);
         port.aw.push(0, aw).unwrap();
-        port.w
-            .push(0, WBeat::new(vec![1, 2, 3, 4], false))
-            .unwrap();
+        port.w.push(0, WBeat::new(vec![1, 2, 3, 4], false)).unwrap();
         port.w.push(0, WBeat::new(vec![5, 6, 7, 8], true)).unwrap();
         run(&mut ctrl, &mut port, 30);
         // B response arrived.
@@ -567,9 +602,7 @@ mod tests {
     fn write_waits_for_all_data() {
         let mut ctrl = MemoryController::new(MemConfig::ideal());
         let mut port = AxiPort::default();
-        port.aw
-            .push(0, AwBeat::new(0, 2, BurstSize::B4))
-            .unwrap();
+        port.aw.push(0, AwBeat::new(0, 2, BurstSize::B4)).unwrap();
         port.w.push(0, WBeat::new(vec![9; 4], false)).unwrap();
         run(&mut ctrl, &mut port, 20);
         // Only one beat arrived: no commit, no B.
@@ -722,7 +755,12 @@ mod tests {
             drain_r(&mut port, now);
         }
         let s = ctrl.stats();
-        assert!(s.row_hits > 3 * s.row_misses, "hits {} misses {}", s.row_hits, s.row_misses);
+        assert!(
+            s.row_hits > 3 * s.row_misses,
+            "hits {} misses {}",
+            s.row_hits,
+            s.row_misses
+        );
     }
 
     #[test]
@@ -751,9 +789,66 @@ mod tests {
     }
 
     #[test]
+    fn read_beyond_decode_limit_returns_decerr() {
+        let cfg = MemConfig::ideal().decode_limit(0x1000);
+        let mut ctrl = MemoryController::new(cfg);
+        ctrl.memory_mut().write(0x2000, &[0xFF; 16]);
+        let mut port = AxiPort::default();
+        port.ar
+            .push(0, ArBeat::new(0x2000, 4, BurstSize::B4))
+            .unwrap();
+        run(&mut ctrl, &mut port, 30);
+        let beats = drain_r(&mut port, 30);
+        assert_eq!(beats.len(), 4, "error reads still stream every beat");
+        for beat in &beats {
+            assert_eq!(beat.resp, axi::types::Resp::DecErr);
+            assert_eq!(beat.data, vec![0; 4], "no backing-store data on DECERR");
+        }
+        assert!(beats[3].last);
+        assert_eq!(ctrl.stats().error_responses, 1);
+    }
+
+    #[test]
+    fn write_into_fault_region_returns_slverr_and_does_not_commit() {
+        let cfg = MemConfig::ideal().slverr_range(0x100, 0x200);
+        let mut ctrl = MemoryController::new(cfg);
+        ctrl.memory_mut().write(0x100, &[0xAA; 8]);
+        let mut port = AxiPort::default();
+        port.aw
+            .push(0, AwBeat::new(0x100, 2, BurstSize::B4))
+            .unwrap();
+        port.w.push(0, WBeat::new(vec![1; 4], false)).unwrap();
+        port.w.push(0, WBeat::new(vec![2; 4], true)).unwrap();
+        run(&mut ctrl, &mut port, 30);
+        let b = port.b.pop_ready(30).expect("B response issued");
+        assert_eq!(b.resp, axi::types::Resp::SlvErr);
+        assert_eq!(ctrl.memory().read(0x100, 8), vec![0xAA; 8]);
+        assert_eq!(ctrl.stats().error_responses, 1);
+    }
+
+    #[test]
+    fn in_range_traffic_unaffected_by_error_regions() {
+        let cfg = MemConfig::ideal()
+            .decode_limit(0x1_0000)
+            .slverr_range(0x8000, 0x9000);
+        let mut ctrl = MemoryController::new(cfg);
+        ctrl.memory_mut().write(0x400, &[7; 4]);
+        let mut port = AxiPort::default();
+        port.ar
+            .push(0, ArBeat::new(0x400, 1, BurstSize::B4))
+            .unwrap();
+        run(&mut ctrl, &mut port, 30);
+        let beats = drain_r(&mut port, 30);
+        assert_eq!(beats[0].resp, axi::types::Resp::Okay);
+        assert_eq!(beats[0].data, vec![7; 4]);
+        assert_eq!(ctrl.stats().error_responses, 0);
+    }
+
+    #[test]
     fn wrap_burst_reads_container() {
         let mut ctrl = MemoryController::new(MemConfig::ideal());
-        ctrl.memory_mut().write(0x100, &(0u8..16).collect::<Vec<_>>());
+        ctrl.memory_mut()
+            .write(0x100, &(0u8..16).collect::<Vec<_>>());
         let mut port = AxiPort::default();
         let mut ar = ArBeat::new(0x108, 4, BurstSize::B4);
         ar.burst = axi::types::BurstKind::Wrap;
@@ -763,6 +858,9 @@ mod tests {
         assert_eq!(beats.len(), 4);
         let data: Vec<u8> = beats.iter().flat_map(|b| b.data.clone()).collect();
         // 0x108..0x110 then wrap to 0x100..0x108.
-        assert_eq!(data, vec![8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(
+            data,
+            vec![8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7]
+        );
     }
 }

@@ -103,8 +103,8 @@ mod tests {
 
     #[test]
     fn fpga_contention_inflates_ps_latency() {
-        use axi::ArBeat;
         use axi::types::BurstSize;
+        use axi::ArBeat;
         // Saturate the FPGA port with long bursts and compare PS
         // latency against the uncontended run above.
         let mut ctrl = MemoryController::new(MemConfig::zcu102());

@@ -1,7 +1,9 @@
 //! Deterministic random number generation for reproducible experiments.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through
+//! SplitMix64 — no external crates, identical sequences on every
+//! platform and toolchain, which is exactly what the benchmark harness
+//! and the deflaked stress tests need.
 
 /// A seeded RNG with the handful of draw shapes the models need.
 ///
@@ -19,14 +21,60 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step — expands a 64-bit seed into the xoshiro state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut s = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// One raw xoshiro256++ output.
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        self.state = [n0, n1, n2, n3.rotate_left(45)];
+        result
+    }
+
+    /// A uniform draw in `[0, bound)` via Lemire-style rejection.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling on the top bits: unbiased and cheap.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
         }
     }
 
@@ -37,7 +85,11 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.bounded(span + 1)
     }
 
     /// A uniform `usize` in `[lo, hi]` (inclusive).
@@ -47,12 +99,18 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        self.range_u64(lo as u64, hi as u64) as usize
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against a 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
     }
 
     /// Picks a uniformly random element index for a slice of length `len`.
@@ -62,7 +120,7 @@ impl SimRng {
     /// Panics if `len` is zero.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot pick from an empty slice");
-        self.inner.gen_range(0..len)
+        self.bounded(len as u64) as usize
     }
 
     /// A geometric-ish random gap: a uniform draw in `[1, 2*mean]`, used
@@ -73,7 +131,7 @@ impl SimRng {
     /// Panics if `mean` is zero.
     pub fn gap(&mut self, mean: u64) -> u64 {
         assert!(mean > 0, "mean gap must be non-zero");
-        self.inner.gen_range(1..=mean * 2)
+        self.range_u64(1, mean * 2)
     }
 }
 
@@ -141,5 +199,15 @@ mod tests {
     fn inverted_range_panics() {
         let mut r = SimRng::seed(7);
         let _ = r.range_u64(5, 4);
+    }
+
+    #[test]
+    fn distribution_covers_range() {
+        let mut r = SimRng::seed(8);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
     }
 }

@@ -205,9 +205,7 @@ mod tests {
             ticks: 0,
             busy_until: 3,
         };
-        let out = Runner::new()
-            .stall_limit(50)
-            .run_until(&mut t, |_| false);
+        let out = Runner::new().stall_limit(50).run_until(&mut t, |_| false);
         // Last progress happened at cycle 2; the stall is declared after
         // `stall_limit` progress-free cycles.
         match out {

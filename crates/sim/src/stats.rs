@@ -46,6 +46,89 @@ impl Counter {
     }
 }
 
+/// A fixed-size bank of [`Counter`]s indexed by a small category index
+/// (e.g. a violation-kind discriminant).
+///
+/// The bank is deliberately index-typed rather than enum-typed so the
+/// simulation kernel stays independent of the protocol layers that
+/// define the categories.
+///
+/// # Example
+///
+/// ```
+/// use sim::stats::CounterBank;
+///
+/// let mut bank = CounterBank::new(3);
+/// bank.incr(0);
+/// bank.add(2, 5);
+/// assert_eq!(bank.get(0), 1);
+/// assert_eq!(bank.get(2), 5);
+/// assert_eq!(bank.total(), 6);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterBank {
+    counters: Vec<Counter>,
+}
+
+impl CounterBank {
+    /// Creates a bank of `categories` counters, all at zero.
+    pub fn new(categories: usize) -> Self {
+        Self {
+            counters: vec![Counter::new(); categories],
+        }
+    }
+
+    /// Number of categories in the bank.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the bank has no categories.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Adds one event to category `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn incr(&mut self, idx: usize) {
+        self.counters[idx].incr();
+    }
+
+    /// Adds `n` events to category `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn add(&mut self, idx: usize, n: u64) {
+        self.counters[idx].add(n);
+    }
+
+    /// Count in category `idx`, or zero when out of range.
+    pub fn get(&self, idx: usize) -> u64 {
+        self.counters.get(idx).map_or(0, Counter::value)
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> u64 {
+        self.counters.iter().map(Counter::value).sum()
+    }
+
+    /// Per-category counts in index order.
+    pub fn values(&self) -> Vec<u64> {
+        self.counters.iter().map(Counter::value).collect()
+    }
+
+    /// Resets every category to zero.
+    pub fn reset(&mut self) {
+        for c in &mut self.counters {
+            c.reset();
+        }
+    }
+}
+
 /// Min/max/mean aggregate of observed latencies (in cycles).
 ///
 /// The paper reports both *maximum* memory access times (Fig. 3b) and
@@ -329,7 +412,9 @@ impl EventLog {
     /// Number of events in the half-open cycle window `[start, start+w)`.
     pub fn count_in_window(&self, start: Cycle, w: Cycle) -> usize {
         let lo = self.cycles.partition_point(|&c| c < start);
-        let hi = self.cycles.partition_point(|&c| c < start.saturating_add(w));
+        let hi = self
+            .cycles
+            .partition_point(|&c| c < start.saturating_add(w));
         hi - lo
     }
 
@@ -356,6 +441,30 @@ mod tests {
         assert_eq!(c.value(), 10);
         c.reset();
         assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn counter_bank_indexes_and_totals() {
+        let mut bank = CounterBank::new(4);
+        assert_eq!(bank.len(), 4);
+        assert!(!bank.is_empty());
+        bank.incr(1);
+        bank.incr(1);
+        bank.add(3, 7);
+        assert_eq!(bank.get(0), 0);
+        assert_eq!(bank.get(1), 2);
+        assert_eq!(bank.get(3), 7);
+        assert_eq!(bank.get(99), 0); // out of range reads as zero
+        assert_eq!(bank.total(), 9);
+        assert_eq!(bank.values(), vec![0, 2, 0, 7]);
+        bank.reset();
+        assert_eq!(bank.total(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn counter_bank_incr_out_of_range_panics() {
+        CounterBank::new(2).incr(2);
     }
 
     #[test]

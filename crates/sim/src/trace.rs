@@ -17,7 +17,11 @@ pub struct TraceEvent {
 
 impl std::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{:>10}] {:<12} {}", self.cycle, self.source, self.message)
+        write!(
+            f,
+            "[{:>10}] {:<12} {}",
+            self.cycle, self.source, self.message
+        )
     }
 }
 

@@ -385,11 +385,13 @@ impl SmartConnect {
                 let beat = self.r_pipe.pop_ready(now).expect("ready");
                 let last = beat.last;
                 self.stats.bytes_read[route.port] += beat.data.len() as u64;
-                self.slave_ports[route.port].r.push(now, beat).expect("space");
+                self.slave_ports[route.port]
+                    .r
+                    .push(now, beat)
+                    .expect("space");
                 if last {
                     self.read_routes.pop();
-                    self.out_reads[route.port] =
-                        self.out_reads[route.port].saturating_sub(1);
+                    self.out_reads[route.port] = self.out_reads[route.port].saturating_sub(1);
                 }
                 progress = true;
             }
@@ -401,10 +403,12 @@ impl SmartConnect {
                 .expect("B response without routing information");
             if !self.slave_ports[route.port].b.is_full() {
                 let beat = self.b_pipe.pop_ready(now).expect("ready");
-                self.slave_ports[route.port].b.push(now, beat).expect("space");
+                self.slave_ports[route.port]
+                    .b
+                    .push(now, beat)
+                    .expect("space");
                 self.b_routes.pop();
-                self.out_writes[route.port] =
-                    self.out_writes[route.port].saturating_sub(1);
+                self.out_writes[route.port] = self.out_writes[route.port].saturating_sub(1);
                 progress = true;
             }
         }
@@ -508,7 +512,10 @@ mod tests {
         for now in 0..14 {
             sc.tick(now);
         }
-        sc.port(0).w.push(14, WBeat::new(vec![1; 4], false)).unwrap();
+        sc.port(0)
+            .w
+            .push(14, WBeat::new(vec![1; 4], false))
+            .unwrap();
         let mut arrival = None;
         for now in 14..30 {
             sc.tick(now);

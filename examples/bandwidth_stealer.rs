@@ -63,9 +63,7 @@ fn main() {
 
     let sc_ratio = s_sc as f64 / v_sc.max(1) as f64;
     let hc_ratio = s_hc as f64 / v_hc.max(1) as f64;
-    println!(
-        "\nequalization reduced the unfairness from {sc_ratio:.1}x to {hc_ratio:.1}x"
-    );
+    println!("\nequalization reduced the unfairness from {sc_ratio:.1}x to {hc_ratio:.1}x");
     assert!(
         sc_ratio > 4.0 && hc_ratio < 2.0,
         "expected strong unfairness on SmartConnect and near-fairness on HyperConnect"

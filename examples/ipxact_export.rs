@@ -13,8 +13,7 @@ fn main() {
     let chaidnn = ComponentDesc::accelerator("chaidnn");
     let dma = ComponentDesc::accelerator("axi_dma");
 
-    let design =
-        Design::assemble(interconnect, vec![chaidnn, dma]).expect("valid design");
+    let design = Design::assemble(interconnect, vec![chaidnn, dma]).expect("valid design");
 
     println!("=== validated design connections ===");
     for c in &design.connections {

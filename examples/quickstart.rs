@@ -74,6 +74,9 @@ fn main() {
     for port in 0..2 {
         let off = hyperconnect::regfile::port_block_offset(port)
             + hyperconnect::regfile::offsets::PORT_TXN_TOTAL;
-        println!("  port {port}: {} equalized sub-transactions", regs.read32(off));
+        println!(
+            "  port {port}: {} equalized sub-transactions",
+            regs.read32(off)
+        );
     }
 }

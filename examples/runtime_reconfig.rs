@@ -76,7 +76,9 @@ fn main() {
     }
 
     let sensor_after = sys.rate_per_second(0);
-    println!("\nsensor HA completed bursts/s: {sensor_before:.0} (early) -> {sensor_after:.0} (final)");
+    println!(
+        "\nsensor HA completed bursts/s: {sensor_before:.0} (early) -> {sensor_after:.0} (final)"
+    );
     println!(
         "rogue HA responses grounded while decoupled: {}",
         sys.interconnect().dropped_responses(1)

@@ -46,9 +46,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         .ok_or_else(|| "missing scenario".to_string())?
         .clone();
     while let Some(flag) = it.next() {
-        let value = it
-            .next()
-            .ok_or_else(|| format!("{flag} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
         match flag.as_str() {
             "--design" => {
                 if value != "hc" && value != "sc" {
@@ -152,13 +150,29 @@ fn scenario_stress(args: &Args) {
     memory.attach_monitor();
     let mut sys = SocSystem::new(make_design(&args.design, 4), memory);
     sys.add_accelerator(Box::new(RandomTraffic::new(
-        "rnd0", 0x1000_0000, 1 << 20, BurstSize::B16, 64, 10, 1,
+        "rnd0",
+        0x1000_0000,
+        1 << 20,
+        BurstSize::B16,
+        64,
+        10,
+        1,
     )));
     sys.add_accelerator(Box::new(BandwidthStealer::new(
-        "steal", 0x3000_0000, 1 << 20, 256, BurstSize::B16,
+        "steal",
+        0x3000_0000,
+        1 << 20,
+        256,
+        BurstSize::B16,
     )));
     sys.add_accelerator(Box::new(RandomTraffic::new(
-        "rnd1", 0x5000_0000, 1 << 20, BurstSize::B4, 32, 50, 2,
+        "rnd1",
+        0x5000_0000,
+        1 << 20,
+        BurstSize::B4,
+        32,
+        50,
+        2,
     )));
     sys.add_accelerator(Box::new(Dma::new("dma", DmaConfig::case_study())));
     sys.run_for(args.cycles);
@@ -224,8 +238,7 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let args =
-            parse_args(&argv("fairness --design sc --cycles 1000 --ports 4")).unwrap();
+        let args = parse_args(&argv("fairness --design sc --cycles 1000 --ports 4")).unwrap();
         assert_eq!(args.design, "sc");
         assert_eq!(args.cycles, 1000);
         assert_eq!(args.ports, 4);

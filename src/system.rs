@@ -209,6 +209,21 @@ impl<I: AxiInterconnect> SocSystem<I> {
         }
     }
 
+    /// Runs for exactly `cycles` cycles, invoking `hook` after each
+    /// cycle with the cycle just completed and the system itself.
+    ///
+    /// This is how a hypervisor rides along in tests and examples: the
+    /// hook polls health/watchdog registers over the modeled AXI-Lite
+    /// bus at whatever rate it likes and the system never needs to know
+    /// the hypervisor exists.
+    pub fn run_for_with(&mut self, cycles: Cycle, mut hook: impl FnMut(Cycle, &mut Self)) {
+        for _ in 0..cycles {
+            let at = self.now;
+            self.tick(at);
+            hook(at, self);
+        }
+    }
+
     /// Runs until every finite accelerator reports done (at most
     /// `max_cycles`). Returns the outcome.
     pub fn run_until_done(&mut self, max_cycles: Cycle) -> sim::RunOutcome {
@@ -274,8 +289,7 @@ mod tests {
                 let out = sys.run_until_done(1_000_000);
                 (out.is_done(), sys.now())
             } else {
-                let mut sys =
-                    SocSystem::new(SmartConnect::new(ScConfig::new(2)), mem);
+                let mut sys = SocSystem::new(SmartConnect::new(ScConfig::new(2)), mem);
                 sys.add_accelerator(Box::new(dma));
                 let out = sys.run_until_done(1_000_000);
                 (out.is_done(), sys.now())

@@ -70,8 +70,8 @@ fn reorder_buffer_bridges_ooo_memory_to_the_hyperconnect() {
 
     let mut hc = HyperConnect::new(HcConfig::new(1));
     // Allow several sub-transactions in flight so disorder can happen.
-    let off = hyperconnect::regfile::port_block_offset(0)
-        + hyperconnect::regfile::offsets::PORT_MAX_OUT;
+    let off =
+        hyperconnect::regfile::port_block_offset(0) + hyperconnect::regfile::offsets::PORT_MAX_OUT;
     hc.regs().write32(off, 8);
 
     let mut memory = OooMemory::new(store);
@@ -92,7 +92,10 @@ fn reorder_buffer_bridges_ooo_memory_to_the_hyperconnect() {
     for (i, &(addr, len)) in requests.iter().enumerate() {
         hc.port(0)
             .ar
-            .push(0, ArBeat::new(addr, len, BurstSize::B4).with_tag(i as u64 + 1))
+            .push(
+                0,
+                ArBeat::new(addr, len, BurstSize::B4).with_tag(i as u64 + 1),
+            )
             .unwrap();
     }
 

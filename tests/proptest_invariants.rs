@@ -100,8 +100,9 @@ impl ScriptedMaster {
                 }
                 if self.issued && self.w_sent < beats && !port.w.is_full() {
                     let beat_addr = addr + self.w_sent as u64 * 4;
-                    let data: Vec<u8> =
-                        (0..4).map(|b| Self::fill_byte(beat_addr + b, seed)).collect();
+                    let data: Vec<u8> = (0..4)
+                        .map(|b| Self::fill_byte(beat_addr + b, seed))
+                        .collect();
                     port.w
                         .push(now, WBeat::new(data, self.w_sent + 1 == beats))
                         .unwrap();
@@ -147,12 +148,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (Just(page), Just(beats), 0..=max_start / 4)
     });
     prop_oneof![
-        place
-            .clone()
-            .prop_map(|(page, beats, slot)| Op::Read {
-                addr: 0x1_0000 + page * 4096 + slot * 4,
-                beats,
-            }),
+        place.clone().prop_map(|(page, beats, slot)| Op::Read {
+            addr: 0x1_0000 + page * 4096 + slot * 4,
+            beats,
+        }),
         (place, any::<u8>()).prop_map(|((page, beats, slot), seed)| Op::Write {
             addr: 0x1_0000 + page * 4096 + slot * 4,
             beats,
@@ -288,6 +287,101 @@ proptest! {
             "observed {} > bound {} (nominal {}, K {})",
             observed, model.worst_case_read_latency(), nominal, max_out
         );
+    }
+
+    /// Interleaving any misbehaving master with a well-behaved scripted
+    /// master never corrupts the well-behaved port's data: reads still
+    /// observe exactly the writes that preceded them, the memory-side
+    /// protocol monitor stays clean, and a zero-tolerance watchdog
+    /// (decouple at the first structured violation) is enough to keep
+    /// the script completing.
+    #[test]
+    fn faults_never_corrupt_well_behaved_data(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        nominal in 4u32..32,
+        fault in 0usize..5,
+    ) {
+        use ha::Accelerator;
+        let expected = shadow_expected_reads(&ops);
+        let hc = HyperConnect::new(HcConfig::new(2));
+        hc.regs().write32(hyperconnect::regfile::offsets::NOMINAL, nominal);
+        let mut hc = hc;
+        let mut memory = MemoryController::new(
+            MemConfig::zcu102().decode_limit(0x4000_0000));
+        memory.attach_monitor();
+        let mut faulty: Box<dyn Accelerator> = match fault {
+            0 => Box::new(ha::fault::RogueReader::new(
+                "rogue", 0x8000_0000, 8, BurstSize::B16)),
+            1 => Box::new(ha::fault::BoundaryViolator::new(
+                "cross", 0x2000_0000, 16, BurstSize::B16)),
+            2 => Box::new(ha::fault::WlastViolator::new(
+                "wlast", 0x2000_0000, 8, BurstSize::B16)),
+            3 => Box::new(ha::fault::StalledWriter::new(
+                "hung", 0x2000_0000, 8, BurstSize::B16)),
+            _ => Box::new(ha::fault::RunawayMaster::new(
+                "runaway", 0x2000_0000, 1 << 20, 16, BurstSize::B16)),
+        };
+        let mut master = ScriptedMaster::new(ops);
+        let mut decoupled = false;
+        let mut now = 0;
+        while !master.is_done() {
+            master.tick(now, hc.port(0));
+            if !decoupled {
+                faulty.tick(now, hc.port(1));
+            }
+            hc.tick(now);
+            memory.tick(now, hc.mem_port());
+            // Zero-tolerance watchdog: the first structured violation
+            // decouples the offender.
+            if !decoupled && hc.total_violations(1) > 0 {
+                let off = hyperconnect::regfile::port_block_offset(1)
+                    + hyperconnect::regfile::offsets::PORT_CTRL;
+                hc.regs().write32(off, 0);
+                decoupled = true;
+            }
+            now += 1;
+            prop_assert!(now < 5_000_000, "script did not complete");
+        }
+        for extra in now..now + 400 {
+            hc.tick(extra);
+            memory.tick(extra, hc.mem_port());
+        }
+        prop_assert_eq!(master.reads_done.len(), expected.len());
+        for (i, (got, want)) in master.reads_done.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(got, want, "read {} data mismatch under fault {}", i, fault);
+        }
+        let monitor = memory.monitor().unwrap();
+        prop_assert!(monitor.is_clean(), "{:?}", monitor.errors());
+        // The well-behaved port itself reported nothing.
+        prop_assert_eq!(hc.total_violations(0), 0);
+    }
+
+    /// A decoupled port never completes a transfer, whatever traffic its
+    /// master generates — the eFIFO grounds everything.
+    #[test]
+    fn decoupled_port_never_completes(
+        seed in any::<u64>(),
+        nominal in 4u32..32,
+    ) {
+        use ha::Accelerator;
+        let hc = HyperConnect::new(HcConfig::new(2));
+        hc.regs().write32(hyperconnect::regfile::offsets::NOMINAL, nominal);
+        let off = hyperconnect::regfile::port_block_offset(0)
+            + hyperconnect::regfile::offsets::PORT_CTRL;
+        hc.regs().write32(off, 0); // decoupled before any traffic
+        let mut hc = hc;
+        let mut memory = MemoryController::new(MemConfig::zcu102());
+        let mut gen = ha::traffic::RandomTraffic::new(
+            "g", 0x1000_0000, 1 << 20, BurstSize::B16, 16, 3, seed);
+        for now in 0..20_000u64 {
+            gen.tick(now, hc.port(0));
+            hc.tick(now);
+            memory.tick(now, hc.mem_port());
+        }
+        prop_assert_eq!(gen.jobs_completed(), 0);
+        // Nothing from the decoupled port ever reached the memory.
+        prop_assert_eq!(memory.stats().reads_served, 0);
+        prop_assert_eq!(memory.stats().writes_served, 0);
     }
 
     /// The write-path bound holds under adversarial write interference.

@@ -55,7 +55,11 @@ fn stress<I: AxiInterconnect>(interconnect: I, cycles: u64) -> SocSystem<I> {
 fn hyperconnect_soak_four_masters() {
     let sys = stress(HyperConnect::new(HcConfig::new(4)), 1_500_000);
     let monitor = sys.memory().monitor().unwrap();
-    assert!(monitor.is_clean(), "{:?}", &monitor.errors()[..5.min(monitor.errors().len())]);
+    assert!(
+        monitor.is_clean(),
+        "{:?}",
+        &monitor.errors()[..5.min(monitor.errors().len())]
+    );
     // Every master made progress.
     for i in 0..4 {
         assert!(
@@ -77,7 +81,11 @@ fn hyperconnect_soak_four_masters() {
 fn smartconnect_soak_four_masters() {
     let sys = stress(SmartConnect::new(ScConfig::new(4)), 1_500_000);
     let monitor = sys.memory().monitor().unwrap();
-    assert!(monitor.is_clean(), "{:?}", &monitor.errors()[..5.min(monitor.errors().len())]);
+    assert!(
+        monitor.is_clean(),
+        "{:?}",
+        &monitor.errors()[..5.min(monitor.errors().len())]
+    );
     for i in 0..4 {
         assert!(sys.accelerator(i).jobs_completed() > 0);
     }
@@ -85,8 +93,7 @@ fn smartconnect_soak_four_masters() {
 
 #[test]
 fn hyperconnect_soak_with_row_policy_memory() {
-    let mut memory =
-        MemoryController::new(MemConfig::zcu102().row_policy(RowPolicy::default()));
+    let mut memory = MemoryController::new(MemConfig::zcu102().row_policy(RowPolicy::default()));
     memory.attach_monitor();
     let mut sys = SocSystem::new(HyperConnect::new(HcConfig::new(2)), memory);
     sys.add_accelerator(Box::new(RandomTraffic::new(
@@ -124,9 +131,7 @@ fn tiny_buffer_configuration_never_deadlocks() {
         routing_depth: 2,
         ..HcConfig::new(2)
     };
-    let mut memory = MemoryController::new(
-        MemConfig::zcu102().pipeline_depth(1),
-    );
+    let mut memory = MemoryController::new(MemConfig::zcu102().pipeline_depth(1));
     memory.attach_monitor();
     let mut sys = SocSystem::new(HyperConnect::new(cfg), memory);
     sys.add_accelerator(Box::new(RandomTraffic::new(
@@ -156,6 +161,52 @@ fn tiny_buffer_configuration_never_deadlocks() {
         );
     }
     assert!(sys.memory().monitor().unwrap().is_clean());
+}
+
+/// An order-insensitive fingerprint of everything observable after a
+/// run: per-master completions plus the memory-side service counters.
+/// Two runs with the same seeds must match exactly — the whole stack is
+/// deterministic (the only randomness is the seeded xoshiro streams in
+/// `RandomTraffic` and the SmartConnect's granularity draw).
+fn fingerprint<I: AxiInterconnect>(sys: &SocSystem<I>) -> Vec<u64> {
+    let stats = sys.memory().stats();
+    let mut fp: Vec<u64> = (0..sys.num_accelerators())
+        .map(|i| sys.accelerator(i).jobs_completed())
+        .collect();
+    fp.extend([
+        stats.reads_served,
+        stats.writes_served,
+        stats.beats_served,
+        stats.bytes_served,
+        stats.busy_cycles,
+        stats.error_responses,
+    ]);
+    fp
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let hc_a = fingerprint(&stress(HyperConnect::new(HcConfig::new(4)), 200_000));
+    let hc_b = fingerprint(&stress(HyperConnect::new(HcConfig::new(4)), 200_000));
+    assert_eq!(
+        hc_a, hc_b,
+        "HyperConnect run diverged between same-seed runs"
+    );
+
+    let sc_a = fingerprint(&stress(SmartConnect::new(ScConfig::new(4)), 200_000));
+    let sc_b = fingerprint(&stress(SmartConnect::new(ScConfig::new(4)), 200_000));
+    assert_eq!(
+        sc_a, sc_b,
+        "SmartConnect run diverged between same-seed runs"
+    );
+
+    // A different SmartConnect seed must actually change the execution,
+    // proving the fingerprint is sensitive enough to catch divergence.
+    let sc_c = fingerprint(&stress(
+        SmartConnect::new(ScConfig::new(4).seed(0xDEAD_BEEF)),
+        200_000,
+    ));
+    assert_ne!(sc_a, sc_c, "fingerprint is insensitive to the seed");
 }
 
 #[test]
