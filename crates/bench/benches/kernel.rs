@@ -83,10 +83,74 @@ fn bench_interconnect_only(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_efifo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/efifo");
+    const BEATS: u64 = 1024;
+    g.throughput(Throughput::Elements(BEATS));
+    g.bench_function("ar_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut e = hyperconnect::efifo::EFifo::new(8, 64, 8);
+            let mut popped = 0u64;
+            for now in 0..BEATS {
+                let _ = e
+                    .port
+                    .ar
+                    .push(now, ArBeat::new(now * 64, 16, BurstSize::B4));
+                popped += e.pop_ar(now).is_some() as u64;
+            }
+            black_box(popped)
+        })
+    });
+    g.finish();
+}
+
+fn bench_exbar_arbitration(c: &mut Criterion) {
+    use hyperconnect::exbar::Exbar;
+    use hyperconnect::supervisor::SubAr;
+    use hyperconnect::TransactionSupervisor;
+
+    let mut g = c.benchmark_group("kernel/exbar");
+    const CYCLES: u64 = 4096;
+    const PORTS: usize = 4;
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("arbitrate_ar_4port", |b| {
+        b.iter(|| {
+            // Routing depth sized so the route queue never backpressures:
+            // the bench measures round-robin grant cost, not R-channel
+            // completion flow.
+            let mut exbar = Exbar::new(PORTS, CYCLES as usize);
+            let mut sups: Vec<TransactionSupervisor> =
+                (0..PORTS).map(|_| TransactionSupervisor::new(64)).collect();
+            let mut mem_port = axi::AxiPort::new(axi::PortConfig::wire());
+            for now in 0..CYCLES {
+                for (p, ts) in sups.iter_mut().enumerate() {
+                    if !ts.ar_stage.is_full() {
+                        let beat = ArBeat::new(((p as u64) << 28) | (now * 64), 15, BurstSize::B4);
+                        let _ = ts.ar_stage.push(
+                            now,
+                            SubAr {
+                                beat,
+                                final_sub: true,
+                            },
+                        );
+                    }
+                }
+                exbar.arbitrate_ar(now, &mut sups);
+                exbar.move_to_mem(now, &mut mem_port);
+                while mem_port.ar.pop_ready(now).is_some() {}
+            }
+            black_box(exbar.stats().ar_grants.iter().sum::<u64>())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     kernel,
     bench_timed_fifo,
     bench_hyperconnect_cycles,
-    bench_interconnect_only
+    bench_interconnect_only,
+    bench_efifo,
+    bench_exbar_arbitration
 );
 criterion_main!(kernel);

@@ -143,7 +143,7 @@ pub fn reservation_sweep(window: Cycle) -> Vec<ReservationPoint> {
         .map(|&share| {
             let hc = HyperConnect::new(HcConfig::new(2));
             let mut bus = LiteBus::new();
-            bus.map(HC_BASE, 0x1000, hc.regs());
+            bus.map(HC_BASE, 0x1000, hc.regs().clone());
             let hv = Hypervisor::new(bus, HC_BASE).expect("device present");
             hv.hc().set_period(PERIOD).unwrap();
             let mem_lat = MemConfig::zcu102().first_word_latency;
@@ -317,7 +317,7 @@ pub fn ps_protection_sweep(window: Cycle) -> Vec<PsProtectionPoint> {
     let run = |fpga_share: Option<u32>, max_out: u32| -> PsProtectionPoint {
         let hc = HyperConnect::new(HcConfig::new(2));
         let mut bus = LiteBus::new();
-        bus.map(HC_BASE, 0x1000, hc.regs());
+        bus.map(HC_BASE, 0x1000, hc.regs().clone());
         let hv = Hypervisor::new(bus, HC_BASE).expect("device present");
         hv.hc().set_period(PERIOD).unwrap();
         if let Some(share) = fpga_share {

@@ -1,0 +1,363 @@
+//! `perf`: the simulator's own performance harness.
+//!
+//! Measures host-side throughput (simulated cycles per wall-clock
+//! second) across the paper's scenario classes and emits
+//! `BENCH_simulator.json` so the perf trajectory is tracked from PR to
+//! PR:
+//!
+//! 1. **Fig. 3(a) goldens** — the channel-latency probes, re-checked
+//!    against the paper constants (a warped pipeline fails the run).
+//! 2. **Idle-heavy probe** — a single DMA against `MemConfig::zcu102()`
+//!    that finishes early and leaves the window mostly idle; run under
+//!    both schedulers to demonstrate the event-horizon speedup.
+//! 3. **Figure sweeps** — the independent Fig. 3(b)/4/5 scenario points
+//!    executed on `std::thread` workers, reporting per-point wall time
+//!    and the parallel-runner gain over serial execution.
+//!
+//! Usage: `perf [--quick | --full] [--out PATH] [--min-cycles-per-sec N]`
+//!
+//! Exits non-zero if the Fig. 3(a) goldens regress or the fast-forward
+//! idle-heavy throughput falls below the `--min-cycles-per-sec` floor
+//! (the CI perf-smoke gate).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use axi::types::BurstSize;
+use axi_hyperconnect::{SchedulerMode, SocSystem};
+use bench::{fig3a, fig3b, fig4, fig5, Design};
+use ha::dma::{Dma, DmaConfig};
+use hyperconnect::{HcConfig, HyperConnect};
+use mem::{MemConfig, MemoryController};
+use sim::Cycle;
+
+/// One schedulable scenario point: a closure returning the simulated
+/// cycle count it covered (approximate for the latency sweeps, where
+/// the workload length is data-dependent).
+struct Point {
+    name: String,
+    run: Box<dyn FnOnce() -> u64 + Send>,
+}
+
+struct PointResult {
+    name: String,
+    wall_ms: f64,
+    cycles: u64,
+}
+
+struct FigureReport {
+    figure: &'static str,
+    points: Vec<PointResult>,
+    wall_ms_parallel: f64,
+    peak_rss_kb_after: u64,
+}
+
+impl FigureReport {
+    fn wall_ms_serial_sum(&self) -> f64 {
+        self.points.iter().map(|p| p.wall_ms).sum()
+    }
+
+    fn sim_cycles(&self) -> u64 {
+        self.points.iter().map(|p| p.cycles).sum()
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles() as f64 / (self.wall_ms_parallel / 1e3).max(1e-9)
+    }
+}
+
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Runs the points on a fixed-size `std::thread` worker pool and
+/// returns the results in submission order.
+fn run_parallel(figure: &'static str, points: Vec<Point>) -> FigureReport {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(points.len().max(1));
+    let n = points.len();
+    let queue: Arc<Mutex<Vec<(usize, Point)>>> =
+        Arc::new(Mutex::new(points.into_iter().enumerate().rev().collect()));
+    let results: Arc<Mutex<Vec<Option<PointResult>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            let results = Arc::clone(&results);
+            scope.spawn(move || loop {
+                let Some((idx, point)) = queue.lock().unwrap().pop() else {
+                    return;
+                };
+                let t0 = Instant::now();
+                let cycles = (point.run)();
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                results.lock().unwrap()[idx] = Some(PointResult {
+                    name: point.name,
+                    wall_ms,
+                    cycles,
+                });
+            });
+        }
+    });
+    let wall_ms_parallel = start.elapsed().as_secs_f64() * 1e3;
+
+    let points = Arc::try_unwrap(results)
+        .ok()
+        .expect("all workers joined")
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every point ran"))
+        .collect();
+    FigureReport {
+        figure,
+        points,
+        wall_ms_parallel,
+        peak_rss_kb_after: peak_rss_kb(),
+    }
+}
+
+/// The idle-heavy acceptance scenario: a single DMA reader that
+/// finishes its jobs early in the window, leaving the SoC idle for the
+/// remainder — the exact case event-horizon scheduling targets.
+fn idle_heavy(mode: SchedulerMode, window: Cycle) -> (f64, u64, Cycle, u64) {
+    let mut sys = SocSystem::new(
+        HyperConnect::new(HcConfig::new(1)),
+        MemoryController::new(MemConfig::zcu102()),
+    );
+    sys.set_scheduler(mode);
+    sys.add_accelerator(Box::new(Dma::new(
+        "probe",
+        DmaConfig {
+            jobs: Some(4),
+            ..DmaConfig::reader(256 * 1024, 16, BurstSize::B16)
+        },
+    )));
+    let t0 = Instant::now();
+    sys.run_for(window);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (
+        wall_ms,
+        sys.accelerator(0).jobs_completed(),
+        sys.skipped_cycles(),
+        sys.memory().stats().bytes_served,
+    )
+}
+
+fn json_points(points: &[PointResult]) -> String {
+    points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"name\":\"{}\",\"wall_ms\":{:.3},\"sim_cycles\":{},\"cycles_per_sec\":{:.0}}}",
+                p.name,
+                p.wall_ms,
+                p.cycles,
+                p.cycles as f64 / (p.wall_ms / 1e3).max(1e-9)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_simulator.json".to_string();
+    let mut floor: f64 = 0.0;
+    let mut mode = "default";
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => mode = "quick",
+            "--full" => mode = "full",
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            "--min-cycles-per-sec" => {
+                i += 1;
+                floor = args[i].parse().expect("numeric floor");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let (window, repeats, idle_window): (Cycle, u64, Cycle) = match mode {
+        "quick" => (1_000_000, 2, 2_000_000),
+        "full" => (fig4::DEFAULT_WINDOW, 5, 20_000_000),
+        _ => (3_000_000, 3, 5_000_000),
+    };
+
+    // 1. Fig. 3(a) goldens — fail fast on a warped pipeline.
+    let t0 = Instant::now();
+    let lat = fig3a::measure(Design::HyperConnect);
+    let fig3a_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let goldens_ok = (lat.d_ar, lat.d_aw, lat.d_r, lat.d_w, lat.d_b) == (4, 4, 2, 2, 2);
+    println!(
+        "fig3a: d_AR={} d_AW={} d_R={} d_W={} d_B={} ({})",
+        lat.d_ar,
+        lat.d_aw,
+        lat.d_r,
+        lat.d_w,
+        lat.d_b,
+        if goldens_ok { "golden" } else { "REGRESSED" }
+    );
+
+    // 2. Idle-heavy probe, naive vs fast-forward.
+    let (naive_ms, naive_jobs, _, naive_bytes) = idle_heavy(SchedulerMode::Naive, idle_window);
+    let (ff_ms, ff_jobs, skipped, ff_bytes) = idle_heavy(SchedulerMode::FastForward, idle_window);
+    assert_eq!(
+        (naive_jobs, naive_bytes),
+        (ff_jobs, ff_bytes),
+        "schedulers diverged on the idle-heavy probe"
+    );
+    let speedup = naive_ms / ff_ms.max(1e-9);
+    let ff_cps = idle_window as f64 / (ff_ms / 1e3).max(1e-9);
+    let naive_cps = idle_window as f64 / (naive_ms / 1e3).max(1e-9);
+    println!(
+        "idle-heavy ({idle_window} cycles): naive {naive_ms:.1} ms ({naive_cps:.2e} c/s) \
+         vs fast-forward {ff_ms:.1} ms ({ff_cps:.2e} c/s) — {speedup:.1}x, {skipped} skipped"
+    );
+
+    // 3. Figure sweeps on the parallel runner.
+    let mut fig3b_points: Vec<Point> = Vec::new();
+    for design in Design::BOTH {
+        for bytes in fig3b::SIZES {
+            fig3b_points.push(Point {
+                name: format!("{}_{}B", design.name(), bytes),
+                run: Box::new(move || {
+                    let (_, mean) = fig3b::access_stats(design, bytes, repeats);
+                    (mean * repeats as f64) as u64
+                }),
+            });
+        }
+    }
+    let fig3b_report = run_parallel("fig3b", fig3b_points);
+
+    let mut fig4_points: Vec<Point> = Vec::new();
+    for design in Design::BOTH {
+        fig4_points.push(Point {
+            name: format!("chaidnn_{}", design.name()),
+            run: Box::new(move || {
+                fig4::chaidnn_isolation(design, window);
+                window
+            }),
+        });
+        fig4_points.push(Point {
+            name: format!("dma_{}", design.name()),
+            run: Box::new(move || {
+                fig4::dma_isolation(design, window);
+                window
+            }),
+        });
+    }
+    let fig4_report = run_parallel("fig4", fig4_points);
+
+    let mut fig5_points: Vec<Point> = vec![
+        Point {
+            name: "isolation".into(),
+            run: Box::new(move || {
+                fig5::isolation(window);
+                2 * window
+            }),
+        },
+        Point {
+            name: "sc_contention".into(),
+            run: Box::new(move || {
+                fig5::smartconnect_contention(window);
+                window
+            }),
+        },
+    ];
+    for share in fig5::SHARES {
+        fig5_points.push(Point {
+            name: format!("hc_{share}_{}", 100 - share),
+            run: Box::new(move || {
+                fig5::hyperconnect_contention(share, window);
+                window
+            }),
+        });
+    }
+    let fig5_report = run_parallel("fig5", fig5_points);
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    for report in [&fig3b_report, &fig4_report, &fig5_report] {
+        println!(
+            "{}: {} points, {:.1} ms parallel ({:.1} ms serial-sum, {:.2}x), {:.2e} cycles/s",
+            report.figure,
+            report.points.len(),
+            report.wall_ms_parallel,
+            report.wall_ms_serial_sum(),
+            report.wall_ms_serial_sum() / report.wall_ms_parallel.max(1e-9),
+            report.cycles_per_sec()
+        );
+    }
+
+    // 4. Emit BENCH_simulator.json.
+    let figures_json = [&fig3b_report, &fig4_report, &fig5_report]
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"figure\":\"{}\",\"wall_ms_parallel\":{:.3},\"wall_ms_serial_sum\":{:.3},\
+                 \"parallel_speedup\":{:.3},\"sim_cycles\":{},\"cycles_per_sec\":{:.0},\
+                 \"peak_rss_kb_after\":{},\"points\":[{}]}}",
+                r.figure,
+                r.wall_ms_parallel,
+                r.wall_ms_serial_sum(),
+                r.wall_ms_serial_sum() / r.wall_ms_parallel.max(1e-9),
+                r.sim_cycles(),
+                r.cycles_per_sec(),
+                r.peak_rss_kb_after,
+                json_points(&r.points)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\n\
+         \"schema\":\"axi-hyperconnect/bench-simulator/v1\",\n\
+         \"mode\":\"{mode}\",\n\
+         \"workers\":{workers},\n\
+         \"fig3a\":{{\"wall_ms\":{fig3a_wall_ms:.3},\"goldens_ok\":{goldens_ok}}},\n\
+         \"idle_heavy\":{{\"scenario\":\"single 256 KiB x4 DMA reader vs zcu102, {idle_window}-cycle window\",\
+         \"sim_cycles\":{idle_window},\
+         \"naive_wall_ms\":{naive_ms:.3},\"naive_cycles_per_sec\":{naive_cps:.0},\
+         \"fast_forward_wall_ms\":{ff_ms:.3},\"fast_forward_cycles_per_sec\":{ff_cps:.0},\
+         \"skipped_cycles\":{skipped},\"speedup\":{speedup:.2}}},\n\
+         \"figures\":[{figures_json}],\n\
+         \"peak_rss_kb\":{}\n\
+         }}\n",
+        peak_rss_kb()
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_simulator.json");
+    println!("wrote {out_path}");
+
+    // 5. Gates.
+    if !goldens_ok {
+        eprintln!("FAIL: Fig. 3(a) channel-latency goldens regressed");
+        std::process::exit(1);
+    }
+    if floor > 0.0 && ff_cps < floor {
+        eprintln!(
+            "FAIL: fast-forward idle-heavy throughput {ff_cps:.0} c/s below floor {floor:.0}"
+        );
+        std::process::exit(1);
+    }
+}

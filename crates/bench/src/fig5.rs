@@ -62,7 +62,7 @@ pub fn hyperconnect_contention(share: u32, window: Cycle) -> Bar {
     const HC_BASE: u64 = 0xA000_0000;
     let hc = HyperConnect::new(HcConfig::new(2));
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let hv = Hypervisor::new(bus, HC_BASE).expect("device present");
     hv.hc().set_period(PERIOD).unwrap();
     hv.set_bandwidth_shares(

@@ -108,6 +108,16 @@ impl Exbar {
         self.firewall_beats
     }
 
+    /// Earliest cycle at which a beat parked in the crossbar's output
+    /// registers becomes visible downstream, or `None` when both stages
+    /// are empty. Event-horizon hint for the fast-forward scheduler.
+    pub fn next_stage_ready(&self) -> Option<Cycle> {
+        [self.ar_stage.next_ready_at(), self.aw_stage.next_ready_at()]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
     /// Whether the EXBAR holds no in-flight state.
     pub fn is_idle(&self) -> bool {
         self.ar_stage.is_empty()

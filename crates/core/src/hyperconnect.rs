@@ -115,10 +115,13 @@ impl HyperConnect {
         &self.config
     }
 
-    /// A clonable handle to the AXI-Lite register file — what the
-    /// hypervisor maps into its address space to control the IP.
-    pub fn regs(&self) -> LiteHandle<RegFile> {
-        self.regs.clone()
+    /// The AXI-Lite register file handle — what the hypervisor maps into
+    /// its address space to control the IP. Returned by reference so a
+    /// per-poll read does not clone the handle; callers that need shared
+    /// ownership (e.g. to map the device on a control bus) clone it
+    /// explicitly.
+    pub fn regs(&self) -> &LiteHandle<RegFile> {
+        &self.regs
     }
 
     /// Per-port TS statistics.
@@ -278,6 +281,34 @@ impl Component for HyperConnect {
         }
         progress
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Globally disabled: the pipeline is frozen; only a control-plane
+        // write (tracked via the config generation) can wake it.
+        if self.regs.with(|rf| !rf.is_enabled()) {
+            return None;
+        }
+        // A supervisor owing W beats or spinning on an exhausted budget
+        // advances observable counters every cycle — no skipping allowed.
+        if self.supervisors.iter().any(|ts| ts.counts_every_cycle()) {
+            return Some(now + 1);
+        }
+        let mut horizon = self.central.next_boundary();
+        let mut merge = |c: Option<Cycle>| {
+            if let Some(c) = c {
+                horizon = horizon.min(c);
+            }
+        };
+        for ts in &self.supervisors {
+            merge(ts.next_stage_ready());
+        }
+        for efifo in &self.efifos {
+            merge(efifo.port.next_ready_at());
+        }
+        merge(self.exbar.next_stage_ready());
+        merge(self.mem_port.next_ready_at());
+        Some(horizon)
+    }
 }
 
 impl AxiInterconnect for HyperConnect {
@@ -302,6 +333,10 @@ impl AxiInterconnect for HyperConnect {
             && self.supervisors.iter().all(|t| t.is_idle())
             && self.exbar.is_idle()
             && self.mem_port.is_idle()
+    }
+
+    fn config_generation(&self) -> u64 {
+        self.regs.with(|rf| rf.generation())
     }
 }
 

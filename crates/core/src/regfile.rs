@@ -97,6 +97,7 @@ pub struct RegFile {
     period: u32,
     nominal_burst: u32,
     ports: Vec<PortRegs>,
+    generation: u64,
 }
 
 impl RegFile {
@@ -122,7 +123,17 @@ impl RegFile {
             period: Self::DEFAULT_PERIOD,
             nominal_burst: Self::DEFAULT_NOMINAL,
             ports: vec![PortRegs::default(); num_ports],
+            generation: 0,
         }
+    }
+
+    /// Monotonic configuration generation: bumped on every control-plane
+    /// write (AXI-Lite `write32` or a typed setter), but *not* by the
+    /// interconnect's own counter write-backs (`port_mut`) or period
+    /// recharges. The fast-forward scheduler compares it across hook
+    /// invocations to detect reconfiguration during a skipped span.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of per-port register blocks.
@@ -167,21 +178,25 @@ impl RegFile {
     /// Typed write helpers used by tests and the driver model.
     pub fn set_budget(&mut self, port: usize, budget: u32) {
         self.ports[port].budget = budget;
+        self.generation += 1;
     }
 
     /// Enables/decouples port `i`.
     pub fn set_enabled(&mut self, port: usize, enabled: bool) {
         self.ports[port].enabled = enabled;
+        self.generation += 1;
     }
 
     /// Sets the reservation period (clamped to at least 1).
     pub fn set_period(&mut self, period: u32) {
         self.period = period.max(1);
+        self.generation += 1;
     }
 
     /// Sets the nominal burst length (clamped to 1–256).
     pub fn set_nominal_burst(&mut self, beats: u32) {
         self.nominal_burst = beats.clamp(1, 256);
+        self.generation += 1;
     }
 
     /// Clears all per-period transaction counters (called by the central
@@ -224,6 +239,7 @@ impl LiteDevice for RegFile {
     }
 
     fn write32(&mut self, offset: u64, value: u32) {
+        self.generation += 1;
         match offset {
             REG_CTRL => self.enabled = value & 1 != 0,
             REG_PERIOD => self.set_period(value),

@@ -215,6 +215,43 @@ impl TransactionSupervisor {
         &self.write_latency
     }
 
+    /// Whether a tick with no new port input would still mutate TS
+    /// state: the W-starvation detector and the budget-stall counter
+    /// advance on every cycle their condition holds, even when nothing
+    /// observable moves. Event-horizon scheduling must not skip cycles
+    /// while this is true, or [`ViolationKind::HandshakeHang`] /
+    /// [`ViolationKind::BudgetOverrun`] timing would diverge from
+    /// cycle-by-cycle stepping.
+    ///
+    /// The budget check conservatively ignores the outstanding limit
+    /// (it is runtime configuration the TS does not store), so it may
+    /// report `true` when the counter would in fact not advance —
+    /// under-promising the horizon is always safe.
+    pub fn counts_every_cycle(&self) -> bool {
+        let w_owed =
+            !self.w_stage.is_full() && (self.w_current_left > 0 || !self.w_sublens.is_empty());
+        let budget_stalled = self.budget_left == Some(0)
+            && ((!self.ar_split.is_empty() && !self.ar_stage.is_full())
+                || (!self.aw_split.is_empty() && !self.aw_stage.is_full()));
+        w_owed || budget_stalled
+    }
+
+    /// Event-horizon hint over the TS's internal pipeline registers:
+    /// the earliest cycle a staged sub-request or W beat becomes
+    /// visible, or `None` if all stages are empty. Split queues are
+    /// issue-eligible immediately and are covered by
+    /// [`Self::counts_every_cycle`] / the caller's progress check.
+    pub fn next_stage_ready(&self) -> Option<Cycle> {
+        [
+            self.ar_stage.next_ready_at(),
+            self.aw_stage.next_ready_at(),
+            self.w_stage.next_ready_at(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
     /// Whether the TS holds no in-flight state.
     pub fn is_idle(&self) -> bool {
         self.ar_split.is_empty()

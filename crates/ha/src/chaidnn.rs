@@ -78,7 +78,11 @@ impl Default for ChaidnnConfig {
 enum Phase {
     Weights(ReadEngine),
     Inputs(ReadEngine),
-    Compute { left: u64 },
+    /// Busy-computing until the stored absolute cycle (exclusive: the
+    /// layer advances on the first tick at or after `until`).
+    Compute {
+        until: Cycle,
+    },
     Outputs(WriteEngine),
 }
 
@@ -256,7 +260,7 @@ impl Chaidnn {
                 )
             }
             Phase::Inputs(_) => Phase::Compute {
-                left: layer.compute_cycles,
+                until: now + layer.compute_cycles,
             },
             Phase::Compute { .. } => {
                 let bytes = round_beats(layer.output_bytes, c.size);
@@ -300,27 +304,25 @@ impl Accelerator for Chaidnn {
             }
             self.enter_layer();
         }
-        let advance;
         let mut progress = false;
-        match self.phase.as_mut().expect("phase set above") {
+        let advance = match self.phase.as_mut().expect("phase set above") {
             Phase::Weights(eng) | Phase::Inputs(eng) => {
                 let before = eng.received_beats();
                 progress |= eng.tick(now, port);
                 self.bytes_moved += (eng.received_beats() - before) * self.config.size.bytes();
-                advance = eng.is_done();
+                eng.is_done()
             }
-            Phase::Compute { left } => {
-                if *left > 0 {
-                    *left -= 1;
-                    progress = true;
-                }
-                advance = *left == 0;
+            Phase::Compute { until } => {
+                // Pure waiting: no observable state changes until the
+                // compute window elapses, so the fast-forward scheduler
+                // may jump straight to `until`.
+                now >= *until
             }
             Phase::Outputs(eng) => {
                 progress |= eng.tick(now, port);
-                advance = eng.is_done();
+                eng.is_done()
             }
-        }
+        };
         if advance {
             if let Some(Phase::Outputs(_)) = &self.phase {
                 self.bytes_moved +=
@@ -348,6 +350,22 @@ impl Accelerator for Chaidnn {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_done() {
+            return None;
+        }
+        match &self.phase {
+            // Next tick enters the first layer of a new frame.
+            None => Some(now + 1),
+            // The compute window is the one place the model idles with a
+            // known wake-up time.
+            Some(Phase::Compute { until }) => Some((*until).max(now + 1)),
+            // Burst engines are purely reactive: they wake when the port
+            // drains or data returns, both covered by the interconnect.
+            Some(_) => None,
+        }
     }
 }
 

@@ -232,6 +232,13 @@ impl Accelerator for Dma {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: the greedy engines issue whenever the port has
+        // space and otherwise wait for responses, so only port traffic
+        // (covered by the interconnect's hint) can wake a blocked DMA.
+        None
+    }
 }
 
 #[cfg(test)]

@@ -109,6 +109,12 @@ impl Accelerator for RogueReader {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: issues whenever the port has space, otherwise
+        // waits on responses — both covered by the interconnect's hint.
+        None
+    }
 }
 
 /// A master whose INCR read bursts straddle 4 KiB boundaries — the AXI
@@ -182,6 +188,12 @@ impl Accelerator for BoundaryViolator {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: issues whenever the port has space, otherwise
+        // waits on responses — both covered by the interconnect's hint.
+        None
     }
 }
 
@@ -266,6 +278,12 @@ impl Accelerator for WlastViolator {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: issues whenever the port has space, otherwise
+        // waits on responses — both covered by the interconnect's hint.
+        None
+    }
 }
 
 /// A writer that posts a write address and then never drives a single W
@@ -323,6 +341,12 @@ impl Accelerator for StalledWriter {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: issues whenever the port has space, otherwise
+        // waits on responses — both covered by the interconnect's hint.
+        None
     }
 }
 
@@ -405,6 +429,12 @@ impl Accelerator for RunawayMaster {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: issues whenever the port has space, otherwise
+        // waits on responses — both covered by the interconnect's hint.
+        None
     }
 }
 

@@ -54,4 +54,14 @@ pub trait Accelerator: std::any::Any {
     /// Type-erased view for downcasting to the concrete model (the
     /// benchmark harness uses this to read model-specific statistics).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Event-horizon hint (see [`sim::Component::next_event`]): the
+    /// earliest future cycle this accelerator could make progress at,
+    /// assuming nothing arrives on its port before then. `None` means
+    /// purely reactive (only port traffic can wake it). Implementations
+    /// may under-promise but must never over-promise. The default of
+    /// `Some(now + 1)` is always safe.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
 }

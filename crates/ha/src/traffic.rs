@@ -92,6 +92,17 @@ impl Accelerator for PeriodicReader {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match &self.engine {
+            // A burst in flight is purely reactive (port-driven).
+            Some(_) => None,
+            // Pacing gap: nothing happens until it elapses.
+            None if now < self.idle_until => Some(self.idle_until),
+            // About to arm the next burst.
+            None => Some(now + 1),
+        }
+    }
 }
 
 /// The *bandwidth stealer* of the fairness experiment (Restuccia et
@@ -192,6 +203,12 @@ impl Accelerator for BandwidthStealer {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Greedy and gap-free: when blocked, only port drain or a read
+        // response (both covered by the interconnect) can wake it.
+        None
     }
 }
 
@@ -297,6 +314,19 @@ impl Accelerator for RandomTraffic {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.engine.is_some() || self.writer.is_some() {
+            // An op in flight is purely reactive (port-driven).
+            return None;
+        }
+        if now < self.idle_until {
+            // Random inter-arrival gap: idle until it elapses.
+            return Some(self.idle_until);
+        }
+        // About to draw and arm the next op.
+        Some(now + 1)
     }
 }
 

@@ -295,7 +295,7 @@ mod tests {
     fn bus_with_hc(n: usize) -> (LiteBus, HyperConnect) {
         let hc = HyperConnect::new(HcConfig::new(n));
         let mut bus = LiteBus::new();
-        bus.map(BASE, 0x1000, hc.regs());
+        bus.map(BASE, 0x1000, hc.regs().clone());
         (bus, hc)
     }
 

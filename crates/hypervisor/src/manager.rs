@@ -128,7 +128,7 @@ pub struct DecoupleEvent {
 /// # fn main() -> Result<(), hypervisor::HvError> {
 /// let hc = HyperConnect::new(HcConfig::new(2));
 /// let mut bus = LiteBus::new();
-/// bus.map(0xA000_0000, 0x1000, hc.regs());
+/// bus.map(0xA000_0000, 0x1000, hc.regs().clone());
 /// let mut hv = Hypervisor::new(bus, 0xA000_0000)?;
 /// let dom = hv.create_domain("perception", Criticality::Safety);
 /// hv.assign_port(dom, PortId(0))?;
@@ -390,7 +390,7 @@ mod tests {
     fn hypervisor(n: usize) -> (Hypervisor, HyperConnect) {
         let hc = HyperConnect::new(HcConfig::new(n));
         let mut bus = LiteBus::new();
-        bus.map(BASE, 0x1000, hc.regs());
+        bus.map(BASE, 0x1000, hc.regs().clone());
         (Hypervisor::new(bus, BASE).unwrap(), hc)
     }
 

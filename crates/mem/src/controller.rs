@@ -209,6 +209,12 @@ impl MemoryController {
         self.ps_port.as_mut().expect("PS port not enabled")
     }
 
+    /// The PS-side port, if enabled (read-only view — e.g. for the
+    /// fast-forward scheduler's mutation fingerprint).
+    pub fn ps_port(&self) -> Option<&AxiPort> {
+        self.ps_port.as_ref()
+    }
+
     /// First-word latency for a request at `addr`: flat, or row-buffer
     /// dependent when a row policy is enabled (bank state updates at
     /// acceptance, approximating an open-page controller).
@@ -265,6 +271,27 @@ impl MemoryController {
         progress |= self.promote(now);
         progress |= self.serve(now, port);
         progress
+    }
+
+    /// Event-horizon hint (see [`sim::Component::next_event`]): the
+    /// earliest future cycle this controller could make progress at,
+    /// assuming nothing new arrives on the interconnect's master port
+    /// before then (arrivals there are covered by the interconnect's own
+    /// hint). `None` means fully idle.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // An active job streams (or retries a blocked) beat every cycle.
+        if self.active.is_some() {
+            return Some(now + 1);
+        }
+        let ps_ar = self.ps_port.as_ref().and_then(|p| p.ar.next_ready_at());
+        [
+            self.service.next_ready_at(),
+            self.b_pipe.next_ready_at(),
+            ps_ar,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     fn drain_b(&mut self, now: Cycle, port: &mut AxiPort) -> bool {

@@ -188,6 +188,13 @@ impl<T> TimedFifo<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.entries.iter().map(|(_, item)| item)
     }
+
+    /// The cycle at which the head element becomes (or became) visible,
+    /// or `None` if the queue is empty. Used by event-horizon scheduling
+    /// to compute the earliest cycle anything new can happen.
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.entries.front().map(|(ready_at, _)| *ready_at)
+    }
 }
 
 /// A bounded FIFO whose entries each carry their *own* delay, fixed at
@@ -279,6 +286,12 @@ impl<T> DelayQueue<T> {
     /// Removes every element (synchronous reset).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// The cycle at which the head element becomes (or became) visible,
+    /// or `None` if the queue is empty.
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.entries.front().map(|(ready_at, _)| *ready_at)
     }
 }
 

@@ -12,11 +12,31 @@ pub trait Component {
     /// changed (a beat moved, a counter advanced toward an observable
     /// event) — used for deadlock detection.
     fn tick(&mut self, now: Cycle) -> bool;
+
+    /// Event-horizon hint: the earliest future cycle at which this
+    /// component could possibly make progress or change observable
+    /// state, assuming no external input arrives before then.
+    ///
+    /// The contract is asymmetric: a component may *under-promise*
+    /// (return a cycle earlier than its true next event — the scheduler
+    /// merely wakes it up for nothing), but must never *over-promise*
+    /// (return a cycle later than its true next event, which would let
+    /// the scheduler skip state changes). `None` means "purely
+    /// reactive": nothing will happen until some other component feeds
+    /// this one. The default of `Some(now + 1)` reproduces plain
+    /// cycle-by-cycle stepping and is always safe.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
 }
 
 impl<T: Component + ?Sized> Component for Box<T> {
     fn tick(&mut self, now: Cycle) -> bool {
         (**self).tick(now)
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        (**self).next_event(now)
     }
 }
 

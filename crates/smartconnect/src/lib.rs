@@ -426,6 +426,32 @@ impl Component for SmartConnect {
         progress |= self.return_paths(now);
         progress
     }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Every state transition is gated on some internal queue's head
+        // becoming visible, so the earliest ready-at across all of them
+        // is a sound horizon; with everything empty the model is purely
+        // reactive.
+        let pipes = self
+            .ar_pipes
+            .iter()
+            .map(TimedFifo::next_ready_at)
+            .chain(self.aw_pipes.iter().map(TimedFifo::next_ready_at))
+            .chain(self.w_pipes.iter().map(TimedFifo::next_ready_at));
+        self.slave_ports
+            .iter()
+            .map(AxiPort::next_ready_at)
+            .chain(pipes)
+            .chain([
+                self.grant_ar.next_ready_at(),
+                self.grant_aw.next_ready_at(),
+                self.r_pipe.next_ready_at(),
+                self.b_pipe.next_ready_at(),
+                self.mem_port.next_ready_at(),
+            ])
+            .flatten()
+            .min()
+    }
 }
 
 impl AxiInterconnect for SmartConnect {

@@ -23,7 +23,7 @@ const PERIOD: u32 = 2_000;
 fn main() {
     let hc = HyperConnect::new(HcConfig::new(3));
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let mut hv = Hypervisor::new(bus, HC_BASE).expect("device present");
     hv.hc().set_period(PERIOD).unwrap();
     // Zero tolerance: one structured violation decouples the port.

@@ -20,7 +20,7 @@ const RUN_CYCLES: u64 = 30_000_000; // 200 ms at 150 MHz
 fn build_system() -> (SocSystem<HyperConnect>, Hypervisor) {
     let hc = HyperConnect::new(HcConfig::new(2));
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let hypervisor = Hypervisor::new(bus, HC_BASE).expect("device present");
 
     let mut sys = SocSystem::new(hc, MemoryController::new(MemConfig::zcu102()));

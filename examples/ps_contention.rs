@@ -24,7 +24,7 @@ const WINDOW: u64 = 3_000_000; // 20 ms at 150 MHz
 fn run(label: &str, configure: impl FnOnce(&Hypervisor)) -> (u64, f64) {
     let hc = HyperConnect::new(HcConfig::new(2));
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let hv = Hypervisor::new(bus, HC_BASE).expect("device present");
     hv.hc().set_period(20_000).unwrap();
     configure(&hv);

@@ -16,7 +16,7 @@ fn main() {
 
     // The paper's contribution: a 2-port HyperConnect.
     let hc = HyperConnect::new(HcConfig::new(2));
-    let regs = hc.regs();
+    let regs = hc.regs().clone();
 
     let mut sys = SocSystem::new(hc, memory);
 

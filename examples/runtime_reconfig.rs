@@ -20,7 +20,7 @@ const PERIOD: u32 = 20_000;
 fn main() {
     let hc = HyperConnect::new(HcConfig::new(2));
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let mut hv = Hypervisor::new(bus, HC_BASE).expect("device present");
     hv.hc().set_period(PERIOD).unwrap();
 

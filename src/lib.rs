@@ -48,7 +48,7 @@
 
 mod system;
 
-pub use system::SocSystem;
+pub use system::{SchedulerMode, SocSystem};
 
 // Re-export the workspace crates under one roof for downstream users.
 pub use axi;

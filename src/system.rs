@@ -64,6 +64,22 @@ impl WaveProbe {
     }
 }
 
+/// How a [`SocSystem`] advances simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Event-horizon scheduling: when a full-system tick makes no
+    /// progress, jump `now` directly to the earliest cycle any component
+    /// promises activity at (its [`Component::next_event`] hint),
+    /// skipping the provably idle span. Cycle-exact with respect to
+    /// [`SchedulerMode::Naive`]: components may under-promise but never
+    /// over-promise, and no observable state advances on skipped cycles.
+    #[default]
+    FastForward,
+    /// Plain cycle-by-cycle stepping — the reference behavior the
+    /// equivalence tests pin fast-forward against.
+    Naive,
+}
+
 /// A simulated FPGA SoC: N accelerators, one interconnect, one memory
 /// controller.
 ///
@@ -98,6 +114,12 @@ pub struct SocSystem<I: AxiInterconnect> {
     last_job_counts: Vec<u64>,
     irq_events: Vec<PortId>,
     wave: Option<WaveProbe>,
+    scheduler: SchedulerMode,
+    /// Accelerators whose `is_done()` has been observed true — lets
+    /// `run_until_done` avoid re-scanning every accelerator every cycle.
+    was_done: Vec<bool>,
+    done_count: usize,
+    skipped_cycles: Cycle,
 }
 
 impl<I: AxiInterconnect> SocSystem<I> {
@@ -112,7 +134,28 @@ impl<I: AxiInterconnect> SocSystem<I> {
             last_job_counts: Vec::new(),
             irq_events: Vec::new(),
             wave: None,
+            scheduler: SchedulerMode::default(),
+            was_done: Vec::new(),
+            done_count: 0,
+            skipped_cycles: 0,
         }
+    }
+
+    /// Selects how the run loops advance time (default:
+    /// [`SchedulerMode::FastForward`]).
+    pub fn set_scheduler(&mut self, mode: SchedulerMode) {
+        self.scheduler = mode;
+    }
+
+    /// The active scheduler mode.
+    pub fn scheduler(&self) -> SchedulerMode {
+        self.scheduler
+    }
+
+    /// Idle cycles the fast-forward scheduler skipped over so far (zero
+    /// under [`SchedulerMode::Naive`]).
+    pub fn skipped_cycles(&self) -> Cycle {
+        self.skipped_cycles
     }
 
     /// Starts recording a beat-level waveform (VCD) at the FPGA-PS
@@ -145,8 +188,11 @@ impl<I: AxiInterconnect> SocSystem<I> {
             "all {} interconnect ports are taken",
             self.interconnect.num_ports()
         );
+        let done = accelerator.is_done();
         self.accelerators.push(accelerator);
         self.last_job_counts.push(0);
+        self.was_done.push(done);
+        self.done_count += done as usize;
         PortId(self.accelerators.len() - 1)
     }
 
@@ -202,10 +248,71 @@ impl<I: AxiInterconnect> SocSystem<I> {
         std::mem::take(&mut self.irq_events)
     }
 
+    /// Whether the fast-forward scheduler may skip cycles right now.
+    /// Waveform recording samples the boundary every cycle, so it forces
+    /// naive stepping.
+    fn fast_forward_active(&self) -> bool {
+        self.scheduler == SchedulerMode::FastForward && self.wave.is_none()
+    }
+
+    /// The earliest cycle any component could make progress at, given a
+    /// tick at `now` made none: the minimum over every component's
+    /// [`Component::next_event`] hint. `None` means the whole system is
+    /// reactive-only (nothing will ever happen without outside input).
+    fn horizon(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        let mut merge = |c: Option<Cycle>| {
+            horizon = match (horizon, c) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        for acc in &self.accelerators {
+            merge(acc.next_event(now));
+        }
+        merge(self.interconnect.next_event(now));
+        merge(self.memory.next_event(now));
+        horizon
+    }
+
+    /// Cheap digest of everything a run hook can mutate: the
+    /// interconnect's control-plane generation plus the lifetime
+    /// push/pop activity of every boundary port. All inputs are
+    /// monotonic counters, so the sum changes iff a hook moved a beat or
+    /// reconfigured the control plane.
+    fn mutation_fingerprint(&mut self) -> u64 {
+        let mut fp = self.interconnect.config_generation();
+        for i in 0..self.interconnect.num_ports() {
+            fp = fp.wrapping_add(self.interconnect.port(i).lifetime_activity());
+        }
+        fp = fp.wrapping_add(self.interconnect.mem_port().lifetime_activity());
+        if let Some(ps) = self.memory.ps_port() {
+            fp = fp.wrapping_add(ps.lifetime_activity());
+        }
+        fp
+    }
+
+    /// After a no-progress tick at `t`, the cycle to resume ticking at:
+    /// the system horizon clamped to `[t + 1, bound]` (`bound` when every
+    /// component is reactive-only).
+    fn skip_target(&mut self, t: Cycle, bound: Cycle) -> Cycle {
+        match self.horizon(t) {
+            Some(e) => e.max(t + 1).min(bound),
+            None => bound,
+        }
+    }
+
     /// Runs for exactly `cycles` cycles.
     pub fn run_for(&mut self, cycles: Cycle) {
-        for _ in 0..cycles {
-            self.tick(self.now);
+        let end = self.now + cycles;
+        while self.now < end {
+            let t = self.now;
+            let progress = self.tick(t);
+            if !progress && self.fast_forward_active() {
+                let target = self.skip_target(t, end);
+                self.skipped_cycles += target - self.now;
+                self.now = target;
+            }
         }
     }
 
@@ -216,26 +323,55 @@ impl<I: AxiInterconnect> SocSystem<I> {
     /// hook polls health/watchdog registers over the modeled AXI-Lite
     /// bus at whatever rate it likes and the system never needs to know
     /// the hypervisor exists.
+    ///
+    /// Under [`SchedulerMode::FastForward`] the hook keeps its exact
+    /// cadence — it is invoked once per cycle even across skipped spans
+    /// (only the known-no-op ticks are elided). After each invocation a
+    /// mutation fingerprint detects hooks that move beats or rewrite
+    /// control registers, and ticking resumes immediately when one does.
     pub fn run_for_with(&mut self, cycles: Cycle, mut hook: impl FnMut(Cycle, &mut Self)) {
-        for _ in 0..cycles {
-            let at = self.now;
-            self.tick(at);
-            hook(at, self);
+        let end = self.now + cycles;
+        while self.now < end {
+            let t = self.now;
+            let progress = self.tick(t);
+            if progress || !self.fast_forward_active() {
+                hook(t, self);
+                continue;
+            }
+            let target = self.skip_target(t, end);
+            let fingerprint = self.mutation_fingerprint();
+            hook(t, self);
+            while self.now < target && self.mutation_fingerprint() == fingerprint {
+                let skipped = self.now;
+                self.now = skipped + 1;
+                self.skipped_cycles += 1;
+                hook(skipped, self);
+            }
         }
     }
 
     /// Runs until every finite accelerator reports done (at most
     /// `max_cycles`). Returns the outcome.
+    ///
+    /// Completion is tracked incrementally (a done-count updated when an
+    /// accelerator's completion is first observed) rather than by
+    /// re-scanning every accelerator each cycle.
     pub fn run_until_done(&mut self, max_cycles: Cycle) -> sim::RunOutcome {
         let deadline = self.now + max_cycles;
         loop {
-            if self.accelerators.iter().all(|a| a.is_done()) {
+            if self.done_count == self.accelerators.len() {
                 return sim::RunOutcome::Done(self.now);
             }
             if self.now >= deadline {
                 return sim::RunOutcome::CycleLimit(self.now);
             }
-            self.tick(self.now);
+            let t = self.now;
+            let progress = self.tick(t);
+            if !progress && self.fast_forward_active() {
+                let target = self.skip_target(t, deadline);
+                self.skipped_cycles += target - self.now;
+                self.now = target;
+            }
         }
     }
 
@@ -257,6 +393,10 @@ impl<I: AxiInterconnect> Component for SocSystem<I> {
             for _ in self.last_job_counts[i]..jobs {
                 self.irq_events.push(PortId(i));
             }
+            if !self.was_done[i] && acc.is_done() {
+                self.was_done[i] = true;
+                self.done_count += 1;
+            }
             self.last_job_counts[i] = jobs;
         }
         progress |= self.interconnect.tick(now);
@@ -266,6 +406,14 @@ impl<I: AxiInterconnect> Component for SocSystem<I> {
         progress |= self.memory.tick(now, self.interconnect.mem_port());
         self.now = now + 1;
         progress
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.wave.is_some() {
+            // The waveform probe samples the boundary every cycle.
+            return Some(now + 1);
+        }
+        self.horizon(now)
     }
 }
 

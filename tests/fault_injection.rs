@@ -26,7 +26,7 @@ const PERIOD: u32 = 2_000;
 /// the AXI-Lite handle stays shared afterwards.
 fn boot_hypervisor(hc: &HyperConnect) -> Hypervisor {
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let hv = Hypervisor::new(bus, HC_BASE).unwrap();
     hv.hc().set_period(PERIOD).unwrap();
     hv

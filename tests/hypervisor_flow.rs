@@ -32,7 +32,7 @@ fn integration_then_runtime_management() {
     // --- boot: the hypervisor probes and owns the control interface.
     let hc = HyperConnect::new(HcConfig::new(2));
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let mut hv = Hypervisor::new(bus, HC_BASE).unwrap();
     let crit = hv.create_domain("critical", Criticality::Safety);
     let best = hv.create_domain("untrusted", Criticality::BestEffort);
@@ -111,7 +111,7 @@ fn integration_then_runtime_management() {
 fn per_domain_counters_match_device_counters() {
     let hc = HyperConnect::new(HcConfig::new(2));
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let hv = Hypervisor::new(bus, HC_BASE).unwrap();
     let mut sys = SocSystem::new(hc, MemoryController::new(MemConfig::zcu102()));
     sys.add_accelerator(Box::new(Dma::new(

@@ -19,7 +19,7 @@ const REGION: u64 = 0x0100_0000; // 16 MiB per port
 fn hv_system(budgets: &[u32], period: u32) -> (SocSystem<HyperConnect>, Hypervisor) {
     let hc = HyperConnect::new(HcConfig::new(budgets.len()));
     let mut bus = LiteBus::new();
-    bus.map(HC_BASE, 0x1000, hc.regs());
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
     let hv = Hypervisor::new(bus, HC_BASE).unwrap();
     hv.hc().set_period(period).unwrap();
     for (p, &b) in budgets.iter().enumerate() {

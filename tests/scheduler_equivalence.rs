@@ -1,0 +1,452 @@
+//! Scheduler-equivalence suite: the event-horizon fast-forward
+//! scheduler must be *observationally identical* to naive per-cycle
+//! stepping. Every scenario here runs twice with the same seeds — once
+//! under `SchedulerMode::Naive`, once under `SchedulerMode::FastForward`
+//! — and the two runs must produce byte-identical fingerprints: cycle
+//! counts, per-master completions, memory-side service counters,
+//! protocol-monitor tallies and structured violation logs.
+//!
+//! The suite also re-pins the Fig. 3(a) channel-latency goldens (the
+//! paper's d_AR = d_AW = 4, d_R = d_W = d_B = 2 for the HyperConnect),
+//! so a scheduler or component-hint change that warps timing is caught
+//! at the source, and asserts that fast-forward actually skips cycles
+//! on idle-heavy workloads (the optimization is live, not vacuous).
+
+use axi::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+use axi::lite::LiteBus;
+use axi::types::{AxiId, BurstSize, PortId};
+use axi::AxiInterconnect;
+use axi_hyperconnect::{SchedulerMode, SocSystem};
+use ha::chaidnn::{Chaidnn, ChaidnnConfig, Layer};
+use ha::dma::{Dma, DmaConfig};
+use ha::fault::WlastViolator;
+use ha::traffic::{BandwidthStealer, PeriodicReader, RandomTraffic};
+use hyperconnect::{HcConfig, HyperConnect};
+use hypervisor::{Hypervisor, WatchdogPolicy};
+use mem::{MemConfig, MemoryController};
+use sim::{Component, Cycle};
+use smartconnect::{ScConfig, SmartConnect};
+
+/// A byte-exact fingerprint of everything observable after a run.
+/// Debug-formats the violation log so even diagnostic strings and
+/// cycle stamps must match between schedulers.
+fn fingerprint<I: AxiInterconnect>(sys: &SocSystem<I>, violations: &str) -> String {
+    let stats = sys.memory().stats();
+    let mut fp = format!("now={}", sys.now());
+    for i in 0..sys.num_accelerators() {
+        fp.push_str(&format!(
+            " {}={}",
+            sys.accelerator(i).name(),
+            sys.accelerator(i).jobs_completed()
+        ));
+    }
+    fp.push_str(&format!(
+        " mem=[{} {} {} {} {} {}]",
+        stats.reads_served,
+        stats.writes_served,
+        stats.beats_served,
+        stats.bytes_served,
+        stats.busy_cycles,
+        stats.error_responses,
+    ));
+    if let Some(monitor) = sys.memory().monitor() {
+        fp.push_str(&format!(
+            " mon=[{} {} {}]",
+            monitor.reads_completed(),
+            monitor.writes_completed(),
+            monitor.errors().len(),
+        ));
+    }
+    fp.push_str(" violations=");
+    fp.push_str(violations);
+    fp
+}
+
+/// The four-master soak scenario from `tests/stress.rs`, parameterized
+/// by scheduler mode.
+fn stress<I: AxiInterconnect>(interconnect: I, mode: SchedulerMode, cycles: u64) -> SocSystem<I> {
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.attach_monitor();
+    let mut sys = SocSystem::new(interconnect, memory);
+    sys.set_scheduler(mode);
+    sys.add_accelerator(Box::new(RandomTraffic::new(
+        "rnd0",
+        0x1000_0000,
+        1 << 20,
+        BurstSize::B16,
+        64,
+        10,
+        11,
+    )));
+    sys.add_accelerator(Box::new(BandwidthStealer::new(
+        "steal",
+        0x3000_0000,
+        1 << 20,
+        256,
+        BurstSize::B16,
+    )));
+    sys.add_accelerator(Box::new(PeriodicReader::new(
+        "periodic",
+        0x5000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+        100,
+    )));
+    sys.add_accelerator(Box::new(RandomTraffic::new(
+        "rnd1",
+        0x7000_0000,
+        1 << 20,
+        BurstSize::B4,
+        32,
+        50,
+        23,
+    )));
+    sys.run_for(cycles);
+    sys
+}
+
+#[test]
+fn stress_suite_fingerprints_identical() {
+    const CYCLES: u64 = 300_000;
+    let naive = stress(
+        HyperConnect::new(HcConfig::new(4)),
+        SchedulerMode::Naive,
+        CYCLES,
+    );
+    let fast = stress(
+        HyperConnect::new(HcConfig::new(4)),
+        SchedulerMode::FastForward,
+        CYCLES,
+    );
+    let hc_violations = |sys: &SocSystem<HyperConnect>| {
+        format!(
+            "{:?}",
+            (0..4)
+                .map(|i| sys.interconnect_ref().violations(i))
+                .collect::<Vec<_>>()
+        )
+    };
+    assert_eq!(
+        fingerprint(&naive, &hc_violations(&naive)),
+        fingerprint(&fast, &hc_violations(&fast)),
+        "HyperConnect stress run diverged between schedulers"
+    );
+
+    let naive = stress(
+        SmartConnect::new(ScConfig::new(4)),
+        SchedulerMode::Naive,
+        CYCLES,
+    );
+    let fast = stress(
+        SmartConnect::new(ScConfig::new(4)),
+        SchedulerMode::FastForward,
+        CYCLES,
+    );
+    assert_eq!(
+        fingerprint(&naive, "[]"),
+        fingerprint(&fast, "[]"),
+        "SmartConnect stress run diverged between schedulers"
+    );
+}
+
+/// The fault-injection scenario from `tests/fault_injection.rs`: a
+/// WLAST-corrupting writer between two periodic victims, with the
+/// hypervisor watchdog polling through a `run_for_with` hook. The
+/// violation log, the decoupling cycle and the hook cadence must all
+/// be identical under both schedulers.
+fn fault_run(mode: SchedulerMode) -> (String, Option<Cycle>, u64) {
+    const HC_BASE: u64 = 0xA000_0000;
+    let hc = HyperConnect::new(HcConfig::new(3));
+    let mut bus = LiteBus::new();
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
+    let mut hv = Hypervisor::new(bus, HC_BASE).unwrap();
+    hv.hc().set_period(2_000).unwrap();
+    hv.set_watchdog_policy(
+        PortId(1),
+        WatchdogPolicy {
+            violations_allowed: 0,
+            outstanding_allowed: None,
+        },
+    );
+
+    let mut sys = SocSystem::new(hc, MemoryController::new(MemConfig::zcu102()));
+    sys.set_scheduler(mode);
+    sys.add_accelerator(Box::new(PeriodicReader::new(
+        "victim_a",
+        0x1000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+        40,
+    )));
+    sys.add_accelerator(Box::new(WlastViolator::new(
+        "faulty",
+        0x2000_0000,
+        16,
+        BurstSize::B16,
+    )));
+    sys.add_accelerator(Box::new(PeriodicReader::new(
+        "victim_b",
+        0x3000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+        40,
+    )));
+
+    let mut decoupled_at: Option<Cycle> = None;
+    let mut hook_calls = 0u64;
+    sys.run_for_with(40_000, |now, _sys| {
+        hook_calls += 1;
+        if now % 100 != 0 {
+            return;
+        }
+        let events = hv.poll_watchdog().unwrap();
+        if decoupled_at.is_none() && !events.is_empty() {
+            decoupled_at = Some(now);
+        }
+    });
+
+    let violations = format!(
+        "{:?}",
+        (0..3)
+            .map(|i| sys.interconnect_ref().violations(i))
+            .collect::<Vec<_>>()
+    );
+    (fingerprint(&sys, &violations), decoupled_at, hook_calls)
+}
+
+#[test]
+fn fault_suite_violation_logs_byte_identical() {
+    let (fp_naive, decoupled_naive, hooks_naive) = fault_run(SchedulerMode::Naive);
+    let (fp_fast, decoupled_fast, hooks_fast) = fault_run(SchedulerMode::FastForward);
+    assert_eq!(fp_naive, fp_fast, "fault run diverged between schedulers");
+    assert_eq!(decoupled_naive, decoupled_fast, "decoupling cycle moved");
+    // The hook must keep exact per-cycle cadence even across skips.
+    assert_eq!(hooks_naive, 40_000);
+    assert_eq!(hooks_fast, 40_000);
+    // Sanity: the scenario actually reported the fault.
+    assert!(fp_naive.contains("WlastMismatch"), "{fp_naive}");
+    assert!(decoupled_naive.is_some(), "watchdog never fired");
+}
+
+/// Compute-heavy DNN frames: long bus-idle stretches that the
+/// fast-forward scheduler must skip without moving the completion
+/// cycle of `run_until_done` by even one cycle.
+fn chaidnn_run(mode: SchedulerMode) -> (SocSystem<HyperConnect>, Cycle, bool) {
+    let layers = vec![
+        Layer {
+            name: "conv1",
+            weight_bytes: 4 << 10,
+            input_bytes: 2 << 10,
+            output_bytes: 2 << 10,
+            compute_cycles: 20_000,
+        },
+        Layer {
+            name: "fc",
+            weight_bytes: 8 << 10,
+            input_bytes: 1 << 10,
+            output_bytes: 512,
+            compute_cycles: 35_000,
+        },
+    ];
+    let dnn = Chaidnn::new(
+        "dnn",
+        layers,
+        ChaidnnConfig {
+            frames: Some(2),
+            ..ChaidnnConfig::default()
+        },
+    );
+    let mut sys = SocSystem::new(
+        HyperConnect::new(HcConfig::new(1)),
+        MemoryController::new(MemConfig::zcu102()),
+    );
+    sys.set_scheduler(mode);
+    sys.add_accelerator(Box::new(dnn));
+    let outcome = sys.run_until_done(10_000_000);
+    let done = outcome.is_done();
+    let now = sys.now();
+    (sys, now, done)
+}
+
+#[test]
+fn chaidnn_completion_cycle_exact_and_compute_skipped() {
+    let (naive_sys, naive_now, naive_done) = chaidnn_run(SchedulerMode::Naive);
+    let (fast_sys, fast_now, fast_done) = chaidnn_run(SchedulerMode::FastForward);
+    assert!(naive_done && fast_done, "DNN did not finish");
+    assert_eq!(naive_now, fast_now, "completion cycle moved");
+    assert_eq!(fingerprint(&naive_sys, "[]"), fingerprint(&fast_sys, "[]"));
+    assert_eq!(naive_sys.skipped_cycles(), 0);
+    // Four compute phases of 20k/35k cycles each: the fast path must
+    // have skipped the bulk of them.
+    assert!(
+        fast_sys.skipped_cycles() > 100_000,
+        "fast-forward only skipped {} cycles",
+        fast_sys.skipped_cycles()
+    );
+}
+
+/// Idle-heavy periodic traffic: a short burst every 5 000 cycles. This
+/// is the scenario class the optimization targets; equivalence must
+/// hold *and* the skip counter must show the scheduler is live.
+#[test]
+fn idle_heavy_periodic_equivalence_with_skips() {
+    let run = |mode: SchedulerMode| {
+        let mut sys = SocSystem::new(
+            HyperConnect::new(HcConfig::new(1)),
+            MemoryController::new(MemConfig::zcu102()),
+        );
+        sys.set_scheduler(mode);
+        sys.add_accelerator(Box::new(PeriodicReader::new(
+            "sparse",
+            0x1000_0000,
+            1 << 20,
+            16,
+            BurstSize::B16,
+            5_000,
+        )));
+        sys.run_for(1_000_000);
+        sys
+    };
+    let naive = run(SchedulerMode::Naive);
+    let fast = run(SchedulerMode::FastForward);
+    assert_eq!(fingerprint(&naive, "[]"), fingerprint(&fast, "[]"));
+    assert!(
+        fast.skipped_cycles() > 500_000,
+        "idle-heavy run only skipped {} of 1M cycles",
+        fast.skipped_cycles()
+    );
+}
+
+/// `run_until_done` must report the same completion cycle under both
+/// schedulers for a plain DMA workload, and an attached waveform probe
+/// must force cycle-exact stepping (no skips while sampling).
+#[test]
+fn run_until_done_and_waveform_disable_skipping() {
+    let run = |mode: SchedulerMode, wave: bool| {
+        let mut sys = SocSystem::new(
+            HyperConnect::new(HcConfig::new(2)),
+            MemoryController::new(MemConfig::zcu102()),
+        );
+        sys.set_scheduler(mode);
+        if wave {
+            sys.attach_waveform();
+        }
+        sys.add_accelerator(Box::new(Dma::new(
+            "dma0",
+            DmaConfig {
+                jobs: Some(3),
+                ..DmaConfig::reader(64 * 1024, 16, BurstSize::B16)
+            },
+        )));
+        let outcome = sys.run_until_done(5_000_000);
+        assert!(outcome.is_done());
+        sys
+    };
+    let naive = run(SchedulerMode::Naive, false);
+    let fast = run(SchedulerMode::FastForward, false);
+    assert_eq!(naive.now(), fast.now(), "completion cycle moved");
+    assert_eq!(fingerprint(&naive, "[]"), fingerprint(&fast, "[]"));
+
+    let traced = run(SchedulerMode::FastForward, true);
+    assert_eq!(traced.now(), naive.now());
+    assert_eq!(
+        traced.skipped_cycles(),
+        0,
+        "waveform capture must force naive stepping"
+    );
+}
+
+/// Re-pins the Fig. 3(a) channel-latency goldens at the source: the
+/// HyperConnect's per-channel propagation latencies (paper, ZCU102:
+/// d_AR = d_AW = 4 cycles, d_R = d_W = d_B = 2 cycles) measured with
+/// the same beat-injection probes the bench harness uses. A component
+/// `next_event` hint that warps pipeline timing shows up here.
+#[test]
+fn fig3a_channel_latency_goldens_hold() {
+    const PROBE_LIMIT: Cycle = 200;
+    fn tick_until(
+        hc: &mut HyperConnect,
+        start: Cycle,
+        mut probe: impl FnMut(&mut HyperConnect, Cycle) -> bool,
+    ) -> Cycle {
+        for now in start..start + PROBE_LIMIT {
+            hc.tick(now);
+            if probe(hc, now) {
+                return now;
+            }
+        }
+        panic!("probe not observed within {PROBE_LIMIT} cycles");
+    }
+
+    // d_AR: inject at the slave port, observe at the master port.
+    let mut hc = HyperConnect::new(HcConfig::new(2));
+    hc.port(0)
+        .ar
+        .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    let d_ar = tick_until(&mut hc, 0, |hc, now| hc.mem_port().ar.has_ready(now));
+    assert_eq!(d_ar, 4, "d_AR golden");
+
+    // d_AW.
+    let mut hc = HyperConnect::new(HcConfig::new(2));
+    hc.port(0)
+        .aw
+        .push(0, AwBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    let d_aw = tick_until(&mut hc, 0, |hc, now| hc.mem_port().aw.has_ready(now));
+    assert_eq!(d_aw, 4, "d_AW golden");
+
+    // d_R: establish routing with a read, then time a data beat.
+    let mut hc = HyperConnect::new(HcConfig::new(2));
+    hc.port(0)
+        .ar
+        .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    let granted = tick_until(&mut hc, 0, |hc, now| {
+        hc.mem_port().ar.pop_ready(now).is_some()
+    });
+    let inject = granted + 1;
+    hc.mem_port()
+        .r
+        .push(inject, RBeat::new(AxiId(0), vec![0; 4], true))
+        .unwrap();
+    let seen = tick_until(&mut hc, inject, |hc, now| hc.port(0).r.has_ready(now));
+    assert_eq!(seen - inject, 2, "d_R golden");
+
+    // d_W: steady-state write-data beat after routing is established.
+    let mut hc = HyperConnect::new(HcConfig::new(2));
+    hc.port(0)
+        .aw
+        .push(0, AwBeat::new(0x100, 2, BurstSize::B4))
+        .unwrap();
+    hc.port(0).w.push(0, WBeat::new(vec![0; 4], false)).unwrap();
+    let first = tick_until(&mut hc, 0, |hc, now| {
+        hc.mem_port().w.pop_ready(now).is_some()
+    });
+    let inject = first + 1;
+    hc.port(0)
+        .w
+        .push(inject, WBeat::new(vec![0; 4], true))
+        .unwrap();
+    let seen = tick_until(&mut hc, inject, |hc, now| hc.mem_port().w.has_ready(now));
+    assert_eq!(seen - inject, 2, "d_W golden");
+
+    // d_B: complete the write's routing, then inject the response.
+    let mut hc = HyperConnect::new(HcConfig::new(2));
+    hc.port(0)
+        .aw
+        .push(0, AwBeat::new(0x100, 1, BurstSize::B4))
+        .unwrap();
+    hc.port(0).w.push(0, WBeat::new(vec![0; 4], true)).unwrap();
+    let drained = tick_until(&mut hc, 0, |hc, now| {
+        hc.mem_port().aw.pop_ready(now);
+        hc.mem_port().w.pop_ready(now).is_some()
+    });
+    let inject = drained + 1;
+    hc.mem_port().b.push(inject, BBeat::new(AxiId(0))).unwrap();
+    let seen = tick_until(&mut hc, inject, |hc, now| hc.port(0).b.has_ready(now));
+    assert_eq!(seen - inject, 2, "d_B golden");
+}
