@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI gate for the observability metrics snapshot.
+
+Usage: check_metrics_schema.py SNAPSHOT.json GOLDEN
+
+Validates that
+
+1. the snapshot parses as JSON and carries the expected `schema` tag,
+2. its flattened set of key paths (array indices collapsed to `[]`)
+   matches the committed golden exactly — a field added, renamed or
+   dropped in `MetricsRegistry::to_json` / `BoundReport::to_json` /
+   `SocSystem::metrics_snapshot_json` shows up as a path diff, and
+3. the runtime bound monitor was enabled, actually checked traffic, and
+   recorded zero worst-case-latency violations.
+
+Exit code 0 on success, 1 with a readable diff otherwise. To bless an
+intentional schema change, regenerate the golden:
+
+    cargo run --release --example quickstart -- --metrics-json snap.json
+    python3 ci/check_metrics_schema.py snap.json --bless ci/metrics_schema.golden
+"""
+
+import json
+import sys
+
+EXPECTED_SCHEMA = "axi-hyperconnect/metrics-snapshot/v1"
+
+
+def key_paths(node, path=""):
+    """Flattens a JSON tree to leaf key paths; list indices become []."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from key_paths(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for value in node:
+            yield from key_paths(value, path + "[]")
+    else:
+        yield path
+
+
+def main():
+    if len(sys.argv) != 3 and not (len(sys.argv) == 4 and sys.argv[2] == "--bless"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    snapshot_path = sys.argv[1]
+    with open(snapshot_path, encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+
+    got = sorted(set(key_paths(snapshot)))
+    if sys.argv[2] == "--bless":
+        with open(sys.argv[3], "w", encoding="utf-8") as fh:
+            fh.write("\n".join(got) + "\n")
+        print(f"blessed {len(got)} key paths into {sys.argv[3]}")
+        return 0
+
+    failures = []
+    if snapshot.get("schema") != EXPECTED_SCHEMA:
+        failures.append(
+            f"schema tag {snapshot.get('schema')!r} != {EXPECTED_SCHEMA!r}"
+        )
+
+    with open(sys.argv[2], encoding="utf-8") as fh:
+        want = sorted(line.strip() for line in fh if line.strip())
+    missing = sorted(set(want) - set(got))
+    extra = sorted(set(got) - set(want))
+    for path in missing:
+        failures.append(f"missing key path: {path}")
+    for path in extra:
+        failures.append(f"unexpected key path: {path}")
+
+    monitor = snapshot.get("bound_monitor", {})
+    if monitor.get("enabled") is not True:
+        failures.append("bound monitor was not enabled")
+    elif monitor.get("checked_reads", 0) + monitor.get("checked_writes", 0) == 0:
+        failures.append("bound monitor checked no transactions")
+    elif monitor.get("violations", 0) != 0:
+        failures.append(
+            f"bound monitor recorded {monitor['violations']} violations "
+            f"(worst read {monitor.get('worst_read')} vs bound "
+            f"{monitor.get('read_bound')}, worst write "
+            f"{monitor.get('worst_write')} vs bound {monitor.get('write_bound')})"
+        )
+
+    if failures:
+        print(f"FAIL: {snapshot_path}", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {len(got)} key paths match, "
+        f"{monitor['checked_reads']} reads / {monitor['checked_writes']} writes "
+        "checked, 0 violations"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

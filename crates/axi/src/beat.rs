@@ -9,6 +9,21 @@
 //! * `issued_at` — the cycle the originating master issued the beat,
 //!   used to measure propagation latencies (the paper measures these with
 //!   a custom FPGA timer; the simulator reads them off the beats).
+//!
+//! The observability layer adds two more pieces of sim-only metadata:
+//!
+//! * `uid` — a unique per-transaction ID assigned by the interconnect at
+//!   ingest (0 = unobserved). Splitting propagates the parent's `uid` to
+//!   every sub-transaction, and the memory controller copies it from the
+//!   address beat into the matching R/B responses, so a transaction can
+//!   be followed hop by hop through the whole fabric.
+//! * `hopped_at` (R/B only) — the cycle the memory controller pushed the
+//!   response toward the interconnect, the reference point for measuring
+//!   the response channels' propagation latency.
+//!
+//! `uid` and `hopped_at` are deliberately *excluded* from R/B beat
+//! equality: they are observer bookkeeping, not payload, and harnesses
+//! comparing expected response beats must not have to predict them.
 
 use sim::Cycle;
 
@@ -34,6 +49,8 @@ pub struct ArBeat {
     pub tag: u64,
     /// Simulation-only issue timestamp.
     pub issued_at: Cycle,
+    /// Simulation-only observability transaction ID (0 = unobserved).
+    pub uid: u64,
 }
 
 impl ArBeat {
@@ -48,6 +65,7 @@ impl ArBeat {
             qos: 0,
             tag: 0,
             issued_at: 0,
+            uid: 0,
         }
     }
 
@@ -66,6 +84,12 @@ impl ArBeat {
     /// Sets the issue timestamp.
     pub fn with_issued_at(mut self, cycle: Cycle) -> Self {
         self.issued_at = cycle;
+        self
+    }
+
+    /// Sets the observability transaction ID.
+    pub fn with_uid(mut self, uid: u64) -> Self {
+        self.uid = uid;
         self
     }
 
@@ -94,6 +118,8 @@ pub struct AwBeat {
     pub tag: u64,
     /// Simulation-only issue timestamp.
     pub issued_at: Cycle,
+    /// Simulation-only observability transaction ID (0 = unobserved).
+    pub uid: u64,
 }
 
 impl AwBeat {
@@ -108,6 +134,7 @@ impl AwBeat {
             qos: 0,
             tag: 0,
             issued_at: 0,
+            uid: 0,
         }
     }
 
@@ -126,6 +153,12 @@ impl AwBeat {
     /// Sets the issue timestamp.
     pub fn with_issued_at(mut self, cycle: Cycle) -> Self {
         self.issued_at = cycle;
+        self
+    }
+
+    /// Sets the observability transaction ID.
+    pub fn with_uid(mut self, uid: u64) -> Self {
+        self.uid = uid;
         self
     }
 
@@ -214,7 +247,11 @@ impl WBeat {
 }
 
 /// A read-data (R) channel beat.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares protocol payload and the `tag`/`issued_at`
+/// measurement metadata, but *not* the observability fields `uid` and
+/// `hopped_at` (see the module docs).
+#[derive(Debug, Clone, Eq)]
 pub struct RBeat {
     /// Transaction ID (`RID`).
     pub id: AxiId,
@@ -229,6 +266,23 @@ pub struct RBeat {
     /// Simulation-only timestamp of the originating AR issue (for
     /// end-to-end latency measurement).
     pub issued_at: Cycle,
+    /// Simulation-only observability transaction ID (copied from the AR
+    /// beat; 0 = unobserved). Excluded from equality.
+    pub uid: u64,
+    /// Simulation-only cycle the memory controller emitted this beat
+    /// (response-channel latency reference). Excluded from equality.
+    pub hopped_at: Cycle,
+}
+
+impl PartialEq for RBeat {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.data == other.data
+            && self.resp == other.resp
+            && self.last == other.last
+            && self.tag == other.tag
+            && self.issued_at == other.issued_at
+    }
 }
 
 impl RBeat {
@@ -241,6 +295,8 @@ impl RBeat {
             last,
             tag: 0,
             issued_at: 0,
+            uid: 0,
+            hopped_at: 0,
         }
     }
 
@@ -261,10 +317,19 @@ impl RBeat {
         self.issued_at = cycle;
         self
     }
+
+    /// Sets the observability transaction ID.
+    pub fn with_uid(mut self, uid: u64) -> Self {
+        self.uid = uid;
+        self
+    }
 }
 
 /// A write-response (B) channel beat.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality excludes the observability fields `uid` and `hopped_at`,
+/// like [`RBeat`].
+#[derive(Debug, Clone, Copy, Eq)]
 pub struct BBeat {
     /// Transaction ID (`BID`).
     pub id: AxiId,
@@ -274,6 +339,21 @@ pub struct BBeat {
     pub tag: u64,
     /// Simulation-only timestamp of the originating AW issue.
     pub issued_at: Cycle,
+    /// Simulation-only observability transaction ID (copied from the AW
+    /// beat; 0 = unobserved). Excluded from equality.
+    pub uid: u64,
+    /// Simulation-only cycle the memory controller emitted this
+    /// response. Excluded from equality.
+    pub hopped_at: Cycle,
+}
+
+impl PartialEq for BBeat {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.resp == other.resp
+            && self.tag == other.tag
+            && self.issued_at == other.issued_at
+    }
 }
 
 impl BBeat {
@@ -284,6 +364,8 @@ impl BBeat {
             resp: Resp::Okay,
             tag: 0,
             issued_at: 0,
+            uid: 0,
+            hopped_at: 0,
         }
     }
 
@@ -302,6 +384,12 @@ impl BBeat {
     /// Sets the originating issue timestamp.
     pub fn with_issued_at(mut self, cycle: Cycle) -> Self {
         self.issued_at = cycle;
+        self
+    }
+
+    /// Sets the observability transaction ID.
+    pub fn with_uid(mut self, uid: u64) -> Self {
+        self.uid = uid;
         self
     }
 }
@@ -383,6 +471,30 @@ mod tests {
         assert!(!w.byte_enabled(3));
         // Out-of-range byte indices are never enabled.
         assert!(!w.byte_enabled(200));
+    }
+
+    #[test]
+    fn response_equality_ignores_observability_metadata() {
+        let mut a = RBeat::new(AxiId(1), vec![1, 2], true).with_tag(3);
+        let b = a.clone().with_uid(77);
+        a.hopped_at = 123;
+        assert_eq!(a, b, "uid/hopped_at must not affect R equality");
+        let mut x = BBeat::new(AxiId(2)).with_tag(9);
+        let y = x.with_uid(55);
+        x.hopped_at = 42;
+        assert_eq!(x, y, "uid/hopped_at must not affect B equality");
+        // Protocol payload still participates.
+        assert_ne!(a, b.with_tag(4));
+    }
+
+    #[test]
+    fn address_beats_carry_uid() {
+        let ar = ArBeat::new(0, 1, BurstSize::B4).with_uid(10);
+        let aw = AwBeat::new(0, 1, BurstSize::B4).with_uid(11);
+        assert_eq!(ar.uid, 10);
+        assert_eq!(aw.uid, 11);
+        // Unobserved beats default to uid 0.
+        assert_eq!(ArBeat::new(0, 1, BurstSize::B4).uid, 0);
     }
 
     #[test]

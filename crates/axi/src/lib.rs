@@ -17,7 +17,11 @@
 //! * [`lite`] — the AXI4-Lite control plane used by the hypervisor to
 //!   program memory-mapped register files;
 //! * [`checker`] — a protocol monitor that asserts channel-ordering
-//!   invariants during simulation.
+//!   invariants during simulation;
+//! * [`observe`] — transaction-level observability: per-hop stamp
+//!   events, the [`MetricsRegistry`] aggregating them, and the
+//!   bound-violation records a runtime monitor files against the
+//!   closed-form worst-case bounds.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@ pub mod beat;
 pub mod burst;
 pub mod checker;
 pub mod lite;
+pub mod observe;
 pub mod port;
 pub mod routing;
 pub mod txn;
@@ -46,5 +51,6 @@ pub mod types;
 
 pub use beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
 pub use checker::{Violation, ViolationKind};
+pub use observe::{BoundReport, BoundViolation, MetricsRegistry, ObsEvent};
 pub use port::{AxiInterconnect, AxiPort, PortConfig};
 pub use types::{AxiId, AxiVersion, BurstKind, BurstSize, PortId, Resp, TxnError};

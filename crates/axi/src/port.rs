@@ -194,6 +194,24 @@ pub trait AxiInterconnect: Component {
     fn config_generation(&self) -> u64 {
         0
     }
+
+    /// The transaction-level metrics registry, when observability is
+    /// enabled on this model; `None` otherwise (the default).
+    fn metrics(&self) -> Option<&crate::observe::MetricsRegistry> {
+        None
+    }
+
+    /// Bound violations recorded by this model's runtime bound monitor,
+    /// in detection order; empty when no monitor is armed (the default).
+    fn bound_violations(&self) -> &[crate::observe::BoundViolation] {
+        &[]
+    }
+
+    /// Summary of the runtime bound monitor's activity, when one is
+    /// armed; `None` otherwise (the default).
+    fn bound_report(&self) -> Option<crate::observe::BoundReport> {
+        None
+    }
 }
 
 impl<T: AxiInterconnect + ?Sized> AxiInterconnect for Box<T> {
@@ -214,6 +232,15 @@ impl<T: AxiInterconnect + ?Sized> AxiInterconnect for Box<T> {
     }
     fn config_generation(&self) -> u64 {
         (**self).config_generation()
+    }
+    fn metrics(&self) -> Option<&crate::observe::MetricsRegistry> {
+        (**self).metrics()
+    }
+    fn bound_violations(&self) -> &[crate::observe::BoundViolation] {
+        (**self).bound_violations()
+    }
+    fn bound_report(&self) -> Option<crate::observe::BoundReport> {
+        (**self).bound_report()
     }
 }
 

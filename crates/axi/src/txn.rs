@@ -147,6 +147,7 @@ impl ReadRequest {
             qos: 0,
             tag,
             issued_at: now,
+            uid: 0,
         }
     }
 }
@@ -270,6 +271,7 @@ impl WriteRequest {
             qos: 0,
             tag,
             issued_at: now,
+            uid: 0,
         };
         let mut wbeats = WBeat::stream(self.len, self.size, tag, fill);
         for w in &mut wbeats {

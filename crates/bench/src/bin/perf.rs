@@ -23,7 +23,9 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use axi::observe::BoundReport;
 use axi::types::BurstSize;
+use axi::AxiInterconnect;
 use axi_hyperconnect::{SchedulerMode, SocSystem};
 use bench::{fig3a, fig3b, fig4, fig5, Design};
 use ha::dma::{Dma, DmaConfig};
@@ -156,6 +158,41 @@ fn idle_heavy(mode: SchedulerMode, window: Cycle) -> (f64, u64, Cycle, u64) {
     )
 }
 
+/// The observability probe: the quickstart scenario (two 64 KiB-per-job
+/// DMAs behind a 2-port HyperConnect against `MemConfig::zcu102()`) run
+/// to completion with and without the metrics registry + runtime bound
+/// monitor armed — reporting the host-side cost of always-on
+/// observability and the bound monitor's verdict on real traffic.
+fn observed_probe(observe: bool) -> (f64, Cycle, Option<BoundReport>) {
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.memory_mut().fill_pattern(0x1000_0000, 64 * 1024);
+    let mut sys = SocSystem::new(HyperConnect::new(HcConfig::new(2)), memory);
+    if observe {
+        sys.enable_observability();
+    }
+    for (name, src, dst) in [
+        ("dma0", 0x1000_0000u64, 0x2000_0000u64),
+        ("dma1", 0x3000_0000, 0x3800_0000),
+    ] {
+        sys.add_accelerator(Box::new(Dma::new(
+            name,
+            DmaConfig {
+                src_base: src,
+                dst_base: dst,
+                read_bytes: 64 * 1024,
+                write_bytes: 64 * 1024,
+                jobs: Some(8),
+                ..DmaConfig::case_study()
+            },
+        )));
+    }
+    let t0 = Instant::now();
+    let outcome = sys.run_until_done(10_000_000);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(outcome.is_done(), "observability probe did not finish");
+    (wall_ms, sys.now(), sys.interconnect_ref().bound_report())
+}
+
 fn json_points(points: &[PointResult]) -> String {
     points
         .iter()
@@ -234,7 +271,19 @@ fn main() {
          vs fast-forward {ff_ms:.1} ms ({ff_cps:.2e} c/s) — {speedup:.1}x, {skipped} skipped"
     );
 
-    // 3. Figure sweeps on the parallel runner.
+    // 3. Observability probe: instrumented vs bare run of the same
+    // scenario, plus the runtime bound monitor's verdict.
+    let (base_ms, _, _) = observed_probe(false);
+    let (obs_ms, obs_cycles, report) = observed_probe(true);
+    let report = report.expect("observability armed");
+    let obs_overhead = obs_ms / base_ms.max(1e-9);
+    println!(
+        "observability ({obs_cycles} cycles): bare {base_ms:.1} ms vs observed {obs_ms:.1} ms \
+         ({obs_overhead:.2}x), {} reads / {} writes checked, {} violations",
+        report.checked_reads, report.checked_writes, report.violations
+    );
+
+    // 4. Figure sweeps on the parallel runner.
     let mut fig3b_points: Vec<Point> = Vec::new();
     for design in Design::BOTH {
         for bytes in fig3b::SIZES {
@@ -310,7 +359,7 @@ fn main() {
         );
     }
 
-    // 4. Emit BENCH_simulator.json.
+    // 5. Emit BENCH_simulator.json.
     let figures_json = [&fig3b_report, &fig4_report, &fig5_report]
         .iter()
         .map(|r| {
@@ -330,6 +379,7 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",");
+    let obs_report = report.to_json();
     let json = format!(
         "{{\n\
          \"schema\":\"axi-hyperconnect/bench-simulator/v1\",\n\
@@ -341,6 +391,10 @@ fn main() {
          \"naive_wall_ms\":{naive_ms:.3},\"naive_cycles_per_sec\":{naive_cps:.0},\
          \"fast_forward_wall_ms\":{ff_ms:.3},\"fast_forward_cycles_per_sec\":{ff_cps:.0},\
          \"skipped_cycles\":{skipped},\"speedup\":{speedup:.2}}},\n\
+         \"observability\":{{\"scenario\":\"quickstart 2x8 64 KiB DMA jobs vs zcu102, run to completion\",\
+         \"sim_cycles\":{obs_cycles},\
+         \"bare_wall_ms\":{base_ms:.3},\"observed_wall_ms\":{obs_ms:.3},\
+         \"overhead\":{obs_overhead:.3},\"bound_monitor\":{obs_report}}},\n\
          \"figures\":[{figures_json}],\n\
          \"peak_rss_kb\":{}\n\
          }}\n",
@@ -349,9 +403,21 @@ fn main() {
     std::fs::write(&out_path, json).expect("write BENCH_simulator.json");
     println!("wrote {out_path}");
 
-    // 5. Gates.
+    // 6. Gates.
     if !goldens_ok {
         eprintln!("FAIL: Fig. 3(a) channel-latency goldens regressed");
+        std::process::exit(1);
+    }
+    if report.violations > 0 {
+        eprintln!(
+            "FAIL: runtime bound monitor recorded {} violations (worst read {} vs bound {}, \
+             worst write {} vs bound {})",
+            report.violations,
+            report.worst_read,
+            report.read_bound,
+            report.worst_write,
+            report.write_bound
+        );
         std::process::exit(1);
     }
     if floor > 0.0 && ff_cps < floor {

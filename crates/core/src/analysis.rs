@@ -143,6 +143,69 @@ impl ServiceModel {
             + propagation::WRITE_TOTAL
     }
 
+    /// Worst-case number of equalized sub-transactions simultaneously in
+    /// flight downstream of the TS stages, *including* the analyzed
+    /// port's own: every port can hold `MAX_OUT` reads *and* `MAX_OUT`
+    /// writes outstanding at once, i.e. `2 × N × MAX_OUT`.
+    ///
+    /// This is the monitor-facing population bound: a sub-transaction
+    /// observed at its TS stage can find at most `max_in_flight_subs() −
+    /// 1` other subs already admitted ahead of it.
+    pub fn max_in_flight_subs(&self) -> u64 {
+        2 * self.num_ports as u64 * self.max_outstanding as u64
+    }
+
+    /// Worst-case cycles from a sub-transaction being *staged* at its TS
+    /// (observable as the `TsStaged` hop) to the delivery of its final
+    /// read-data beat at the slave port (`Delivered`), for use by the
+    /// runtime bound monitor.
+    ///
+    /// Derivation: at staging time at most `max_in_flight_subs() − 1`
+    /// other subs (reads and writes, all ports) are already admitted and
+    /// must drain ahead of it in the worst case; while it waits for its
+    /// own grant, one further arbitration round of
+    /// `max_interfering_txns()` newly staged subs can slip in ahead
+    /// (fixed-granularity round-robin admits at most one per other port
+    /// per round). Each drains in `occupancy()` steady-state cycles,
+    /// then the sub itself is served (`service_time()`), plus the
+    /// interconnect propagation total.
+    pub fn worst_case_staged_read_latency(&self) -> u64 {
+        let queued = self.max_in_flight_subs() - 1 + self.max_interfering_txns();
+        queued * self.occupancy() + self.service_time() + propagation::READ_TOTAL
+    }
+
+    /// Worst-case cycles from a write sub-transaction being *ready* at
+    /// its TS — AW staged **and** its last W beat buffered, whichever
+    /// is later — to the delivery of its B response at the slave port,
+    /// for the runtime bound monitor. The clock excludes master-side
+    /// data lag: a master may stage AW long before producing W beats,
+    /// and no interconnect bound can cover that. Same population
+    /// argument as
+    /// [`ServiceModel::worst_case_staged_read_latency`], plus three
+    /// write-specific terms:
+    ///
+    /// * **recycled-read overtaking** — a write enters the memory's
+    ///   in-order service queue only once its data is fully assembled
+    ///   there, and its W stream is serialized in grant order behind
+    ///   every other in-flight write (up to `N × MAX_OUT` transfers of
+    ///   `occupancy()` beats on the single W path). Reads admitted
+    ///   during that assembly window — at most one per `occupancy()`
+    ///   drained, since each needs a recycled outstanding slot — jump
+    ///   ahead of the write, adding up to `N × MAX_OUT` further jobs to
+    ///   its queue (the controller's write-starvation avoidance admits
+    ///   at most one more once the write is assembled);
+    /// * the sub's **own W-stream transfer**;
+    /// * the memory's **write-response latency**.
+    pub fn worst_case_staged_write_latency(&self) -> u64 {
+        let queued = self.max_in_flight_subs() - 1 + self.max_interfering_txns();
+        let write_population = self.num_ports as u64 * self.max_outstanding as u64;
+        (queued + write_population) * self.occupancy()
+            + self.occupancy() // own W-stream transfer
+            + self.service_time()
+            + self.write_resp_latency
+            + propagation::WRITE_TOTAL
+    }
+
     /// Minimum bytes per period guaranteed to a port with budget `b`
     /// sub-transactions per period of `t` cycles, with `bytes_per_beat`
     /// wide data beats — the reservation guarantee of Pagani et al.
@@ -244,6 +307,28 @@ mod tests {
                 + m.write_resp_latency
                 + (propagation::WRITE_TOTAL - propagation::READ_TOTAL)
         );
+    }
+
+    #[test]
+    fn staged_bounds_pinned_arithmetic() {
+        // The stress scenario: 4 ports, K=4 outstanding, 16-beat
+        // nominal, 22-cycle memory.
+        let m = ServiceModel::hyperconnect(4, 16, 22);
+        assert_eq!(m.max_in_flight_subs(), 32);
+        // (32 - 1 + 3) * 16 + (22 + 16) + 6.
+        assert_eq!(m.worst_case_staged_read_latency(), 34 * 16 + 38 + 6);
+        assert_eq!(m.worst_case_staged_read_latency(), 588);
+        // Writes add the recycled-read overtaking window (N*K = 16 jobs
+        // of 16 beats), own W transfer (16), B latency (4) and the
+        // longer propagation path (8 vs 6).
+        assert_eq!(
+            m.worst_case_staged_write_latency(),
+            m.worst_case_staged_read_latency() + 16 * 16 + 16 + 4 + 2
+        );
+        assert_eq!(m.worst_case_staged_write_latency(), 866);
+        // The staged bound dominates the per-port in-flight bound: it
+        // accounts for the whole admitted population, not one port's.
+        assert!(m.worst_case_staged_read_latency() >= m.worst_case_read_latency());
     }
 
     #[test]

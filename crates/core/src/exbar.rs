@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 
 use axi::beat::{ArBeat, AwBeat, WBeat};
+use axi::observe::{Hop, ObsChannel, ObsEvent};
 use axi::routing::{RouteEntry, RouteQueue};
 use axi::AxiPort;
 use sim::{Cycle, TimedFifo};
@@ -69,6 +70,10 @@ pub struct Exbar {
     /// Strobe-disabled filler beats synthesized for decoupled ports.
     firewall_beats: u64,
     stats: ExbarStats,
+    /// Whether hop events are being emitted (observability).
+    obs_enabled: bool,
+    /// Hop events buffered for the owning interconnect to drain.
+    obs_events: Vec<ObsEvent>,
 }
 
 impl Exbar {
@@ -94,7 +99,26 @@ impl Exbar {
                 ar_grants: vec![0; num_ports],
                 aw_grants: vec![0; num_ports],
             },
+            obs_enabled: false,
+            obs_events: Vec::new(),
         }
+    }
+
+    /// Starts emitting [`ObsEvent`]s at grant and memory-visibility
+    /// sites. Events accumulate until drained with
+    /// [`Exbar::drain_obs_events`].
+    pub fn enable_observability(&mut self) {
+        self.obs_enabled = true;
+    }
+
+    /// Moves all buffered hop events into `into`, preserving order.
+    pub fn drain_obs_events(&mut self, into: &mut Vec<ObsEvent>) {
+        into.append(&mut self.obs_events);
+    }
+
+    /// Whether any hop events are waiting to be drained.
+    pub fn has_obs_events(&self) -> bool {
+        !self.obs_events.is_empty()
     }
 
     /// Grant counters.
@@ -158,6 +182,19 @@ impl Exbar {
             return false;
         };
         let sub = ts[port].ar_stage.pop_ready(now).expect("checked ready");
+        if self.obs_enabled {
+            self.obs_events.push(ObsEvent {
+                uid: sub.beat.uid,
+                port: Some(port),
+                channel: ObsChannel::Ar,
+                hop: Hop::ExbarGranted,
+                cycle: now,
+                ref_cycle: sub.beat.issued_at,
+                bytes: sub.beat.total_bytes(),
+                sub_end: sub.final_sub,
+                txn_end: false,
+            });
+        }
         self.read_routes
             .push(RouteEntry {
                 port,
@@ -182,6 +219,19 @@ impl Exbar {
             return false;
         };
         let sub = ts[port].aw_stage.pop_ready(now).expect("checked ready");
+        if self.obs_enabled {
+            self.obs_events.push(ObsEvent {
+                uid: sub.beat.uid,
+                port: Some(port),
+                channel: ObsChannel::Aw,
+                hop: Hop::ExbarGranted,
+                cycle: now,
+                ref_cycle: sub.beat.issued_at,
+                bytes: sub.beat.total_bytes(),
+                sub_end: sub.final_sub,
+                txn_end: false,
+            });
+        }
         self.b_routes
             .push(RouteEntry {
                 port,
@@ -207,11 +257,37 @@ impl Exbar {
         let mut progress = false;
         if self.ar_stage.has_ready(now) && !mem_port.ar.is_full() {
             let beat = self.ar_stage.pop_ready(now).expect("checked ready");
+            if self.obs_enabled {
+                self.obs_events.push(ObsEvent {
+                    uid: beat.uid,
+                    port: None,
+                    channel: ObsChannel::Ar,
+                    hop: Hop::MemVisible,
+                    cycle: now,
+                    ref_cycle: beat.issued_at,
+                    bytes: beat.total_bytes(),
+                    sub_end: false,
+                    txn_end: false,
+                });
+            }
             mem_port.ar.push(now, beat).expect("checked space");
             progress = true;
         }
         if self.aw_stage.has_ready(now) && !mem_port.aw.is_full() {
             let beat = self.aw_stage.pop_ready(now).expect("checked ready");
+            if self.obs_enabled {
+                self.obs_events.push(ObsEvent {
+                    uid: beat.uid,
+                    port: None,
+                    channel: ObsChannel::Aw,
+                    hop: Hop::MemVisible,
+                    cycle: now,
+                    ref_cycle: beat.issued_at,
+                    bytes: beat.total_bytes(),
+                    sub_end: false,
+                    txn_end: false,
+                });
+            }
             mem_port.aw.push(now, beat).expect("checked space");
             progress = true;
         }
@@ -242,7 +318,24 @@ impl Exbar {
         }
         let port = route.port;
         let beat = if ts[port].w_stage.has_ready(now) {
-            ts[port].w_stage.pop_ready(now).expect("checked ready")
+            let w = ts[port].w_stage.pop_ready(now).expect("checked ready");
+            // Firewall filler beats (the `else` branch) are synthesized by
+            // the crossbar itself and carry no master-issued timestamp, so
+            // only real beats are observable W traffic.
+            if self.obs_enabled {
+                self.obs_events.push(ObsEvent {
+                    uid: 0,
+                    port: Some(port),
+                    channel: ObsChannel::W,
+                    hop: Hop::MemVisible,
+                    cycle: now,
+                    ref_cycle: w.issued_at,
+                    bytes: w.data.len() as u64,
+                    sub_end: false,
+                    txn_end: false,
+                });
+            }
+            w
         } else if efifos[port].is_decoupled() {
             let last = route.moved + 1 >= route.beats;
             self.firewall_beats += 1;

@@ -50,11 +50,13 @@ pub mod config;
 pub mod efifo;
 pub mod exbar;
 pub mod hyperconnect;
+pub mod observe;
 pub mod regfile;
 pub mod reorder;
 pub mod supervisor;
 
 pub use config::{ArbitrationPolicy, HcConfig};
 pub use hyperconnect::HyperConnect;
+pub use observe::BoundMonitor;
 pub use regfile::{RegFile, BUDGET_UNLIMITED};
 pub use supervisor::{TransactionSupervisor, TsRuntime, TsStats};

@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 use axi::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
 use axi::burst::{crosses_4k, split_incr};
 use axi::checker::{Violation, ViolationKind};
+use axi::observe::{Hop, ObsChannel, ObsEvent};
 use axi::types::{BurstKind, Resp};
 use sim::stats::LatencyStat;
 use sim::{Cycle, TimedFifo};
@@ -120,6 +121,13 @@ pub struct TransactionSupervisor {
     read_latency: LatencyStat,
     write_latency: LatencyStat,
     violations: Vec<Violation>,
+    // --- observability (off unless enable_observability was called) ---
+    /// Port index for event attribution and uid salting.
+    obs_port: Option<usize>,
+    /// Monotonic uid sequence for transactions accepted by this TS.
+    uid_seq: u64,
+    /// Hop events buffered for the owning interconnect to drain.
+    obs_events: Vec<ObsEvent>,
 }
 
 impl TransactionSupervisor {
@@ -148,7 +156,41 @@ impl TransactionSupervisor {
             read_latency: LatencyStat::new(),
             write_latency: LatencyStat::new(),
             violations: Vec::new(),
+            obs_port: None,
+            uid_seq: 0,
+            obs_events: Vec::new(),
         }
+    }
+
+    /// Turns on transaction observability for this TS, identifying it as
+    /// slave port `port`. From the next accepted transaction on, address
+    /// beats get a unique `uid` (salted with the port index so uids are
+    /// globally unique) and the TS buffers [`ObsEvent`]s for the owning
+    /// interconnect to drain with [`Self::drain_obs_events`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= 1023` (the uid salt is 10 bits).
+    pub fn enable_observability(&mut self, port: usize) {
+        assert!(port < 1023, "uid salt supports at most 1022 ports");
+        self.obs_port = Some(port);
+    }
+
+    /// Appends buffered hop events into `into` (preserving order) and
+    /// clears the internal buffer.
+    pub fn drain_obs_events(&mut self, into: &mut Vec<ObsEvent>) {
+        into.append(&mut self.obs_events);
+    }
+
+    /// Whether hop events are waiting to be drained.
+    pub fn has_obs_events(&self) -> bool {
+        !self.obs_events.is_empty()
+    }
+
+    /// Allocates the next uid for a transaction accepted on this port.
+    fn next_uid(&mut self, port: usize) -> u64 {
+        self.uid_seq += 1;
+        (self.uid_seq << 10) | (port as u64 + 1)
     }
 
     fn record(&mut self, cycle: Cycle, kind: ViolationKind, detail: String) {
@@ -320,7 +362,7 @@ impl TransactionSupervisor {
         // One original request per cycle per direction enters the
         // splitter once the previous one is fully staged.
         if self.ar_split.is_empty() {
-            if let Some(ar) = efifo.pop_ar(now) {
+            if let Some(mut ar) = efifo.pop_ar(now) {
                 if ar.burst == BurstKind::Incr && crosses_4k(ar.addr, ar.len, ar.size) {
                     self.record(
                         now,
@@ -328,18 +370,48 @@ impl TransactionSupervisor {
                         format!("AR {:#x} len {} crosses a 4 KiB boundary", ar.addr, ar.len),
                     );
                 }
+                if let Some(port) = self.obs_port {
+                    // Stamp the uid before splitting so every
+                    // sub-request inherits it via the beat clone.
+                    ar.uid = self.next_uid(port);
+                    self.obs_events.push(ObsEvent {
+                        uid: ar.uid,
+                        port: Some(port),
+                        channel: ObsChannel::Ar,
+                        hop: Hop::TsAccepted,
+                        cycle: now,
+                        ref_cycle: ar.issued_at,
+                        bytes: ar.total_bytes(),
+                        sub_end: false,
+                        txn_end: false,
+                    });
+                }
                 self.split_ar(ar, rt.nominal);
                 progress = true;
             }
         }
         if self.aw_split.is_empty() {
-            if let Some(aw) = efifo.pop_aw(now) {
+            if let Some(mut aw) = efifo.pop_aw(now) {
                 if aw.burst == BurstKind::Incr && crosses_4k(aw.addr, aw.len, aw.size) {
                     self.record(
                         now,
                         ViolationKind::Boundary4K,
                         format!("AW {:#x} len {} crosses a 4 KiB boundary", aw.addr, aw.len),
                     );
+                }
+                if let Some(port) = self.obs_port {
+                    aw.uid = self.next_uid(port);
+                    self.obs_events.push(ObsEvent {
+                        uid: aw.uid,
+                        port: Some(port),
+                        channel: ObsChannel::Aw,
+                        hop: Hop::TsAccepted,
+                        cycle: now,
+                        ref_cycle: aw.issued_at,
+                        bytes: aw.total_bytes(),
+                        sub_end: false,
+                        txn_end: false,
+                    });
                 }
                 self.w_orig_lens.push_back(aw.len);
                 self.split_aw(aw, rt.nominal);
@@ -374,6 +446,26 @@ impl TransactionSupervisor {
                 w.last = self.w_current_left == 1;
                 self.w_current_left -= 1;
                 self.stats.bytes_written += w.data.len() as u64;
+                if w.last {
+                    if let Some(port) = self.obs_port {
+                        // The equalized sub's write data is now fully
+                        // offered to the interconnect — the point the
+                        // bound monitor starts a write's service clock
+                        // (W beats carry no uid; FIFO order pairs them
+                        // with staged AW subs).
+                        self.obs_events.push(ObsEvent {
+                            uid: 0,
+                            port: Some(port),
+                            channel: ObsChannel::W,
+                            hop: Hop::TsStaged,
+                            cycle: now,
+                            ref_cycle: w.issued_at,
+                            bytes: w.data.len() as u64,
+                            sub_end: true,
+                            txn_end: false,
+                        });
+                    }
+                }
                 self.w_stage.push(now, w).expect("checked space");
                 progress = true;
             } else {
@@ -423,6 +515,19 @@ impl TransactionSupervisor {
         {
             if self.budget_available() {
                 let sub = self.ar_split.pop_front().expect("checked non-empty");
+                if let Some(port) = self.obs_port {
+                    self.obs_events.push(ObsEvent {
+                        uid: sub.beat.uid,
+                        port: Some(port),
+                        channel: ObsChannel::Ar,
+                        hop: Hop::TsStaged,
+                        cycle: now,
+                        ref_cycle: sub.beat.issued_at,
+                        bytes: sub.beat.total_bytes(),
+                        sub_end: sub.final_sub,
+                        txn_end: false,
+                    });
+                }
                 self.ar_stage.push(now, sub).expect("checked space");
                 self.read_outstanding += 1;
                 self.consume_budget();
@@ -437,6 +542,19 @@ impl TransactionSupervisor {
         {
             if self.budget_available() {
                 let sub = self.aw_split.pop_front().expect("checked non-empty");
+                if let Some(port) = self.obs_port {
+                    self.obs_events.push(ObsEvent {
+                        uid: sub.beat.uid,
+                        port: Some(port),
+                        channel: ObsChannel::Aw,
+                        hop: Hop::TsStaged,
+                        cycle: now,
+                        ref_cycle: sub.beat.issued_at,
+                        bytes: sub.beat.total_bytes(),
+                        sub_end: sub.final_sub,
+                        txn_end: false,
+                    });
+                }
                 self.aw_stage.push(now, sub).expect("checked space");
                 self.write_outstanding += 1;
                 self.consume_budget();
@@ -497,6 +615,19 @@ impl TransactionSupervisor {
             self.stats.reads_completed += 1;
             self.read_latency.record(now.saturating_sub(beat.issued_at));
         }
+        if let Some(port) = self.obs_port {
+            self.obs_events.push(ObsEvent {
+                uid: beat.uid,
+                port: Some(port),
+                channel: ObsChannel::R,
+                hop: Hop::Delivered,
+                cycle: now,
+                ref_cycle: beat.hopped_at,
+                bytes: beat.data.len() as u64,
+                sub_end,
+                txn_end: beat.last,
+            });
+        }
         let accepted = efifo.push_r(now, beat);
         debug_assert!(accepted, "caller must check can_push_r");
         if sub_end {
@@ -513,6 +644,22 @@ impl TransactionSupervisor {
     pub fn deliver_b(&mut self, now: Cycle, mut beat: BBeat, final_sub: bool, efifo: &mut EFifo) {
         self.write_outstanding = self.write_outstanding.saturating_sub(1);
         self.b_merged_resp = self.b_merged_resp.worst(beat.resp);
+        if let Some(port) = self.obs_port {
+            // Every sub's response is observed (the monitor pops one
+            // pending write per event); only the final, merged one is a
+            // slave-port B-channel traversal.
+            self.obs_events.push(ObsEvent {
+                uid: beat.uid,
+                port: Some(port),
+                channel: ObsChannel::B,
+                hop: Hop::Delivered,
+                cycle: now,
+                ref_cycle: beat.hopped_at,
+                bytes: 0,
+                sub_end: true,
+                txn_end: final_sub,
+            });
+        }
         if final_sub {
             // The merged response reports the worst outcome across all
             // sub-bursts of the original write (AXI merge rule).

@@ -8,6 +8,7 @@ use axi::checker::ProtocolMonitor;
 use axi::types::{BurstKind, BurstSize, Resp};
 use axi::{AxiPort, PortConfig};
 use sim::fifo::DelayQueue;
+use sim::stats::Gauge;
 use sim::{Cycle, TimedFifo};
 
 use crate::backing::SparseMemory;
@@ -102,7 +103,11 @@ struct Active {
 /// in a real pipelined controller), then stream on the single data path
 /// at one beat per cycle. Reads and writes share the data path; requests
 /// are served strictly in acceptance order. Writes are accepted into
-/// service only once all their data beats have arrived.
+/// service only once all their data beats have arrived; when a read
+/// request and a fully assembled write compete for a service slot they
+/// are admitted alternately (write-starvation avoidance — under strict
+/// read priority, masters recycling their read-outstanding slots could
+/// delay an assembled write without bound).
 pub struct MemoryController {
     config: MemConfig,
     memory: SparseMemory,
@@ -123,6 +128,13 @@ pub struct MemoryController {
     ar_trace: Option<Vec<(Cycle, u64)>>,
     /// Optional `(cycle, address)` trace of accepted write requests.
     aw_trace: Option<Vec<(Cycle, u64)>>,
+    /// Outstanding-request gauge: accepted jobs not yet fully served
+    /// (service pipeline + active burst + assembling writes).
+    outstanding: Gauge,
+    /// Write-starvation avoidance: set when a read is admitted to
+    /// service, cleared when a write is; an assembled write contending
+    /// with reads for a slot waits for at most one of them.
+    prefer_write: bool,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -158,7 +170,21 @@ impl MemoryController {
             monitor: None,
             ar_trace: None,
             aw_trace: None,
+            outstanding: Gauge::default(),
+            prefer_write: false,
         }
+    }
+
+    /// The service configuration this controller was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Current and peak outstanding requests (accepted but not fully
+    /// served). Updated once per tick, idempotently, so identical under
+    /// the fast-forward scheduler.
+    pub fn outstanding_gauge(&self) -> Gauge {
+        self.outstanding
     }
 
     /// Attaches an AXI protocol monitor at the FPGA-PS boundary: every
@@ -265,11 +291,22 @@ impl MemoryController {
     pub fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
         let mut progress = false;
         progress |= self.drain_b(now, port);
-        progress |= self.accept_ar(now, port);
         progress |= self.accept_aw(now, port);
-        progress |= self.accept_w(now, port);
+        // Fair service-slot arbitration: when an assembled write is due
+        // a slot, let it finalize before reads claim the space.
+        if self.prefer_write && self.write_assembled() {
+            progress |= self.accept_w(now, port);
+            progress |= self.accept_ar(now, port);
+        } else {
+            progress |= self.accept_ar(now, port);
+            progress |= self.accept_w(now, port);
+        }
         progress |= self.promote(now);
         progress |= self.serve(now, port);
+        self.outstanding.set(
+            (self.service.len() + usize::from(self.active.is_some()) + self.aw_pending.len())
+                as u64,
+        );
         progress
     }
 
@@ -296,7 +333,10 @@ impl MemoryController {
 
     fn drain_b(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
         if self.b_pipe.has_ready(now) && !port.b.is_full() {
-            let beat = self.b_pipe.pop_ready(now).expect("checked ready");
+            let mut beat = self.b_pipe.pop_ready(now).expect("checked ready");
+            // Observability: the response-latency pipe is part of the
+            // memory's service, so the emission stamp is taken here.
+            beat.hopped_at = now;
             if let Some(m) = self.monitor.as_mut() {
                 m.observe_b(now, &beat);
             }
@@ -304,6 +344,14 @@ impl MemoryController {
             return true;
         }
         false
+    }
+
+    /// Whether the head write has all its data and is waiting only for
+    /// a service slot.
+    fn write_assembled(&self) -> bool {
+        self.aw_pending
+            .front()
+            .is_some_and(|aw| self.assembly.len() >= aw.len as usize)
     }
 
     fn accept_ar(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
@@ -326,6 +374,7 @@ impl MemoryController {
             self.service
                 .push(now, delay, Job::Read(ar, Origin::Ps, resp))
                 .expect("checked space");
+            self.prefer_write = true;
             return true;
         }
         if port.ar.has_ready(now) {
@@ -342,6 +391,7 @@ impl MemoryController {
             self.service
                 .push(now, delay, Job::Read(ar, Origin::Fpga, resp))
                 .expect("checked space");
+            self.prefer_write = true;
             return true;
         }
         false
@@ -396,6 +446,7 @@ impl MemoryController {
         self.service
             .push(now, delay, Job::Write(aw, data, resp))
             .expect("checked space");
+        self.prefer_write = false;
         true
     }
 
@@ -440,10 +491,13 @@ impl MemoryController {
                     vec![0; bytes]
                 };
                 let last = idx + 1 == ar.len;
-                let beat = RBeat::new(ar.id, data, last)
+                let mut beat = RBeat::new(ar.id, data, last)
                     .with_tag(ar.tag)
                     .with_issued_at(ar.issued_at)
+                    .with_uid(ar.uid)
                     .with_resp(resp);
+                // Observability: when the controller emitted this beat.
+                beat.hopped_at = now;
                 match origin {
                     Origin::Fpga => {
                         if let Some(m) = self.monitor.as_mut() {
@@ -510,6 +564,7 @@ impl MemoryController {
                     let beat = BBeat::new(aw.id)
                         .with_tag(aw.tag)
                         .with_issued_at(aw.issued_at)
+                        .with_uid(aw.uid)
                         .with_resp(resp);
                     self.b_pipe.push(now, beat).expect("checked space");
                     self.stats.writes_served += 1;

@@ -25,14 +25,18 @@ impl Counter {
         Self::default()
     }
 
-    /// Adds `n` events.
+    /// Adds `n` events, saturating at `u64::MAX`.
+    ///
+    /// Saturating rather than wrapping/panicking: fast-forwarded runs
+    /// cover billions of cycles and a debug-build overflow panic in a
+    /// metrics counter must never abort a simulation.
     pub fn add(&mut self, n: u64) {
-        self.value += n;
+        self.value = self.value.saturating_add(n);
     }
 
-    /// Adds one event.
+    /// Adds one event, saturating at `u64::MAX`.
     pub fn incr(&mut self) {
-        self.value += 1;
+        self.value = self.value.saturating_add(1);
     }
 
     /// The current count.
@@ -161,10 +165,11 @@ impl LatencyStat {
         Self::default()
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample (count and sum saturate rather than
+    /// overflow on multi-billion-sample runs).
     pub fn record(&mut self, cycles: Cycle) {
-        self.count += 1;
-        self.sum += cycles as u128;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(cycles as u128);
         self.min = Some(self.min.map_or(cycles, |m| m.min(cycles)));
         self.max = Some(self.max.map_or(cycles, |m| m.max(cycles)));
     }
@@ -193,10 +198,10 @@ impl LatencyStat {
         }
     }
 
-    /// Merges another recorder's samples into this one.
+    /// Merges another recorder's samples into this one (saturating).
     pub fn merge(&mut self, other: &LatencyStat) {
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = match (self.min, other.min) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -280,21 +285,34 @@ impl Histogram {
     }
 
     /// The sample value below which `q` (0.0..=1.0) of samples fall,
-    /// resolved to bucket upper bounds; `None` when empty.
+    /// resolved to bucket upper bounds.
+    ///
+    /// Returns `None` when the histogram is empty, and also when the
+    /// requested quantile falls inside the *overflow* bucket: samples
+    /// beyond the covered range have no meaningful upper bound, so the
+    /// caller must consult [`Self::overflow`] rather than receive a
+    /// fabricated value. `q` at or below 0.0 resolves to the first
+    /// *non-empty* bucket (the smallest recorded sample's bucket), never
+    /// to an empty leading bucket.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let total = self.total();
         if total == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        // At least one sample must be covered: q = 0.0 means "the bucket
+        // holding the smallest sample", not "bucket 0 unconditionally".
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (idx, count) in self.buckets.iter().enumerate() {
             seen += count;
+            // `seen` only crosses `target` (>= 1) inside a non-empty
+            // bucket, so this never resolves to an empty leading bucket.
             if seen >= target {
                 return Some((idx as u64 + 1) * self.bucket_width);
             }
         }
-        Some(u64::MAX)
+        // Target lands in the overflow bucket: no bounded answer exists.
+        None
     }
 }
 
@@ -325,9 +343,10 @@ impl BandwidthMeter {
         Self::default()
     }
 
-    /// Records `bytes` transferred at cycle `now`.
+    /// Records `bytes` transferred at cycle `now` (saturating, so long
+    /// fast-forwarded runs cannot overflow the byte total).
     pub fn record(&mut self, now: Cycle, bytes: u64) {
-        self.bytes += bytes;
+        self.bytes = self.bytes.saturating_add(bytes);
         if self.first.is_none() {
             self.first = Some(now);
         }
@@ -360,6 +379,63 @@ impl BandwidthMeter {
     }
 
     /// Resets the meter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A level gauge tracking a current value and its high-water mark.
+///
+/// Unlike a counter, [`Gauge::set`] is *idempotent*: setting the same
+/// value twice is indistinguishable from setting it once. That makes
+/// gauges safe to sample from `tick()` under the fast-forward scheduler —
+/// skipped no-progress cycles would have re-set the same level, so the
+/// observable state (current + peak) is identical in both scheduler
+/// modes.
+///
+/// # Example
+///
+/// ```
+/// use sim::stats::Gauge;
+///
+/// let mut g = Gauge::new();
+/// g.set(3);
+/// g.set(7);
+/// g.set(2);
+/// assert_eq!(g.current(), 2);
+/// assert_eq!(g.peak(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    current: u64,
+    peak: u64,
+}
+
+impl Gauge {
+    /// Creates a gauge at level zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current level, updating the peak if exceeded.
+    pub fn set(&mut self, level: u64) {
+        self.current = level;
+        if level > self.peak {
+            self.peak = level;
+        }
+    }
+
+    /// The most recently set level.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The highest level ever set.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Resets both level and peak to zero.
     pub fn reset(&mut self) {
         *self = Self::default();
     }
@@ -535,6 +611,88 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn histogram_zero_width_panics() {
         let _ = Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn histogram_quantile_zero_skips_empty_leading_buckets() {
+        // Regression: quantile(0.0) used to return bucket 0's upper bound
+        // (10) even though bucket 0 holds no samples.
+        let mut h = Histogram::new(10, 10);
+        h.record(25); // bucket 2
+        h.record(27);
+        assert_eq!(h.quantile(0.0), Some(30));
+        assert_eq!(h.quantile(1.0), Some(30));
+    }
+
+    #[test]
+    fn histogram_quantile_in_overflow_is_none() {
+        // Regression: quantiles landing in the overflow bucket used to
+        // resolve to Some(u64::MAX) as if that were a real upper bound.
+        let mut h = Histogram::new(10, 2); // covers 0..20
+        h.record(5);
+        h.record(1000); // overflow
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(1.0), None);
+        assert_eq!(h.overflow(), 1);
+        // All samples in overflow: every quantile is unbounded.
+        let mut h = Histogram::new(10, 2);
+        h.record(999);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        c.incr(); // would overflow with bare `+=`
+        c.add(7);
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn latency_stat_saturates_instead_of_overflowing() {
+        let mut l = LatencyStat {
+            count: u64::MAX,
+            sum: u128::MAX,
+            min: Some(1),
+            max: Some(1),
+        };
+        l.record(10); // would overflow both count and sum
+        assert_eq!(l.count(), u64::MAX);
+        assert_eq!(l.max(), Some(10));
+        let mut other = LatencyStat::new();
+        other.record(5);
+        l.merge(&other); // merge saturates too
+        assert_eq!(l.count(), u64::MAX);
+    }
+
+    #[test]
+    fn bandwidth_meter_saturates_instead_of_overflowing() {
+        let mut bw = BandwidthMeter::new();
+        bw.record(0, u64::MAX - 10);
+        bw.record(1, 100); // would overflow with bare `+=`
+        assert_eq!(bw.bytes(), u64::MAX);
+        assert_eq!(bw.last_cycle(), Some(1));
+    }
+
+    #[test]
+    fn gauge_tracks_current_and_peak() {
+        let mut g = Gauge::new();
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 0);
+        g.set(5);
+        g.set(5); // idempotent: re-setting changes nothing
+        let snap = g;
+        g.set(5);
+        assert_eq!(g, snap);
+        g.set(9);
+        g.set(2);
+        assert_eq!(g.current(), 2);
+        assert_eq!(g.peak(), 9);
+        g.reset();
+        assert_eq!(g, Gauge::new());
     }
 
     #[test]

@@ -41,9 +41,12 @@ impl std::fmt::Display for TraceEvent {
 /// t.emit(1, "exbar", "grant port 0");
 /// t.emit(2, "exbar", "grant port 1");
 /// t.emit(3, "exbar", "grant port 0");
+/// assert_eq!(t.dropped(), 1); // oldest event evicted
 /// let lines = t.dump();
-/// assert_eq!(lines.len(), 2); // oldest event evicted
-/// assert!(lines[0].contains("grant port 1"));
+/// // Eviction is surfaced, not silent: a notice line leads the dump.
+/// assert_eq!(lines.len(), 3);
+/// assert!(lines[0].contains("1 older event(s) dropped"));
+/// assert!(lines[1].contains("grant port 1"));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tracer {
@@ -121,8 +124,20 @@ impl Tracer {
     }
 
     /// Formats all retained events, oldest first.
+    ///
+    /// When older events were evicted due to capacity, the first line is
+    /// a notice stating how many were dropped — a truncated trace must
+    /// never read as a complete one.
     pub fn dump(&self) -> Vec<String> {
-        self.events.iter().map(|e| e.to_string()).collect()
+        let mut lines = Vec::with_capacity(self.events.len() + 1);
+        if self.dropped > 0 {
+            lines.push(format!(
+                "[{:>10}] {:<12} {} older event(s) dropped (capacity {})",
+                "...", "tracer", self.dropped, self.capacity
+            ));
+        }
+        lines.extend(self.events.iter().map(|e| e.to_string()));
+        lines
     }
 
     /// Clears retained events (the dropped counter is preserved).
@@ -171,6 +186,25 @@ mod tests {
         assert_eq!(t.dropped(), 2);
         let first = t.iter().next().unwrap();
         assert_eq!(first.message, "e2");
+    }
+
+    #[test]
+    fn dump_surfaces_dropped_events() {
+        // Regression: dump() used to return only the retained events,
+        // silently hiding that older ones had been evicted.
+        let mut t = Tracer::enabled(3);
+        for c in 0..5u64 {
+            t.emit(c, "s", format!("e{c}"));
+        }
+        let lines = t.dump();
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        assert!(lines[0].contains("2 older event(s) dropped"));
+        assert!(lines[1].contains("e2"));
+        // No eviction: no notice line.
+        let mut t = Tracer::enabled(8);
+        t.emit(0, "s", "only");
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.dump().len(), 1);
     }
 
     #[test]

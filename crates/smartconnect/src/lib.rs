@@ -28,8 +28,9 @@
 use std::collections::VecDeque;
 
 use axi::beat::{ArBeat, AwBeat, RBeat};
+use axi::observe::ObsChannel;
 use axi::routing::{RouteEntry, RouteQueue};
-use axi::{AxiInterconnect, AxiPort, PortConfig};
+use axi::{AxiInterconnect, AxiPort, MetricsRegistry, PortConfig};
 use sim::{Component, Cycle, SimRng, TimedFifo};
 
 /// How the arbiter chooses its per-port grant granularity.
@@ -174,6 +175,16 @@ pub struct SmartConnect {
     out_reads: Vec<u32>,
     out_writes: Vec<u32>,
     stats: ScStats,
+    /// Channel-level metrics, when observability is enabled. The
+    /// SmartConnect stamps no uids (its real counterpart is a black
+    /// box), so only boundary-visible channel latencies are recorded —
+    /// no per-transaction hop histories.
+    metrics: Option<MetricsRegistry>,
+    /// Grant-order ports of ARs parked in `grant_ar` (for attribution
+    /// at the master boundary; `grant_ar` is FIFO so orders match).
+    ar_grant_ports: VecDeque<usize>,
+    /// Grant-order ports of AWs parked in `grant_aw`.
+    aw_grant_ports: VecDeque<usize>,
 }
 
 impl SmartConnect {
@@ -219,6 +230,19 @@ impl SmartConnect {
                 bytes_read: vec![0; n],
                 bytes_written: vec![0; n],
             },
+            metrics: None,
+            ar_grant_ports: VecDeque::new(),
+            aw_grant_ports: VecDeque::new(),
+        }
+    }
+
+    /// Enables per-port channel-latency metrics. Unlike the
+    /// HyperConnect there are no uid-stamped hop histories: the real
+    /// SmartConnect is closed-source, so only latencies measurable at
+    /// its boundaries are recorded (the paper's Fig. 3a methodology).
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(MetricsRegistry::new(self.config.num_ports));
         }
     }
 
@@ -298,6 +322,7 @@ impl SmartConnect {
             })
             .expect("space");
         self.grant_ar.push(now, ar).expect("space");
+        self.ar_grant_ports.push_back(p);
         self.ar_grants_left = self.ar_grants_left.saturating_sub(1);
         self.stats.ar_grants[p] += 1;
         true
@@ -331,6 +356,7 @@ impl SmartConnect {
             .expect("space");
         self.w_routes.push_back(p);
         self.grant_aw.push(now, aw).expect("space");
+        self.aw_grant_ports.push_back(p);
         self.aw_grants_left = self.aw_grants_left.saturating_sub(1);
         self.stats.aw_grants[p] += 1;
         true
@@ -340,11 +366,23 @@ impl SmartConnect {
         let mut progress = false;
         if self.grant_ar.has_ready(now) && !self.mem_port.ar.is_full() {
             let beat = self.grant_ar.pop_ready(now).expect("ready");
+            let port = self.ar_grant_ports.pop_front().expect("grant order");
+            if let Some(m) = self.metrics.as_mut() {
+                // Visible at the master boundary one register later —
+                // same convention as the HyperConnect's registry.
+                let latency = (now + 1).saturating_sub(beat.issued_at);
+                m.record_channel(port, ObsChannel::Ar, now, latency, beat.total_bytes());
+            }
             self.mem_port.ar.push(now, beat).expect("space");
             progress = true;
         }
         if self.grant_aw.has_ready(now) && !self.mem_port.aw.is_full() {
             let beat = self.grant_aw.pop_ready(now).expect("ready");
+            let port = self.aw_grant_ports.pop_front().expect("grant order");
+            if let Some(m) = self.metrics.as_mut() {
+                let latency = (now + 1).saturating_sub(beat.issued_at);
+                m.record_channel(port, ObsChannel::Aw, now, latency, beat.total_bytes());
+            }
             self.mem_port.aw.push(now, beat).expect("space");
             progress = true;
         }
@@ -352,6 +390,10 @@ impl SmartConnect {
             if self.w_pipes[p].has_ready(now) && !self.mem_port.w.is_full() {
                 let beat = self.w_pipes[p].pop_ready(now).expect("ready");
                 let last = beat.last;
+                if let Some(m) = self.metrics.as_mut() {
+                    let latency = (now + 1).saturating_sub(beat.issued_at);
+                    m.record_channel(p, ObsChannel::W, now, latency, beat.data.len() as u64);
+                }
                 self.mem_port.w.push(now, beat).expect("space");
                 if last {
                     self.w_routes.pop_front();
@@ -385,6 +427,16 @@ impl SmartConnect {
                 let beat = self.r_pipe.pop_ready(now).expect("ready");
                 let last = beat.last;
                 self.stats.bytes_read[route.port] += beat.data.len() as u64;
+                if let Some(m) = self.metrics.as_mut() {
+                    let latency = (now + 1).saturating_sub(beat.hopped_at);
+                    m.record_channel(
+                        route.port,
+                        ObsChannel::R,
+                        now,
+                        latency,
+                        beat.data.len() as u64,
+                    );
+                }
                 self.slave_ports[route.port]
                     .r
                     .push(now, beat)
@@ -403,6 +455,10 @@ impl SmartConnect {
                 .expect("B response without routing information");
             if !self.slave_ports[route.port].b.is_full() {
                 let beat = self.b_pipe.pop_ready(now).expect("ready");
+                if let Some(m) = self.metrics.as_mut() {
+                    let latency = (now + 1).saturating_sub(beat.hopped_at);
+                    m.record_channel(route.port, ObsChannel::B, now, latency, 0);
+                }
                 self.slave_ports[route.port]
                     .b
                     .push(now, beat)
@@ -484,6 +540,10 @@ impl AxiInterconnect for SmartConnect {
             && self.b_routes.is_empty()
             && self.w_routes.is_empty()
             && self.mem_port.is_idle()
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
     }
 }
 
@@ -703,6 +763,35 @@ mod tests {
         }
         // Only two accepted; the rest wait in the boundary queue.
         assert_eq!(sc.port(0).ar.len(), 2);
+    }
+
+    #[test]
+    fn metrics_pin_boundary_latency_goldens() {
+        let mut sc = SmartConnect::new(ScConfig::new(2));
+        sc.enable_metrics();
+        sc.port(0)
+            .ar
+            .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        for now in 0..14 {
+            sc.tick(now);
+            sc.mem_port().ar.pop_ready(now);
+        }
+        // Memory responds at cycle 14; stamp the emission cycle the way
+        // the memory controller does.
+        let mut r = RBeat::new(AxiId(0), vec![0; 4], true);
+        r.hopped_at = 14;
+        sc.mem_port().r.push(14, r).unwrap();
+        for now in 14..40 {
+            sc.tick(now);
+            sc.port(0).r.pop_ready(now);
+        }
+        let m = AxiInterconnect::metrics(&sc).unwrap();
+        // Fig. 3(a) baseline numbers: AR = 12, R = 11.
+        assert_eq!(m.port(0).ar.latency.min(), Some(12));
+        assert_eq!(m.port(0).r.latency.min(), Some(11));
+        // No uid machinery: nothing in flight, nothing completed.
+        assert_eq!(m.inflight_len(), 0);
     }
 
     #[test]

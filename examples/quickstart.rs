@@ -2,13 +2,29 @@
 //! Fig. 1 with N = 2.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--metrics-json PATH` to also write the full observability
+//! snapshot (per-port latency/bandwidth metrics plus the runtime bound
+//! monitor's verdict) as JSON. The process exits nonzero if the bound
+//! monitor records any worst-case-latency violation.
 
+use axi::AxiInterconnect;
 use axi_hyperconnect::SocSystem;
 use ha::dma::{Dma, DmaConfig};
 use hyperconnect::{HcConfig, HyperConnect};
 use mem::{MemConfig, MemoryController};
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut metrics_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-json" => {
+                metrics_path = Some(args.next().expect("--metrics-json needs a PATH"));
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
     // The platform substrate: a ZCU102-like in-order memory controller.
     let mut memory = MemoryController::new(MemConfig::zcu102());
     memory.attach_monitor(); // AXI protocol checking at the FPGA-PS boundary
@@ -19,6 +35,8 @@ fn main() {
     let regs = hc.regs().clone();
 
     let mut sys = SocSystem::new(hc, memory);
+    // Transaction-level metrics + runtime worst-case-bound checking.
+    sys.enable_observability();
 
     // Two DMAs, each moving 64 KiB in and 64 KiB out per job.
     for (name, src, dst) in [
@@ -78,5 +96,48 @@ fn main() {
             "  port {port}: {} equalized sub-transactions",
             regs.read32(off)
         );
+    }
+
+    // Per-port transaction latency, from the observability layer.
+    let metrics = sys.interconnect_ref().metrics().expect("enabled above");
+    for port in 0..metrics.num_ports() {
+        let p = metrics.port(port);
+        let fmt = |s: &sim::stats::LatencyStat| {
+            format!(
+                "{} txns, mean {:.1} / max {} cycles",
+                s.count(),
+                s.mean().unwrap_or(0.0),
+                s.max().unwrap_or(0)
+            )
+        };
+        println!(
+            "  port {port} latency: reads {}; writes {}",
+            fmt(&p.read_txns),
+            fmt(&p.write_txns)
+        );
+    }
+    let report = sys
+        .interconnect_ref()
+        .bound_report()
+        .expect("monitor armed above");
+    println!(
+        "bound monitor: {} reads / {} writes checked against {} / {} cycle bounds, {} violations",
+        report.checked_reads,
+        report.checked_writes,
+        report.read_bound,
+        report.write_bound,
+        report.violations
+    );
+
+    if let Some(path) = metrics_path {
+        let json = sys.metrics_snapshot_json().expect("metrics enabled");
+        std::fs::write(&path, json).expect("write metrics snapshot");
+        println!("metrics snapshot written to {path}");
+    }
+    if report.violations > 0 {
+        for v in sys.interconnect_ref().bound_violations() {
+            eprintln!("bound violation: {v:?}");
+        }
+        std::process::exit(1);
     }
 }

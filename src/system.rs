@@ -381,6 +381,69 @@ impl<I: AxiInterconnect> SocSystem<I> {
         self.clock
             .events_per_second(self.accelerators[i].jobs_completed(), self.now)
     }
+
+    /// One JSON object capturing everything the observability layer
+    /// measured: the interconnect's per-port per-channel metrics, the
+    /// memory controller's outstanding-request gauge and the runtime
+    /// bound monitor's verdict. `None` until metrics are enabled on the
+    /// interconnect (e.g. via [`SocSystem::enable_observability`]).
+    ///
+    /// The snapshot is deterministic: for the same workload it is
+    /// byte-identical under [`SchedulerMode::FastForward`] and
+    /// [`SchedulerMode::Naive`].
+    pub fn metrics_snapshot_json(&self) -> Option<String> {
+        let metrics = self.interconnect.metrics()?;
+        let bound = self
+            .interconnect
+            .bound_report()
+            .map_or_else(|| "{\"enabled\":false}".to_owned(), |r| r.to_json());
+        let out = self.memory.outstanding_gauge();
+        Some(format!(
+            "{{\"schema\":\"axi-hyperconnect/metrics-snapshot/v1\",\
+             \"interconnect\":\"{}\",\"cycles\":{},\"metrics\":{},\
+             \"mem_outstanding\":{{\"current\":{},\"peak\":{}}},\
+             \"bound_monitor\":{}}}",
+            self.interconnect.name(),
+            self.now,
+            metrics.to_json(),
+            out.current(),
+            out.peak(),
+            bound,
+        ))
+    }
+}
+
+impl SocSystem<hyperconnect::HyperConnect> {
+    /// Arms transaction-level metrics **and** the runtime worst-case
+    /// bound monitor, deriving the service model from the live system:
+    /// port count and nominal burst from the register file, the largest
+    /// per-port outstanding limit, and the memory controller's timing
+    /// parameters. Call before running; results surface through
+    /// [`axi::AxiInterconnect::metrics`],
+    /// [`axi::AxiInterconnect::bound_report`] and
+    /// [`SocSystem::metrics_snapshot_json`].
+    ///
+    /// The monitor's bounds assume the fault-free, reservation-disabled
+    /// regime (see `hyperconnect::observe`); arm it only on scenarios
+    /// that satisfy those assumptions.
+    pub fn enable_observability(&mut self) {
+        let n = self.interconnect.num_ports();
+        let (nominal, max_out) = self.interconnect.regs().with(|rf| {
+            let max_out = (0..n)
+                .map(|i| rf.port(i).max_outstanding)
+                .max()
+                .unwrap_or(1);
+            (rf.nominal_burst(), max_out)
+        });
+        let mut model = hyperconnect::analysis::ServiceModel::hyperconnect(
+            n,
+            nominal,
+            self.memory.config().first_word_latency,
+        )
+        .max_outstanding(max_out);
+        model.write_resp_latency = self.memory.config().write_resp_latency;
+        self.interconnect.enable_bound_monitor(model);
+    }
 }
 
 impl<I: AxiInterconnect> Component for SocSystem<I> {
@@ -530,6 +593,45 @@ mod tests {
         )));
         plain.run_for(10);
         assert!(plain.waveform_vcd().is_none());
+    }
+
+    #[test]
+    fn observability_snapshot_is_clean_and_complete() {
+        let mut sys = SocSystem::new(
+            HyperConnect::new(HcConfig::new(2)),
+            MemoryController::new(MemConfig::zcu102()),
+        );
+        sys.enable_observability();
+        sys.add_accelerator(Box::new(Dma::new(
+            "d",
+            DmaConfig::reader(4096, 16, BurstSize::B16).jobs(1),
+        )));
+        assert!(sys.run_until_done(1_000_000).is_done());
+        // The bound monitor checked real traffic and found nothing.
+        assert!(sys.interconnect_ref().bound_violations().is_empty());
+        let report = sys.interconnect_ref().bound_report().unwrap();
+        assert!(report.checked_reads > 0, "{report:?}");
+        assert_eq!(report.violations, 0);
+        let json = sys.metrics_snapshot_json().unwrap();
+        assert!(json.contains("\"schema\":\"axi-hyperconnect/metrics-snapshot/v1\""));
+        assert!(json.contains("\"interconnect\":\"HyperConnect\""));
+        assert!(json.contains("\"enabled\":true"));
+        // Memory saw outstanding requests at some point.
+        assert!(sys.memory().outstanding_gauge().peak() > 0);
+    }
+
+    #[test]
+    fn snapshot_is_none_without_metrics() {
+        let mut sys = SocSystem::new(
+            HyperConnect::new(HcConfig::new(1)),
+            MemoryController::new(MemConfig::ideal()),
+        );
+        sys.add_accelerator(Box::new(Dma::new(
+            "d",
+            DmaConfig::reader(64, 16, BurstSize::B16),
+        )));
+        sys.run_for(100);
+        assert!(sys.metrics_snapshot_json().is_none());
     }
 
     #[test]

@@ -154,6 +154,32 @@ fn smartconnect_matches_fig3a_goldens() {
     );
 }
 
+/// Arming the observability layer (metrics registry + runtime bound
+/// monitor) must be timing-neutral: the instrumented fabric pins the
+/// exact same Fig. 3(a) goldens, and the probes themselves complete
+/// with a clean bound verdict.
+#[test]
+fn observability_is_timing_neutral_on_goldens() {
+    let measured = measure(|| {
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.enable_metrics();
+        hc.enable_bound_monitor(hyperconnect::analysis::ServiceModel::hyperconnect(
+            2, 16, 22,
+        ));
+        hc
+    });
+    assert_eq!(
+        measured,
+        ChannelLatencies {
+            ar: 4,
+            aw: 4,
+            w: 2,
+            r: 2,
+            b: 2
+        }
+    );
+}
+
 /// The goldens hold regardless of port count — propagation is a
 /// pipeline property, not an arbitration property.
 #[test]

@@ -14,6 +14,13 @@ fn stress<I: AxiInterconnect>(interconnect: I, cycles: u64) -> SocSystem<I> {
     let mut memory = MemoryController::new(MemConfig::zcu102());
     memory.attach_monitor();
     let mut sys = SocSystem::new(interconnect, memory);
+    populate(&mut sys);
+    sys.run_for(cycles);
+    sys
+}
+
+/// The four-master soak mix shared by all stress scenarios.
+fn populate<I: AxiInterconnect>(sys: &mut SocSystem<I>) {
     sys.add_accelerator(Box::new(RandomTraffic::new(
         "rnd0",
         0x1000_0000,
@@ -47,13 +54,21 @@ fn stress<I: AxiInterconnect>(interconnect: I, cycles: u64) -> SocSystem<I> {
         50,
         23,
     )));
-    sys.run_for(cycles);
-    sys
 }
 
 #[test]
 fn hyperconnect_soak_four_masters() {
-    let sys = stress(HyperConnect::new(HcConfig::new(4)), 1_500_000);
+    // Same scenario as `stress()`, but with the transaction-level
+    // observability layer armed: the runtime bound monitor must agree
+    // that every completed transaction met its closed-form worst-case
+    // bound, even over 1.5M cycles of saturating four-master traffic.
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.attach_monitor();
+    let mut sys = SocSystem::new(HyperConnect::new(HcConfig::new(4)), memory);
+    sys.enable_observability();
+    populate(&mut sys);
+    sys.run_for(1_500_000);
+    let sys = sys;
     let monitor = sys.memory().monitor().unwrap();
     assert!(
         monitor.is_clean(),
@@ -75,6 +90,18 @@ fn hyperconnect_soak_four_masters() {
     // count can never exceed what the queues and pipeline can hold.
     let outstanding = sys.memory().monitor().unwrap().reads_outstanding();
     assert!(outstanding < 64, "leaked outstanding reads: {outstanding}");
+    // The runtime bound monitor checked real traffic and found every
+    // transaction inside its analytical worst case.
+    let report = sys.interconnect_ref().bound_report().unwrap();
+    assert!(report.checked_reads > 1_000, "{report:?}");
+    assert!(report.checked_writes > 1_000, "{report:?}");
+    assert_eq!(
+        report.violations,
+        0,
+        "bound violations under soak: {:?}",
+        &sys.interconnect_ref().bound_violations()
+            [..8.min(sys.interconnect_ref().bound_violations().len())]
+    );
 }
 
 #[test]
