@@ -323,6 +323,13 @@ impl RBeat {
         self.uid = uid;
         self
     }
+
+    /// Sets the response-channel latency reference (the cycle the beat
+    /// last crossed an emission point: memory controller or bridge).
+    pub fn with_hopped_at(mut self, cycle: Cycle) -> Self {
+        self.hopped_at = cycle;
+        self
+    }
 }
 
 /// A write-response (B) channel beat.
@@ -390,6 +397,13 @@ impl BBeat {
     /// Sets the observability transaction ID.
     pub fn with_uid(mut self, uid: u64) -> Self {
         self.uid = uid;
+        self
+    }
+
+    /// Sets the response-channel latency reference (the cycle the beat
+    /// last crossed an emission point: memory controller or bridge).
+    pub fn with_hopped_at(mut self, cycle: Cycle) -> Self {
+        self.hopped_at = cycle;
         self
     }
 }

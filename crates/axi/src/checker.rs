@@ -40,7 +40,7 @@ impl std::fmt::Display for ProtocolError {
 /// Category of a structured [`Violation`].
 ///
 /// The discriminants double as indices into a
-/// [`CounterBank`](sim::stats::CounterBank) of [`COUNT`](Self::COUNT)
+/// [`sim::stats::CounterBank`] of [`COUNT`](Self::COUNT)
 /// slots, which is how the HyperConnect exposes per-port violation
 /// counters through its register file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -6,6 +6,9 @@
 //!
 //! * [`beat`] — the per-channel payloads ([`ArBeat`], [`AwBeat`],
 //!   [`WBeat`], [`RBeat`], [`BBeat`]);
+//! * [`bridge`] — the latency-configurable AXI-to-AXI adapter
+//!   ([`AxiBridge`]) the topology layer infers for cascaded
+//!   interconnects;
 //! * [`burst`] — burst arithmetic: lengths, 4 KiB boundary rule,
 //!   splitting a burst into *nominal-size* sub-bursts (the equalization
 //!   of Restuccia et al., TECS 2019, used by the HyperConnect's
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod beat;
+pub mod bridge;
 pub mod burst;
 pub mod checker;
 pub mod lite;
@@ -50,6 +54,7 @@ pub mod txn;
 pub mod types;
 
 pub use beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
+pub use bridge::{AxiBridge, BridgeConfig, BridgeStats};
 pub use checker::{Violation, ViolationKind};
 pub use observe::{BoundReport, BoundViolation, MetricsRegistry, ObsEvent};
 pub use port::{AxiInterconnect, AxiPort, PortConfig};

@@ -270,6 +270,10 @@ pub struct MetricsRegistry {
     master_efifo_occupancy: Gauge,
     inflight: BTreeMap<u64, TxnRecord>,
     completed: VecDeque<TxnRecord>,
+    /// Namespace label distinguishing this registry from other
+    /// interconnect instances of the same model in one topology (empty
+    /// until assigned, e.g. by `TopologyBuilder::build`).
+    instance: String,
 }
 
 impl MetricsRegistry {
@@ -279,6 +283,21 @@ impl MetricsRegistry {
             ports: (0..num_ports).map(|_| PortMetrics::default()).collect(),
             ..Self::default()
         }
+    }
+
+    /// Assigns the instance namespace label (see
+    /// [`MetricsRegistry::instance`]).
+    pub fn set_instance(&mut self, label: impl Into<String>) {
+        self.instance = label.into();
+    }
+
+    /// The instance namespace label — the topology node label of the
+    /// interconnect owning this registry, or `""` when the registry
+    /// lives outside a topology. Multi-interconnect snapshots key their
+    /// per-instance sections on it so two `"HyperConnect"`s never
+    /// collide.
+    pub fn instance(&self) -> &str {
+        &self.instance
     }
 
     /// Number of slave ports tracked.

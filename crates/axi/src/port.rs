@@ -201,6 +201,21 @@ pub trait AxiInterconnect: Component {
         None
     }
 
+    /// Mutable access to the metrics registry, when observability is
+    /// enabled; `None` otherwise (the default). The topology layer uses
+    /// this to namespace each instance's registry with its node label.
+    fn metrics_mut(&mut self) -> Option<&mut crate::observe::MetricsRegistry> {
+        None
+    }
+
+    /// Type-erased view of the concrete model, letting holders of a
+    /// `dyn AxiInterconnect` (e.g. a topology node) downcast back to
+    /// `HyperConnect`/`SmartConnect` for model-specific configuration.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable type-erased view (see [`AxiInterconnect::as_any`]).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
     /// Bound violations recorded by this model's runtime bound monitor,
     /// in detection order; empty when no monitor is armed (the default).
     fn bound_violations(&self) -> &[crate::observe::BoundViolation] {
@@ -235,6 +250,15 @@ impl<T: AxiInterconnect + ?Sized> AxiInterconnect for Box<T> {
     }
     fn metrics(&self) -> Option<&crate::observe::MetricsRegistry> {
         (**self).metrics()
+    }
+    fn metrics_mut(&mut self) -> Option<&mut crate::observe::MetricsRegistry> {
+        (**self).metrics_mut()
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        (**self).as_any()
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        (**self).as_any_mut()
     }
     fn bound_violations(&self) -> &[crate::observe::BoundViolation] {
         (**self).bound_violations()

@@ -22,6 +22,12 @@ pub struct RouteEntry {
     pub final_sub: bool,
     /// The originating transaction's simulation tag.
     pub tag: u64,
+    /// The observability `uid` the request carried *at this
+    /// interconnect's grant point* (0 = unobserved). Response beats are
+    /// restamped with it on the way back up, so in a cascaded topology
+    /// every interconnect instance attributes deliveries to its own uid
+    /// namespace rather than the one assigned furthest downstream.
+    pub uid: u64,
 }
 
 /// A FIFO of [`RouteEntry`]s recording transaction grant order.
@@ -32,7 +38,7 @@ pub struct RouteEntry {
 /// use axi::routing::{RouteEntry, RouteQueue};
 ///
 /// let mut q = RouteQueue::new(4);
-/// q.push(RouteEntry { port: 1, final_sub: true, tag: 9 }).unwrap();
+/// q.push(RouteEntry { port: 1, final_sub: true, tag: 9, uid: 0 }).unwrap();
 /// assert_eq!(q.head().unwrap().port, 1);
 /// assert_eq!(q.pop().unwrap().tag, 9);
 /// assert!(q.is_empty());
@@ -123,6 +129,7 @@ mod tests {
             port,
             final_sub: true,
             tag: 0,
+            uid: 0,
         }
     }
 

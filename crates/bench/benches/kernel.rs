@@ -36,14 +36,16 @@ fn bench_hyperconnect_cycles(c: &mut Criterion) {
                 1 << 20,
                 16,
                 BurstSize::B16,
-            )));
+            )))
+            .unwrap();
             sys.add_accelerator(Box::new(ha::traffic::BandwidthStealer::new(
                 "b",
                 0x3000_0000,
                 1 << 20,
                 256,
                 BurstSize::B16,
-            )));
+            )))
+            .unwrap();
             sys.run_for(CYCLES);
             black_box(sys.now())
         })

@@ -60,7 +60,8 @@ pub fn granularity_sweep(window: Cycle) -> Vec<(u32, Cycle)> {
                     jobs: None,
                     ..DmaConfig::case_study()
                 },
-            )));
+            )))
+            .unwrap();
             // Three aggressors with matching burst sizes and deep
             // pipelining: enough queued work for any granularity.
             for i in 1..4u64 {
@@ -70,11 +71,13 @@ pub fn granularity_sweep(window: Cycle) -> Vec<(u32, Cycle)> {
                     1 << 20,
                     16,
                     BurstSize::B16,
-                )));
+                )))
+                .unwrap();
             }
             sys.run_for(window);
             let victim: &Dma = sys
                 .accelerator(0)
+                .unwrap()
                 .as_any()
                 .downcast_ref()
                 .expect("victim is a Dma");
@@ -96,17 +99,19 @@ pub fn fairness_sweep(window: Cycle) -> Vec<(u32, f64, f64)> {
             1 << 20,
             16,
             BurstSize::B16,
-        )));
+        )))
+        .unwrap();
         sys.add_accelerator(Box::new(BandwidthStealer::new(
             "aggr",
             0x3000_0000,
             1 << 20,
             burst,
             BurstSize::B16,
-        )));
+        )))
+        .unwrap();
         sys.run_for(window);
-        let victim = sys.accelerator(0).jobs_completed() * 16;
-        let aggr = sys.accelerator(1).jobs_completed() * burst as u64;
+        let victim = sys.accelerator(0).unwrap().jobs_completed() * 16;
+        let aggr = sys.accelerator(1).unwrap().jobs_completed() * burst as u64;
         aggr as f64 / victim.max(1) as f64
     };
     [16u32, 32, 64, 128, 256]
@@ -161,11 +166,13 @@ pub fn reservation_sweep(window: Cycle) -> Vec<ReservationPoint> {
                     1 << 20,
                     16,
                     BurstSize::B16,
-                )));
+                )))
+                .unwrap();
             }
             sys.run_for(window);
             let stealer: &BandwidthStealer = sys
                 .accelerator(0)
+                .unwrap()
                 .as_any()
                 .downcast_ref()
                 .expect("port 0 is a stealer");
@@ -259,7 +266,8 @@ pub fn worst_case_check(window: Cycle) -> Vec<WorstCasePoint> {
                     jobs: None,
                     ..DmaConfig::case_study()
                 },
-            )));
+            )))
+            .unwrap();
             for i in 1..n {
                 sys.add_accelerator(Box::new(BandwidthStealer::new(
                     "aggr",
@@ -267,11 +275,13 @@ pub fn worst_case_check(window: Cycle) -> Vec<WorstCasePoint> {
                     1 << 20,
                     256,
                     BurstSize::B16,
-                )));
+                )))
+                .unwrap();
             }
             sys.run_for(window);
             let probe: &Dma = sys
                 .accelerator(0)
+                .unwrap()
                 .as_any()
                 .downcast_ref()
                 .expect("probe is a Dma");

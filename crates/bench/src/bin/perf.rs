@@ -146,13 +146,14 @@ fn idle_heavy(mode: SchedulerMode, window: Cycle) -> (f64, u64, Cycle, u64) {
             jobs: Some(4),
             ..DmaConfig::reader(256 * 1024, 16, BurstSize::B16)
         },
-    )));
+    )))
+    .unwrap();
     let t0 = Instant::now();
     sys.run_for(window);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     (
         wall_ms,
-        sys.accelerator(0).jobs_completed(),
+        sys.accelerator(0).unwrap().jobs_completed(),
         sys.skipped_cycles(),
         sys.memory().stats().bytes_served,
     )
@@ -184,7 +185,8 @@ fn observed_probe(observe: bool) -> (f64, Cycle, Option<BoundReport>) {
                 jobs: Some(8),
                 ..DmaConfig::case_study()
             },
-        )));
+        )))
+        .unwrap();
     }
     let t0 = Instant::now();
     let outcome = sys.run_until_done(10_000_000);

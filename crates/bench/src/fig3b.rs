@@ -62,12 +62,14 @@ pub fn access_stats(design: Design, bytes: u64, repeats: u64) -> (Cycle, f64) {
     let mut sys = make_system(design);
     // The paper's DMAs issue 16-word (16 x 4 B) bursts.
     let cfg = DmaConfig::reader(bytes, 16, BurstSize::B4).jobs(repeats);
-    sys.add_accelerator(Box::new(Dma::new("probe", cfg)));
+    sys.add_accelerator(Box::new(Dma::new("probe", cfg)))
+        .unwrap();
     let out = sys.run_until_done(1_000_000_000);
     assert!(out.is_done(), "access did not complete: {out}");
     // Job latency covers issue-to-last-beat of the whole access.
     let dma: &Dma = sys
         .accelerator(0)
+        .unwrap()
         .as_any()
         .downcast_ref()
         .expect("probe is a Dma");

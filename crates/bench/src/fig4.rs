@@ -38,7 +38,8 @@ impl IsolationRow {
 /// CHaiDNN frames/s alone on `design` over `window` cycles.
 pub fn chaidnn_isolation(design: Design, window: Cycle) -> f64 {
     let mut sys = make_system(design);
-    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())));
+    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())))
+        .unwrap();
     sys.run_for(window);
     sys.rate_per_second(0)
 }
@@ -46,7 +47,8 @@ pub fn chaidnn_isolation(design: Design, window: Cycle) -> f64 {
 /// DMA jobs/s (4 MiB in + 4 MiB out per job) alone on `design`.
 pub fn dma_isolation(design: Design, window: Cycle) -> f64 {
     let mut sys = make_system(design);
-    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())));
+    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())))
+        .unwrap();
     sys.run_for(window);
     sys.rate_per_second(0)
 }

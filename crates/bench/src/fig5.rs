@@ -40,8 +40,10 @@ pub struct Bar {
 
 fn contended_system(design: Design) -> crate::SocSystemBoxed {
     let mut sys = make_system(design);
-    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())));
-    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())));
+    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())))
+        .unwrap();
+    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())))
+        .unwrap();
     sys
 }
 
@@ -75,8 +77,10 @@ pub fn hyperconnect_contention(share: u32, window: Cycle) -> Bar {
         Box::new(hc) as Box<dyn axi::AxiInterconnect>,
         MemoryController::new(MemConfig::zcu102()),
     );
-    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())));
-    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())));
+    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())))
+        .unwrap();
+    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())))
+        .unwrap();
     sys.run_for(window);
     Bar {
         label: format!("HC-{share}-{}", 100 - share),

@@ -269,7 +269,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// A size specification for [`vec`]: a fixed length or a range.
+    /// A size specification for [`vec()`]: a fixed length or a range.
     pub trait SizeRange: Clone {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;

@@ -200,6 +200,7 @@ impl Exbar {
                 port,
                 final_sub: sub.final_sub,
                 tag: sub.beat.tag,
+                uid: sub.beat.uid,
             })
             .expect("checked space");
         self.ar_stage.push(now, sub.beat).expect("checked space");
@@ -237,6 +238,7 @@ impl Exbar {
                 port,
                 final_sub: sub.final_sub,
                 tag: sub.beat.tag,
+                uid: sub.beat.uid,
             })
             .expect("checked space");
         self.w_routes.push_back(WRoute {
@@ -374,7 +376,13 @@ impl Exbar {
         if !efifos[route.port].can_push_r() {
             return false;
         }
-        let beat = mem_port.r.pop_ready(now).expect("checked ready");
+        let mut beat = mem_port.r.pop_ready(now).expect("checked ready");
+        // Attribute the delivery to *this* interconnect's uid namespace:
+        // in a cascade the beat arrives carrying the uid assigned
+        // furthest downstream, while the route recorded the uid the
+        // request had at this hop's grant point (identical outside a
+        // cascade, so this is a no-op for flat systems).
+        beat.uid = route.uid;
         let sub_end = ts[route.port].deliver_r(now, beat, route.final_sub, &mut efifos[route.port]);
         if sub_end {
             self.read_routes.pop();
@@ -401,7 +409,9 @@ impl Exbar {
         if !efifos[route.port].can_push_b() {
             return false;
         }
-        let beat = mem_port.b.pop_ready(now).expect("checked ready");
+        let mut beat = mem_port.b.pop_ready(now).expect("checked ready");
+        // Same per-hop uid attribution as `route_r`.
+        beat.uid = route.uid;
         ts[route.port].deliver_b(now, beat, route.final_sub, &mut efifos[route.port]);
         self.b_routes.pop();
         true
@@ -604,6 +614,7 @@ mod tests {
                 port: 0,
                 final_sub: true,
                 tag: 0,
+                uid: 0,
             })
             .unwrap();
         let beat = axi::RBeat::new(axi::types::AxiId(0), vec![0; 4], false);
@@ -637,6 +648,7 @@ mod tests {
                 port: 0,
                 final_sub: true,
                 tag: 5,
+                uid: 0,
             })
             .unwrap();
         // TS expects one outstanding write for bookkeeping symmetry.

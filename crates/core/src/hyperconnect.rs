@@ -403,6 +403,18 @@ impl AxiInterconnect for HyperConnect {
         self.metrics.as_ref()
     }
 
+    fn metrics_mut(&mut self) -> Option<&mut axi::MetricsRegistry> {
+        self.metrics.as_mut()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
     fn bound_violations(&self) -> &[axi::BoundViolation] {
         self.monitor.as_ref().map_or(&[], |m| m.violations())
     }

@@ -43,4 +43,4 @@ pub mod vcd;
 pub use clock::{ClockConfig, Cycle};
 pub use fifo::{FifoFull, TimedFifo};
 pub use rng::SimRng;
-pub use runner::{Component, RunOutcome, Runner};
+pub use runner::{Component, RunOutcome, Runner, StallDiagnostics};

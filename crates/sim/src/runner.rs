@@ -28,6 +28,15 @@ pub trait Component {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(now + 1)
     }
+
+    /// Names of the innermost sub-components that made progress on the
+    /// most recent tick that made any — the triage information a
+    /// [`Runner`] folds into [`StallDiagnostics`] when it declares a
+    /// stall. Leaf components and aggregates that don't track
+    /// attribution return an empty list (the default).
+    fn last_active(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl<T: Component + ?Sized> Component for Box<T> {
@@ -38,10 +47,43 @@ impl<T: Component + ?Sized> Component for Box<T> {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         (**self).next_event(now)
     }
+
+    fn last_active(&self) -> Vec<String> {
+        (**self).last_active()
+    }
+}
+
+/// What a [`Runner`] knew about forward progress when it declared a
+/// stall — enough to triage a deadlocked topology without re-running.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StallDiagnostics {
+    /// The last cycle at which the component reported progress, or
+    /// `None` when it never made any.
+    pub last_progress_at: Option<Cycle>,
+    /// Names of the sub-components that moved on that cycle, as reported
+    /// by [`Component::last_active`]; empty when the component doesn't
+    /// track attribution.
+    pub last_active: Vec<String>,
+}
+
+impl std::fmt::Display for StallDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.last_progress_at {
+            None => write!(f, "no progress was ever made"),
+            Some(c) if self.last_active.is_empty() => {
+                write!(f, "last progress at cycle {c}")
+            }
+            Some(c) => write!(
+                f,
+                "last progress at cycle {c} by {}",
+                self.last_active.join(", ")
+            ),
+        }
+    }
 }
 
 /// Why a [`Runner`] stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
     /// The caller-supplied predicate became true at the contained cycle.
     Done(Cycle),
@@ -49,20 +91,29 @@ pub enum RunOutcome {
     CycleLimit(Cycle),
     /// No component reported progress for the configured number of
     /// consecutive cycles (likely a deadlock or a dried-up workload).
-    Stalled(Cycle),
+    /// Carries what is known about the last progress made.
+    Stalled(Cycle, StallDiagnostics),
 }
 
 impl RunOutcome {
     /// The cycle at which the run stopped, regardless of outcome.
     pub fn cycle(&self) -> Cycle {
         match *self {
-            RunOutcome::Done(c) | RunOutcome::CycleLimit(c) | RunOutcome::Stalled(c) => c,
+            RunOutcome::Done(c) | RunOutcome::CycleLimit(c) | RunOutcome::Stalled(c, _) => c,
         }
     }
 
     /// Whether the run completed because the predicate held.
     pub fn is_done(&self) -> bool {
         matches!(self, RunOutcome::Done(_))
+    }
+
+    /// Stall triage information, when the run stalled.
+    pub fn stall_diagnostics(&self) -> Option<&StallDiagnostics> {
+        match self {
+            RunOutcome::Stalled(_, d) => Some(d),
+            _ => None,
+        }
     }
 }
 
@@ -71,7 +122,7 @@ impl std::fmt::Display for RunOutcome {
         match self {
             RunOutcome::Done(c) => write!(f, "done at cycle {c}"),
             RunOutcome::CycleLimit(c) => write!(f, "cycle limit reached at {c}"),
-            RunOutcome::Stalled(c) => write!(f, "stalled at cycle {c}"),
+            RunOutcome::Stalled(c, d) => write!(f, "stalled at cycle {c} ({d})"),
         }
     }
 }
@@ -144,6 +195,7 @@ impl Runner {
         F: FnMut(&C) -> bool,
     {
         let mut idle_streak: Cycle = 0;
+        let mut last_progress_at: Option<Cycle> = None;
         let mut now = self.start_cycle;
         loop {
             if done(component) {
@@ -154,10 +206,17 @@ impl Runner {
             }
             if component.tick(now) {
                 idle_streak = 0;
+                last_progress_at = Some(now);
             } else {
                 idle_streak += 1;
                 if idle_streak >= self.stall_limit {
-                    return RunOutcome::Stalled(now);
+                    return RunOutcome::Stalled(
+                        now,
+                        StallDiagnostics {
+                            last_progress_at,
+                            last_active: component.last_active(),
+                        },
+                    );
                 }
             }
             now += 1;
@@ -229,9 +288,56 @@ mod tests {
         // Last progress happened at cycle 2; the stall is declared after
         // `stall_limit` progress-free cycles.
         match out {
-            RunOutcome::Stalled(c) => assert_eq!(c, 2 + 50),
+            RunOutcome::Stalled(c, ref d) => {
+                assert_eq!(c, 2 + 50);
+                assert_eq!(d.last_progress_at, Some(2));
+                assert!(d.last_active.is_empty());
+            }
             other => panic!("expected stall, got {other:?}"),
         }
+    }
+
+    struct NamedTicker {
+        inner: Ticker,
+    }
+
+    impl Component for NamedTicker {
+        fn tick(&mut self, now: Cycle) -> bool {
+            self.inner.tick(now)
+        }
+
+        fn last_active(&self) -> Vec<String> {
+            vec!["dma0".into(), "leaf1".into()]
+        }
+    }
+
+    #[test]
+    fn stall_diagnostics_name_last_active_components() {
+        let mut t = NamedTicker {
+            inner: Ticker {
+                ticks: 0,
+                busy_until: 1,
+            },
+        };
+        let out = Runner::new().stall_limit(10).run_until(&mut t, |_| false);
+        let d = out.stall_diagnostics().expect("stalled");
+        assert_eq!(d.last_progress_at, Some(0));
+        assert_eq!(d.last_active, vec!["dma0".to_string(), "leaf1".to_string()]);
+        assert!(out
+            .to_string()
+            .contains("last progress at cycle 0 by dma0, leaf1"));
+    }
+
+    #[test]
+    fn stall_with_no_progress_ever() {
+        let mut t = Ticker {
+            ticks: 0,
+            busy_until: 0,
+        };
+        let out = Runner::new().stall_limit(5).run_until(&mut t, |_| false);
+        let d = out.stall_diagnostics().expect("stalled");
+        assert_eq!(d.last_progress_at, None);
+        assert!(out.to_string().contains("no progress was ever made"));
     }
 
     #[test]
@@ -263,6 +369,9 @@ mod tests {
             RunOutcome::CycleLimit(9).to_string(),
             "cycle limit reached at 9"
         );
-        assert_eq!(RunOutcome::Stalled(1).to_string(), "stalled at cycle 1");
+        assert_eq!(
+            RunOutcome::Stalled(1, StallDiagnostics::default()).to_string(),
+            "stalled at cycle 1 (no progress was ever made)"
+        );
     }
 }

@@ -319,6 +319,7 @@ impl SmartConnect {
                 port: p,
                 final_sub: true,
                 tag: ar.tag,
+                uid: ar.uid,
             })
             .expect("space");
         self.grant_ar.push(now, ar).expect("space");
@@ -352,6 +353,7 @@ impl SmartConnect {
                 port: p,
                 final_sub: true,
                 tag: aw.tag,
+                uid: aw.uid,
             })
             .expect("space");
         self.w_routes.push_back(p);
@@ -424,7 +426,10 @@ impl SmartConnect {
                 .head()
                 .expect("R beat without routing information");
             if !self.slave_ports[route.port].r.is_full() {
-                let beat = self.r_pipe.pop_ready(now).expect("ready");
+                let mut beat = self.r_pipe.pop_ready(now).expect("ready");
+                // Restamp with the uid seen at this instance's grant point
+                // so cascaded metrics attribute per hop (no-op when flat).
+                beat.uid = route.uid;
                 let last = beat.last;
                 self.stats.bytes_read[route.port] += beat.data.len() as u64;
                 if let Some(m) = self.metrics.as_mut() {
@@ -454,7 +459,8 @@ impl SmartConnect {
                 .head()
                 .expect("B response without routing information");
             if !self.slave_ports[route.port].b.is_full() {
-                let beat = self.b_pipe.pop_ready(now).expect("ready");
+                let mut beat = self.b_pipe.pop_ready(now).expect("ready");
+                beat.uid = route.uid;
                 if let Some(m) = self.metrics.as_mut() {
                     let latency = (now + 1).saturating_sub(beat.hopped_at);
                     m.record_channel(route.port, ObsChannel::B, now, latency, 0);
@@ -544,6 +550,18 @@ impl AxiInterconnect for SmartConnect {
 
     fn metrics(&self) -> Option<&MetricsRegistry> {
         self.metrics.as_ref()
+    }
+
+    fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_mut()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

@@ -19,7 +19,7 @@ const RUN_CYCLES: u64 = 2_000_000;
 
 /// Runs victim (16-beat bursts) vs stealer (256-beat bursts) and
 /// returns (victim_bytes, stealer_bytes).
-fn contend<I: AxiInterconnect>(interconnect: I) -> (u64, u64) {
+fn contend<I: AxiInterconnect + 'static>(interconnect: I) -> (u64, u64) {
     let mut sys = SocSystem::new(interconnect, MemoryController::new(MemConfig::zcu102()));
     sys.add_accelerator(Box::new(BandwidthStealer::new(
         "victim",
@@ -27,17 +27,19 @@ fn contend<I: AxiInterconnect>(interconnect: I) -> (u64, u64) {
         1 << 20,
         16,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(BandwidthStealer::new(
         "stealer",
         0x3000_0000,
         1 << 20,
         256,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.run_for(RUN_CYCLES);
-    let a = sys.accelerator(0).jobs_completed() * 16 * 16;
-    let b = sys.accelerator(1).jobs_completed() * 256 * 16;
+    let a = sys.accelerator(0).unwrap().jobs_completed() * 16 * 16;
+    let b = sys.accelerator(1).unwrap().jobs_completed() * 256 * 16;
     (a, b)
 }
 

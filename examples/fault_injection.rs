@@ -44,7 +44,8 @@ fn main() {
         16,
         BurstSize::B16,
         40,
-    )));
+    )))
+    .unwrap();
     // Port 1: a writer whose WLAST lands one beat early — an off-by-one
     // in its end-of-frame logic.
     sys.add_accelerator(Box::new(WlastViolator::new(
@@ -52,7 +53,8 @@ fn main() {
         0x2000_0000,
         16,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(PeriodicReader::new(
         "victim_b",
         0x3000_0000,
@@ -60,7 +62,8 @@ fn main() {
         16,
         BurstSize::B16,
         40,
-    )));
+    )))
+    .unwrap();
 
     // The hypervisor polls the watchdog registers every 100 cycles.
     let mut decoupled_at = None;
@@ -97,7 +100,7 @@ fn main() {
         let observed = hc.read_latency(port).max().unwrap();
         println!(
             "  port {port}: {observed} cycles ({} bursts completed)",
-            sys.accelerator(port).jobs_completed()
+            sys.accelerator(port).unwrap().jobs_completed()
         );
         assert!(observed <= bound, "victim exceeded its bound");
     }

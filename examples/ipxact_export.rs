@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example ipxact_export`
 
-use hypervisor::integrator::{ComponentDesc, Design};
+use hypervisor::integrator::{ComponentDesc, Design, DesignBuilder};
 
 fn main() {
     // The application developers deliver their accelerators as IP
@@ -34,5 +34,44 @@ fn main() {
     println!(
         "\nintegration check: {}",
         too_many.expect_err("must be rejected")
+    );
+
+    // Non-flat designs use the incremental DesignBuilder directly: a
+    // leaf HyperConnect's master port feeds a root slave port.
+    let mut b = DesignBuilder::new();
+    b.add_instance("root", ComponentDesc::hyperconnect(2))
+        .expect("fresh name");
+    b.add_instance("leaf", ComponentDesc::hyperconnect(2))
+        .expect("fresh name");
+    b.add_instance("chaidnn", ComponentDesc::accelerator("chaidnn"))
+        .expect("fresh name");
+    b.connect("leaf", "M00_AXI", "root", "S00_AXI")
+        .expect("cascade");
+    b.connect("chaidnn", "M_AXI", "leaf", "S00_AXI")
+        .expect("leaf slave");
+    b.connect_ps_master("root", "M00_AXI", "S_AXI_HP0")
+        .expect("PS port");
+    for inst in ["root", "leaf", "chaidnn"] {
+        b.connect_ctrl(inst, "S_AXI_CTRL").expect("ctrl plane");
+    }
+    let tree = b.build().expect("valid tree design");
+    println!("\n=== two-level tree netlist (DesignBuilder) ===");
+    for c in &tree.connections {
+        println!("  {} -> {}", c.from, c.to);
+    }
+
+    // Double-binding a slave port is caught at connect time.
+    let mut b = DesignBuilder::new();
+    b.add_instance("hc", ComponentDesc::hyperconnect(1))
+        .unwrap();
+    b.add_instance("a", ComponentDesc::accelerator("a"))
+        .unwrap();
+    b.add_instance("b", ComponentDesc::accelerator("b"))
+        .unwrap();
+    b.connect("a", "M_AXI", "hc", "S00_AXI").unwrap();
+    println!(
+        "\nnetlist check: {}",
+        b.connect("b", "M_AXI", "hc", "S00_AXI")
+            .expect_err("must be rejected")
     );
 }

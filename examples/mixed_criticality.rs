@@ -24,8 +24,10 @@ fn build_system() -> (SocSystem<HyperConnect>, Hypervisor) {
     let hypervisor = Hypervisor::new(bus, HC_BASE).expect("device present");
 
     let mut sys = SocSystem::new(hc, MemoryController::new(MemConfig::zcu102()));
-    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())));
-    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())));
+    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())))
+        .unwrap();
+    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())))
+        .unwrap();
     (sys, hypervisor)
 }
 

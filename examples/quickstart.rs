@@ -53,7 +53,8 @@ fn main() {
                 jobs: Some(4),
                 ..DmaConfig::case_study()
             },
-        )));
+        )))
+        .unwrap();
     }
 
     let outcome = sys.run_until_done(10_000_000);
@@ -66,8 +67,8 @@ fn main() {
     for i in 0..sys.num_accelerators() {
         println!(
             "  {}: {} jobs, {:.1} jobs/s",
-            sys.accelerator(i).name(),
-            sys.accelerator(i).jobs_completed(),
+            sys.accelerator(i).unwrap().name(),
+            sys.accelerator(i).unwrap().jobs_completed(),
             sys.rate_per_second(i)
         );
     }

@@ -33,7 +33,8 @@ fn main() {
         16,
         BurstSize::B16,
         200,
-    )));
+    )))
+    .unwrap();
     // Port 1: declared as low-rate, actually floods the bus (faulty or
     // malicious silicon).
     sys.add_accelerator(Box::new(BandwidthStealer::new(
@@ -42,7 +43,8 @@ fn main() {
         1 << 20,
         256,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
 
     // The rogue HA declared it needs at most 64 sub-transactions per
     // period; two violating periods are tolerated before decoupling.

@@ -102,8 +102,10 @@ fn scenario_contention(args: &Args) {
         make_design(&args.design, 2),
         MemoryController::new(MemConfig::zcu102()),
     );
-    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())));
-    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())));
+    sys.add_accelerator(Box::new(Chaidnn::googlenet(ChaidnnConfig::default())))
+        .unwrap();
+    sys.add_accelerator(Box::new(Dma::new("HA_DMA", DmaConfig::case_study())))
+        .unwrap();
     sys.run_for(args.cycles);
     println!(
         "CHaiDNN: {:.1} fps   HA_DMA: {:.1} jobs/s   ({} cycles, {})",
@@ -125,17 +127,19 @@ fn scenario_fairness(args: &Args) {
         1 << 20,
         16,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(BandwidthStealer::new(
         "aggressor",
         0x3000_0000,
         1 << 20,
         256,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.run_for(args.cycles);
-    let victim = sys.accelerator(0).jobs_completed() * 16 * 16;
-    let aggr = sys.accelerator(1).jobs_completed() * 256 * 16;
+    let victim = sys.accelerator(0).unwrap().jobs_completed() * 16 * 16;
+    let aggr = sys.accelerator(1).unwrap().jobs_completed() * 256 * 16;
     println!(
         "victim {:.2} MiB vs aggressor {:.2} MiB  (ratio {:.2}x, {})",
         victim as f64 / (1 << 20) as f64,
@@ -157,14 +161,16 @@ fn scenario_stress(args: &Args) {
         64,
         10,
         1,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(BandwidthStealer::new(
         "steal",
         0x3000_0000,
         1 << 20,
         256,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(RandomTraffic::new(
         "rnd1",
         0x5000_0000,
@@ -173,8 +179,10 @@ fn scenario_stress(args: &Args) {
         32,
         50,
         2,
-    )));
-    sys.add_accelerator(Box::new(Dma::new("dma", DmaConfig::case_study())));
+    )))
+    .unwrap();
+    sys.add_accelerator(Box::new(Dma::new("dma", DmaConfig::case_study())))
+        .unwrap();
     sys.run_for(args.cycles);
     let name = sys.interconnect().name();
     let monitor = sys.memory().monitor().expect("attached");

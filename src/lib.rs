@@ -16,10 +16,18 @@
 //! | [`hypervisor`] | domains, register driver, bandwidth partitioning, IP-XACT integration |
 //! | [`resources`] | analytical area model regenerating Table I |
 //!
-//! This crate ties them together with [`SocSystem`], the full-system
-//! assembly used by the examples, the integration tests and the
-//! benchmark harness that regenerates every figure and table of the
-//! paper (see `crates/bench`).
+//! This crate ties them together with two assembly layers:
+//!
+//! * [`SocSystem`] — the paper's flat Fig. 1 shape (N accelerators, one
+//!   interconnect, one FPGA-PS port), used by the examples, the
+//!   integration tests and the benchmark harness that regenerates every
+//!   figure and table of the paper (see `crates/bench`);
+//! * [`TopologyBuilder`] / [`SocTopology`] — the general form:
+//!   arbitrary *trees* of interconnects (HyperConnects cascaded behind
+//!   HyperConnects or a SmartConnect, multiple PS ports), joined by
+//!   latency-configurable [`axi::AxiBridge`]s and validated at build
+//!   time with typed [`TopologyError`]s. `SocSystem` is a thin facade
+//!   over a single-interconnect topology.
 //!
 //! ## Quick start
 //!
@@ -39,7 +47,8 @@
 //! sys.add_accelerator(Box::new(Dma::new(
 //!     "dma0",
 //!     DmaConfig::reader(16 * 1024, 16, BurstSize::B16),
-//! )));
+//! )))
+//! .unwrap();
 //! assert!(sys.run_until_done(1_000_000).is_done());
 //! ```
 
@@ -47,8 +56,10 @@
 #![warn(missing_docs)]
 
 mod system;
+mod topology;
 
-pub use system::{SchedulerMode, SocSystem};
+pub use system::SocSystem;
+pub use topology::{NodeId, SchedulerMode, SocTopology, TopologyBuilder, TopologyError};
 
 // Re-export the workspace crates under one roof for downstream users.
 pub use axi;

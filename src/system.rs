@@ -3,82 +3,24 @@
 //! `SocSystem` wires the pieces the way the paper's Fig. 1 does: each
 //! accelerator drives one interconnect slave port, the interconnect's
 //! master port drives the FPGA-PS interface of the memory controller.
-//! The tick order within a cycle is accelerators → interconnect →
-//! memory; all cross-component queues are latency-gated, so the order
-//! only fixes intra-cycle conventions, not observable timing.
+//! Since the topology layer landed, `SocSystem` is a thin facade over a
+//! single-interconnect [`SocTopology`] — the tick order within a cycle
+//! (accelerators → interconnect → memory) and every observable timing
+//! are unchanged; arbitrary trees are built directly with
+//! [`crate::TopologyBuilder`].
+
+use std::marker::PhantomData;
 
 use axi::types::PortId;
 use axi::AxiInterconnect;
 use ha::Accelerator;
 use mem::MemoryController;
-use sim::vcd::{SignalId, VcdWriter};
 use sim::{ClockConfig, Component, Cycle};
 
-/// Beat-level waveform probe at the FPGA-PS boundary (the signals the
-/// paper's custom FPGA timer watches).
-#[derive(Debug, Clone)]
-struct WaveProbe {
-    vcd: VcdWriter,
-    ar_valid: SignalId,
-    ar_addr: SignalId,
-    aw_valid: SignalId,
-    w_valid: SignalId,
-    r_valid: SignalId,
-    b_valid: SignalId,
-}
-
-impl WaveProbe {
-    fn new() -> Self {
-        let mut vcd = VcdWriter::new("fpga_ps_interface");
-        let ar_valid = vcd.add_wire("ar_valid");
-        let ar_addr = vcd.add_bus("ar_addr", 40);
-        let aw_valid = vcd.add_wire("aw_valid");
-        let w_valid = vcd.add_wire("w_valid");
-        let r_valid = vcd.add_wire("r_valid");
-        let b_valid = vcd.add_wire("b_valid");
-        Self {
-            vcd,
-            ar_valid,
-            ar_addr,
-            aw_valid,
-            w_valid,
-            r_valid,
-            b_valid,
-        }
-    }
-
-    fn sample(&mut self, now: Cycle, port: &mut axi::AxiPort) {
-        let ar = port.ar.peek_ready(now);
-        self.vcd.change_wire(now, self.ar_valid, ar.is_some());
-        if let Some(beat) = ar {
-            self.vcd.change_bus(now, self.ar_addr, beat.addr);
-        }
-        self.vcd
-            .change_wire(now, self.aw_valid, port.aw.has_ready(now));
-        self.vcd
-            .change_wire(now, self.w_valid, port.w.has_ready(now));
-        self.vcd
-            .change_wire(now, self.r_valid, port.r.has_ready(now));
-        self.vcd
-            .change_wire(now, self.b_valid, port.b.has_ready(now));
-    }
-}
-
-/// How a [`SocSystem`] advances simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SchedulerMode {
-    /// Event-horizon scheduling: when a full-system tick makes no
-    /// progress, jump `now` directly to the earliest cycle any component
-    /// promises activity at (its [`Component::next_event`] hint),
-    /// skipping the provably idle span. Cycle-exact with respect to
-    /// [`SchedulerMode::Naive`]: components may under-promise but never
-    /// over-promise, and no observable state advances on skipped cycles.
-    #[default]
-    FastForward,
-    /// Plain cycle-by-cycle stepping — the reference behavior the
-    /// equivalence tests pin fast-forward against.
-    Naive,
-}
+pub use crate::topology::SchedulerMode;
+use crate::topology::{
+    downcast_ic, downcast_ic_mut, NodeId, SocTopology, TopologyBuilder, TopologyError,
+};
 
 /// A simulated FPGA SoC: N accelerators, one interconnect, one memory
 /// controller.
@@ -100,220 +42,168 @@ pub enum SchedulerMode {
 /// sys.add_accelerator(Box::new(Dma::new(
 ///     "dma",
 ///     DmaConfig::reader(4096, 16, BurstSize::B16),
-/// )));
+/// )))
+/// .unwrap();
 /// let outcome = sys.run_until_done(100_000);
 /// assert!(outcome.is_done());
-/// assert_eq!(sys.accelerator(0).jobs_completed(), 1);
+/// assert_eq!(sys.accelerator(0).unwrap().jobs_completed(), 1);
 /// ```
-pub struct SocSystem<I: AxiInterconnect> {
-    interconnect: I,
-    accelerators: Vec<Box<dyn Accelerator>>,
-    memory: MemoryController,
-    clock: ClockConfig,
-    now: Cycle,
-    last_job_counts: Vec<u64>,
-    irq_events: Vec<PortId>,
-    wave: Option<WaveProbe>,
-    scheduler: SchedulerMode,
-    /// Accelerators whose `is_done()` has been observed true — lets
-    /// `run_until_done` avoid re-scanning every accelerator every cycle.
-    was_done: Vec<bool>,
-    done_count: usize,
-    skipped_cycles: Cycle,
+pub struct SocSystem<I: AxiInterconnect + 'static> {
+    topo: SocTopology,
+    ic: NodeId,
+    mem: NodeId,
+    _marker: PhantomData<fn() -> I>,
 }
 
-impl<I: AxiInterconnect> SocSystem<I> {
+impl<I: AxiInterconnect + 'static> SocSystem<I> {
     /// Assembles a system with no accelerators connected yet.
     pub fn new(interconnect: I, memory: MemoryController) -> Self {
+        let mut builder = TopologyBuilder::new();
+        let ic = builder
+            .add_interconnect("ic0", interconnect)
+            .expect("fresh builder has no labels");
+        let mem = builder
+            .add_memory("mem0", memory)
+            .expect("fresh builder has no labels");
+        builder
+            .connect_memory(ic, mem)
+            .expect("both endpoints are unbound");
+        let topo = builder.build().expect("one interconnect, one memory");
         Self {
-            interconnect,
-            accelerators: Vec::new(),
-            memory,
-            clock: ClockConfig::default(),
-            now: 0,
-            last_job_counts: Vec::new(),
-            irq_events: Vec::new(),
-            wave: None,
-            scheduler: SchedulerMode::default(),
-            was_done: Vec::new(),
-            done_count: 0,
-            skipped_cycles: 0,
+            topo,
+            ic,
+            mem,
+            _marker: PhantomData,
         }
     }
 
     /// Selects how the run loops advance time (default:
     /// [`SchedulerMode::FastForward`]).
     pub fn set_scheduler(&mut self, mode: SchedulerMode) {
-        self.scheduler = mode;
+        self.topo.set_scheduler(mode);
     }
 
     /// The active scheduler mode.
     pub fn scheduler(&self) -> SchedulerMode {
-        self.scheduler
+        self.topo.scheduler()
     }
 
     /// Idle cycles the fast-forward scheduler skipped over so far (zero
     /// under [`SchedulerMode::Naive`]).
     pub fn skipped_cycles(&self) -> Cycle {
-        self.skipped_cycles
+        self.topo.skipped_cycles()
     }
 
     /// Starts recording a beat-level waveform (VCD) at the FPGA-PS
     /// boundary; retrieve it with [`Self::waveform_vcd`].
     pub fn attach_waveform(&mut self) {
-        self.wave = Some(WaveProbe::new());
+        self.topo.attach_waveform(self.mem);
     }
 
     /// Renders the recorded waveform as a VCD file, if recording was
     /// enabled — openable in GTKWave and friends.
     pub fn waveform_vcd(&self) -> Option<String> {
-        self.wave.as_ref().map(|w| w.vcd.render())
+        self.topo.waveform_vcd(self.mem)
     }
 
     /// Overrides the fabric clock used for time-based reporting.
     pub fn with_clock(mut self, clock: ClockConfig) -> Self {
-        self.clock = clock;
+        self.topo.set_clock(clock);
         self
     }
 
     /// Connects an accelerator to the next free slave port, returning
     /// the port it occupies.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if every slave port is taken.
-    pub fn add_accelerator(&mut self, accelerator: Box<dyn Accelerator>) -> PortId {
-        assert!(
-            self.accelerators.len() < self.interconnect.num_ports(),
-            "all {} interconnect ports are taken",
-            self.interconnect.num_ports()
-        );
-        let done = accelerator.is_done();
-        self.accelerators.push(accelerator);
-        self.last_job_counts.push(0);
-        self.was_done.push(done);
-        self.done_count += done as usize;
-        PortId(self.accelerators.len() - 1)
+    /// [`TopologyError::PortsExhausted`] when every slave port is
+    /// taken.
+    pub fn add_accelerator(
+        &mut self,
+        accelerator: Box<dyn Accelerator>,
+    ) -> Result<PortId, TopologyError> {
+        self.topo.add_accelerator(self.ic, accelerator).map(PortId)
     }
 
     /// The interconnect under test.
     pub fn interconnect(&mut self) -> &mut I {
-        &mut self.interconnect
+        downcast_ic_mut(self.topo.ic_box_mut(self.ic))
     }
 
     /// The interconnect, immutably.
     pub fn interconnect_ref(&self) -> &I {
-        &self.interconnect
+        downcast_ic(self.topo.ic_box(self.ic))
     }
 
     /// The memory controller.
     pub fn memory(&self) -> &MemoryController {
-        &self.memory
+        self.topo.memory(self.mem).expect("facade memory node")
     }
 
     /// Mutable access to the memory controller (e.g. to pre-fill
     /// buffers or attach the protocol monitor).
     pub fn memory_mut(&mut self) -> &mut MemoryController {
-        &mut self.memory
+        self.topo.memory_mut(self.mem).expect("facade memory node")
     }
 
-    /// The accelerator at port `i`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no accelerator occupies port `i`.
-    pub fn accelerator(&self, i: usize) -> &dyn Accelerator {
-        self.accelerators[i].as_ref()
+    /// The accelerator at port `i`, or `None` when no accelerator
+    /// occupies that port.
+    pub fn accelerator(&self, i: usize) -> Option<&dyn Accelerator> {
+        self.topo.accelerator(i)
     }
 
     /// Number of connected accelerators.
     pub fn num_accelerators(&self) -> usize {
-        self.accelerators.len()
+        self.topo.num_accelerators()
     }
 
     /// The current cycle.
     pub fn now(&self) -> Cycle {
-        self.now
+        self.topo.now()
     }
 
     /// The fabric clock configuration.
     pub fn clock(&self) -> ClockConfig {
-        self.clock
+        self.topo.clock()
+    }
+
+    /// The underlying topology graph (single interconnect + memory).
+    pub fn topology(&self) -> &SocTopology {
+        &self.topo
+    }
+
+    /// Mutable access to the underlying topology graph.
+    pub fn topology_mut(&mut self) -> &mut SocTopology {
+        &mut self.topo
+    }
+
+    /// The graph node of the interconnect.
+    pub fn interconnect_node(&self) -> NodeId {
+        self.ic
+    }
+
+    /// The graph node of the memory controller.
+    pub fn memory_node(&self) -> NodeId {
+        self.mem
     }
 
     /// Completion interrupts raised since the last call: one entry per
     /// job completion, identifying the port. Route these through the
     /// hypervisor with [`hypervisor::Hypervisor::route_irq`].
     pub fn take_irq_events(&mut self) -> Vec<PortId> {
-        std::mem::take(&mut self.irq_events)
-    }
-
-    /// Whether the fast-forward scheduler may skip cycles right now.
-    /// Waveform recording samples the boundary every cycle, so it forces
-    /// naive stepping.
-    fn fast_forward_active(&self) -> bool {
-        self.scheduler == SchedulerMode::FastForward && self.wave.is_none()
-    }
-
-    /// The earliest cycle any component could make progress at, given a
-    /// tick at `now` made none: the minimum over every component's
-    /// [`Component::next_event`] hint. `None` means the whole system is
-    /// reactive-only (nothing will ever happen without outside input).
-    fn horizon(&self, now: Cycle) -> Option<Cycle> {
-        let mut horizon: Option<Cycle> = None;
-        let mut merge = |c: Option<Cycle>| {
-            horizon = match (horizon, c) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
-        };
-        for acc in &self.accelerators {
-            merge(acc.next_event(now));
-        }
-        merge(self.interconnect.next_event(now));
-        merge(self.memory.next_event(now));
-        horizon
-    }
-
-    /// Cheap digest of everything a run hook can mutate: the
-    /// interconnect's control-plane generation plus the lifetime
-    /// push/pop activity of every boundary port. All inputs are
-    /// monotonic counters, so the sum changes iff a hook moved a beat or
-    /// reconfigured the control plane.
-    fn mutation_fingerprint(&mut self) -> u64 {
-        let mut fp = self.interconnect.config_generation();
-        for i in 0..self.interconnect.num_ports() {
-            fp = fp.wrapping_add(self.interconnect.port(i).lifetime_activity());
-        }
-        fp = fp.wrapping_add(self.interconnect.mem_port().lifetime_activity());
-        if let Some(ps) = self.memory.ps_port() {
-            fp = fp.wrapping_add(ps.lifetime_activity());
-        }
-        fp
-    }
-
-    /// After a no-progress tick at `t`, the cycle to resume ticking at:
-    /// the system horizon clamped to `[t + 1, bound]` (`bound` when every
-    /// component is reactive-only).
-    fn skip_target(&mut self, t: Cycle, bound: Cycle) -> Cycle {
-        match self.horizon(t) {
-            Some(e) => e.max(t + 1).min(bound),
-            None => bound,
-        }
+        // In the facade, accelerator insertion order *is* slave-port
+        // order, so the topology's ordinals map directly to ports.
+        self.topo
+            .take_irq_events()
+            .into_iter()
+            .map(PortId)
+            .collect()
     }
 
     /// Runs for exactly `cycles` cycles.
     pub fn run_for(&mut self, cycles: Cycle) {
-        let end = self.now + cycles;
-        while self.now < end {
-            let t = self.now;
-            let progress = self.tick(t);
-            if !progress && self.fast_forward_active() {
-                let target = self.skip_target(t, end);
-                self.skipped_cycles += target - self.now;
-                self.now = target;
-            }
-        }
+        self.topo.run_for(cycles);
     }
 
     /// Runs for exactly `cycles` cycles, invoking `hook` after each
@@ -330,21 +220,20 @@ impl<I: AxiInterconnect> SocSystem<I> {
     /// mutation fingerprint detects hooks that move beats or rewrite
     /// control registers, and ticking resumes immediately when one does.
     pub fn run_for_with(&mut self, cycles: Cycle, mut hook: impl FnMut(Cycle, &mut Self)) {
-        let end = self.now + cycles;
-        while self.now < end {
-            let t = self.now;
-            let progress = self.tick(t);
-            if progress || !self.fast_forward_active() {
+        let end = self.topo.now() + cycles;
+        while self.topo.now() < end {
+            let t = self.topo.now();
+            let progress = self.topo.tick(t);
+            if progress || !self.topo.fast_forward_active() {
                 hook(t, self);
                 continue;
             }
-            let target = self.skip_target(t, end);
-            let fingerprint = self.mutation_fingerprint();
+            let target = self.topo.skip_target(t, end);
+            let fingerprint = self.topo.mutation_fingerprint();
             hook(t, self);
-            while self.now < target && self.mutation_fingerprint() == fingerprint {
-                let skipped = self.now;
-                self.now = skipped + 1;
-                self.skipped_cycles += 1;
+            while self.topo.now() < target && self.topo.mutation_fingerprint() == fingerprint {
+                let skipped = self.topo.now();
+                self.topo.note_skipped(skipped + 1);
                 hook(skipped, self);
             }
         }
@@ -357,29 +246,13 @@ impl<I: AxiInterconnect> SocSystem<I> {
     /// accelerator's completion is first observed) rather than by
     /// re-scanning every accelerator each cycle.
     pub fn run_until_done(&mut self, max_cycles: Cycle) -> sim::RunOutcome {
-        let deadline = self.now + max_cycles;
-        loop {
-            if self.done_count == self.accelerators.len() {
-                return sim::RunOutcome::Done(self.now);
-            }
-            if self.now >= deadline {
-                return sim::RunOutcome::CycleLimit(self.now);
-            }
-            let t = self.now;
-            let progress = self.tick(t);
-            if !progress && self.fast_forward_active() {
-                let target = self.skip_target(t, deadline);
-                self.skipped_cycles += target - self.now;
-                self.now = target;
-            }
-        }
+        self.topo.run_until_done(max_cycles)
     }
 
     /// Jobs/frames per *simulated second* completed by accelerator `i`
     /// so far — the paper's "rate per second" performance index.
     pub fn rate_per_second(&self, i: usize) -> f64 {
-        self.clock
-            .events_per_second(self.accelerators[i].jobs_completed(), self.now)
+        self.topo.rate_per_second(i)
     }
 
     /// One JSON object capturing everything the observability layer
@@ -392,19 +265,22 @@ impl<I: AxiInterconnect> SocSystem<I> {
     /// byte-identical under [`SchedulerMode::FastForward`] and
     /// [`SchedulerMode::Naive`].
     pub fn metrics_snapshot_json(&self) -> Option<String> {
-        let metrics = self.interconnect.metrics()?;
-        let bound = self
-            .interconnect
+        let ic = self
+            .topo
+            .interconnect_dyn(self.ic)
+            .expect("facade interconnect node");
+        let metrics = ic.metrics()?;
+        let bound = ic
             .bound_report()
             .map_or_else(|| "{\"enabled\":false}".to_owned(), |r| r.to_json());
-        let out = self.memory.outstanding_gauge();
+        let out = self.memory().outstanding_gauge();
         Some(format!(
             "{{\"schema\":\"axi-hyperconnect/metrics-snapshot/v1\",\
              \"interconnect\":\"{}\",\"cycles\":{},\"metrics\":{},\
              \"mem_outstanding\":{{\"current\":{},\"peak\":{}}},\
              \"bound_monitor\":{}}}",
-            self.interconnect.name(),
-            self.now,
+            ic.name(),
+            self.topo.now(),
             metrics.to_json(),
             out.current(),
             out.peak(),
@@ -427,56 +303,37 @@ impl SocSystem<hyperconnect::HyperConnect> {
     /// regime (see `hyperconnect::observe`); arm it only on scenarios
     /// that satisfy those assumptions.
     pub fn enable_observability(&mut self) {
-        let n = self.interconnect.num_ports();
-        let (nominal, max_out) = self.interconnect.regs().with(|rf| {
+        let (first_word, write_resp) = {
+            let config = self.memory().config();
+            (config.first_word_latency, config.write_resp_latency)
+        };
+        let hc = self.interconnect();
+        let n = hc.num_ports();
+        let (nominal, max_out) = hc.regs().with(|rf| {
             let max_out = (0..n)
                 .map(|i| rf.port(i).max_outstanding)
                 .max()
                 .unwrap_or(1);
             (rf.nominal_burst(), max_out)
         });
-        let mut model = hyperconnect::analysis::ServiceModel::hyperconnect(
-            n,
-            nominal,
-            self.memory.config().first_word_latency,
-        )
-        .max_outstanding(max_out);
-        model.write_resp_latency = self.memory.config().write_resp_latency;
-        self.interconnect.enable_bound_monitor(model);
+        let mut model = hyperconnect::analysis::ServiceModel::hyperconnect(n, nominal, first_word)
+            .max_outstanding(max_out);
+        model.write_resp_latency = write_resp;
+        hc.enable_bound_monitor(model);
     }
 }
 
-impl<I: AxiInterconnect> Component for SocSystem<I> {
+impl<I: AxiInterconnect + 'static> Component for SocSystem<I> {
     fn tick(&mut self, now: Cycle) -> bool {
-        debug_assert_eq!(now, self.now, "SocSystem must be ticked monotonically");
-        let mut progress = false;
-        for (i, acc) in self.accelerators.iter_mut().enumerate() {
-            progress |= acc.tick(now, self.interconnect.port(i));
-            let jobs = acc.jobs_completed();
-            for _ in self.last_job_counts[i]..jobs {
-                self.irq_events.push(PortId(i));
-            }
-            if !self.was_done[i] && acc.is_done() {
-                self.was_done[i] = true;
-                self.done_count += 1;
-            }
-            self.last_job_counts[i] = jobs;
-        }
-        progress |= self.interconnect.tick(now);
-        if let Some(wave) = self.wave.as_mut() {
-            wave.sample(now, self.interconnect.mem_port());
-        }
-        progress |= self.memory.tick(now, self.interconnect.mem_port());
-        self.now = now + 1;
-        progress
+        self.topo.tick(now)
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        if self.wave.is_some() {
-            // The waveform probe samples the boundary every cycle.
-            return Some(now + 1);
-        }
-        self.horizon(now)
+        self.topo.next_event(now)
+    }
+
+    fn last_active(&self) -> Vec<String> {
+        self.topo.last_active()
     }
 }
 
@@ -496,12 +353,12 @@ mod tests {
             let dma = Dma::new("d", DmaConfig::reader(16 * 1024, 16, BurstSize::B16));
             if hc {
                 let mut sys = SocSystem::new(HyperConnect::new(HcConfig::new(2)), mem);
-                sys.add_accelerator(Box::new(dma));
+                sys.add_accelerator(Box::new(dma)).unwrap();
                 let out = sys.run_until_done(1_000_000);
                 (out.is_done(), sys.now())
             } else {
                 let mut sys = SocSystem::new(SmartConnect::new(ScConfig::new(2)), mem);
-                sys.add_accelerator(Box::new(dma));
+                sys.add_accelerator(Box::new(dma)).unwrap();
                 let out = sys.run_until_done(1_000_000);
                 (out.is_done(), sys.now())
             }
@@ -524,7 +381,8 @@ mod tests {
         sys.add_accelerator(Box::new(Dma::new(
             "d",
             DmaConfig::reader(64, 16, BurstSize::B16).jobs(3),
-        )));
+        )))
+        .unwrap();
         sys.run_until_done(100_000);
         let irqs = sys.take_irq_events();
         assert_eq!(irqs, vec![PortId(0); 3]);
@@ -532,18 +390,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ports are taken")]
-    fn rejects_excess_accelerators() {
+    fn rejects_excess_accelerators_with_typed_error() {
         let mut sys = SocSystem::new(
             HyperConnect::new(HcConfig::new(1)),
             MemoryController::new(MemConfig::ideal()),
         );
-        for _ in 0..2 {
-            sys.add_accelerator(Box::new(Dma::new(
+        let port = sys
+            .add_accelerator(Box::new(Dma::new(
                 "d",
                 DmaConfig::reader(64, 16, BurstSize::B16),
-            )));
-        }
+            )))
+            .unwrap();
+        assert_eq!(port, PortId(0));
+        let err = sys
+            .add_accelerator(Box::new(Dma::new(
+                "d",
+                DmaConfig::reader(64, 16, BurstSize::B16),
+            )))
+            .unwrap_err();
+        assert!(
+            matches!(err, TopologyError::PortsExhausted { num_ports: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("all 1 slave ports"));
+        // The rejected accelerator is not half-registered.
+        assert_eq!(sys.num_accelerators(), 1);
+        assert!(sys.accelerator(1).is_none());
     }
 
     #[test]
@@ -556,7 +428,8 @@ mod tests {
         sys.add_accelerator(Box::new(Dma::new(
             "d",
             DmaConfig::reader(64, 16, BurstSize::B16).jobs(1),
-        )));
+        )))
+        .unwrap();
         sys.run_until_done(1_000);
         // 1 job over `now` cycles of a 100 Hz clock.
         let expected = 100.0 / sys.now() as f64;
@@ -573,7 +446,8 @@ mod tests {
         sys.add_accelerator(Box::new(Dma::new(
             "d",
             DmaConfig::reader(1024, 16, BurstSize::B16).jobs(1),
-        )));
+        )))
+        .unwrap();
         assert!(sys.run_until_done(100_000).is_done());
         let vcd = sys.waveform_vcd().expect("recording enabled");
         assert!(vcd.contains("$enddefinitions"));
@@ -587,10 +461,12 @@ mod tests {
             HyperConnect::new(HcConfig::new(1)),
             MemoryController::new(MemConfig::ideal()),
         );
-        plain.add_accelerator(Box::new(Dma::new(
-            "d",
-            DmaConfig::reader(64, 16, BurstSize::B16),
-        )));
+        plain
+            .add_accelerator(Box::new(Dma::new(
+                "d",
+                DmaConfig::reader(64, 16, BurstSize::B16),
+            )))
+            .unwrap();
         plain.run_for(10);
         assert!(plain.waveform_vcd().is_none());
     }
@@ -605,7 +481,8 @@ mod tests {
         sys.add_accelerator(Box::new(Dma::new(
             "d",
             DmaConfig::reader(4096, 16, BurstSize::B16).jobs(1),
-        )));
+        )))
+        .unwrap();
         assert!(sys.run_until_done(1_000_000).is_done());
         // The bound monitor checked real traffic and found nothing.
         assert!(sys.interconnect_ref().bound_violations().is_empty());
@@ -629,7 +506,8 @@ mod tests {
         sys.add_accelerator(Box::new(Dma::new(
             "d",
             DmaConfig::reader(64, 16, BurstSize::B16),
-        )));
+        )))
+        .unwrap();
         sys.run_for(100);
         assert!(sys.metrics_snapshot_json().is_none());
     }
@@ -649,7 +527,8 @@ mod tests {
                 jobs: Some(2),
                 ..DmaConfig::case_study()
             },
-        )));
+        )))
+        .unwrap();
         sys.add_accelerator(Box::new(Dma::new(
             "b",
             DmaConfig {
@@ -660,12 +539,28 @@ mod tests {
                 jobs: Some(2),
                 ..DmaConfig::case_study()
             },
-        )));
+        )))
+        .unwrap();
         let out = sys.run_until_done(2_000_000);
         assert!(out.is_done(), "{out}");
         let monitor = sys.memory().monitor().unwrap();
         assert!(monitor.is_clean(), "{:?}", monitor.errors());
         assert!(monitor.reads_completed() > 0);
         assert!(monitor.writes_completed() > 0);
+    }
+
+    #[test]
+    fn boxed_interconnect_facade_accessors_work() {
+        let boxed: Box<dyn AxiInterconnect> = Box::new(HyperConnect::new(HcConfig::new(1)));
+        let mut sys: SocSystem<Box<dyn AxiInterconnect>> =
+            SocSystem::new(boxed, MemoryController::new(MemConfig::ideal()));
+        assert_eq!(sys.interconnect_ref().name(), "HyperConnect");
+        sys.add_accelerator(Box::new(Dma::new(
+            "d",
+            DmaConfig::reader(64, 16, BurstSize::B16).jobs(1),
+        )))
+        .unwrap();
+        assert!(sys.run_until_done(100_000).is_done());
+        assert!(sys.interconnect().is_idle());
     }
 }

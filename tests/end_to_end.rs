@@ -32,7 +32,8 @@ fn dma_write_reaches_memory_through_hyperconnect() {
     sys.add_accelerator(Box::new(Dma::new(
         "copy",
         copy_config(0x1000_0000, 0x2000_0000, 64 * 1024, 16),
-    )));
+    )))
+    .unwrap();
     assert!(sys.run_until_done(10_000_000).is_done());
     // The write engine fills the destination with the canonical
     // address-keyed pattern; verify every byte landed.
@@ -54,7 +55,8 @@ fn dma_write_reaches_memory_through_smartconnect() {
     sys.add_accelerator(Box::new(Dma::new(
         "copy",
         copy_config(0x1000_0000, 0x2000_0000, 64 * 1024, 256),
-    )));
+    )))
+    .unwrap();
     assert!(sys.run_until_done(10_000_000).is_done());
     assert!(sys
         .memory()
@@ -77,11 +79,13 @@ fn concurrent_dmas_do_not_corrupt_each_other() {
     sys.add_accelerator(Box::new(Dma::new(
         "a",
         copy_config(0x1000_0000, 0x2000_0000, 32 * 1024, 16),
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(Dma::new(
         "b",
         copy_config(0x3000_0000, 0x2001_0000, 32 * 1024, 256),
-    )));
+    )))
+    .unwrap();
     assert!(sys.run_until_done(10_000_000).is_done());
     assert!(sys
         .memory()
@@ -106,14 +110,16 @@ fn mixed_dnn_and_dma_workload_completes_cleanly() {
         frames: Some(1),
         ..ChaidnnConfig::default()
     };
-    sys.add_accelerator(Box::new(Chaidnn::googlenet(dnn_cfg)));
+    sys.add_accelerator(Box::new(Chaidnn::googlenet(dnn_cfg)))
+        .unwrap();
     sys.add_accelerator(Box::new(Dma::new(
         "dma",
         copy_config(0x1000_0000, 0x2000_0000, 256 * 1024, 256).jobs(2),
-    )));
+    )))
+    .unwrap();
     assert!(sys.run_until_done(60_000_000).is_done());
-    assert_eq!(sys.accelerator(0).jobs_completed(), 1);
-    assert_eq!(sys.accelerator(1).jobs_completed(), 2);
+    assert_eq!(sys.accelerator(0).unwrap().jobs_completed(), 1);
+    assert_eq!(sys.accelerator(1).unwrap().jobs_completed(), 2);
     let m = sys.memory().monitor().unwrap();
     assert!(m.is_clean(), "{:?}", m.errors());
     assert_eq!(m.reads_outstanding(), 0);
@@ -167,7 +173,8 @@ fn memory_utilization_saturates_under_greedy_load() {
         HyperConnect::new(HcConfig::new(1)),
         MemoryController::new(MemConfig::zcu102()),
     );
-    sys.add_accelerator(Box::new(Dma::new("sat", DmaConfig::case_study())));
+    sys.add_accelerator(Box::new(Dma::new("sat", DmaConfig::case_study())))
+        .unwrap();
     sys.run_for(500_000);
     let util = sys.memory().stats().utilization(sys.now());
     assert!(util > 0.9, "utilization only {util}");
@@ -182,7 +189,8 @@ fn interconnects_drain_to_idle() {
     sys.add_accelerator(Box::new(Dma::new(
         "d",
         copy_config(0x1000_0000, 0x2000_0000, 4096, 16),
-    )));
+    )))
+    .unwrap();
     assert!(sys.run_until_done(1_000_000).is_done());
     // Let in-flight responses fully drain.
     sys.run_for(100);

@@ -29,7 +29,8 @@ fn all_memory_bursts_at_most_nominal() {
             jobs: Some(1),
             ..DmaConfig::case_study()
         },
-    )));
+    )))
+    .unwrap();
     // Watch burst lengths at the memory boundary via the monitor-side
     // trace: we re-derive them from reads/writes served plus beats.
     assert!(sys.run_until_done(10_000_000).is_done());
@@ -64,7 +65,8 @@ fn nominal_burst_is_runtime_reconfigurable() {
                 jobs: Some(1),
                 ..DmaConfig::case_study()
             },
-        )));
+        )))
+        .unwrap();
         assert!(sys.run_until_done(1_000_000).is_done());
         let ars = sys.memory().ar_trace().unwrap().len() as u32;
         assert_eq!(
@@ -160,7 +162,8 @@ fn equalization_does_not_reduce_throughput() {
                 jobs: Some(1),
                 ..DmaConfig::case_study()
             },
-        )));
+        )))
+        .unwrap();
         let out = sys.run_until_done(10_000_000);
         assert!(out.is_done());
         out.cycle()

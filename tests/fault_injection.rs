@@ -64,13 +64,15 @@ fn wlast_fault_is_reported_decoupled_and_victims_stay_bounded() {
         16,
         BurstSize::B16,
         40,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(WlastViolator::new(
         "faulty",
         0x2000_0000,
         16,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(PeriodicReader::new(
         "victim_b",
         0x3000_0000,
@@ -78,7 +80,8 @@ fn wlast_fault_is_reported_decoupled_and_victims_stay_bounded() {
         16,
         BurstSize::B16,
         40,
-    )));
+    )))
+    .unwrap();
 
     // The hypervisor polls the watchdog registers every 100 cycles.
     let mut decoupled_at: Option<Cycle> = None;
@@ -142,11 +145,11 @@ fn wlast_fault_is_reported_decoupled_and_victims_stay_bounded() {
 
     // 4. Victims keep progressing after the decoupling; the decoupled
     //    offender completes nothing more.
-    let victim_jobs = sys.accelerator(0).jobs_completed();
-    let faulty_jobs = sys.accelerator(1).jobs_completed();
+    let victim_jobs = sys.accelerator(0).unwrap().jobs_completed();
+    let faulty_jobs = sys.accelerator(1).unwrap().jobs_completed();
     sys.run_for(10_000);
-    assert!(sys.accelerator(0).jobs_completed() > victim_jobs);
-    assert_eq!(sys.accelerator(1).jobs_completed(), faulty_jobs);
+    assert!(sys.accelerator(0).unwrap().jobs_completed() > victim_jobs);
+    assert_eq!(sys.accelerator(1).unwrap().jobs_completed(), faulty_jobs);
 }
 
 /// A writer that posts an address and never drives data would wedge an
@@ -179,13 +182,15 @@ fn stalled_writer_cannot_wedge_the_write_path() {
             jobs: None,
             size: BurstSize::B16,
         },
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(StalledWriter::new(
         "hung",
         0x3000_0000,
         16,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
 
     let mut decoupled_at: Option<Cycle> = None;
     sys.run_for_with(20_000, |now, _sys| {
@@ -215,9 +220,9 @@ fn stalled_writer_cannot_wedge_the_write_path() {
     );
 
     // The victim makes progress after the decoupling...
-    let jobs = sys.accelerator(0).jobs_completed();
+    let jobs = sys.accelerator(0).unwrap().jobs_completed();
     sys.run_for(20_000);
-    assert!(sys.accelerator(0).jobs_completed() > jobs);
+    assert!(sys.accelerator(0).unwrap().jobs_completed() > jobs);
     // ...and its worst write latency is the steady-state bound plus the
     // bounded reaction window: a hung W channel genuinely suspends the
     // shared write pipeline until the hang detector fires
@@ -260,13 +265,15 @@ fn rogue_reader_gets_decerr_and_victims_are_unaffected() {
         16,
         BurstSize::B16,
         40,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(RogueReader::new(
         "rogue",
         0x8000_0000,
         16,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
 
     sys.run_for_with(20_000, |now, _sys| {
         if now % 100 == 0 {
@@ -286,6 +293,7 @@ fn rogue_reader_gets_decerr_and_victims_are_unaffected() {
     );
     let rogue = sys
         .accelerator(1)
+        .unwrap()
         .as_any()
         .downcast_ref::<RogueReader>()
         .unwrap();
@@ -298,7 +306,7 @@ fn rogue_reader_gets_decerr_and_victims_are_unaffected() {
     let bound = victim_model(2).worst_case_read_latency();
     let observed = sys.interconnect_ref().read_latency(0).max().unwrap();
     assert!(observed <= bound, "victim saw {observed} > bound {bound}");
-    assert!(sys.accelerator(0).jobs_completed() > 0);
+    assert!(sys.accelerator(0).unwrap().jobs_completed() > 0);
 }
 
 /// INCR bursts crossing a 4 KiB boundary are detected at the TS on
@@ -312,7 +320,8 @@ fn boundary_crossing_bursts_are_reported() {
         0x1000_0000,
         16,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.run_for(2_000);
     assert!(
         sys.interconnect_ref()
@@ -348,14 +357,16 @@ fn runaway_master_is_decoupled_on_outstanding_cap() {
         16,
         BurstSize::B16,
         40,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(RunawayMaster::new(
         "runaway",
         0x3000_0000,
         1 << 20,
         64,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
 
     sys.run_for_with(20_000, |now, _sys| {
         if now % 50 == 0 {

@@ -2,10 +2,14 @@
 //! root HyperConnect (4 accelerators over a 2×2 tree). The paper's
 //! integration framework connects any AXI master to any slave port, so
 //! an interconnect's master port can feed another's slave port; this
-//! test checks the composition stays correct and live.
+//! test checks the composition stays correct and live, and that the
+//! declarative [`axi_hyperconnect::TopologyBuilder`] reproduces the
+//! hand-rolled reference loop cycle for cycle.
 
+use axi::bridge::{AxiBridge, BridgeConfig};
 use axi::types::BurstSize;
 use axi::{AxiInterconnect, AxiPort};
+use axi_hyperconnect::{SchedulerMode, TopologyBuilder};
 use ha::dma::{Dma, DmaConfig};
 use ha::Accelerator;
 use hyperconnect::{HcConfig, HyperConnect};
@@ -40,8 +44,27 @@ fn bridge(now: Cycle, upstream: &mut AxiPort, downstream: &mut AxiPort) {
     }
 }
 
-#[test]
-fn two_level_tree_of_hyperconnects() {
+/// The 2×2 tree workload: four copy DMAs with disjoint regions.
+fn tree_dma(i: u64) -> Dma {
+    Dma::new(
+        format!("dma{i}"),
+        DmaConfig {
+            src_base: 0x1000_0000 + i * 0x0100_0000,
+            dst_base: 0x5000_0000 + i * 0x0100_0000,
+            read_bytes: 16 * 1024,
+            write_bytes: 16 * 1024,
+            burst_beats: 64,
+            size: BurstSize::B16,
+            max_outstanding: 4,
+            jobs: Some(1),
+        },
+    )
+}
+
+/// Hand-rolled reference: ticks each piece explicitly and returns the
+/// cycle the last DMA finished on, plus the root's per-port
+/// sub-transaction counts.
+fn run_reference_tree() -> (Cycle, [u64; 2], MemoryController) {
     let mut leaves = [
         HyperConnect::new(HcConfig::new(2)),
         HyperConnect::new(HcConfig::new(2)),
@@ -50,24 +73,7 @@ fn two_level_tree_of_hyperconnects() {
     let mut memory = MemoryController::new(MemConfig::zcu102());
     memory.attach_monitor();
 
-    // Four copy DMAs, one per leaf port, with disjoint regions.
-    let mut dmas: Vec<Dma> = (0..4u64)
-        .map(|i| {
-            Dma::new(
-                format!("dma{i}"),
-                DmaConfig {
-                    src_base: 0x1000_0000 + i * 0x0100_0000,
-                    dst_base: 0x5000_0000 + i * 0x0100_0000,
-                    read_bytes: 16 * 1024,
-                    write_bytes: 16 * 1024,
-                    burst_beats: 64,
-                    size: BurstSize::B16,
-                    max_outstanding: 4,
-                    jobs: Some(1),
-                },
-            )
-        })
-        .collect();
+    let mut dmas: Vec<Dma> = (0..4u64).map(tree_dma).collect();
 
     let mut finished_at = None;
     for now in 0..10_000_000u64 {
@@ -90,6 +96,69 @@ fn two_level_tree_of_hyperconnects() {
         }
     }
     let finished_at = finished_at.expect("tree deadlocked or starved");
+    let subs = [
+        root.port_stats(0).subs_issued,
+        root.port_stats(1).subs_issued,
+    ];
+    (finished_at, subs, memory)
+}
+
+/// The same tree assembled declaratively. Returns the completion cycle
+/// (the cycle the last DMA's tick observed done), the root's per-port
+/// sub counts and a destination-pattern verdict.
+fn run_builder_tree(mode: SchedulerMode) -> (Cycle, [u64; 2], bool, bool) {
+    let mut b = TopologyBuilder::new();
+    let root = b
+        .add_interconnect("root", HyperConnect::new(HcConfig::new(2)))
+        .unwrap();
+    let leaves = [
+        b.add_interconnect("leaf0", HyperConnect::new(HcConfig::new(2)))
+            .unwrap(),
+        b.add_interconnect("leaf1", HyperConnect::new(HcConfig::new(2)))
+            .unwrap(),
+    ];
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.attach_monitor();
+    let mem = b.add_memory("ddr", memory).unwrap();
+    for (i, &leaf) in leaves.iter().enumerate() {
+        b.cascade(leaf, root, i).unwrap();
+    }
+    for i in 0..4u64 {
+        let dma = b
+            .add_accelerator(format!("dma{i}"), Box::new(tree_dma(i)))
+            .unwrap();
+        b.attach(dma, leaves[i as usize / 2], i as usize % 2)
+            .unwrap();
+    }
+    b.connect_memory(root, mem).unwrap();
+    let mut topo = b.build().unwrap();
+    topo.set_scheduler(mode);
+
+    let out = topo.run_until_done(10_000_000);
+    assert!(out.is_done(), "{out}");
+    // `run_until_done` observes completion at the top of the next
+    // cycle, so the last productive tick was at `now - 1`.
+    let finished_at = topo.now() - 1;
+
+    let root_hc = topo
+        .interconnect_as::<HyperConnect>(root)
+        .expect("root is a HyperConnect");
+    let subs = [
+        root_hc.port_stats(0).subs_issued,
+        root_hc.port_stats(1).subs_issued,
+    ];
+    let memory = topo.memory(mem).unwrap();
+    let patterns_ok = (0..4u64).all(|i| {
+        let dst = 0x5000_0000 + i * 0x0100_0000;
+        memory.memory().verify_pattern(dst, dst, 16 * 1024)
+    });
+    let monitor_clean = memory.monitor().unwrap().is_clean();
+    (finished_at, subs, patterns_ok, monitor_clean)
+}
+
+#[test]
+fn two_level_tree_of_hyperconnects() {
+    let (finished_at, subs, memory) = run_reference_tree();
     assert!(finished_at > 0);
 
     // Every destination region holds exactly its own pattern.
@@ -105,8 +174,26 @@ fn two_level_tree_of_hyperconnects() {
     // The root's equalization re-splits nothing (leaves already
     // equalized to 16), so sub-transaction counts match: 16 KiB at
     // 16 B/beat = 1024 beats = 64 subs per direction per DMA.
-    for p in 0..2 {
-        assert_eq!(root.port_stats(p).subs_issued, 2 * 2 * 64);
+    for s in subs {
+        assert_eq!(s, 2 * 2 * 64);
+    }
+}
+
+#[test]
+fn builder_tree_matches_reference_cycle_for_cycle() {
+    let (ref_finished, ref_subs, _) = run_reference_tree();
+    for mode in [SchedulerMode::Naive, SchedulerMode::FastForward] {
+        let (finished, subs, patterns_ok, monitor_clean) = run_builder_tree(mode);
+        assert_eq!(
+            finished, ref_finished,
+            "builder tree timing diverged from the hand-rolled tree under {mode:?}"
+        );
+        assert_eq!(
+            subs, ref_subs,
+            "sub-transaction counts diverged under {mode:?}"
+        );
+        assert!(patterns_ok, "data corrupted through the builder tree");
+        assert!(monitor_clean);
     }
 }
 
@@ -114,20 +201,34 @@ fn two_level_tree_of_hyperconnects() {
 fn tree_latency_is_additive() {
     // AR latency through two cascaded HyperConnects = 4 + 4 cycles
     // (plus nothing for the zero-latency bridge).
-    let mut leaf = HyperConnect::new(HcConfig::new(1));
-    let mut root = HyperConnect::new(HcConfig::new(1));
-    leaf.port(0)
-        .ar
-        .push(0, axi::ArBeat::new(0x40, 1, BurstSize::B4))
-        .unwrap();
-    let mut arrival = None;
-    for now in 0..40 {
-        leaf.tick(now);
-        bridge(now, leaf.mem_port(), root.port(0));
-        root.tick(now);
-        if arrival.is_none() && root.mem_port().ar.has_ready(now) {
-            arrival = Some(now);
+    let arrival = |bridge_cfg: BridgeConfig| {
+        let mut leaf = HyperConnect::new(HcConfig::new(1));
+        let mut root = HyperConnect::new(HcConfig::new(1));
+        let mut hop = AxiBridge::new(bridge_cfg);
+        leaf.port(0)
+            .ar
+            .push(0, axi::ArBeat::new(0x40, 1, BurstSize::B4))
+            .unwrap();
+        let mut arrival = None;
+        for now in 0..40 {
+            leaf.tick(now);
+            hop.transfer(now, leaf.mem_port(), root.port(0));
+            root.tick(now);
+            if arrival.is_none() && root.mem_port().ar.has_ready(now) {
+                arrival = Some(now);
+            }
         }
-    }
-    assert_eq!(arrival, Some(8), "cascaded AR latency must be 4 + 4");
+        arrival
+    };
+    assert_eq!(
+        arrival(BridgeConfig::wire()),
+        Some(8),
+        "cascaded AR latency must be 4 + 4 through a wire bridge"
+    );
+    // A registered bridge adds exactly its configured latency.
+    assert_eq!(
+        arrival(BridgeConfig::registered()),
+        Some(9),
+        "a 1-cycle bridge must add exactly 1 cycle"
+    );
 }

@@ -63,14 +63,16 @@ fn integration_then_runtime_management() {
             jobs: None,
             ..DmaConfig::case_study()
         },
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(BandwidthStealer::new(
         "untrusted_gen",
         0x3000_0000,
         1 << 20,
         256,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
 
     // Run several periods; the stealer's budget (30% of capacity) is
     // above its declared 100 sub-txns/period, so the monitor trips.
@@ -92,19 +94,19 @@ fn integration_then_runtime_management() {
     // Each domain received exactly its own accelerator's completion
     // interrupts (the stealer reports one per finished burst).
     assert!(hv.domain(crit).unwrap().total_irqs() > 0);
-    let crit_jobs = sys.accelerator(0).jobs_completed();
+    let crit_jobs = sys.accelerator(0).unwrap().jobs_completed();
     assert_eq!(hv.domain(crit).unwrap().total_irqs(), crit_jobs);
 
     // The critical DMA keeps making progress after the decoupling.
-    let jobs_at_decouple = sys.accelerator(0).jobs_completed();
+    let jobs_at_decouple = sys.accelerator(0).unwrap().jobs_completed();
     sys.run_for(100_000);
-    assert!(sys.accelerator(0).jobs_completed() > jobs_at_decouple);
+    assert!(sys.accelerator(0).unwrap().jobs_completed() > jobs_at_decouple);
 
     // Operator intervention: recouple and verify traffic resumes.
     hv.recouple(PortId(1)).unwrap();
-    let stolen_before = sys.accelerator(1).jobs_completed();
+    let stolen_before = sys.accelerator(1).unwrap().jobs_completed();
     sys.run_for(50_000);
-    assert!(sys.accelerator(1).jobs_completed() > stolen_before);
+    assert!(sys.accelerator(1).unwrap().jobs_completed() > stolen_before);
 }
 
 #[test]
@@ -123,7 +125,8 @@ fn per_domain_counters_match_device_counters() {
             jobs: Some(1),
             ..DmaConfig::case_study()
         },
-    )));
+    )))
+    .unwrap();
     assert!(sys.run_until_done(1_000_000).is_done());
     // 16 KiB at 16 B/beat = 1024 beats = 64 nominal sub-transactions.
     assert_eq!(hv.hc().txns_total(0).unwrap(), 64);

@@ -89,7 +89,8 @@ fn randomized_traffic_respects_propagation_floors() {
             64,
             10,
             *seed,
-        )));
+        )))
+        .unwrap();
     }
     sys.add_accelerator(Box::new(PeriodicReader::new(
         "periodic",
@@ -98,7 +99,8 @@ fn randomized_traffic_respects_propagation_floors() {
         16,
         BurstSize::B16,
         100,
-    )));
+    )))
+    .unwrap();
     sys.run_for(400_000);
 
     assert_propagation_floors(&sys);
@@ -138,7 +140,8 @@ fn contention_free_minima_equal_fig3a_goldens() {
             jobs: Some(2),
             ..DmaConfig::case_study()
         },
-    )));
+    )))
+    .unwrap();
     let outcome = sys.run_until_done(4_000_000);
     assert!(outcome.is_done(), "DMA did not finish: {outcome}");
 
@@ -173,7 +176,8 @@ fn bound_monitor_clean_across_port_counts() {
                 64,
                 20,
                 100 + port as u64,
-            )));
+            )))
+            .unwrap();
         }
         sys.run_for(200_000);
         let report = sys.interconnect_ref().bound_report().unwrap();

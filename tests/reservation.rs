@@ -35,7 +35,8 @@ fn hv_system(budgets: &[u32], period: u32) -> (SocSystem<HyperConnect>, Hypervis
             1 << 20,
             64,
             BurstSize::B16,
-        )));
+        )))
+        .unwrap();
     }
     (sys, hv)
 }

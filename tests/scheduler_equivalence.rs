@@ -36,8 +36,8 @@ fn fingerprint<I: AxiInterconnect>(sys: &SocSystem<I>, violations: &str) -> Stri
     for i in 0..sys.num_accelerators() {
         fp.push_str(&format!(
             " {}={}",
-            sys.accelerator(i).name(),
-            sys.accelerator(i).jobs_completed()
+            sys.accelerator(i).unwrap().name(),
+            sys.accelerator(i).unwrap().jobs_completed()
         ));
     }
     fp.push_str(&format!(
@@ -84,14 +84,16 @@ fn populate<I: AxiInterconnect>(sys: &mut SocSystem<I>) {
         64,
         10,
         11,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(BandwidthStealer::new(
         "steal",
         0x3000_0000,
         1 << 20,
         256,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(PeriodicReader::new(
         "periodic",
         0x5000_0000,
@@ -99,7 +101,8 @@ fn populate<I: AxiInterconnect>(sys: &mut SocSystem<I>) {
         16,
         BurstSize::B16,
         100,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(RandomTraffic::new(
         "rnd1",
         0x7000_0000,
@@ -108,7 +111,8 @@ fn populate<I: AxiInterconnect>(sys: &mut SocSystem<I>) {
         32,
         50,
         23,
-    )));
+    )))
+    .unwrap();
 }
 
 #[test]
@@ -180,7 +184,8 @@ fn metrics_snapshot_byte_identical_across_schedulers() {
             64,
             300,
             11,
-        )));
+        )))
+        .unwrap();
         sys.add_accelerator(Box::new(RandomTraffic::new(
             "sparse1",
             0x3000_0000,
@@ -189,7 +194,8 @@ fn metrics_snapshot_byte_identical_across_schedulers() {
             32,
             500,
             23,
-        )));
+        )))
+        .unwrap();
         sys.add_accelerator(Box::new(PeriodicReader::new(
             "periodic",
             0x5000_0000,
@@ -197,7 +203,8 @@ fn metrics_snapshot_byte_identical_across_schedulers() {
             16,
             BurstSize::B16,
             1_000,
-        )));
+        )))
+        .unwrap();
         sys.add_accelerator(Box::new(RandomTraffic::new(
             "sparse2",
             0x7000_0000,
@@ -206,7 +213,8 @@ fn metrics_snapshot_byte_identical_across_schedulers() {
             32,
             400,
             47,
-        )));
+        )))
+        .unwrap();
         sys.run_for(CYCLES);
         sys
     };
@@ -258,13 +266,15 @@ fn fault_run(mode: SchedulerMode) -> (String, Option<Cycle>, u64) {
         16,
         BurstSize::B16,
         40,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(WlastViolator::new(
         "faulty",
         0x2000_0000,
         16,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(PeriodicReader::new(
         "victim_b",
         0x3000_0000,
@@ -272,7 +282,8 @@ fn fault_run(mode: SchedulerMode) -> (String, Option<Cycle>, u64) {
         16,
         BurstSize::B16,
         40,
-    )));
+    )))
+    .unwrap();
 
     let mut decoupled_at: Option<Cycle> = None;
     let mut hook_calls = 0u64;
@@ -343,7 +354,7 @@ fn chaidnn_run(mode: SchedulerMode) -> (SocSystem<HyperConnect>, Cycle, bool) {
         MemoryController::new(MemConfig::zcu102()),
     );
     sys.set_scheduler(mode);
-    sys.add_accelerator(Box::new(dnn));
+    sys.add_accelerator(Box::new(dnn)).unwrap();
     let outcome = sys.run_until_done(10_000_000);
     let done = outcome.is_done();
     let now = sys.now();
@@ -385,7 +396,8 @@ fn idle_heavy_periodic_equivalence_with_skips() {
             16,
             BurstSize::B16,
             5_000,
-        )));
+        )))
+        .unwrap();
         sys.run_for(1_000_000);
         sys
     };
@@ -419,7 +431,8 @@ fn run_until_done_and_waveform_disable_skipping() {
                 jobs: Some(3),
                 ..DmaConfig::reader(64 * 1024, 16, BurstSize::B16)
             },
-        )));
+        )))
+        .unwrap();
         let outcome = sys.run_until_done(5_000_000);
         assert!(outcome.is_done());
         sys

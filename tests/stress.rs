@@ -29,14 +29,16 @@ fn populate<I: AxiInterconnect>(sys: &mut SocSystem<I>) {
         64,
         10,
         11,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(BandwidthStealer::new(
         "steal",
         0x3000_0000,
         1 << 20,
         256,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(PeriodicReader::new(
         "periodic",
         0x5000_0000,
@@ -44,7 +46,8 @@ fn populate<I: AxiInterconnect>(sys: &mut SocSystem<I>) {
         16,
         BurstSize::B16,
         100,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(RandomTraffic::new(
         "rnd1",
         0x7000_0000,
@@ -53,7 +56,8 @@ fn populate<I: AxiInterconnect>(sys: &mut SocSystem<I>) {
         32,
         50,
         23,
-    )));
+    )))
+    .unwrap();
 }
 
 #[test]
@@ -78,9 +82,9 @@ fn hyperconnect_soak_four_masters() {
     // Every master made progress.
     for i in 0..4 {
         assert!(
-            sys.accelerator(i).jobs_completed() > 0,
+            sys.accelerator(i).unwrap().jobs_completed() > 0,
             "{} starved",
-            sys.accelerator(i).name()
+            sys.accelerator(i).unwrap().name()
         );
     }
     // High sustained utilization: the system never wedged.
@@ -114,7 +118,7 @@ fn smartconnect_soak_four_masters() {
         &monitor.errors()[..5.min(monitor.errors().len())]
     );
     for i in 0..4 {
-        assert!(sys.accelerator(i).jobs_completed() > 0);
+        assert!(sys.accelerator(i).unwrap().jobs_completed() > 0);
     }
 }
 
@@ -131,14 +135,16 @@ fn hyperconnect_soak_with_row_policy_memory() {
         64,
         10,
         5,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(BandwidthStealer::new(
         "steal",
         0x3000_0000,
         1 << 20,
         256,
         BurstSize::B16,
-    )));
+    )))
+    .unwrap();
     sys.run_for(1_000_000);
     let monitor = sys.memory().monitor().unwrap();
     assert!(monitor.is_clean(), "{:?}", monitor.errors().first());
@@ -169,7 +175,8 @@ fn tiny_buffer_configuration_never_deadlocks() {
         32,
         5,
         1,
-    )));
+    )))
+    .unwrap();
     sys.add_accelerator(Box::new(RandomTraffic::new(
         "b",
         0x2000_0000,
@@ -178,13 +185,14 @@ fn tiny_buffer_configuration_never_deadlocks() {
         32,
         5,
         2,
-    )));
+    )))
+    .unwrap();
     sys.run_for(500_000);
     for i in 0..2 {
         assert!(
-            sys.accelerator(i).jobs_completed() > 50,
+            sys.accelerator(i).unwrap().jobs_completed() > 50,
             "master {i} made little progress: {}",
-            sys.accelerator(i).jobs_completed()
+            sys.accelerator(i).unwrap().jobs_completed()
         );
     }
     assert!(sys.memory().monitor().unwrap().is_clean());
@@ -198,7 +206,7 @@ fn tiny_buffer_configuration_never_deadlocks() {
 fn fingerprint<I: AxiInterconnect>(sys: &SocSystem<I>) -> Vec<u64> {
     let stats = sys.memory().stats();
     let mut fp: Vec<u64> = (0..sys.num_accelerators())
-        .map(|i| sys.accelerator(i).jobs_completed())
+        .map(|i| sys.accelerator(i).unwrap().jobs_completed())
         .collect();
     fp.extend([
         stats.reads_served,
