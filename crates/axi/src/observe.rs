@@ -91,6 +91,10 @@ pub enum Hop {
     MemResponded,
     /// The response was delivered back into the slave port.
     Delivered,
+    /// The sub-transaction was force-flushed by a blown quiescent-drain
+    /// deadline and will never complete (dropped-transaction
+    /// accounting; `sub_end` marks drops that had already been staged).
+    Dropped,
 }
 
 impl Hop {
@@ -104,6 +108,7 @@ impl Hop {
             Hop::MemVisible => "mem_visible",
             Hop::MemResponded => "mem_responded",
             Hop::Delivered => "delivered",
+            Hop::Dropped => "dropped",
         }
     }
 }
@@ -270,6 +275,11 @@ pub struct MetricsRegistry {
     master_efifo_occupancy: Gauge,
     inflight: BTreeMap<u64, TxnRecord>,
     completed: VecDeque<TxnRecord>,
+    /// Sub-transactions force-flushed by blown drain deadlines.
+    dropped_subs: u64,
+    /// Transactions abandoned by a force-flush (tracked in flight when
+    /// their first sub was dropped).
+    dropped_txns: u64,
     /// Namespace label distinguishing this registry from other
     /// interconnect instances of the same model in one topology (empty
     /// until assigned, e.g. by `TopologyBuilder::build`).
@@ -462,8 +472,25 @@ impl MetricsRegistry {
                     self.complete(ev, visible);
                 }
             }
+            Hop::Dropped => {
+                self.dropped_subs += 1;
+                if self.inflight.remove(&ev.uid).is_some() {
+                    self.dropped_txns += 1;
+                }
+            }
             Hop::Issued | Hop::MemResponded => {}
         }
+    }
+
+    /// Sub-transactions force-flushed by blown drain deadlines.
+    pub fn dropped_subs(&self) -> u64 {
+        self.dropped_subs
+    }
+
+    /// Transactions abandoned by a force-flush (their remaining subs
+    /// never complete; the record is removed from the in-flight table).
+    pub fn dropped_txns(&self) -> u64 {
+        self.dropped_txns
     }
 
     fn append_hop(&mut self, ev: &ObsEvent) {

@@ -206,6 +206,24 @@ impl ServiceModel {
             + propagation::WRITE_TOTAL
     }
 
+    /// Worst-case cycles for a quiescent drain of one port to complete
+    /// once new admissions stop at its TS ingest.
+    ///
+    /// When a port is quiesced, everything already *admitted* — staged
+    /// sub-transactions and in-flight ones downstream of the TS — must
+    /// still complete. The last such sub-transaction is, by definition,
+    /// a staged one, so its completion is bounded by the staged-latency
+    /// bounds: every admitted sub finishes within
+    /// `max(worst_case_staged_read_latency, worst_case_staged_write_latency)`
+    /// cycles of the quiesce request taking effect. A drain that exceeds
+    /// this deadline implies a protocol fault downstream (e.g. a
+    /// stuck-valid master starving the shared W path) and justifies a
+    /// force-flush.
+    pub fn drain_deadline(&self) -> u64 {
+        self.worst_case_staged_read_latency()
+            .max(self.worst_case_staged_write_latency())
+    }
+
     /// Minimum bytes per period guaranteed to a port with budget `b`
     /// sub-transactions per period of `t` cycles, with `bytes_per_beat`
     /// wide data beats — the reservation guarantee of Pagani et al.
@@ -326,6 +344,9 @@ mod tests {
             m.worst_case_staged_read_latency() + 16 * 16 + 16 + 4 + 2
         );
         assert_eq!(m.worst_case_staged_write_latency(), 866);
+        // The drain deadline is the max of the two staged bounds: the
+        // last admitted sub-transaction is a staged one.
+        assert_eq!(m.drain_deadline(), 866);
         // The staged bound dominates the per-port in-flight bound: it
         // accounts for the whole admitted population, not one port's.
         assert!(m.worst_case_staged_read_latency() >= m.worst_case_read_latency());

@@ -430,6 +430,7 @@ mod tests {
             nominal: 16,
             max_outstanding: 8,
             enabled: true,
+            quiesced: false,
         }
     }
 
@@ -676,6 +677,7 @@ mod tests {
             nominal: 16,
             max_outstanding: 64,
             enabled: true,
+            quiesced: false,
         };
         let mut grants = Vec::new();
         for now in 1..30u64 {

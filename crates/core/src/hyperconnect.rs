@@ -64,6 +64,12 @@ pub struct HyperConnect {
     monitor: Option<crate::observe::BoundMonitor>,
     /// Scratch buffer reused to drain hop events each tick.
     obs_scratch: Vec<axi::ObsEvent>,
+    /// Per-port absolute deadline of the active quiescent drain
+    /// (`None` = no quiesce requested on that port).
+    quiesce_deadline: Vec<Option<Cycle>>,
+    /// Service model used to derive the drain deadline; falls back to a
+    /// conservative model built from live register state when unset.
+    drain_model: Option<crate::analysis::ServiceModel>,
 }
 
 impl HyperConnect {
@@ -104,7 +110,49 @@ impl HyperConnect {
             metrics: None,
             monitor: None,
             obs_scratch: Vec::new(),
+            quiesce_deadline: vec![None; n],
+            drain_model: None,
         }
+    }
+
+    /// Memory first-word latency assumed by the fallback drain model
+    /// when [`Self::set_drain_model`] was never called. Deliberately
+    /// pessimistic: a longer deadline only delays the force-flush, it
+    /// never drops transactions early.
+    pub const FALLBACK_DRAIN_MEM_LATENCY: u64 = 64;
+
+    /// Declares the service model from which the quiescent-drain
+    /// deadline is derived (see
+    /// [`crate::analysis::ServiceModel::drain_deadline`]). Implied by
+    /// [`Self::enable_bound_monitor`].
+    pub fn set_drain_model(&mut self, model: crate::analysis::ServiceModel) {
+        self.drain_model = Some(model);
+    }
+
+    /// The drain deadline in cycles currently in force: how long an
+    /// active quiesce may take before the interconnect force-flushes
+    /// the port's pre-grant state. Derived from the declared drain
+    /// model, or from a conservative model built out of live register
+    /// state ([`Self::FALLBACK_DRAIN_MEM_LATENCY`]) when none was set.
+    pub fn drain_deadline(&self) -> u64 {
+        let model = self.drain_model.unwrap_or_else(|| {
+            self.regs
+                .with(|rf| Self::fallback_drain_model(rf, self.config.num_ports))
+        });
+        model.drain_deadline()
+    }
+
+    fn fallback_drain_model(rf: &RegFile, num_ports: usize) -> crate::analysis::ServiceModel {
+        let max_out = (0..rf.num_ports())
+            .map(|i| rf.port(i).max_outstanding)
+            .max()
+            .unwrap_or(4);
+        crate::analysis::ServiceModel::hyperconnect(
+            num_ports,
+            rf.nominal_burst(),
+            Self::FALLBACK_DRAIN_MEM_LATENCY,
+        )
+        .max_outstanding(max_out)
     }
 
     /// Enables transaction-level observability: every AXI transaction
@@ -129,6 +177,7 @@ impl HyperConnect {
     pub fn enable_bound_monitor(&mut self, model: crate::analysis::ServiceModel) {
         self.enable_metrics();
         self.monitor = Some(crate::observe::BoundMonitor::new(model));
+        self.drain_model = Some(model);
     }
 
     /// The armed bound monitor, if any.
@@ -225,6 +274,9 @@ impl Component for HyperConnect {
         let scratch = &mut self.runtime_scratch;
         let tracer = &mut self.tracer;
         let counters = &self.violation_counters;
+        let quiesce = &mut self.quiesce_deadline;
+        let drain_model = self.drain_model;
+        let num_ports = self.config.num_ports;
         let mut enabled = true;
         let mut progress = self.regs.with(|rf| {
             if !rf.is_enabled() {
@@ -239,13 +291,65 @@ impl Component for HyperConnect {
                     format!("budget recharge, period {}", central.periods_elapsed()),
                 );
             }
+            let mut quiesce_progress = false;
             scratch.clear();
             for (i, efifo) in efifos.iter_mut().enumerate() {
+                // Quiescent-drain protocol: track the request edge, the
+                // drain-complete write-back and the force-flush deadline
+                // *before* the decouple sync, so a flush-induced
+                // decouple takes effect this very tick.
+                let requested = rf.port(i).quiesce_requested;
+                match (requested, quiesce[i]) {
+                    (true, None) => {
+                        let deadline = drain_model
+                            .unwrap_or_else(|| Self::fallback_drain_model(rf, num_ports))
+                            .drain_deadline();
+                        quiesce[i] = Some(now + deadline);
+                        tracer.emit(
+                            now,
+                            "quiesce",
+                            format!("port {i} drain started, deadline +{deadline} cycles"),
+                        );
+                    }
+                    (false, Some(_)) => {
+                        quiesce[i] = None;
+                        tracer.emit(now, "quiesce", format!("port {i} quiesce released"));
+                    }
+                    _ => {}
+                }
+                if let Some(deadline_at) = quiesce[i] {
+                    if supervisors[i].is_idle() {
+                        if !rf.port(i).drained {
+                            rf.port_mut(i).drained = true;
+                            quiesce_progress = true;
+                            tracer.emit(now, "quiesce", format!("port {i} drained"));
+                        }
+                    } else if now >= deadline_at {
+                        // Stuck pipeline: drop everything not yet granted
+                        // and decouple, so granted writes complete via
+                        // firewall-beat synthesis and responses ground.
+                        let dropped = supervisors[i].force_flush(now);
+                        let port = rf.port_mut(i);
+                        port.force_flushed = true;
+                        port.dropped_txns = port.dropped_txns.saturating_add(dropped);
+                        port.enabled = false;
+                        quiesce_progress = true;
+                        tracer.emit(
+                            now,
+                            "quiesce",
+                            format!(
+                                "port {i} drain deadline blown: force-flushed {dropped} \
+                                 sub-transactions, port decoupled"
+                            ),
+                        );
+                    }
+                }
                 let port = rf.port(i);
                 scratch.push(TsRuntime {
                     nominal: rf.nominal_burst(),
                     max_outstanding: port.max_outstanding,
                     enabled: port.enabled,
+                    quiesced: port.quiesce_requested,
                 });
                 if efifo.is_decoupled() == port.enabled {
                     tracer.emit(
@@ -272,7 +376,7 @@ impl Component for HyperConnect {
                 port.violations = counters[i].total() as u32;
                 port.outstanding = ts.read_outstanding() + ts.write_outstanding();
             }
-            recharged
+            recharged | quiesce_progress
         });
         if !enabled {
             return false;
@@ -351,6 +455,18 @@ impl Component for HyperConnect {
         // A supervisor owing W beats or spinning on an exhausted budget
         // advances observable counters every cycle — no skipping allowed.
         if self.supervisors.iter().any(|ts| ts.counts_every_cycle()) {
+            return Some(now + 1);
+        }
+        // An active quiescent drain advances its deadline clock and the
+        // drained write-back every cycle until the port reports
+        // drained; skipping would shift the force-flush cycle.
+        let draining = self.regs.with(|rf| {
+            self.quiesce_deadline
+                .iter()
+                .enumerate()
+                .any(|(i, q)| (q.is_some() || rf.port(i).quiesce_requested) && !rf.port(i).drained)
+        });
+        if draining {
             return Some(now + 1);
         }
         let mut horizon = self.central.next_boundary();
@@ -769,6 +885,67 @@ mod tests {
         let rep = AxiInterconnect::bound_report(&hc).unwrap();
         assert_eq!(rep.violations, 0);
         assert_eq!(rep.read_bound, 300);
+    }
+
+    #[test]
+    fn quiesce_idle_port_reports_drained_and_blocks_new_traffic() {
+        use crate::regfile::{offsets, port_block_offset, QUIESCE_DRAINED, QUIESCE_REQUESTED};
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        let q1 = port_block_offset(1) + offsets::PORT_QUIESCE;
+        hc.regs().write32(q1, QUIESCE_REQUESTED);
+        hc.tick(0);
+        assert_eq!(hc.regs().read32(q1) & QUIESCE_DRAINED, QUIESCE_DRAINED);
+        // Requests pushed under quiesce park in the slave eFIFO and
+        // never reach memory...
+        hc.port(1)
+            .ar
+            .push(1, ArBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        for now in 1..20 {
+            hc.tick(now);
+        }
+        assert!(hc.mem_port().ar.pop_ready(20).is_none());
+        // ...until the quiesce is released.
+        hc.regs().write32(q1, 0);
+        for now in 20..40 {
+            hc.tick(now);
+        }
+        assert!(hc.mem_port().ar.pop_ready(40).is_some());
+    }
+
+    #[test]
+    fn blown_drain_deadline_force_flushes_and_decouples() {
+        use crate::regfile::{offsets, port_block_offset, QUIESCE_FLUSHED, QUIESCE_REQUESTED};
+        let mut hc = HyperConnect::new(HcConfig::new(2));
+        hc.set_drain_model(crate::analysis::ServiceModel::hyperconnect(2, 16, 22));
+        // 256 beats = 16 subs; MAX_OUT 4 are granted, 12 stay pre-grant.
+        // No memory model is attached, so the granted subs never
+        // complete and the drain can only end by force-flush.
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4))
+            .unwrap();
+        for now in 0..6 {
+            hc.tick(now);
+        }
+        let q0 = port_block_offset(0) + offsets::PORT_QUIESCE;
+        hc.regs().write32(q0, QUIESCE_REQUESTED);
+        let deadline = hc.drain_deadline();
+        assert_eq!(deadline, 450, "(2,16,22) staged write bound");
+        for now in 6..(deadline + 40) {
+            hc.tick(now);
+        }
+        let status = hc.regs().read32(q0);
+        assert_ne!(status & QUIESCE_FLUSHED, 0, "sticky flush bit set");
+        assert!(status >> 16 > 0, "dropped sub-transactions surfaced");
+        // The flush decouples the port so downstream state can drain.
+        assert_eq!(
+            hc.regs().read32(port_block_offset(0) + offsets::PORT_CTRL),
+            0
+        );
+        // W1C clears the sticky flush state.
+        hc.regs().write32(q0, QUIESCE_FLUSHED);
+        assert_eq!(hc.regs().read32(q0) >> 16, 0);
     }
 
     #[test]

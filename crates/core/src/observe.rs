@@ -227,6 +227,41 @@ impl BoundMonitor {
                 }
                 _ => {}
             },
+            Hop::Dropped if ev.sub_end => {
+                // A staged sub was force-flushed: retire its pending
+                // service clock so later completions pair correctly.
+                // Dropped subs are the most recently staged entries of
+                // their uid (granted ones staged earlier), so remove
+                // from the back.
+                let port = ev.port.unwrap_or_else(|| port_of_uid(ev.uid));
+                if port >= self.pending_reads.len() {
+                    return;
+                }
+                match ev.channel {
+                    ObsChannel::Ar => {
+                        if let Some(pos) = self.pending_reads[port]
+                            .iter()
+                            .rposition(|&(uid, _)| uid == ev.uid)
+                        {
+                            self.pending_reads[port].remove(pos);
+                        }
+                    }
+                    ObsChannel::Aw => {
+                        if let Some(pos) = self.pending_writes[port]
+                            .iter()
+                            .rposition(|&(uid, _)| uid == ev.uid)
+                        {
+                            self.pending_writes[port].remove(pos);
+                        }
+                        // With no writes pending, any data-ready stamps
+                        // left behind are orphans of flushed writes.
+                        if self.pending_writes[port].is_empty() {
+                            self.w_ready[port].clear();
+                        }
+                    }
+                    _ => {}
+                }
+            }
             _ => {}
         }
     }

@@ -28,6 +28,7 @@
 //! | `+0x10` | `TXN_TOTAL` | RO | sub-transactions issued since reset (low 32 bits) |
 //! | `+0x14` | `VIOLATIONS` | RO | structured protocol violations detected since reset |
 //! | `+0x18` | `OUTSTANDING` | RO | in-flight sub-transactions (reads + writes) |
+//! | `+0x1C` | `QUIESCE` | RW | bit 0 W: request/release quiesce; read: bit 0 requested, bit 1 drained, bit 2 force-flushed (sticky), bits 31:16 dropped sub-txns; bit 2 W1C clears the sticky flush state |
 
 use axi::lite::LiteDevice;
 
@@ -51,6 +52,15 @@ const PORT_TXN_PERIOD: u64 = 0x0C;
 const PORT_TXN_TOTAL: u64 = 0x10;
 const PORT_VIOLATIONS: u64 = 0x14;
 const PORT_OUTSTANDING: u64 = 0x18;
+const PORT_QUIESCE: u64 = 0x1C;
+
+/// `QUIESCE` read: quiesce requested (drain in progress or complete).
+pub const QUIESCE_REQUESTED: u32 = 1 << 0;
+/// `QUIESCE` read: the port's pipeline state has fully drained.
+pub const QUIESCE_DRAINED: u32 = 1 << 1;
+/// `QUIESCE` read: sticky — a drain blew its deadline and staged state
+/// was force-flushed. Write 1 to this bit to clear (W1C).
+pub const QUIESCE_FLUSHED: u32 = 1 << 2;
 
 /// Runtime-visible state of one slave port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +80,17 @@ pub struct PortRegs {
     pub violations: u32,
     /// In-flight sub-transactions, reads plus writes (updated by the TS).
     pub outstanding: u32,
+    /// Quiesce requested (written by the driver; consumed by the TS,
+    /// which stops admitting new transactions while set).
+    pub quiesce_requested: bool,
+    /// Drain-complete status (written back by the interconnect once the
+    /// port's pipeline state is empty under an active quiesce).
+    pub drained: bool,
+    /// Sticky: a drain blew its deadline and staged state was dropped.
+    pub force_flushed: bool,
+    /// Sub-transactions dropped by force-flushes on this port (sticky,
+    /// cleared together with `force_flushed`).
+    pub dropped_txns: u32,
 }
 
 impl Default for PortRegs {
@@ -82,6 +103,10 @@ impl Default for PortRegs {
             txn_total: 0,
             violations: 0,
             outstanding: 0,
+            quiesce_requested: false,
+            drained: false,
+            force_flushed: false,
+            dropped_txns: 0,
         }
     }
 }
@@ -233,6 +258,13 @@ impl LiteDevice for RegFile {
                 Some((i, PORT_TXN_TOTAL)) => self.ports[i].txn_total as u32,
                 Some((i, PORT_VIOLATIONS)) => self.ports[i].violations,
                 Some((i, PORT_OUTSTANDING)) => self.ports[i].outstanding,
+                Some((i, PORT_QUIESCE)) => {
+                    let p = &self.ports[i];
+                    ((p.quiesce_requested as u32) * QUIESCE_REQUESTED)
+                        | ((p.drained as u32) * QUIESCE_DRAINED)
+                        | ((p.force_flushed as u32) * QUIESCE_FLUSHED)
+                        | (p.dropped_txns.min(0xFFFF) << 16)
+                }
                 _ => 0,
             },
         }
@@ -250,6 +282,20 @@ impl LiteDevice for RegFile {
                 Some((i, PORT_BUDGET)) => self.ports[i].budget = value,
                 Some((i, PORT_CTRL)) => self.ports[i].enabled = value & 1 != 0,
                 Some((i, PORT_MAX_OUT)) => self.ports[i].max_outstanding = value.max(1),
+                Some((i, PORT_QUIESCE)) => {
+                    let p = &mut self.ports[i];
+                    let request = value & QUIESCE_REQUESTED != 0;
+                    if request != p.quiesce_requested {
+                        p.quiesce_requested = request;
+                        // Status is recomputed by the interconnect under
+                        // an active request; a release clears it.
+                        p.drained = false;
+                    }
+                    if value & QUIESCE_FLUSHED != 0 {
+                        p.force_flushed = false;
+                        p.dropped_txns = 0;
+                    }
+                }
                 // RO / unmapped: ignored.
                 _ => {}
             },
@@ -288,6 +334,8 @@ pub mod offsets {
     pub const PORT_VIOLATIONS: u64 = super::PORT_VIOLATIONS;
     /// Per-port `OUTSTANDING` offset within a port block (read-only).
     pub const PORT_OUTSTANDING: u64 = super::PORT_OUTSTANDING;
+    /// Per-port `QUIESCE` offset within a port block.
+    pub const PORT_QUIESCE: u64 = super::PORT_QUIESCE;
 }
 
 #[cfg(test)]
@@ -382,6 +430,38 @@ mod tests {
         rf.recharge();
         assert_eq!(rf.port(0).txn_this_period, 0);
         assert_eq!(rf.port(0).txn_total, 100);
+    }
+
+    #[test]
+    fn quiesce_register_request_status_and_sticky_clear() {
+        let mut rf = RegFile::new(2);
+        let p1 = port_block_offset(1);
+        assert_eq!(rf.read32(p1 + PORT_QUIESCE), 0);
+        // Request a quiesce: the request bit reads back, drained does not
+        // (the interconnect writes that back).
+        rf.write32(p1 + PORT_QUIESCE, QUIESCE_REQUESTED);
+        assert!(rf.port(1).quiesce_requested);
+        assert_eq!(rf.read32(p1 + PORT_QUIESCE), QUIESCE_REQUESTED);
+        // Interconnect-side write-back of drain/flush state.
+        rf.port_mut(1).drained = true;
+        rf.port_mut(1).force_flushed = true;
+        rf.port_mut(1).dropped_txns = 3;
+        let status = rf.read32(p1 + PORT_QUIESCE);
+        assert_eq!(
+            status,
+            QUIESCE_REQUESTED | QUIESCE_DRAINED | QUIESCE_FLUSHED | (3 << 16)
+        );
+        // Releasing the request clears drained; the flush state is
+        // sticky until explicitly cleared (W1C on bit 2).
+        rf.write32(p1 + PORT_QUIESCE, 0);
+        assert!(!rf.port(1).quiesce_requested);
+        assert!(!rf.port(1).drained);
+        assert!(rf.port(1).force_flushed);
+        rf.write32(p1 + PORT_QUIESCE, QUIESCE_FLUSHED);
+        assert!(!rf.port(1).force_flushed);
+        assert_eq!(rf.port(1).dropped_txns, 0);
+        // Port 0 never touched.
+        assert_eq!(rf.read32(port_block_offset(0) + PORT_QUIESCE), 0);
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct TsRuntime {
     pub max_outstanding: u32,
     /// Whether the port is enabled (coupled).
     pub enabled: bool,
+    /// Whether the port is quiescing: no new transactions are admitted
+    /// at ingest, while staged and in-flight ones complete normally
+    /// (the recovery protocol's drain phase).
+    pub quiesced: bool,
 }
 
 /// Aggregate per-port counters exposed by the TS.
@@ -307,6 +311,60 @@ impl TransactionSupervisor {
             && self.write_outstanding == 0
     }
 
+    /// Force-flushes all *pre-grant* state after a blown drain
+    /// deadline: the split queues, staged sub-requests and the buffered
+    /// / owed W stream are dropped. Sub-transactions already granted to
+    /// the EXBAR are untouched — their routing state lives downstream
+    /// and they complete (or are firewalled) normally. Returns the
+    /// number of sub-transactions dropped.
+    ///
+    /// The caller must decouple the port's eFIFO at the same time:
+    /// granted writes whose buffered data was flushed here can only
+    /// complete via the EXBAR's firewall-beat synthesis, which engages
+    /// while the port is decoupled.
+    pub fn force_flush(&mut self, now: Cycle) -> u32 {
+        // (uid, channel, was_staged): staged drops carry `sub_end` so
+        // the bound monitor can retire their pending service clocks;
+        // split-queue drops never started one.
+        let mut flushed: Vec<(u64, ObsChannel, bool)> = Vec::new();
+        for sub in self.ar_split.drain(..) {
+            flushed.push((sub.beat.uid, ObsChannel::Ar, false));
+        }
+        for sub in self.aw_split.drain(..) {
+            flushed.push((sub.beat.uid, ObsChannel::Aw, false));
+        }
+        while let Some(sub) = self.ar_stage.pop_ready(Cycle::MAX) {
+            self.read_outstanding = self.read_outstanding.saturating_sub(1);
+            flushed.push((sub.beat.uid, ObsChannel::Ar, true));
+        }
+        while let Some(sub) = self.aw_stage.pop_ready(Cycle::MAX) {
+            self.write_outstanding = self.write_outstanding.saturating_sub(1);
+            flushed.push((sub.beat.uid, ObsChannel::Aw, true));
+        }
+        self.w_sublens.clear();
+        self.w_current_left = 0;
+        self.w_orig_lens.clear();
+        self.w_orig_left = 0;
+        self.w_starved = 0;
+        while self.w_stage.pop_ready(Cycle::MAX).is_some() {}
+        if let Some(port) = self.obs_port {
+            for &(uid, channel, staged) in &flushed {
+                self.obs_events.push(ObsEvent {
+                    uid,
+                    port: Some(port),
+                    channel,
+                    hop: Hop::Dropped,
+                    cycle: now,
+                    ref_cycle: now,
+                    bytes: 0,
+                    sub_end: staged,
+                    txn_end: true,
+                });
+            }
+        }
+        flushed.len() as u32
+    }
+
     fn split_ar(&mut self, ar: ArBeat, nominal: u32) {
         if ar.burst != BurstKind::Incr || ar.len <= nominal {
             self.ar_split.push_back(SubAr {
@@ -360,8 +418,11 @@ impl TransactionSupervisor {
         }
         let mut progress = false;
         // One original request per cycle per direction enters the
-        // splitter once the previous one is fully staged.
-        if self.ar_split.is_empty() {
+        // splitter once the previous one is fully staged. A quiescing
+        // port stops here: nothing new is admitted, but everything
+        // below (already-accepted W data) keeps flowing so the
+        // in-flight population can drain.
+        if self.ar_split.is_empty() && !rt.quiesced {
             if let Some(mut ar) = efifo.pop_ar(now) {
                 if ar.burst == BurstKind::Incr && crosses_4k(ar.addr, ar.len, ar.size) {
                     self.record(
@@ -390,7 +451,7 @@ impl TransactionSupervisor {
                 progress = true;
             }
         }
-        if self.aw_split.is_empty() {
+        if self.aw_split.is_empty() && !rt.quiesced {
             if let Some(mut aw) = efifo.pop_aw(now) {
                 if aw.burst == BurstKind::Incr && crosses_4k(aw.addr, aw.len, aw.size) {
                     self.record(
@@ -699,6 +760,7 @@ mod tests {
             nominal: 16,
             max_outstanding: 4,
             enabled: true,
+            quiesced: false,
         }
     }
 
@@ -1116,6 +1178,83 @@ mod tests {
         assert_eq!(vs.len(), 2);
         assert_eq!(vs[0].kind, ViolationKind::AddressDecode);
         assert_eq!(vs[1].kind, ViolationKind::ErrorResponse);
+    }
+
+    #[test]
+    fn quiesce_blocks_new_admissions_but_drains_w() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        // One write accepted before the quiesce; its W data arrives late.
+        ef.port
+            .aw
+            .push(0, AwBeat::new(0, 4, BurstSize::B4))
+            .unwrap();
+        ts.ingest(1, &mut ef, rt());
+        let q = TsRuntime {
+            quiesced: true,
+            ..rt()
+        };
+        // New requests are refused while quiesced...
+        ef.port
+            .ar
+            .push(2, ArBeat::new(0, 4, BurstSize::B4))
+            .unwrap();
+        ts.ingest(3, &mut ef, q);
+        assert!(ts.ar_stage.is_empty());
+        ts.issue(3, q);
+        assert!(ts.ar_stage.is_empty(), "no AR admitted under quiesce");
+        // ...but the owed W stream of the accepted write keeps flowing.
+        for i in 0..4u32 {
+            ef.port.w.push(3, WBeat::new(vec![0; 4], i == 3)).unwrap();
+        }
+        let mut w_seen = 0;
+        for now in 4..12 {
+            ts.ingest(now, &mut ef, q);
+            if ts.w_stage.pop_ready(now).is_some() {
+                w_seen += 1;
+            }
+        }
+        assert_eq!(w_seen, 4, "owed write data drains under quiesce");
+        // Releasing the quiesce admits the parked AR.
+        ts.ingest(20, &mut ef, rt());
+        ts.issue(20, rt());
+        assert!(ts.ar_stage.pop_ready(21).is_some());
+    }
+
+    #[test]
+    fn force_flush_drops_pre_grant_state_and_counts_it() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        // A 64-beat read splits into 4 subs; stage 2 (TimedFifo depth),
+        // leave 2 in the split queue.
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
+        ts.ingest(1, &mut ef, rt());
+        ts.issue(1, rt());
+        ts.issue(2, rt());
+        assert_eq!(ts.read_outstanding(), 2);
+        // A write with its data buffered but not yet granted.
+        ef.port
+            .aw
+            .push(2, AwBeat::new(0x100, 4, BurstSize::B4))
+            .unwrap();
+        for i in 0..4u32 {
+            ef.port.w.push(2, WBeat::new(vec![0; 4], i == 3)).unwrap();
+        }
+        for now in 3..8 {
+            ts.ingest(now, &mut ef, rt());
+        }
+        ts.issue(8, rt());
+        assert_eq!(ts.write_outstanding(), 1);
+        assert!(!ts.is_idle());
+        // 2 split ARs + 2 staged ARs + 1 staged AW dropped.
+        let dropped = ts.force_flush(10);
+        assert_eq!(dropped, 5);
+        assert_eq!(ts.read_outstanding(), 0);
+        assert_eq!(ts.write_outstanding(), 0);
+        assert!(ts.is_idle(), "flushed TS holds no state");
     }
 
     #[test]

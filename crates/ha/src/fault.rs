@@ -15,6 +15,13 @@
 //!
 //! All of them keep consuming responses (except where hanging *is* the
 //! fault), so the misbehavior under test is isolated.
+//!
+//! Every model also implements [`Accelerator::reset`] for the recovery
+//! experiments: by default a reset *cures* the fault (the model either
+//! goes quiet or, where it makes sense, resumes protocol-compliant
+//! operation), while the `permanent()` builder makes the fault survive
+//! resets — the path that drives a recovery campaign into permanent
+//! quarantine.
 
 use axi::types::{AxiId, BurstSize};
 use axi::{ArBeat, AwBeat, AxiPort, WBeat};
@@ -38,6 +45,9 @@ pub struct RogueReader {
     next_tag: u64,
     bursts_completed: u64,
     error_responses: u64,
+    permanent: bool,
+    cured: bool,
+    resets: u64,
 }
 
 impl RogueReader {
@@ -59,19 +69,34 @@ impl RogueReader {
             next_tag: 0,
             bursts_completed: 0,
             error_responses: 0,
+            permanent: false,
+            cured: false,
+            resets: 0,
         }
+    }
+
+    /// Makes the fault survive resets (broken hardware, not a
+    /// recoverable glitch).
+    pub fn permanent(mut self) -> Self {
+        self.permanent = true;
+        self
     }
 
     /// Error responses (SLVERR/DECERR) observed on completed bursts.
     pub fn error_responses(&self) -> u64 {
         self.error_responses
     }
+
+    /// Resets this model has been through.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
 }
 
 impl Accelerator for RogueReader {
     fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
         let mut progress = false;
-        if self.outstanding < self.max_outstanding && !port.ar.is_full() {
+        if !self.cured && self.outstanding < self.max_outstanding && !port.ar.is_full() {
             let beat = ArBeat::new(self.rogue_base, self.burst_beats, self.size)
                 .with_id(AxiId(0xE0))
                 .with_tag(self.next_tag)
@@ -115,6 +140,12 @@ impl Accelerator for RogueReader {
         // waits on responses — both covered by the interconnect's hint.
         None
     }
+
+    fn reset(&mut self) {
+        self.resets += 1;
+        self.outstanding = 0;
+        self.cured = !self.permanent;
+    }
 }
 
 /// A master whose INCR read bursts straddle 4 KiB boundaries — the AXI
@@ -129,6 +160,9 @@ pub struct BoundaryViolator {
     outstanding: u32,
     next_tag: u64,
     bursts_completed: u64,
+    permanent: bool,
+    cured: bool,
+    resets: u64,
 }
 
 impl BoundaryViolator {
@@ -147,14 +181,28 @@ impl BoundaryViolator {
             outstanding: 0,
             next_tag: 0,
             bursts_completed: 0,
+            permanent: false,
+            cured: false,
+            resets: 0,
         }
+    }
+
+    /// Makes the fault survive resets.
+    pub fn permanent(mut self) -> Self {
+        self.permanent = true;
+        self
+    }
+
+    /// Resets this model has been through.
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 }
 
 impl Accelerator for BoundaryViolator {
     fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
         let mut progress = false;
-        if self.outstanding < 1 && !port.ar.is_full() {
+        if !self.cured && self.outstanding < 1 && !port.ar.is_full() {
             let beat = ArBeat::new(self.base, self.burst_beats, self.size)
                 .with_id(AxiId(0xE1))
                 .with_tag(self.next_tag)
@@ -195,6 +243,12 @@ impl Accelerator for BoundaryViolator {
         // waits on responses — both covered by the interconnect's hint.
         None
     }
+
+    fn reset(&mut self) {
+        self.resets += 1;
+        self.outstanding = 0;
+        self.cured = !self.permanent;
+    }
 }
 
 /// A writer that supplies the right number of W beats but asserts WLAST
@@ -212,6 +266,9 @@ pub struct WlastViolator {
     in_flight: bool,
     next_tag: u64,
     bursts_completed: u64,
+    permanent: bool,
+    cured: bool,
+    resets: u64,
 }
 
 impl WlastViolator {
@@ -228,7 +285,21 @@ impl WlastViolator {
             in_flight: false,
             next_tag: 0,
             bursts_completed: 0,
+            permanent: false,
+            cured: false,
+            resets: 0,
         }
+    }
+
+    /// Makes the fault survive resets.
+    pub fn permanent(mut self) -> Self {
+        self.permanent = true;
+        self
+    }
+
+    /// Resets this model has been through.
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 }
 
@@ -248,9 +319,15 @@ impl Accelerator for WlastViolator {
         }
         if self.w_left > 0 && !port.w.is_full() {
             // The bug: LAST goes on the second-to-last beat instead of
-            // the last one.
-            let wrong_last = self.w_left == 2;
-            let beat = WBeat::new(vec![0xAB; self.size.bytes() as usize], wrong_last);
+            // the last one. A cured model places it correctly — this is
+            // the one fault master that resumes nominal operation after
+            // a recovery reset instead of going quiet.
+            let last = if self.cured {
+                self.w_left == 1
+            } else {
+                self.w_left == 2
+            };
+            let beat = WBeat::new(vec![0xAB; self.size.bytes() as usize], last);
             port.w.push(now, beat).expect("checked space");
             self.w_left -= 1;
             progress = true;
@@ -284,6 +361,13 @@ impl Accelerator for WlastViolator {
         // waits on responses — both covered by the interconnect's hint.
         None
     }
+
+    fn reset(&mut self) {
+        self.resets += 1;
+        self.w_left = 0;
+        self.in_flight = false;
+        self.cured = !self.permanent;
+    }
 }
 
 /// A writer that posts a write address and then never drives a single W
@@ -297,6 +381,9 @@ pub struct StalledWriter {
     burst_beats: u32,
     size: BurstSize,
     posted: bool,
+    permanent: bool,
+    cured: bool,
+    resets: u64,
 }
 
 impl StalledWriter {
@@ -309,13 +396,28 @@ impl StalledWriter {
             burst_beats: burst_beats.max(1),
             size,
             posted: false,
+            permanent: false,
+            cured: false,
+            resets: 0,
         }
+    }
+
+    /// Makes the fault survive resets: the model re-posts its hung
+    /// write address after every reset.
+    pub fn permanent(mut self) -> Self {
+        self.permanent = true;
+        self
+    }
+
+    /// Resets this model has been through.
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 }
 
 impl Accelerator for StalledWriter {
     fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
-        if !self.posted && !port.aw.is_full() {
+        if !self.cured && !self.posted && !port.aw.is_full() {
             let beat = AwBeat::new(self.base, self.burst_beats, self.size)
                 .with_id(AxiId(0xE3))
                 .with_issued_at(now);
@@ -348,6 +450,14 @@ impl Accelerator for StalledWriter {
         // waits on responses — both covered by the interconnect's hint.
         None
     }
+
+    fn reset(&mut self) {
+        self.resets += 1;
+        // Clearing `posted` lets a *permanent* model re-post its hung
+        // AW after reattach; a cured one stays quiet (the issue gate).
+        self.posted = false;
+        self.cured = !self.permanent;
+    }
 }
 
 /// A master that issues read bursts every cycle the port accepts one,
@@ -365,6 +475,9 @@ pub struct RunawayMaster {
     cursor: u64,
     next_tag: u64,
     bursts_completed: u64,
+    permanent: bool,
+    cured: bool,
+    resets: u64,
 }
 
 impl RunawayMaster {
@@ -386,7 +499,21 @@ impl RunawayMaster {
             cursor: 0,
             next_tag: 0,
             bursts_completed: 0,
+            permanent: false,
+            cured: false,
+            resets: 0,
         }
+    }
+
+    /// Makes the fault survive resets.
+    pub fn permanent(mut self) -> Self {
+        self.permanent = true;
+        self
+    }
+
+    /// Resets this model has been through.
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 }
 
@@ -394,7 +521,7 @@ impl Accelerator for RunawayMaster {
     fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
         let mut progress = false;
         // No outstanding check at all: push until the queue refuses.
-        while !port.ar.is_full() {
+        while !self.cured && !port.ar.is_full() {
             let addr = self.base + self.cursor;
             let beat = ArBeat::new(addr, self.burst_beats, self.size)
                 .with_id(AxiId(0xE4))
@@ -435,6 +562,12 @@ impl Accelerator for RunawayMaster {
         // Purely reactive: issues whenever the port has space, otherwise
         // waits on responses — both covered by the interconnect's hint.
         None
+    }
+
+    fn reset(&mut self) {
+        self.resets += 1;
+        self.cursor = 0;
+        self.cured = !self.permanent;
     }
 }
 
@@ -504,5 +637,71 @@ mod tests {
         let mut port = AxiPort::new(axi::PortConfig::wire());
         bad.tick(0, &mut port);
         assert!(port.ar.is_full(), "pushes until the port refuses");
+    }
+
+    #[test]
+    fn reset_cures_a_stalled_writer() {
+        let mut bad = StalledWriter::new("stall", 0x100, 8, BurstSize::B4);
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        bad.tick(0, &mut port);
+        assert!(port.aw.pop_ready(0).is_some());
+        bad.reset();
+        assert_eq!(bad.resets(), 1);
+        for now in 1..20 {
+            bad.tick(now, &mut port);
+        }
+        assert!(port.aw.pop_ready(20).is_none(), "cured model goes quiet");
+    }
+
+    #[test]
+    fn permanent_stalled_writer_reposts_after_reset() {
+        let mut bad = StalledWriter::new("stall", 0x100, 8, BurstSize::B4).permanent();
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        bad.tick(0, &mut port);
+        assert!(port.aw.pop_ready(0).is_some());
+        bad.reset();
+        bad.tick(1, &mut port);
+        assert!(
+            port.aw.pop_ready(1).is_some(),
+            "permanent fault re-posts its hung AW"
+        );
+    }
+
+    #[test]
+    fn reset_makes_wlast_violator_protocol_compliant() {
+        let mut bad = WlastViolator::new("wlast", 0, 4, BurstSize::B4);
+        bad.reset();
+        assert_eq!(bad.resets(), 1);
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        for now in 0..8 {
+            bad.tick(now, &mut port);
+        }
+        assert!(port.aw.pop_ready(8).is_some());
+        let lasts: Vec<bool> = std::iter::from_fn(|| port.w.pop_ready(8))
+            .map(|w| w.last)
+            .collect();
+        // Cured: LAST lands on the true final beat.
+        assert_eq!(lasts, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn permanent_faults_survive_reset() {
+        let mut rogue = RogueReader::new("rogue", 0x8000_0000, 4, BurstSize::B4).permanent();
+        rogue.reset();
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        rogue.tick(0, &mut port);
+        assert!(
+            port.ar.pop_ready(0).is_some(),
+            "permanently broken reader keeps issuing rogue reads"
+        );
+
+        let mut runaway = RunawayMaster::new("runaway", 0, 1 << 16, 4, BurstSize::B4);
+        runaway.reset();
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        runaway.tick(0, &mut port);
+        assert!(
+            port.ar.pop_ready(0).is_none(),
+            "cured runaway stops issuing"
+        );
     }
 }

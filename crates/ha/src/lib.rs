@@ -64,4 +64,14 @@ pub trait Accelerator: std::any::Any {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(now + 1)
     }
+
+    /// Models a hardware reset of the accelerator (the PL reset line
+    /// the hypervisor pulses during recovery, or a partial
+    /// reconfiguration swap). Implementations drop all internal
+    /// protocol state and either resume nominal operation or — for
+    /// models of permanently broken hardware — come back still faulty,
+    /// which is how the recovery campaign exercises the quarantine
+    /// path. The default is a no-op: a stateless generator just keeps
+    /// generating.
+    fn reset(&mut self) {}
 }

@@ -8,7 +8,10 @@
 
 use axi::lite::{DecodeError, LiteBus};
 use hyperconnect::analysis::{budgets_from_shares, period_capacity_txns};
-use hyperconnect::regfile::{offsets, port_block_offset, BUDGET_UNLIMITED, IP_VERSION};
+use hyperconnect::regfile::{
+    offsets, port_block_offset, BUDGET_UNLIMITED, IP_VERSION, QUIESCE_DRAINED, QUIESCE_FLUSHED,
+    QUIESCE_REQUESTED,
+};
 
 /// Typed accessor for one HyperConnect instance mapped on a [`LiteBus`].
 ///
@@ -188,6 +191,58 @@ impl<'b> HcDriver<'b> {
         Ok(self.bus.read32(off)? & 1 == 0)
     }
 
+    /// Requests a quiescent drain on a port: the interconnect stops
+    /// admitting new transactions at the traffic supervisor while
+    /// everything already staged or in flight completes. Poll
+    /// [`HcDriver::quiesce_status`] for completion; if the device's
+    /// drain deadline blows first, the hardware force-flushes and
+    /// decouples the port, reporting the drops in the same status word.
+    pub fn request_quiesce(&self, port: usize) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_QUIESCE;
+        Ok(self.bus.write32(off, QUIESCE_REQUESTED)?)
+    }
+
+    /// Releases a quiesce request so the port admits traffic again.
+    pub fn release_quiesce(&self, port: usize) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_QUIESCE;
+        Ok(self.bus.write32(off, 0)?)
+    }
+
+    /// Decodes the port's quiescent-drain status word.
+    pub fn quiesce_status(&self, port: usize) -> Result<QuiesceStatus, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_QUIESCE;
+        let raw = self.bus.read32(off)?;
+        Ok(QuiesceStatus {
+            requested: raw & QUIESCE_REQUESTED != 0,
+            drained: raw & QUIESCE_DRAINED != 0,
+            force_flushed: raw & QUIESCE_FLUSHED != 0,
+            dropped_txns: raw >> 16,
+        })
+    }
+
+    /// Interconnect-side port reset: clears the sticky force-flush
+    /// state and any pending quiesce request, and leaves the port
+    /// decoupled so no traffic flows while the accelerator itself is
+    /// being reset (a PL reset line or a partial-reconfiguration swap —
+    /// outside this register file).
+    pub fn reset_port(&self, port: usize) -> Result<(), DriverError> {
+        self.set_decoupled(port, true)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_QUIESCE;
+        // Bit 0 clear releases the quiesce; bit 2 is W1C for the
+        // sticky flush state and the dropped-transaction count.
+        Ok(self.bus.write32(off, QUIESCE_FLUSHED)?)
+    }
+
+    /// Reattaches a previously reset port: recouples it so traffic
+    /// flows again. The hypervisor layer is responsible for re-arming
+    /// its monitoring state around this call.
+    pub fn reattach_port(&self, port: usize) -> Result<(), DriverError> {
+        self.set_decoupled(port, false)
+    }
+
     /// Sub-transactions a port issued in the current period.
     pub fn txns_this_period(&self, port: usize) -> Result<u32, DriverError> {
         self.check_port(port)?;
@@ -259,6 +314,23 @@ impl<'b> HcDriver<'b> {
         }
         Ok(())
     }
+}
+
+/// Decoded quiescent-drain status of one port — see
+/// [`HcDriver::quiesce_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuiesceStatus {
+    /// A quiesce is currently requested.
+    pub requested: bool,
+    /// The traffic supervisor has fully drained (write-back from the
+    /// interconnect; cleared when the request is toggled).
+    pub drained: bool,
+    /// The drain deadline blew and the port was force-flushed
+    /// (sticky until [`HcDriver::reset_port`] clears it).
+    pub force_flushed: bool,
+    /// Sub-transactions dropped by the force-flush (saturating at
+    /// 0xFFFF).
+    pub dropped_txns: u32,
 }
 
 /// Saved runtime configuration of one port.
@@ -447,6 +519,61 @@ mod tests {
             drv.restore(&snap),
             Err(DriverError::BadPort { .. })
         ));
+    }
+
+    #[test]
+    fn quiesce_request_drain_and_release() {
+        use sim::Component;
+
+        let (bus, mut hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        drv.request_quiesce(0).unwrap();
+        let s = drv.quiesce_status(0).unwrap();
+        assert!(s.requested && !s.drained && !s.force_flushed);
+        // An idle port drains on the next cycle.
+        hc.tick(0);
+        assert!(drv.quiesce_status(0).unwrap().drained);
+        drv.release_quiesce(0).unwrap();
+        let s = drv.quiesce_status(0).unwrap();
+        assert!(!s.requested && !s.drained);
+    }
+
+    #[test]
+    fn reset_and_reattach_cycle_port_state() {
+        use axi::types::BurstSize;
+        use axi::{ArBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (bus, mut hc) = bus_with_hc(2);
+        hc.set_drain_model(hyperconnect::analysis::ServiceModel::hyperconnect(
+            2, 16, 22,
+        ));
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        // Pile up pre-grant state that can never complete (no memory
+        // model attached), then quiesce until the deadline blows.
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4))
+            .unwrap();
+        for now in 0..6 {
+            hc.tick(now);
+        }
+        drv.request_quiesce(0).unwrap();
+        for now in 6..520 {
+            hc.tick(now);
+        }
+        let s = drv.quiesce_status(0).unwrap();
+        assert!(s.force_flushed && s.dropped_txns > 0);
+        assert!(drv.is_decoupled(0).unwrap(), "flush decouples the port");
+        // Reset clears the sticky state, keeps the port decoupled.
+        drv.reset_port(0).unwrap();
+        let s = drv.quiesce_status(0).unwrap();
+        assert!(!s.requested && !s.force_flushed);
+        assert_eq!(s.dropped_txns, 0);
+        assert!(drv.is_decoupled(0).unwrap());
+        // Reattach recouples.
+        drv.reattach_port(0).unwrap();
+        assert!(!drv.is_decoupled(0).unwrap());
     }
 
     #[test]

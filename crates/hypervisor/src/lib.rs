@@ -27,7 +27,8 @@ pub mod integrator;
 pub mod manager;
 
 pub use domain::{Criticality, Domain, DomainId};
-pub use driver::HcDriver;
+pub use driver::{HcDriver, QuiesceStatus};
 pub use manager::{
-    HvError, Hypervisor, MonitorPolicy, WatchdogEvent, WatchdogPolicy, WatchdogReason,
+    HvError, Hypervisor, MonitorPolicy, RecoveryPolicy, RecoveryState, RecoveryTransition,
+    WatchdogEvent, WatchdogPolicy, WatchdogReason, HEALTH_LOG_CAPACITY,
 };

@@ -74,11 +74,34 @@ pub struct WatchdogPolicy {
     /// Optional cap on in-flight sub-transactions; `None` disables the
     /// outstanding check.
     pub outstanding_allowed: Option<u32>,
+    /// Consecutive polls tolerated with in-flight work but frozen
+    /// progress counters before declaring a forward-progress stall
+    /// (stuck-valid / stuck-ready); `None` disables stall detection.
+    pub stall_polls_allowed: Option<u32>,
+}
+
+impl Default for WatchdogPolicy {
+    /// A fully permissive policy: every check disabled.
+    fn default() -> Self {
+        Self {
+            violations_allowed: u32::MAX,
+            outstanding_allowed: None,
+            stall_polls_allowed: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
 struct WatchdogState {
     decoupled_by_watchdog: bool,
+    /// `VIOLATIONS` is cumulative since reset; the watchdog compares
+    /// against this baseline so a reattached port is not re-tripped by
+    /// its pre-recovery history.
+    violations_baseline: u32,
+    /// `(TXN_TOTAL, OUTSTANDING)` observed at the previous poll — the
+    /// forward-progress fingerprint for stall detection.
+    last_progress: Option<(u32, u32)>,
+    stalled_polls: u32,
 }
 
 /// Why the watchdog decoupled a port.
@@ -88,6 +111,10 @@ pub enum WatchdogReason {
     Violations,
     /// The in-flight transaction count exceeded the policy cap.
     Outstanding,
+    /// Work was outstanding but the handshake counters stopped
+    /// advancing for longer than the policy tolerates — a stuck-valid
+    /// or stuck-ready accelerator.
+    Stalled,
 }
 
 /// A decoupling event recorded by the watchdog.
@@ -112,6 +139,109 @@ pub struct DecoupleEvent {
     pub observed: u32,
     /// The declared limit.
     pub declared: u32,
+}
+
+/// Where a port stands in the hypervisor's recovery lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryState {
+    /// Nominal operation.
+    #[default]
+    Healthy,
+    /// Early misbehavior signals (accumulating violations or stall
+    /// polls); the port runs under a throttled budget while the
+    /// hypervisor waits to see whether it settles.
+    Suspect,
+    /// A quiescent drain is in progress; in-flight work is completing
+    /// (or will be force-flushed at the drain deadline).
+    Draining,
+    /// Drained and decoupled, waiting out the reattach backoff.
+    Decoupled,
+    /// The accelerator reset is in progress (modeled as a fixed number
+    /// of polls).
+    Resetting,
+    /// Reattached and under scrutiny before being declared healthy.
+    Probation,
+    /// Permanently decoupled after too many failed recoveries.
+    Quarantined,
+}
+
+/// Configures the escalating recovery ladder for a port:
+/// throttle → drain → decouple → reset → reattach, with exponential
+/// backoff between attempts and permanent quarantine after repeated
+/// failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Budget (sub-transactions per period) imposed while `Suspect`.
+    pub throttle_budget: u32,
+    /// Polls to observe a `Suspect` port before escalating to a drain
+    /// (it returns to `Healthy` earlier if the signals clear).
+    pub suspect_polls: u32,
+    /// Polls the modeled accelerator reset takes.
+    pub reset_polls: u32,
+    /// Consecutive clean polls required in `Probation` before the port
+    /// is declared `Healthy` again.
+    pub probation_polls: u32,
+    /// Backoff (in polls) before the first reset attempt; doubles on
+    /// every failed recovery.
+    pub backoff_base: u32,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: u32,
+    /// Failed recoveries (misbehavior during `Probation`) tolerated
+    /// before the port is permanently `Quarantined`.
+    pub max_recoveries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            throttle_budget: 1,
+            suspect_polls: 2,
+            reset_polls: 2,
+            probation_polls: 4,
+            backoff_base: 1,
+            backoff_cap: 8,
+            max_recoveries: 3,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Upper bound, in polls, from the poll that detects a fault to the
+    /// reattach of the *last* allowed recovery attempt — the SLA the
+    /// chaos campaign asserts against. `drain_polls` is the caller's
+    /// bound on drain duration (e.g. the device drain deadline divided
+    /// by the poll interval, rounded up, plus one write-back poll).
+    pub fn reattach_sla_polls(&self, drain_polls: u32) -> u32 {
+        let per_attempt = drain_polls + self.backoff_cap + self.reset_polls + 2;
+        self.suspect_polls + 1 + (self.max_recoveries.max(1)) * (per_attempt + 1)
+    }
+}
+
+/// A state-machine transition recorded by [`Hypervisor::poll_recovery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryTransition {
+    /// The port that moved.
+    pub port: PortId,
+    /// State before this poll.
+    pub from: RecoveryState,
+    /// State after this poll.
+    pub to: RecoveryState,
+    /// Sub-transactions reported dropped by a force-flush, observed on
+    /// the `Draining → Decoupled` edge (0 elsewhere, and 0 for clean
+    /// drains).
+    pub dropped_txns: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RecoveryPortState {
+    state: RecoveryState,
+    /// Polls spent in the current state (meaning varies per state).
+    polls_in_state: u32,
+    failed_recoveries: u32,
+    /// Polls left to wait in `Decoupled` before resetting.
+    backoff_left: u32,
+    /// Budget register value saved when entering `Suspect`.
+    saved_budget: u32,
 }
 
 /// The hypervisor: owns the control bus, the domain table and the
@@ -145,9 +275,28 @@ pub struct Hypervisor {
     policies: HashMap<usize, MonitorPolicy>,
     monitor: HashMap<usize, MonitorState>,
     decouple_log: Vec<DecoupleEvent>,
+    decouple_log_dropped: u64,
     watchdog_policies: HashMap<usize, WatchdogPolicy>,
     watchdog: HashMap<usize, WatchdogState>,
     watchdog_log: Vec<WatchdogEvent>,
+    watchdog_log_dropped: u64,
+    recovery_policies: HashMap<usize, RecoveryPolicy>,
+    recovery: HashMap<usize, RecoveryPortState>,
+    recovery_log: Vec<RecoveryTransition>,
+    recovery_log_dropped: u64,
+}
+
+/// Capacity of each hypervisor event log. Like the tracer, the logs
+/// are bounded so a flapping accelerator cannot grow hypervisor memory
+/// without limit: the oldest events are dropped and counted.
+pub const HEALTH_LOG_CAPACITY: usize = 256;
+
+fn push_capped<T>(log: &mut Vec<T>, dropped: &mut u64, event: T) {
+    if log.len() == HEALTH_LOG_CAPACITY {
+        log.remove(0);
+        *dropped += 1;
+    }
+    log.push(event);
 }
 
 impl std::fmt::Debug for Hypervisor {
@@ -177,9 +326,15 @@ impl Hypervisor {
             policies: HashMap::new(),
             monitor: HashMap::new(),
             decouple_log: Vec::new(),
+            decouple_log_dropped: 0,
             watchdog_policies: HashMap::new(),
             watchdog: HashMap::new(),
             watchdog_log: Vec::new(),
+            watchdog_log_dropped: 0,
+            recovery_policies: HashMap::new(),
+            recovery: HashMap::new(),
+            recovery_log: Vec::new(),
+            recovery_log_dropped: 0,
         })
     }
 
@@ -271,7 +426,15 @@ impl Hypervisor {
         for p in ports {
             let policy = self.policies[&p];
             if self.monitor.get(&p).is_some_and(|s| s.decoupled_by_monitor) {
-                continue;
+                // The flag says we decoupled this port, but the device
+                // may have been recoupled behind our back (e.g. via
+                // `HcDriver::set_decoupled(p, false)`). Re-arm the
+                // monitor instead of skipping the port forever on
+                // stale state.
+                if self.hc().is_decoupled(p)? {
+                    continue;
+                }
+                self.monitor.insert(p, MonitorState::default());
             }
             let observed = self.hc().txns_this_period(p)?;
             let violating = observed > policy.declared_txns_per_period;
@@ -295,16 +458,26 @@ impl Hypervisor {
                     observed,
                     declared: policy.declared_txns_per_period,
                 };
-                self.decouple_log.push(event.clone());
+                push_capped(
+                    &mut self.decouple_log,
+                    &mut self.decouple_log_dropped,
+                    event.clone(),
+                );
                 events.push(event);
             }
         }
         Ok(events)
     }
 
-    /// All decoupling events since boot.
+    /// The most recent decoupling events (at most
+    /// [`HEALTH_LOG_CAPACITY`]).
     pub fn decouple_log(&self) -> &[DecoupleEvent] {
         &self.decouple_log
+    }
+
+    /// Decoupling events discarded because the log was full.
+    pub fn decouple_log_dropped(&self) -> u64 {
+        self.decouple_log_dropped
     }
 
     /// Installs a watchdog policy for a port.
@@ -331,17 +504,41 @@ impl Hypervisor {
                 .get(&p)
                 .is_some_and(|s| s.decoupled_by_watchdog)
             {
-                continue;
+                // Same stale-state hazard as the health monitor: if the
+                // device was recoupled directly, re-arm rather than
+                // skipping the port forever.
+                if self.hc().is_decoupled(p)? {
+                    continue;
+                }
+                self.rearm_watchdog(p)?;
             }
             let violations = self.hc().violations(p)?;
             let outstanding = self.hc().outstanding(p)?;
-            let reason = if violations > policy.violations_allowed {
+            let txns_total = self.hc().txns_total(p)?;
+            let (stall_tripped, baseline) = {
+                let state = self.watchdog.entry(p).or_default();
+                let frozen =
+                    outstanding > 0 && state.last_progress == Some((txns_total, outstanding));
+                if frozen {
+                    state.stalled_polls += 1;
+                } else {
+                    state.stalled_polls = 0;
+                }
+                state.last_progress = Some((txns_total, outstanding));
+                let over = policy
+                    .stall_polls_allowed
+                    .is_some_and(|cap| state.stalled_polls > cap);
+                (over, state.violations_baseline)
+            };
+            let reason = if violations.saturating_sub(baseline) > policy.violations_allowed {
                 Some(WatchdogReason::Violations)
             } else if policy
                 .outstanding_allowed
                 .is_some_and(|cap| outstanding > cap)
             {
                 Some(WatchdogReason::Outstanding)
+            } else if stall_tripped {
+                Some(WatchdogReason::Stalled)
             } else {
                 None
             };
@@ -354,29 +551,231 @@ impl Hypervisor {
                     violations,
                     outstanding,
                 };
-                self.watchdog_log.push(event.clone());
+                push_capped(
+                    &mut self.watchdog_log,
+                    &mut self.watchdog_log_dropped,
+                    event.clone(),
+                );
                 events.push(event);
             }
         }
         Ok(events)
     }
 
-    /// All watchdog decoupling events since boot.
+    /// Resets a port's watchdog state, rebasing the cumulative
+    /// violation counter at its current value so pre-recovery history
+    /// does not immediately re-trip the watchdog.
+    fn rearm_watchdog(&mut self, p: usize) -> Result<(), HvError> {
+        let baseline = self.hc().violations(p)?;
+        self.watchdog.insert(
+            p,
+            WatchdogState {
+                violations_baseline: baseline,
+                ..WatchdogState::default()
+            },
+        );
+        Ok(())
+    }
+
+    /// The most recent watchdog decoupling events (at most
+    /// [`HEALTH_LOG_CAPACITY`]).
     pub fn watchdog_log(&self) -> &[WatchdogEvent] {
         &self.watchdog_log
+    }
+
+    /// Watchdog events discarded because the log was full.
+    pub fn watchdog_log_dropped(&self) -> u64 {
+        self.watchdog_log_dropped
     }
 
     /// Manually recouples a port (e.g. after the offending domain was
     /// restarted) and clears its monitor and watchdog state.
     ///
-    /// Note the interconnect's violation counter is cumulative since
-    /// reset, so a recoupled port that misbehaved before will trip the
-    /// watchdog again at the next poll unless its policy is raised.
+    /// The interconnect's violation counter is cumulative since reset,
+    /// so the watchdog's baseline is rebased at the current reading —
+    /// only *new* violations count against the recoupled port.
     pub fn recouple(&mut self, port: PortId) -> Result<(), HvError> {
         self.hc().set_decoupled(port.0, false)?;
         self.monitor.insert(port.0, MonitorState::default());
-        self.watchdog.insert(port.0, WatchdogState::default());
+        self.rearm_watchdog(port.0)?;
         Ok(())
+    }
+
+    /// Installs a recovery policy for a port, arming the
+    /// [`RecoveryState`] machine driven by
+    /// [`Hypervisor::poll_recovery`].
+    pub fn set_recovery_policy(&mut self, port: PortId, policy: RecoveryPolicy) {
+        self.recovery_policies.insert(port.0, policy);
+        self.recovery.entry(port.0).or_default();
+    }
+
+    /// Current recovery state of a port (if a policy is installed).
+    pub fn recovery_state(&self, port: PortId) -> Option<RecoveryState> {
+        self.recovery.get(&port.0).map(|s| s.state)
+    }
+
+    /// Failed recovery attempts recorded for a port so far.
+    pub fn failed_recoveries(&self, port: PortId) -> u32 {
+        self.recovery
+            .get(&port.0)
+            .map_or(0, |s| s.failed_recoveries)
+    }
+
+    /// The most recent recovery transitions (at most
+    /// [`HEALTH_LOG_CAPACITY`]).
+    pub fn recovery_log(&self) -> &[RecoveryTransition] {
+        &self.recovery_log
+    }
+
+    /// Recovery transitions discarded because the log was full.
+    pub fn recovery_log_dropped(&self) -> u64 {
+        self.recovery_log_dropped
+    }
+
+    /// Whether a port's health signals look bad *right now*: it was
+    /// decoupled by the monitor or watchdog, or violations / stall
+    /// polls are accumulating toward a threshold.
+    fn port_suspect_signals(&self, p: usize) -> (bool, bool) {
+        let hard = self.monitor.get(&p).is_some_and(|s| s.decoupled_by_monitor)
+            || self
+                .watchdog
+                .get(&p)
+                .is_some_and(|s| s.decoupled_by_watchdog);
+        let soft = self
+            .monitor
+            .get(&p)
+            .is_some_and(|s| s.consecutive_violations > 0)
+            || self.watchdog.get(&p).is_some_and(|s| s.stalled_polls > 0);
+        (hard, soft)
+    }
+
+    /// One tick of the recovery state machine, intended to run once per
+    /// reservation period *after* [`Hypervisor::poll_health`] and
+    /// [`Hypervisor::poll_watchdog`] (this method calls both itself, so
+    /// a caller using `poll_recovery` alone gets the full pipeline).
+    ///
+    /// Escalation ladder per port with a [`RecoveryPolicy`]:
+    ///
+    /// 1. `Healthy → Suspect` on accumulating-but-subcritical signals:
+    ///    the budget is throttled while the hypervisor watches.
+    /// 2. `Healthy/Suspect → Draining` once the port is decoupled by
+    ///    the monitor or watchdog (or stays suspect too long): a
+    ///    quiescent drain lets in-flight work finish; the device
+    ///    force-flushes at the drain deadline if it does not.
+    /// 3. `Draining → Decoupled` when the status word reports drained
+    ///    or force-flushed; the reattach backoff (exponential in the
+    ///    number of failed recoveries) elapses here.
+    /// 4. `Decoupled → Resetting` issues [`HcDriver::reset_port`]. The
+    ///    transition is the caller's cue to reset the accelerator
+    ///    itself (PL reset line / bitstream swap, outside this model).
+    /// 5. `Resetting → Probation` after `reset_polls`: the port is
+    ///    reattached with monitor and watchdog state re-armed.
+    /// 6. `Probation → Healthy` after `probation_polls` clean polls, or
+    ///    back to `Draining` on renewed misbehavior — after
+    ///    `max_recoveries` failures the port is `Quarantined` for good.
+    pub fn poll_recovery(&mut self) -> Result<Vec<RecoveryTransition>, HvError> {
+        self.poll_health()?;
+        self.poll_watchdog()?;
+        let mut transitions = Vec::new();
+        let mut ports: Vec<usize> = self.recovery_policies.keys().copied().collect();
+        ports.sort_unstable();
+        for p in ports {
+            let policy = self.recovery_policies[&p];
+            let (hard, soft) = self.port_suspect_signals(p);
+            let state = *self.recovery.entry(p).or_default();
+            let mut next = state;
+            let mut dropped = 0;
+            match state.state {
+                RecoveryState::Healthy => {
+                    if hard {
+                        self.hc().request_quiesce(p)?;
+                        next.state = RecoveryState::Draining;
+                    } else if soft {
+                        next.saved_budget = self.hc().budget(p)?;
+                        self.hc().set_budget(p, policy.throttle_budget)?;
+                        next.state = RecoveryState::Suspect;
+                        next.polls_in_state = 0;
+                    }
+                }
+                RecoveryState::Suspect => {
+                    next.polls_in_state += 1;
+                    if hard || next.polls_in_state > policy.suspect_polls {
+                        self.hc().set_budget(p, state.saved_budget)?;
+                        self.hc().request_quiesce(p)?;
+                        next.state = RecoveryState::Draining;
+                    } else if !soft {
+                        self.hc().set_budget(p, state.saved_budget)?;
+                        next.state = RecoveryState::Healthy;
+                    }
+                }
+                RecoveryState::Draining => {
+                    let status = self.hc().quiesce_status(p)?;
+                    if status.drained || status.force_flushed {
+                        dropped = status.dropped_txns;
+                        self.hc().set_decoupled(p, true)?;
+                        next.state = RecoveryState::Decoupled;
+                        next.backoff_left = (policy.backoff_base
+                            << state.failed_recoveries.min(16))
+                        .min(policy.backoff_cap);
+                    }
+                }
+                RecoveryState::Decoupled => {
+                    if state.backoff_left > 0 {
+                        next.backoff_left = state.backoff_left - 1;
+                    } else {
+                        self.hc().reset_port(p)?;
+                        next.state = RecoveryState::Resetting;
+                        next.polls_in_state = 0;
+                    }
+                }
+                RecoveryState::Resetting => {
+                    next.polls_in_state += 1;
+                    if next.polls_in_state >= policy.reset_polls {
+                        self.hc().reattach_port(p)?;
+                        self.monitor.insert(p, MonitorState::default());
+                        self.rearm_watchdog(p)?;
+                        next.state = RecoveryState::Probation;
+                        next.polls_in_state = 0;
+                    }
+                }
+                RecoveryState::Probation => {
+                    if hard || soft {
+                        next.failed_recoveries = state.failed_recoveries + 1;
+                        if next.failed_recoveries >= policy.max_recoveries {
+                            self.hc().set_decoupled(p, true)?;
+                            next.state = RecoveryState::Quarantined;
+                        } else {
+                            self.hc().request_quiesce(p)?;
+                            next.state = RecoveryState::Draining;
+                        }
+                    } else {
+                        next.polls_in_state += 1;
+                        if next.polls_in_state >= policy.probation_polls {
+                            next.state = RecoveryState::Healthy;
+                            next.failed_recoveries = 0;
+                        }
+                    }
+                }
+                RecoveryState::Quarantined => {}
+            }
+            if next.state != state.state {
+                let transition = RecoveryTransition {
+                    port: PortId(p),
+                    from: state.state,
+                    to: next.state,
+                    dropped_txns: dropped,
+                };
+                push_capped(
+                    &mut self.recovery_log,
+                    &mut self.recovery_log_dropped,
+                    transition,
+                );
+                transitions.push(transition);
+                next.polls_in_state = 0;
+            }
+            self.recovery.insert(p, next);
+        }
+        Ok(transitions)
     }
 }
 
@@ -512,6 +911,7 @@ mod tests {
             WatchdogPolicy {
                 violations_allowed: 0,
                 outstanding_allowed: None,
+                stall_polls_allowed: None,
             },
         );
         // Clean device: nothing trips.
@@ -553,6 +953,7 @@ mod tests {
             WatchdogPolicy {
                 violations_allowed: u32::MAX,
                 outstanding_allowed: Some(2),
+                stall_polls_allowed: None,
             },
         );
         hv.hc().set_max_outstanding(0, 64).unwrap();
@@ -581,11 +982,347 @@ mod tests {
             WatchdogPolicy {
                 violations_allowed: 5,
                 outstanding_allowed: Some(8),
+                stall_polls_allowed: None,
             },
         );
         assert!(hv.poll_watchdog().unwrap().is_empty());
         hv.recouple(PortId(1)).unwrap();
         assert!(hv.poll_watchdog().unwrap().is_empty());
+    }
+
+    #[test]
+    fn watchdog_detects_forward_progress_stall() {
+        use axi::types::BurstSize;
+        use axi::{AwBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_watchdog_policy(
+            PortId(0),
+            WatchdogPolicy {
+                stall_polls_allowed: Some(2),
+                ..WatchdogPolicy::default()
+            },
+        );
+        // A stuck-valid writer: posts an address, never drives data, so
+        // the staged sub-transaction sits with frozen counters.
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0x0, 4, BurstSize::B4))
+            .unwrap();
+        for now in 0..20 {
+            hc.tick(now);
+        }
+        // Poll 1 records the fingerprint; polls 2-3 count frozen ones.
+        for _ in 0..3 {
+            assert!(hv.poll_watchdog().unwrap().is_empty());
+        }
+        let events = hv.poll_watchdog().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].reason, WatchdogReason::Stalled);
+        assert!(events[0].outstanding > 0);
+        assert!(hv.hc().is_decoupled(0).unwrap());
+    }
+
+    #[test]
+    fn device_level_recouple_rearms_health_monitor() {
+        use axi::types::BurstSize;
+        use axi::{ArBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_monitor_policy(
+            PortId(0),
+            MonitorPolicy {
+                declared_txns_per_period: 10,
+                violations_allowed: 1,
+            },
+        );
+        hv.hc().set_max_outstanding(0, 64).unwrap();
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4))
+            .unwrap();
+        for now in 0..80 {
+            hc.tick(now);
+            while hc.mem_port().ar.pop_ready(now).is_some() {}
+        }
+        assert!(hv.poll_health().unwrap().is_empty());
+        assert_eq!(hv.poll_health().unwrap().len(), 1);
+        assert!(hv.hc().is_decoupled(0).unwrap());
+        // Recouple directly at the device, bypassing
+        // Hypervisor::recouple — the monitor state is now stale.
+        hv.hc().set_decoupled(0, false).unwrap();
+        // The next poll re-arms instead of skipping the port forever,
+        // so the still-violating counter decouples it again after the
+        // usual tolerance.
+        assert!(hv.poll_health().unwrap().is_empty());
+        let events = hv.poll_health().unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(hv.hc().is_decoupled(0).unwrap());
+        assert_eq!(hv.decouple_log().len(), 2);
+    }
+
+    #[test]
+    fn device_level_recouple_rearms_watchdog_with_baseline() {
+        use axi::types::BurstSize;
+        use axi::{AwBeat, AxiInterconnect, WBeat};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_watchdog_policy(
+            PortId(0),
+            WatchdogPolicy {
+                violations_allowed: 0,
+                ..WatchdogPolicy::default()
+            },
+        );
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0x0, 4, BurstSize::B4))
+            .unwrap();
+        for i in 0..4u32 {
+            hc.port(0)
+                .w
+                .push(0, WBeat::new(vec![0; 4], i == 1))
+                .unwrap();
+        }
+        for now in 0..20 {
+            hc.tick(now);
+        }
+        assert_eq!(hv.poll_watchdog().unwrap().len(), 1);
+        // Device-level recouple: the watchdog re-arms with the
+        // cumulative violation counter rebased, so the old history does
+        // not instantly re-trip it.
+        hv.hc().set_decoupled(0, false).unwrap();
+        assert!(hv.poll_watchdog().unwrap().is_empty());
+        assert!(!hv.hc().is_decoupled(0).unwrap());
+    }
+
+    #[test]
+    fn watchdog_log_is_bounded() {
+        use axi::types::BurstSize;
+        use axi::{ArBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_watchdog_policy(
+            PortId(0),
+            WatchdogPolicy {
+                outstanding_allowed: Some(0),
+                ..WatchdogPolicy::default()
+            },
+        );
+        hv.hc().set_max_outstanding(0, 64).unwrap();
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4))
+            .unwrap();
+        for now in 0..40 {
+            hc.tick(now);
+            while hc.mem_port().ar.pop_ready(now).is_some() {}
+        }
+        // The outstanding count stays over the cap, so every
+        // poll/recouple round logs one more event.
+        for _ in 0..(HEALTH_LOG_CAPACITY + 10) {
+            assert_eq!(hv.poll_watchdog().unwrap().len(), 1);
+            hv.recouple(PortId(0)).unwrap();
+        }
+        assert_eq!(hv.watchdog_log().len(), HEALTH_LOG_CAPACITY);
+        assert_eq!(hv.watchdog_log_dropped(), 10);
+        assert_eq!(hv.decouple_log_dropped(), 0);
+    }
+
+    #[test]
+    fn recovery_throttles_suspect_ports_then_escalates() {
+        use axi::types::BurstSize;
+        use axi::{ArBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        // High tolerance: the monitor signals violations but does not
+        // decouple on its own, leaving escalation to poll_recovery.
+        hv.set_monitor_policy(
+            PortId(0),
+            MonitorPolicy {
+                declared_txns_per_period: 10,
+                violations_allowed: 100,
+            },
+        );
+        hv.set_recovery_policy(
+            PortId(0),
+            RecoveryPolicy {
+                suspect_polls: 1,
+                ..RecoveryPolicy::default()
+            },
+        );
+        hv.hc().set_budget(0, 500).unwrap();
+        hv.hc().set_max_outstanding(0, 64).unwrap();
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 256, BurstSize::B4))
+            .unwrap();
+        for now in 0..80 {
+            hc.tick(now);
+            while hc.mem_port().ar.pop_ready(now).is_some() {}
+        }
+        // Poll 1: violation signal -> Suspect with throttled budget.
+        let t = hv.poll_recovery().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].from, RecoveryState::Healthy);
+        assert_eq!(t[0].to, RecoveryState::Suspect);
+        assert_eq!(hv.hc().budget(0).unwrap(), 1);
+        // Poll 2: still violating, within suspect tolerance.
+        assert!(hv.poll_recovery().unwrap().is_empty());
+        assert_eq!(hv.recovery_state(PortId(0)), Some(RecoveryState::Suspect));
+        // Poll 3: escalate to a drain; the budget is restored first.
+        let t = hv.poll_recovery().unwrap();
+        assert_eq!(t[0].to, RecoveryState::Draining);
+        assert_eq!(hv.hc().budget(0).unwrap(), 500);
+    }
+
+    #[test]
+    fn recovery_walks_drain_reset_reattach_to_healthy() {
+        use axi::types::BurstSize;
+        use axi::{AwBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_watchdog_policy(
+            PortId(0),
+            WatchdogPolicy {
+                stall_polls_allowed: Some(0),
+                ..WatchdogPolicy::default()
+            },
+        );
+        hv.set_recovery_policy(
+            PortId(0),
+            RecoveryPolicy {
+                reset_polls: 1,
+                probation_polls: 2,
+                backoff_base: 0,
+                backoff_cap: 0,
+                ..RecoveryPolicy::default()
+            },
+        );
+        // Stuck-valid writer: the staged AW never gets its data.
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0x0, 4, BurstSize::B4))
+            .unwrap();
+        for now in 0..20 {
+            hc.tick(now);
+        }
+        // Poll 1 records the progress fingerprint.
+        assert!(hv.poll_recovery().unwrap().is_empty());
+        // Poll 2: frozen counters with outstanding work -> stall ->
+        // the port decouples and a drain starts.
+        let t = hv.poll_recovery().unwrap();
+        assert_eq!(t[0].from, RecoveryState::Healthy);
+        assert_eq!(t[0].to, RecoveryState::Draining);
+        assert_eq!(hv.watchdog_log()[0].reason, WatchdogReason::Stalled);
+        // The watchdog decoupled the port, so the granted-but-starved
+        // write completes through firewall-beat synthesis (memory side
+        // serviced below). The accelerator still owes the TS its W
+        // beats, though, so the drain can only finish when the
+        // deadline blows and force-flushes that dead bookkeeping — no
+        // staged sub-transactions are dropped in the process.
+        let mut pending_b = 0u32;
+        for now in 20..4000 {
+            hc.tick(now);
+            while hc.mem_port().aw.pop_ready(now).is_some() {}
+            while let Some(w) = hc.mem_port().w.pop_ready(now) {
+                if w.last {
+                    pending_b += 1;
+                }
+            }
+            while pending_b > 0 {
+                hc.mem_port()
+                    .b
+                    .push(now, axi::BBeat::new(axi::types::AxiId(0)))
+                    .unwrap();
+                pending_b -= 1;
+            }
+        }
+        let t = hv.poll_recovery().unwrap();
+        assert_eq!(t[0].to, RecoveryState::Decoupled);
+        assert_eq!(t[0].dropped_txns, 0);
+        // Zero backoff: the next poll issues the reset.
+        assert_eq!(hv.poll_recovery().unwrap()[0].to, RecoveryState::Resetting);
+        // Reset done: reattach into probation, recoupled.
+        let t = hv.poll_recovery().unwrap();
+        assert_eq!(t[0].to, RecoveryState::Probation);
+        assert!(!hv.hc().is_decoupled(0).unwrap());
+        // Two clean polls bring it back to healthy.
+        assert!(hv.poll_recovery().unwrap().is_empty());
+        let t = hv.poll_recovery().unwrap();
+        assert_eq!(t[0].to, RecoveryState::Healthy);
+        assert_eq!(hv.recovery_state(PortId(0)), Some(RecoveryState::Healthy));
+        assert_eq!(hv.failed_recoveries(PortId(0)), 0);
+        assert_eq!(hv.recovery_log().len(), 5);
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_the_port() {
+        use axi::types::BurstSize;
+        use axi::{AwBeat, AxiInterconnect};
+        use sim::Component;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_watchdog_policy(
+            PortId(0),
+            WatchdogPolicy {
+                stall_polls_allowed: Some(0),
+                ..WatchdogPolicy::default()
+            },
+        );
+        hv.set_recovery_policy(
+            PortId(0),
+            RecoveryPolicy {
+                reset_polls: 1,
+                probation_polls: 4,
+                backoff_base: 0,
+                backoff_cap: 0,
+                max_recoveries: 1,
+                ..RecoveryPolicy::default()
+            },
+        );
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0x0, 4, BurstSize::B4))
+            .unwrap();
+        for now in 0..20 {
+            hc.tick(now);
+        }
+        assert!(hv.poll_recovery().unwrap().is_empty());
+        assert_eq!(hv.poll_recovery().unwrap()[0].to, RecoveryState::Draining);
+        for now in 20..4000 {
+            hc.tick(now);
+        }
+        assert_eq!(hv.poll_recovery().unwrap()[0].to, RecoveryState::Decoupled);
+        assert_eq!(hv.poll_recovery().unwrap()[0].to, RecoveryState::Resetting);
+        assert_eq!(hv.poll_recovery().unwrap()[0].to, RecoveryState::Probation);
+        // The accelerator comes back still broken: it stalls again
+        // during probation.
+        hc.port(0)
+            .aw
+            .push(0, AwBeat::new(0x0, 4, BurstSize::B4))
+            .unwrap();
+        for now in 4000..4020 {
+            hc.tick(now);
+        }
+        assert!(hv.poll_recovery().unwrap().is_empty());
+        let t = hv.poll_recovery().unwrap();
+        assert_eq!(t[0].from, RecoveryState::Probation);
+        assert_eq!(t[0].to, RecoveryState::Quarantined);
+        assert!(hv.hc().is_decoupled(0).unwrap());
+        assert_eq!(hv.failed_recoveries(PortId(0)), 1);
+        // Terminal state: nothing moves the port again.
+        assert!(hv.poll_recovery().unwrap().is_empty());
+        assert_eq!(
+            hv.recovery_state(PortId(0)),
+            Some(RecoveryState::Quarantined)
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn main() {
         WatchdogPolicy {
             violations_allowed: 0,
             outstanding_allowed: None,
+            stall_polls_allowed: None,
         },
     );
 

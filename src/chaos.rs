@@ -1,0 +1,720 @@
+//! Seeded chaos campaigns over the recovery lifecycle.
+//!
+//! A chaos campaign derives a complete fault scenario from one RNG seed
+//! — interconnect shape, which port hosts which kind of misbehaving
+//! master, whether the fault is a recoverable glitch or permanently
+//! broken hardware, hypervisor poll cadence and recovery-policy knobs —
+//! then runs it end to end: the hypervisor detects the fault
+//! ([`hypervisor::Hypervisor::poll_recovery`]), quiesces and drains the
+//! port, resets the accelerator, reattaches it and either returns it to
+//! service or quarantines it. Because every draw comes from
+//! [`sim::SimRng`], a seed is a complete, replayable bug report.
+//!
+//! Each campaign is judged against three invariants (see
+//! [`ChaosOutcome::invariant_violations`]):
+//!
+//! 1. **Victims stay bounded** — no well-behaved port ever observes a
+//!    read latency above its closed-form `analysis` bound, before,
+//!    during or after the fault (and every victim makes progress);
+//! 2. **Recovery meets its SLA** — a recoverable fault is back in
+//!    service within [`hypervisor::RecoveryPolicy::reattach_sla_polls`]
+//!    hypervisor polls of detection, and a permanent fault ends in
+//!    [`hypervisor::RecoveryState::Quarantined`];
+//! 3. **Scheduler equivalence** — the same seed produces a
+//!    byte-identical [`ChaosOutcome::fingerprint`] under
+//!    [`SchedulerMode::Naive`] and [`SchedulerMode::FastForward`], so
+//!    the event-horizon scheduler cannot change what recovery observes.
+//!
+//! Campaigns run over the flat Fig. 1 shape ([`run_flat_campaign`],
+//! N accelerators on one HyperConnect) and over a two-level tree
+//! ([`run_tree_campaign`], a child HyperConnect cascaded behind a
+//! parent, with the fault injected on the child).
+
+use axi::lite::LiteBus;
+use axi::types::{BurstSize, PortId};
+use axi::{AxiInterconnect, AxiPort};
+use ha::fault::{RogueReader, RunawayMaster, StalledWriter, WlastViolator};
+use ha::traffic::PeriodicReader;
+use ha::Accelerator;
+use hyperconnect::analysis::ServiceModel;
+use hyperconnect::{HcConfig, HyperConnect};
+use hypervisor::{Hypervisor, MonitorPolicy, RecoveryPolicy, RecoveryState, WatchdogPolicy};
+use mem::{MemConfig, MemoryController};
+use sim::{Cycle, SimRng};
+
+use crate::{SchedulerMode, SocSystem, TopologyBuilder};
+
+/// AXI-Lite base the campaign maps the HyperConnect register file at.
+const HC_BASE: u64 = 0xA000_0000;
+/// Reservation period programmed before each campaign.
+const PERIOD: u32 = 2_000;
+/// Hypervisor poll cadences a scenario may draw.
+const POLL_CHOICES: [u64; 3] = [50, 100, 200];
+/// Memory decode limit: rogue reads above this earn real DECERRs while
+/// every victim region stays decodable.
+const DECODE_LIMIT: u64 = 0x4000_0000;
+
+/// The eight seeds the CI chaos-smoke job pins. Any seed works; these
+/// are chosen so the set covers all four fault kinds, each in both the
+/// recoverable and the permanent variant, and reproduces identically on
+/// every machine.
+pub const PINNED_SEEDS: [u64; 8] = [1, 3, 5, 6, 7, 8, 23, 29];
+
+/// Which misbehaving master the scenario injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Posts a write address, never drives W (stuck-valid hang).
+    StalledWriter,
+    /// Asserts WLAST on the wrong beat.
+    WlastViolator,
+    /// Reads from undecoded addresses (DECERR storms).
+    RogueReader,
+    /// Issues reads with no outstanding limit.
+    RunawayMaster,
+}
+
+impl FaultKind {
+    /// Stable name used in fingerprints and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::StalledWriter => "stalled-writer",
+            FaultKind::WlastViolator => "wlast-violator",
+            FaultKind::RogueReader => "rogue-reader",
+            FaultKind::RunawayMaster => "runaway-master",
+        }
+    }
+}
+
+/// Campaign parameters: the seed is the scenario; the scheduler and
+/// cycle budget are the only knobs that must *not* affect the outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Scenario seed — every randomized choice derives from this.
+    pub seed: u64,
+    /// Scheduler the run uses. Invariant 3 demands the outcome
+    /// fingerprint be identical across both modes.
+    pub scheduler: SchedulerMode,
+    /// Cycles to simulate (generous enough for quarantine paths).
+    pub cycles: Cycle,
+}
+
+impl ChaosConfig {
+    /// A campaign for `seed` with the default scheduler and budget.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            scheduler: SchedulerMode::FastForward,
+            cycles: 60_000,
+        }
+    }
+
+    /// Overrides the scheduler mode.
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.scheduler = mode;
+        self
+    }
+
+    /// Overrides the cycle budget.
+    pub fn cycles(mut self, cycles: Cycle) -> Self {
+        self.cycles = cycles;
+        self
+    }
+}
+
+/// Everything derived from the seed before the system is built.
+struct Scenario {
+    ports: usize,
+    fault_port: usize,
+    kind: FaultKind,
+    permanent: bool,
+    poll_interval: u64,
+    victim_periods: Vec<u64>,
+    policy: RecoveryPolicy,
+}
+
+/// Draws the scenario. The draw order is fixed — changing it changes
+/// what every pinned seed means, which the chaos tests would catch as a
+/// fingerprint mismatch against their recorded expectations.
+fn derive_scenario(seed: u64, ports_lo: usize, ports_hi: usize) -> Scenario {
+    let mut rng = SimRng::seed(seed);
+    let ports = rng.range_usize(ports_lo, ports_hi);
+    let fault_port = rng.index(ports);
+    let kind = [
+        FaultKind::StalledWriter,
+        FaultKind::WlastViolator,
+        FaultKind::RogueReader,
+        FaultKind::RunawayMaster,
+    ][rng.index(4)];
+    let permanent = rng.chance(0.25);
+    let poll_interval = POLL_CHOICES[rng.index(POLL_CHOICES.len())];
+    let victim_periods = (0..ports).map(|_| rng.range_u64(32, 64)).collect();
+    // Probation must outlast stall detection (`stall_polls_allowed` + 1
+    // polls) so a permanently hung port fails probation instead of
+    // slipping back to Healthy between watchdog trips.
+    let policy = RecoveryPolicy {
+        throttle_budget: 1,
+        suspect_polls: rng.range_u64(1, 2) as u32,
+        reset_polls: rng.range_u64(1, 2) as u32,
+        probation_polls: rng.range_u64(4, 6) as u32,
+        backoff_base: rng.range_u64(0, 1) as u32,
+        backoff_cap: 4,
+        max_recoveries: rng.range_u64(2, 3) as u32,
+    };
+    Scenario {
+        ports,
+        fault_port,
+        kind,
+        permanent,
+        poll_interval,
+        victim_periods,
+        policy,
+    }
+}
+
+/// Builds the scenario's misbehaving master.
+fn fault_model(kind: FaultKind, permanent: bool) -> Box<dyn Accelerator> {
+    match kind {
+        FaultKind::StalledWriter => {
+            let m = StalledWriter::new("chaos_stall", 0x2000_0000, 16, BurstSize::B16);
+            if permanent {
+                Box::new(m.permanent())
+            } else {
+                Box::new(m)
+            }
+        }
+        FaultKind::WlastViolator => {
+            let m = WlastViolator::new("chaos_wlast", 0x2000_0000, 16, BurstSize::B16);
+            if permanent {
+                Box::new(m.permanent())
+            } else {
+                Box::new(m)
+            }
+        }
+        FaultKind::RogueReader => {
+            let m = RogueReader::new("chaos_rogue", 0x8000_0000, 16, BurstSize::B16);
+            if permanent {
+                Box::new(m.permanent())
+            } else {
+                Box::new(m)
+            }
+        }
+        FaultKind::RunawayMaster => {
+            let m = RunawayMaster::new("chaos_runaway", 0x3000_0000, 1 << 20, 64, BurstSize::B16);
+            if permanent {
+                Box::new(m.permanent())
+            } else {
+                Box::new(m)
+            }
+        }
+    }
+}
+
+/// Arms detection and recovery for the fault port: a strict watchdog
+/// (any violation, >2 outstanding, or 3 frozen-progress polls trips
+/// it), a budget monitor, and the scenario's recovery policy.
+fn arm_hypervisor(hv: &mut Hypervisor, fault_port: usize, policy: RecoveryPolicy) {
+    hv.set_watchdog_policy(
+        PortId(fault_port),
+        WatchdogPolicy {
+            violations_allowed: 0,
+            outstanding_allowed: Some(2),
+            stall_polls_allowed: Some(2),
+        },
+    );
+    hv.set_monitor_policy(
+        PortId(fault_port),
+        MonitorPolicy {
+            declared_txns_per_period: 64,
+            violations_allowed: 2,
+        },
+    );
+    hv.set_recovery_policy(PortId(fault_port), policy);
+}
+
+/// The reset line also resets the accelerator side of the decoupler:
+/// any beats the faulty master queued before it was quiesced are gone
+/// when it comes back. Without this, stale pre-fault address beats
+/// re-trip the watchdog the moment the port reattaches.
+fn flush_port_queues(port: &mut AxiPort, now: Cycle) {
+    while port.ar.pop_ready(now).is_some() {}
+    while port.aw.pop_ready(now).is_some() {}
+    while port.w.pop_ready(now).is_some() {}
+    while port.r.pop_ready(now).is_some() {}
+    while port.b.pop_ready(now).is_some() {}
+}
+
+/// One recovery-state-machine transition, stamped with the poll cycle
+/// it was observed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// Cycle of the hypervisor poll that produced the transition.
+    pub cycle: u64,
+    /// Port the transition belongs to.
+    pub port: usize,
+    /// State left.
+    pub from: String,
+    /// State entered.
+    pub to: String,
+    /// Sub-transactions force-flushed when this was a drain completion.
+    pub dropped: u32,
+}
+
+/// The full, deterministic record of one chaos campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Scenario seed.
+    pub seed: u64,
+    /// `"flat"` or `"tree"`.
+    pub scenario: &'static str,
+    /// Scheduler the run used (excluded from the fingerprint).
+    pub scheduler: SchedulerMode,
+    /// Slave ports on the faulted interconnect.
+    pub ports: usize,
+    /// Port hosting the misbehaving master.
+    pub fault_port: usize,
+    /// Kind of misbehaving master injected.
+    pub fault_kind: FaultKind,
+    /// Whether the fault survives resets.
+    pub permanent: bool,
+    /// Hypervisor poll cadence in cycles.
+    pub poll_interval: u64,
+    /// Drain deadline the interconnect enforced (cycles).
+    pub drain_deadline: u64,
+    /// Reattach SLA in polls, from the scenario's recovery policy.
+    pub sla_polls: u32,
+    /// Every recovery transition observed, in order.
+    pub transitions: Vec<TransitionRecord>,
+    /// Recovery state of the fault port at the end of the run.
+    pub final_state: String,
+    /// Accelerator resets the campaign pulsed (on `Resetting` cues).
+    pub resets: u64,
+    /// Sub-transactions force-flushed across all drains.
+    pub dropped_subs: u32,
+    /// Closed-form victim read-latency bound, when one applies.
+    pub victim_bound: Option<u64>,
+    /// Worst read latency any victim observed.
+    pub victim_worst: u64,
+    /// Jobs each victim completed (insertion order, fault port skipped).
+    pub victim_jobs: Vec<u64>,
+    /// Cycle the run ended at.
+    pub end_cycle: u64,
+}
+
+impl ChaosOutcome {
+    /// A scheduler-independent digest of the run. Invariant 3: the same
+    /// seed must produce byte-identical fingerprints under naive and
+    /// fast-forward scheduling.
+    pub fn fingerprint(&self) -> String {
+        let transitions: Vec<String> = self
+            .transitions
+            .iter()
+            .map(|t| format!("{}:{}:{}->{}:{}", t.cycle, t.port, t.from, t.to, t.dropped))
+            .collect();
+        format!(
+            "seed={} scenario={} ports={} fault_port={} kind={} permanent={} poll={} \
+             deadline={} sla={} transitions=[{}] final={} resets={} dropped={} \
+             victim_worst={} jobs={:?} end={}",
+            self.seed,
+            self.scenario,
+            self.ports,
+            self.fault_port,
+            self.fault_kind.as_str(),
+            self.permanent,
+            self.poll_interval,
+            self.drain_deadline,
+            self.sla_polls,
+            transitions.join(","),
+            self.final_state,
+            self.resets,
+            self.dropped_subs,
+            self.victim_worst,
+            self.victim_jobs,
+            self.end_cycle,
+        )
+    }
+
+    /// Checks invariants 1 and 2 (bounded victims, SLA-compliant
+    /// recovery). An empty vector means the campaign passed; each entry
+    /// is a human-readable description of one violation.
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if let Some(bound) = self.victim_bound {
+            if self.victim_worst > bound {
+                v.push(format!(
+                    "victim worst-case read latency {} exceeds analysis bound {}",
+                    self.victim_worst, bound
+                ));
+            }
+        }
+        for (i, &jobs) in self.victim_jobs.iter().enumerate() {
+            if jobs == 0 {
+                v.push(format!("victim #{i} made no progress"));
+            }
+        }
+        let detected = self.transitions.iter().find(|t| t.from == "Healthy");
+        let Some(first) = detected else {
+            v.push("fault was never detected".to_owned());
+            return v;
+        };
+        if self.permanent {
+            if self.final_state != "Quarantined" {
+                v.push(format!(
+                    "permanent fault ended in {} instead of Quarantined",
+                    self.final_state
+                ));
+            }
+        } else {
+            match self.transitions.iter().find(|t| t.to == "Probation") {
+                None => v.push("recoverable fault never reattached".to_owned()),
+                Some(reattach) => {
+                    let polls = ((reattach.cycle - first.cycle) / self.poll_interval) as u32;
+                    if polls > self.sla_polls {
+                        v.push(format!(
+                            "reattach took {polls} polls, SLA is {}",
+                            self.sla_polls
+                        ));
+                    }
+                }
+            }
+            if self.final_state != "Healthy" {
+                v.push(format!(
+                    "recoverable fault ended in {} instead of Healthy",
+                    self.final_state
+                ));
+            }
+        }
+        v
+    }
+
+    /// One JSON object describing the run, for the CI artifact.
+    pub fn to_json(&self) -> String {
+        let transitions: Vec<String> = self
+            .transitions
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"cycle\":{},\"port\":{},\"from\":\"{}\",\"to\":\"{}\",\"dropped\":{}}}",
+                    t.cycle, t.port, t.from, t.to, t.dropped
+                )
+            })
+            .collect();
+        let violations: Vec<String> = self
+            .invariant_violations()
+            .iter()
+            .map(|s| format!("\"{}\"", s.replace('"', "'")))
+            .collect();
+        let scheduler = match self.scheduler {
+            SchedulerMode::FastForward => "fast-forward",
+            SchedulerMode::Naive => "naive",
+        };
+        format!(
+            "{{\"schema\":\"axi-hyperconnect/chaos-run/v1\",\"seed\":{},\
+             \"scenario\":\"{}\",\"scheduler\":\"{}\",\"ports\":{},\
+             \"fault_port\":{},\"fault_kind\":\"{}\",\"permanent\":{},\
+             \"poll_interval\":{},\"drain_deadline\":{},\"sla_polls\":{},\
+             \"final_state\":\"{}\",\"resets\":{},\"dropped_subs\":{},\
+             \"victim_bound\":{},\"victim_worst\":{},\"victim_jobs\":{:?},\
+             \"end_cycle\":{},\"transitions\":[{}],\
+             \"invariant_violations\":[{}]}}",
+            self.seed,
+            self.scenario,
+            scheduler,
+            self.ports,
+            self.fault_port,
+            self.fault_kind.as_str(),
+            self.permanent,
+            self.poll_interval,
+            self.drain_deadline,
+            self.sla_polls,
+            self.final_state,
+            self.resets,
+            self.dropped_subs,
+            self.victim_bound
+                .map_or_else(|| "null".to_owned(), |b| b.to_string()),
+            self.victim_worst,
+            self.victim_jobs,
+            self.end_cycle,
+            transitions.join(","),
+            violations.join(","),
+        )
+    }
+}
+
+/// Aggregates campaign outcomes into the JSON artifact the CI
+/// chaos-smoke job uploads.
+pub fn campaign_summary_json(outcomes: &[ChaosOutcome]) -> String {
+    let total: usize = outcomes
+        .iter()
+        .map(|o| o.invariant_violations().len())
+        .sum();
+    let runs: Vec<String> = outcomes.iter().map(ChaosOutcome::to_json).collect();
+    format!(
+        "{{\"schema\":\"axi-hyperconnect/chaos-campaign/v1\",\"campaigns\":{},\
+         \"invariant_violations\":{},\"runs\":[{}]}}",
+        outcomes.len(),
+        total,
+        runs.join(",")
+    )
+}
+
+/// Runs one campaign over the flat Fig. 1 shape: 3–4 accelerators on
+/// one HyperConnect, one of them misbehaving per the seed.
+pub fn run_flat_campaign(cfg: &ChaosConfig) -> ChaosOutcome {
+    let sc = derive_scenario(cfg.seed, 3, 4);
+    let mut hc = HyperConnect::new(HcConfig::new(sc.ports));
+    let first_word = MemConfig::zcu102().first_word_latency;
+    let model = ServiceModel::hyperconnect(sc.ports, 16, first_word).max_outstanding(4);
+    hc.set_drain_model(model);
+    let drain_deadline = hc.drain_deadline();
+    let mut bus = LiteBus::new();
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
+    let mut hv = Hypervisor::new(bus, HC_BASE).expect("valid HyperConnect regfile");
+    hv.hc().set_period(PERIOD).expect("period register");
+    arm_hypervisor(&mut hv, sc.fault_port, sc.policy);
+
+    let mut sys = SocSystem::new(
+        hc,
+        MemoryController::new(MemConfig::zcu102().decode_limit(DECODE_LIMIT)),
+    );
+    sys.set_scheduler(cfg.scheduler);
+    for p in 0..sc.ports {
+        if p == sc.fault_port {
+            sys.add_accelerator(fault_model(sc.kind, sc.permanent))
+                .expect("port available");
+        } else {
+            sys.add_accelerator(Box::new(PeriodicReader::new(
+                format!("victim{p}"),
+                0x1000_0000 + p as u64 * 0x0400_0000,
+                1 << 20,
+                16,
+                BurstSize::B16,
+                sc.victim_periods[p],
+            )))
+            .expect("port available");
+        }
+    }
+
+    let fault_port = sc.fault_port;
+    let poll = sc.poll_interval;
+    let mut transitions: Vec<TransitionRecord> = Vec::new();
+    let mut resets = 0u64;
+    sys.run_for_with(cfg.cycles, |now, sys| {
+        if now % poll != 0 {
+            return;
+        }
+        for t in hv.poll_recovery().expect("AXI-Lite poll") {
+            if t.to == RecoveryState::Resetting {
+                // The hypervisor just commanded a port reset: pulse the
+                // accelerator's reset line in the same cycle.
+                sys.accelerator_mut(fault_port)
+                    .expect("fault port occupied")
+                    .reset();
+                flush_port_queues(sys.interconnect().port(fault_port), now);
+                resets += 1;
+            }
+            transitions.push(TransitionRecord {
+                cycle: now,
+                port: t.port.0,
+                from: format!("{:?}", t.from),
+                to: format!("{:?}", t.to),
+                dropped: t.dropped_txns,
+            });
+        }
+    });
+
+    let mut victim_worst = 0u64;
+    let mut victim_jobs = Vec::new();
+    for p in 0..sc.ports {
+        if p == fault_port {
+            continue;
+        }
+        victim_worst = victim_worst.max(sys.interconnect_ref().read_latency(p).max().unwrap_or(0));
+        victim_jobs.push(sys.accelerator(p).expect("victim port").jobs_completed());
+    }
+    let final_state = format!(
+        "{:?}",
+        hv.recovery_state(PortId(fault_port))
+            .unwrap_or(RecoveryState::Healthy)
+    );
+    let dropped_subs = transitions
+        .iter()
+        .filter(|t| t.to == "Decoupled")
+        .map(|t| t.dropped)
+        .sum();
+    let drain_polls = (drain_deadline / poll) as u32 + 2;
+    ChaosOutcome {
+        seed: cfg.seed,
+        scenario: "flat",
+        scheduler: cfg.scheduler,
+        ports: sc.ports,
+        fault_port,
+        fault_kind: sc.kind,
+        permanent: sc.permanent,
+        poll_interval: poll,
+        drain_deadline,
+        sla_polls: sc.policy.reattach_sla_polls(drain_polls),
+        transitions,
+        final_state,
+        resets,
+        dropped_subs,
+        victim_bound: Some(model.worst_case_read_latency()),
+        victim_worst,
+        victim_jobs,
+        end_cycle: sys.now(),
+    }
+}
+
+/// Runs one campaign over a two-level tree: a 2-port child HyperConnect
+/// (hosting the fault and one victim) cascaded into a 2-port parent
+/// HyperConnect that also serves a second victim. The hypervisor owns
+/// the *child*'s register file — recovery happens one level down from
+/// the memory. No closed-form victim bound is asserted here (the
+/// cascade bound is workload-shaped); victims must still progress and
+/// the recovery SLA still holds.
+pub fn run_tree_campaign(cfg: &ChaosConfig) -> ChaosOutcome {
+    let sc = derive_scenario(cfg.seed, 2, 2);
+    let child_hc = HyperConnect::new(HcConfig::new(2));
+    let drain_deadline = child_hc.drain_deadline();
+    let mut bus = LiteBus::new();
+    bus.map(HC_BASE, 0x1000, child_hc.regs().clone());
+    let mut hv = Hypervisor::new(bus, HC_BASE).expect("valid HyperConnect regfile");
+    hv.hc().set_period(PERIOD).expect("period register");
+    arm_hypervisor(&mut hv, sc.fault_port, sc.policy);
+
+    let mut builder = TopologyBuilder::new();
+    let child = builder
+        .add_interconnect("hc_child", child_hc)
+        .expect("fresh builder");
+    let parent = builder
+        .add_interconnect("hc_parent", HyperConnect::new(HcConfig::new(2)))
+        .expect("fresh builder");
+    let memory = builder
+        .add_memory(
+            "mem0",
+            MemoryController::new(MemConfig::zcu102().decode_limit(DECODE_LIMIT)),
+        )
+        .expect("fresh builder");
+    builder
+        .cascade(child, parent, 0)
+        .expect("parent port 0 free");
+    builder
+        .connect_memory(parent, memory)
+        .expect("memory unbound");
+    let mut topo = builder.build().expect("valid tree");
+    topo.set_scheduler(cfg.scheduler);
+
+    // Child accelerators in port order (insertion ordinal == child
+    // port), then the parent-level victim on the parent's free port.
+    for p in 0..2 {
+        if p == sc.fault_port {
+            topo.add_accelerator(child, fault_model(sc.kind, sc.permanent))
+                .expect("child port available");
+        } else {
+            topo.add_accelerator(
+                child,
+                Box::new(PeriodicReader::new(
+                    format!("victim{p}"),
+                    0x1000_0000 + p as u64 * 0x0400_0000,
+                    1 << 20,
+                    16,
+                    BurstSize::B16,
+                    sc.victim_periods[p],
+                )),
+            )
+            .expect("child port available");
+        }
+    }
+    topo.add_accelerator(
+        parent,
+        Box::new(PeriodicReader::new(
+            "victim_parent",
+            0x3000_0000,
+            1 << 20,
+            16,
+            BurstSize::B16,
+            sc.victim_periods[0],
+        )),
+    )
+    .expect("parent port available");
+
+    let fault_port = sc.fault_port;
+    let poll = sc.poll_interval;
+    let mut transitions: Vec<TransitionRecord> = Vec::new();
+    let mut resets = 0u64;
+    topo.run_for_with(cfg.cycles, |now, topo| {
+        if now % poll != 0 {
+            return;
+        }
+        for t in hv.poll_recovery().expect("AXI-Lite poll") {
+            if t.to == RecoveryState::Resetting {
+                topo.accelerator_mut(fault_port)
+                    .expect("fault ordinal occupied")
+                    .reset();
+                let child_hc = topo
+                    .interconnect_as_mut::<HyperConnect>(child)
+                    .expect("child is a HyperConnect");
+                flush_port_queues(child_hc.port(fault_port), now);
+                resets += 1;
+            }
+            transitions.push(TransitionRecord {
+                cycle: now,
+                port: t.port.0,
+                from: format!("{:?}", t.from),
+                to: format!("{:?}", t.to),
+                dropped: t.dropped_txns,
+            });
+        }
+    });
+
+    let child_victim = 1 - fault_port;
+    let victim_worst = {
+        let child_hc = topo
+            .interconnect_as::<HyperConnect>(child)
+            .expect("child is a HyperConnect");
+        let parent_hc = topo
+            .interconnect_as::<HyperConnect>(parent)
+            .expect("parent is a HyperConnect");
+        child_hc
+            .read_latency(child_victim)
+            .max()
+            .unwrap_or(0)
+            .max(parent_hc.read_latency(1).max().unwrap_or(0))
+    };
+    let victim_jobs = vec![
+        topo.accelerator(child_victim)
+            .expect("child victim")
+            .jobs_completed(),
+        topo.accelerator(2).expect("parent victim").jobs_completed(),
+    ];
+    let final_state = format!(
+        "{:?}",
+        hv.recovery_state(PortId(fault_port))
+            .unwrap_or(RecoveryState::Healthy)
+    );
+    let dropped_subs = transitions
+        .iter()
+        .filter(|t| t.to == "Decoupled")
+        .map(|t| t.dropped)
+        .sum();
+    let drain_polls = (drain_deadline / poll) as u32 + 2;
+    ChaosOutcome {
+        seed: cfg.seed,
+        scenario: "tree",
+        scheduler: cfg.scheduler,
+        ports: 2,
+        fault_port,
+        fault_kind: sc.kind,
+        permanent: sc.permanent,
+        poll_interval: poll,
+        drain_deadline,
+        sla_polls: sc.policy.reattach_sla_polls(drain_polls),
+        transitions,
+        final_state,
+        resets,
+        dropped_subs,
+        victim_bound: None,
+        victim_worst,
+        victim_jobs,
+        end_cycle: topo.now(),
+    }
+}

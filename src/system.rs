@@ -153,6 +153,13 @@ impl<I: AxiInterconnect + 'static> SocSystem<I> {
         self.topo.accelerator(i)
     }
 
+    /// Mutable access to the accelerator at port `i` — recovery flows
+    /// use this to pulse the model's reset line when the hypervisor
+    /// commands a reset (see [`ha::Accelerator::reset`]).
+    pub fn accelerator_mut(&mut self, i: usize) -> Option<&mut dyn Accelerator> {
+        self.topo.accelerator_mut(i)
+    }
+
     /// Number of connected accelerators.
     pub fn num_accelerators(&self) -> usize {
         self.topo.num_accelerators()

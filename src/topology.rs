@@ -825,6 +825,17 @@ impl SocTopology {
         }
     }
 
+    /// Mutable access to the `i`-th accelerator — recovery flows use
+    /// this to pulse the model's reset line when the hypervisor
+    /// commands a reset (see [`ha::Accelerator::reset`]).
+    pub fn accelerator_mut(&mut self, i: usize) -> Option<&mut dyn Accelerator> {
+        let &idx = self.acc_nodes.get(i)?;
+        match &mut self.nodes[idx].kind {
+            NodeKind::Accelerator(a) => Some(a.acc.as_mut()),
+            _ => unreachable!("acc_nodes indexes accelerator nodes"),
+        }
+    }
+
     /// Completion interrupts raised since the last call: one entry per
     /// job completion, identifying the accelerator by insertion
     /// ordinal.

@@ -1,0 +1,160 @@
+//! Seeded chaos campaigns over the recovery lifecycle: every pinned
+//! seed derives a full inject → detect → drain → reset → reattach
+//! scenario (fault kind, port, permanence, policies, poll cadence) and
+//! must satisfy the three campaign invariants — bounded victims,
+//! SLA-compliant recovery, and naive/fast-forward equivalence (see
+//! `axi_hyperconnect::chaos`).
+//!
+//! The CI chaos-smoke job runs exactly these tests and uploads the
+//! campaign summary JSON written by `campaign_summary_artifact`.
+
+use axi_hyperconnect::chaos::{
+    campaign_summary_json, run_flat_campaign, run_tree_campaign, ChaosConfig, ChaosOutcome,
+    FaultKind, PINNED_SEEDS,
+};
+use axi_hyperconnect::SchedulerMode;
+
+fn assert_invariants(outcome: &ChaosOutcome) {
+    let violations = outcome.invariant_violations();
+    assert!(
+        violations.is_empty(),
+        "seed {} ({} {}) violated invariants: {:?}\n{}",
+        outcome.seed,
+        outcome.scenario,
+        outcome.fault_kind.as_str(),
+        violations,
+        outcome.to_json(),
+    );
+}
+
+/// Every pinned seed passes invariants 1 and 2 on the flat Fig. 1
+/// shape, and the campaign visited the full recovery lifecycle.
+#[test]
+fn flat_campaigns_pass_invariants_on_pinned_seeds() {
+    for &seed in &PINNED_SEEDS {
+        let outcome = run_flat_campaign(&ChaosConfig::new(seed));
+        assert_invariants(&outcome);
+        // The lifecycle really ran: detection, a completed drain, at
+        // least one reset-and-reattach round trip.
+        for to in ["Draining", "Decoupled", "Resetting", "Probation"] {
+            assert!(
+                outcome.transitions.iter().any(|t| t.to == to),
+                "seed {seed}: lifecycle never reached {to}: {:?}",
+                outcome.transitions
+            );
+        }
+        assert!(outcome.resets >= 1, "seed {seed}: no reset pulsed");
+    }
+}
+
+/// Same invariants over the two-level tree (fault on the child
+/// interconnect, victims on both levels).
+#[test]
+fn tree_campaigns_pass_invariants_on_pinned_seeds() {
+    for &seed in &PINNED_SEEDS {
+        let outcome = run_tree_campaign(&ChaosConfig::new(seed));
+        assert_invariants(&outcome);
+        assert!(outcome.resets >= 1, "seed {seed}: no reset pulsed");
+    }
+}
+
+/// The pinned set was chosen to cover all four fault kinds, each in
+/// both the recoverable and the permanent variant — so the drain
+/// force-flush path (stalled writer), the resume-nominal path (cured
+/// WLAST violator) and the quarantine path are all exercised.
+#[test]
+fn pinned_seeds_cover_the_fault_matrix() {
+    let outcomes: Vec<ChaosOutcome> = PINNED_SEEDS
+        .iter()
+        .map(|&s| run_flat_campaign(&ChaosConfig::new(s)))
+        .collect();
+    for kind in [
+        FaultKind::StalledWriter,
+        FaultKind::WlastViolator,
+        FaultKind::RogueReader,
+        FaultKind::RunawayMaster,
+    ] {
+        for permanent in [false, true] {
+            assert!(
+                outcomes
+                    .iter()
+                    .any(|o| o.fault_kind == kind && o.permanent == permanent),
+                "no pinned seed covers {} permanent={permanent}",
+                kind.as_str()
+            );
+        }
+    }
+    // Permanent faults quarantine, recoverable ones return to service.
+    for o in &outcomes {
+        let expected = if o.permanent {
+            "Quarantined"
+        } else {
+            "Healthy"
+        };
+        assert_eq!(o.final_state, expected, "seed {}", o.seed);
+    }
+}
+
+/// Invariant 3: the event-horizon fast-forward scheduler must not
+/// change anything recovery observes. The full campaign record —
+/// transition cycles, drop counts, victim latencies and job counts —
+/// is byte-identical under naive and fast-forward scheduling.
+#[test]
+fn recovery_is_scheduler_equivalent_on_pinned_seeds() {
+    for &seed in &PINNED_SEEDS {
+        let ff = run_flat_campaign(&ChaosConfig::new(seed));
+        let naive = run_flat_campaign(&ChaosConfig::new(seed).scheduler(SchedulerMode::Naive));
+        assert_eq!(
+            ff.fingerprint(),
+            naive.fingerprint(),
+            "seed {seed}: flat campaign diverges across schedulers"
+        );
+    }
+}
+
+/// Scheduler equivalence also holds through the cascaded tree (a
+/// subset of seeds keeps the naive runs cheap).
+#[test]
+fn tree_recovery_is_scheduler_equivalent() {
+    for &seed in &PINNED_SEEDS[..3] {
+        let ff = run_tree_campaign(&ChaosConfig::new(seed));
+        let naive = run_tree_campaign(&ChaosConfig::new(seed).scheduler(SchedulerMode::Naive));
+        assert_eq!(
+            ff.fingerprint(),
+            naive.fingerprint(),
+            "seed {seed}: tree campaign diverges across schedulers"
+        );
+    }
+}
+
+/// A campaign is replayable: the same seed and config produce the same
+/// outcome, and different seeds produce different scenarios.
+#[test]
+fn campaigns_are_deterministic_per_seed() {
+    let a = run_flat_campaign(&ChaosConfig::new(PINNED_SEEDS[0]));
+    let b = run_flat_campaign(&ChaosConfig::new(PINNED_SEEDS[0]));
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    let c = run_flat_campaign(&ChaosConfig::new(PINNED_SEEDS[1]));
+    assert_ne!(a.fingerprint(), c.fingerprint());
+}
+
+/// Writes the campaign summary JSON the CI job uploads as an artifact
+/// (to `target/chaos-campaign-summary.json`, or `$CHAOS_SUMMARY_PATH`),
+/// and sanity-checks its shape.
+#[test]
+fn campaign_summary_artifact() {
+    let mut outcomes: Vec<ChaosOutcome> = Vec::new();
+    for &seed in &PINNED_SEEDS {
+        outcomes.push(run_flat_campaign(&ChaosConfig::new(seed)));
+        outcomes.push(run_tree_campaign(&ChaosConfig::new(seed)));
+    }
+    let json = campaign_summary_json(&outcomes);
+    assert!(json.contains("\"schema\":\"axi-hyperconnect/chaos-campaign/v1\""));
+    assert!(json.contains("\"campaigns\":16"));
+    assert!(json.contains("\"invariant_violations\":0"));
+    let path = std::env::var("CHAOS_SUMMARY_PATH")
+        .unwrap_or_else(|_| "target/chaos-campaign-summary.json".to_owned());
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("note: could not write {path}: {e}");
+    }
+}

@@ -8,6 +8,7 @@
 use axi::checker::ViolationKind;
 use axi::lite::LiteBus;
 use axi::types::{BurstSize, PortId};
+use axi::{ArBeat, AxiPort};
 use axi_hyperconnect::SocSystem;
 use ha::dma::{Dma, DmaConfig};
 use ha::fault::{BoundaryViolator, RogueReader, RunawayMaster, StalledWriter, WlastViolator};
@@ -53,6 +54,7 @@ fn wlast_fault_is_reported_decoupled_and_victims_stay_bounded() {
         WatchdogPolicy {
             violations_allowed: 0,
             outstanding_allowed: None,
+            stall_polls_allowed: None,
         },
     );
 
@@ -165,6 +167,7 @@ fn stalled_writer_cannot_wedge_the_write_path() {
         WatchdogPolicy {
             violations_allowed: 0,
             outstanding_allowed: None,
+            stall_polls_allowed: None,
         },
     );
 
@@ -253,6 +256,7 @@ fn rogue_reader_gets_decerr_and_victims_are_unaffected() {
         WatchdogPolicy {
             violations_allowed: 2,
             outstanding_allowed: None,
+            stall_polls_allowed: None,
         },
     );
 
@@ -346,6 +350,7 @@ fn runaway_master_is_decoupled_on_outstanding_cap() {
         WatchdogPolicy {
             violations_allowed: u32::MAX,
             outstanding_allowed: Some(2),
+            stall_polls_allowed: None,
         },
     );
 
@@ -385,4 +390,178 @@ fn runaway_master_is_decoupled_on_outstanding_cap() {
     let bound = victim_model(2).worst_case_read_latency();
     let observed = sys.interconnect_ref().read_latency(0).max().unwrap();
     assert!(observed <= bound, "victim saw {observed} > bound {bound}");
+}
+
+/// Stuck-VALID stall detection: a writer that asserts AWVALID and then
+/// never drives a W beat freezes the port's progress fingerprint
+/// (completed transactions and outstanding count both stop moving while
+/// work is outstanding). With the violation and outstanding triggers
+/// disabled, only the stall detector can catch it — and it does,
+/// classifying the event as [`WatchdogReason::Stalled`].
+#[test]
+fn stuck_valid_writer_trips_the_stall_detector() {
+    let hc = HyperConnect::new(HcConfig::new(2));
+    let mut hv = boot_hypervisor(&hc);
+    hv.set_watchdog_policy(
+        PortId(1),
+        WatchdogPolicy {
+            violations_allowed: u32::MAX, // ignore the HandshakeHang report
+            outstanding_allowed: None,
+            stall_polls_allowed: Some(2),
+        },
+    );
+
+    let mut sys = SocSystem::new(hc, MemoryController::new(MemConfig::zcu102()));
+    sys.add_accelerator(Box::new(PeriodicReader::new(
+        "victim",
+        0x1000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+        40,
+    )))
+    .unwrap();
+    sys.add_accelerator(Box::new(StalledWriter::new(
+        "stuck_valid",
+        0x3000_0000,
+        16,
+        BurstSize::B16,
+    )))
+    .unwrap();
+
+    let mut decoupled_at: Option<Cycle> = None;
+    sys.run_for_with(10_000, |now, _sys| {
+        if now % 100 != 0 {
+            return;
+        }
+        let events = hv.poll_watchdog().unwrap();
+        if decoupled_at.is_none() && !events.is_empty() {
+            decoupled_at = Some(now);
+        }
+    });
+
+    let decoupled_at = decoupled_at.expect("stall detector never fired");
+    assert!(hv.hc().is_decoupled(1).unwrap());
+    let event = &hv.watchdog_log()[0];
+    assert_eq!(event.port, PortId(1));
+    assert_eq!(event.reason, WatchdogReason::Stalled);
+    assert!(
+        event.outstanding >= 1,
+        "stall tripped with nothing in flight"
+    );
+    // The fingerprint must be observed frozen for stall_polls_allowed+1
+    // consecutive polls past the first sample before the trip.
+    assert!(
+        decoupled_at <= 100 * 5,
+        "detection took too long: {decoupled_at}"
+    );
+    // The read-only victim never shared a pipeline with the hung W
+    // channel, so it is held to the plain analysis bound.
+    let bound = victim_model(2).worst_case_read_latency();
+    let observed = sys.interconnect_ref().read_latency(0).max().unwrap();
+    assert!(observed <= bound, "victim saw {observed} > bound {bound}");
+}
+
+/// A reader that issues one legal burst and then never accepts a single
+/// R beat — RREADY wedged low forever. The response path backs up behind
+/// its full eFIFO R queue; the transaction can never retire.
+struct StuckReadyReader {
+    posted: bool,
+}
+
+impl ha::Accelerator for StuckReadyReader {
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
+        if !self.posted && !port.ar.is_full() {
+            // Longer than the eFIFO R queue (32 beats), so the burst can
+            // never fully retire into the buffer: the consumer must pop.
+            let beat = ArBeat::new(0x1080_0000, 64, BurstSize::B16).with_issued_at(now);
+            port.ar.push(now, beat).expect("checked space");
+            self.posted = true;
+            return true;
+        }
+        // Never pops R: the consumer side of the handshake is wedged.
+        false
+    }
+    fn name(&self) -> &str {
+        "stuck_ready"
+    }
+    fn is_done(&self) -> bool {
+        false
+    }
+    fn jobs_completed(&self) -> u64 {
+        0
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Stuck-READY stall detection: the wedged consumer issues no protocol
+/// violation at all — every beat it *did* exchange was legal — yet its
+/// read can never complete, so the progress fingerprint freezes with
+/// one transaction outstanding. The stall detector classifies it,
+/// decoupling grounds the blocked response path (the eFIFO accepts and
+/// drops the stranded beats on the dead port's behalf), and the victim
+/// resumes within a bounded reaction window.
+#[test]
+fn stuck_ready_reader_trips_the_stall_detector() {
+    let hc = HyperConnect::new(HcConfig::new(2));
+    let mut hv = boot_hypervisor(&hc);
+    hv.set_watchdog_policy(
+        PortId(1),
+        WatchdogPolicy {
+            violations_allowed: u32::MAX,
+            outstanding_allowed: None,
+            stall_polls_allowed: Some(2),
+        },
+    );
+
+    let mut sys = SocSystem::new(hc, MemoryController::new(MemConfig::zcu102()));
+    sys.add_accelerator(Box::new(PeriodicReader::new(
+        "victim",
+        0x1000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+        40,
+    )))
+    .unwrap();
+    sys.add_accelerator(Box::new(StuckReadyReader { posted: false }))
+        .unwrap();
+
+    let mut decoupled_at: Option<Cycle> = None;
+    sys.run_for_with(10_000, |now, _sys| {
+        if now % 100 != 0 {
+            return;
+        }
+        let events = hv.poll_watchdog().unwrap();
+        if decoupled_at.is_none() && !events.is_empty() {
+            decoupled_at = Some(now);
+        }
+    });
+
+    assert!(decoupled_at.is_some(), "stall detector never fired");
+    assert!(hv.hc().is_decoupled(1).unwrap());
+    let event = &hv.watchdog_log()[0];
+    assert_eq!(event.port, PortId(1));
+    assert_eq!(event.reason, WatchdogReason::Stalled);
+    // Legal traffic throughout: the checker saw nothing.
+    assert_eq!(sys.interconnect_ref().total_violations(1), 0);
+    // The stranded burst drained into the decoupler's grounded R path.
+    assert!(
+        sys.interconnect_ref().dropped_responses(1) > 0,
+        "decoupling never grounded the stranded R beats"
+    );
+    // Until the decouple, beats routed to the wedged port head-of-line
+    // block the shared return path, so the victim is held to the bound
+    // plus the stall-detection reaction window (frozen fingerprint must
+    // persist for stall_polls_allowed+1 polls past the first sample).
+    let reaction = 6 * 100u64;
+    let bound = victim_model(2).worst_case_read_latency() + reaction;
+    let observed = sys.interconnect_ref().read_latency(0).max().unwrap();
+    assert!(observed <= bound, "victim saw {observed} > bound {bound}");
+    // And it keeps progressing once the path is unclogged.
+    let jobs = sys.accelerator(0).unwrap().jobs_completed();
+    sys.run_for(10_000);
+    assert!(sys.accelerator(0).unwrap().jobs_completed() > jobs);
 }

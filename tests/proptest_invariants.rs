@@ -440,4 +440,79 @@ proptest! {
             observed, model.worst_case_write_latency(), nominal, max_out
         );
     }
+
+    /// Quiescent drain terminates within the analysis-derived deadline
+    /// for protocol-compliant masters: after a quiesce request the port
+    /// reports `DRAINED` within `ServiceModel::drain_deadline()` cycles
+    /// and never needs the force-flush escape hatch — for any nominal
+    /// size, outstanding limit and request instant, under adversarial
+    /// interference on the other port.
+    #[test]
+    fn drain_completes_within_deadline_for_compliant_masters(
+        nominal_pow in 2u32..6, // nominal = 4..32
+        max_out in 1u32..5,
+        warmup in 500u64..3000,
+    ) {
+        use ha::Accelerator;
+        let nominal = 1 << nominal_pow;
+        let mut model = hyperconnect::analysis::ServiceModel::hyperconnect(
+            2, nominal, MemConfig::zcu102().first_word_latency,
+        ).max_outstanding(max_out);
+        model.write_resp_latency = MemConfig::zcu102().write_resp_latency;
+        let hc = HyperConnect::new(HcConfig::new(2));
+        hc.regs().write32(hyperconnect::regfile::offsets::NOMINAL, nominal);
+        for p in 0..2 {
+            let off = hyperconnect::regfile::port_block_offset(p)
+                + hyperconnect::regfile::offsets::PORT_MAX_OUT;
+            hc.regs().write32(off, max_out);
+        }
+        let mut hc = hc;
+        hc.set_drain_model(model);
+        let mut memory = MemoryController::new(MemConfig::zcu102());
+        // Mixed read+write compliant master on the quiesced port; an
+        // aggressor keeps the shared pipeline saturated throughout.
+        let mut probe = ha::dma::Dma::new("probe", ha::dma::DmaConfig {
+            read_bytes: 1 << 14,
+            write_bytes: 1 << 14,
+            burst_beats: nominal,
+            max_outstanding: max_out,
+            jobs: None,
+            ..ha::dma::DmaConfig::case_study()
+        });
+        let mut aggr = ha::traffic::BandwidthStealer::new(
+            "a", 0x3000_0000, 1 << 20, 64, BurstSize::B16);
+        for now in 0..warmup {
+            probe.tick(now, hc.port(0));
+            aggr.tick(now, hc.port(1));
+            hc.tick(now);
+            memory.tick(now, hc.mem_port());
+        }
+        let q = hyperconnect::regfile::port_block_offset(0)
+            + hyperconnect::regfile::offsets::PORT_QUIESCE;
+        hc.regs().write32(q, hyperconnect::regfile::QUIESCE_REQUESTED);
+        let deadline = model.drain_deadline();
+        let mut drained_at = None;
+        for now in warmup..warmup + deadline + 2 {
+            // The compliant master keeps ticking: a quiesced port still
+            // owes W beats for writes already ingested.
+            probe.tick(now, hc.port(0));
+            aggr.tick(now, hc.port(1));
+            hc.tick(now);
+            memory.tick(now, hc.mem_port());
+            let status = hc.regs().read32(q);
+            prop_assert_eq!(
+                status & hyperconnect::regfile::QUIESCE_FLUSHED, 0,
+                "compliant drain force-flushed at cycle {}", now
+            );
+            if status & hyperconnect::regfile::QUIESCE_DRAINED != 0 {
+                drained_at = Some(now);
+                break;
+            }
+        }
+        prop_assert!(
+            drained_at.is_some(),
+            "drain missed deadline {} (nominal {}, K {}, warmup {})",
+            deadline, nominal, max_out, warmup
+        );
+    }
 }

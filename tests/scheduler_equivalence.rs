@@ -254,6 +254,7 @@ fn fault_run(mode: SchedulerMode) -> (String, Option<Cycle>, u64) {
         WatchdogPolicy {
             violations_allowed: 0,
             outstanding_allowed: None,
+            stall_polls_allowed: None,
         },
     );
 

@@ -220,6 +220,7 @@ fn watchdog_decouples_a_faulty_accelerator_on_a_leaf() {
         WatchdogPolicy {
             violations_allowed: 0,
             outstanding_allowed: None,
+            stall_polls_allowed: None,
         },
     );
 
