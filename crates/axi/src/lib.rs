@@ -54,7 +54,7 @@ pub mod txn;
 pub mod types;
 
 pub use beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
-pub use bridge::{AxiBridge, BridgeConfig, BridgeStats};
+pub use bridge::{AxiBridge, BridgeBatch, BridgeConfig, BridgeStats, ChildHalf, ParentHalf};
 pub use checker::{Violation, ViolationKind};
 pub use observe::{BoundReport, BoundViolation, MetricsRegistry, ObsEvent};
 pub use port::{AxiInterconnect, AxiPort, PortConfig};

@@ -18,6 +18,7 @@
 //! | [`fig5`] | Fig. 5 — contention + `HC-X-Y` reservation sweep |
 //! | [`table1`] | Table I — resource consumption |
 //! | [`ablation`] | design-choice ablations (granularity, fairness, reservation, scaling, worst-case bounds) |
+//! | [`tree100`] | 100-node cascaded tree — the sharded scheduler's showcase scenario |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +30,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod report;
 pub mod table1;
+pub mod tree100;
 
 use axi::AxiInterconnect;
 use axi_hyperconnect::SocSystem;

@@ -36,7 +36,11 @@ use axi::AxiPort;
 use sim::Cycle;
 
 /// A bus master occupying one interconnect slave port.
-pub trait Accelerator: std::any::Any {
+///
+/// `Send` is a supertrait: accelerator models are plain owned data, and
+/// requiring it lets the sharded scheduler move the shard that owns a
+/// model onto a worker thread.
+pub trait Accelerator: std::any::Any + Send {
     /// Advances the accelerator one cycle against its port. Returns
     /// `true` if any state changed.
     fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool;

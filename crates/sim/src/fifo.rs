@@ -195,6 +195,38 @@ impl<T> TimedFifo<T> {
     pub fn next_ready_at(&self) -> Option<Cycle> {
         self.entries.front().map(|(ready_at, _)| *ready_at)
     }
+
+    /// Pushes an element with an explicit visibility cycle, bypassing the
+    /// queue's configured latency.
+    ///
+    /// This exists so a queue's in-flight contents can be migrated into
+    /// another queue (possibly with a different latency) without
+    /// disturbing each element's original schedule — e.g. when a bridge
+    /// is split across simulation shards mid-run. Counted in
+    /// [`total_pushed`](Self::total_pushed) like a normal push.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFull`] carrying the element back if the queue is at
+    /// capacity.
+    pub fn push_scheduled(&mut self, ready_at: Cycle, item: T) -> Result<(), FifoFull<T>> {
+        if self.is_full() {
+            return Err(FifoFull(item));
+        }
+        self.entries.push_back((ready_at, item));
+        self.pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Removes every element regardless of visibility and returns each
+    /// with the cycle at which it becomes (or became) visible, oldest
+    /// first. The counterpart of [`push_scheduled`](Self::push_scheduled)
+    /// for migrating in-flight contents between queues. Not counted as
+    /// pops (the elements are moving, not being consumed).
+    pub fn drain_scheduled(&mut self) -> Vec<(Cycle, T)> {
+        self.entries.drain(..).collect()
+    }
 }
 
 /// A bounded FIFO whose entries each carry their *own* delay, fixed at

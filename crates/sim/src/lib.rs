@@ -34,6 +34,7 @@
 
 pub mod clock;
 pub mod fifo;
+pub mod parallel;
 pub mod rng;
 pub mod runner;
 pub mod stats;
@@ -42,5 +43,6 @@ pub mod vcd;
 
 pub use clock::{ClockConfig, Cycle};
 pub use fifo::{FifoFull, TimedFifo};
+pub use parallel::{EngineReport, RunOptions, ShardTask, ShardedEngine, WindowReport};
 pub use rng::SimRng;
 pub use runner::{Component, RunOutcome, Runner, StallDiagnostics};

@@ -1,0 +1,432 @@
+//! Conservative-lookahead parallel simulation engine.
+//!
+//! Classic parallel discrete-event simulation: the model is partitioned
+//! into *shards* that only interact through links with a known minimum
+//! latency `L ≥ 1`. A shard can then free-run `L` cycles without seeing
+//! a remote event it should have reacted to — the *lookahead* — so the
+//! engine advances all shards in bulk-synchronous windows of
+//! `W = min L` cycles and exchanges the in-flight traffic at window
+//! boundaries.
+//!
+//! The engine is model-agnostic: it knows nothing about AXI. A shard is
+//! anything implementing [`ShardTask`]; messages are an opaque `Send`
+//! type routed by shard index. Determinism does not depend on thread
+//! scheduling because all cross-shard routing happens on the
+//! coordinator between barriers, in shard-index order:
+//!
+//! 1. the coordinator publishes the window `[from, to)`;
+//! 2. every worker runs its shards over the window and records a
+//!    [`WindowReport`] (progress flag, event horizon, outbound
+//!    messages);
+//! 3. after a barrier, the coordinator routes every outbox into the
+//!    destination inboxes in shard-index order, decides whether the
+//!    next window can *skip ahead* (no shard progressed, no message in
+//!    flight — jump to the earliest horizon), and publishes the next
+//!    window.
+//!
+//! Two barriers per round; shards are statically chunked over workers,
+//! so which thread runs a shard never affects what the shard observes.
+
+use std::sync::{Barrier, Mutex};
+
+use crate::clock::Cycle;
+
+/// One shard of a partitioned model: a unit the engine advances in
+/// windows on a worker thread.
+pub trait ShardTask: Send {
+    /// Cross-shard message type (in-flight beats, in the AXI use case).
+    type Msg: Send;
+
+    /// Accepts messages routed to this shard since its last window, in
+    /// deterministic (source-shard-index, emission) order. Called
+    /// before [`ShardTask::run_window`], even when empty.
+    fn deliver(&mut self, msgs: Vec<Self::Msg>);
+
+    /// Advances the shard over `[from, to)` and reports what happened.
+    ///
+    /// `from` may be later than the end of the previous window: the
+    /// engine skips windows in which no shard can make progress, and
+    /// the shard must treat the gap as idle cycles (typically recording
+    /// them as fast-forwarded).
+    fn run_window(&mut self, from: Cycle, to: Cycle) -> WindowReport<Self::Msg>;
+}
+
+/// What a shard tells the coordinator at the end of a window.
+#[derive(Debug)]
+pub struct WindowReport<M> {
+    /// Whether any state changed during the window (same contract as
+    /// [`crate::Component::tick`]). Skipping is only safe when *no*
+    /// shard progressed.
+    pub progressed: bool,
+    /// Earliest future cycle at which this shard could act without
+    /// external input, `None` for purely reactive shards. May
+    /// under-promise, must never over-promise (see
+    /// [`crate::Component::next_event`]).
+    pub horizon: Option<Cycle>,
+    /// Messages to deliver to other shards before their next window,
+    /// as `(destination shard index, message)`.
+    pub outbox: Vec<(usize, M)>,
+    /// Whether this shard's finite workload is complete; the engine can
+    /// stop at a window boundary when every shard reports `true`.
+    pub done: bool,
+}
+
+/// How [`ShardedEngine::run`] should behave at the margins.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Jump over windows in which no shard can progress (the engine's
+    /// fast-forward). Disable to force cycle-exact window stepping.
+    pub allow_skip: bool,
+    /// Stop at the first window boundary where every shard reports
+    /// [`WindowReport::done`].
+    pub stop_when_all_done: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            allow_skip: true,
+            stop_when_all_done: false,
+        }
+    }
+}
+
+/// What the engine did over one [`ShardedEngine::run`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Cycle at which the run stopped (a window boundary, or the
+    /// requested end).
+    pub ended_at: Cycle,
+    /// Whether every shard reported done at the final boundary.
+    pub all_done: bool,
+    /// Number of bulk-synchronous rounds executed.
+    pub rounds: u64,
+    /// Cycles jumped over by the engine-level fast-forward.
+    pub skipped_cycles: Cycle,
+    /// Cross-shard messages routed.
+    pub messages_routed: u64,
+    /// Worker threads actually used (≤ requested; never more than the
+    /// number of shards).
+    pub workers: usize,
+}
+
+/// The published plan for one round. `stop` tells workers to exit.
+#[derive(Debug, Clone, Copy)]
+struct Plan {
+    from: Cycle,
+    to: Cycle,
+    stop: bool,
+}
+
+/// Bulk-synchronous conservative-lookahead engine: fixed window width,
+/// fixed worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedEngine {
+    workers: usize,
+    window: Cycle,
+}
+
+impl ShardedEngine {
+    /// Creates an engine. `workers` is clamped to at least 1; `window`
+    /// is the lookahead in cycles and must be at least 1 (it is the
+    /// minimum latency of any cross-shard link).
+    pub fn new(workers: usize, window: Cycle) -> Self {
+        assert!(window >= 1, "lookahead window must be at least 1 cycle");
+        Self {
+            workers: workers.max(1),
+            window,
+        }
+    }
+
+    /// The configured lookahead window, in cycles.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+
+    /// Advances `shards` from cycle `from` up to (exclusive) `until` in
+    /// bulk-synchronous windows.
+    pub fn run<S: ShardTask>(
+        &self,
+        shards: &mut [S],
+        from: Cycle,
+        until: Cycle,
+        opts: RunOptions,
+    ) -> EngineReport {
+        let n = shards.len();
+        let workers = self.workers.min(n.max(1));
+        let mut report = EngineReport {
+            ended_at: from,
+            all_done: false,
+            rounds: 0,
+            skipped_cycles: 0,
+            messages_routed: 0,
+            workers,
+        };
+        if n == 0 || from >= until {
+            report.ended_at = until.max(from);
+            return report;
+        }
+
+        let chunk = n.div_ceil(workers);
+        let spawned = n.div_ceil(chunk);
+        let barrier = Barrier::new(spawned + 1);
+        let plan = Mutex::new(Plan {
+            from,
+            to: from,
+            stop: false,
+        });
+        let inboxes: Vec<Mutex<Vec<S::Msg>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let reports: Mutex<Vec<Option<WindowReport<S::Msg>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for (widx, shard_chunk) in shards.chunks_mut(chunk).enumerate() {
+                let barrier = &barrier;
+                let plan = &plan;
+                let inboxes = &inboxes;
+                let reports = &reports;
+                let base = widx * chunk;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    let p = *plan.lock().unwrap();
+                    if p.stop {
+                        break;
+                    }
+                    for (i, shard) in shard_chunk.iter_mut().enumerate() {
+                        let g = base + i;
+                        let msgs = std::mem::take(&mut *inboxes[g].lock().unwrap());
+                        shard.deliver(msgs);
+                        let r = shard.run_window(p.from, p.to);
+                        reports.lock().unwrap()[g] = Some(r);
+                    }
+                    barrier.wait();
+                });
+            }
+
+            // Coordinator: plans windows, routes messages, decides skips.
+            let mut now = from;
+            loop {
+                let to = (now + self.window).min(until);
+                *plan.lock().unwrap() = Plan {
+                    from: now,
+                    to,
+                    stop: false,
+                };
+                barrier.wait(); // release workers into the round
+                barrier.wait(); // wait for every shard report
+                report.rounds += 1;
+
+                let round: Vec<WindowReport<S::Msg>> = {
+                    let mut slots = reports.lock().unwrap();
+                    slots
+                        .iter_mut()
+                        .map(|s| s.take().expect("every shard reports each round"))
+                        .collect()
+                };
+                let any_progress = round.iter().any(|r| r.progressed);
+                let any_msgs = round.iter().any(|r| !r.outbox.is_empty());
+                let all_done = round.iter().all(|r| r.done);
+                // Route in shard-index order: delivery order is a
+                // function of the model, never of thread timing.
+                let mut min_horizon: Option<Cycle> = None;
+                for r in round {
+                    for (dest, msg) in r.outbox {
+                        inboxes[dest].lock().unwrap().push(msg);
+                        report.messages_routed += 1;
+                    }
+                    if let Some(h) = r.horizon {
+                        min_horizon = Some(min_horizon.map_or(h, |m| m.min(h)));
+                    }
+                }
+
+                let mut next = to;
+                if opts.allow_skip && !any_progress && !any_msgs {
+                    // Nothing moved and nothing is in flight: the next
+                    // observable event is the earliest shard horizon
+                    // (or never, for an all-reactive forest).
+                    let target = min_horizon.map_or(until, |h| h.clamp(to, until));
+                    report.skipped_cycles += target - to;
+                    next = target;
+                }
+                now = next;
+                let finished_done = opts.stop_when_all_done && all_done;
+                if finished_done || now >= until {
+                    report.all_done = all_done;
+                    // Stopping on completion pins the clock to the round
+                    // boundary where it became observable; running out
+                    // the budget pins it to `until` (a trailing skipped
+                    // span is still simulated idle time).
+                    report.ended_at = if finished_done { to } else { until };
+                    plan.lock().unwrap().stop = true;
+                    barrier.wait(); // workers observe stop and exit
+                    break;
+                }
+            }
+        });
+        // Messages routed by the final round have not been through a
+        // worker's deliver pass yet — hand them over so no in-flight
+        // traffic is lost between runs.
+        for (shard, inbox) in shards.iter_mut().zip(&inboxes) {
+            let msgs = std::mem::take(&mut *inbox.lock().unwrap());
+            if !msgs.is_empty() {
+                shard.deliver(msgs);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy shard: emits `payload` to a peer every `period` cycles until
+    /// `jobs` sends are done; accumulates everything it receives.
+    struct Pinger {
+        peer: usize,
+        period: Cycle,
+        jobs: u64,
+        sent: u64,
+        received: u64,
+        sum: u64,
+        now: Cycle,
+        skipped: Cycle,
+        pending_progress: bool,
+    }
+
+    impl Pinger {
+        fn new(peer: usize, period: Cycle, jobs: u64) -> Self {
+            Self {
+                peer,
+                period,
+                jobs,
+                sent: 0,
+                received: 0,
+                sum: 0,
+                now: 0,
+                skipped: 0,
+                pending_progress: false,
+            }
+        }
+    }
+
+    impl ShardTask for Pinger {
+        type Msg = u64;
+
+        fn deliver(&mut self, msgs: Vec<u64>) {
+            self.pending_progress |= !msgs.is_empty();
+            for m in msgs {
+                self.received += 1;
+                self.sum = self.sum.wrapping_mul(31).wrapping_add(m);
+            }
+        }
+
+        fn run_window(&mut self, from: Cycle, to: Cycle) -> WindowReport<u64> {
+            if from > self.now {
+                self.skipped += from - self.now;
+            }
+            self.now = from;
+            let mut outbox = Vec::new();
+            let mut progressed = std::mem::take(&mut self.pending_progress);
+            while self.now < to {
+                if self.sent < self.jobs && self.now.is_multiple_of(self.period) {
+                    outbox.push((self.peer, self.now * 1000 + self.sent));
+                    self.sent += 1;
+                    progressed = true;
+                }
+                self.now += 1;
+            }
+            let horizon = (self.sent < self.jobs).then(|| {
+                let next = self.now.next_multiple_of(self.period);
+                next.max(self.now)
+            });
+            WindowReport {
+                progressed,
+                horizon,
+                outbox,
+                done: self.sent >= self.jobs,
+            }
+        }
+    }
+
+    fn run_ring(workers: usize, allow_skip: bool) -> (Vec<u64>, EngineReport) {
+        let mut shards: Vec<Pinger> = (0..4)
+            .map(|i| Pinger::new((i + 1) % 4, 50 * (i as Cycle + 1), 5))
+            .collect();
+        let engine = ShardedEngine::new(workers, 4);
+        let rep = engine.run(
+            &mut shards,
+            0,
+            2_000,
+            RunOptions {
+                allow_skip,
+                stop_when_all_done: false,
+            },
+        );
+        (shards.iter().map(|s| s.sum).collect(), rep)
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let (sums1, rep1) = run_ring(1, true);
+        for w in [2, 3, 4, 8] {
+            let (sums, rep) = run_ring(w, true);
+            assert_eq!(sums, sums1, "workers={w}");
+            assert_eq!(rep.messages_routed, rep1.messages_routed);
+            assert_eq!(rep.rounds, rep1.rounds);
+        }
+        assert_eq!(rep1.messages_routed, 20);
+    }
+
+    #[test]
+    fn skip_matches_exact_stepping() {
+        let (skipping, rep_skip) = run_ring(2, true);
+        let (exact, rep_exact) = run_ring(2, false);
+        assert_eq!(skipping, exact);
+        assert!(rep_skip.skipped_cycles > 0);
+        assert_eq!(rep_exact.skipped_cycles, 0);
+        assert!(rep_skip.rounds < rep_exact.rounds);
+    }
+
+    #[test]
+    fn stops_at_window_boundary_when_all_done() {
+        let mut shards = vec![Pinger::new(1, 10, 2), Pinger::new(0, 10, 2)];
+        let engine = ShardedEngine::new(2, 4);
+        let rep = engine.run(
+            &mut shards,
+            0,
+            1_000_000,
+            RunOptions {
+                allow_skip: true,
+                stop_when_all_done: true,
+            },
+        );
+        assert!(rep.all_done);
+        // Last send happens at cycle 10; done is observable at the
+        // boundary of the window containing it.
+        assert_eq!(rep.ended_at % 4, 0);
+        assert!(rep.ended_at >= 10 && rep.ended_at < 1_000_000);
+    }
+
+    #[test]
+    fn workers_clamped_to_shard_count() {
+        let mut shards = vec![Pinger::new(0, 7, 1)];
+        let rep = ShardedEngine::new(16, 2).run(&mut shards, 0, 20, RunOptions::default());
+        assert_eq!(rep.workers, 1);
+        assert_eq!(rep.ended_at, 20);
+    }
+
+    #[test]
+    fn empty_shard_set_is_a_noop() {
+        let mut shards: Vec<Pinger> = Vec::new();
+        let rep = ShardedEngine::new(4, 8).run(&mut shards, 5, 100, RunOptions::default());
+        assert_eq!(rep.rounds, 0);
+        assert_eq!(rep.ended_at, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead window")]
+    fn zero_window_rejected() {
+        let _ = ShardedEngine::new(1, 0);
+    }
+}

@@ -7,7 +7,12 @@ use crate::clock::Cycle;
 /// Implementors report *progress* so the [`Runner`] can distinguish a
 /// design that is legitimately idle-waiting from one that has deadlocked
 /// (e.g. a protocol bug where two FIFOs wait on each other forever).
-pub trait Component {
+///
+/// `Send` is a supertrait: models are plain owned data (no `Rc`, no
+/// thread-local handles), and requiring it here is what lets the
+/// sharded scheduler (see [`crate::parallel`]) move whole subtrees of
+/// components onto worker threads.
+pub trait Component: Send {
     /// Advances the component by one cycle. Returns `true` if any state
     /// changed (a beat moved, a counter advanced toward an observable
     /// event) — used for deadlock detection.

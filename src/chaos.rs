@@ -406,6 +406,7 @@ impl ChaosOutcome {
         let scheduler = match self.scheduler {
             SchedulerMode::FastForward => "fast-forward",
             SchedulerMode::Naive => "naive",
+            SchedulerMode::Sharded { .. } => "sharded",
         };
         format!(
             "{{\"schema\":\"axi-hyperconnect/chaos-run/v1\",\"seed\":{},\

@@ -60,7 +60,10 @@ mod system;
 mod topology;
 
 pub use system::SocSystem;
-pub use topology::{NodeId, SchedulerMode, SocTopology, TopologyBuilder, TopologyError};
+pub use topology::{
+    NodeId, SchedulerMode, ShardCut, ShardPlan, ShardRunReport, SocTopology, TopologyBuilder,
+    TopologyError,
+};
 
 // Re-export the workspace crates under one roof for downstream users.
 pub use axi;

@@ -24,6 +24,8 @@
 //! pins this cycle-for-cycle), latency N adds exactly N cycles each
 //! way.
 
+mod shard;
+
 use std::any::Any;
 
 use axi::bridge::{AxiBridge, BridgeConfig, BridgeStats};
@@ -32,6 +34,8 @@ use ha::Accelerator;
 use mem::MemoryController;
 use sim::vcd::{SignalId, VcdWriter};
 use sim::{ClockConfig, Component, Cycle};
+
+pub use shard::{ShardCut, ShardPlan, ShardRunReport};
 
 /// How a [`SocTopology`] (and the `SocSystem` facade) advances
 /// simulated time.
@@ -48,6 +52,20 @@ pub enum SchedulerMode {
     /// Plain cycle-by-cycle stepping — the reference behavior the
     /// equivalence tests pin fast-forward against.
     Naive,
+    /// Sharded parallel execution: partition the forest at registered
+    /// (latency ≥ 1) bridge boundaries, run each shard on its own
+    /// worker thread, and exchange in-flight beats in bulk-synchronous
+    /// windows bounded by the minimum cut latency (the conservative
+    /// lookahead). Byte-identical to the sequential schedulers; see
+    /// [`ShardPlan`] for the partitioning rule and
+    /// [`SocTopology::shard_run_report`] for per-run statistics. On a
+    /// plan with a single shard this degrades gracefully to
+    /// [`SchedulerMode::FastForward`] semantics on the calling thread.
+    Sharded {
+        /// Worker threads to spread shards over (clamped to at least 1;
+        /// values above the shard count are harmless).
+        workers: usize,
+    },
 }
 
 /// Opaque handle to one node of a topology graph, issued by
@@ -746,6 +764,7 @@ impl TopologyBuilder {
             done_count: 0,
             scheduler: SchedulerMode::default(),
             skipped_cycles: 0,
+            last_shard_report: None,
         })
     }
 }
@@ -775,6 +794,8 @@ pub struct SocTopology {
     done_count: usize,
     scheduler: SchedulerMode,
     skipped_cycles: Cycle,
+    /// Execution statistics of the most recent sharded run.
+    last_shard_report: Option<ShardRunReport>,
 }
 
 impl SocTopology {
@@ -795,6 +816,12 @@ impl SocTopology {
         self.skipped_cycles
     }
 
+    /// Execution statistics of the most recent run under
+    /// [`SchedulerMode::Sharded`] (`None` before any sharded run).
+    pub fn shard_run_report(&self) -> Option<&ShardRunReport> {
+        self.last_shard_report.as_ref()
+    }
+
     /// The current cycle.
     pub fn now(&self) -> Cycle {
         self.now
@@ -813,6 +840,11 @@ impl SocTopology {
     /// Number of accelerators in the topology.
     pub fn num_accelerators(&self) -> usize {
         self.acc_nodes.len()
+    }
+
+    /// Total number of nodes (accelerators, interconnects, memories).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
     }
 
     /// The `i`-th accelerator in insertion order, or `None` when `i`
@@ -1033,15 +1065,19 @@ impl SocTopology {
     }
 
     /// Whether the fast-forward scheduler may skip cycles right now.
+    /// [`SchedulerMode::Sharded`] counts: its single-shard fallback
+    /// (and the facade run loops) behave exactly like fast-forward.
     pub(crate) fn fast_forward_active(&self) -> bool {
-        self.scheduler == SchedulerMode::FastForward
-            && !self
-                .mem_nodes
-                .iter()
-                .any(|&idx| match &self.nodes[idx].kind {
-                    NodeKind::Memory(m) => m.wave.is_some(),
-                    _ => false,
-                })
+        matches!(
+            self.scheduler,
+            SchedulerMode::FastForward | SchedulerMode::Sharded { .. }
+        ) && !self
+            .mem_nodes
+            .iter()
+            .any(|&idx| match &self.nodes[idx].kind {
+                NodeKind::Memory(m) => m.wave.is_some(),
+                _ => false,
+            })
     }
 
     /// The earliest cycle any component could make progress at, given a
@@ -1197,7 +1233,17 @@ impl SocTopology {
     }
 
     /// Runs for exactly `cycles` cycles.
+    ///
+    /// Under [`SchedulerMode::Sharded`] with a multi-shard plan the
+    /// forest is executed on worker threads (byte-identical to the
+    /// sequential schedulers); a single-shard plan falls through to the
+    /// fast-forward loop below.
     pub fn run_for(&mut self, cycles: Cycle) {
+        if let SchedulerMode::Sharded { workers } = self.scheduler {
+            if shard::run(self, workers, cycles, false).is_some() {
+                return;
+            }
+        }
         let end = self.now + cycles;
         while self.now < end {
             let t = self.now;
@@ -1241,7 +1287,26 @@ impl SocTopology {
 
     /// Runs until every finite accelerator reports done (at most
     /// `max_cycles`). Returns the outcome.
+    ///
+    /// Under a multi-shard [`SchedulerMode::Sharded`] plan, completion
+    /// is detected at exchange-window boundaries, so the reported
+    /// `Done` cycle is the first window edge at (or after) the true
+    /// completion cycle — window-quantized, while the simulated state
+    /// itself stays byte-identical to a sequential run of the same
+    /// length.
     pub fn run_until_done(&mut self, max_cycles: Cycle) -> sim::RunOutcome {
+        if let SchedulerMode::Sharded { workers } = self.scheduler {
+            if self.done_count == self.acc_nodes.len() {
+                return sim::RunOutcome::Done(self.now);
+            }
+            if let Some(all_done) = shard::run(self, workers, max_cycles, true) {
+                return if all_done {
+                    sim::RunOutcome::Done(self.now)
+                } else {
+                    sim::RunOutcome::CycleLimit(self.now)
+                };
+            }
+        }
         let deadline = self.now + max_cycles;
         loop {
             if self.done_count == self.acc_nodes.len() {
@@ -1453,7 +1518,12 @@ impl Component for SocTopology {
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        if !self.fast_forward_active() && self.scheduler == SchedulerMode::FastForward {
+        if !self.fast_forward_active()
+            && matches!(
+                self.scheduler,
+                SchedulerMode::FastForward | SchedulerMode::Sharded { .. }
+            )
+        {
             // A waveform probe samples the boundary every cycle.
             return Some(now + 1);
         }

@@ -7,7 +7,8 @@ use std::collections::VecDeque;
 use axi::checker::ProtocolMonitor;
 use axi::txn::{ReadRequest, WriteRequest};
 use axi::types::BurstSize;
-use axi::{AxiInterconnect, AxiPort, WBeat};
+use axi::{AxiInterconnect, AxiPort, BridgeConfig, WBeat};
+use axi_hyperconnect::{SchedulerMode, SocTopology, TopologyBuilder};
 use hyperconnect::{HcConfig, HyperConnect};
 use mem::{MemConfig, MemoryController};
 use proptest::prelude::*;
@@ -185,8 +186,151 @@ fn run_script(ops: Vec<Op>, nominal: u32) -> (ScriptedMaster, ProtocolMonitor) {
     (master, monitor)
 }
 
+/// Deterministically interprets a byte string as a cascaded topology: a
+/// worklist of open slave ports is consumed one command byte at a time,
+/// each byte either cascading a child interconnect behind a bridge of
+/// pseudo-random latency (0 = wire, up to 4), leaving the port empty,
+/// or attaching an accelerator. Byte strings are the proptest search
+/// space; the interpreter guarantees every produced graph is legal.
+fn topology_from_bytes(bytes: &[u8]) -> SocTopology {
+    let mut b = TopologyBuilder::new();
+    let mem = b
+        .add_memory("ddr", MemoryController::new(MemConfig::zcu102()))
+        .unwrap();
+    let root = b
+        .add_interconnect("ic0", HyperConnect::new(HcConfig::new(2)))
+        .unwrap();
+    b.connect_memory(root, mem).unwrap();
+    let mut ics = 1usize;
+    let mut accs = 0usize;
+    // Open (interconnect, slave port, depth) slots, consumed LIFO.
+    let mut slots = vec![(root, 0usize, 0usize), (root, 1, 0)];
+    let attach_acc = |b: &mut TopologyBuilder,
+                      accs: &mut usize,
+                      ic: axi_hyperconnect::NodeId,
+                      port: usize,
+                      cmd: u8| {
+        let name = format!("acc{accs}");
+        let base = 0x1000_0000 + *accs as u64 * 0x0080_0000;
+        let acc: Box<dyn ha::Accelerator> = if cmd.is_multiple_of(2) {
+            Box::new(ha::traffic::PeriodicReader::new(
+                name.clone(),
+                base,
+                1 << 19,
+                16,
+                BurstSize::B16,
+                20 + u64::from(cmd) * 3,
+            ))
+        } else {
+            Box::new(ha::dma::Dma::new(
+                name.clone(),
+                ha::dma::DmaConfig {
+                    src_base: base,
+                    dst_base: base + 0x0040_0000,
+                    ..ha::dma::DmaConfig::reader(4096, 16, BurstSize::B16).jobs(2)
+                },
+            ))
+        };
+        let a = b.add_accelerator(name, acc).unwrap();
+        b.attach(a, ic, port).unwrap();
+        *accs += 1;
+    };
+    let mut cmds = bytes.iter().copied();
+    let mut freed: Option<(axi_hyperconnect::NodeId, usize)> = None;
+    while let Some((ic, port, depth)) = slots.pop() {
+        let Some(cmd) = cmds.next() else {
+            slots.push((ic, port, depth));
+            break;
+        };
+        match cmd % 3 {
+            0 if depth < 3 && ics < 6 => {
+                let ports = 1 + (cmd as usize / 3) % 2;
+                let child = b
+                    .add_interconnect(format!("ic{ics}"), HyperConnect::new(HcConfig::new(ports)))
+                    .unwrap();
+                let latency = u64::from(cmd / 16) % 5;
+                b.cascade_with(child, ic, port, BridgeConfig::wire().latency(latency))
+                    .unwrap();
+                for p in (0..ports).rev() {
+                    slots.push((child, p, depth + 1));
+                }
+                ics += 1;
+            }
+            1 => freed = Some((ic, port)), // port left unconnected
+            _ => attach_acc(&mut b, &mut accs, ic, port, cmd),
+        }
+    }
+    // Keep the workload non-trivial: at least one traffic source. The
+    // worklist starts with the root's two ports and only shrinks when a
+    // port is dropped or filled, so with zero accelerators either an
+    // open slot or a dropped port must exist.
+    if accs == 0 {
+        let (ic, port) = slots
+            .pop()
+            .map(|(ic, p, _)| (ic, p))
+            .or(freed)
+            .expect("no open or dropped port despite zero accelerators");
+        attach_acc(&mut b, &mut accs, ic, port, 5);
+    }
+    b.build().unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partition totality: for any randomly generated topology, the
+    /// shard plan places every node in exactly one shard, cuts exactly
+    /// the registered (latency ≥ 1) cascade edges, and uses the
+    /// minimum cut latency as the exchange window.
+    #[test]
+    fn shard_plans_partition_any_topology(
+        bytes in proptest::collection::vec(any::<u8>(), 4..48),
+    ) {
+        let topo = topology_from_bytes(&bytes);
+        let plan = topo.shard_plan();
+        let mut seen = std::collections::HashMap::new();
+        for (s, shard) in plan.shards.iter().enumerate() {
+            prop_assert!(!shard.is_empty(), "shard {} is empty", s);
+            for &id in shard {
+                prop_assert!(
+                    seen.insert(id, s).is_none(),
+                    "node {:?} landed in two shards", id
+                );
+            }
+        }
+        prop_assert_eq!(seen.len(), topo.num_nodes(), "a node was left unassigned");
+        prop_assert_eq!(plan.cuts.len() + 1, plan.shards.len(), "one tree, so cuts = shards - 1");
+        for cut in &plan.cuts {
+            prop_assert!(cut.latency >= 1, "wire edge {:?} was cut", cut);
+            // A cut separates the parent's shard from the child's.
+            prop_assert_eq!(seen[&cut.parent], cut.parent_shard);
+            prop_assert_eq!(seen[&cut.child], cut.child_shard);
+            prop_assert!(cut.parent_shard != cut.child_shard);
+        }
+        prop_assert_eq!(plan.window, plan.cuts.iter().map(|c| c.latency).min());
+    }
+
+    /// Scheduler equivalence on arbitrary graphs: the sharded run of
+    /// any generated topology is byte-identical (clock, IRQ order, full
+    /// metrics snapshot) to the sequential fast-forward run, and its
+    /// entry gates prove it (zero ambiguous stalls).
+    #[test]
+    fn sharded_runs_match_sequential_on_any_topology(
+        bytes in proptest::collection::vec(any::<u8>(), 4..48),
+        workers in 1usize..5,
+    ) {
+        const CYCLES: Cycle = 15_000;
+        let mut seq = topology_from_bytes(&bytes);
+        seq.run_for(CYCLES);
+        let mut sharded = topology_from_bytes(&bytes);
+        sharded.set_scheduler(SchedulerMode::Sharded { workers });
+        sharded.run_for(CYCLES);
+        prop_assert_eq!(seq.now(), sharded.now());
+        prop_assert_eq!(seq.take_irq_events(), sharded.take_irq_events());
+        prop_assert_eq!(seq.metrics_snapshot_json(), sharded.metrics_snapshot_json());
+        let rep = *sharded.shard_run_report().expect("sharded mode reports");
+        prop_assert_eq!(rep.ambiguous_stalls, 0, "could not prove the sequential schedule");
+    }
 
     /// End-to-end sequential consistency: reads observe exactly the
     /// data of the writes that preceded them, through splitting,

@@ -1,0 +1,574 @@
+//! Sharded-scheduler differential suite: runs under
+//! `SchedulerMode::Sharded` must be *byte-identical* to the sequential
+//! schedulers on every scenario family — stress soaks, fault injection,
+//! compute-heavy ChaiDNN frames, seeded chaos campaigns and deep
+//! cascades — at 1, 2 and 4 workers.
+//!
+//! Each scenario builds a cascaded topology whose cut edges carry
+//! registered (latency ≥ 1) bridges, runs it under `Naive`,
+//! `FastForward` and `Sharded { workers }`, and compares a fingerprint
+//! covering the clock, every accelerator's job count, every
+//! HyperConnect's per-port Transaction-Supervisor counters and
+//! protocol-violation log (debug-formatted, so cycle stamps must
+//! match), the memory controller's service counters, every bridge's
+//! beat counters, the IRQ emission order and the full topology metrics
+//! snapshot JSON. Every sharded run must additionally report **zero
+//! ambiguous entry-gate stalls** — the executor's own proof that its
+//! schedule was the sequential one.
+
+use axi::types::BurstSize;
+use axi::{AxiInterconnect, BridgeConfig};
+use axi_hyperconnect::chaos::{run_flat_campaign, run_tree_campaign, ChaosConfig, PINNED_SEEDS};
+use axi_hyperconnect::{NodeId, SchedulerMode, SocTopology, TopologyBuilder};
+use ha::chaidnn::{Chaidnn, ChaidnnConfig, Layer};
+use ha::dma::{Dma, DmaConfig};
+use ha::fault::WlastViolator;
+use ha::traffic::{BandwidthStealer, PeriodicReader, RandomTraffic};
+use ha::Accelerator;
+use hyperconnect::{HcConfig, HyperConnect};
+use mem::{MemConfig, MemoryController};
+use sim::Cycle;
+
+/// The worker counts every scenario is swept over.
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Byte-exact digest of everything observable in a topology after a
+/// run. `hc_labels` names the HyperConnect nodes whose supervisor
+/// stats and violation logs are folded in; `bridge_children` names the
+/// cascaded children whose bridge counters are folded in.
+fn tree_fingerprint(
+    topo: &mut SocTopology,
+    hc_labels: &[&str],
+    bridge_children: &[&str],
+    mem_label: &str,
+) -> String {
+    let mut fp = format!("now={}", topo.now());
+    for i in 0..topo.num_accelerators() {
+        let acc = topo.accelerator(i).unwrap();
+        fp.push_str(&format!(" {}={}", acc.name(), acc.jobs_completed()));
+    }
+    for &label in hc_labels {
+        let id = topo.node_by_label(label).unwrap();
+        let hc = topo.interconnect_as::<HyperConnect>(id).unwrap();
+        for p in 0..hc.num_ports() {
+            fp.push_str(&format!(
+                " {label}.p{p}={:?}/{:?}",
+                hc.port_stats(p),
+                hc.violations(p)
+            ));
+        }
+    }
+    for &label in bridge_children {
+        let id = topo.node_by_label(label).unwrap();
+        let s = topo.bridge_stats(id).unwrap();
+        fp.push_str(&format!(" bridge[{label}]={}/{}", s.beats_down, s.beats_up));
+    }
+    let mem_id = topo.node_by_label(mem_label).unwrap();
+    let stats = topo.memory(mem_id).unwrap().stats();
+    fp.push_str(&format!(
+        " mem=[{} {} {} {} {} {}]",
+        stats.reads_served,
+        stats.writes_served,
+        stats.beats_served,
+        stats.bytes_served,
+        stats.busy_cycles,
+        stats.error_responses,
+    ));
+    fp.push_str(&format!(" irq={:?}", topo.take_irq_events()));
+    fp.push_str(" metrics=");
+    fp.push_str(&topo.metrics_snapshot_json());
+    fp
+}
+
+/// Asserts the sharded run actually sharded, used every worker count
+/// it was asked for (bounded by the shard count), and proved its own
+/// exactness via the ambiguous-stall counter.
+fn assert_sharded_report(topo: &SocTopology, shards: usize, workers: usize) {
+    let rep = *topo.shard_run_report().expect("sharded run reports");
+    assert_eq!(rep.shards, shards, "unexpected partition");
+    assert_eq!(rep.workers, workers.min(shards).max(1), "worker clamp");
+    assert_eq!(
+        rep.ambiguous_stalls, 0,
+        "entry gates could not prove the sequential schedule"
+    );
+    assert!(rep.rounds > 0, "engine never ran a round");
+}
+
+fn num_hc(ports: usize) -> HyperConnect {
+    HyperConnect::new(HcConfig::new(ports))
+}
+
+// ---------------------------------------------------------------------
+// Family 1: the four-master stress soak, behind a registered bridge.
+// ---------------------------------------------------------------------
+
+/// Root HC(3): cascaded stress cluster on port 0 (latency-2 bridge),
+/// two more masters flat on the root.
+fn build_stress_tree(mode: SchedulerMode) -> SocTopology {
+    let mut b = TopologyBuilder::new();
+    let root = b.add_interconnect("root", num_hc(3)).unwrap();
+    let cluster = b.add_interconnect("cluster", num_hc(4)).unwrap();
+    let mem = b
+        .add_memory("ddr", MemoryController::new(MemConfig::zcu102()))
+        .unwrap();
+    b.cascade_with(cluster, root, 0, BridgeConfig::wire().latency(2))
+        .unwrap();
+    b.connect_memory(root, mem).unwrap();
+    let cluster_accs: [Box<dyn Accelerator>; 4] = [
+        Box::new(RandomTraffic::new(
+            "rnd0",
+            0x1000_0000,
+            1 << 20,
+            BurstSize::B16,
+            64,
+            10,
+            11,
+        )),
+        Box::new(BandwidthStealer::new(
+            "steal",
+            0x3000_0000,
+            1 << 20,
+            256,
+            BurstSize::B16,
+        )),
+        Box::new(PeriodicReader::new(
+            "periodic",
+            0x5000_0000,
+            1 << 20,
+            16,
+            BurstSize::B16,
+            100,
+        )),
+        Box::new(RandomTraffic::new(
+            "rnd1",
+            0x7000_0000,
+            1 << 20,
+            BurstSize::B4,
+            32,
+            50,
+            23,
+        )),
+    ];
+    for (i, acc) in cluster_accs.into_iter().enumerate() {
+        let a = b.add_accelerator(format!("c{i}"), acc).unwrap();
+        b.attach(a, cluster, i).unwrap();
+    }
+    let r0 = b
+        .add_accelerator(
+            "root_rnd",
+            Box::new(RandomTraffic::new(
+                "root_rnd",
+                0x9000_0000,
+                1 << 20,
+                BurstSize::B16,
+                48,
+                30,
+                47,
+            )) as Box<dyn Accelerator>,
+        )
+        .unwrap();
+    b.attach(r0, root, 1).unwrap();
+    let r1 = b
+        .add_accelerator(
+            "root_per",
+            Box::new(PeriodicReader::new(
+                "root_per",
+                0xB000_0000,
+                1 << 20,
+                16,
+                BurstSize::B16,
+                250,
+            )) as Box<dyn Accelerator>,
+        )
+        .unwrap();
+    b.attach(r1, root, 2).unwrap();
+    let mut topo = b.build().unwrap();
+    topo.set_scheduler(mode);
+    topo
+}
+
+#[test]
+fn stress_tree_fingerprints_identical_across_all_schedulers() {
+    const CYCLES: Cycle = 120_000;
+    let fp = |mode: SchedulerMode| {
+        let mut topo = build_stress_tree(mode);
+        topo.run_for(CYCLES);
+        let fp = tree_fingerprint(&mut topo, &["root", "cluster"], &["cluster"], "ddr");
+        (topo, fp)
+    };
+    let (_, naive) = fp(SchedulerMode::Naive);
+    let (_, fast) = fp(SchedulerMode::FastForward);
+    assert_eq!(naive, fast, "fast-forward diverged from naive");
+    for workers in WORKER_SWEEP {
+        let (topo, sharded) = fp(SchedulerMode::Sharded { workers });
+        assert_eq!(naive, sharded, "sharded({workers}) diverged from naive");
+        assert_sharded_report(&topo, 2, workers);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 2: fault injection across a cut.
+// ---------------------------------------------------------------------
+
+/// A WLAST-corrupting writer between two periodic victims, all three in
+/// a cascaded cluster behind a latency-1 bridge. The protocol-monitor
+/// violation log (with cycle stamps) must survive sharding unchanged.
+fn build_fault_tree(mode: SchedulerMode) -> SocTopology {
+    let mut b = TopologyBuilder::new();
+    let root = b.add_interconnect("root", num_hc(2)).unwrap();
+    let cluster = b.add_interconnect("cluster", num_hc(3)).unwrap();
+    let mem = b
+        .add_memory("ddr", MemoryController::new(MemConfig::zcu102()))
+        .unwrap();
+    b.cascade_with(cluster, root, 0, BridgeConfig::wire().latency(1))
+        .unwrap();
+    b.connect_memory(root, mem).unwrap();
+    let accs: [(usize, Box<dyn Accelerator>); 3] = [
+        (
+            0,
+            Box::new(PeriodicReader::new(
+                "victim_a",
+                0x1000_0000,
+                1 << 20,
+                16,
+                BurstSize::B16,
+                40,
+            )),
+        ),
+        (
+            1,
+            Box::new(WlastViolator::new(
+                "faulty",
+                0x2000_0000,
+                16,
+                BurstSize::B16,
+            )),
+        ),
+        (
+            2,
+            Box::new(PeriodicReader::new(
+                "victim_b",
+                0x3000_0000,
+                1 << 20,
+                16,
+                BurstSize::B16,
+                40,
+            )),
+        ),
+    ];
+    for (port, acc) in accs {
+        let a = b.add_accelerator(format!("f{port}"), acc).unwrap();
+        b.attach(a, cluster, port).unwrap();
+    }
+    let d = b
+        .add_accelerator(
+            "root_dma",
+            Box::new(Dma::new(
+                "root_dma",
+                DmaConfig::reader(32 * 1024, 16, BurstSize::B16).jobs(4),
+            )) as Box<dyn Accelerator>,
+        )
+        .unwrap();
+    b.attach(d, root, 1).unwrap();
+    let mut topo = b.build().unwrap();
+    topo.set_scheduler(mode);
+    topo
+}
+
+#[test]
+fn fault_tree_violation_logs_byte_identical_when_sharded() {
+    const CYCLES: Cycle = 40_000;
+    let fp = |mode: SchedulerMode| {
+        let mut topo = build_fault_tree(mode);
+        topo.run_for(CYCLES);
+        let fp = tree_fingerprint(&mut topo, &["root", "cluster"], &["cluster"], "ddr");
+        (topo, fp)
+    };
+    let (_, naive) = fp(SchedulerMode::Naive);
+    let (_, fast) = fp(SchedulerMode::FastForward);
+    assert_eq!(naive, fast);
+    assert!(
+        naive.contains("WlastMismatch"),
+        "scenario never reported the fault: {naive}"
+    );
+    for workers in WORKER_SWEEP {
+        let (topo, sharded) = fp(SchedulerMode::Sharded { workers });
+        assert_eq!(naive, sharded, "sharded({workers}) diverged");
+        assert_sharded_report(&topo, 2, workers);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 3: compute-heavy ChaiDNN frames behind a deep-latency cut.
+// ---------------------------------------------------------------------
+
+/// ChaiDNN alone in a leaf cluster behind a latency-4 bridge; a DMA on
+/// the root keeps the other shard busy. The long compute phases force
+/// the engine-level fast-forward across both shards at once.
+fn build_chaidnn_tree(mode: SchedulerMode) -> SocTopology {
+    let layers = vec![
+        Layer {
+            name: "conv1",
+            weight_bytes: 4 << 10,
+            input_bytes: 2 << 10,
+            output_bytes: 2 << 10,
+            compute_cycles: 20_000,
+        },
+        Layer {
+            name: "fc",
+            weight_bytes: 8 << 10,
+            input_bytes: 1 << 10,
+            output_bytes: 512,
+            compute_cycles: 35_000,
+        },
+    ];
+    let dnn = Chaidnn::new(
+        "dnn",
+        layers,
+        ChaidnnConfig {
+            frames: Some(2),
+            ..ChaidnnConfig::default()
+        },
+    );
+    let mut b = TopologyBuilder::new();
+    let root = b.add_interconnect("root", num_hc(2)).unwrap();
+    let leaf = b.add_interconnect("leaf", num_hc(1)).unwrap();
+    let mem = b
+        .add_memory("ddr", MemoryController::new(MemConfig::zcu102()))
+        .unwrap();
+    b.cascade_with(leaf, root, 0, BridgeConfig::wire().latency(4))
+        .unwrap();
+    b.connect_memory(root, mem).unwrap();
+    let a = b
+        .add_accelerator("dnn", Box::new(dnn) as Box<dyn Accelerator>)
+        .unwrap();
+    b.attach(a, leaf, 0).unwrap();
+    let d = b
+        .add_accelerator(
+            "root_dma",
+            Box::new(Dma::new(
+                "root_dma",
+                DmaConfig::reader(64 * 1024, 16, BurstSize::B16).jobs(3),
+            )) as Box<dyn Accelerator>,
+        )
+        .unwrap();
+    b.attach(d, root, 1).unwrap();
+    let mut topo = b.build().unwrap();
+    topo.set_scheduler(mode);
+    topo
+}
+
+#[test]
+fn chaidnn_tree_state_byte_identical_and_completion_window_quantized() {
+    // Learn the exact sequential completion cycle, then compare the
+    // sharded state over precisely that many cycles (run_for is the
+    // byte-identity contract; run_until_done under sharding is
+    // window-quantized by design).
+    let mut seq = build_chaidnn_tree(SchedulerMode::FastForward);
+    assert!(seq.run_until_done(10_000_000).is_done());
+    let done_at = seq.now();
+
+    let mut naive = build_chaidnn_tree(SchedulerMode::Naive);
+    naive.run_for(done_at);
+    let naive_fp = tree_fingerprint(&mut naive, &["root", "leaf"], &["leaf"], "ddr");
+    for workers in WORKER_SWEEP {
+        let mut sh = build_chaidnn_tree(SchedulerMode::Sharded { workers });
+        sh.run_for(done_at);
+        let fp = tree_fingerprint(&mut sh, &["root", "leaf"], &["leaf"], "ddr");
+        assert_eq!(
+            naive_fp, fp,
+            "sharded({workers}) diverged over {done_at} cycles"
+        );
+        assert_sharded_report(&sh, 2, workers);
+        // The compute phases are idle on the bus: the engine-level
+        // fast-forward must have skipped real spans in *both* shards.
+        let rep = *sh.shard_run_report().unwrap();
+        assert!(
+            rep.engine_skipped > 10_000,
+            "engine skipped only {} cycles across the compute phases",
+            rep.engine_skipped
+        );
+    }
+
+    // run_until_done: completion within one exchange window of the
+    // sequential cycle, deterministic across worker counts.
+    let mut baseline: Option<Cycle> = None;
+    for workers in WORKER_SWEEP {
+        let mut sh = build_chaidnn_tree(SchedulerMode::Sharded { workers });
+        let out = sh.run_until_done(10_000_000);
+        assert!(out.is_done(), "sharded({workers}): {out}");
+        assert!(
+            sh.now() >= done_at && sh.now() < done_at + 4,
+            "sharded({workers}) done at {} vs sequential {done_at}",
+            sh.now()
+        );
+        match baseline {
+            None => baseline = Some(sh.now()),
+            Some(b) => assert_eq!(b, sh.now(), "sharded({workers}) nondeterministic"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 4: seeded chaos campaigns.
+// ---------------------------------------------------------------------
+
+/// The recovery-lifecycle campaigns drive their scenarios through
+/// `run_for_with` polling hooks, where the sharded mode degrades to the
+/// (exact) sequential fast-forward path — the campaign record must
+/// still be byte-identical on every pinned seed.
+#[test]
+fn chaos_campaign_records_identical_under_sharded_mode() {
+    for &seed in &PINNED_SEEDS[..3] {
+        let ff = run_flat_campaign(&ChaosConfig::new(seed));
+        let sharded = run_flat_campaign(
+            &ChaosConfig::new(seed).scheduler(SchedulerMode::Sharded { workers: 2 }),
+        );
+        assert_eq!(
+            ff.fingerprint(),
+            sharded.fingerprint(),
+            "seed {seed}: flat campaign diverged under sharded mode"
+        );
+    }
+    for &seed in &PINNED_SEEDS[..2] {
+        let ff = run_tree_campaign(&ChaosConfig::new(seed));
+        let sharded = run_tree_campaign(
+            &ChaosConfig::new(seed).scheduler(SchedulerMode::Sharded { workers: 2 }),
+        );
+        assert_eq!(
+            ff.fingerprint(),
+            sharded.fingerprint(),
+            "seed {seed}: tree campaign diverged under sharded mode"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 5: three-level cascades — two nested cuts, three shards.
+// ---------------------------------------------------------------------
+
+/// root ←(latency 1)─ mid ←(latency 3)─ leaf, a DMA on every spare
+/// port. The exchange window is the *minimum* cut latency (1), so the
+/// deeper bridge runs with surplus lookahead.
+fn build_three_level(mode: SchedulerMode) -> SocTopology {
+    let mut b = TopologyBuilder::new();
+    let root = b.add_interconnect("root", num_hc(2)).unwrap();
+    let mid = b.add_interconnect("mid", num_hc(2)).unwrap();
+    let leaf = b.add_interconnect("leaf", num_hc(2)).unwrap();
+    let mem = b
+        .add_memory("ddr", MemoryController::new(MemConfig::zcu102()))
+        .unwrap();
+    b.cascade_with(mid, root, 0, BridgeConfig::wire().latency(1))
+        .unwrap();
+    b.cascade_with(leaf, mid, 0, BridgeConfig::wire().latency(3))
+        .unwrap();
+    b.connect_memory(root, mem).unwrap();
+    for (i, (ic, port)) in [(leaf, 0), (leaf, 1), (mid, 1), (root, 1)]
+        .into_iter()
+        .enumerate()
+    {
+        let d = b
+            .add_accelerator(
+                format!("d{i}"),
+                Box::new(Dma::new(
+                    format!("d{i}"),
+                    DmaConfig {
+                        src_base: 0x1000_0000 + i as u64 * 0x0100_0000,
+                        dst_base: 0x5000_0000 + i as u64 * 0x0100_0000,
+                        read_bytes: 8 * 1024,
+                        write_bytes: 8 * 1024,
+                        burst_beats: 32,
+                        size: BurstSize::B16,
+                        max_outstanding: 4,
+                        jobs: Some(2),
+                    },
+                )) as Box<dyn Accelerator>,
+            )
+            .unwrap();
+        b.attach(d, ic, port).unwrap();
+    }
+    let mut topo = b.build().unwrap();
+    topo.set_scheduler(mode);
+    topo
+}
+
+#[test]
+fn three_level_cascade_byte_identical_across_all_schedulers() {
+    const CYCLES: Cycle = 60_000;
+    let fp = |mode: SchedulerMode| {
+        let mut topo = build_three_level(mode);
+        topo.run_for(CYCLES);
+        let fp = tree_fingerprint(&mut topo, &["root", "mid", "leaf"], &["mid", "leaf"], "ddr");
+        (topo, fp)
+    };
+    let (_, naive) = fp(SchedulerMode::Naive);
+    let (_, fast) = fp(SchedulerMode::FastForward);
+    assert_eq!(naive, fast);
+    for workers in WORKER_SWEEP {
+        let (topo, sharded) = fp(SchedulerMode::Sharded { workers });
+        assert_eq!(naive, sharded, "sharded({workers}) diverged");
+        assert_sharded_report(&topo, 3, workers);
+        let rep = *topo.shard_run_report().unwrap();
+        assert_eq!(rep.window, 1, "window must be the minimum cut latency");
+        // Data integrity end to end: every DMA's copy landed intact.
+        let mem_id = topo.node_by_label("ddr").unwrap();
+        let memory = topo.memory(mem_id).unwrap();
+        for i in 0..4u64 {
+            let dst = 0x5000_0000 + i * 0x0100_0000;
+            assert!(
+                memory.memory().verify_pattern(dst, dst, 8 * 1024),
+                "sharded({workers}): d{i} corrupted across the cuts"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waveform capture under sharding.
+// ---------------------------------------------------------------------
+
+/// A waveform probe samples the FPGA–PS boundary every cycle; the
+/// probe-owning shard must therefore never skip, and the recorded VCD
+/// must be byte-identical to the sequential capture.
+#[test]
+fn waveform_vcd_byte_identical_under_sharding() {
+    const CYCLES: Cycle = 20_000;
+    let run = |mode: SchedulerMode| {
+        let mut topo = build_fault_tree(mode);
+        let mem = topo.node_by_label("ddr").unwrap();
+        topo.attach_waveform(mem);
+        topo.run_for(CYCLES);
+        let vcd = topo.waveform_vcd(mem).expect("probe attached");
+        (topo, vcd)
+    };
+    let (_, seq_vcd) = run(SchedulerMode::FastForward);
+    let (topo, sh_vcd) = run(SchedulerMode::Sharded { workers: 2 });
+    assert_eq!(seq_vcd, sh_vcd, "sharded VCD diverged");
+    assert_eq!(
+        topo.skipped_cycles(),
+        0,
+        "waveform capture must pin the probe shard to every cycle"
+    );
+}
+
+/// `NodeId` coverage invariant on the suite's own topologies (the
+/// random-topology version lives in the proptest suite): every node in
+/// exactly one shard, cut count = shards − 1 on a single tree.
+#[test]
+fn shard_plans_cover_every_node_exactly_once() {
+    for (topo, shards) in [
+        (build_stress_tree(SchedulerMode::FastForward), 2usize),
+        (build_fault_tree(SchedulerMode::FastForward), 2),
+        (build_chaidnn_tree(SchedulerMode::FastForward), 2),
+        (build_three_level(SchedulerMode::FastForward), 3),
+    ] {
+        let plan = topo.shard_plan();
+        assert_eq!(plan.shards.len(), shards);
+        assert_eq!(plan.cuts.len(), shards - 1);
+        let mut seen: Vec<NodeId> = plan.shards.iter().flatten().copied().collect();
+        let total = seen.len();
+        seen.sort_by_key(|id| format!("{id:?}"));
+        seen.dedup();
+        assert_eq!(seen.len(), total, "a node landed in two shards");
+    }
+}
