@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Guard the committed perf trajectory: fail when a fresh perf-harness
+run regresses any committed throughput figure by more than the allowed
+fraction (default 20%).
+
+Usage:
+    check_bench_delta.py COMMITTED.json FRESH.json [--tolerance 0.20]
+
+Walks both BENCH_simulator.json documents in lockstep and compares every
+figure whose key ends in ``cycles_per_sec`` (the absolute throughput
+figures; wall-clock milliseconds and RSS are host noise and are not
+gated). ``speedup`` ratios are printed for reference but never gated:
+they divide two measurements, so they swing with host core count and
+drop when the *denominator* improves (e.g. making the naive scheduler
+faster shrinks the fast-forward speedup without any regression).
+Figures present in only one document are reported but tolerated, so
+adding or retiring a scenario never breaks the gate — only a measured
+slowdown of a still-published figure does. Array elements are matched
+by their ``name``/``workers`` field when present, by index otherwise.
+
+Scenarios whose committed wall time is under ``MIN_GATED_WALL_MS``
+(e.g. the 4 B / 64 B Fig 3(b) points, which complete in microseconds)
+are reported but never gated: their throughput figures are dominated by
+setup and timer granularity, and observed run-to-run swings exceed any
+sane tolerance.
+
+Exit status: 0 when every shared figure is within tolerance, 1 when any
+regressed, 2 on usage/parse errors.
+"""
+
+import json
+import sys
+
+GATED_SUFFIXES = ("cycles_per_sec",)
+
+# Ratio figures: reported so trend shifts stay visible, never gated.
+REPORTED_SUFFIXES = ("speedup",)
+
+# Scenarios measured over less wall time than this are pure host noise;
+# their figures are printed for reference but never fail the gate.
+MIN_GATED_WALL_MS = 50.0
+
+
+def is_noise_scope(*scopes):
+    """Whether any of the dicts' measurements are too short-lived to gate."""
+    for value in scopes:
+        if isinstance(value, dict):
+            wall = value.get("wall_ms", value.get("wall_ms_parallel"))
+            if isinstance(wall, (int, float)) and wall < MIN_GATED_WALL_MS:
+                return True
+    return False
+
+
+def leaf_is_noisy(committed, fresh, key):
+    """A ``<prefix>cycles_per_sec`` leaf is noise when its sibling
+    ``<prefix>wall_ms`` in either document is under the gating floor
+    (e.g. ``fast_forward_cycles_per_sec`` next to a 7 ms
+    ``fast_forward_wall_ms``: throughput then scales with the window
+    length, so cross-mode comparisons are meaningless)."""
+    wall_key = key[: -len("cycles_per_sec")] + "wall_ms" if key.endswith(
+        "cycles_per_sec"
+    ) else None
+    if wall_key is None:
+        return False
+    for scope in (committed, fresh):
+        wall = scope.get(wall_key)
+        if isinstance(wall, (int, float)) and wall < MIN_GATED_WALL_MS:
+            return True
+    return False
+
+
+def element_key(value, index):
+    """A stable identity for an array element, for cross-run matching."""
+    if isinstance(value, dict):
+        for field in ("name", "figure", "workers"):
+            if field in value:
+                return f"{field}={value[field]}"
+    return f"#{index}"
+
+
+def walk(committed, fresh, path, shared, noisy, only_committed, only_fresh):
+    """Collects (path, committed, fresh) figure triples from both docs."""
+    if isinstance(committed, dict) and isinstance(fresh, dict):
+        sink = noisy if is_noise_scope(committed, fresh) else shared
+        for key in committed:
+            sub = f"{path}.{key}" if path else key
+            if key in fresh:
+                if isinstance(committed[key], (int, float)) and isinstance(
+                    fresh[key], (int, float)
+                ):
+                    if key.endswith(REPORTED_SUFFIXES):
+                        noisy.append((sub, float(committed[key]), float(fresh[key])))
+                    elif key.endswith(GATED_SUFFIXES):
+                        dest = (
+                            noisy
+                            if sink is noisy or leaf_is_noisy(committed, fresh, key)
+                            else sink
+                        )
+                        dest.append((sub, float(committed[key]), float(fresh[key])))
+                else:
+                    walk(
+                        committed[key],
+                        fresh[key],
+                        sub,
+                        shared,
+                        noisy,
+                        only_committed,
+                        only_fresh,
+                    )
+            elif key.endswith(GATED_SUFFIXES + REPORTED_SUFFIXES):
+                only_committed.append(sub)
+        for key in fresh:
+            if key not in committed and key.endswith(GATED_SUFFIXES + REPORTED_SUFFIXES):
+                only_fresh.append(f"{path}.{key}" if path else key)
+    elif isinstance(committed, list) and isinstance(fresh, list):
+        fresh_by_key = {element_key(v, i): v for i, v in enumerate(fresh)}
+        for i, value in enumerate(committed):
+            key = element_key(value, i)
+            sub = f"{path}[{key}]"
+            if key in fresh_by_key:
+                walk(value, fresh_by_key[key], sub, shared, noisy, only_committed, only_fresh)
+            else:
+                only_committed.append(sub)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tolerance = 0.20
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--tolerance":
+            tolerance = float(next(it, "0.20"))
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as f:
+            committed = json.load(f)
+        with open(args[1]) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    committed_mode = committed.get("mode")
+    fresh_mode = fresh.get("mode")
+    if committed_mode != fresh_mode:
+        print(
+            f"warning: comparing mode={committed_mode!r} (committed) against "
+            f"mode={fresh_mode!r} (fresh); windows differ, expect noise",
+            file=sys.stderr,
+        )
+
+    shared, noisy, only_committed, only_fresh = [], [], [], []
+    walk(committed, fresh, "", shared, noisy, only_committed, only_fresh)
+    if not shared:
+        print("error: no shared throughput figures found", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for path, old, new in shared:
+        ratio = new / old if old else float("inf")
+        status = "OK"
+        if old > 0 and ratio < 1.0 - tolerance:
+            status = "REGRESSED"
+            regressions.append((path, old, new, ratio))
+        print(f"{status:9s} {path}: {old:,.0f} -> {new:,.0f} ({ratio:.2f}x)")
+    for path, old, new in noisy:
+        ratio = new / old if old else float("inf")
+        print(f"NOISY     {path}: {old:,.0f} -> {new:,.0f} ({ratio:.2f}x, not gated)")
+    for path in only_committed:
+        print(f"RETIRED   {path}: committed only (tolerated)")
+    for path in only_fresh:
+        print(f"NEW       {path}: fresh only (tolerated)")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} figure(s) regressed more than "
+            f"{tolerance:.0%} vs the committed BENCH_simulator.json",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(shared)} shared figures within {tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

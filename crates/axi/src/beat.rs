@@ -27,6 +27,7 @@
 
 use sim::Cycle;
 
+use crate::payload::Payload;
 use crate::types::{AxiId, BurstKind, BurstSize, Resp};
 
 /// A read-address (AR) channel beat: one read burst request.
@@ -172,7 +173,8 @@ impl AwBeat {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WBeat {
     /// Payload bytes (exactly the beat size of the owning burst).
-    pub data: Vec<u8>,
+    /// Stored inline in the beat for ≤64-byte beats (see [`Payload`]).
+    pub data: Payload,
     /// Write strobes (`WSTRB`): bit *i* set means byte *i* of the beat
     /// is written. Beats default to all-bytes-valid; only the low
     /// `data.len()` bits are meaningful (AXI beats are at most 128
@@ -191,9 +193,9 @@ pub const STRB_ALL: u128 = u128::MAX;
 
 impl WBeat {
     /// Creates a data beat with every byte strobed.
-    pub fn new(data: Vec<u8>, last: bool) -> Self {
+    pub fn new(data: impl Into<Payload>, last: bool) -> Self {
         Self {
-            data,
+            data: data.into(),
             strb: STRB_ALL,
             last,
             tag: 0,
@@ -239,7 +241,7 @@ impl WBeat {
         assert!(len > 0, "burst length must be non-zero");
         (0..len)
             .map(|beat| {
-                let data = (0..size.bytes()).map(|b| fill(beat, b)).collect();
+                let data = Payload::from_fn(size.bytes() as usize, |b| fill(beat, b as u64));
                 WBeat::new(data, beat == len - 1).with_tag(tag)
             })
             .collect()
@@ -255,8 +257,8 @@ impl WBeat {
 pub struct RBeat {
     /// Transaction ID (`RID`).
     pub id: AxiId,
-    /// Payload bytes.
-    pub data: Vec<u8>,
+    /// Payload bytes (inline for ≤64-byte beats, see [`Payload`]).
+    pub data: Payload,
     /// Response code (`RRESP`).
     pub resp: Resp,
     /// `RLAST`: final beat of the burst.
@@ -287,10 +289,10 @@ impl PartialEq for RBeat {
 
 impl RBeat {
     /// Creates a successful read-data beat.
-    pub fn new(id: AxiId, data: Vec<u8>, last: bool) -> Self {
+    pub fn new(id: AxiId, data: impl Into<Payload>, last: bool) -> Self {
         Self {
             id,
-            data,
+            data: data.into(),
             resp: Resp::Okay,
             last,
             tag: 0,

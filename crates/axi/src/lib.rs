@@ -24,7 +24,9 @@
 //! * [`observe`] — transaction-level observability: per-hop stamp
 //!   events, the [`MetricsRegistry`] aggregating them, and the
 //!   bound-violation records a runtime monitor files against the
-//!   closed-form worst-case bounds.
+//!   closed-form worst-case bounds;
+//! * [`payload`] — inline small-buffer beat payload storage
+//!   ([`Payload`]), the zero-alloc replacement for per-beat `Vec<u8>`.
 //!
 //! # Example
 //!
@@ -48,6 +50,7 @@ pub mod burst;
 pub mod checker;
 pub mod lite;
 pub mod observe;
+pub mod payload;
 pub mod port;
 pub mod routing;
 pub mod txn;
@@ -57,5 +60,6 @@ pub use beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
 pub use bridge::{AxiBridge, BridgeBatch, BridgeConfig, BridgeStats, ChildHalf, ParentHalf};
 pub use checker::{Violation, ViolationKind};
 pub use observe::{BoundReport, BoundViolation, MetricsRegistry, ObsEvent};
+pub use payload::{Payload, PAYLOAD_INLINE};
 pub use port::{AxiInterconnect, AxiPort, PortConfig};
 pub use types::{AxiId, AxiVersion, BurstKind, BurstSize, PortId, Resp, TxnError};

@@ -106,6 +106,61 @@ fn bench_efifo(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_efifo_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/efifo");
+    const CYCLES: u64 = 1024;
+    g.throughput(Throughput::Elements(CYCLES));
+    // Full-queue backpressure: a producer pushes every cycle but the
+    // consumer drains only every other cycle, so the queue saturates
+    // and half the pushes bounce off the full FIFO — the contended
+    // steady state of Fig. 3(b)'s 4 MiB point.
+    g.bench_function("ar_contended_backpressure_1k", |b| {
+        b.iter(|| {
+            let mut e = hyperconnect::efifo::EFifo::new(8, 64, 8);
+            let mut accepted = 0u64;
+            for now in 0..CYCLES {
+                accepted += e
+                    .port
+                    .ar
+                    .push(now, ArBeat::new(now * 64, 16, BurstSize::B4))
+                    .is_ok() as u64;
+                if now % 2 == 0 {
+                    black_box(e.pop_ar(now));
+                }
+            }
+            black_box(accepted)
+        })
+    });
+    g.finish();
+}
+
+fn bench_payload_transfer(c: &mut Criterion) {
+    use axi::{Payload, WBeat};
+
+    let mut g = c.benchmark_group("kernel/payload");
+    const BEATS: u64 = 1024;
+    g.throughput(Throughput::Bytes(BEATS * 64));
+    // The per-beat data path of every W/R channel: synthesize a 64-byte
+    // payload, move the beat through a ring-backed FIFO, and read it on
+    // the far side. With inline payload storage this is alloc-free; the
+    // bench guards the zero-heap property's cycle cost.
+    g.bench_function("wbeat_64b_through_fifo_1k", |b| {
+        b.iter(|| {
+            let mut f: sim::TimedFifo<WBeat> = sim::TimedFifo::new(16, 1);
+            let mut sum = 0u64;
+            for now in 0..BEATS {
+                let data = Payload::from_fn(64, |i| (now as u8).wrapping_add(i as u8));
+                let _ = f.push(now, WBeat::new(data, true));
+                if let Some(beat) = f.pop_ready(now) {
+                    sum += beat.data[0] as u64;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
 fn bench_exbar_arbitration(c: &mut Criterion) {
     use hyperconnect::exbar::Exbar;
     use hyperconnect::supervisor::SubAr;
@@ -153,6 +208,8 @@ criterion_group!(
     bench_hyperconnect_cycles,
     bench_interconnect_only,
     bench_efifo,
+    bench_efifo_contended,
+    bench_payload_transfer,
     bench_exbar_arbitration
 );
 criterion_main!(kernel);

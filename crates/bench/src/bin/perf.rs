@@ -39,6 +39,8 @@
 //! throughput falls below the `--min-cycles-per-sec` floor (the CI
 //! perf-smoke gate).
 
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -51,6 +53,52 @@ use ha::dma::{Dma, DmaConfig};
 use hyperconnect::{HcConfig, HyperConnect};
 use mem::{MemConfig, MemoryController};
 use sim::Cycle;
+
+/// A counting wrapper around the system allocator, compiled only under
+/// the `alloc-count` feature. The sole overhead is one relaxed atomic
+/// increment per allocation — negligible precisely when the hot path
+/// allocates nothing, which is the property the probe verifies.
+#[cfg(feature = "alloc-count")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Heap allocations (incl. reallocations) since process start.
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: every method delegates directly to `System`, which
+    // upholds the `GlobalAlloc` contract; the counter is a side effect.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// The global allocation count, when the counting allocator is armed.
+fn alloc_count() -> Option<u64> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(counting_alloc::ALLOCS.load(std::sync::atomic::Ordering::Relaxed))
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
 
 /// One schedulable scenario point: a closure returning the simulated
 /// cycle count it covered (approximate for the latency sweeps, where
@@ -328,6 +376,32 @@ fn main() {
         report.checked_reads, report.checked_writes, report.violations
     );
 
+    // 3b. Allocation probe: the contended Fig. 3(b) point (HyperConnect,
+    // 4 MiB — a DMA reader saturating the R channel back-to-back) run
+    // serially under the counting allocator. Each run builds a fresh
+    // system, so the count includes construction and ring growth to
+    // working occupancy; amortized over the ~1 M simulated cycles a
+    // zero-alloc steady state shows up as allocs_per_sim_cycle << 1.
+    let probe_bytes = *fig3b::SIZES.last().expect("fig3b has sizes");
+    let alloc_probe_json = match alloc_count() {
+        Some(before) => {
+            let (_, mean) = fig3b::access_stats(Design::HyperConnect, probe_bytes, 1);
+            let probe_cycles = mean.max(1.0) as u64;
+            let allocs = alloc_count().expect("counter armed") - before;
+            let per_cycle = allocs as f64 / probe_cycles as f64;
+            println!(
+                "alloc probe (fig3b HyperConnect_{probe_bytes}B): {allocs} allocs over \
+                 {probe_cycles} cycles = {per_cycle:.4} allocs/sim-cycle"
+            );
+            format!(
+                "{{\"enabled\":true,\"scenario\":\"fig3b HyperConnect_{probe_bytes}B, serial\",\
+                 \"allocs\":{allocs},\"sim_cycles\":{probe_cycles},\
+                 \"allocs_per_sim_cycle\":{per_cycle:.6}}}"
+            )
+        }
+        None => "{\"enabled\":false}".to_string(),
+    };
+
     // 4. Figure sweeps on the parallel runner.
     let mut fig3b_points: Vec<Point> = Vec::new();
     for design in Design::BOTH {
@@ -516,6 +590,7 @@ fn main() {
          \"sim_cycles\":{obs_cycles},\
          \"bare_wall_ms\":{base_ms:.3},\"observed_wall_ms\":{obs_ms:.3},\
          \"overhead\":{obs_overhead:.3},\"bound_monitor\":{obs_report}}},\n\
+         \"alloc_probe\":{alloc_probe_json},\n\
          \"figures\":[{figures_json}],\n\
          \"tree100\":{{\"scenario\":\"{} nodes: 1 busy + 6 periodic clusters behind latency-{} \
          bridges, {tree_cycles}-cycle window\",\

@@ -11,12 +11,11 @@
 //! adding one cycle of latency per address request and none on the data
 //! and response channels.
 
-use std::collections::VecDeque;
-
 use axi::beat::{ArBeat, AwBeat, WBeat};
 use axi::observe::{Hop, ObsChannel, ObsEvent};
 use axi::routing::{RouteEntry, RouteQueue};
-use axi::AxiPort;
+use axi::{AxiPort, Payload};
+use sim::ring::Ring;
 use sim::{Cycle, TimedFifo};
 
 use crate::config::ArbitrationPolicy;
@@ -66,7 +65,9 @@ pub struct Exbar {
     /// Grant order of writes — routes B responses back to ports.
     b_routes: RouteQueue,
     /// Grant order of writes — which port supplies the next W beats.
-    w_routes: VecDeque<WRoute>,
+    /// Ring-buffer slots updated in place (per-beat progress bumps the
+    /// head slot's `moved` counter rather than re-queueing the entry).
+    w_routes: Ring<WRoute>,
     /// Strobe-disabled filler beats synthesized for decoupled ports.
     firewall_beats: u64,
     stats: ExbarStats,
@@ -93,7 +94,7 @@ impl Exbar {
             aw_stage: TimedFifo::new(2, 1),
             read_routes: RouteQueue::new(routing_depth),
             b_routes: RouteQueue::new(routing_depth),
-            w_routes: VecDeque::new(),
+            w_routes: Ring::new(),
             firewall_beats: 0,
             stats: ExbarStats {
                 ar_grants: vec![0; num_ports],
@@ -312,7 +313,10 @@ impl Exbar {
         efifos: &[EFifo],
         mem_port: &mut AxiPort,
     ) -> bool {
-        let Some(route) = self.w_routes.front().copied() else {
+        // Single slot lookup: the head route is read and updated in
+        // place through one `front_mut` handle (no copy-out/look-up-again
+        // round trip).
+        let Some(route) = self.w_routes.front_mut() else {
             return false;
         };
         if mem_port.w.is_full() {
@@ -341,7 +345,7 @@ impl Exbar {
         } else if efifos[port].is_decoupled() {
             let last = route.moved + 1 >= route.beats;
             self.firewall_beats += 1;
-            WBeat::new(vec![0; route.bytes], last).with_strobe(0)
+            WBeat::new(Payload::zeroed(route.bytes), last).with_strobe(0)
         } else {
             return false;
         };
@@ -350,7 +354,7 @@ impl Exbar {
         if last {
             self.w_routes.pop_front();
         } else {
-            self.w_routes.front_mut().expect("still present").moved += 1;
+            route.moved += 1;
         }
         true
     }

@@ -18,7 +18,7 @@
 //! * adds exactly **one cycle** of latency on each address request and
 //!   none on the R/W/B channels, which are handled proactively.
 
-use std::collections::VecDeque;
+use sim::ring::Ring;
 
 use axi::beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
 use axi::burst::{crosses_4k, split_incr};
@@ -92,20 +92,20 @@ pub struct TsStats {
 #[derive(Debug)]
 pub struct TransactionSupervisor {
     // --- read management subsystem ---
-    ar_split: VecDeque<SubAr>,
+    ar_split: Ring<SubAr>,
     /// Staged sub-reads toward the EXBAR (the TS's one-cycle register).
     pub ar_stage: TimedFifo<SubAr>,
     read_outstanding: u32,
     // --- write management subsystem ---
-    aw_split: VecDeque<SubAw>,
+    aw_split: Ring<SubAw>,
     /// Staged sub-writes toward the EXBAR.
     pub aw_stage: TimedFifo<SubAw>,
     /// Upcoming sub-burst lengths for W-stream re-chunking.
-    w_sublens: VecDeque<u32>,
+    w_sublens: Ring<u32>,
     w_current_left: u32,
     /// Original (pre-split) burst lengths, for WLAST-position checking
     /// against what the accelerator actually drives.
-    w_orig_lens: VecDeque<u32>,
+    w_orig_lens: Ring<u32>,
     w_orig_left: u32,
     /// Cycles the W channel has starved a pending write burst.
     w_starved: u32,
@@ -138,14 +138,14 @@ impl TransactionSupervisor {
     /// Creates a TS with the given W staging depth (beats).
     pub fn new(w_depth: usize) -> Self {
         Self {
-            ar_split: VecDeque::new(),
+            ar_split: Ring::new(),
             ar_stage: TimedFifo::new(2, 1),
             read_outstanding: 0,
-            aw_split: VecDeque::new(),
+            aw_split: Ring::new(),
             aw_stage: TimedFifo::new(2, 1),
-            w_sublens: VecDeque::new(),
+            w_sublens: Ring::new(),
             w_current_left: 0,
-            w_orig_lens: VecDeque::new(),
+            w_orig_lens: Ring::new(),
             w_orig_left: 0,
             w_starved: 0,
             w_stage: TimedFifo::new(w_depth.max(2), 0),
@@ -327,10 +327,10 @@ impl TransactionSupervisor {
         // the bound monitor can retire their pending service clocks;
         // split-queue drops never started one.
         let mut flushed: Vec<(u64, ObsChannel, bool)> = Vec::new();
-        for sub in self.ar_split.drain(..) {
+        while let Some(sub) = self.ar_split.pop_front() {
             flushed.push((sub.beat.uid, ObsChannel::Ar, false));
         }
-        for sub in self.aw_split.drain(..) {
+        while let Some(sub) = self.aw_split.pop_front() {
             flushed.push((sub.beat.uid, ObsChannel::Aw, false));
         }
         while let Some(sub) = self.ar_stage.pop_ready(Cycle::MAX) {
@@ -374,16 +374,26 @@ impl TransactionSupervisor {
             return;
         }
         let subs = split_incr(ar.addr, ar.len, ar.size, nominal);
-        let count = subs.len();
-        for (i, s) in subs.into_iter().enumerate() {
+        let mut subs = subs.into_iter();
+        let final_geom = subs.next_back().expect("split yields at least one sub");
+        for s in subs {
             let mut beat = ar.clone();
             beat.addr = s.addr;
             beat.len = s.len;
             self.ar_split.push_back(SubAr {
                 beat,
-                final_sub: i == count - 1,
+                final_sub: false,
             });
         }
+        // The final sub-request takes ownership of the original beat —
+        // no clone on the last (or only-split) fragment.
+        let mut beat = ar;
+        beat.addr = final_geom.addr;
+        beat.len = final_geom.len;
+        self.ar_split.push_back(SubAr {
+            beat,
+            final_sub: true,
+        });
     }
 
     fn split_aw(&mut self, aw: AwBeat, nominal: u32) {
@@ -396,17 +406,27 @@ impl TransactionSupervisor {
             return;
         }
         let subs = split_incr(aw.addr, aw.len, aw.size, nominal);
-        let count = subs.len();
-        for (i, s) in subs.into_iter().enumerate() {
+        let mut subs = subs.into_iter();
+        let final_geom = subs.next_back().expect("split yields at least one sub");
+        for s in subs {
             let mut beat = aw.clone();
             beat.addr = s.addr;
             beat.len = s.len;
             self.w_sublens.push_back(s.len);
             self.aw_split.push_back(SubAw {
                 beat,
-                final_sub: i == count - 1,
+                final_sub: false,
             });
         }
+        // As in `split_ar`: the final sub moves the original beat.
+        let mut beat = aw;
+        beat.addr = final_geom.addr;
+        beat.len = final_geom.len;
+        self.w_sublens.push_back(final_geom.len);
+        self.aw_split.push_back(SubAw {
+            beat,
+            final_sub: true,
+        });
     }
 
     /// Consumes new requests and data from the port's eFIFO: splits
@@ -433,7 +453,7 @@ impl TransactionSupervisor {
                 }
                 if let Some(port) = self.obs_port {
                     // Stamp the uid before splitting so every
-                    // sub-request inherits it via the beat clone.
+                    // sub-request inherits it when the splitter clones/moves the beat.
                     ar.uid = self.next_uid(port);
                     self.obs_events.push(ObsEvent {
                         uid: ar.uid,

@@ -4,7 +4,7 @@
 use axi::beat::{ArBeat, AwBeat, WBeat};
 use axi::burst::BOUNDARY_4K;
 use axi::types::{AxiId, BurstSize};
-use axi::AxiPort;
+use axi::{AxiPort, Payload};
 use sim::stats::LatencyStat;
 use sim::Cycle;
 
@@ -41,7 +41,7 @@ pub struct ReadEngine {
     finished_at: Option<Cycle>,
     txn_latency: LatencyStat,
     /// Most recent data beat received (for integrity checks).
-    last_data: Vec<u8>,
+    last_data: Payload,
 }
 
 impl ReadEngine {
@@ -71,7 +71,7 @@ impl ReadEngine {
             started_at: None,
             finished_at: None,
             txn_latency: LatencyStat::new(),
-            last_data: Vec::new(),
+            last_data: Payload::new(),
         }
     }
 
@@ -179,7 +179,7 @@ pub struct WriteEngine {
     max_outstanding: u32,
     issued_beats: u64,
     /// W beats still to stream for already-issued AWs: (addr, last).
-    w_backlog: std::collections::VecDeque<(u64, bool)>,
+    w_backlog: sim::ring::Ring<(u64, bool)>,
     acked_bursts: u64,
     issued_bursts: u64,
     outstanding: u32,
@@ -228,7 +228,7 @@ impl WriteEngine {
             size,
             max_outstanding: 4,
             issued_beats: 0,
-            w_backlog: std::collections::VecDeque::new(),
+            w_backlog: sim::ring::Ring::new(),
             acked_bursts: 0,
             issued_bursts: 0,
             outstanding: 0,
@@ -318,9 +318,9 @@ impl WriteEngine {
         // Stream one W beat.
         if let Some(&(addr, last)) = self.w_backlog.front() {
             if !port.w.is_full() {
-                let data: Vec<u8> = (0..self.size.bytes())
-                    .map(|b| (self.fill)(addr + b))
-                    .collect();
+                let n = self.size.bytes() as usize;
+                let fill = &mut self.fill;
+                let data = Payload::from_fn(n, |b| fill(addr + b as u64));
                 let beat = WBeat::new(data, last).with_issued_at(now);
                 port.w.push(now, beat).expect("checked space");
                 self.w_backlog.pop_front();

@@ -327,7 +327,10 @@ impl Accelerator for WlastViolator {
             } else {
                 self.w_left == 2
             };
-            let beat = WBeat::new(vec![0xAB; self.size.bytes() as usize], last);
+            let beat = WBeat::new(
+                axi::Payload::from_fn(self.size.bytes() as usize, |_| 0xAB),
+                last,
+            );
             port.w.push(now, beat).expect("checked space");
             self.w_left -= 1;
             progress = true;

@@ -8,6 +8,14 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// A sparse memory image: pages are allocated on first write; unwritten
 /// bytes read as zero (as freshly initialized DRAM is modeled here).
 ///
+/// Pages live in a flat `Vec` of boxed 4 KiB frames with a `HashMap`
+/// translating page numbers to frame indices, plus a one-entry
+/// last-page cache: sequential burst traffic (the common case — beats
+/// walk linearly through a page) costs one hash lookup per 4 KiB
+/// instead of one per beat. [`read_into`](Self::read_into) is the
+/// zero-allocation read path used by the memory controller's per-beat
+/// serve loop; [`read`](Self::read) stays for cold paths and tests.
+///
 /// # Example
 ///
 /// ```
@@ -19,7 +27,12 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Flat frame storage; never shrinks.
+    frames: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Page number → frame index.
+    index: HashMap<u64, u32>,
+    /// Last (page number, frame index) touched by a cached-path access.
+    last: Option<(u64, u32)>,
 }
 
 impl SparseMemory {
@@ -30,7 +43,47 @@ impl SparseMemory {
 
     /// Number of 4 KiB pages currently allocated.
     pub fn allocated_pages(&self) -> usize {
-        self.pages.len()
+        self.frames.len()
+    }
+
+    /// Looks up a page's frame without touching the cache (shared-ref
+    /// paths).
+    #[inline]
+    fn frame_of(&self, page: u64) -> Option<u32> {
+        if let Some((p, f)) = self.last {
+            if p == page {
+                return Some(f);
+            }
+        }
+        self.index.get(&page).copied()
+    }
+
+    /// Looks up a page's frame, refreshing the last-page cache.
+    #[inline]
+    fn frame_of_cached(&mut self, page: u64) -> Option<u32> {
+        if let Some((p, f)) = self.last {
+            if p == page {
+                return Some(f);
+            }
+        }
+        let f = self.index.get(&page).copied();
+        if let Some(f) = f {
+            self.last = Some((page, f));
+        }
+        f
+    }
+
+    /// Looks up or allocates a page's frame, refreshing the cache.
+    #[inline]
+    fn frame_of_or_alloc(&mut self, page: u64) -> u32 {
+        if let Some(f) = self.frame_of_cached(page) {
+            return f;
+        }
+        let f = self.frames.len() as u32;
+        self.frames.push(Box::new([0u8; PAGE_SIZE]));
+        self.index.insert(page, f);
+        self.last = Some((page, f));
+        f
     }
 
     /// Reads `len` bytes starting at `addr`, crossing pages as needed.
@@ -42,14 +95,34 @@ impl SparseMemory {
             let page = cursor >> PAGE_SHIFT;
             let offset = (cursor & (PAGE_SIZE as u64 - 1)) as usize;
             let chunk = remaining.min(PAGE_SIZE - offset);
-            match self.pages.get(&page) {
-                Some(data) => out.extend_from_slice(&data[offset..offset + chunk]),
+            match self.frame_of(page) {
+                Some(f) => out.extend_from_slice(&self.frames[f as usize][offset..offset + chunk]),
                 None => out.extend(std::iter::repeat_n(0, chunk)),
             }
             cursor += chunk as u64;
             remaining -= chunk;
         }
         out
+    }
+
+    /// Reads `out.len()` bytes starting at `addr` into `out`, crossing
+    /// pages as needed. Allocation-free; the hot-path counterpart of
+    /// [`read`](Self::read).
+    pub fn read_into(&mut self, addr: u64, out: &mut [u8]) {
+        let mut cursor = addr;
+        let mut dst = out;
+        while !dst.is_empty() {
+            let page = cursor >> PAGE_SHIFT;
+            let offset = (cursor & (PAGE_SIZE as u64 - 1)) as usize;
+            let chunk = dst.len().min(PAGE_SIZE - offset);
+            let (head, rest) = dst.split_at_mut(chunk);
+            match self.frame_of_cached(page) {
+                Some(f) => head.copy_from_slice(&self.frames[f as usize][offset..offset + chunk]),
+                None => head.fill(0),
+            }
+            cursor += chunk as u64;
+            dst = rest;
+        }
     }
 
     /// Writes `data` starting at `addr`, crossing pages as needed.
@@ -60,11 +133,8 @@ impl SparseMemory {
             let page = cursor >> PAGE_SHIFT;
             let offset = (cursor & (PAGE_SIZE as u64 - 1)) as usize;
             let chunk = src.len().min(PAGE_SIZE - offset);
-            let slot = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-            slot[offset..offset + chunk].copy_from_slice(&src[..chunk]);
+            let f = self.frame_of_or_alloc(page);
+            self.frames[f as usize][offset..offset + chunk].copy_from_slice(&src[..chunk]);
             cursor += chunk as u64;
             src = &src[chunk..];
         }
@@ -128,6 +198,30 @@ mod tests {
         m.write(0, &[1, 1, 1, 1]);
         m.write(1, &[2, 2]);
         assert_eq!(m.read(0, 4), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn read_into_matches_read() {
+        let mut m = SparseMemory::new();
+        m.fill_pattern(0x0FF0, 64); // straddles a page boundary
+        let mut buf = [0xAAu8; 64];
+        m.read_into(0x0FF0, &mut buf);
+        assert_eq!(buf.to_vec(), m.read(0x0FF0, 64));
+        // Unallocated span reads zero through the buffered path too.
+        let mut hole = [0x55u8; 16];
+        m.read_into(0x8000_0000, &mut hole);
+        assert_eq!(hole, [0u8; 16]);
+    }
+
+    #[test]
+    fn cached_path_sees_later_writes() {
+        let mut m = SparseMemory::new();
+        m.write(0x2000, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.read_into(0x2000, &mut buf); // warm the last-page cache
+        m.write(0x2001, &[9]);
+        m.read_into(0x2000, &mut buf);
+        assert_eq!(buf, [1, 9, 3, 4]);
     }
 
     #[test]

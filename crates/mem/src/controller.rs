@@ -1,13 +1,12 @@
 //! The in-order memory controller model.
 
-use std::collections::VecDeque;
-
 use axi::beat::{AwBeat, BBeat, RBeat, WBeat};
 use axi::burst::beat_addr;
 use axi::checker::ProtocolMonitor;
 use axi::types::{BurstKind, BurstSize, Resp};
-use axi::{AxiPort, PortConfig};
+use axi::{AxiPort, Payload, PortConfig};
 use sim::fifo::DelayQueue;
+use sim::ring::Ring;
 use sim::stats::Gauge;
 use sim::{Cycle, TimedFifo};
 
@@ -119,8 +118,12 @@ pub struct MemoryController {
     ps_port: Option<AxiPort>,
     active: Option<Active>,
     /// AWs accepted, oldest first; data is assembled for the head.
-    aw_pending: VecDeque<AwBeat>,
+    aw_pending: Ring<AwBeat>,
     assembly: Vec<WBeat>,
+    /// Cleared assembly buffers recycled by [`finalize_write`]
+    /// (zero-alloc steady state: one buffer per concurrent write job,
+    /// returned when the job's beats finish committing).
+    spare_assemblies: Vec<Vec<WBeat>>,
     b_pipe: TimedFifo<BBeat>,
     stats: MemStats,
     monitor: Option<ProtocolMonitor>,
@@ -163,8 +166,9 @@ impl MemoryController {
             open_rows: vec![None; config.row_policy.map_or(0, |p| p.banks as usize)],
             ps_port: None,
             active: None,
-            aw_pending: VecDeque::new(),
+            aw_pending: Ring::new(),
             assembly: Vec::new(),
+            spare_assemblies: Vec::new(),
             b_pipe: TimedFifo::new(16, config.write_resp_latency),
             stats: MemStats::default(),
             monitor: None,
@@ -439,7 +443,8 @@ impl MemoryController {
             return false;
         }
         let aw = self.aw_pending.pop_front().expect("assembly implies head");
-        let data = std::mem::take(&mut self.assembly);
+        let fresh = self.spare_assemblies.pop().unwrap_or_default();
+        let data = std::mem::replace(&mut self.assembly, fresh);
         let delay = self.service_delay(aw.addr);
         let (lo, hi) = burst_extent(aw.burst, aw.addr, aw.len, aw.size);
         let resp = self.config.response_for(lo, hi);
@@ -485,11 +490,10 @@ impl MemoryController {
                 // Error reads still stream the full beat count (AXI
                 // requires it), but data is undefined — modeled as
                 // zeros, never touching backing storage.
-                let data = if resp.is_ok() {
-                    self.memory.read(addr, bytes)
-                } else {
-                    vec![0; bytes]
-                };
+                let mut data = Payload::zeroed(bytes);
+                if resp.is_ok() {
+                    self.memory.read_into(addr, data.as_mut_slice());
+                }
                 let last = idx + 1 == ar.len;
                 let mut beat = RBeat::new(ar.id, data, last)
                     .with_tag(ar.tag)
@@ -571,7 +575,13 @@ impl MemoryController {
                     if !resp.is_ok() {
                         self.stats.error_responses += 1;
                     }
-                    self.active = None;
+                    // Recycle the assembly buffer for future writes.
+                    if let Some(done) = self.active.take() {
+                        if let Job::Write(_, mut buf, _) = done.job {
+                            buf.clear();
+                            self.spare_assemblies.push(buf);
+                        }
+                    }
                     true
                 }
             }
@@ -938,7 +948,7 @@ mod tests {
         run(&mut ctrl, &mut port, 30);
         let beats = drain_r(&mut port, 30);
         assert_eq!(beats.len(), 4);
-        let data: Vec<u8> = beats.iter().flat_map(|b| b.data.clone()).collect();
+        let data: Vec<u8> = beats.iter().flat_map(|b| b.data.to_vec()).collect();
         // 0x108..0x110 then wrap to 0x100..0x108.
         assert_eq!(
             data,

@@ -1,8 +1,13 @@
 //! Timed FIFO queues — the basic storage/pipelining element of all models.
-
-use std::collections::VecDeque;
+//!
+//! Both queue types here are thin timing-policy layers over the flat
+//! power-of-two [`Ring`]: contiguous slots, mask
+//! arithmetic for wrap, and zero heap allocation once a queue has
+//! reached its working occupancy. There is deliberately no `VecDeque`
+//! anywhere on the per-cycle path.
 
 use crate::clock::Cycle;
+use crate::ring::Ring;
 
 /// Error returned by [`TimedFifo::push`] when the queue is at capacity.
 ///
@@ -35,6 +40,10 @@ impl<T: std::fmt::Debug> std::error::Error for FifoFull<T> {}
 /// pushed at cycle `t` can never be observed before `t + latency`,
 /// regardless of the order in which components are ticked.
 ///
+/// Storage is a contiguous power-of-two ring ([`Ring`]): slots grow by
+/// doubling up to the configured capacity and are then reused forever,
+/// so steady-state push/pop performs no heap allocation.
+///
 /// # Example
 ///
 /// ```
@@ -53,7 +62,7 @@ impl<T: std::fmt::Debug> std::error::Error for FifoFull<T> {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct TimedFifo<T> {
-    entries: VecDeque<(Cycle, T)>,
+    entries: Ring<(Cycle, T)>,
     capacity: usize,
     latency: Cycle,
     /// Total number of elements ever pushed (for occupancy statistics).
@@ -73,8 +82,12 @@ impl<T> TimedFifo<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, latency: Cycle) -> Self {
         assert!(capacity > 0, "fifo capacity must be non-zero");
+        // Storage starts small and doubles toward `capacity` on demand:
+        // queues that run at low occupancy (the common case — a couple
+        // of beats in flight) keep their slot array inside a few cache
+        // lines instead of round-robining the full configured depth.
         Self {
-            entries: VecDeque::with_capacity(capacity.min(1024)),
+            entries: Ring::new(),
             capacity,
             latency,
             pushed: 0,
@@ -225,7 +238,11 @@ impl<T> TimedFifo<T> {
     /// for migrating in-flight contents between queues. Not counted as
     /// pops (the elements are moving, not being consumed).
     pub fn drain_scheduled(&mut self) -> Vec<(Cycle, T)> {
-        self.entries.drain(..).collect()
+        let mut out = Vec::with_capacity(self.entries.len());
+        while let Some(entry) = self.entries.pop_front() {
+            out.push(entry);
+        }
+        out
     }
 }
 
@@ -253,7 +270,7 @@ impl<T> TimedFifo<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DelayQueue<T> {
-    entries: VecDeque<(Cycle, T)>,
+    entries: Ring<(Cycle, T)>,
     capacity: usize,
 }
 
@@ -266,7 +283,7 @@ impl<T> DelayQueue<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be non-zero");
         Self {
-            entries: VecDeque::with_capacity(capacity.min(1024)),
+            entries: Ring::new(),
             capacity,
         }
     }
@@ -449,6 +466,18 @@ mod tests {
         f.push(0, 8).unwrap();
         let all: Vec<_> = f.iter().copied().collect();
         assert_eq!(all, vec![7, 8]);
+    }
+
+    #[test]
+    fn steady_state_wrap_does_not_grow_slots() {
+        let mut f = TimedFifo::new(4, 1);
+        for c in 0..10_000u64 {
+            f.push(c, c).unwrap();
+            assert_eq!(f.pop_ready(c + 1), Some(c));
+        }
+        assert_eq!(f.total_pushed(), 10_000);
+        assert_eq!(f.total_popped(), 10_000);
+        assert_eq!(f.max_occupancy(), 1);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 pub mod clock;
 pub mod fifo;
 pub mod parallel;
+pub mod ring;
 pub mod rng;
 pub mod runner;
 pub mod stats;
@@ -44,5 +45,6 @@ pub mod vcd;
 pub use clock::{ClockConfig, Cycle};
 pub use fifo::{FifoFull, TimedFifo};
 pub use parallel::{EngineReport, RunOptions, ShardTask, ShardedEngine, WindowReport};
+pub use ring::Ring;
 pub use rng::SimRng;
 pub use runner::{Component, RunOutcome, Runner, StallDiagnostics};
