@@ -223,6 +223,37 @@ impl ChannelMetrics {
     }
 }
 
+/// Metrics of one port's credit regulator (QoS traffic regulation).
+/// Present only on ports with an active regulator so the flat schema
+/// stays byte-identical when regulation is disabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegulatorMetrics {
+    /// Throttle events: rising edges of the regulator's blocked state
+    /// (credit exhaustion or outstanding-transaction cap).
+    pub throttle_events: u64,
+    /// Stored (banked) read-lane credits. Stored — not effective —
+    /// credits keep the gauge scheduler-invariant: stored state only
+    /// changes at cycles every scheduler executes.
+    pub read_credits: Gauge,
+    /// Stored write-lane credits.
+    pub write_credits: Gauge,
+}
+
+impl RegulatorMetrics {
+    fn json(&self) -> String {
+        format!(
+            "{{\"throttle_events\":{},\
+             \"read_credits\":{{\"current\":{},\"peak\":{}}},\
+             \"write_credits\":{{\"current\":{},\"peak\":{}}}}}",
+            self.throttle_events,
+            self.read_credits.current(),
+            self.read_credits.peak(),
+            self.write_credits.current(),
+            self.write_credits.peak(),
+        )
+    }
+}
+
 /// All metrics of one slave port.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PortMetrics {
@@ -242,6 +273,9 @@ pub struct PortMetrics {
     pub write_txns: LatencyStat,
     /// Slave eFIFO occupancy (sum over the five channel queues).
     pub efifo_occupancy: Gauge,
+    /// Credit-regulator metrics; `None` while the port is unregulated
+    /// (the JSON snapshot then omits the section entirely).
+    pub regulator: Option<RegulatorMetrics>,
 }
 
 impl PortMetrics {
@@ -345,6 +379,19 @@ impl MetricsRegistry {
     /// fast-forward-safe).
     pub fn set_efifo_occupancy(&mut self, i: usize, level: u64) {
         self.ports[i].efifo_occupancy.set(level);
+    }
+
+    /// Updates port `i`'s credit-regulator metrics: cumulative throttle
+    /// events and the stored per-lane credit levels (idempotent,
+    /// fast-forward-safe). Instantiates the optional section on first
+    /// call; unregulated ports never allocate it.
+    pub fn set_regulator(&mut self, i: usize, events: u64, read: u64, write: u64) {
+        let reg = self.ports[i]
+            .regulator
+            .get_or_insert_with(RegulatorMetrics::default);
+        reg.throttle_events = events;
+        reg.read_credits.set(read);
+        reg.write_credits.set(write);
     }
 
     /// Updates the master eFIFO occupancy gauge.
@@ -548,7 +595,7 @@ impl MetricsRegistry {
             out.push_str(&format!(
                 "{{\"port\":{},\"ar\":{},\"aw\":{},\"w\":{},\"r\":{},\"b\":{},\
                  \"read_txns\":{},\"write_txns\":{},\
-                 \"efifo_occupancy\":{{\"current\":{},\"peak\":{}}}}}",
+                 \"efifo_occupancy\":{{\"current\":{},\"peak\":{}}}",
                 i,
                 p.ar.json(),
                 p.aw.json(),
@@ -560,6 +607,10 @@ impl MetricsRegistry {
                 p.efifo_occupancy.current(),
                 p.efifo_occupancy.peak(),
             ));
+            if let Some(reg) = &p.regulator {
+                out.push_str(&format!(",\"regulator\":{}", reg.json()));
+            }
+            out.push('}');
         }
         out.push_str(&format!(
             "],\"master_efifo_occupancy\":{{\"current\":{},\"peak\":{}}},\"inflight\":{}}}",

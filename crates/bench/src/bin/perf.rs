@@ -44,13 +44,16 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use axi::lite::LiteBus;
 use axi::observe::BoundReport;
 use axi::types::BurstSize;
 use axi::AxiInterconnect;
 use axi_hyperconnect::{SchedulerMode, SocSystem};
 use bench::{fig3a, fig3b, fig4, fig5, tree100, Design};
 use ha::dma::{Dma, DmaConfig};
+use ha::traffic::PeriodicReader;
 use hyperconnect::{HcConfig, HyperConnect};
+use hypervisor::HcDriver;
 use mem::{MemConfig, MemoryController};
 use sim::Cycle;
 
@@ -271,6 +274,68 @@ fn observed_probe(observe: bool) -> (f64, Cycle, Option<BoundReport>) {
     (wall_ms, sys.now(), sys.interconnect_ref().bound_report())
 }
 
+/// The QoS regulation probe: the mixed-criticality scenario from the
+/// `qos_regulation` example (a hard-RT periodic victim plus three
+/// free-running greedy DMA readers on a 4-port HyperConnect) run bare
+/// and with per-port credit regulators programmed over AXI-Lite —
+/// reporting the host-side cost of the regulation hot path, the total
+/// throttle events, and the tightened-bound verdict on real traffic.
+fn qos_probe(regulate: bool, window: Cycle) -> (f64, u64, u64, u64, u64, usize) {
+    const BASE: u64 = 0xA000_0000;
+    let hc = HyperConnect::new(HcConfig::new(4));
+    let mut bus = LiteBus::new();
+    bus.map(BASE, 0x1000, hc.regs().clone());
+    let drv = HcDriver::probe(&bus, BASE).expect("HyperConnect at BASE");
+    if regulate {
+        drv.set_regulation_window(256).unwrap();
+        for port in 1..4 {
+            drv.set_rate(port, 2).unwrap();
+            drv.set_reg_burst(port, 2).unwrap();
+            drv.set_out_cap(port, 2).unwrap();
+        }
+    }
+    let mut sys = SocSystem::new(hc, MemoryController::new(MemConfig::zcu102()));
+    sys.enable_observability();
+    sys.add_accelerator(Box::new(PeriodicReader::new(
+        "victim",
+        0x1000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+        200,
+    )))
+    .unwrap();
+    for i in 0..3u64 {
+        sys.add_accelerator(Box::new(Dma::new(
+            format!("swarm{i}"),
+            DmaConfig {
+                src_base: 0x3000_0000 + i * 0x0100_0000,
+                jobs: None,
+                ..DmaConfig::reader(256 * 1024, 16, BurstSize::B16)
+            },
+        )))
+        .unwrap();
+    }
+    let t0 = Instant::now();
+    sys.run_for(window);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let throttle: u64 = (1..4)
+        .map(|p| u64::from(drv.throttle_events(p).unwrap()))
+        .sum();
+    let mon = sys
+        .interconnect_ref()
+        .bound_monitor()
+        .expect("observability armed");
+    (
+        wall_ms,
+        sys.accelerator(0).unwrap().jobs_completed(),
+        throttle,
+        mon.read_bound(),
+        mon.port_read_bound(0),
+        mon.violations().len(),
+    )
+}
+
 fn json_points(points: &[PointResult]) -> String {
     points
         .iter()
@@ -401,6 +466,25 @@ fn main() {
         }
         None => "{\"enabled\":false}".to_string(),
     };
+
+    // 3c. QoS regulation probe: the mixed-criticality scenario bare vs
+    // with per-port credit regulators armed, reporting the host-side
+    // cost of the regulation hot path and the tightened-bound verdict.
+    let qos_window: Cycle = match mode {
+        "quick" => 60_000,
+        "full" => 400_000,
+        _ => 200_000,
+    };
+    let (qos_bare_ms, qos_bare_jobs, _, _, _, qos_bare_violations) = qos_probe(false, qos_window);
+    let (qos_reg_ms, qos_reg_jobs, qos_throttle, qos_global, qos_bound, qos_violations) =
+        qos_probe(true, qos_window);
+    let qos_overhead = qos_reg_ms / qos_bare_ms.max(1e-9);
+    let qos_cps = qos_window as f64 / (qos_reg_ms / 1e3).max(1e-9);
+    println!(
+        "qos ({qos_window} cycles): bare {qos_bare_ms:.1} ms vs regulated {qos_reg_ms:.1} ms \
+         ({qos_overhead:.2}x, {qos_cps:.2e} c/s), victim bound {qos_global} -> {qos_bound}, \
+         {qos_throttle} throttle events, {qos_violations} violations"
+    );
 
     // 4. Figure sweeps on the parallel runner.
     let mut fig3b_points: Vec<Point> = Vec::new();
@@ -591,6 +675,15 @@ fn main() {
          \"bare_wall_ms\":{base_ms:.3},\"observed_wall_ms\":{obs_ms:.3},\
          \"overhead\":{obs_overhead:.3},\"bound_monitor\":{obs_report}}},\n\
          \"alloc_probe\":{alloc_probe_json},\n\
+         \"qos\":{{\"scenario\":\"hard-RT victim + 3 greedy DMA readers on 4 ports, \
+         {qos_window}-cycle window, swarm regulated to 2 credits / 256 cycles, 2 outstanding\",\
+         \"sim_cycles\":{qos_window},\
+         \"bare_wall_ms\":{qos_bare_ms:.3},\"regulated_wall_ms\":{qos_reg_ms:.3},\
+         \"regulated_cycles_per_sec\":{qos_cps:.0},\"overhead\":{qos_overhead:.3},\
+         \"victim_jobs_bare\":{qos_bare_jobs},\"victim_jobs_regulated\":{qos_reg_jobs},\
+         \"throttle_events\":{qos_throttle},\
+         \"victim_bound_unregulated\":{qos_global},\"victim_bound_tightened\":{qos_bound},\
+         \"bound_violations\":{qos_violations}}},\n\
          \"figures\":[{figures_json}],\n\
          \"tree100\":{{\"scenario\":\"{} nodes: 1 busy + 6 periodic clusters behind latency-{} \
          bridges, {tree_cycles}-cycle window\",\
@@ -632,6 +725,13 @@ fn main() {
             report.read_bound,
             report.worst_write,
             report.write_bound
+        );
+        std::process::exit(1);
+    }
+    if qos_bare_violations + qos_violations > 0 || qos_bound >= qos_global || qos_throttle == 0 {
+        eprintln!(
+            "FAIL: QoS probe regressed — {qos_bare_violations}+{qos_violations} bound \
+             violations, victim bound {qos_global} -> {qos_bound}, {qos_throttle} throttle events"
         );
         std::process::exit(1);
     }

@@ -32,6 +32,23 @@ pub mod propagation {
     pub const WRITE_TOTAL: u64 = D_AW + D_W + D_B;
 }
 
+/// Regulation parameters of one competing port, as far as the
+/// worst-case analysis cares: how many sub-transactions the port can
+/// have admitted or in flight at once.
+///
+/// `None` entries mean "that mechanism is unlimited"; a port with no
+/// regulator at all is represented as `None` at the call sites (see
+/// [`ServiceModel::regulated_staged_read_latency`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegulationCap {
+    /// Credits per refill window (`None` = rate unlimited).
+    pub rate: Option<u32>,
+    /// Burst depth: credits the port can accumulate per lane.
+    pub burst: u32,
+    /// Cap on total outstanding sub-transactions (`None` = uncapped).
+    pub out_cap: Option<u32>,
+}
+
 /// Parameters of a worst-case service analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceModel {
@@ -206,6 +223,113 @@ impl ServiceModel {
             + propagation::WRITE_TOTAL
     }
 
+    /// Population bound for one competing port under regulation: how
+    /// many of its sub-transactions can be queued on the shared data
+    /// path at once, starting from the unregulated allowance
+    /// `dir_limit` (2·`MAX_OUT` across both directions, `MAX_OUT` for
+    /// one).
+    ///
+    /// * An outstanding cap bounds the population directly.
+    /// * A rate limiter bounds it by `burst + rate`: everything the
+    ///   port has in flight was admitted from at most its accumulated
+    ///   burst credits plus one refill, provided the refill window is
+    ///   no shorter than the time the shared path needs to drain one
+    ///   interference round (the regime the QoS scenarios program;
+    ///   shorter windows fall back to the unregulated term only if
+    ///   `burst + rate` exceeds it, so the bound stays sound there
+    ///   too — it is simply not tighter).
+    fn port_in_flight_cap(&self, cap: Option<&RegulationCap>, dir_limit: u64) -> u64 {
+        let Some(c) = cap else {
+            return dir_limit;
+        };
+        let mut bound = dir_limit;
+        if let Some(oc) = c.out_cap {
+            bound = bound.min(oc as u64);
+        }
+        if let Some(r) = c.rate {
+            bound = bound.min(c.burst as u64 + r as u64);
+        }
+        bound
+    }
+
+    /// Tightened [`ServiceModel::worst_case_staged_read_latency`] for
+    /// `port` when competitors are traffic-regulated (`caps[j]` is the
+    /// regulation of port `j`, `None` = unregulated).
+    ///
+    /// The interference term shrinks because a rate-capped competitor
+    /// cannot keep its full outstanding allowance queued: its
+    /// population is bounded by [`RegulationCap`] (see
+    /// `port_in_flight_cap`). A competitor whose population bound is
+    /// zero also drops out of the arbitration round. With every entry
+    /// `None` this reduces *exactly* to the unregulated staged bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps.len() != num_ports` or `port` is out of range.
+    pub fn regulated_staged_read_latency(
+        &self,
+        caps: &[Option<RegulationCap>],
+        port: usize,
+    ) -> u64 {
+        let (queued, round) = self.regulated_population(caps, port);
+        (queued + round) * self.occupancy() + self.service_time() + propagation::READ_TOTAL
+    }
+
+    /// Tightened [`ServiceModel::worst_case_staged_write_latency`] for
+    /// `port` under competitor regulation; same derivation as the read
+    /// bound plus the write-specific terms, with the recycled-read
+    /// overtaking window also shrunk to each port's regulated write
+    /// population. Reduces exactly to the unregulated staged write
+    /// bound when every entry is `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps.len() != num_ports` or `port` is out of range.
+    pub fn regulated_staged_write_latency(
+        &self,
+        caps: &[Option<RegulationCap>],
+        port: usize,
+    ) -> u64 {
+        let (queued, round) = self.regulated_population(caps, port);
+        let k = self.max_outstanding as u64;
+        let write_population: u64 = caps
+            .iter()
+            .map(|cap| self.port_in_flight_cap(cap.as_ref(), k))
+            .sum();
+        (queued + round + write_population) * self.occupancy()
+            + self.occupancy() // own W-stream transfer
+            + self.service_time()
+            + self.write_resp_latency
+            + propagation::WRITE_TOTAL
+    }
+
+    /// Shared population arithmetic of the regulated staged bounds:
+    /// `(queued, round)` — subs admitted ahead of the analyzed one, and
+    /// the extra arbitration-round slots competitors with a nonzero
+    /// population can still claim.
+    fn regulated_population(&self, caps: &[Option<RegulationCap>], port: usize) -> (u64, u64) {
+        assert_eq!(
+            caps.len(),
+            self.num_ports,
+            "one regulation entry per port required"
+        );
+        assert!(port < self.num_ports, "analyzed port out of range");
+        let own = 2 * self.max_outstanding as u64;
+        let mut queued = own - 1;
+        let mut round = 0u64;
+        for (j, cap) in caps.iter().enumerate() {
+            if j == port {
+                continue;
+            }
+            let pop = self.port_in_flight_cap(cap.as_ref(), own);
+            queued += pop;
+            if pop > 0 {
+                round += self.rr_granularity as u64;
+            }
+        }
+        (queued, round)
+    }
+
     /// Worst-case cycles for a quiescent drain of one port to complete
     /// once new admissions stop at its TS ingest.
     ///
@@ -248,15 +372,22 @@ impl ServiceModel {
 /// flooring each share — the translation the hypervisor driver performs
 /// for the paper's `HC-X-Y` configurations.
 ///
+/// Each budget is `⌊capacity × share / 100⌋` computed in 64-bit: the
+/// floor guarantees `Σ budgets ≤ capacity` for *any* share vector
+/// summing to 100 (so the output always satisfies
+/// [`ServiceModel::budgets_feasible`] for a capacity derived from
+/// [`period_capacity_txns`]), and the widening multiply cannot wrap for
+/// large capacities the way the old 32-bit `capacity * share` did.
+///
 /// # Panics
 ///
-/// Panics if the shares do not sum to 100 or the lengths mismatch.
+/// Panics if the shares do not sum to 100.
 pub fn budgets_from_shares(capacity_txns: u32, shares_percent: &[u32]) -> Vec<u32> {
-    let sum: u32 = shares_percent.iter().sum();
+    let sum: u64 = shares_percent.iter().map(|&s| u64::from(s)).sum();
     assert_eq!(sum, 100, "shares must sum to 100 percent");
     shares_percent
         .iter()
-        .map(|&s| capacity_txns * s / 100)
+        .map(|&s| (u64::from(capacity_txns) * u64::from(s) / 100) as u32)
         .collect()
 }
 
@@ -364,6 +495,121 @@ mod tests {
     #[should_panic(expected = "sum to 100")]
     fn shares_must_sum_to_100() {
         let _ = budgets_from_shares(10, &[60, 60]);
+    }
+
+    #[test]
+    fn budget_rounding_never_exceeds_capacity() {
+        let m = ServiceModel::hyperconnect(3, 16, 22);
+        // Adversarial share vectors whose floored parts must still sum
+        // within capacity — [33,33,34] of 100 used to allocate 100
+        // exactly, but of 101 it must not allocate 102.
+        for capacity in [33u32, 100, 101, 997, 65_535] {
+            for shares in [
+                vec![33u32, 33, 34],
+                vec![1, 1, 98],
+                vec![49, 49, 2],
+                vec![100, 0, 0],
+            ] {
+                let budgets = budgets_from_shares(capacity, &shares);
+                let total: u64 = budgets.iter().map(|&b| u64::from(b)).sum();
+                assert!(
+                    total <= u64::from(capacity),
+                    "shares {shares:?} of {capacity} allocated {total}"
+                );
+            }
+        }
+        // Feasibility is guaranteed on the function's own output when
+        // the capacity itself came from the period arithmetic.
+        let period = 65_536u64;
+        let cap = period_capacity_txns(period, 16, 22);
+        let budgets = budgets_from_shares(cap, &[33, 33, 34]);
+        assert!(m.budgets_feasible(&budgets, period));
+    }
+
+    #[test]
+    fn budget_shares_survive_large_capacities() {
+        // 100M transactions: the old 32-bit `capacity * share` multiply
+        // wrapped here (100M * 90 > u32::MAX) and returned garbage in
+        // release builds.
+        let budgets = budgets_from_shares(100_000_000, &[90, 10]);
+        assert_eq!(budgets, vec![90_000_000, 10_000_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn share_sum_check_is_wrap_proof() {
+        // Sums past u32::MAX must panic, not wrap back around to 100.
+        let wrap_to_100 = [u32::MAX, 1, 100, 0];
+        let sum_wrapped = wrap_to_100.iter().fold(0u32, |acc, &s| acc.wrapping_add(s));
+        assert_eq!(sum_wrapped, 100); // the adversarial premise
+        let _ = budgets_from_shares(10, &wrap_to_100);
+    }
+
+    #[test]
+    fn regulated_bounds_reduce_to_unregulated_when_uncapped() {
+        let m = ServiceModel::hyperconnect(4, 16, 22);
+        let caps: Vec<Option<RegulationCap>> = vec![None; 4];
+        for p in 0..4 {
+            assert_eq!(
+                m.regulated_staged_read_latency(&caps, p),
+                m.worst_case_staged_read_latency()
+            );
+            assert_eq!(
+                m.regulated_staged_write_latency(&caps, p),
+                m.worst_case_staged_write_latency()
+            );
+        }
+        // Explicitly-unlimited caps (all fields None/huge) reduce too.
+        let inert = Some(RegulationCap {
+            rate: None,
+            burst: 1,
+            out_cap: None,
+        });
+        let caps = vec![inert; 4];
+        assert_eq!(
+            m.regulated_staged_read_latency(&caps, 0),
+            m.worst_case_staged_read_latency()
+        );
+    }
+
+    #[test]
+    fn regulated_bounds_tighten_with_capped_competitors() {
+        // The pinned 4-port scenario: unregulated staged read bound 588.
+        let m = ServiceModel::hyperconnect(4, 16, 22);
+        // Every competitor capped at 1 outstanding sub-transaction.
+        let cap = Some(RegulationCap {
+            rate: None,
+            burst: 1,
+            out_cap: Some(1),
+        });
+        let caps = vec![None, cap, cap, cap];
+        // queued = (2K-1) + 3*1 = 10, round = 3 -> 13*16 + 38 + 6.
+        assert_eq!(m.regulated_staged_read_latency(&caps, 0), 13 * 16 + 38 + 6);
+        assert!(m.regulated_staged_read_latency(&caps, 0) < m.worst_case_staged_read_latency());
+        // Writes: + write_population = K (own) + 3*1 = 7 jobs.
+        assert_eq!(
+            m.regulated_staged_write_latency(&caps, 0),
+            (10 + 3 + 7) * 16 + 16 + 38 + 4 + 8
+        );
+        // Rate caps tighten through burst + rate.
+        let paced = Some(RegulationCap {
+            rate: Some(1),
+            burst: 2,
+            out_cap: None,
+        });
+        let caps = vec![None, paced, paced, paced];
+        // Competitor population min(2K=8, burst+rate=3) = 3.
+        // queued = 7 + 9 = 16, round = 3 -> 19*16 + 38 + 6.
+        assert_eq!(m.regulated_staged_read_latency(&caps, 0), 19 * 16 + 38 + 6);
+        // A fully-blocked competitor (out_cap 0) leaves the round too.
+        let off = Some(RegulationCap {
+            rate: None,
+            burst: 1,
+            out_cap: Some(0),
+        });
+        let caps = vec![None, off, off, off];
+        // queued = 7, round = 0: only the port's own pipeline remains.
+        assert_eq!(m.regulated_staged_read_latency(&caps, 0), 7 * 16 + 38 + 6);
     }
 
     #[test]

@@ -435,6 +435,7 @@ mod tests {
             max_outstanding: 8,
             enabled: true,
             quiesced: false,
+            regulator: crate::regulate::RegulatorConfig::unlimited(),
         }
     }
 
@@ -680,8 +681,7 @@ mod tests {
         let unlimited = TsRuntime {
             nominal: 16,
             max_outstanding: 64,
-            enabled: true,
-            quiesced: false,
+            ..rt()
         };
         let mut grants = Vec::new();
         for now in 1..30u64 {

@@ -292,6 +292,7 @@ impl Component for HyperConnect {
         let seen_gen = &mut self.seen_cfg_gen;
         let drain_model = self.drain_model;
         let num_ports = self.config.num_ports;
+        let monitor = &mut self.monitor;
         let mut enabled = true;
         let mut progress = self.regs.with(|rf| {
             if !rf.is_enabled() {
@@ -321,6 +322,10 @@ impl Component for HyperConnect {
                     port.txn_total = ts.txn_total();
                     port.violations = viol_totals[i] as u32;
                     port.outstanding = ts.read_outstanding() + ts.write_outstanding();
+                    port.throttle_events = ts.throttle_events();
+                    let (rc, wc) = ts.stored_credits();
+                    port.read_credits = rc;
+                    port.write_credits = wc;
                 }
                 return false;
             }
@@ -377,12 +382,21 @@ impl Component for HyperConnect {
                         );
                     }
                 }
+                // Propagate a pending W1C throttle clear to the TS-side
+                // counter. The triggering write bumped the generation,
+                // so this (slow-path) tick is never skipped.
+                if rf.port(i).throttle_clear {
+                    supervisors[i].clear_throttle_events();
+                    rf.port_mut(i).throttle_clear = false;
+                }
+                let regulator = rf.regulator_config(i);
                 let port = rf.port(i);
                 scratch.push(TsRuntime {
                     nominal: rf.nominal_burst(),
                     max_outstanding: port.max_outstanding,
                     enabled: port.enabled,
                     quiesced: port.quiesce_requested,
+                    regulator,
                 });
                 if efifo.is_decoupled() == port.enabled {
                     tracer.emit(
@@ -408,6 +422,28 @@ impl Component for HyperConnect {
                 port.txn_total = ts.txn_total();
                 port.violations = viol_totals[i] as u32;
                 port.outstanding = ts.read_outstanding() + ts.write_outstanding();
+                port.throttle_events = ts.throttle_events();
+                let (rc, wc) = ts.stored_credits();
+                port.read_credits = rc;
+                port.write_credits = wc;
+            }
+            // Re-arm the bound monitor's per-port regulated bounds from
+            // the (possibly reprogrammed) regulator registers. Runs only
+            // on slow-path ticks, which every scheduler executes, so the
+            // armed bounds are scheduler-invariant.
+            if let Some(mon) = monitor.as_mut() {
+                let caps: Vec<Option<crate::analysis::RegulationCap>> = (0..num_ports)
+                    .map(|i| {
+                        let cfg = rf.regulator_config(i);
+                        cfg.is_active().then(|| crate::analysis::RegulationCap {
+                            rate: cfg.rate_limited().then_some(cfg.rate),
+                            burst: cfg.burst,
+                            out_cap: (cfg.out_cap != crate::regulate::OUT_CAP_UNLIMITED)
+                                .then_some(cfg.out_cap),
+                        })
+                    })
+                    .collect();
+                mon.arm_regulation(&caps);
             }
             recharged | quiesce_progress
         });
@@ -476,6 +512,17 @@ impl Component for HyperConnect {
                 metrics.set_efifo_occupancy(i, efifo.port.occupancy() as u64);
             }
             metrics.set_master_occupancy(self.mem_port.occupancy() as u64);
+            // Regulator telemetry: throttle-event counters and stored-
+            // credit gauges, only for ports whose regulator is armed so
+            // the flat schema is byte-unchanged when regulation is off.
+            // Stored credits only move on commonly-ticked cycles, so
+            // the gauge peaks are scheduler-invariant.
+            for (i, ts) in supervisors.iter().enumerate() {
+                if ts.regulator_active() {
+                    let (rc, wc) = ts.stored_credits();
+                    metrics.set_regulator(i, ts.throttle_events(), u64::from(rc), u64::from(wc));
+                }
+            }
         }
         progress
     }
@@ -490,19 +537,21 @@ impl Component for HyperConnect {
             Draining,
             Open,
         }
-        let gate = self.regs.with(|rf| {
+        let (gate, central_horizon) = self.regs.with(|rf| {
             if !rf.is_enabled() {
-                return Gate::Frozen;
+                return (Gate::Frozen, None);
             }
             let draining =
                 self.quiesce_deadline.iter().enumerate().any(|(i, q)| {
                     (q.is_some() || rf.port(i).quiesce_requested) && !rf.port(i).drained
                 });
-            if draining {
-                Gate::Draining
-            } else {
-                Gate::Open
-            }
+            let gate = if draining { Gate::Draining } else { Gate::Open };
+            // The period boundary is an event horizon only while a
+            // recharge would change state (any port with a finite
+            // budget or a pending per-period counter clear); an idle
+            // unlimited configuration may skip boundaries, which the
+            // central unit catches up on without leaving the grid.
+            (gate, self.central.boundary_horizon(rf, &self.supervisors))
         });
         if matches!(gate, Gate::Frozen) {
             return None;
@@ -515,21 +564,24 @@ impl Component for HyperConnect {
         if matches!(gate, Gate::Draining) {
             return Some(now + 1);
         }
-        let mut horizon = self.central.next_boundary();
+        let mut horizon = central_horizon;
         let mut merge = |c: Option<Cycle>| {
             if let Some(c) = c {
-                horizon = horizon.min(c);
+                horizon = Some(horizon.map_or(c, |h: Cycle| h.min(c)));
             }
         };
         for ts in &self.supervisors {
             merge(ts.next_stage_ready());
+            // A credit-blocked sub-request wakes at the next refill
+            // window boundary.
+            merge(ts.regulator_next_refill(now));
         }
         for efifo in &self.efifos {
             merge(efifo.port.next_ready_at());
         }
         merge(self.exbar.next_stage_ready());
         merge(self.mem_port.next_ready_at());
-        Some(horizon)
+        horizon
     }
 }
 

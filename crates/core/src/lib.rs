@@ -21,6 +21,9 @@
 //!   ([`supervisor`], after Restuccia et al., TECS 2019);
 //! * **bandwidth reservation** with periodic synchronous recharge
 //!   ([`central`], after Pagani et al., ECRTS 2019);
+//! * per-port **credit-based traffic regulation** (rate, burst depth and
+//!   outstanding caps) with derived tighter latency bounds for the
+//!   regulated system ([`regulate`], [`analysis`]);
 //! * per-port **decoupling** and runtime reconfiguration through a
 //!   memory-mapped register file ([`efifo`], [`regfile`]).
 //!
@@ -52,11 +55,16 @@ pub mod exbar;
 pub mod hyperconnect;
 pub mod observe;
 pub mod regfile;
+pub mod regulate;
 pub mod reorder;
 pub mod supervisor;
 
+pub use analysis::RegulationCap;
 pub use config::{ArbitrationPolicy, HcConfig};
 pub use hyperconnect::HyperConnect;
 pub use observe::BoundMonitor;
 pub use regfile::{RegFile, BUDGET_UNLIMITED};
+pub use regulate::{
+    CreditRegulator, RegulatorConfig, DEFAULT_WINDOW, OUT_CAP_UNLIMITED, RATE_UNLIMITED,
+};
 pub use supervisor::{TransactionSupervisor, TsRuntime, TsStats};

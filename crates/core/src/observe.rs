@@ -31,7 +31,7 @@ use axi::observe::{
 };
 use sim::Cycle;
 
-use crate::analysis::{propagation, ServiceModel};
+use crate::analysis::{propagation, RegulationCap, ServiceModel};
 
 /// Slave port encoded in an observability uid (`(seq << 10) | (port+1)`).
 fn port_of_uid(uid: u64) -> usize {
@@ -43,8 +43,15 @@ fn port_of_uid(uid: u64) -> usize {
 /// history) whenever simulation and analysis disagree.
 #[derive(Debug)]
 pub struct BoundMonitor {
+    model: ServiceModel,
     read_bound: u64,
     write_bound: u64,
+    /// Per-port read bound actually enforced: the global bound, or the
+    /// tighter regulated bound while [`Self::arm_regulation`] reports a
+    /// competitor rate-capped below saturation.
+    port_read_bounds: Vec<u64>,
+    /// Per-port write bound actually enforced (see `port_read_bounds`).
+    port_write_bounds: Vec<u64>,
     /// Per-port `(uid, staged_cycle)` of reads awaiting completion.
     /// Per-port completion is FIFO: memory serves in order and the
     /// EXBAR routes responses in grant order.
@@ -69,9 +76,14 @@ impl BoundMonitor {
     /// Creates a monitor enforcing the bounds of `model`.
     pub fn new(model: ServiceModel) -> Self {
         let n = model.num_ports;
+        let read_bound = model.worst_case_staged_read_latency();
+        let write_bound = model.worst_case_staged_write_latency();
         Self {
-            read_bound: model.worst_case_staged_read_latency(),
-            write_bound: model.worst_case_staged_write_latency(),
+            model,
+            read_bound,
+            write_bound,
+            port_read_bounds: vec![read_bound; n],
+            port_write_bounds: vec![write_bound; n],
             pending_reads: vec![VecDeque::new(); n],
             pending_writes: vec![VecDeque::new(); n],
             w_ready: vec![VecDeque::new(); n],
@@ -91,6 +103,47 @@ impl BoundMonitor {
     /// The write service bound being enforced, in cycles.
     pub fn write_bound(&self) -> u64 {
         self.write_bound
+    }
+
+    /// The read bound currently enforced for `port` — tighter than
+    /// [`Self::read_bound`] while competitor regulation is armed.
+    pub fn port_read_bound(&self, port: usize) -> u64 {
+        self.port_read_bounds
+            .get(port)
+            .copied()
+            .unwrap_or(self.read_bound)
+    }
+
+    /// The write bound currently enforced for `port` (see
+    /// [`Self::port_read_bound`]).
+    pub fn port_write_bound(&self, port: usize) -> u64 {
+        self.port_write_bounds
+            .get(port)
+            .copied()
+            .unwrap_or(self.write_bound)
+    }
+
+    /// Re-derives the per-port bounds from the current regulation state
+    /// (`caps[j]` = port `j`'s regulation, `None` = unregulated). The
+    /// interconnect calls this whenever the regulator registers may
+    /// have changed (config-generation bumps), so a port's bound
+    /// tightens automatically the moment a competitor is rate-capped
+    /// and relaxes back when the cap is lifted. With every entry `None`
+    /// the per-port bounds equal the global ones.
+    ///
+    /// Bounds only ever *tighten relative to the global bound*; already
+    /// in-flight transactions are judged against the bound armed at
+    /// completion time, which is the standard monitor convention (the
+    /// caps are scheduler-invariant at any given cycle, so verdicts are
+    /// byte-identical across schedulers).
+    pub fn arm_regulation(&mut self, caps: &[Option<RegulationCap>]) {
+        if caps.len() != self.model.num_ports {
+            return;
+        }
+        for p in 0..self.model.num_ports {
+            self.port_read_bounds[p] = self.model.regulated_staged_read_latency(caps, p);
+            self.port_write_bounds[p] = self.model.regulated_staged_write_latency(caps, p);
+        }
     }
 
     /// Violations recorded so far, in detection order.
@@ -278,14 +331,15 @@ impl BoundMonitor {
         let observed = ev.cycle.saturating_sub(staged);
         self.checked_reads += 1;
         self.worst_read = self.worst_read.max(observed);
-        if observed > self.read_bound {
+        let bound = self.port_read_bound(port);
+        if observed > bound {
             self.file(
                 BoundViolation {
                     kind: BoundKind::ReadService,
                     port,
                     uid,
                     observed,
-                    bound: self.read_bound,
+                    bound,
                     cycle: ev.cycle,
                     hops: Vec::new(),
                 },
@@ -307,14 +361,15 @@ impl BoundMonitor {
         let observed = ev.cycle.saturating_sub(staged.max(data_ready));
         self.checked_writes += 1;
         self.worst_write = self.worst_write.max(observed);
-        if observed > self.write_bound {
+        let bound = self.port_write_bound(port);
+        if observed > bound {
             self.file(
                 BoundViolation {
                     kind: BoundKind::WriteService,
                     port,
                     uid,
                     observed,
-                    bound: self.write_bound,
+                    bound,
                     cycle: ev.cycle,
                     hops: Vec::new(),
                 },
@@ -404,6 +459,54 @@ mod tests {
         assert_eq!(v.port, 1);
         assert_eq!(v.observed, 301);
         assert_eq!(v.bound, 300);
+    }
+
+    #[test]
+    fn armed_regulation_enforces_the_tighter_per_port_bound() {
+        let (mut m, reg) = monitor();
+        // Port 1 capped at 1 outstanding sub: port 0's read bound drops
+        // from 300 to (2*4-1 + 1 + 1) * 16 + 38 + 6 = 188.
+        let caps = [
+            None,
+            Some(RegulationCap {
+                rate: None,
+                burst: 1,
+                out_cap: Some(1),
+            }),
+        ];
+        m.arm_regulation(&caps);
+        assert_eq!(m.port_read_bound(0), 188);
+        assert!(m.port_read_bound(0) < m.read_bound());
+        // The regulated port itself keeps competitor-derived bounds:
+        // port 1 faces the unregulated port 0, so its bound stays 300.
+        assert_eq!(m.port_read_bound(1), 300);
+        // A latency legal under the global bound but over the tightened
+        // one is now a violation, filed against the tightened bound.
+        let uid = uid_for(0, 1);
+        m.on_event(
+            &ev(uid, Some(0), ObsChannel::Ar, Hop::TsStaged, 10, 8),
+            &reg,
+        );
+        m.on_event(
+            &ev(uid, Some(0), ObsChannel::R, Hop::Delivered, 10 + 250, 258),
+            &reg,
+        );
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].bound, 188);
+        assert_eq!(m.violations()[0].observed, 250);
+        // Lifting the regulation relaxes back to the global bound.
+        m.arm_regulation(&[None, None]);
+        assert_eq!(m.port_read_bound(0), m.read_bound());
+        let uid2 = uid_for(0, 2);
+        m.on_event(
+            &ev(uid2, Some(0), ObsChannel::Ar, Hop::TsStaged, 500, 498),
+            &reg,
+        );
+        m.on_event(
+            &ev(uid2, Some(0), ObsChannel::R, Hop::Delivered, 500 + 250, 748),
+            &reg,
+        );
+        assert_eq!(m.violations().len(), 1); // no new violation
     }
 
     #[test]

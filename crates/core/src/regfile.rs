@@ -16,8 +16,9 @@
 //! | `0x08` | `NOMINAL` | RW | nominal burst length in beats (1–256) |
 //! | `0x0C` | `NPORTS` | RO | number of slave ports |
 //! | `0x10` | `VERSION` | RO | IP identification (`0x4843_2020`) |
+//! | `0x14` | `REG_WINDOW` | RW | regulator credit-refill window in cycles (>= 1, reset 64) |
 //!
-//! Per-port block at `0x40 + i * 0x20`:
+//! Per-port block at `0x40 + i * 0x40`:
 //!
 //! | Offset | Name | Access | Meaning |
 //! |---|---|---|---|
@@ -25,11 +26,17 @@
 //! | `+0x04` | `PORT_CTRL` | RW | bit 0: port enable / not decoupled (reset 1) |
 //! | `+0x08` | `MAX_OUT` | RW | outstanding sub-transaction limit per direction |
 //! | `+0x0C` | `TXN_PERIOD` | RO | sub-transactions issued in the current period |
-//! | `+0x10` | `TXN_TOTAL` | RO | sub-transactions issued since reset (low 32 bits) |
+//! | `+0x10` | `TXN_TOTAL` | RO | sub-transactions issued since reset (saturates at `0xFFFF_FFFF`) |
 //! | `+0x14` | `VIOLATIONS` | RO | structured protocol violations detected since reset |
 //! | `+0x18` | `OUTSTANDING` | RO | in-flight sub-transactions (reads + writes) |
 //! | `+0x1C` | `QUIESCE` | RW | bit 0 W: request/release quiesce; read: bit 0 requested, bit 1 drained, bit 2 force-flushed (sticky), bits 31:16 dropped sub-txns; bit 2 W1C clears the sticky flush state |
+//! | `+0x20` | `REG_RATE` | RW | regulator credits per refill window, each lane (`0xFFFF_FFFF` = unlimited, reset) |
+//! | `+0x24` | `REG_BURST` | RW | regulator burst depth: max accumulated credits per lane (>= 1, reset 1) |
+//! | `+0x28` | `REG_OUT_CAP` | RW | cap on total outstanding sub-transactions (`0xFFFF_FFFF` = unlimited, reset) |
+//! | `+0x2C` | `REG_THROTTLE` | RW1C | throttle-onset events since last clear (saturating); any write with bit 0 set clears |
+//! | `+0x30` | `REG_CREDITS` | RO | stored credits: bits 15:0 read lane, bits 31:16 write lane (each saturated at `0xFFFF`) |
 
+use crate::regulate::{RegulatorConfig, DEFAULT_WINDOW, OUT_CAP_UNLIMITED, RATE_UNLIMITED};
 use axi::lite::LiteDevice;
 
 /// Value read back from the `VERSION` register.
@@ -43,8 +50,9 @@ const REG_PERIOD: u64 = 0x04;
 const REG_NOMINAL: u64 = 0x08;
 const REG_NPORTS: u64 = 0x0C;
 const REG_VERSION: u64 = 0x10;
+const REG_WINDOW: u64 = 0x14;
 const PORT_BASE: u64 = 0x40;
-const PORT_STRIDE: u64 = 0x20;
+const PORT_STRIDE: u64 = 0x40;
 const PORT_BUDGET: u64 = 0x00;
 const PORT_CTRL: u64 = 0x04;
 const PORT_MAX_OUT: u64 = 0x08;
@@ -53,6 +61,11 @@ const PORT_TXN_TOTAL: u64 = 0x10;
 const PORT_VIOLATIONS: u64 = 0x14;
 const PORT_OUTSTANDING: u64 = 0x18;
 const PORT_QUIESCE: u64 = 0x1C;
+const PORT_REG_RATE: u64 = 0x20;
+const PORT_REG_BURST: u64 = 0x24;
+const PORT_REG_OUT_CAP: u64 = 0x28;
+const PORT_REG_THROTTLE: u64 = 0x2C;
+const PORT_REG_CREDITS: u64 = 0x30;
 
 /// `QUIESCE` read: quiesce requested (drain in progress or complete).
 pub const QUIESCE_REQUESTED: u32 = 1 << 0;
@@ -91,6 +104,25 @@ pub struct PortRegs {
     /// Sub-transactions dropped by force-flushes on this port (sticky,
     /// cleared together with `force_flushed`).
     pub dropped_txns: u32,
+    /// Regulator credits per refill window ([`RATE_UNLIMITED`] = off).
+    pub rate: u32,
+    /// Regulator burst depth (max accumulated credits per lane).
+    pub reg_burst: u32,
+    /// Cap on total outstanding sub-transactions
+    /// ([`OUT_CAP_UNLIMITED`] = off).
+    pub out_cap: u32,
+    /// Throttle-onset events since the last W1C clear (updated by the
+    /// interconnect from the TS regulator; saturates at `u32::MAX` on
+    /// read).
+    pub throttle_events: u64,
+    /// Pending W1C clear of the throttle counter, consumed by the
+    /// interconnect on its next slow-path tick (the triggering write
+    /// bumps the generation, so that tick is never skipped).
+    pub throttle_clear: bool,
+    /// Stored read-lane credits (written back by the interconnect).
+    pub read_credits: u32,
+    /// Stored write-lane credits (written back by the interconnect).
+    pub write_credits: u32,
 }
 
 impl Default for PortRegs {
@@ -107,6 +139,13 @@ impl Default for PortRegs {
             drained: false,
             force_flushed: false,
             dropped_txns: 0,
+            rate: RATE_UNLIMITED,
+            reg_burst: 1,
+            out_cap: OUT_CAP_UNLIMITED,
+            throttle_events: 0,
+            throttle_clear: false,
+            read_credits: 0,
+            write_credits: 0,
         }
     }
 }
@@ -121,6 +160,7 @@ pub struct RegFile {
     enabled: bool,
     period: u32,
     nominal_burst: u32,
+    reg_window: u32,
     ports: Vec<PortRegs>,
     generation: u64,
 }
@@ -147,6 +187,7 @@ impl RegFile {
             enabled: true,
             period: Self::DEFAULT_PERIOD,
             nominal_burst: Self::DEFAULT_NOMINAL,
+            reg_window: DEFAULT_WINDOW,
             ports: vec![PortRegs::default(); num_ports],
             generation: 0,
         }
@@ -179,6 +220,27 @@ impl RegFile {
     /// Nominal burst length in beats.
     pub fn nominal_burst(&self) -> u32 {
         self.nominal_burst
+    }
+
+    /// Regulator credit-refill window in cycles (global, >= 1).
+    pub fn reg_window(&self) -> u32 {
+        self.reg_window
+    }
+
+    /// The regulator configuration of port `i`, assembled from the
+    /// per-port rate/burst/cap registers and the global window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn regulator_config(&self, i: usize) -> RegulatorConfig {
+        let p = &self.ports[i];
+        RegulatorConfig {
+            rate: p.rate,
+            burst: p.reg_burst.max(1),
+            out_cap: p.out_cap,
+            window: self.reg_window,
+        }
     }
 
     /// The register block of port `i`.
@@ -224,6 +286,31 @@ impl RegFile {
         self.generation += 1;
     }
 
+    /// Sets the global regulator refill window (clamped to at least 1).
+    pub fn set_reg_window(&mut self, cycles: u32) {
+        self.reg_window = cycles.max(1);
+        self.generation += 1;
+    }
+
+    /// Sets port `i`'s regulator rate ([`RATE_UNLIMITED`] disables).
+    pub fn set_rate(&mut self, port: usize, rate: u32) {
+        self.ports[port].rate = rate;
+        self.generation += 1;
+    }
+
+    /// Sets port `i`'s regulator burst depth (clamped to at least 1).
+    pub fn set_reg_burst(&mut self, port: usize, burst: u32) {
+        self.ports[port].reg_burst = burst.max(1);
+        self.generation += 1;
+    }
+
+    /// Sets port `i`'s outstanding-transaction cap
+    /// ([`OUT_CAP_UNLIMITED`] disables).
+    pub fn set_out_cap(&mut self, port: usize, cap: u32) {
+        self.ports[port].out_cap = cap;
+        self.generation += 1;
+    }
+
     /// Clears all per-period transaction counters (called by the central
     /// unit at each period boundary).
     pub fn recharge(&mut self) {
@@ -250,14 +337,31 @@ impl LiteDevice for RegFile {
             REG_NOMINAL => self.nominal_burst,
             REG_NPORTS => self.ports.len() as u32,
             REG_VERSION => IP_VERSION,
+            REG_WINDOW => self.reg_window,
             _ => match self.decode_port(offset) {
                 Some((i, PORT_BUDGET)) => self.ports[i].budget,
                 Some((i, PORT_CTRL)) => self.ports[i].enabled as u32,
                 Some((i, PORT_MAX_OUT)) => self.ports[i].max_outstanding,
                 Some((i, PORT_TXN_PERIOD)) => self.ports[i].txn_this_period,
-                Some((i, PORT_TXN_TOTAL)) => self.ports[i].txn_total as u32,
+                // Hardware-register semantics: a 64-bit counter read
+                // through a 32-bit window saturates instead of wrapping,
+                // so long campaigns read as "pinned at max", never as a
+                // silently small value.
+                Some((i, PORT_TXN_TOTAL)) => {
+                    u32::try_from(self.ports[i].txn_total).unwrap_or(u32::MAX)
+                }
                 Some((i, PORT_VIOLATIONS)) => self.ports[i].violations,
                 Some((i, PORT_OUTSTANDING)) => self.ports[i].outstanding,
+                Some((i, PORT_REG_RATE)) => self.ports[i].rate,
+                Some((i, PORT_REG_BURST)) => self.ports[i].reg_burst,
+                Some((i, PORT_REG_OUT_CAP)) => self.ports[i].out_cap,
+                Some((i, PORT_REG_THROTTLE)) => {
+                    u32::try_from(self.ports[i].throttle_events).unwrap_or(u32::MAX)
+                }
+                Some((i, PORT_REG_CREDITS)) => {
+                    let p = &self.ports[i];
+                    p.read_credits.min(0xFFFF) | (p.write_credits.min(0xFFFF) << 16)
+                }
                 Some((i, PORT_QUIESCE)) => {
                     let p = &self.ports[i];
                     ((p.quiesce_requested as u32) * QUIESCE_REQUESTED)
@@ -276,12 +380,25 @@ impl LiteDevice for RegFile {
             REG_CTRL => self.enabled = value & 1 != 0,
             REG_PERIOD => self.set_period(value),
             REG_NOMINAL => self.set_nominal_burst(value),
+            REG_WINDOW => self.reg_window = value.max(1),
             // RO registers: writes ignored.
             REG_NPORTS | REG_VERSION => {}
             _ => match self.decode_port(offset) {
                 Some((i, PORT_BUDGET)) => self.ports[i].budget = value,
                 Some((i, PORT_CTRL)) => self.ports[i].enabled = value & 1 != 0,
                 Some((i, PORT_MAX_OUT)) => self.ports[i].max_outstanding = value.max(1),
+                Some((i, PORT_REG_RATE)) => self.ports[i].rate = value,
+                Some((i, PORT_REG_BURST)) => self.ports[i].reg_burst = value.max(1),
+                Some((i, PORT_REG_OUT_CAP)) => self.ports[i].out_cap = value,
+                Some((i, PORT_REG_THROTTLE)) if value & 1 != 0 => {
+                    let p = &mut self.ports[i];
+                    // Visible immediately; the TS-side counter is
+                    // cleared by the interconnect when it consumes
+                    // `throttle_clear` on the next (never-skipped)
+                    // slow-path tick.
+                    p.throttle_events = 0;
+                    p.throttle_clear = true;
+                }
                 Some((i, PORT_QUIESCE)) => {
                     let p = &mut self.ports[i];
                     let request = value & QUIESCE_REQUESTED != 0;
@@ -320,6 +437,8 @@ pub mod offsets {
     pub const NPORTS: u64 = super::REG_NPORTS;
     /// IP version (read-only).
     pub const VERSION: u64 = super::REG_VERSION;
+    /// Global regulator credit-refill window register.
+    pub const REG_WINDOW: u64 = super::REG_WINDOW;
     /// Per-port `BUDGET` offset within a port block.
     pub const PORT_BUDGET: u64 = super::PORT_BUDGET;
     /// Per-port `PORT_CTRL` offset within a port block.
@@ -336,6 +455,16 @@ pub mod offsets {
     pub const PORT_OUTSTANDING: u64 = super::PORT_OUTSTANDING;
     /// Per-port `QUIESCE` offset within a port block.
     pub const PORT_QUIESCE: u64 = super::PORT_QUIESCE;
+    /// Per-port `REG_RATE` offset within a port block.
+    pub const PORT_REG_RATE: u64 = super::PORT_REG_RATE;
+    /// Per-port `REG_BURST` offset within a port block.
+    pub const PORT_REG_BURST: u64 = super::PORT_REG_BURST;
+    /// Per-port `REG_OUT_CAP` offset within a port block.
+    pub const PORT_REG_OUT_CAP: u64 = super::PORT_REG_OUT_CAP;
+    /// Per-port `REG_THROTTLE` offset within a port block (RW1C).
+    pub const PORT_REG_THROTTLE: u64 = super::PORT_REG_THROTTLE;
+    /// Per-port `REG_CREDITS` offset within a port block (read-only).
+    pub const PORT_REG_CREDITS: u64 = super::PORT_REG_CREDITS;
 }
 
 #[cfg(test)]
@@ -462,6 +591,82 @@ mod tests {
         assert_eq!(rf.port(1).dropped_txns, 0);
         // Port 0 never touched.
         assert_eq!(rf.read32(port_block_offset(0) + PORT_QUIESCE), 0);
+    }
+
+    #[test]
+    fn txn_total_read_saturates_past_32_bits() {
+        let mut rf = RegFile::new(2);
+        // Direct state injection: a long campaign has pushed the 64-bit
+        // counter past what a 32-bit register window can express.
+        rf.port_mut(0).txn_total = (1u64 << 32) + 5;
+        rf.port_mut(1).txn_total = u64::from(u32::MAX);
+        let p0 = port_block_offset(0);
+        let p1 = port_block_offset(1);
+        // Saturate, never wrap: the old `as u32` cast read back 5 here.
+        assert_eq!(rf.read32(p0 + PORT_TXN_TOTAL), u32::MAX);
+        // Exactly-representable values still read exactly.
+        assert_eq!(rf.read32(p1 + PORT_TXN_TOTAL), u32::MAX);
+        rf.port_mut(1).txn_total = 77;
+        assert_eq!(rf.read32(p1 + PORT_TXN_TOTAL), 77);
+    }
+
+    #[test]
+    fn regulator_registers_reset_and_program_via_lite() {
+        let mut rf = RegFile::new(2);
+        // Reset: regulation fully disabled.
+        assert_eq!(rf.read32(REG_WINDOW), DEFAULT_WINDOW);
+        let p1 = port_block_offset(1);
+        assert_eq!(rf.read32(p1 + PORT_REG_RATE), RATE_UNLIMITED);
+        assert_eq!(rf.read32(p1 + PORT_REG_BURST), 1);
+        assert_eq!(rf.read32(p1 + PORT_REG_OUT_CAP), OUT_CAP_UNLIMITED);
+        assert!(!rf.regulator_config(1).is_active());
+        // Program a regulator over the lite interface.
+        rf.write32(REG_WINDOW, 100);
+        rf.write32(p1 + PORT_REG_RATE, 4);
+        rf.write32(p1 + PORT_REG_BURST, 8);
+        rf.write32(p1 + PORT_REG_OUT_CAP, 2);
+        let cfg = rf.regulator_config(1);
+        assert_eq!(
+            (cfg.rate, cfg.burst, cfg.out_cap, cfg.window),
+            (4, 8, 2, 100)
+        );
+        assert!(cfg.is_active());
+        // Other port untouched.
+        assert!(!rf.regulator_config(0).is_active());
+        // Clamps: window and burst floor at 1.
+        rf.write32(REG_WINDOW, 0);
+        assert_eq!(rf.reg_window(), 1);
+        rf.write32(p1 + PORT_REG_BURST, 0);
+        assert_eq!(rf.port(1).reg_burst, 1);
+    }
+
+    #[test]
+    fn throttle_register_is_w1c_and_saturating() {
+        let mut rf = RegFile::new(1);
+        let p0 = port_block_offset(0);
+        rf.port_mut(0).throttle_events = (1u64 << 32) + 9;
+        assert_eq!(rf.read32(p0 + PORT_REG_THROTTLE), u32::MAX);
+        // Writes without bit 0 are ignored.
+        rf.write32(p0 + PORT_REG_THROTTLE, 0);
+        assert_eq!(rf.read32(p0 + PORT_REG_THROTTLE), u32::MAX);
+        assert!(!rf.port(0).throttle_clear);
+        // W1C: clears the visible count and latches the pending clear
+        // for the interconnect to propagate to the TS.
+        rf.write32(p0 + PORT_REG_THROTTLE, 1);
+        assert_eq!(rf.read32(p0 + PORT_REG_THROTTLE), 0);
+        assert!(rf.port(0).throttle_clear);
+    }
+
+    #[test]
+    fn credits_register_packs_both_lanes_saturated() {
+        let mut rf = RegFile::new(1);
+        let p0 = port_block_offset(0);
+        rf.port_mut(0).read_credits = 3;
+        rf.port_mut(0).write_credits = 0x2_0000;
+        assert_eq!(rf.read32(p0 + PORT_REG_CREDITS), 3 | (0xFFFF << 16));
+        // Read-only: writes ignored.
+        rf.write32(p0 + PORT_REG_CREDITS, 0xDEAD);
+        assert_eq!(rf.port(0).read_credits, 3);
     }
 
     #[test]

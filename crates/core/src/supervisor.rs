@@ -30,6 +30,7 @@ use sim::{Cycle, TimedFifo};
 
 use crate::efifo::EFifo;
 use crate::regfile::BUDGET_UNLIMITED;
+use crate::regulate::{CreditRegulator, RegulatorConfig};
 
 /// Consecutive cycles the W channel may starve a pending write burst
 /// before the TS reports a [`ViolationKind::HandshakeHang`]. The
@@ -68,6 +69,9 @@ pub struct TsRuntime {
     /// at ingest, while staged and in-flight ones complete normally
     /// (the recovery protocol's drain phase).
     pub quiesced: bool,
+    /// Traffic-regulation parameters (rate/burst/out-cap/window) the TS
+    /// adopts lazily at its next issue attempt.
+    pub regulator: RegulatorConfig,
 }
 
 /// Aggregate per-port counters exposed by the TS.
@@ -112,6 +116,8 @@ pub struct TransactionSupervisor {
     /// Re-chunked write data toward the EXBAR (proactive: no latency).
     pub w_stage: TimedFifo<WBeat>,
     write_outstanding: u32,
+    // --- traffic regulation (AXI-REALM-style credit scheme) ---
+    regulator: CreditRegulator,
     // --- reservation ---
     budget_left: Option<u32>,
     txn_this_period: u32,
@@ -150,6 +156,7 @@ impl TransactionSupervisor {
             w_starved: 0,
             w_stage: TimedFifo::new(w_depth.max(2), 0),
             write_outstanding: 0,
+            regulator: CreditRegulator::default(),
             budget_left: None,
             txn_this_period: 0,
             txn_total: 0,
@@ -244,6 +251,45 @@ impl TransactionSupervisor {
     /// Outstanding write sub-transactions.
     pub fn write_outstanding(&self) -> u32 {
         self.write_outstanding
+    }
+
+    /// Whether this port's regulator has any mechanism armed (as of the
+    /// configuration last adopted at an issue attempt).
+    pub fn regulator_active(&self) -> bool {
+        self.regulator.is_active()
+    }
+
+    /// Throttle-onset events recorded by the regulator since the last
+    /// clear.
+    pub fn throttle_events(&self) -> u64 {
+        self.regulator.throttle_events()
+    }
+
+    /// Clears the regulator's throttle-event counter (backs the
+    /// register file's W1C `REG_THROTTLE`).
+    pub fn clear_throttle_events(&mut self) {
+        self.regulator.clear_throttle_events();
+    }
+
+    /// Stored `(read, write)` regulator credits — anchor-time values,
+    /// deliberately not extrapolated to the current cycle (see
+    /// [`CreditRegulator::stored_credits`]).
+    pub fn stored_credits(&self) -> (u32, u32) {
+        self.regulator.stored_credits()
+    }
+
+    /// Event-horizon hint for the regulator: the next credit-refill
+    /// boundary, but only while a pending sub-request is actually
+    /// blocked on credits. `None` means the regulator constrains
+    /// nothing right now (under-promising is always safe: an extra
+    /// wake-up makes no progress and is re-skipped).
+    pub fn regulator_next_refill(&self, now: Cycle) -> Option<Cycle> {
+        if !self.regulator.rate_limited() {
+            return None;
+        }
+        let read_blocked = !self.ar_split.is_empty() && !self.regulator.read_available(now);
+        let write_blocked = !self.aw_split.is_empty() && !self.regulator.write_available(now);
+        (read_blocked || write_blocked).then(|| self.regulator.next_refill(now))
     }
 
     /// Aggregate counters.
@@ -582,19 +628,31 @@ impl TransactionSupervisor {
     }
 
     /// Moves split sub-requests into the arbitration stages, enforcing
-    /// the reservation budget and the outstanding limits. Returns `true`
-    /// on any progress.
+    /// (in order) the traffic regulator, the reservation budget and the
+    /// outstanding limits. Returns `true` on any progress.
+    ///
+    /// The regulator is checked *ahead of* the budget: a throttled port
+    /// neither consumes budget nor counts budget-stall cycles, so
+    /// reservation accounting stays meaningful under regulation.
+    /// Regulator throttling is recorded as edge-triggered events rather
+    /// than stall cycles — see [`crate::regulate`] for why.
     pub fn issue(&mut self, now: Cycle, rt: TsRuntime) -> bool {
         if !rt.enabled {
             return false;
         }
+        self.regulator.sync(now, rt.regulator);
         let mut progress = false;
         let mut stalled_by_budget = false;
+        let mut throttled = false;
         if !self.ar_split.is_empty()
             && self.read_outstanding < rt.max_outstanding
             && !self.ar_stage.is_full()
         {
-            if self.budget_available() {
+            let in_flight = self.read_outstanding + self.write_outstanding;
+            if !self.regulator.out_cap_ok(in_flight) || !self.regulator.read_available(now) {
+                throttled = true;
+            } else if self.budget_available() {
+                self.regulator.consume_read(now);
                 let sub = self.ar_split.pop_front().expect("checked non-empty");
                 if let Some(port) = self.obs_port {
                     self.obs_events.push(ObsEvent {
@@ -621,7 +679,11 @@ impl TransactionSupervisor {
             && self.write_outstanding < rt.max_outstanding
             && !self.aw_stage.is_full()
         {
-            if self.budget_available() {
+            let in_flight = self.read_outstanding + self.write_outstanding;
+            if !self.regulator.out_cap_ok(in_flight) || !self.regulator.write_available(now) {
+                throttled = true;
+            } else if self.budget_available() {
+                self.regulator.consume_write(now);
                 let sub = self.aw_split.pop_front().expect("checked non-empty");
                 if let Some(port) = self.obs_port {
                     self.obs_events.push(ObsEvent {
@@ -658,6 +720,7 @@ impl TransactionSupervisor {
                 );
             }
         }
+        self.regulator.note_throttled(throttled);
         progress
     }
 
@@ -781,6 +844,7 @@ mod tests {
             max_outstanding: 4,
             enabled: true,
             quiesced: false,
+            regulator: RegulatorConfig::unlimited(),
         }
     }
 
@@ -918,6 +982,168 @@ mod tests {
         }
         assert_eq!(ts.txn_total(), 16);
         assert_eq!(ts.stats().budget_stall_cycles, 0);
+    }
+
+    #[test]
+    fn regulator_rate_paces_issue_one_per_window() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        // 1 credit per 10-cycle window, burst 1: at most one sub per
+        // window regardless of demand (budget unlimited here).
+        let reg = TsRuntime {
+            regulator: RegulatorConfig {
+                rate: 1,
+                burst: 1,
+                out_cap: crate::regulate::OUT_CAP_UNLIMITED,
+                window: 10,
+            },
+            ..rt()
+        };
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
+        let mut issued_at = Vec::new();
+        for now in 0..40 {
+            ts.ingest(now, &mut ef, reg);
+            let before = ts.txn_total();
+            ts.issue(now, reg);
+            if ts.txn_total() > before {
+                issued_at.push(now);
+            }
+            if now == 5 {
+                // Credit-blocked with pending work: the TS advertises
+                // the next refill boundary as its wake-up horizon.
+                assert_eq!(ts.regulator_next_refill(now), Some(10));
+            }
+            ts.ar_stage.pop_ready(now);
+            if ts.read_outstanding() > 0 {
+                let beat = RBeat::new(AxiId(0), vec![0; 4], true);
+                ts.deliver_r(now, beat, false, &mut ef);
+            }
+        }
+        // One sub per refill window: the initial burst credit as soon
+        // as the eFIFO presents the request (latency 1), then one per
+        // boundary.
+        assert_eq!(issued_at, vec![1, 10, 20, 30]);
+        // Regulator throttling is not budget stalling.
+        assert_eq!(ts.stats().budget_stall_cycles, 0);
+        // Edge-triggered: one event per throttled span, not per cycle.
+        assert_eq!(ts.throttle_events(), 3);
+        // All demand issued: nothing blocked, no horizon.
+        assert_eq!(ts.regulator_next_refill(40), None);
+    }
+
+    #[test]
+    fn regulator_throttling_is_accounted_ahead_of_the_budget() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        let reg = TsRuntime {
+            regulator: RegulatorConfig {
+                rate: 1,
+                burst: 1,
+                out_cap: crate::regulate::OUT_CAP_UNLIMITED,
+                window: 10,
+            },
+            ..rt()
+        };
+        // Reservation budget of 2 per period on top of the rate limit.
+        ts.recharge(2);
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
+        for now in 0..40 {
+            ts.ingest(now, &mut ef, reg);
+            ts.issue(now, reg);
+            ts.ar_stage.pop_ready(now);
+            if ts.read_outstanding() > 0 {
+                let beat = RBeat::new(AxiId(0), vec![0; 4], true);
+                ts.deliver_r(now, beat, false, &mut ef);
+            }
+        }
+        // Credits admit subs at 1/10/20/30 but the budget stops at 2.
+        assert_eq!(ts.txn_this_period(), 2);
+        // Cycles 2-9 and 11-19 were regulator-throttled (credits
+        // exhausted, budget untouched) and must NOT count as budget
+        // stalls; cycles 20-39 had a credit but no budget and must.
+        assert_eq!(ts.stats().budget_stall_cycles, 20);
+        assert_eq!(ts.throttle_events(), 2);
+    }
+
+    #[test]
+    fn regulator_out_cap_limits_total_in_flight() {
+        let mut ts = TransactionSupervisor::new(32);
+        let mut ef = efifo();
+        let reg = TsRuntime {
+            max_outstanding: 8,
+            regulator: RegulatorConfig {
+                rate: crate::regulate::RATE_UNLIMITED,
+                burst: 1,
+                out_cap: 1,
+                window: crate::regulate::DEFAULT_WINDOW,
+            },
+            ..rt()
+        };
+        ef.port
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
+        for now in 0..10 {
+            ts.ingest(now, &mut ef, reg);
+            ts.issue(now, reg);
+            ts.ar_stage.pop_ready(now);
+        }
+        // Nothing completed, so the cap of 1 pins in-flight at 1 even
+        // though max_outstanding would admit 8.
+        assert_eq!(ts.read_outstanding(), 1);
+        assert!(ts.throttle_events() > 0);
+        // Not a rate block: no refill horizon is advertised.
+        assert_eq!(ts.regulator_next_refill(5), None);
+        // Completing the sub re-opens the cap.
+        let beat = RBeat::new(AxiId(0), vec![0; 4], true);
+        ts.deliver_r(10, beat, false, &mut ef);
+        ts.issue(11, reg);
+        assert_eq!(ts.read_outstanding(), 1);
+    }
+
+    #[test]
+    fn unlimited_regulator_leaves_state_byte_identical() {
+        // Two supervisors fed identically, one with the regulator
+        // explicitly unlimited: every observable counter must match the
+        // plain run (the fast-forward byte-identity contract).
+        let run = |reg: RegulatorConfig| {
+            let mut ts = TransactionSupervisor::new(32);
+            let mut ef = efifo();
+            let cfg = TsRuntime {
+                regulator: reg,
+                ..rt()
+            };
+            ef.port
+                .ar
+                .push(0, ArBeat::new(0, 64, BurstSize::B4))
+                .unwrap();
+            for now in 0..30 {
+                ts.ingest(now, &mut ef, cfg);
+                ts.issue(now, cfg);
+                ts.ar_stage.pop_ready(now);
+                if ts.read_outstanding() > 0 {
+                    let beat = RBeat::new(AxiId(0), vec![0; 4], true);
+                    ts.deliver_r(now, beat, false, &mut ef);
+                }
+            }
+            (ts.txn_total(), ts.stats(), ts.throttle_events())
+        };
+        // Burst/window settings are inert while rate is unlimited: the
+        // regulator is inactive and traffic is untouched.
+        assert_eq!(
+            run(RegulatorConfig::unlimited()),
+            run(RegulatorConfig {
+                burst: 4,
+                window: 7,
+                ..RegulatorConfig::unlimited()
+            })
+        );
     }
 
     #[test]

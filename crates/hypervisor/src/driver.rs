@@ -169,6 +169,86 @@ impl<'b> HcDriver<'b> {
         Ok(budgets)
     }
 
+    /// Programs the global credit-refill window (cycles per regulator
+    /// window; the device clamps to at least 1).
+    pub fn set_regulation_window(&self, cycles: u32) -> Result<(), DriverError> {
+        Ok(self.bus.write32(self.base + offsets::REG_WINDOW, cycles)?)
+    }
+
+    /// Reads the global credit-refill window.
+    pub fn regulation_window(&self) -> Result<u32, DriverError> {
+        Ok(self.bus.read32(self.base + offsets::REG_WINDOW)?)
+    }
+
+    /// Programs a port's regulator rate (credits per refill window);
+    /// `u32::MAX` disables rate limiting for the port.
+    pub fn set_rate(&self, port: usize, rate: u32) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_RATE;
+        Ok(self.bus.write32(off, rate)?)
+    }
+
+    /// Reads a port's regulator rate.
+    pub fn rate(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_RATE;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// Programs a port's regulator burst depth — the credit bank's
+    /// capacity (the device clamps to at least 1).
+    pub fn set_reg_burst(&self, port: usize, burst: u32) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_BURST;
+        Ok(self.bus.write32(off, burst)?)
+    }
+
+    /// Reads a port's regulator burst depth.
+    pub fn reg_burst(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_BURST;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// Programs a port's outstanding-transaction cap (reads plus
+    /// writes in flight); `u32::MAX` disables the cap.
+    pub fn set_out_cap(&self, port: usize, cap: u32) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_OUT_CAP;
+        Ok(self.bus.write32(off, cap)?)
+    }
+
+    /// Reads a port's outstanding-transaction cap.
+    pub fn out_cap(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_OUT_CAP;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// Throttle-onset events the port's regulator recorded since the
+    /// last clear (saturating at `u32::MAX`).
+    pub fn throttle_events(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_THROTTLE;
+        Ok(self.bus.read32(off)?)
+    }
+
+    /// Clears a port's throttle-event counter (W1C).
+    pub fn clear_throttle_events(&self, port: usize) -> Result<(), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_THROTTLE;
+        Ok(self.bus.write32(off, 1)?)
+    }
+
+    /// Current stored `(read, write)` regulator credits of a port
+    /// (each lane saturating at 0xFFFF in the packed register).
+    pub fn credits(&self, port: usize) -> Result<(u32, u32), DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_REG_CREDITS;
+        let packed = self.bus.read32(off)?;
+        Ok((packed & 0xFFFF, packed >> 16))
+    }
+
     /// Programs a port's outstanding-transaction limit.
     pub fn set_max_outstanding(&self, port: usize, limit: u32) -> Result<(), DriverError> {
         self.check_port(port)?;
@@ -283,11 +363,15 @@ impl<'b> HcDriver<'b> {
                 budget: self.bus.read32(block + offsets::PORT_BUDGET)?,
                 enabled: self.bus.read32(block + offsets::PORT_CTRL)? & 1 == 1,
                 max_outstanding: self.bus.read32(block + offsets::PORT_MAX_OUT)?,
+                rate: self.bus.read32(block + offsets::PORT_REG_RATE)?,
+                reg_burst: self.bus.read32(block + offsets::PORT_REG_BURST)?,
+                out_cap: self.bus.read32(block + offsets::PORT_REG_OUT_CAP)?,
             });
         }
         Ok(HcSnapshot {
             period: self.period()?,
             nominal_burst: self.nominal_burst()?,
+            regulation_window: self.regulation_window()?,
             ports,
         })
     }
@@ -307,10 +391,14 @@ impl<'b> HcDriver<'b> {
         }
         self.set_period(snapshot.period)?;
         self.set_nominal_burst(snapshot.nominal_burst)?;
+        self.set_regulation_window(snapshot.regulation_window)?;
         for (p, s) in snapshot.ports.iter().enumerate() {
             self.set_budget(p, s.budget)?;
             self.set_max_outstanding(p, s.max_outstanding)?;
             self.set_decoupled(p, !s.enabled)?;
+            self.set_rate(p, s.rate)?;
+            self.set_reg_burst(p, s.reg_burst)?;
+            self.set_out_cap(p, s.out_cap)?;
         }
         Ok(())
     }
@@ -342,6 +430,12 @@ pub struct PortSnapshot {
     pub enabled: bool,
     /// Outstanding limit.
     pub max_outstanding: u32,
+    /// Regulator rate (credits per refill window).
+    pub rate: u32,
+    /// Regulator burst depth.
+    pub reg_burst: u32,
+    /// Outstanding-transaction cap.
+    pub out_cap: u32,
 }
 
 /// Saved runtime configuration of a whole HyperConnect — see
@@ -352,6 +446,8 @@ pub struct HcSnapshot {
     pub period: u32,
     /// Nominal burst length in beats.
     pub nominal_burst: u32,
+    /// Global credit-refill window in cycles.
+    pub regulation_window: u32,
     /// Per-port configuration, in port order.
     pub ports: Vec<PortSnapshot>,
 }
@@ -493,6 +589,10 @@ mod tests {
         drv.set_budget(0, 77).unwrap();
         drv.set_max_outstanding(1, 9).unwrap();
         drv.set_decoupled(1, true).unwrap();
+        drv.set_regulation_window(128).unwrap();
+        drv.set_rate(0, 3).unwrap();
+        drv.set_reg_burst(0, 5).unwrap();
+        drv.set_out_cap(1, 2).unwrap();
         let snap = drv.snapshot().unwrap();
         // Scramble everything (as a DPR bitstream swap would reset it).
         drv.set_period(1).unwrap();
@@ -500,13 +600,56 @@ mod tests {
         drv.clear_budgets().unwrap();
         drv.set_decoupled(1, false).unwrap();
         drv.set_max_outstanding(1, 1).unwrap();
+        drv.set_regulation_window(1).unwrap();
+        drv.set_rate(0, u32::MAX).unwrap();
+        drv.set_reg_burst(0, 1).unwrap();
+        drv.set_out_cap(1, u32::MAX).unwrap();
         // Restore and verify.
         drv.restore(&snap).unwrap();
         assert_eq!(drv.period().unwrap(), 12_345);
         assert_eq!(drv.nominal_burst().unwrap(), 8);
         assert_eq!(drv.budget(0).unwrap(), 77);
         assert!(drv.is_decoupled(1).unwrap());
+        assert_eq!(drv.regulation_window().unwrap(), 128);
+        assert_eq!(drv.rate(0).unwrap(), 3);
+        assert_eq!(drv.reg_burst(0).unwrap(), 5);
+        assert_eq!(drv.out_cap(1).unwrap(), 2);
         assert_eq!(drv.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn regulator_programming_over_the_bus() {
+        let (bus, _hc) = bus_with_hc(2);
+        let drv = HcDriver::probe(&bus, BASE).unwrap();
+        // Reset state: everything unlimited, default window.
+        assert_eq!(drv.rate(0).unwrap(), u32::MAX);
+        assert_eq!(drv.reg_burst(0).unwrap(), 1);
+        assert_eq!(drv.out_cap(0).unwrap(), u32::MAX);
+        assert_eq!(drv.throttle_events(0).unwrap(), 0);
+        assert_eq!(
+            drv.regulation_window().unwrap(),
+            hyperconnect::regulate::DEFAULT_WINDOW
+        );
+        // Programs land and read back; the device clamps burst and
+        // window to at least 1.
+        drv.set_rate(1, 4).unwrap();
+        drv.set_reg_burst(1, 0).unwrap();
+        drv.set_out_cap(1, 6).unwrap();
+        drv.set_regulation_window(0).unwrap();
+        assert_eq!(drv.rate(1).unwrap(), 4);
+        assert_eq!(drv.reg_burst(1).unwrap(), 1);
+        assert_eq!(drv.out_cap(1).unwrap(), 6);
+        assert_eq!(drv.regulation_window().unwrap(), 1);
+        // Port 0 untouched by port-1 programming.
+        assert_eq!(drv.rate(0).unwrap(), u32::MAX);
+        // W1C clear is accepted on an idle counter.
+        drv.clear_throttle_events(1).unwrap();
+        assert_eq!(drv.throttle_events(1).unwrap(), 0);
+        // Out-of-range ports are rejected like every other accessor.
+        assert!(matches!(
+            drv.set_rate(2, 1),
+            Err(DriverError::BadPort { .. })
+        ));
     }
 
     #[test]

@@ -92,6 +92,9 @@ impl ComponentDesc {
     pub fn hyperconnect(num_ports: usize) -> Self {
         let mut desc = Self::interconnect("axi_hyperconnect", num_ports);
         desc.vendor = "it.sssup.retis".into();
+        // Feature flag: per-port credit regulators (traffic regulation
+        // & QoS layer) are present in this IP revision.
+        desc.parameters.push(("QOS_REGULATION".into(), 1));
         desc
     }
 
@@ -632,6 +635,7 @@ mod tests {
             1
         );
         assert_eq!(desc.parameters[0], ("NUM_PORTS".into(), 3));
+        assert_eq!(desc.parameters[1], ("QOS_REGULATION".into(), 1));
     }
 
     #[test]

@@ -29,16 +29,26 @@
 //! N accelerators on one HyperConnect) and over a two-level tree
 //! ([`run_tree_campaign`], a child HyperConnect cascaded behind a
 //! parent, with the fault injected on the child).
+//!
+//! A third campaign family targets the QoS regulation layer instead of
+//! the recovery lifecycle: [`run_noisy_neighbor_campaign`] derives a
+//! hard-RT victim plus a seeded swarm of greedy best-effort readers,
+//! programs per-port credit regulators over AXI-Lite, and judges the
+//! run against the *tightened* victim bound the regulators buy (see
+//! [`QosOutcome::invariant_violations`]).
 
 use axi::lite::LiteBus;
 use axi::types::{BurstSize, PortId};
 use axi::{AxiInterconnect, AxiPort};
+use ha::dma::{Dma, DmaConfig};
 use ha::fault::{RogueReader, RunawayMaster, StalledWriter, WlastViolator};
 use ha::traffic::PeriodicReader;
 use ha::Accelerator;
 use hyperconnect::analysis::ServiceModel;
 use hyperconnect::{HcConfig, HyperConnect};
-use hypervisor::{Hypervisor, MonitorPolicy, RecoveryPolicy, RecoveryState, WatchdogPolicy};
+use hypervisor::{
+    HcDriver, Hypervisor, MonitorPolicy, RecoveryPolicy, RecoveryState, WatchdogPolicy,
+};
 use mem::{MemConfig, MemoryController};
 use sim::{Cycle, SimRng};
 
@@ -717,5 +727,213 @@ pub fn run_tree_campaign(cfg: &ChaosConfig) -> ChaosOutcome {
         victim_worst,
         victim_jobs,
         end_cycle: topo.now(),
+    }
+}
+
+/// Everything the QoS noisy-neighbor scenario derives from its seed:
+/// interconnect width, the regulation window, the credit programming
+/// every aggressor port gets, and the victim's request cadence.
+struct QosScenario {
+    ports: usize,
+    window: u32,
+    rate: u32,
+    burst: u32,
+    out_cap: u32,
+    victim_period: u64,
+}
+
+/// Draws the QoS scenario. Independent of [`derive_scenario`] — the
+/// recovery campaigns' pinned-seed fingerprints are untouched by this
+/// family — but the same rule applies: the draw order is fixed.
+fn derive_qos_scenario(seed: u64) -> QosScenario {
+    let mut rng = SimRng::seed(seed);
+    let ports = rng.range_usize(4, 8);
+    let window = [64u32, 128, 256][rng.index(3)];
+    let rate = rng.range_u64(1, 4) as u32;
+    let burst = rng.range_u64(1, 3) as u32;
+    let out_cap = rng.range_u64(1, 3) as u32;
+    let victim_period = rng.range_u64(150, 300);
+    QosScenario {
+        ports,
+        window,
+        rate,
+        burst,
+        out_cap,
+        victim_period,
+    }
+}
+
+/// The deterministic record of one QoS noisy-neighbor campaign.
+#[derive(Debug, Clone)]
+pub struct QosOutcome {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Scheduler the run used (excluded from the fingerprint).
+    pub scheduler: SchedulerMode,
+    /// Slave ports on the interconnect (victim + `ports - 1` readers).
+    pub ports: usize,
+    /// Regulation window programmed over AXI-Lite (cycles).
+    pub window: u32,
+    /// Credits per window each aggressor port refills.
+    pub rate: u32,
+    /// Credit burst depth each aggressor port may accumulate.
+    pub burst: u32,
+    /// Outstanding-transaction cap each aggressor port runs under.
+    pub out_cap: u32,
+    /// Victim read-burst period (cycles).
+    pub victim_period: u64,
+    /// Unregulated closed-form read bound for this shape.
+    pub global_bound: u64,
+    /// Tightened victim bound the bound monitor armed from the
+    /// regulator programming.
+    pub victim_bound: u64,
+    /// Worst read latency the victim observed.
+    pub victim_worst: u64,
+    /// Read bursts the victim completed.
+    pub victim_jobs: u64,
+    /// Throttle events per aggressor port (ports `1..ports`).
+    pub throttle_events: Vec<u32>,
+    /// Violations the runtime bound monitor recorded.
+    pub monitor_violations: usize,
+    /// Cycle the run ended at.
+    pub end_cycle: u64,
+}
+
+impl QosOutcome {
+    /// A scheduler-independent digest of the run: the same seed must
+    /// produce byte-identical fingerprints under naive, fast-forward
+    /// and sharded scheduling.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "seed={} ports={} window={} rate={} burst={} out_cap={} period={} \
+             global={} bound={} worst={} jobs={} throttle={:?} violations={} end={}",
+            self.seed,
+            self.ports,
+            self.window,
+            self.rate,
+            self.burst,
+            self.out_cap,
+            self.victim_period,
+            self.global_bound,
+            self.victim_bound,
+            self.victim_worst,
+            self.victim_jobs,
+            self.throttle_events,
+            self.monitor_violations,
+            self.end_cycle,
+        )
+    }
+
+    /// Judges the campaign. An empty vector means it passed; each entry
+    /// describes one violated QoS invariant:
+    ///
+    /// 1. regulation actually tightened the victim's bound below the
+    ///    unregulated closed form;
+    /// 2. the victim never observed a latency above the tightened
+    ///    bound, and the runtime monitor agrees (zero violations);
+    /// 3. the victim made progress;
+    /// 4. every regulated aggressor was throttled at least once — the
+    ///    regulators engaged rather than sitting inert.
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.victim_bound >= self.global_bound {
+            v.push(format!(
+                "regulation left the victim bound at {} (unregulated bound {})",
+                self.victim_bound, self.global_bound
+            ));
+        }
+        if self.victim_worst > self.victim_bound {
+            v.push(format!(
+                "victim worst-case read latency {} exceeds tightened bound {}",
+                self.victim_worst, self.victim_bound
+            ));
+        }
+        if self.monitor_violations != 0 {
+            v.push(format!(
+                "runtime bound monitor recorded {} violations",
+                self.monitor_violations
+            ));
+        }
+        if self.victim_jobs == 0 {
+            v.push("victim made no progress".to_owned());
+        }
+        for (i, &events) in self.throttle_events.iter().enumerate() {
+            if events == 0 {
+                v.push(format!("aggressor on port {} was never throttled", i + 1));
+            }
+        }
+        v
+    }
+}
+
+/// Runs one QoS noisy-neighbor campaign: a hard-RT periodic victim on
+/// port 0 shares the interconnect with `ports - 1` free-running greedy
+/// DMA readers, every aggressor regulated by the seed's credit
+/// programming (written through [`HcDriver`], the same AXI-Lite path a
+/// hypervisor would use). Observability is armed *after* programming,
+/// so the bound monitor derives and enforces the tightened victim
+/// bound.
+pub fn run_noisy_neighbor_campaign(cfg: &ChaosConfig) -> QosOutcome {
+    let sc = derive_qos_scenario(cfg.seed);
+    let hc = HyperConnect::new(HcConfig::new(sc.ports));
+    let mut bus = LiteBus::new();
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
+    let drv = HcDriver::probe(&bus, HC_BASE).expect("HyperConnect at HC_BASE");
+    drv.set_regulation_window(sc.window)
+        .expect("window register");
+    for p in 1..sc.ports {
+        drv.set_rate(p, sc.rate).expect("rate register");
+        drv.set_reg_burst(p, sc.burst).expect("burst register");
+        drv.set_out_cap(p, sc.out_cap).expect("out-cap register");
+    }
+
+    let mut sys = SocSystem::new(hc, MemoryController::new(MemConfig::zcu102()));
+    sys.set_scheduler(cfg.scheduler);
+    sys.enable_observability();
+    sys.add_accelerator(Box::new(PeriodicReader::new(
+        "qos_victim",
+        0x1000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+        sc.victim_period,
+    )))
+    .expect("port available");
+    for p in 1..sc.ports {
+        sys.add_accelerator(Box::new(Dma::new(
+            format!("qos_swarm{p}"),
+            DmaConfig {
+                src_base: 0x3000_0000 + p as u64 * 0x0100_0000,
+                jobs: None,
+                ..DmaConfig::reader(256 * 1024, 16, BurstSize::B16)
+            },
+        )))
+        .expect("port available");
+    }
+    sys.run_for(cfg.cycles);
+
+    let throttle_events: Vec<u32> = (1..sc.ports)
+        .map(|p| drv.throttle_events(p).expect("throttle register"))
+        .collect();
+    let mon = sys
+        .interconnect_ref()
+        .bound_monitor()
+        .expect("armed by enable_observability");
+    QosOutcome {
+        seed: cfg.seed,
+        scheduler: cfg.scheduler,
+        ports: sc.ports,
+        window: sc.window,
+        rate: sc.rate,
+        burst: sc.burst,
+        out_cap: sc.out_cap,
+        victim_period: sc.victim_period,
+        global_bound: mon.read_bound(),
+        victim_bound: mon.port_read_bound(0),
+        victim_worst: sys.interconnect_ref().read_latency(0).max().unwrap_or(0),
+        victim_jobs: sys.accelerator(0).expect("victim").jobs_completed(),
+        throttle_events,
+        monitor_violations: mon.violations().len(),
+        end_cycle: sys.now(),
     }
 }

@@ -318,6 +318,13 @@ impl SocSystem<hyperconnect::HyperConnect> {
     /// The monitor's bounds assume the fault-free, reservation-disabled
     /// regime (see `hyperconnect::observe`); arm it only on scenarios
     /// that satisfy those assumptions.
+    ///
+    /// Ports whose credit regulators are programmed (rate, burst depth
+    /// or outstanding cap — see `hyperconnect::regulate`) tighten every
+    /// port's armed bound automatically: the monitor derives the
+    /// regulated per-port bounds from the register file as it stands at
+    /// this call, so program the regulators over AXI-Lite *before*
+    /// arming observability.
     pub fn enable_observability(&mut self) {
         let (first_word, write_resp) = {
             let config = self.memory().config();

@@ -9,8 +9,8 @@
 //! campaign summary JSON written by `campaign_summary_artifact`.
 
 use axi_hyperconnect::chaos::{
-    campaign_summary_json, run_flat_campaign, run_tree_campaign, ChaosConfig, ChaosOutcome,
-    FaultKind, PINNED_SEEDS,
+    campaign_summary_json, run_flat_campaign, run_noisy_neighbor_campaign, run_tree_campaign,
+    ChaosConfig, ChaosOutcome, FaultKind, PINNED_SEEDS,
 };
 use axi_hyperconnect::SchedulerMode;
 
@@ -156,5 +156,47 @@ fn campaign_summary_artifact() {
         .unwrap_or_else(|_| "target/chaos-campaign-summary.json".to_owned());
     if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("note: could not write {path}: {e}");
+    }
+}
+
+/// The QoS campaign family: every pinned seed derives a noisy-neighbor
+/// scenario (victim + greedy reader swarm, seeded credit programming)
+/// and must hold its *tightened* victim bound with every regulator
+/// demonstrably engaged.
+#[test]
+fn qos_campaigns_hold_tightened_bounds_on_pinned_seeds() {
+    for &seed in &PINNED_SEEDS {
+        let outcome = run_noisy_neighbor_campaign(&ChaosConfig::new(seed));
+        let violations = outcome.invariant_violations();
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: QoS invariants violated: {violations:?}\n{}",
+            outcome.fingerprint(),
+        );
+    }
+}
+
+/// Regulation is scheduler-transparent: the full QoS campaign record —
+/// victim latency, job count, per-port throttle tallies — is
+/// byte-identical under naive, fast-forward and sharded scheduling.
+#[test]
+fn qos_campaigns_are_scheduler_equivalent() {
+    for &seed in &PINNED_SEEDS[..4] {
+        let ff = run_noisy_neighbor_campaign(&ChaosConfig::new(seed));
+        let naive =
+            run_noisy_neighbor_campaign(&ChaosConfig::new(seed).scheduler(SchedulerMode::Naive));
+        let sharded = run_noisy_neighbor_campaign(
+            &ChaosConfig::new(seed).scheduler(SchedulerMode::Sharded { workers: 2 }),
+        );
+        assert_eq!(
+            ff.fingerprint(),
+            naive.fingerprint(),
+            "seed {seed}: QoS campaign diverges under naive scheduling"
+        );
+        assert_eq!(
+            ff.fingerprint(),
+            sharded.fingerprint(),
+            "seed {seed}: QoS campaign diverges under sharded scheduling"
+        );
     }
 }
