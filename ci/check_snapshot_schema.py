@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI gate for the `hcsim-snapshot/v1` wire format.
+
+Usage: check_snapshot_schema.py SNAPSHOT.bin GOLDEN.bin
+
+Validates that
+
+1. the image starts with the exact versioned magic
+   (`hcsim-snapshot/v1\\n`) — a format bump must rename the golden,
+2. every section parses (u16 name length, UTF-8 name, u32 payload
+   length, payload, u32 CRC) with no trailing garbage, each payload's
+   stored CRC-32 matching an independent implementation (Python's
+   zlib — same IEEE-reflected polynomial as `sim::persist::crc32`),
+3. the section list is exactly the `SocTopology` layout, in order:
+   `topology/shape`, `topology/control`, `topology/nodes`, and
+4. the image is byte-identical to the committed golden — the emitter
+   (`hcsim snapshot`) is fully deterministic, so any byte diff means
+   either the wire format or the simulated microarchitecture moved.
+
+Exit code 0 on success, 1 with a readable diagnosis otherwise. To
+bless an intentional change, regenerate the golden:
+
+    cargo run --release --bin hcsim -- snapshot --out snap.bin
+    python3 ci/check_snapshot_schema.py snap.bin --bless ci/snapshot_schema.golden
+"""
+
+import struct
+import sys
+import zlib
+
+MAGIC = b"hcsim-snapshot/v1\n"
+EXPECTED_SECTIONS = ["topology/shape", "topology/control", "topology/nodes"]
+
+
+def parse_sections(data):
+    """Yields (name, payload) per section; raises ValueError on any
+    framing or checksum defect."""
+    if not data.startswith(MAGIC):
+        raise ValueError(
+            f"bad magic {data[:len(MAGIC)]!r}, want {MAGIC!r}"
+        )
+    at = len(MAGIC)
+
+    def take(n, what):
+        nonlocal at
+        if at + n > len(data):
+            raise ValueError(f"truncated reading {what} at byte {at}")
+        chunk = data[at : at + n]
+        at += n
+        return chunk
+
+    (count,) = struct.unpack("<I", take(4, "section count"))
+    for i in range(count):
+        (name_len,) = struct.unpack("<H", take(2, f"section {i} name length"))
+        name = take(name_len, f"section {i} name").decode("utf-8")
+        (payload_len,) = struct.unpack("<I", take(4, f"{name} payload length"))
+        payload = take(payload_len, f"{name} payload")
+        (crc,) = struct.unpack("<I", take(4, f"{name} checksum"))
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if crc != actual:
+            raise ValueError(
+                f"section {name}: stored crc {crc:#010x} != computed {actual:#010x}"
+            )
+        yield name, payload
+    if at != len(data):
+        raise ValueError(f"{len(data) - at} trailing bytes after last section")
+
+
+def main():
+    if len(sys.argv) != 3 and not (len(sys.argv) == 4 and sys.argv[2] == "--bless"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    snapshot_path = sys.argv[1]
+    with open(snapshot_path, "rb") as fh:
+        data = fh.read()
+
+    try:
+        sections = list(parse_sections(data))
+    except ValueError as err:
+        print(f"FAIL: {snapshot_path}: {err}", file=sys.stderr)
+        return 1
+
+    failures = []
+    names = [name for name, _ in sections]
+    if names != EXPECTED_SECTIONS:
+        failures.append(f"section layout {names} != {EXPECTED_SECTIONS}")
+
+    if sys.argv[2] == "--bless":
+        with open(sys.argv[3], "wb") as fh:
+            fh.write(data)
+        print(f"blessed {len(data)} bytes into {sys.argv[3]}")
+        return 1 if failures else 0
+
+    with open(sys.argv[2], "rb") as fh:
+        golden = fh.read()
+    if data != golden:
+        first = next(
+            (i for i, (a, b) in enumerate(zip(data, golden)) if a != b),
+            min(len(data), len(golden)),
+        )
+        failures.append(
+            f"image differs from golden: {len(data)} vs {len(golden)} bytes, "
+            f"first difference at byte {first}"
+        )
+
+    if failures:
+        print(f"FAIL: {snapshot_path}", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    sizes = ", ".join(f"{name} {len(payload)} B" for name, payload in sections)
+    print(f"ok: {len(data)} bytes match golden ({sizes})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -300,6 +300,66 @@ impl Default for AxiBridge {
     }
 }
 
+mod persist_impls {
+    use super::{AxiBridge, BridgeConfig, BridgeStats};
+    use sim::persist::{PersistError, PersistValue, SnapshotReader, SnapshotWriter};
+
+    impl PersistValue for BridgeConfig {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            w.put_u64(self.latency);
+            w.put_usize(self.addr_capacity);
+            w.put_usize(self.data_capacity);
+            w.put_usize(self.resp_capacity);
+        }
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                latency: r.take_u64()?,
+                addr_capacity: r.take_usize()?,
+                data_capacity: r.take_usize()?,
+                resp_capacity: r.take_usize()?,
+            })
+        }
+    }
+
+    impl PersistValue for BridgeStats {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            w.put_u64(self.beats_down);
+            w.put_u64(self.beats_up);
+        }
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                beats_down: r.take_u64()?,
+                beats_up: r.take_u64()?,
+            })
+        }
+    }
+
+    impl PersistValue for AxiBridge {
+        /// A bridge serializes whole (config, staged beats, counters).
+        /// Sharded runs reunite their split halves before any snapshot
+        /// is taken, so the in-flight shard-mirror state never needs to
+        /// cross a snapshot boundary.
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            self.config.save_value(w);
+            self.stage.save_value(w);
+            self.stats.save_value(w);
+        }
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            let config = BridgeConfig::load_value(r)?;
+            let stage = Option::load_value(r)?;
+            let stats = BridgeStats::load_value(r)?;
+            if (config.latency > 0) != stage.is_some() {
+                return Err(PersistError::Corrupt("bridge stage/latency mismatch"));
+            }
+            Ok(Self {
+                config,
+                stage,
+                stats,
+            })
+        }
+    }
+}
+
 impl AxiBridge {
     /// Splits a registered bridge into its two shard-resident halves
     /// (see the [`ParentHalf`]/[`ChildHalf`] docs for the protocol).
@@ -335,6 +395,11 @@ impl AxiBridge {
                     .push_scheduled(ready_at, beat)
                     .expect("mirror has the staging pipe's capacity");
             }
+            // The mirror *is* the staging pipe after a reunite: it must
+            // keep the pipe's lifetime counters, not restart them from
+            // the migrated occupancy (a mid-run split would otherwise
+            // zero them and diverge from an unsplit run's state).
+            mirror.inherit_lifetime_stats(src);
             (mirror, gate)
         }
         let (ar, gate_ar) = migrate(&mut stage.ar, cfg.addr_capacity, cfg.latency);

@@ -51,6 +51,7 @@ pub mod checker;
 pub mod lite;
 pub mod observe;
 pub mod payload;
+pub mod persist;
 pub mod port;
 pub mod routing;
 pub mod txn;

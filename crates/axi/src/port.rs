@@ -227,6 +227,28 @@ pub trait AxiInterconnect: Component {
     fn bound_report(&self) -> Option<crate::observe::BoundReport> {
         None
     }
+
+    /// Appends this model's complete mutable state (boundary queues,
+    /// internal pipelines, registers, statistics) to a snapshot writer.
+    ///
+    /// Deliberately *required* (no default): every interconnect model
+    /// must participate in snapshot/restore, and the compiler enforces
+    /// it at each impl site.
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter);
+
+    /// Restores state previously written by
+    /// [`save_state`](AxiInterconnect::save_state) into this model,
+    /// which must have been constructed (and configured) identically to
+    /// the saved one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sim::persist::PersistError`] on a truncated, corrupt or
+    /// differently-shaped stream.
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError>;
 }
 
 impl<T: AxiInterconnect + ?Sized> AxiInterconnect for Box<T> {
@@ -265,6 +287,15 @@ impl<T: AxiInterconnect + ?Sized> AxiInterconnect for Box<T> {
     }
     fn bound_report(&self) -> Option<crate::observe::BoundReport> {
         (**self).bound_report()
+    }
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        (**self).save_state(w)
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        (**self).restore_state(r)
     }
 }
 

@@ -51,7 +51,7 @@ use axi::AxiInterconnect;
 use axi_hyperconnect::{SchedulerMode, SocSystem};
 use bench::{fig3a, fig3b, fig4, fig5, tree100, Design};
 use ha::dma::{Dma, DmaConfig};
-use ha::traffic::PeriodicReader;
+use ha::traffic::{BandwidthStealer, PeriodicReader, RandomTraffic};
 use hyperconnect::{HcConfig, HyperConnect};
 use hypervisor::HcDriver;
 use mem::{MemConfig, MemoryController};
@@ -336,6 +336,64 @@ fn qos_probe(regulate: bool, window: Cycle) -> (f64, u64, u64, u64, u64, usize) 
     )
 }
 
+/// The snapshot probe: the stress topology (four mixed masters — two
+/// random-traffic generators, a greedy stealer and the case-study DMA —
+/// behind a 4-port HyperConnect with the protocol monitor armed) frozen
+/// after `window` cycles. Reports the `hcsim-snapshot/v1` image size,
+/// the save and restore wall times, and whether the round-trip is
+/// canonical (a restored system re-saves to byte-identical bytes).
+fn snapshot_probe(window: Cycle) -> (f64, f64, usize, bool) {
+    fn build() -> SocSystem<HyperConnect> {
+        let mut memory = MemoryController::new(MemConfig::zcu102());
+        memory.attach_monitor();
+        let mut sys = SocSystem::new(HyperConnect::new(HcConfig::new(4)), memory);
+        sys.add_accelerator(Box::new(RandomTraffic::new(
+            "rnd0",
+            0x1000_0000,
+            1 << 20,
+            BurstSize::B16,
+            64,
+            10,
+            1,
+        )))
+        .unwrap();
+        sys.add_accelerator(Box::new(BandwidthStealer::new(
+            "steal",
+            0x3000_0000,
+            1 << 20,
+            256,
+            BurstSize::B16,
+        )))
+        .unwrap();
+        sys.add_accelerator(Box::new(RandomTraffic::new(
+            "rnd1",
+            0x5000_0000,
+            1 << 20,
+            BurstSize::B4,
+            32,
+            50,
+            2,
+        )))
+        .unwrap();
+        sys.add_accelerator(Box::new(Dma::new("dma", DmaConfig::case_study())))
+            .unwrap();
+        sys
+    }
+    let mut sys = build();
+    sys.run_for(window);
+    let t0 = Instant::now();
+    let bytes = sys.snapshot_bytes();
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut restored = build();
+    let t1 = Instant::now();
+    restored
+        .restore_snapshot_bytes(&bytes)
+        .expect("stress snapshot restores into a fresh build");
+    let restore_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let roundtrip = restored.now() == window && restored.snapshot_bytes() == bytes;
+    (save_ms, restore_ms, bytes.len(), roundtrip)
+}
+
 fn json_points(points: &[PointResult]) -> String {
     points
         .iter()
@@ -484,6 +542,21 @@ fn main() {
         "qos ({qos_window} cycles): bare {qos_bare_ms:.1} ms vs regulated {qos_reg_ms:.1} ms \
          ({qos_overhead:.2}x, {qos_cps:.2e} c/s), victim bound {qos_global} -> {qos_bound}, \
          {qos_throttle} throttle events, {qos_violations} violations"
+    );
+
+    // 3d. Snapshot probe: freeze the stress topology mid-run, time the
+    // hcsim-snapshot/v1 save and the restore into a fresh build, and
+    // verify the round-trip is canonical.
+    let snap_window = qos_window;
+    let (snap_save_ms, snap_restore_ms, snap_bytes, snap_roundtrip) = snapshot_probe(snap_window);
+    println!(
+        "snapshot (stress @ {snap_window} cycles): {snap_bytes} B, save {snap_save_ms:.2} ms, \
+         restore {snap_restore_ms:.2} ms{}",
+        if snap_roundtrip {
+            ""
+        } else {
+            " — ROUND-TRIP DIVERGED"
+        }
     );
 
     // 4. Figure sweeps on the parallel runner.
@@ -684,6 +757,11 @@ fn main() {
          \"throttle_events\":{qos_throttle},\
          \"victim_bound_unregulated\":{qos_global},\"victim_bound_tightened\":{qos_bound},\
          \"bound_violations\":{qos_violations}}},\n\
+         \"snapshot\":{{\"scenario\":\"stress 4-master topology frozen after {snap_window} \
+         cycles, saved + restored into a fresh build\",\
+         \"bytes\":{snap_bytes},\"save_wall_ms\":{snap_save_ms:.3},\
+         \"restore_wall_ms\":{snap_restore_ms:.3},\
+         \"roundtrip_byte_identical\":{snap_roundtrip}}},\n\
          \"figures\":[{figures_json}],\n\
          \"tree100\":{{\"scenario\":\"{} nodes: 1 busy + 6 periodic clusters behind latency-{} \
          bridges, {tree_cycles}-cycle window\",\
@@ -733,6 +811,10 @@ fn main() {
             "FAIL: QoS probe regressed — {qos_bare_violations}+{qos_violations} bound \
              violations, victim bound {qos_global} -> {qos_bound}, {qos_throttle} throttle events"
         );
+        std::process::exit(1);
+    }
+    if !snap_roundtrip {
+        eprintln!("FAIL: snapshot probe round-trip was not byte-identical");
         std::process::exit(1);
     }
     if floor > 0.0 && ff_cps < floor {

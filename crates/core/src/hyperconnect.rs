@@ -636,6 +636,89 @@ impl AxiInterconnect for HyperConnect {
     fn bound_report(&self) -> Option<axi::BoundReport> {
         self.monitor.as_ref().map(|m| m.report())
     }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        use sim::persist::PersistValue;
+        w.put_usize(self.config.num_ports);
+        self.regs.with(|rf| rf.save_value(w));
+        self.efifos.save_value(w);
+        self.supervisors.save_value(w);
+        self.exbar.save_value(w);
+        self.central.save_value(w);
+        self.mem_port.save_value(w);
+        self.runtime_scratch.save_value(w);
+        self.tracer.save_value(w);
+        self.violation_log.save_value(w);
+        self.violation_counters.save_value(w);
+        self.metrics.save_value(w);
+        self.monitor.save_value(w);
+        self.quiesce_deadline.save_value(w);
+        w.put_u64(self.seen_cfg_gen);
+        self.viol_totals.save_value(w);
+        self.drain_model.save_value(w);
+        // `obs_scratch` is a per-tick scratch buffer, cleared before
+        // every use — deliberately not part of the snapshot.
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        use sim::persist::{PersistError, PersistValue};
+        let n = r.take_usize()?;
+        if n != self.config.num_ports {
+            return Err(PersistError::ShapeMismatch("hyperconnect port count"));
+        }
+        // Decode everything before touching `self`, so a corrupt stream
+        // leaves the interconnect unchanged.
+        let regs = RegFile::load_value(r)?;
+        let efifos: Vec<EFifo> = Vec::load_value(r)?;
+        let supervisors: Vec<TransactionSupervisor> = Vec::load_value(r)?;
+        let exbar = Exbar::load_value(r)?;
+        let central = CentralUnit::load_value(r)?;
+        let mem_port = axi::AxiPort::load_value(r)?;
+        let runtime_scratch: Vec<TsRuntime> = Vec::load_value(r)?;
+        let tracer = Tracer::load_value(r)?;
+        let violation_log: Vec<Vec<Violation>> = Vec::load_value(r)?;
+        let violation_counters: Vec<CounterBank> = Vec::load_value(r)?;
+        let metrics: Option<axi::MetricsRegistry> = Option::load_value(r)?;
+        let monitor: Option<crate::observe::BoundMonitor> = Option::load_value(r)?;
+        let quiesce_deadline: Vec<Option<Cycle>> = Vec::load_value(r)?;
+        let seen_cfg_gen = r.take_u64()?;
+        let viol_totals: Vec<u64> = Vec::load_value(r)?;
+        let drain_model: Option<crate::analysis::ServiceModel> = Option::load_value(r)?;
+        if regs.num_ports() != n
+            || efifos.len() != n
+            || supervisors.len() != n
+            || violation_log.len() != n
+            || violation_counters.len() != n
+            || quiesce_deadline.len() != n
+            || viol_totals.len() != n
+        {
+            return Err(PersistError::ShapeMismatch("hyperconnect per-port state"));
+        }
+        // The register file is restored *through the shared handle*, so
+        // hypervisor-side clones of the handle observe the restored
+        // registers without any re-wiring.
+        self.regs.with(|rf| *rf = regs);
+        self.efifos = efifos;
+        self.supervisors = supervisors;
+        self.exbar = exbar;
+        self.central = central;
+        self.mem_port = mem_port;
+        self.runtime_scratch = runtime_scratch;
+        self.tracer = tracer;
+        self.violation_log = violation_log;
+        self.violation_counters = violation_counters;
+        self.metrics = metrics;
+        self.monitor = monitor;
+        self.quiesce_deadline = quiesce_deadline;
+        self.seen_cfg_gen = seen_cfg_gen;
+        self.viol_totals = viol_totals;
+        self.drain_model = drain_model;
+        self.obs_scratch.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1044,6 +1127,66 @@ mod tests {
         // W1C clears the sticky flush state.
         hc.regs().write32(q0, QUIESCE_FLUSHED);
         assert_eq!(hc.regs().read32(q0) >> 16, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_byte_identical() {
+        use sim::persist::{SnapshotReader, SnapshotWriter};
+        let mut a = HyperConnect::new(HcConfig::new(2));
+        a.enable_metrics();
+        a.port(0)
+            .ar
+            .push(0, ArBeat::new(0, 64, BurstSize::B4))
+            .unwrap();
+        a.port(1)
+            .aw
+            .push(0, AwBeat::new(0x200, 4, BurstSize::B4))
+            .unwrap();
+        for i in 0..4u32 {
+            a.port(1)
+                .w
+                .push(0, WBeat::new(vec![i as u8; 4], i == 3))
+                .unwrap();
+        }
+        // Snapshot mid-flight, with subs split, staged and in the EXBAR.
+        for now in 0..7 {
+            a.tick(now);
+        }
+        let mut w = SnapshotWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // Restore into a freshly-constructed instance — observability
+        // enablement, uids and all pipeline registers come from the
+        // snapshot, not from the constructor.
+        let mut b = HyperConnect::new(HcConfig::new(2));
+        b.restore_state(&mut SnapshotReader::new(&bytes)).unwrap();
+        for now in 7..40 {
+            a.tick(now);
+            b.tick(now);
+        }
+        let mut wa = SnapshotWriter::new();
+        a.save_state(&mut wa);
+        let mut wb = SnapshotWriter::new();
+        b.save_state(&mut wb);
+        assert_eq!(
+            wa.into_bytes(),
+            wb.into_bytes(),
+            "restored run must stay byte-identical to the donor"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_port_count_mismatch() {
+        use sim::persist::{PersistError, SnapshotReader, SnapshotWriter};
+        let a = HyperConnect::new(HcConfig::new(2));
+        let mut w = SnapshotWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = HyperConnect::new(HcConfig::new(3));
+        assert!(matches!(
+            b.restore_state(&mut SnapshotReader::new(&bytes)),
+            Err(PersistError::ShapeMismatch(_))
+        ));
     }
 
     #[test]

@@ -367,6 +367,71 @@ impl Accelerator for Chaidnn {
             Some(_) => None,
         }
     }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        use sim::persist::{Persist, PersistValue};
+        w.put_usize(self.layer_idx);
+        // Phase wire codes (append-only): 0 = between layers,
+        // 1 = Weights, 2 = Inputs, 3 = Compute, 4 = Outputs.
+        match &self.phase {
+            None => w.put_u8(0),
+            Some(Phase::Weights(eng)) => {
+                w.put_u8(1);
+                eng.save_value(w);
+            }
+            Some(Phase::Inputs(eng)) => {
+                w.put_u8(2);
+                eng.save_value(w);
+            }
+            Some(Phase::Compute { until }) => {
+                w.put_u8(3);
+                w.put_u64(*until);
+            }
+            Some(Phase::Outputs(eng)) => {
+                w.put_u8(4);
+                eng.save(w);
+            }
+        }
+        w.put_u64(self.frames_completed);
+        self.frame_started_at.save_value(w);
+        self.frame_latency.save_value(w);
+        w.put_u64(self.bytes_moved);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        use sim::persist::{Persist, PersistError, PersistValue};
+        self.layer_idx = r.take_usize()?;
+        self.phase = match r.take_u8()? {
+            0 => None,
+            1 => Some(Phase::Weights(ReadEngine::load_value(r)?)),
+            2 => Some(Phase::Inputs(ReadEngine::load_value(r)?)),
+            3 => Some(Phase::Compute {
+                until: r.take_u64()?,
+            }),
+            4 => {
+                // The output engine's fill is the free function
+                // `pattern_byte`, so a placeholder engine is built and
+                // overlaid from the stream.
+                let c = self.config;
+                let mut eng =
+                    WriteEngine::new(0, c.size.bytes(), 1, c.size, mem::backing::pattern_byte);
+                eng.restore(r)?;
+                Some(Phase::Outputs(eng))
+            }
+            _ => return Err(PersistError::Corrupt("unknown chaidnn phase")),
+        };
+        if self.layer_idx >= self.layers.len() {
+            return Err(PersistError::ShapeMismatch("chaidnn layer index"));
+        }
+        self.frames_completed = r.take_u64()?;
+        self.frame_started_at = Option::load_value(r)?;
+        self.frame_latency = LatencyStat::load_value(r)?;
+        self.bytes_moved = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

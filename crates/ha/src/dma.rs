@@ -239,6 +239,43 @@ impl Accelerator for Dma {
         // (covered by the interconnect's hint) can wake a blocked DMA.
         None
     }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        use sim::persist::{Persist, PersistValue};
+        self.reader.save_value(w);
+        // The write engine carries a fill closure, so only its plain
+        // state goes to the stream; presence is recorded explicitly.
+        w.put_bool(self.writer.is_some());
+        if let Some(eng) = self.writer.as_ref() {
+            eng.save(w);
+        }
+        w.put_u64(self.jobs_completed);
+        self.job_started_at.save_value(w);
+        self.job_latency.save_value(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        use sim::persist::{Persist, PersistError, PersistValue};
+        self.reader = Option::load_value(r)?;
+        let has_writer = r.take_bool()?;
+        match (has_writer, self.writer.as_mut()) {
+            (true, Some(eng)) => eng.restore(r)?,
+            (false, _) => self.writer = None,
+            (true, None) => {
+                // The snapshot had a write stream but this instance was
+                // configured without one: the fill closure cannot be
+                // reconstructed from bytes.
+                return Err(PersistError::ShapeMismatch("dma write stream"));
+            }
+        }
+        self.jobs_completed = r.take_u64()?;
+        self.job_started_at = Option::load_value(r)?;
+        self.job_latency = LatencyStat::load_value(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

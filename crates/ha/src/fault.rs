@@ -146,6 +146,30 @@ impl Accelerator for RogueReader {
         self.outstanding = 0;
         self.cured = !self.permanent;
     }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        w.put_u32(self.outstanding);
+        w.put_u64(self.next_tag);
+        w.put_u64(self.bursts_completed);
+        w.put_u64(self.error_responses);
+        w.put_bool(self.permanent);
+        w.put_bool(self.cured);
+        w.put_u64(self.resets);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        self.outstanding = r.take_u32()?;
+        self.next_tag = r.take_u64()?;
+        self.bursts_completed = r.take_u64()?;
+        self.error_responses = r.take_u64()?;
+        self.permanent = r.take_bool()?;
+        self.cured = r.take_bool()?;
+        self.resets = r.take_u64()?;
+        Ok(())
+    }
 }
 
 /// A master whose INCR read bursts straddle 4 KiB boundaries — the AXI
@@ -248,6 +272,28 @@ impl Accelerator for BoundaryViolator {
         self.resets += 1;
         self.outstanding = 0;
         self.cured = !self.permanent;
+    }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        w.put_u32(self.outstanding);
+        w.put_u64(self.next_tag);
+        w.put_u64(self.bursts_completed);
+        w.put_bool(self.permanent);
+        w.put_bool(self.cured);
+        w.put_u64(self.resets);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        self.outstanding = r.take_u32()?;
+        self.next_tag = r.take_u64()?;
+        self.bursts_completed = r.take_u64()?;
+        self.permanent = r.take_bool()?;
+        self.cured = r.take_bool()?;
+        self.resets = r.take_u64()?;
+        Ok(())
     }
 }
 
@@ -371,6 +417,30 @@ impl Accelerator for WlastViolator {
         self.in_flight = false;
         self.cured = !self.permanent;
     }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        w.put_u32(self.w_left);
+        w.put_bool(self.in_flight);
+        w.put_u64(self.next_tag);
+        w.put_u64(self.bursts_completed);
+        w.put_bool(self.permanent);
+        w.put_bool(self.cured);
+        w.put_u64(self.resets);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        self.w_left = r.take_u32()?;
+        self.in_flight = r.take_bool()?;
+        self.next_tag = r.take_u64()?;
+        self.bursts_completed = r.take_u64()?;
+        self.permanent = r.take_bool()?;
+        self.cured = r.take_bool()?;
+        self.resets = r.take_u64()?;
+        Ok(())
+    }
 }
 
 /// A writer that posts a write address and then never drives a single W
@@ -460,6 +530,24 @@ impl Accelerator for StalledWriter {
         // AW after reattach; a cured one stays quiet (the issue gate).
         self.posted = false;
         self.cured = !self.permanent;
+    }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        w.put_bool(self.posted);
+        w.put_bool(self.permanent);
+        w.put_bool(self.cured);
+        w.put_u64(self.resets);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        self.posted = r.take_bool()?;
+        self.permanent = r.take_bool()?;
+        self.cured = r.take_bool()?;
+        self.resets = r.take_u64()?;
+        Ok(())
     }
 }
 
@@ -572,12 +660,161 @@ impl Accelerator for RunawayMaster {
         self.cursor = 0;
         self.cured = !self.permanent;
     }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        w.put_u64(self.cursor);
+        w.put_u64(self.next_tag);
+        w.put_u64(self.bursts_completed);
+        w.put_bool(self.permanent);
+        w.put_bool(self.cured);
+        w.put_u64(self.resets);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        self.cursor = r.take_u64()?;
+        self.next_tag = r.take_u64()?;
+        self.bursts_completed = r.take_u64()?;
+        self.permanent = r.take_bool()?;
+        self.cured = r.take_bool()?;
+        self.resets = r.take_u64()?;
+        Ok(())
+    }
+}
+
+/// A fault model that stays dormant until an arm cycle, then behaves
+/// exactly like the wrapped model — the building block of the forking
+/// chaos campaign service: a scenario is warmed fault-free to a common
+/// snapshot point, and each forked variant arms the fault at its own
+/// seed-derived cycle.
+///
+/// The arm cycle is *configuration*, like a scheduler mode: it is not
+/// part of the persisted state stream, so a snapshot taken while the
+/// fault is dormant restores into a wrapper constructed with any other
+/// arm cycle. Two variants forked from the same warm snapshot therefore
+/// share byte-identical state and differ only in when the inner model
+/// first ticks.
+pub struct DelayedFault {
+    inner: Box<dyn Accelerator>,
+    arm_at: Cycle,
+}
+
+impl DelayedFault {
+    /// Wraps `inner`, keeping it dormant until cycle `arm_at`.
+    pub fn new(inner: Box<dyn Accelerator>, arm_at: Cycle) -> Self {
+        Self { inner, arm_at }
+    }
+
+    /// The cycle the wrapped fault first ticks at.
+    pub fn arm_cycle(&self) -> Cycle {
+        self.arm_at
+    }
+}
+
+impl std::fmt::Debug for DelayedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayedFault")
+            .field("inner", &self.inner.name())
+            .field("arm_at", &self.arm_at)
+            .finish()
+    }
+}
+
+impl Accelerator for DelayedFault {
+    fn tick(&mut self, now: Cycle, port: &mut AxiPort) -> bool {
+        if now < self.arm_at {
+            return false;
+        }
+        self.inner.tick(now, port)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn jobs_completed(&self) -> u64 {
+        self.inner.jobs_completed()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if now < self.arm_at {
+            // Dormant: nothing can happen before the arm cycle.
+            return Some(self.arm_at);
+        }
+        self.inner.next_event(now)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Only the wrapped model's state travels — `arm_at` is
+    /// configuration, re-supplied at construction by whoever restores.
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        self.inner.save_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        self.inner.restore_state(r)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use axi::burst::crosses_4k;
+
+    #[test]
+    fn delayed_fault_is_dormant_then_faithful() {
+        let mut delayed = DelayedFault::new(
+            Box::new(StalledWriter::new("stall", 0x100, 8, BurstSize::B4)),
+            10,
+        );
+        let mut port = AxiPort::new(axi::PortConfig::wire());
+        for now in 0..10 {
+            assert!(!delayed.tick(now, &mut port));
+        }
+        assert!(port.aw.pop_ready(9).is_none(), "dormant fault is silent");
+        assert_eq!(delayed.next_event(5), Some(10));
+        delayed.tick(10, &mut port);
+        assert!(port.aw.pop_ready(10).is_some(), "armed fault posts its AW");
+    }
+
+    #[test]
+    fn delayed_fault_state_is_arm_cycle_independent() {
+        use sim::persist::{SnapshotReader, SnapshotWriter};
+        let early = DelayedFault::new(
+            Box::new(RogueReader::new("rogue", 0x8000_0000, 4, BurstSize::B4)),
+            100,
+        );
+        let mut w = SnapshotWriter::new();
+        early.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // A wrapper with a different arm cycle accepts the stream.
+        let mut late = DelayedFault::new(
+            Box::new(RogueReader::new("rogue", 0x8000_0000, 4, BurstSize::B4)),
+            5_000,
+        );
+        late.restore_state(&mut SnapshotReader::new(&bytes))
+            .unwrap();
+        assert_eq!(late.arm_cycle(), 5_000);
+        let mut w2 = SnapshotWriter::new();
+        late.save_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "state stream is arm-independent");
+    }
 
     #[test]
     fn rogue_reader_targets_its_rogue_base() {

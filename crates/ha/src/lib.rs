@@ -69,6 +69,24 @@ pub trait Accelerator: std::any::Any + Send {
         Some(now + 1)
     }
 
+    /// Appends the model's dynamic state to a snapshot writer (see
+    /// [`sim::persist`]). Paired with [`Self::restore_state`]; every
+    /// model must serialize enough to make a restored run cycle-exact,
+    /// including any embedded RNG streams and FSM phases.
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter);
+
+    /// Restores state saved by [`Self::save_state`] into a model
+    /// constructed with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sim::persist::PersistError`] if the stream is
+    /// truncated, corrupt or shaped for a different configuration.
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError>;
+
     /// Models a hardware reset of the accelerator (the PL reset line
     /// the hypervisor pulses during recovery, or a partial
     /// reconfiguration swap). Implementations drop all internal

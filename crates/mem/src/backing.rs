@@ -157,6 +157,46 @@ impl SparseMemory {
     }
 }
 
+impl sim::persist::PersistValue for SparseMemory {
+    /// Pages serialize sorted by page number, so the byte stream is
+    /// independent of allocation order. The last-page cache is
+    /// performance-only state and restarts cold.
+    fn save_value(&self, w: &mut sim::persist::SnapshotWriter) {
+        w.put_usize(self.index.len());
+        let mut pages: Vec<(u64, u32)> = self.index.iter().map(|(&p, &f)| (p, f)).collect();
+        pages.sort_unstable_by_key(|&(p, _)| p);
+        for (page, frame) in pages {
+            w.put_u64(page);
+            w.put_bytes(&self.frames[frame as usize][..]);
+        }
+    }
+
+    fn load_value(
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<Self, sim::persist::PersistError> {
+        let n = r.take_usize()?;
+        if n > r.remaining() {
+            return Err(sim::persist::PersistError::Corrupt(
+                "page count exceeds stream",
+            ));
+        }
+        let mut mem = SparseMemory::new();
+        for _ in 0..n {
+            let page = r.take_u64()?;
+            let data = r.take_bytes()?;
+            if data.len() != PAGE_SIZE {
+                return Err(sim::persist::PersistError::Corrupt("page frame size"));
+            }
+            let f = mem.frames.len() as u32;
+            let mut frame = Box::new([0u8; PAGE_SIZE]);
+            frame.copy_from_slice(data);
+            mem.frames.push(frame);
+            mem.index.insert(page, f);
+        }
+        Ok(mem)
+    }
+}
+
 /// The deterministic byte pattern used by [`SparseMemory::fill_pattern`].
 pub fn pattern_byte(addr: u64) -> u8 {
     // A cheap mix so adjacent addresses differ and aliasing is caught.

@@ -589,6 +589,171 @@ impl MemoryController {
     }
 }
 
+mod persist_impls {
+    use super::*;
+    use sim::persist::{PersistError, PersistValue, SnapshotReader, SnapshotWriter};
+
+    impl PersistValue for MemStats {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            w.put_u64(self.reads_served);
+            w.put_u64(self.writes_served);
+            w.put_u64(self.beats_served);
+            w.put_u64(self.bytes_served);
+            w.put_u64(self.busy_cycles);
+            w.put_u64(self.ps_reads_served);
+            w.put_u64(self.row_hits);
+            w.put_u64(self.row_misses);
+            w.put_u64(self.error_responses);
+        }
+
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                reads_served: r.take_u64()?,
+                writes_served: r.take_u64()?,
+                beats_served: r.take_u64()?,
+                bytes_served: r.take_u64()?,
+                busy_cycles: r.take_u64()?,
+                ps_reads_served: r.take_u64()?,
+                row_hits: r.take_u64()?,
+                row_misses: r.take_u64()?,
+                error_responses: r.take_u64()?,
+            })
+        }
+    }
+
+    /// Wire order of [`Origin`] variants; append-only for compatibility.
+    const ORIGINS: [Origin; 2] = [Origin::Fpga, Origin::Ps];
+
+    impl PersistValue for Origin {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            let code = ORIGINS.iter().position(|o| o == self).expect("in table");
+            w.put_u8(code as u8);
+        }
+
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            let code = r.take_u8()? as usize;
+            ORIGINS
+                .get(code)
+                .copied()
+                .ok_or(PersistError::Corrupt("unknown job origin"))
+        }
+    }
+
+    impl PersistValue for Job {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            match self {
+                Job::Read(ar, origin, resp) => {
+                    w.put_u8(0);
+                    ar.save_value(w);
+                    origin.save_value(w);
+                    resp.save_value(w);
+                }
+                Job::Write(aw, data, resp) => {
+                    w.put_u8(1);
+                    aw.save_value(w);
+                    data.save_value(w);
+                    resp.save_value(w);
+                }
+            }
+        }
+
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            match r.take_u8()? {
+                0 => Ok(Job::Read(
+                    axi::ArBeat::load_value(r)?,
+                    Origin::load_value(r)?,
+                    Resp::load_value(r)?,
+                )),
+                1 => Ok(Job::Write(
+                    AwBeat::load_value(r)?,
+                    Vec::load_value(r)?,
+                    Resp::load_value(r)?,
+                )),
+                _ => Err(PersistError::Corrupt("unknown memory job kind")),
+            }
+        }
+    }
+
+    impl PersistValue for Active {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            self.job.save_value(w);
+            w.put_u32(self.beats_done);
+        }
+
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                job: Job::load_value(r)?,
+                beats_done: r.take_u32()?,
+            })
+        }
+    }
+
+    impl MemoryController {
+        /// Serializes the controller's full dynamic state: backing
+        /// store, service pipeline, assembling writes, response pipe,
+        /// row-buffer state, traces and counters. The spare-assembly
+        /// recycling pool holds only emptied buffers and is not part of
+        /// the observable state, so it is skipped.
+        pub fn save_state(&self, w: &mut SnapshotWriter) {
+            self.memory.save_value(w);
+            self.service.save_value(w);
+            self.open_rows.save_value(w);
+            self.ps_port.save_value(w);
+            self.active.save_value(w);
+            self.aw_pending.save_value(w);
+            self.assembly.save_value(w);
+            self.b_pipe.save_value(w);
+            self.stats.save_value(w);
+            self.monitor.save_value(w);
+            self.ar_trace.save_value(w);
+            self.aw_trace.save_value(w);
+            self.outstanding.save_value(w);
+            w.put_bool(self.prefer_write);
+        }
+
+        /// Restores state saved by [`Self::save_state`] into a
+        /// controller built with the same [`MemConfig`]. Decodes the
+        /// whole stream before mutating `self`, so a corrupt snapshot
+        /// leaves the controller unchanged.
+        pub fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
+            let memory = SparseMemory::load_value(r)?;
+            let service = DelayQueue::<Job>::load_value(r)?;
+            let open_rows = Vec::<Option<u64>>::load_value(r)?;
+            let ps_port = Option::<AxiPort>::load_value(r)?;
+            let active = Option::<Active>::load_value(r)?;
+            let aw_pending = Ring::<AwBeat>::load_value(r)?;
+            let assembly = Vec::<WBeat>::load_value(r)?;
+            let b_pipe = TimedFifo::<BBeat>::load_value(r)?;
+            let stats = MemStats::load_value(r)?;
+            let monitor = Option::<ProtocolMonitor>::load_value(r)?;
+            let ar_trace = Option::<Vec<(Cycle, u64)>>::load_value(r)?;
+            let aw_trace = Option::<Vec<(Cycle, u64)>>::load_value(r)?;
+            let outstanding = Gauge::load_value(r)?;
+            let prefer_write = r.take_bool()?;
+            let banks = self.config.row_policy.map_or(0, |p| p.banks as usize);
+            if open_rows.len() != banks {
+                return Err(PersistError::ShapeMismatch("memory controller bank count"));
+            }
+            self.memory = memory;
+            self.service = service;
+            self.open_rows = open_rows;
+            self.ps_port = ps_port;
+            self.active = active;
+            self.aw_pending = aw_pending;
+            self.assembly = assembly;
+            self.spare_assemblies.clear();
+            self.b_pipe = b_pipe;
+            self.stats = stats;
+            self.monitor = monitor;
+            self.ar_trace = ar_trace;
+            self.aw_trace = aw_trace;
+            self.outstanding = outstanding;
+            self.prefer_write = prefer_write;
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -934,6 +1099,82 @@ mod tests {
         assert_eq!(beats[0].resp, axi::types::Resp::Okay);
         assert_eq!(beats[0].data, vec![7; 4]);
         assert_eq!(ctrl.stats().error_responses, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_byte_identical() {
+        use sim::persist::{PersistValue, SnapshotReader, SnapshotWriter};
+        let cfg = MemConfig::zcu102().row_policy(crate::config::RowPolicy::default());
+        let mut ctrl = MemoryController::new(cfg);
+        ctrl.enable_ps_port();
+        ctrl.attach_monitor();
+        ctrl.attach_request_trace();
+        ctrl.memory_mut().fill_pattern(0, 8192);
+        let mut port = AxiPort::default();
+        // Split mid-burst, mid-assembly, with a PS read in flight.
+        port.ar.push(0, ArBeat::new(0, 16, BurstSize::B16)).unwrap();
+        port.aw
+            .push(0, AwBeat::new(0x3000, 4, BurstSize::B4))
+            .unwrap();
+        port.w.push(0, WBeat::new(vec![1; 4], false)).unwrap();
+        port.w.push(0, WBeat::new(vec![2; 4], false)).unwrap();
+        ctrl.ps_port_mut()
+            .ar
+            .push(0, ArBeat::new(0x1000, 4, BurstSize::B16))
+            .unwrap();
+        for now in 0..25 {
+            ctrl.tick(now, &mut port);
+        }
+        let mut w = SnapshotWriter::new();
+        ctrl.save_state(&mut w);
+        port.save_value(&mut w);
+        let bytes = w.into_bytes();
+
+        // Restore into a fresh controller built with the same config but
+        // none of the optional features pre-enabled at the call sites.
+        let mut restored = MemoryController::new(cfg);
+        let mut r = SnapshotReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        let mut restored_port = AxiPort::load_value(&mut r).unwrap();
+
+        let drive = |ctrl: &mut MemoryController, port: &mut AxiPort| {
+            for now in 25..120u64 {
+                // Finish the write burst and keep draining responses.
+                if now == 30 {
+                    let _ = port.w.push(now, WBeat::new(vec![3; 4], false));
+                    let _ = port.w.push(now, WBeat::new(vec![4; 4], true));
+                }
+                ctrl.tick(now, port);
+                while port.r.pop_ready(now).is_some() {}
+                while port.b.pop_ready(now).is_some() {}
+                while ctrl.ps_port_mut().r.pop_ready(now).is_some() {}
+            }
+            let mut w = SnapshotWriter::new();
+            ctrl.save_state(&mut w);
+            port.save_value(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(
+            drive(&mut ctrl, &mut port),
+            drive(&mut restored, &mut restored_port)
+        );
+        assert_eq!(restored.stats().writes_served, 1);
+    }
+
+    #[test]
+    fn restore_rejects_bank_count_mismatch() {
+        use sim::persist::{PersistError, SnapshotReader, SnapshotWriter};
+        let ctrl = MemoryController::new(
+            MemConfig::zcu102().row_policy(crate::config::RowPolicy::default()),
+        );
+        let mut w = SnapshotWriter::new();
+        ctrl.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut flat = MemoryController::new(MemConfig::zcu102());
+        let err = flat
+            .restore_state(&mut SnapshotReader::new(&bytes))
+            .unwrap_err();
+        assert!(matches!(err, PersistError::ShapeMismatch(_)));
     }
 
     #[test]

@@ -232,6 +232,22 @@ impl<T> TimedFifo<T> {
         Ok(())
     }
 
+    /// Overwrites this queue's lifetime counters (`total_pushed`,
+    /// `total_popped`, `max_occupancy`) with `src`'s.
+    ///
+    /// The companion of [`push_scheduled`](Self::push_scheduled) /
+    /// [`drain_scheduled`](Self::drain_scheduled): an engine that
+    /// rebuilds a pipe around migrated in-flight contents (e.g.
+    /// splitting a bridge at a shard boundary mid-run) must also carry
+    /// the original pipe's history, or the rebuilt pipe restarts its
+    /// counters from the migrated occupancy alone and a later state
+    /// comparison against an unsplit run diverges.
+    pub fn inherit_lifetime_stats(&mut self, src: &Self) {
+        self.pushed = src.pushed;
+        self.popped = src.popped;
+        self.max_occupancy = src.max_occupancy;
+    }
+
     /// Removes every element regardless of visibility and returns each
     /// with the cycle at which it becomes (or became) visible, oldest
     /// first. The counterpart of [`push_scheduled`](Self::push_scheduled)
@@ -341,6 +357,67 @@ impl<T> DelayQueue<T> {
     /// or `None` if the queue is empty.
     pub fn next_ready_at(&self) -> Option<Cycle> {
         self.entries.front().map(|(ready_at, _)| *ready_at)
+    }
+}
+
+impl<T: crate::persist::PersistValue> crate::persist::PersistValue for TimedFifo<T> {
+    fn save_value(&self, w: &mut crate::persist::SnapshotWriter) {
+        w.put_usize(self.capacity);
+        w.put_u64(self.latency);
+        w.put_u64(self.pushed);
+        w.put_u64(self.popped);
+        w.put_usize(self.max_occupancy);
+        self.entries.save_value(w);
+    }
+
+    fn load_value(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let capacity = r.take_usize()?;
+        if capacity == 0 {
+            return Err(crate::persist::PersistError::Corrupt("fifo capacity zero"));
+        }
+        let latency = r.take_u64()?;
+        let pushed = r.take_u64()?;
+        let popped = r.take_u64()?;
+        let max_occupancy = r.take_usize()?;
+        let entries = Ring::load_value(r)?;
+        if entries.len() > capacity {
+            return Err(crate::persist::PersistError::Corrupt(
+                "fifo occupancy exceeds capacity",
+            ));
+        }
+        Ok(Self {
+            entries,
+            capacity,
+            latency,
+            pushed,
+            popped,
+            max_occupancy,
+        })
+    }
+}
+
+impl<T: crate::persist::PersistValue> crate::persist::PersistValue for DelayQueue<T> {
+    fn save_value(&self, w: &mut crate::persist::SnapshotWriter) {
+        w.put_usize(self.capacity);
+        self.entries.save_value(w);
+    }
+
+    fn load_value(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let capacity = r.take_usize()?;
+        if capacity == 0 {
+            return Err(crate::persist::PersistError::Corrupt("queue capacity zero"));
+        }
+        let entries = Ring::load_value(r)?;
+        if entries.len() > capacity {
+            return Err(crate::persist::PersistError::Corrupt(
+                "queue occupancy exceeds capacity",
+            ));
+        }
+        Ok(Self { entries, capacity })
     }
 }
 

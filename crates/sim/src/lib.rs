@@ -35,6 +35,7 @@
 pub mod clock;
 pub mod fifo;
 pub mod parallel;
+pub mod persist;
 pub mod ring;
 pub mod rng;
 pub mod runner;
@@ -45,6 +46,7 @@ pub mod vcd;
 pub use clock::{ClockConfig, Cycle};
 pub use fifo::{FifoFull, TimedFifo};
 pub use parallel::{EngineReport, RunOptions, ShardTask, ShardedEngine, WindowReport};
+pub use persist::{Persist, PersistError, PersistValue, Snapshot, SnapshotReader, SnapshotWriter};
 pub use ring::Ring;
 pub use rng::SimRng;
 pub use runner::{Component, RunOutcome, Runner, StallDiagnostics};

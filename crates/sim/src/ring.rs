@@ -184,6 +184,31 @@ impl<T> Ring<T> {
     }
 }
 
+impl<T: crate::persist::PersistValue> crate::persist::PersistValue for Ring<T> {
+    /// Serializes elements in *logical* order (front to back), never in
+    /// slot-storage order: two rings holding the same queue at different
+    /// head offsets (e.g. one freshly grown, one wrapped) produce
+    /// identical bytes. `head` and spare slot capacity are allocation
+    /// details, not state.
+    fn save_value(&self, w: &mut crate::persist::SnapshotWriter) {
+        w.put_usize(self.len);
+        for item in self.iter() {
+            item.save_value(w);
+        }
+    }
+
+    fn load_value(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let len = r.take_usize()?;
+        let mut ring = Ring::with_capacity(len);
+        for _ in 0..len {
+            ring.push_back(T::load_value(r)?);
+        }
+        Ok(ring)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

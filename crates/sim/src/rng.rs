@@ -22,6 +22,13 @@
 #[derive(Debug, Clone)]
 pub struct SimRng {
     state: [u64; 4],
+    /// Raw 64-bit outputs consumed so far — the *stream position*.
+    ///
+    /// Recorded in campaign summaries so a scenario derived from a seed
+    /// can be resumed/re-derived reproducibly: a fresh `SimRng` with the
+    /// same seed reaches the identical state after the same number of
+    /// draws.
+    draws: u64,
 }
 
 /// SplitMix64 step — expands a 64-bit seed into the xoshiro state.
@@ -44,7 +51,16 @@ impl SimRng {
                 splitmix64(&mut s),
                 splitmix64(&mut s),
             ],
+            draws: 0,
         }
+    }
+
+    /// Number of raw 64-bit outputs this generator has produced since
+    /// seeding — its position in the random stream. Deterministic for a
+    /// given seed and draw sequence (rejection sampling included), so it
+    /// doubles as a reproducibility checksum in campaign summaries.
+    pub fn draws(&self) -> u64 {
+        self.draws
     }
 
     /// One raw xoshiro256++ output.
@@ -58,6 +74,7 @@ impl SimRng {
         let n0 = s0 ^ n3;
         n2 ^= t;
         self.state = [n0, n1, n2, n3.rotate_left(45)];
+        self.draws += 1;
         result
     }
 
@@ -135,6 +152,22 @@ impl SimRng {
     }
 }
 
+impl crate::persist::PersistValue for SimRng {
+    fn save_value(&self, w: &mut crate::persist::SnapshotWriter) {
+        self.state.save_value(w);
+        w.put_u64(self.draws);
+    }
+
+    fn load_value(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        Ok(Self {
+            state: <[u64; 4]>::load_value(r)?,
+            draws: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +232,36 @@ mod tests {
     fn inverted_range_panics() {
         let mut r = SimRng::seed(7);
         let _ = r.range_u64(5, 4);
+    }
+
+    #[test]
+    fn draws_counts_stream_position_deterministically() {
+        let mut a = SimRng::seed(11);
+        let mut b = SimRng::seed(11);
+        assert_eq!(a.draws(), 0);
+        for _ in 0..100 {
+            let _ = a.range_u64(0, 6); // rejection sampling may redraw
+            let _ = b.range_u64(0, 6);
+        }
+        assert!(a.draws() >= 100);
+        assert_eq!(a.draws(), b.draws(), "position is seed-deterministic");
+    }
+
+    #[test]
+    fn persist_roundtrip_resumes_identical_stream() {
+        use crate::persist::{PersistValue, SnapshotReader, SnapshotWriter};
+        let mut rng = SimRng::seed(99);
+        for _ in 0..37 {
+            let _ = rng.range_u64(0, 1000);
+        }
+        let mut w = SnapshotWriter::new();
+        rng.save_value(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = SimRng::load_value(&mut SnapshotReader::new(&bytes)).unwrap();
+        assert_eq!(restored.draws(), rng.draws());
+        for _ in 0..100 {
+            assert_eq!(restored.range_u64(0, 1 << 62), rng.range_u64(0, 1 << 62));
+        }
     }
 
     #[test]

@@ -163,6 +163,70 @@ impl VcdWriter {
     }
 }
 
+impl crate::persist::PersistValue for VcdWriter {
+    /// Serializes declarations *and* accumulated changes plus each
+    /// signal's dedup state (`last`), so a restored writer continues
+    /// appending — and later [`render`](VcdWriter::render)s — exactly as
+    /// the uninterrupted one would.
+    fn save_value(&self, w: &mut crate::persist::SnapshotWriter) {
+        w.put_str(&self.module);
+        w.put_usize(self.signals.len());
+        for s in &self.signals {
+            w.put_str(&s.name);
+            w.put_u32(s.width);
+            s.last.save_value(w);
+        }
+        w.put_usize(self.changes.len());
+        for c in &self.changes {
+            w.put_u64(c.time);
+            w.put_usize(c.signal);
+            w.put_u64(c.value);
+        }
+    }
+
+    fn load_value(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let module = r.take_str()?;
+        let n_signals = r.take_usize()?;
+        let mut signals = Vec::with_capacity(n_signals.min(4096));
+        for idx in 0..n_signals {
+            let name = r.take_str()?;
+            let width = r.take_u32()?;
+            if !(1..=64).contains(&width) {
+                return Err(PersistError::Corrupt("vcd bus width"));
+            }
+            let last = Option::load_value(r)?;
+            signals.push(Signal {
+                name,
+                width,
+                code: id_code(idx),
+                last,
+            });
+        }
+        let n_changes = r.take_usize()?;
+        let mut changes = Vec::with_capacity(n_changes.min(1 << 20));
+        for _ in 0..n_changes {
+            let time = r.take_u64()?;
+            let signal = r.take_usize()?;
+            if signal >= signals.len() {
+                return Err(PersistError::Corrupt("vcd change signal index"));
+            }
+            changes.push(Change {
+                time,
+                signal,
+                value: r.take_u64()?,
+            });
+        }
+        Ok(Self {
+            module,
+            signals,
+            changes,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

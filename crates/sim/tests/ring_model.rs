@@ -235,4 +235,87 @@ proptest! {
         let expected: Vec<u64> = entries.iter().map(|&(_, v)| v).collect();
         prop_assert_eq!(out, expected);
     }
+
+    /// Snapshot/restore mid-wrap: a ring frozen at an arbitrary point of
+    /// a random op schedule — including heads deep into wrap-around and
+    /// grow-after-wrap repacks — must restore to an *equivalent* queue:
+    /// identical logical contents, identical bytes on re-save, and
+    /// identical behavior under the remaining schedule even though the
+    /// restored ring's head offset and spare capacity may differ.
+    #[test]
+    fn snapshot_restore_mid_wrap_preserves_logical_order(
+        warm in proptest::collection::vec(ring_op(), 1..150),
+        rest in proptest::collection::vec(ring_op(), 1..150),
+    ) {
+        fn apply(dut: &mut Ring<u64>, reference: &mut VecDeque<u64>, seq: &mut u64, op: RingOp) {
+            match op {
+                RingOp::Push => {
+                    dut.push_back(*seq);
+                    reference.push_back(*seq);
+                    *seq += 1;
+                }
+                RingOp::Pop => {
+                    assert_eq!(dut.pop_front(), reference.pop_front());
+                }
+                RingOp::BumpFront => {
+                    if let Some(v) = dut.front_mut() {
+                        *v += 1000;
+                    }
+                    if let Some(v) = reference.front_mut() {
+                        *v += 1000;
+                    }
+                }
+                RingOp::BumpAt(i) => {
+                    if !reference.is_empty() {
+                        let idx = i as usize % reference.len();
+                        *dut.get_mut(idx).expect("index in range") += 7;
+                        reference[idx] += 7;
+                    }
+                }
+                RingOp::Clear => {
+                    dut.clear();
+                    reference.clear();
+                }
+            }
+        }
+
+        use sim::persist::{PersistValue, SnapshotReader, SnapshotWriter};
+
+        let mut dut: Ring<u64> = Ring::new();
+        let mut reference: VecDeque<u64> = VecDeque::new();
+        let mut seq = 0u64;
+        for op in warm {
+            apply(&mut dut, &mut reference, &mut seq, op);
+        }
+
+        // Freeze mid-schedule and thaw into a fresh ring.
+        let mut w = SnapshotWriter::new();
+        dut.save_value(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let mut thawed = Ring::<u64>::load_value(&mut r).expect("ring restores");
+
+        // Logical equivalence, independent of head offset / capacity.
+        let dut_all: Vec<u64> = dut.iter().copied().collect();
+        let thawed_all: Vec<u64> = thawed.iter().copied().collect();
+        prop_assert_eq!(&dut_all, &thawed_all);
+
+        // Canonical bytes: re-saving the thawed ring (front at slot 0)
+        // must reproduce the wrapped original's stream exactly.
+        let mut w2 = SnapshotWriter::new();
+        thawed.save_value(&mut w2);
+        prop_assert_eq!(&bytes, &w2.into_bytes());
+
+        // The thawed ring lives on under the rest of the schedule —
+        // growth after the repack must keep matching the original.
+        let mut seq2 = seq;
+        let mut reference2 = reference.clone();
+        for op in rest {
+            apply(&mut dut, &mut reference, &mut seq, op);
+            apply(&mut thawed, &mut reference2, &mut seq2, op);
+            let a: Vec<u64> = dut.iter().copied().collect();
+            let b: Vec<u64> = thawed.iter().copied().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
 }

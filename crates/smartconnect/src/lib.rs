@@ -478,6 +478,26 @@ impl SmartConnect {
     }
 }
 
+impl sim::persist::PersistValue for ScStats {
+    fn save_value(&self, w: &mut sim::persist::SnapshotWriter) {
+        self.ar_grants.save_value(w);
+        self.aw_grants.save_value(w);
+        self.bytes_read.save_value(w);
+        self.bytes_written.save_value(w);
+    }
+
+    fn load_value(
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<Self, sim::persist::PersistError> {
+        Ok(Self {
+            ar_grants: Vec::load_value(r)?,
+            aw_grants: Vec::load_value(r)?,
+            bytes_read: Vec::load_value(r)?,
+            bytes_written: Vec::load_value(r)?,
+        })
+    }
+}
+
 impl Component for SmartConnect {
     fn tick(&mut self, now: Cycle) -> bool {
         let mut progress = false;
@@ -562,6 +582,106 @@ impl AxiInterconnect for SmartConnect {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        use sim::persist::PersistValue;
+        w.put_usize(self.config.num_ports);
+        self.slave_ports.save_value(w);
+        self.ar_pipes.save_value(w);
+        self.aw_pipes.save_value(w);
+        self.w_pipes.save_value(w);
+        self.grant_ar.save_value(w);
+        self.grant_aw.save_value(w);
+        self.r_pipe.save_value(w);
+        self.b_pipe.save_value(w);
+        self.read_routes.save_value(w);
+        self.b_routes.save_value(w);
+        self.w_routes.save_value(w);
+        self.mem_port.save_value(w);
+        w.put_usize(self.ar_rr);
+        w.put_u32(self.ar_grants_left);
+        w.put_usize(self.aw_rr);
+        w.put_u32(self.aw_grants_left);
+        // The RNG carries both its stream state and draw counter, so the
+        // restored arbiter reproduces the exact granularity sequence.
+        self.rng.save_value(w);
+        self.out_reads.save_value(w);
+        self.out_writes.save_value(w);
+        self.stats.save_value(w);
+        self.metrics.save_value(w);
+        self.ar_grant_ports.save_value(w);
+        self.aw_grant_ports.save_value(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        use sim::persist::{PersistError, PersistValue};
+        // Decode everything first so a corrupt stream leaves `self`
+        // unchanged.
+        let n = r.take_usize()?;
+        if n != self.config.num_ports {
+            return Err(PersistError::ShapeMismatch("smartconnect port count"));
+        }
+        let slave_ports = Vec::<AxiPort>::load_value(r)?;
+        let ar_pipes = Vec::<TimedFifo<ArBeat>>::load_value(r)?;
+        let aw_pipes = Vec::<TimedFifo<AwBeat>>::load_value(r)?;
+        let w_pipes = Vec::<TimedFifo<axi::WBeat>>::load_value(r)?;
+        let grant_ar = TimedFifo::<ArBeat>::load_value(r)?;
+        let grant_aw = TimedFifo::<AwBeat>::load_value(r)?;
+        let r_pipe = TimedFifo::<RBeat>::load_value(r)?;
+        let b_pipe = TimedFifo::<axi::BBeat>::load_value(r)?;
+        let read_routes = RouteQueue::load_value(r)?;
+        let b_routes = RouteQueue::load_value(r)?;
+        let w_routes = Ring::<usize>::load_value(r)?;
+        let mem_port = AxiPort::load_value(r)?;
+        let ar_rr = r.take_usize()?;
+        let ar_grants_left = r.take_u32()?;
+        let aw_rr = r.take_usize()?;
+        let aw_grants_left = r.take_u32()?;
+        let rng = SimRng::load_value(r)?;
+        let out_reads = Vec::<u32>::load_value(r)?;
+        let out_writes = Vec::<u32>::load_value(r)?;
+        let stats = ScStats::load_value(r)?;
+        let metrics = Option::<MetricsRegistry>::load_value(r)?;
+        let ar_grant_ports = Ring::<usize>::load_value(r)?;
+        let aw_grant_ports = Ring::<usize>::load_value(r)?;
+        if slave_ports.len() != n
+            || ar_pipes.len() != n
+            || aw_pipes.len() != n
+            || w_pipes.len() != n
+            || out_reads.len() != n
+            || out_writes.len() != n
+            || stats.ar_grants.len() != n
+        {
+            return Err(PersistError::ShapeMismatch("smartconnect per-port state"));
+        }
+        self.slave_ports = slave_ports;
+        self.ar_pipes = ar_pipes;
+        self.aw_pipes = aw_pipes;
+        self.w_pipes = w_pipes;
+        self.grant_ar = grant_ar;
+        self.grant_aw = grant_aw;
+        self.r_pipe = r_pipe;
+        self.b_pipe = b_pipe;
+        self.read_routes = read_routes;
+        self.b_routes = b_routes;
+        self.w_routes = w_routes;
+        self.mem_port = mem_port;
+        self.ar_rr = ar_rr;
+        self.ar_grants_left = ar_grants_left;
+        self.aw_rr = aw_rr;
+        self.aw_grants_left = aw_grants_left;
+        self.rng = rng;
+        self.out_reads = out_reads;
+        self.out_writes = out_writes;
+        self.stats = stats;
+        self.metrics = metrics;
+        self.ar_grant_ports = ar_grant_ports;
+        self.aw_grant_ports = aw_grant_ports;
+        Ok(())
     }
 }
 
@@ -810,6 +930,77 @@ mod tests {
         assert_eq!(m.port(0).r.latency.min(), Some(11));
         // No uid machinery: nothing in flight, nothing completed.
         assert_eq!(m.inflight_len(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_byte_identical() {
+        use sim::persist::{SnapshotReader, SnapshotWriter};
+        let mut sc = SmartConnect::new(ScConfig::new(2));
+        sc.enable_metrics();
+        // Load both ports so arbitration, the RNG, and the grant windows
+        // are all mid-flight at the split point.
+        for now in 0..10u64 {
+            for p in 0..2u64 {
+                let _ = sc
+                    .port(p as usize)
+                    .ar
+                    .push(now, ArBeat::new(p * 0x10000 + now * 64, 1, BurstSize::B4));
+            }
+            sc.tick(now);
+            let _ = sc
+                .mem_port()
+                .r
+                .push(now, RBeat::new(AxiId(0), vec![0; 4], true));
+        }
+        let mut w = SnapshotWriter::new();
+        sc.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Restore into a constructor-fresh instance (different seed, no
+        // metrics) — everything must come from the snapshot.
+        let mut restored = SmartConnect::new(ScConfig::new(2).seed(999));
+        restored
+            .restore_state(&mut SnapshotReader::new(&bytes))
+            .unwrap();
+
+        let drive = |sc: &mut SmartConnect| {
+            for now in 10..60u64 {
+                for p in 0..2u64 {
+                    let _ = sc
+                        .port(p as usize)
+                        .ar
+                        .push(now, ArBeat::new(p * 0x10000 + now * 64, 1, BurstSize::B4));
+                }
+                sc.tick(now);
+                if sc.out_reads.iter().sum::<u32>() > 0 {
+                    let _ = sc
+                        .mem_port()
+                        .r
+                        .push(now, RBeat::new(AxiId(0), vec![0; 4], true));
+                }
+                while sc.mem_port().ar.pop_ready(now).is_some() {}
+                while sc.port(0).r.pop_ready(now).is_some() {}
+                while sc.port(1).r.pop_ready(now).is_some() {}
+            }
+            let mut w = SnapshotWriter::new();
+            sc.save_state(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(drive(&mut sc), drive(&mut restored));
+    }
+
+    #[test]
+    fn restore_rejects_port_count_mismatch() {
+        use sim::persist::{PersistError, SnapshotReader, SnapshotWriter};
+        let sc = SmartConnect::new(ScConfig::new(2));
+        let mut w = SnapshotWriter::new();
+        sc.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = SmartConnect::new(ScConfig::new(3));
+        let err = other
+            .restore_state(&mut SnapshotReader::new(&bytes))
+            .unwrap_err();
+        assert!(matches!(err, PersistError::ShapeMismatch(_)));
     }
 
     #[test]

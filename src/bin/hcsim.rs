@@ -4,18 +4,31 @@
 //! ```text
 //! USAGE:
 //!     hcsim <scenario> [--design hc|sc] [--cycles N] [--ports N]
+//!     hcsim campaign [--seed N] [--variants N] [--warm N] [--cycles N]
+//!                    [--workers N] [--bisect] [--out FILE]
+//!                    [--metrics-out FILE]
+//!     hcsim snapshot --out FILE [--cycles N]
 //!
 //! SCENARIOS:
 //!     latency     per-channel propagation latencies of the design
 //!     contention  CHaiDNN + greedy DMA (the paper's case study)
 //!     fairness    16-beat victim vs 256-beat aggressor
 //!     stress      four mixed masters, protocol monitor armed
+//!
+//! SUBCOMMANDS:
+//!     campaign    warm a chaos scenario once, fork N seeded fault
+//!                 variants from the in-memory snapshot across a
+//!                 thread pool, stream per-variant progress, and emit
+//!                 chaos-campaign/v1 + campaign-metrics/v1 JSON
+//!     snapshot    run the pinned short Fig. 3(a) scenario and write
+//!                 its hcsim-snapshot/v1 image (the CI schema golden)
 //! ```
 
 use std::process::ExitCode;
 
 use axi::types::BurstSize;
 use axi::AxiInterconnect;
+use axi_hyperconnect::campaign::{run_campaign, CampaignConfig, CampaignEvent};
 use axi_hyperconnect::SocSystem;
 use ha::chaidnn::{Chaidnn, ChaidnnConfig};
 use ha::dma::{Dma, DmaConfig};
@@ -71,6 +84,209 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Parsed `hcsim campaign` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CampaignArgs {
+    seed: u64,
+    variants: usize,
+    warm: u64,
+    cycles: u64,
+    workers: usize,
+    bisect: bool,
+    out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn parse_campaign_args(argv: &[String]) -> Result<CampaignArgs, String> {
+    let mut args = CampaignArgs {
+        seed: 1,
+        variants: 8,
+        warm: 2_000,
+        cycles: 60_000,
+        workers: 2,
+        bisect: false,
+        out: None,
+        metrics_out: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        // `--bisect` is the one boolean switch; everything else takes
+        // a value.
+        if flag == "--bisect" {
+            args.bisect = true;
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let bad = |what: &str| format!("bad {what} {value}");
+        match flag.as_str() {
+            "--seed" => args.seed = value.parse().map_err(|_| bad("seed"))?,
+            "--variants" => {
+                args.variants = value.parse().map_err(|_| bad("variant count"))?;
+                if args.variants == 0 {
+                    return Err("need at least one variant".into());
+                }
+            }
+            "--warm" => args.warm = value.parse().map_err(|_| bad("warm cycle count"))?,
+            "--cycles" => args.cycles = value.parse().map_err(|_| bad("cycle count"))?,
+            "--workers" => {
+                args.workers = value.parse().map_err(|_| bad("worker count"))?;
+                if args.workers == 0 {
+                    return Err("need at least one worker".into());
+                }
+            }
+            "--out" => args.out = Some(value.clone()),
+            "--metrics-out" => args.metrics_out = Some(value.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.cycles <= args.warm {
+        return Err(format!(
+            "--cycles {} must exceed --warm {}",
+            args.cycles, args.warm
+        ));
+    }
+    Ok(args)
+}
+
+/// Parsed `hcsim snapshot` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SnapshotArgs {
+    out: String,
+    cycles: u64,
+}
+
+fn parse_snapshot_args(argv: &[String]) -> Result<SnapshotArgs, String> {
+    let mut out = None;
+    let mut cycles = 150u64;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--out" => out = Some(value.clone()),
+            "--cycles" => {
+                cycles = value
+                    .parse()
+                    .map_err(|_| format!("bad cycle count {value}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(SnapshotArgs {
+        out: out.ok_or_else(|| "snapshot needs --out FILE".to_string())?,
+        cycles,
+    })
+}
+
+fn scenario_campaign(args: &CampaignArgs) -> ExitCode {
+    let cfg = CampaignConfig::new(args.seed)
+        .variants(args.variants)
+        .warm_cycles(args.warm)
+        .cycles(args.cycles)
+        .workers(args.workers)
+        .bisect(args.bisect);
+    let report = run_campaign(&cfg, |event| match event {
+        CampaignEvent::Warmed {
+            cycle,
+            snapshot_bytes,
+            wall_ms,
+        } => println!("warmed to cycle {cycle}: snapshot {snapshot_bytes} B in {wall_ms:.1} ms"),
+        CampaignEvent::VariantFinished {
+            completed,
+            total,
+            seed,
+            inject_at,
+            violations,
+            wall_ms,
+        } => println!(
+            "[{completed}/{total}] seed {:#018x} inject@{} -> {} ({:.1} ms)",
+            seed,
+            inject_at,
+            if violations == 0 {
+                "PASS".to_string()
+            } else {
+                format!("{violations} VIOLATIONS")
+            },
+            wall_ms,
+        ),
+        CampaignEvent::Bisected {
+            seed,
+            first_divergence,
+            wall_ms,
+        } => match first_divergence {
+            Some(k) => {
+                println!("bisected seed {seed:#018x}: first divergent cycle {k} ({wall_ms:.1} ms)")
+            }
+            None => {
+                println!("bisected seed {seed:#018x}: no state divergence found ({wall_ms:.1} ms)")
+            }
+        },
+    });
+    println!(
+        "campaign done: {} variants, {} violations, warm {:.1} ms + forks, total {:.1} ms",
+        report.runs.len(),
+        report.violations(),
+        report.warm_wall_ms,
+        report.total_wall_ms,
+    );
+    for (path, json) in [
+        (&args.out, report.summary_json()),
+        (&args.metrics_out, report.metrics_json()),
+    ] {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+    }
+    if report.violations() > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The deterministic snapshot-golden scenario: the short Fig. 3(a)
+/// shape (two small DMA readers on a 2-port HyperConnect) that
+/// `fig3a_snapshot_sweep_every_cycle` sweeps, frozen at `--cycles`.
+fn golden_snapshot_system() -> SocSystem<HyperConnect> {
+    let mut sys = SocSystem::new(
+        HyperConnect::new(HcConfig::new(2)),
+        MemoryController::new(MemConfig::zcu102()),
+    );
+    for p in 0..2u64 {
+        sys.add_accelerator(Box::new(Dma::new(
+            format!("fig3a_dma{p}"),
+            DmaConfig {
+                src_base: 0x1000_0000 + p * 0x0100_0000,
+                jobs: Some(2),
+                ..DmaConfig::reader(1024, 16, BurstSize::B16)
+            },
+        )))
+        .unwrap();
+    }
+    sys
+}
+
+fn scenario_snapshot(args: &SnapshotArgs) -> ExitCode {
+    let mut sys = golden_snapshot_system();
+    sys.run_for(args.cycles);
+    let bytes = sys.snapshot_bytes();
+    let crc = sim::persist::crc32(&bytes);
+    if let Err(e) = std::fs::write(&args.out, &bytes) {
+        eprintln!("error: could not write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {}: {} bytes at cycle {} (crc32 {:#010x})",
+        args.out,
+        bytes.len(),
+        sys.now(),
+        crc,
+    );
+    ExitCode::SUCCESS
 }
 
 fn make_design(design: &str, ports: usize) -> Box<dyn AxiInterconnect> {
@@ -203,6 +419,33 @@ fn scenario_stress(args: &Args) {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("campaign") => {
+            return match parse_campaign_args(&argv[1..]) {
+                Ok(args) => scenario_campaign(&args),
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    eprintln!(
+                        "usage: hcsim campaign [--seed N] [--variants N] [--warm N] \
+                         [--cycles N] [--workers N] [--bisect] [--out FILE] \
+                         [--metrics-out FILE]"
+                    );
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("snapshot") => {
+            return match parse_snapshot_args(&argv[1..]) {
+                Ok(args) => scenario_snapshot(&args),
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    eprintln!("usage: hcsim snapshot --out FILE [--cycles N]");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
     let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(message) => {
@@ -260,5 +503,60 @@ mod tests {
         assert!(parse_args(&argv("x --ports 0")).is_err());
         assert!(parse_args(&argv("x --cycles")).is_err());
         assert!(parse_args(&argv("x --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn parses_campaign_defaults() {
+        let args = parse_campaign_args(&argv("")).unwrap();
+        assert_eq!(args.seed, 1);
+        assert_eq!(args.variants, 8);
+        assert_eq!(args.warm, 2_000);
+        assert_eq!(args.cycles, 60_000);
+        assert_eq!(args.workers, 2);
+        assert!(!args.bisect);
+        assert_eq!(args.out, None);
+        assert_eq!(args.metrics_out, None);
+    }
+
+    #[test]
+    fn parses_campaign_flags() {
+        let args = parse_campaign_args(&argv(
+            "--seed 7 --variants 3 --warm 1000 --cycles 40000 --workers 4 \
+             --bisect --out a.json --metrics-out b.json",
+        ))
+        .unwrap();
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.variants, 3);
+        assert_eq!(args.warm, 1_000);
+        assert_eq!(args.cycles, 40_000);
+        assert_eq!(args.workers, 4);
+        assert!(args.bisect);
+        assert_eq!(args.out.as_deref(), Some("a.json"));
+        assert_eq!(args.metrics_out.as_deref(), Some("b.json"));
+    }
+
+    #[test]
+    fn rejects_bad_campaign_input() {
+        assert!(parse_campaign_args(&argv("--variants 0")).is_err());
+        assert!(parse_campaign_args(&argv("--workers 0")).is_err());
+        assert!(parse_campaign_args(&argv("--seed x")).is_err());
+        assert!(parse_campaign_args(&argv("--out")).is_err());
+        assert!(parse_campaign_args(&argv("--bogus 1")).is_err());
+        // The fork window must be non-empty.
+        assert!(parse_campaign_args(&argv("--warm 5000 --cycles 5000")).is_err());
+    }
+
+    #[test]
+    fn parses_snapshot_flags() {
+        let args = parse_snapshot_args(&argv("--out golden.bin --cycles 150")).unwrap();
+        assert_eq!(args.out, "golden.bin");
+        assert_eq!(args.cycles, 150);
+        assert_eq!(
+            parse_snapshot_args(&argv("--out g.bin")).unwrap().cycles,
+            150
+        );
+        assert!(parse_snapshot_args(&argv("")).is_err());
+        assert!(parse_snapshot_args(&argv("--cycles 10")).is_err());
+        assert!(parse_snapshot_args(&argv("--out g.bin --cycles x")).is_err());
     }
 }

@@ -55,14 +55,14 @@ use sim::{Cycle, SimRng};
 use crate::{SchedulerMode, SocSystem, TopologyBuilder};
 
 /// AXI-Lite base the campaign maps the HyperConnect register file at.
-const HC_BASE: u64 = 0xA000_0000;
+pub(crate) const HC_BASE: u64 = 0xA000_0000;
 /// Reservation period programmed before each campaign.
-const PERIOD: u32 = 2_000;
+pub(crate) const PERIOD: u32 = 2_000;
 /// Hypervisor poll cadences a scenario may draw.
-const POLL_CHOICES: [u64; 3] = [50, 100, 200];
+pub(crate) const POLL_CHOICES: [u64; 3] = [50, 100, 200];
 /// Memory decode limit: rogue reads above this earn real DECERRs while
 /// every victim region stays decodable.
-const DECODE_LIMIT: u64 = 0x4000_0000;
+pub(crate) const DECODE_LIMIT: u64 = 0x4000_0000;
 
 /// The eight seeds the CI chaos-smoke job pins. Any seed works; these
 /// are chosen so the set covers all four fault kinds, each in both the
@@ -132,20 +132,24 @@ impl ChaosConfig {
 }
 
 /// Everything derived from the seed before the system is built.
-struct Scenario {
-    ports: usize,
-    fault_port: usize,
-    kind: FaultKind,
-    permanent: bool,
-    poll_interval: u64,
-    victim_periods: Vec<u64>,
-    policy: RecoveryPolicy,
+pub(crate) struct Scenario {
+    pub(crate) ports: usize,
+    pub(crate) fault_port: usize,
+    pub(crate) kind: FaultKind,
+    pub(crate) permanent: bool,
+    pub(crate) poll_interval: u64,
+    pub(crate) victim_periods: Vec<u64>,
+    pub(crate) policy: RecoveryPolicy,
+    /// RNG stream position ([`SimRng::draws`]) after the derivation —
+    /// recorded in campaign JSON so a scenario can be re-derived and
+    /// the derivation audited for drift.
+    pub(crate) rng_position: u64,
 }
 
 /// Draws the scenario. The draw order is fixed — changing it changes
 /// what every pinned seed means, which the chaos tests would catch as a
 /// fingerprint mismatch against their recorded expectations.
-fn derive_scenario(seed: u64, ports_lo: usize, ports_hi: usize) -> Scenario {
+pub(crate) fn derive_scenario(seed: u64, ports_lo: usize, ports_hi: usize) -> Scenario {
     let mut rng = SimRng::seed(seed);
     let ports = rng.range_usize(ports_lo, ports_hi);
     let fault_port = rng.index(ports);
@@ -178,11 +182,21 @@ fn derive_scenario(seed: u64, ports_lo: usize, ports_hi: usize) -> Scenario {
         poll_interval,
         victim_periods,
         policy,
+        rng_position: rng.draws(),
     }
 }
 
+/// The RNG stream position a recovery-scenario derivation for `seed`
+/// ends at — the value campaign JSON records as `rng_position`.
+/// Re-deriving must land on exactly this position; a mismatch means
+/// the derivation drifted and every pinned seed silently changed
+/// meaning.
+pub fn scenario_rng_position(seed: u64) -> u64 {
+    derive_scenario(seed, 3, 4).rng_position
+}
+
 /// Builds the scenario's misbehaving master.
-fn fault_model(kind: FaultKind, permanent: bool) -> Box<dyn Accelerator> {
+pub(crate) fn fault_model(kind: FaultKind, permanent: bool) -> Box<dyn Accelerator> {
     match kind {
         FaultKind::StalledWriter => {
             let m = StalledWriter::new("chaos_stall", 0x2000_0000, 16, BurstSize::B16);
@@ -222,7 +236,7 @@ fn fault_model(kind: FaultKind, permanent: bool) -> Box<dyn Accelerator> {
 /// Arms detection and recovery for the fault port: a strict watchdog
 /// (any violation, >2 outstanding, or 3 frozen-progress polls trips
 /// it), a budget monitor, and the scenario's recovery policy.
-fn arm_hypervisor(hv: &mut Hypervisor, fault_port: usize, policy: RecoveryPolicy) {
+pub(crate) fn arm_hypervisor(hv: &mut Hypervisor, fault_port: usize, policy: RecoveryPolicy) {
     hv.set_watchdog_policy(
         PortId(fault_port),
         WatchdogPolicy {
@@ -245,7 +259,7 @@ fn arm_hypervisor(hv: &mut Hypervisor, fault_port: usize, policy: RecoveryPolicy
 /// any beats the faulty master queued before it was quiesced are gone
 /// when it comes back. Without this, stale pre-fault address beats
 /// re-trip the watchdog the moment the port reattaches.
-fn flush_port_queues(port: &mut AxiPort, now: Cycle) {
+pub(crate) fn flush_port_queues(port: &mut AxiPort, now: Cycle) {
     while port.ar.pop_ready(now).is_some() {}
     while port.aw.pop_ready(now).is_some() {}
     while port.w.pop_ready(now).is_some() {}
@@ -308,6 +322,11 @@ pub struct ChaosOutcome {
     pub victim_jobs: Vec<u64>,
     /// Cycle the run ended at.
     pub end_cycle: u64,
+    /// RNG stream position after the scenario derivation (see
+    /// [`sim::SimRng::draws`]) — lets a consumer of the campaign JSON
+    /// re-derive the scenario and verify the derivation has not
+    /// drifted.
+    pub rng_position: u64,
 }
 
 impl ChaosOutcome {
@@ -321,10 +340,11 @@ impl ChaosOutcome {
             .map(|t| format!("{}:{}:{}->{}:{}", t.cycle, t.port, t.from, t.to, t.dropped))
             .collect();
         format!(
-            "seed={} scenario={} ports={} fault_port={} kind={} permanent={} poll={} \
+            "seed={} rng_pos={} scenario={} ports={} fault_port={} kind={} permanent={} poll={} \
              deadline={} sla={} transitions=[{}] final={} resets={} dropped={} \
              victim_worst={} jobs={:?} end={}",
             self.seed,
+            self.rng_position,
             self.scenario,
             self.ports,
             self.fault_port,
@@ -420,6 +440,7 @@ impl ChaosOutcome {
         };
         format!(
             "{{\"schema\":\"axi-hyperconnect/chaos-run/v1\",\"seed\":{},\
+             \"rng_position\":{},\
              \"scenario\":\"{}\",\"scheduler\":\"{}\",\"ports\":{},\
              \"fault_port\":{},\"fault_kind\":\"{}\",\"permanent\":{},\
              \"poll_interval\":{},\"drain_deadline\":{},\"sla_polls\":{},\
@@ -428,6 +449,7 @@ impl ChaosOutcome {
              \"end_cycle\":{},\"transitions\":[{}],\
              \"invariant_violations\":[{}]}}",
             self.seed,
+            self.rng_position,
             self.scenario,
             scheduler,
             self.ports,
@@ -572,6 +594,7 @@ pub fn run_flat_campaign(cfg: &ChaosConfig) -> ChaosOutcome {
         victim_worst,
         victim_jobs,
         end_cycle: sys.now(),
+        rng_position: sc.rng_position,
     }
 }
 
@@ -727,6 +750,7 @@ pub fn run_tree_campaign(cfg: &ChaosConfig) -> ChaosOutcome {
         victim_worst,
         victim_jobs,
         end_cycle: topo.now(),
+        rng_position: sc.rng_position,
     }
 }
 
@@ -740,6 +764,7 @@ struct QosScenario {
     burst: u32,
     out_cap: u32,
     victim_period: u64,
+    rng_position: u64,
 }
 
 /// Draws the QoS scenario. Independent of [`derive_scenario`] — the
@@ -760,6 +785,7 @@ fn derive_qos_scenario(seed: u64) -> QosScenario {
         burst,
         out_cap,
         victim_period,
+        rng_position: rng.draws(),
     }
 }
 
@@ -797,6 +823,8 @@ pub struct QosOutcome {
     pub monitor_violations: usize,
     /// Cycle the run ended at.
     pub end_cycle: u64,
+    /// RNG stream position after the scenario derivation.
+    pub rng_position: u64,
 }
 
 impl QosOutcome {
@@ -805,9 +833,10 @@ impl QosOutcome {
     /// and sharded scheduling.
     pub fn fingerprint(&self) -> String {
         format!(
-            "seed={} ports={} window={} rate={} burst={} out_cap={} period={} \
+            "seed={} rng_pos={} ports={} window={} rate={} burst={} out_cap={} period={} \
              global={} bound={} worst={} jobs={} throttle={:?} violations={} end={}",
             self.seed,
+            self.rng_position,
             self.ports,
             self.window,
             self.rate,
@@ -935,5 +964,6 @@ pub fn run_noisy_neighbor_campaign(cfg: &ChaosConfig) -> QosOutcome {
         throttle_events,
         monitor_violations: mon.violations().len(),
         end_cycle: sys.now(),
+        rng_position: sc.rng_position,
     }
 }

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod chaos;
 mod system;
 mod topology;
@@ -62,7 +63,7 @@ mod topology;
 pub use system::SocSystem;
 pub use topology::{
     NodeId, SchedulerMode, ShardCut, ShardPlan, ShardRunReport, SocTopology, TopologyBuilder,
-    TopologyError,
+    TopologyError, SECTION_CONTROL, SECTION_NODES, SECTION_SHAPE,
 };
 
 // Re-export the workspace crates under one roof for downstream users.

@@ -303,6 +303,45 @@ impl<I: AxiInterconnect + 'static> SocSystem<I> {
             bound,
         ))
     }
+
+    /// Captures the complete dynamic state of the system as a
+    /// `hcsim-snapshot/v1` container (see
+    /// [`SocTopology::save_snapshot`]).
+    pub fn save_snapshot(&self) -> sim::persist::Snapshot {
+        self.topo.save_snapshot()
+    }
+
+    /// Restores a snapshot produced by [`SocSystem::save_snapshot`]
+    /// into this system, which must have been assembled identically
+    /// (same interconnect/memory configuration and accelerator set).
+    ///
+    /// # Errors
+    ///
+    /// See [`SocTopology::restore_snapshot`].
+    pub fn restore_snapshot(
+        &mut self,
+        snap: &sim::persist::Snapshot,
+    ) -> Result<(), sim::persist::PersistError> {
+        self.topo.restore_snapshot(snap)
+    }
+
+    /// Serializes [`SocSystem::save_snapshot`] straight to bytes.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.topo.snapshot_bytes()
+    }
+
+    /// Parses and restores snapshot bytes; see
+    /// [`SocSystem::restore_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SocTopology::restore_snapshot`].
+    pub fn restore_snapshot_bytes(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), sim::persist::PersistError> {
+        self.topo.restore_snapshot_bytes(bytes)
+    }
 }
 
 impl SocSystem<hyperconnect::HyperConnect> {

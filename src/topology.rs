@@ -1468,6 +1468,304 @@ impl SocTopology {
     }
 }
 
+mod persist_impls {
+    use super::{NodeKind, SchedulerMode, ShardRunReport, SocTopology, WaveProbe};
+    use sim::persist::{
+        Persist, PersistError, PersistValue, Snapshot, SnapshotReader, SnapshotWriter,
+    };
+    use sim::vcd::VcdWriter;
+
+    impl PersistValue for SchedulerMode {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            // Scheduler wire codes (append-only): 0 = fast-forward,
+            // 1 = naive, 2 = sharded + worker count.
+            match self {
+                SchedulerMode::FastForward => w.put_u8(0),
+                SchedulerMode::Naive => w.put_u8(1),
+                SchedulerMode::Sharded { workers } => {
+                    w.put_u8(2);
+                    w.put_usize(*workers);
+                }
+            }
+        }
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            match r.take_u8()? {
+                0 => Ok(SchedulerMode::FastForward),
+                1 => Ok(SchedulerMode::Naive),
+                2 => Ok(SchedulerMode::Sharded {
+                    workers: r.take_usize()?,
+                }),
+                _ => Err(PersistError::Corrupt("unknown scheduler mode")),
+            }
+        }
+    }
+
+    impl PersistValue for ShardRunReport {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            w.put_usize(self.shards);
+            w.put_usize(self.workers);
+            w.put_u64(self.window);
+            w.put_u64(self.rounds);
+            w.put_u64(self.engine_skipped);
+            w.put_u64(self.messages);
+            w.put_u64(self.ambiguous_stalls);
+        }
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                shards: r.take_usize()?,
+                workers: r.take_usize()?,
+                window: r.take_u64()?,
+                rounds: r.take_u64()?,
+                engine_skipped: r.take_u64()?,
+                messages: r.take_u64()?,
+                ambiguous_stalls: r.take_u64()?,
+            })
+        }
+    }
+
+    impl Persist for WaveProbe {
+        /// The signal handles are assigned deterministically by
+        /// [`WaveProbe::new`], so only the recorded waveform travels.
+        fn save(&self, w: &mut SnapshotWriter) {
+            self.vcd.save_value(w);
+        }
+        fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
+            self.vcd = VcdWriter::load_value(r)?;
+            Ok(())
+        }
+    }
+
+    /// Section names of a topology snapshot, in container order. The CI
+    /// schema checker pins these against a committed golden.
+    pub const SECTION_SHAPE: &str = "topology/shape";
+    /// Scheduler, clock and run-loop scalars.
+    pub const SECTION_CONTROL: &str = "topology/control";
+    /// Per-node component state in node-index order.
+    pub const SECTION_NODES: &str = "topology/nodes";
+
+    /// Kind tags used in the shape section (append-only).
+    fn kind_tag(kind: &NodeKind) -> u8 {
+        match kind {
+            NodeKind::Accelerator(_) => 0,
+            NodeKind::Interconnect(_) => 1,
+            NodeKind::Memory(_) => 2,
+        }
+    }
+
+    impl SocTopology {
+        /// Serializes the shape fingerprint a restore target must match:
+        /// node labels, kinds and the full wiring (children, bridges,
+        /// parents, memory edges).
+        fn save_shape(&self, w: &mut SnapshotWriter) {
+            w.put_usize(self.nodes.len());
+            for node in &self.nodes {
+                w.put_str(&node.label);
+                w.put_u8(kind_tag(&node.kind));
+                if let NodeKind::Interconnect(icn) = &node.kind {
+                    w.put_usize(icn.children.len());
+                    for child in &icn.children {
+                        match child {
+                            None => w.put_bool(false),
+                            Some(c) => {
+                                w.put_bool(true);
+                                w.put_usize(c.node);
+                                w.put_bool(c.bridge.is_some());
+                            }
+                        }
+                    }
+                    icn.memory.save_value(w);
+                    icn.parent.save_value(w);
+                }
+            }
+        }
+
+        /// Checks the shape stream against this topology, consuming it.
+        fn check_shape(&self, r: &mut SnapshotReader<'_>) -> Result<(), PersistError> {
+            if r.take_usize()? != self.nodes.len() {
+                return Err(PersistError::ShapeMismatch("topology node count"));
+            }
+            for node in &self.nodes {
+                if r.take_str()? != node.label {
+                    return Err(PersistError::ShapeMismatch("topology node label"));
+                }
+                if r.take_u8()? != kind_tag(&node.kind) {
+                    return Err(PersistError::ShapeMismatch("topology node kind"));
+                }
+                if let NodeKind::Interconnect(icn) = &node.kind {
+                    if r.take_usize()? != icn.children.len() {
+                        return Err(PersistError::ShapeMismatch("interconnect port count"));
+                    }
+                    for child in &icn.children {
+                        let bound = r.take_bool()?;
+                        match (bound, child) {
+                            (false, None) => {}
+                            (true, Some(c)) => {
+                                if r.take_usize()? != c.node || r.take_bool()? != c.bridge.is_some()
+                                {
+                                    return Err(PersistError::ShapeMismatch("slave-port binding"));
+                                }
+                            }
+                            _ => {
+                                return Err(PersistError::ShapeMismatch("slave-port binding"));
+                            }
+                        }
+                    }
+                    let memory: Option<usize> = Option::load_value(r)?;
+                    let parent: Option<(usize, usize)> = Option::load_value(r)?;
+                    if memory != icn.memory || parent != icn.parent {
+                        return Err(PersistError::ShapeMismatch("master-port binding"));
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Captures the complete dynamic state of the topology as a
+        /// versioned `hcsim-snapshot/v1` container: every accelerator,
+        /// interconnect, bridge and memory controller plus the run-loop
+        /// scalars (cycle, scheduler, IRQ backlog, stall stamps).
+        ///
+        /// Restoring the returned snapshot into an identically built
+        /// topology and resuming produces byte-identical behavior to
+        /// the uninterrupted run — the property the scheduler
+        /// equivalence oracle pins across naive, fast-forward and
+        /// sharded execution. Sharded runs reunite their bridge halves
+        /// at exchange-window boundaries before control returns, so a
+        /// snapshot never observes split-bridge state.
+        pub fn save_snapshot(&self) -> Snapshot {
+            let mut snap = Snapshot::new();
+            let mut w = SnapshotWriter::new();
+            self.save_shape(&mut w);
+            snap.push_section(SECTION_SHAPE, w);
+
+            // Scheduler choice, skipped-cycle counters and shard
+            // reports are execution artifacts, not simulator state:
+            // excluding them keeps snapshots byte-comparable across
+            // naive, fast-forward and sharded runs of the same state.
+            let mut w = SnapshotWriter::new();
+            w.put_u64(self.now);
+            w.put_usize(self.done_count);
+            self.clock.save_value(&mut w);
+            self.stamps.save_value(&mut w);
+            self.irq_events.save_value(&mut w);
+            snap.push_section(SECTION_CONTROL, w);
+
+            let mut w = SnapshotWriter::new();
+            for node in &self.nodes {
+                match &node.kind {
+                    NodeKind::Accelerator(a) => {
+                        a.acc.save_state(&mut w);
+                        w.put_u64(a.last_jobs);
+                        w.put_bool(a.was_done);
+                    }
+                    NodeKind::Interconnect(icn) => {
+                        icn.ic.save_state(&mut w);
+                        for child in icn.children.iter().flatten() {
+                            if let Some(bridge) = &child.bridge {
+                                bridge.save_value(&mut w);
+                            }
+                        }
+                    }
+                    NodeKind::Memory(m) => {
+                        m.mem.save_state(&mut w);
+                        match &m.wave {
+                            None => w.put_bool(false),
+                            Some(wave) => {
+                                w.put_bool(true);
+                                wave.save(&mut w);
+                            }
+                        }
+                    }
+                }
+            }
+            snap.push_section(SECTION_NODES, w);
+            snap
+        }
+
+        /// Restores a snapshot produced by
+        /// [`SocTopology::save_snapshot`] into this topology, which must
+        /// have been built through the identical sequence of builder
+        /// calls (same labels, wiring and component configurations).
+        ///
+        /// The shape section is verified in full before any node state
+        /// is touched; node restores then proceed in index order, each
+        /// guarded by the container's per-section CRC.
+        ///
+        /// # Errors
+        ///
+        /// [`PersistError::ShapeMismatch`] when the snapshot came from a
+        /// differently built topology, or any decode error from a
+        /// truncated/corrupt stream.
+        pub fn restore_snapshot(&mut self, snap: &Snapshot) -> Result<(), PersistError> {
+            let mut r = snap.require_section(SECTION_SHAPE)?;
+            self.check_shape(&mut r)?;
+
+            let mut r = snap.require_section(SECTION_CONTROL)?;
+            let now = r.take_u64()?;
+            let done_count = r.take_usize()?;
+            let clock = sim::ClockConfig::load_value(&mut r)?;
+            let stamps: Vec<Option<u64>> = Vec::load_value(&mut r)?;
+            let irq_events: Vec<usize> = Vec::load_value(&mut r)?;
+            if stamps.len() != self.nodes.len() {
+                return Err(PersistError::ShapeMismatch("stall-stamp count"));
+            }
+
+            let mut r = snap.require_section(SECTION_NODES)?;
+            for node in &mut self.nodes {
+                match &mut node.kind {
+                    NodeKind::Accelerator(a) => {
+                        a.acc.restore_state(&mut r)?;
+                        a.last_jobs = r.take_u64()?;
+                        a.was_done = r.take_bool()?;
+                    }
+                    NodeKind::Interconnect(icn) => {
+                        icn.ic.restore_state(&mut r)?;
+                        for child in icn.children.iter_mut().flatten() {
+                            if let Some(bridge) = &mut child.bridge {
+                                *bridge = axi::AxiBridge::load_value(&mut r)?;
+                            }
+                        }
+                    }
+                    NodeKind::Memory(m) => {
+                        m.mem.restore_state(&mut r)?;
+                        if r.take_bool()? {
+                            let wave = m.wave.get_or_insert_with(WaveProbe::new);
+                            wave.restore(&mut r)?;
+                        } else {
+                            m.wave = None;
+                        }
+                    }
+                }
+            }
+
+            self.now = now;
+            self.done_count = done_count;
+            self.clock = clock;
+            self.stamps = stamps;
+            self.irq_events = irq_events;
+            Ok(())
+        }
+
+        /// Serializes [`SocTopology::save_snapshot`] straight to bytes.
+        pub fn snapshot_bytes(&self) -> Vec<u8> {
+            self.save_snapshot().to_bytes()
+        }
+
+        /// Parses `bytes` as a `hcsim-snapshot/v1` container and
+        /// restores it via [`SocTopology::restore_snapshot`].
+        ///
+        /// # Errors
+        ///
+        /// Any container or decode error from
+        /// [`Snapshot::from_bytes`] / [`SocTopology::restore_snapshot`].
+        pub fn restore_snapshot_bytes(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+            self.restore_snapshot(&Snapshot::from_bytes(bytes)?)
+        }
+    }
+}
+
+pub use persist_impls::{SECTION_CONTROL, SECTION_NODES, SECTION_SHAPE};
+
 impl std::fmt::Debug for SocTopology {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SocTopology")
@@ -1817,6 +2115,96 @@ mod tests {
         assert!(json.contains("\"schema\":\"axi-hyperconnect/topology-metrics/v1\""));
         assert!(json.contains("\"node\":\"hc_main\""));
         assert!(json.contains("\"node\":\"ddr0\""));
+    }
+
+    fn cascaded_pair() -> (TopologyBuilder, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let root = b
+            .add_interconnect("root", HyperConnect::new(HcConfig::new(2)))
+            .unwrap();
+        let leaf = b
+            .add_interconnect("leaf", HyperConnect::new(HcConfig::new(2)))
+            .unwrap();
+        let mem = b
+            .add_memory("ddr", MemoryController::new(MemConfig::default()))
+            .unwrap();
+        let d0 = b.add_accelerator("d0", dma("d0")).unwrap();
+        let d1 = b.add_accelerator("d1", dma("d1")).unwrap();
+        b.cascade_with(leaf, root, 0, BridgeConfig::registered().latency(2))
+            .unwrap();
+        b.attach(d0, leaf, 0).unwrap();
+        b.attach(d1, root, 1).unwrap();
+        b.connect_memory(root, mem).unwrap();
+        (b, root, leaf, mem)
+    }
+
+    #[test]
+    fn snapshot_midrun_restore_finishes_identically() {
+        // Reference: run uninterrupted to completion.
+        let (b, ..) = cascaded_pair();
+        let mut reference = b.build().unwrap();
+        assert!(reference.run_until_done(1_000_000).is_done());
+        let done_cycle = reference.now();
+        let reference_final = reference.snapshot_bytes();
+        assert!(done_cycle > 2, "job must take a few cycles");
+
+        // Split run: advance to the halfway point, snapshot, restore
+        // into a fresh identically built topology, finish there.
+        let (b, ..) = cascaded_pair();
+        let mut first = b.build().unwrap();
+        first.run_for(done_cycle / 2);
+        let mid = first.snapshot_bytes();
+
+        let (b, ..) = cascaded_pair();
+        let mut resumed = b.build().unwrap();
+        resumed.restore_snapshot_bytes(&mid).unwrap();
+        assert_eq!(resumed.now(), first.now());
+        // The restored topology re-saves byte-identically.
+        assert_eq!(resumed.snapshot_bytes(), mid);
+        assert!(resumed.run_until_done(1_000_000).is_done());
+        assert_eq!(resumed.now(), done_cycle);
+        assert_eq!(resumed.snapshot_bytes(), reference_final);
+        assert_eq!(resumed.accelerator(0).unwrap().jobs_completed(), 1);
+        assert_eq!(resumed.accelerator(1).unwrap().jobs_completed(), 1);
+    }
+
+    #[test]
+    fn snapshot_rejects_differently_shaped_target() {
+        let (b, ..) = cascaded_pair();
+        let topo = b.build().unwrap();
+        let snap = topo.save_snapshot();
+
+        // A flat single-interconnect topology must refuse the snapshot.
+        let mut b = TopologyBuilder::new();
+        let ic = b
+            .add_interconnect("hc", HyperConnect::new(HcConfig::new(2)))
+            .unwrap();
+        let mem = b
+            .add_memory("ddr", MemoryController::new(MemConfig::ideal()))
+            .unwrap();
+        let d = b.add_accelerator("d", dma("d")).unwrap();
+        b.attach(d, ic, 0).unwrap();
+        b.connect_memory(ic, mem).unwrap();
+        let mut other = b.build().unwrap();
+        assert!(matches!(
+            other.restore_snapshot(&snap),
+            Err(sim::persist::PersistError::ShapeMismatch(_))
+        ));
+        // Untouched target still starts at cycle zero.
+        assert_eq!(other.now(), 0);
+    }
+
+    #[test]
+    fn snapshot_sections_are_pinned() {
+        let (b, ..) = cascaded_pair();
+        let topo = b.build().unwrap();
+        let snap = topo.save_snapshot();
+        assert_eq!(
+            snap.section_names(),
+            vec![SECTION_SHAPE, SECTION_CONTROL, SECTION_NODES]
+        );
+        let bytes = snap.to_bytes();
+        assert!(bytes.starts_with(b"hcsim-snapshot/v1\n"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use axi_hyperconnect::chaos::{
     campaign_summary_json, run_flat_campaign, run_noisy_neighbor_campaign, run_tree_campaign,
-    ChaosConfig, ChaosOutcome, FaultKind, PINNED_SEEDS,
+    scenario_rng_position, ChaosConfig, ChaosOutcome, FaultKind, PINNED_SEEDS,
 };
 use axi_hyperconnect::SchedulerMode;
 
@@ -197,6 +197,50 @@ fn qos_campaigns_are_scheduler_equivalent() {
             ff.fingerprint(),
             sharded.fingerprint(),
             "seed {seed}: QoS campaign diverges under sharded scheduling"
+        );
+    }
+}
+
+/// A pulled-from-JSON integer field, by exact key.
+fn json_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} missing from {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+/// The campaign summary must record each scenario's RNG stream position
+/// (raw 64-bit draws consumed deriving it), and that position must
+/// round-trip: re-deriving the scenario from the recorded seed consumes
+/// exactly the recorded number of draws, so a campaign resumed from its
+/// summary replays the same scenarios.
+#[test]
+fn summary_records_reproducible_rng_positions() {
+    for &seed in &PINNED_SEEDS[..4] {
+        let flat = run_flat_campaign(&ChaosConfig::new(seed));
+        assert_eq!(
+            flat.rng_position,
+            scenario_rng_position(seed),
+            "seed {seed}"
+        );
+        let json = flat.to_json();
+        assert_eq!(json_u64(&json, "seed"), seed);
+        assert_eq!(
+            json_u64(&json, "rng_position"),
+            scenario_rng_position(seed),
+            "seed {seed}: JSON rng_position does not round-trip"
+        );
+        // The aggregated summary carries the field for every run too.
+        let summary = campaign_summary_json(&[flat]);
+        assert_eq!(
+            json_u64(&summary, "rng_position"),
+            scenario_rng_position(seed)
         );
     }
 }

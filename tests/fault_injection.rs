@@ -494,6 +494,16 @@ impl ha::Accelerator for StuckReadyReader {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+    fn save_state(&self, w: &mut sim::persist::SnapshotWriter) {
+        w.put_bool(self.posted);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut sim::persist::SnapshotReader<'_>,
+    ) -> Result<(), sim::persist::PersistError> {
+        self.posted = r.take_bool()?;
+        Ok(())
+    }
 }
 
 /// Stuck-READY stall detection: the wedged consumer issues no protocol
