@@ -19,6 +19,9 @@
 //!   HyperConnect and the SmartConnect baseline;
 //! * [`lite`] — the AXI4-Lite control plane used by the hypervisor to
 //!   program memory-mapped register files;
+//! * [`fault`] — a seeded faulty bridge edge ([`FaultyBridge`]) for
+//!   degrading cascaded topologies, and [`retry`] — the capped-backoff
+//!   transaction [`RetryPolicy`] with its closed-form completion bound;
 //! * [`checker`] — a protocol monitor that asserts channel-ordering
 //!   invariants during simulation;
 //! * [`observe`] — transaction-level observability: per-hop stamp
@@ -48,11 +51,13 @@ pub mod beat;
 pub mod bridge;
 pub mod burst;
 pub mod checker;
+pub mod fault;
 pub mod lite;
 pub mod observe;
 pub mod payload;
 pub mod persist;
 pub mod port;
+pub mod retry;
 pub mod routing;
 pub mod txn;
 pub mod types;
@@ -60,7 +65,9 @@ pub mod types;
 pub use beat::{ArBeat, AwBeat, BBeat, RBeat, WBeat};
 pub use bridge::{AxiBridge, BridgeBatch, BridgeConfig, BridgeStats, ChildHalf, ParentHalf};
 pub use checker::{Violation, ViolationKind};
+pub use fault::{FaultyBridge, FaultyBridgeConfig, FaultyBridgeStats};
 pub use observe::{BoundReport, BoundViolation, MetricsRegistry, ObsEvent};
 pub use payload::{Payload, PAYLOAD_INLINE};
 pub use port::{AxiInterconnect, AxiPort, PortConfig};
+pub use retry::RetryPolicy;
 pub use types::{AxiId, AxiVersion, BurstKind, BurstSize, PortId, Resp, TxnError};

@@ -348,6 +348,20 @@ impl ServiceModel {
             .max(self.worst_case_staged_write_latency())
     }
 
+    /// Closed-form worst-case completion bound (cycles) for one logical
+    /// transaction under transient fabric/slave faults, retried with
+    /// `policy` (see [`axi::retry::RetryPolicy::completion_bound`]).
+    ///
+    /// The fault-free per-attempt cost is this model's
+    /// [`Self::drain_deadline`] — the bound by which *any* admitted
+    /// sub-transaction completes — so under the bounded-fault-rate
+    /// assumption (at most `max_faults` transient errors per logical
+    /// transaction) every retried burst finishes within the returned
+    /// figure. Arm it in a runtime monitor before a fault campaign.
+    pub fn retry_completion_bound(&self, policy: &axi::retry::RetryPolicy, max_faults: u32) -> u64 {
+        policy.completion_bound(self.drain_deadline(), max_faults)
+    }
+
     /// Minimum bytes per period guaranteed to a port with budget `b`
     /// sub-transactions per period of `t` cycles, with `bytes_per_beat`
     /// wide data beats — the reservation guarantee of Pagani et al.

@@ -323,6 +323,7 @@ impl Component for HyperConnect {
                     port.violations = viol_totals[i] as u32;
                     port.outstanding = ts.read_outstanding() + ts.write_outstanding();
                     port.throttle_events = ts.throttle_events();
+                    port.err_total = ts.err_total();
                     let (rc, wc) = ts.stored_credits();
                     port.read_credits = rc;
                     port.write_credits = wc;
@@ -423,6 +424,7 @@ impl Component for HyperConnect {
                 port.violations = viol_totals[i] as u32;
                 port.outstanding = ts.read_outstanding() + ts.write_outstanding();
                 port.throttle_events = ts.throttle_events();
+                port.err_total = ts.err_total();
                 let (rc, wc) = ts.stored_credits();
                 port.read_credits = rc;
                 port.write_credits = wc;

@@ -35,6 +35,7 @@
 //! | `+0x28` | `REG_OUT_CAP` | RW | cap on total outstanding sub-transactions (`0xFFFF_FFFF` = unlimited, reset) |
 //! | `+0x2C` | `REG_THROTTLE` | RW1C | throttle-onset events since last clear (saturating); any write with bit 0 set clears |
 //! | `+0x30` | `REG_CREDITS` | RO | stored credits: bits 15:0 read lane, bits 31:16 write lane (each saturated at `0xFFFF`) |
+//! | `+0x34` | `ERR_TOTAL` | RO | transactions completed with a non-OKAY merged response since reset (saturating) |
 
 use crate::regulate::{RegulatorConfig, DEFAULT_WINDOW, OUT_CAP_UNLIMITED, RATE_UNLIMITED};
 use axi::lite::LiteDevice;
@@ -66,6 +67,7 @@ const PORT_REG_BURST: u64 = 0x24;
 const PORT_REG_OUT_CAP: u64 = 0x28;
 const PORT_REG_THROTTLE: u64 = 0x2C;
 const PORT_REG_CREDITS: u64 = 0x30;
+const PORT_ERR_TOTAL: u64 = 0x34;
 
 /// `QUIESCE` read: quiesce requested (drain in progress or complete).
 pub const QUIESCE_REQUESTED: u32 = 1 << 0;
@@ -123,6 +125,9 @@ pub struct PortRegs {
     pub read_credits: u32,
     /// Stored write-lane credits (written back by the interconnect).
     pub write_credits: u32,
+    /// Transactions completed with a non-OKAY merged response since
+    /// reset (updated by the TS; saturates at `u32::MAX` on read).
+    pub err_total: u64,
 }
 
 impl Default for PortRegs {
@@ -146,6 +151,7 @@ impl Default for PortRegs {
             throttle_clear: false,
             read_credits: 0,
             write_credits: 0,
+            err_total: 0,
         }
     }
 }
@@ -362,6 +368,9 @@ impl LiteDevice for RegFile {
                     let p = &self.ports[i];
                     p.read_credits.min(0xFFFF) | (p.write_credits.min(0xFFFF) << 16)
                 }
+                Some((i, PORT_ERR_TOTAL)) => {
+                    u32::try_from(self.ports[i].err_total).unwrap_or(u32::MAX)
+                }
                 Some((i, PORT_QUIESCE)) => {
                     let p = &self.ports[i];
                     ((p.quiesce_requested as u32) * QUIESCE_REQUESTED)
@@ -465,6 +474,8 @@ pub mod offsets {
     pub const PORT_REG_THROTTLE: u64 = super::PORT_REG_THROTTLE;
     /// Per-port `REG_CREDITS` offset within a port block (read-only).
     pub const PORT_REG_CREDITS: u64 = super::PORT_REG_CREDITS;
+    /// Per-port `ERR_TOTAL` offset within a port block (read-only).
+    pub const PORT_ERR_TOTAL: u64 = super::PORT_ERR_TOTAL;
 }
 
 impl sim::persist::PersistValue for PortRegs {
@@ -487,6 +498,7 @@ impl sim::persist::PersistValue for PortRegs {
         w.put_bool(self.throttle_clear);
         w.put_u32(self.read_credits);
         w.put_u32(self.write_credits);
+        w.put_u64(self.err_total);
     }
     fn load_value(
         r: &mut sim::persist::SnapshotReader<'_>,
@@ -510,6 +522,7 @@ impl sim::persist::PersistValue for PortRegs {
             throttle_clear: r.take_bool()?,
             read_credits: r.take_u32()?,
             write_credits: r.take_u32()?,
+            err_total: r.take_u64()?,
         })
     }
 }

@@ -138,6 +138,9 @@ pub struct TransactionSupervisor {
     uid_seq: u64,
     /// Hop events buffered for the owning interconnect to drain.
     obs_events: Vec<ObsEvent>,
+    /// Saturating count of error-completed transactions (merged R and B
+    /// responses that were not OKAY), surfaced through `PORT_ERR_TOTAL`.
+    err_total: u64,
 }
 
 impl TransactionSupervisor {
@@ -170,7 +173,14 @@ impl TransactionSupervisor {
             obs_port: None,
             uid_seq: 0,
             obs_events: Vec::new(),
+            err_total: 0,
         }
+    }
+
+    /// Saturating count of transactions this TS completed with a
+    /// non-OKAY merged response (read sub-bursts and merged writes).
+    pub fn err_total(&self) -> u64 {
+        self.err_total
     }
 
     /// Turns on transaction observability for this TS, identifying it as
@@ -750,6 +760,7 @@ impl TransactionSupervisor {
                 kind,
                 format!("read sub-burst completed with {}", self.r_sub_resp),
             );
+            self.err_total = self.err_total.saturating_add(1);
             self.r_sub_resp = Resp::Okay;
         } else if sub_end {
             self.r_sub_resp = Resp::Okay;
@@ -822,6 +833,7 @@ impl TransactionSupervisor {
                         self.b_merged_resp
                     ),
                 );
+                self.err_total = self.err_total.saturating_add(1);
             }
             self.b_merged_resp = Resp::Okay;
             self.stats.writes_completed += 1;
@@ -942,6 +954,7 @@ mod persist_impls {
             self.obs_port.save_value(w);
             w.put_u64(self.uid_seq);
             self.obs_events.save_value(w);
+            w.put_u64(self.err_total);
         }
         fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
             Ok(Self {
@@ -971,6 +984,7 @@ mod persist_impls {
                 obs_port: Option::load_value(r)?,
                 uid_seq: r.take_u64()?,
                 obs_events: Vec::load_value(r)?,
+                err_total: r.take_u64()?,
             })
         }
     }

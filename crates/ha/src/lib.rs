@@ -30,6 +30,7 @@ pub mod chaidnn;
 pub mod dma;
 pub mod engine;
 pub mod fault;
+pub mod scoreboard;
 pub mod traffic;
 
 use axi::AxiPort;

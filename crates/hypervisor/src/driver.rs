@@ -337,6 +337,15 @@ impl<'b> HcDriver<'b> {
         Ok(self.bus.read32(off)?)
     }
 
+    /// Transactions a port completed with a non-OKAY merged response
+    /// since reset (saturating at `u32::MAX` through the 32-bit
+    /// register window).
+    pub fn err_total(&self, port: usize) -> Result<u32, DriverError> {
+        self.check_port(port)?;
+        let off = self.base + port_block_offset(port) + offsets::PORT_ERR_TOTAL;
+        Ok(self.bus.read32(off)?)
+    }
+
     /// Structured protocol violations detected on a port since reset.
     pub fn violations(&self, port: usize) -> Result<u32, DriverError> {
         self.check_port(port)?;

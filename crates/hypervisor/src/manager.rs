@@ -130,6 +130,52 @@ pub struct WatchdogEvent {
     pub outstanding: u32,
 }
 
+/// Data-integrity policy for a port: how many error-completed
+/// transactions (the `ERR_TOTAL` health register — transient SLVERR
+/// bursts, uncorrectable ECC events) the hypervisor tolerates before
+/// flagging the port's memory region for quarantine.
+///
+/// Complements [`WatchdogPolicy`] (protocol misbehavior) and
+/// [`MonitorPolicy`] (bandwidth overuse): this one reacts to the
+/// *slave/fabric* fault surface. The hypervisor does not remap memory
+/// itself — the returned [`IntegrityEvent`]s are cues for the platform
+/// layer to install a region remap or shed best-effort traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityPolicy {
+    /// Error-completed transactions tolerated (relative to the baseline
+    /// captured when the policy was armed) before an event fires.
+    pub errors_allowed: u32,
+}
+
+impl Default for IntegrityPolicy {
+    /// Tolerate nothing: the first error-completed transaction fires.
+    fn default() -> Self {
+        Self { errors_allowed: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct IntegrityState {
+    /// `ERR_TOTAL` is cumulative since reset; events fire on the delta
+    /// against this baseline.
+    errors_baseline: u32,
+    /// The event already fired; latched until re-armed so one sick
+    /// region does not flood the log at every poll.
+    flagged: bool,
+}
+
+/// A data-integrity threshold crossing recorded by
+/// [`Hypervisor::poll_integrity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityEvent {
+    /// The port whose error counter crossed the threshold.
+    pub port: PortId,
+    /// `ERR_TOTAL` observed at the firing poll.
+    pub err_total: u32,
+    /// The armed threshold (errors above baseline).
+    pub errors_allowed: u32,
+}
+
 /// A decoupling event recorded by the health monitor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecoupleEvent {
@@ -284,6 +330,10 @@ pub struct Hypervisor {
     recovery: HashMap<usize, RecoveryPortState>,
     recovery_log: Vec<RecoveryTransition>,
     recovery_log_dropped: u64,
+    integrity_policies: HashMap<usize, IntegrityPolicy>,
+    integrity: HashMap<usize, IntegrityState>,
+    integrity_log: Vec<IntegrityEvent>,
+    integrity_log_dropped: u64,
 }
 
 /// Capacity of each hypervisor event log. Like the tracer, the logs
@@ -335,6 +385,10 @@ impl Hypervisor {
             recovery: HashMap::new(),
             recovery_log: Vec::new(),
             recovery_log_dropped: 0,
+            integrity_policies: HashMap::new(),
+            integrity: HashMap::new(),
+            integrity_log: Vec::new(),
+            integrity_log_dropped: 0,
         })
     }
 
@@ -586,6 +640,75 @@ impl Hypervisor {
     /// Watchdog events discarded because the log was full.
     pub fn watchdog_log_dropped(&self) -> u64 {
         self.watchdog_log_dropped
+    }
+
+    /// Installs (or re-arms) a data-integrity policy for a port,
+    /// rebasing the cumulative `ERR_TOTAL` counter at its current value
+    /// so pre-existing history does not immediately fire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates register-read failures from the baseline capture.
+    pub fn set_integrity_policy(
+        &mut self,
+        port: PortId,
+        policy: IntegrityPolicy,
+    ) -> Result<(), HvError> {
+        let baseline = self.hc().err_total(port.0)?;
+        self.integrity_policies.insert(port.0, policy);
+        self.integrity.insert(
+            port.0,
+            IntegrityState {
+                errors_baseline: baseline,
+                flagged: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Polls the `ERR_TOTAL` health register of every integrity-watched
+    /// port and returns an event for each port whose error count
+    /// crossed its threshold since the policy was armed. Each crossing
+    /// fires exactly once (latched until the policy is re-armed with
+    /// [`Hypervisor::set_integrity_policy`] — typically after the
+    /// platform layer quarantined the sick region).
+    pub fn poll_integrity(&mut self) -> Result<Vec<IntegrityEvent>, HvError> {
+        let mut events = Vec::new();
+        let mut ports: Vec<usize> = self.integrity_policies.keys().copied().collect();
+        ports.sort_unstable();
+        for p in ports {
+            let policy = self.integrity_policies[&p];
+            if self.integrity.get(&p).is_some_and(|s| s.flagged) {
+                continue;
+            }
+            let err_total = self.hc().err_total(p)?;
+            let state = self.integrity.entry(p).or_default();
+            if err_total.saturating_sub(state.errors_baseline) > policy.errors_allowed {
+                state.flagged = true;
+                let event = IntegrityEvent {
+                    port: PortId(p),
+                    err_total,
+                    errors_allowed: policy.errors_allowed,
+                };
+                push_capped(
+                    &mut self.integrity_log,
+                    &mut self.integrity_log_dropped,
+                    event,
+                );
+                events.push(event);
+            }
+        }
+        Ok(events)
+    }
+
+    /// The most recent integrity events (at most [`HEALTH_LOG_CAPACITY`]).
+    pub fn integrity_log(&self) -> &[IntegrityEvent] {
+        &self.integrity_log
+    }
+
+    /// Integrity events discarded because the log was full.
+    pub fn integrity_log_dropped(&self) -> u64 {
+        self.integrity_log_dropped
     }
 
     /// Manually recouples a port (e.g. after the offending domain was
@@ -984,6 +1107,45 @@ mod persist_impls {
         }
     }
 
+    impl PersistValue for IntegrityPolicy {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            w.put_u32(self.errors_allowed);
+        }
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                errors_allowed: r.take_u32()?,
+            })
+        }
+    }
+
+    impl PersistValue for IntegrityState {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            w.put_u32(self.errors_baseline);
+            w.put_u8(u8::from(self.flagged));
+        }
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                errors_baseline: r.take_u32()?,
+                flagged: r.take_u8()? != 0,
+            })
+        }
+    }
+
+    impl PersistValue for IntegrityEvent {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            self.port.save_value(w);
+            w.put_u32(self.err_total);
+            w.put_u32(self.errors_allowed);
+        }
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                port: PortId::load_value(r)?,
+                err_total: r.take_u32()?,
+                errors_allowed: r.take_u32()?,
+            })
+        }
+    }
+
     /// Serializes a port-keyed map sorted by port number, so the byte
     /// stream does not depend on hash-map iteration order.
     fn save_port_map<V: PersistValue>(map: &HashMap<usize, V>, w: &mut SnapshotWriter) {
@@ -1035,6 +1197,10 @@ mod persist_impls {
             save_port_map(&self.recovery, w);
             self.recovery_log.save_value(w);
             w.put_u64(self.recovery_log_dropped);
+            save_port_map(&self.integrity_policies, w);
+            save_port_map(&self.integrity, w);
+            self.integrity_log.save_value(w);
+            w.put_u64(self.integrity_log_dropped);
         }
 
         /// Restores state saved by [`Hypervisor::save_state`]. All
@@ -1055,6 +1221,10 @@ mod persist_impls {
             let recovery = load_port_map(r)?;
             let recovery_log = Vec::load_value(r)?;
             let recovery_log_dropped = r.take_u64()?;
+            let integrity_policies = load_port_map(r)?;
+            let integrity = load_port_map(r)?;
+            let integrity_log = Vec::load_value(r)?;
+            let integrity_log_dropped = r.take_u64()?;
             self.domains = domains;
             self.port_owner = port_owner;
             self.policies = policies;
@@ -1069,6 +1239,10 @@ mod persist_impls {
             self.recovery = recovery;
             self.recovery_log = recovery_log;
             self.recovery_log_dropped = recovery_log_dropped;
+            self.integrity_policies = integrity_policies;
+            self.integrity = integrity;
+            self.integrity_log = integrity_log;
+            self.integrity_log_dropped = integrity_log_dropped;
             Ok(())
         }
     }
@@ -1177,6 +1351,103 @@ mod tests {
         // Recoupling clears state.
         hv.recouple(PortId(0)).unwrap();
         assert!(!hv.hc().is_decoupled(0).unwrap());
+    }
+
+    /// Issues one read on port 0 and answers it from the memory side
+    /// with the given response, ticking until the counters settle.
+    fn run_errored_read(hc: &mut HyperConnect, resp: axi::types::Resp) {
+        use axi::types::{AxiId, BurstSize};
+        use axi::{ArBeat, AxiInterconnect, RBeat};
+        use sim::Component;
+
+        hc.port(0)
+            .ar
+            .push(0, ArBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        for now in 0..6 {
+            hc.tick(now);
+            hc.mem_port().ar.pop_ready(now);
+        }
+        hc.mem_port()
+            .r
+            .push(6, RBeat::new(AxiId(0), vec![0; 4], true).with_resp(resp))
+            .unwrap();
+        for now in 6..20 {
+            hc.tick(now);
+            hc.port(0).r.pop_ready(now);
+        }
+    }
+
+    #[test]
+    fn integrity_monitor_fires_once_past_the_threshold() {
+        use axi::types::Resp;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_integrity_policy(PortId(0), IntegrityPolicy { errors_allowed: 1 })
+            .unwrap();
+        // One error: within tolerance.
+        run_errored_read(&mut hc, Resp::SlvErr);
+        assert!(hv.poll_integrity().unwrap().is_empty());
+        // Second error crosses the threshold and latches.
+        run_errored_read(&mut hc, Resp::SlvErr);
+        let events = hv.poll_integrity().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].port, PortId(0));
+        assert_eq!(events[0].err_total, 2);
+        assert_eq!(events[0].errors_allowed, 1);
+        assert_eq!(hv.integrity_log().len(), 1);
+        assert_eq!(hv.integrity_log_dropped(), 0);
+        // Latched: more errors do not re-fire until re-armed.
+        run_errored_read(&mut hc, Resp::SlvErr);
+        assert!(hv.poll_integrity().unwrap().is_empty());
+        // Re-arming rebases at the current count.
+        hv.set_integrity_policy(PortId(0), IntegrityPolicy { errors_allowed: 1 })
+            .unwrap();
+        assert!(hv.poll_integrity().unwrap().is_empty());
+    }
+
+    #[test]
+    fn integrity_policy_rebases_on_preexisting_errors() {
+        use axi::types::Resp;
+
+        let (mut hv, mut hc) = hypervisor(2);
+        // History that predates the policy must not count against it.
+        run_errored_read(&mut hc, Resp::SlvErr);
+        run_errored_read(&mut hc, Resp::SlvErr);
+        hv.set_integrity_policy(PortId(0), IntegrityPolicy::default())
+            .unwrap();
+        assert!(hv.poll_integrity().unwrap().is_empty());
+        // The default policy tolerates zero *new* errors.
+        run_errored_read(&mut hc, Resp::SlvErr);
+        assert_eq!(hv.poll_integrity().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn integrity_state_round_trips_through_snapshots() {
+        use axi::types::Resp;
+        use sim::persist::{SnapshotReader, SnapshotWriter};
+
+        let (mut hv, mut hc) = hypervisor(2);
+        hv.set_integrity_policy(PortId(0), IntegrityPolicy::default())
+            .unwrap();
+        run_errored_read(&mut hc, Resp::SlvErr);
+        assert_eq!(hv.poll_integrity().unwrap().len(), 1);
+
+        let mut w = SnapshotWriter::new();
+        hv.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let (mut hv2, _hc2) = hypervisor(2);
+        let mut r = SnapshotReader::new(&bytes);
+        hv2.restore_state(&mut r).unwrap();
+        assert_eq!(hv2.integrity_log(), hv.integrity_log());
+        assert_eq!(hv2.integrity_log_dropped(), hv.integrity_log_dropped());
+        // The latch survived the snapshot: no duplicate event.
+        assert!(hv2.poll_integrity().unwrap().is_empty());
+
+        let mut w2 = SnapshotWriter::new();
+        hv2.save_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
     }
 
     #[test]

@@ -12,8 +12,20 @@ use sim::{Cycle, TimedFifo};
 
 use crate::backing::SparseMemory;
 use crate::config::MemConfig;
+use crate::fault::{BeatAction, FaultInjector, FaultStats, MemFaultConfig};
+
+/// Per-port attribution slots in [`MemStats::error_responses_by_port`]:
+/// slot 0 collects untagged traffic (the PS port, or masters wired
+/// directly without observability), slots `1..` map interconnect slave
+/// ports `0..` via the transaction uid's 10-bit port salt, and the last
+/// slot aggregates any higher-numbered ports.
+pub const ERROR_PORT_SLOTS: usize = 16;
 
 /// Aggregate counters exposed by [`MemoryController::stats`].
+///
+/// The error counters saturate instead of wrapping: a fault campaign
+/// left running arbitrarily long degrades to a pinned `u64::MAX`
+/// reading rather than silently restarting from zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Read bursts fully served.
@@ -32,8 +44,11 @@ pub struct MemStats {
     pub row_hits: u64,
     /// Row-buffer misses (0 unless a row policy is enabled).
     pub row_misses: u64,
-    /// Bursts completed with an SLVERR or DECERR response.
+    /// Bursts completed with an SLVERR or DECERR response (saturating).
     pub error_responses: u64,
+    /// [`Self::error_responses`] split by requesting port (saturating;
+    /// see [`ERROR_PORT_SLOTS`] for the slot mapping).
+    pub error_responses_by_port: [u64; ERROR_PORT_SLOTS],
 }
 
 impl MemStats {
@@ -46,6 +61,42 @@ impl MemStats {
             self.busy_cycles as f64 / elapsed as f64
         }
     }
+
+    /// Error responses attributed to interconnect slave port `port`
+    /// (ports at or above the last slot share it).
+    pub fn errors_for_port(&self, port: usize) -> u64 {
+        self.error_responses_by_port[(port + 1).min(ERROR_PORT_SLOTS - 1)]
+    }
+
+    /// Error responses that carried no port attribution (PS traffic or
+    /// directly wired masters without observability uids).
+    pub fn untagged_errors(&self) -> u64 {
+        self.error_responses_by_port[0]
+    }
+
+    /// Records one completed error burst, attributed through the uid's
+    /// port salt. Both the aggregate and the per-port slot saturate.
+    fn note_error(&mut self, uid: u64) {
+        self.error_responses = self.error_responses.saturating_add(1);
+        let slot = ((uid & 0x3FF) as usize).min(ERROR_PORT_SLOTS - 1);
+        let per_port = &mut self.error_responses_by_port[slot];
+        *per_port = per_port.saturating_add(1);
+    }
+}
+
+/// A quarantine remap installed by [`MemoryController::quarantine_remap`]:
+/// bursts whose start address lands in `[lo, hi)` are redirected to the
+/// spare region before decode and service. Remap whole, burst-aligned
+/// regions — a burst straddling the boundary translates by its start
+/// address only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionRemap {
+    /// Inclusive start of the quarantined region.
+    pub lo: u64,
+    /// Exclusive end of the quarantined region.
+    pub hi: u64,
+    /// Base address of the spare region standing in for `[lo, hi)`.
+    pub spare_base: u64,
 }
 
 /// Which requester a job belongs to.
@@ -82,6 +133,10 @@ fn burst_extent(burst: BurstKind, addr: u64, len: u32, size: BurstSize) -> (u64,
 struct Active {
     job: Job,
     beats_done: u32,
+    /// Whether any delivered beat of this burst carried an error
+    /// response (the acceptance-time response, or an ECC-uncorrectable
+    /// beat injected mid-burst).
+    errored: bool,
 }
 
 /// An in-order AXI memory controller with a real backing store.
@@ -138,6 +193,12 @@ pub struct MemoryController {
     /// service, cleared when a write is; an assembled write contending
     /// with reads for a slot waits for at most one of them.
     prefer_write: bool,
+    /// Optional seeded fault injector (transient errors, bit flips,
+    /// ECC model) — see [`crate::fault`].
+    fault: Option<FaultInjector>,
+    /// Active quarantine remaps, applied at acceptance in installation
+    /// order (first match wins).
+    remaps: Vec<RegionRemap>,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -176,6 +237,8 @@ impl MemoryController {
             aw_trace: None,
             outstanding: Gauge::default(),
             prefer_write: false,
+            fault: None,
+            remaps: Vec::new(),
         }
     }
 
@@ -264,6 +327,48 @@ impl MemoryController {
                 }
             }
         }
+    }
+
+    /// Arms seeded fault injection (transient SLVERRs, payload bit
+    /// flips, the ECC model) — see [`crate::fault`] for the fault
+    /// surface. Re-arming replaces any previous injector and restarts
+    /// its RNG stream.
+    pub fn attach_fault_injector(&mut self, config: MemFaultConfig) {
+        self.fault = Some(FaultInjector::new(config));
+    }
+
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Injection counters, when a fault injector is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|f| f.stats())
+    }
+
+    /// Installs a quarantine remap: bursts starting inside the region
+    /// are redirected to the spare region before decode and service —
+    /// the hypervisor's degraded-mode answer to a region that keeps
+    /// returning hard errors. Remaps stack; the first matching region
+    /// wins.
+    pub fn quarantine_remap(&mut self, remap: RegionRemap) {
+        self.remaps.push(remap);
+    }
+
+    /// The quarantine remaps installed so far, in installation order.
+    pub fn remaps(&self) -> &[RegionRemap] {
+        &self.remaps
+    }
+
+    /// Applies quarantine remaps to a burst's start address.
+    fn translate(&self, addr: u64) -> u64 {
+        for m in &self.remaps {
+            if addr >= m.lo && addr < m.hi {
+                return m.spare_base + (addr - m.lo);
+            }
+        }
+        addr
     }
 
     /// The backing store (e.g. to pre-fill DMA source buffers).
@@ -365,16 +470,20 @@ impl MemoryController {
         // PS port has acceptance priority.
         let ps_ready = self.ps_port.as_ref().is_some_and(|p| p.ar.has_ready(now));
         if ps_ready {
-            let ar = self
+            let mut ar = self
                 .ps_port
                 .as_mut()
                 .expect("checked above")
                 .ar
                 .pop_ready(now)
                 .expect("checked ready");
+            ar.addr = self.translate(ar.addr);
             let delay = self.service_delay(ar.addr);
             let (lo, hi) = burst_extent(ar.burst, ar.addr, ar.len, ar.size);
-            let resp = self.config.response_for(lo, hi);
+            let mut resp = self.config.response_for(lo, hi);
+            if let Some(f) = self.fault.as_mut() {
+                resp = f.override_response(resp);
+            }
             self.service
                 .push(now, delay, Job::Read(ar, Origin::Ps, resp))
                 .expect("checked space");
@@ -382,16 +491,20 @@ impl MemoryController {
             return true;
         }
         if port.ar.has_ready(now) {
-            let ar = port.ar.pop_ready(now).expect("checked ready");
+            let mut ar = port.ar.pop_ready(now).expect("checked ready");
             if let Some(m) = self.monitor.as_mut() {
                 m.observe_ar(now, &ar);
             }
             if let Some(t) = self.ar_trace.as_mut() {
                 t.push((now, ar.addr));
             }
+            ar.addr = self.translate(ar.addr);
             let delay = self.service_delay(ar.addr);
             let (lo, hi) = burst_extent(ar.burst, ar.addr, ar.len, ar.size);
-            let resp = self.config.response_for(lo, hi);
+            let mut resp = self.config.response_for(lo, hi);
+            if let Some(f) = self.fault.as_mut() {
+                resp = f.override_response(resp);
+            }
             self.service
                 .push(now, delay, Job::Read(ar, Origin::Fpga, resp))
                 .expect("checked space");
@@ -442,12 +555,16 @@ impl MemoryController {
         if self.service.is_full() {
             return false;
         }
-        let aw = self.aw_pending.pop_front().expect("assembly implies head");
+        let mut aw = self.aw_pending.pop_front().expect("assembly implies head");
+        aw.addr = self.translate(aw.addr);
         let fresh = self.spare_assemblies.pop().unwrap_or_default();
         let data = std::mem::replace(&mut self.assembly, fresh);
         let delay = self.service_delay(aw.addr);
         let (lo, hi) = burst_extent(aw.burst, aw.addr, aw.len, aw.size);
-        let resp = self.config.response_for(lo, hi);
+        let mut resp = self.config.response_for(lo, hi);
+        if let Some(f) = self.fault.as_mut() {
+            resp = f.override_response(resp);
+        }
         self.service
             .push(now, delay, Job::Write(aw, data, resp))
             .expect("checked space");
@@ -458,7 +575,11 @@ impl MemoryController {
     fn promote(&mut self, now: Cycle) -> bool {
         if self.active.is_none() && self.service.has_ready(now) {
             let job = self.service.pop_ready(now).expect("checked ready");
-            self.active = Some(Active { job, beats_done: 0 });
+            self.active = Some(Active {
+                job,
+                beats_done: 0,
+                errored: false,
+            });
             return true;
         }
         false
@@ -494,31 +615,55 @@ impl MemoryController {
                 if resp.is_ok() {
                     self.memory.read_into(addr, data.as_mut_slice());
                 }
-                let last = idx + 1 == ar.len;
-                let mut beat = RBeat::new(ar.id, data, last)
-                    .with_tag(ar.tag)
-                    .with_issued_at(ar.issued_at)
-                    .with_uid(ar.uid)
-                    .with_resp(resp);
-                // Observability: when the controller emitted this beat.
-                beat.hopped_at = now;
-                match origin {
-                    Origin::Fpga => {
-                        if let Some(m) = self.monitor.as_mut() {
-                            m.observe_r(now, &beat);
-                        }
-                        port.r.push(now, beat).expect("checked space");
+                // Fabric/ECC fault hooks perturb OK beats only: flips
+                // (possibly caught by ECC) and return-path loss.
+                let mut beat_resp = resp;
+                let mut action = BeatAction::Deliver;
+                if resp.is_ok() {
+                    if let Some(f) = self.fault.as_mut() {
+                        beat_resp = f.mutate_read_beat(data.as_mut_slice());
+                        action = f.beat_action();
                     }
-                    Origin::Ps => {
-                        self.ps_port
-                            .as_mut()
-                            .expect("PS job implies PS port")
-                            .r
-                            .push(now, beat)
-                            .expect("checked space");
+                }
+                if !beat_resp.is_ok() {
+                    active.errored = true;
+                }
+                let last = idx + 1 == ar.len;
+                let uid = ar.uid;
+                if action != BeatAction::Drop {
+                    let mut beat = RBeat::new(ar.id, data, last)
+                        .with_tag(ar.tag)
+                        .with_issued_at(ar.issued_at)
+                        .with_uid(uid)
+                        .with_resp(beat_resp);
+                    // Observability: when the controller emitted this beat.
+                    beat.hopped_at = now;
+                    let dup = (action == BeatAction::Duplicate).then(|| beat.clone());
+                    match origin {
+                        Origin::Fpga => {
+                            if let Some(m) = self.monitor.as_mut() {
+                                m.observe_r(now, &beat);
+                            }
+                            port.r.push(now, beat).expect("checked space");
+                            if let Some(extra) = dup {
+                                if !port.r.is_full() {
+                                    let _ = port.r.push(now, extra);
+                                }
+                            }
+                        }
+                        Origin::Ps => {
+                            let ps = self.ps_port.as_mut().expect("PS job implies PS port");
+                            ps.r.push(now, beat).expect("checked space");
+                            if let Some(extra) = dup {
+                                if !ps.r.is_full() {
+                                    let _ = ps.r.push(now, extra);
+                                }
+                            }
+                        }
                     }
                 }
                 active.beats_done += 1;
+                let errored = active.errored;
                 self.stats.beats_served += 1;
                 self.stats.bytes_served += bytes as u64;
                 self.stats.busy_cycles += 1;
@@ -527,8 +672,8 @@ impl MemoryController {
                         Origin::Fpga => self.stats.reads_served += 1,
                         Origin::Ps => self.stats.ps_reads_served += 1,
                     }
-                    if !resp.is_ok() {
-                        self.stats.error_responses += 1;
+                    if errored {
+                        self.stats.note_error(uid);
                     }
                     self.active = None;
                 }
@@ -565,15 +710,16 @@ impl MemoryController {
                     if self.b_pipe.is_full() {
                         return false;
                     }
+                    let uid = aw.uid;
                     let beat = BBeat::new(aw.id)
                         .with_tag(aw.tag)
                         .with_issued_at(aw.issued_at)
-                        .with_uid(aw.uid)
+                        .with_uid(uid)
                         .with_resp(resp);
                     self.b_pipe.push(now, beat).expect("checked space");
                     self.stats.writes_served += 1;
                     if !resp.is_ok() {
-                        self.stats.error_responses += 1;
+                        self.stats.note_error(uid);
                     }
                     // Recycle the assembly buffer for future writes.
                     if let Some(done) = self.active.take() {
@@ -604,6 +750,7 @@ mod persist_impls {
             w.put_u64(self.row_hits);
             w.put_u64(self.row_misses);
             w.put_u64(self.error_responses);
+            self.error_responses_by_port.save_value(w);
         }
 
         fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
@@ -617,6 +764,23 @@ mod persist_impls {
                 row_hits: r.take_u64()?,
                 row_misses: r.take_u64()?,
                 error_responses: r.take_u64()?,
+                error_responses_by_port: <[u64; ERROR_PORT_SLOTS]>::load_value(r)?,
+            })
+        }
+    }
+
+    impl PersistValue for RegionRemap {
+        fn save_value(&self, w: &mut SnapshotWriter) {
+            w.put_u64(self.lo);
+            w.put_u64(self.hi);
+            w.put_u64(self.spare_base);
+        }
+
+        fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
+            Ok(Self {
+                lo: r.take_u64()?,
+                hi: r.take_u64()?,
+                spare_base: r.take_u64()?,
             })
         }
     }
@@ -678,12 +842,14 @@ mod persist_impls {
         fn save_value(&self, w: &mut SnapshotWriter) {
             self.job.save_value(w);
             w.put_u32(self.beats_done);
+            w.put_bool(self.errored);
         }
 
         fn load_value(r: &mut SnapshotReader<'_>) -> Result<Self, PersistError> {
             Ok(Self {
                 job: Job::load_value(r)?,
                 beats_done: r.take_u32()?,
+                errored: r.take_bool()?,
             })
         }
     }
@@ -691,7 +857,8 @@ mod persist_impls {
     impl MemoryController {
         /// Serializes the controller's full dynamic state: backing
         /// store, service pipeline, assembling writes, response pipe,
-        /// row-buffer state, traces and counters. The spare-assembly
+        /// row-buffer state, traces, counters, the fault injector (with
+        /// its RNG position) and quarantine remaps. The spare-assembly
         /// recycling pool holds only emptied buffers and is not part of
         /// the observable state, so it is skipped.
         pub fn save_state(&self, w: &mut SnapshotWriter) {
@@ -709,6 +876,8 @@ mod persist_impls {
             self.aw_trace.save_value(w);
             self.outstanding.save_value(w);
             w.put_bool(self.prefer_write);
+            self.fault.save_value(w);
+            self.remaps.save_value(w);
         }
 
         /// Restores state saved by [`Self::save_state`] into a
@@ -730,6 +899,8 @@ mod persist_impls {
             let aw_trace = Option::<Vec<(Cycle, u64)>>::load_value(r)?;
             let outstanding = Gauge::load_value(r)?;
             let prefer_write = r.take_bool()?;
+            let fault = Option::<FaultInjector>::load_value(r)?;
+            let remaps = Vec::<RegionRemap>::load_value(r)?;
             let banks = self.config.row_policy.map_or(0, |p| p.banks as usize);
             if open_rows.len() != banks {
                 return Err(PersistError::ShapeMismatch("memory controller bank count"));
@@ -749,6 +920,8 @@ mod persist_impls {
             self.aw_trace = aw_trace;
             self.outstanding = outstanding;
             self.prefer_write = prefer_write;
+            self.fault = fault;
+            self.remaps = remaps;
             Ok(())
         }
     }
@@ -1175,6 +1348,284 @@ mod tests {
             .restore_state(&mut SnapshotReader::new(&bytes))
             .unwrap_err();
         assert!(matches!(err, PersistError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn spurious_slverr_reads_are_zeroed_and_counted() {
+        let mut ctrl = MemoryController::new(MemConfig::ideal());
+        ctrl.memory_mut().fill_pattern(0, 256);
+        ctrl.attach_fault_injector(MemFaultConfig::new(5).spurious_slverr(1.0));
+        let mut port = AxiPort::default();
+        port.ar.push(0, ArBeat::new(0, 4, BurstSize::B4)).unwrap();
+        run(&mut ctrl, &mut port, 30);
+        let beats = drain_r(&mut port, 30);
+        assert_eq!(beats.len(), 4, "error reads still stream every beat");
+        for beat in &beats {
+            assert_eq!(beat.resp, axi::types::Resp::SlvErr);
+            assert_eq!(beat.data, vec![0; 4], "no backing-store data on SLVERR");
+        }
+        assert_eq!(ctrl.stats().error_responses, 1);
+        assert_eq!(ctrl.fault_stats().unwrap().spurious_errors, 1);
+    }
+
+    #[test]
+    fn spurious_slverr_writes_do_not_commit_so_retry_is_idempotent() {
+        let mut ctrl = MemoryController::new(MemConfig::ideal());
+        ctrl.memory_mut().write(0x100, &[0xAA; 4]);
+        ctrl.attach_fault_injector(MemFaultConfig::new(5).spurious_slverr(1.0));
+        let mut port = AxiPort::default();
+        port.aw
+            .push(0, AwBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        port.w.push(0, WBeat::new(vec![1; 4], true)).unwrap();
+        run(&mut ctrl, &mut port, 30);
+        let b = port.b.pop_ready(30).expect("B response issued");
+        assert_eq!(b.resp, axi::types::Resp::SlvErr);
+        assert_eq!(ctrl.memory().read(0x100, 4), vec![0xAA; 4], "no commit");
+        assert_eq!(ctrl.stats().error_responses, 1);
+    }
+
+    #[test]
+    fn ecc_corrects_single_flips_end_to_end() {
+        let mut ctrl = MemoryController::new(MemConfig::ideal());
+        ctrl.memory_mut().fill_pattern(0, 256);
+        ctrl.attach_fault_injector(MemFaultConfig::new(9).flip_single(1.0).ecc(true));
+        let mut port = AxiPort::default();
+        port.ar.push(0, ArBeat::new(0, 8, BurstSize::B16)).unwrap();
+        run(&mut ctrl, &mut port, 40);
+        let beats = drain_r(&mut port, 40);
+        assert_eq!(beats.len(), 8);
+        for (i, beat) in beats.iter().enumerate() {
+            assert_eq!(beat.resp, axi::types::Resp::Okay);
+            let expect: Vec<u8> = (0..16)
+                .map(|b| crate::backing::pattern_byte(i as u64 * 16 + b))
+                .collect();
+            assert_eq!(beat.data, expect, "beat {i} delivered corrected data");
+        }
+        let fs = ctrl.fault_stats().unwrap();
+        assert_eq!(fs.corrected, 8);
+        assert_eq!(fs.silent_flips(), 0);
+        assert_eq!(ctrl.stats().error_responses, 0);
+    }
+
+    #[test]
+    fn ecc_double_flip_fails_the_beat_with_slverr() {
+        let mut ctrl = MemoryController::new(MemConfig::ideal());
+        ctrl.memory_mut().fill_pattern(0, 256);
+        ctrl.attach_fault_injector(MemFaultConfig::new(9).flip_double(1.0).ecc(true));
+        let mut port = AxiPort::default();
+        port.ar.push(0, ArBeat::new(0, 4, BurstSize::B16)).unwrap();
+        run(&mut ctrl, &mut port, 30);
+        let beats = drain_r(&mut port, 30);
+        assert_eq!(beats.len(), 4);
+        for beat in &beats {
+            assert_eq!(beat.resp, axi::types::Resp::SlvErr, "uncorrectable beat");
+        }
+        let fs = ctrl.fault_stats().unwrap();
+        assert_eq!(fs.uncorrectable, 4);
+        assert_eq!(fs.silent_flips(), 0);
+        // One burst, one error response (even though the acceptance-time
+        // response was OK — the error arose mid-burst in the ECC model).
+        assert_eq!(ctrl.stats().error_responses, 1);
+    }
+
+    #[test]
+    fn flips_without_ecc_corrupt_silently() {
+        let mut ctrl = MemoryController::new(MemConfig::ideal());
+        ctrl.memory_mut().fill_pattern(0, 256);
+        ctrl.attach_fault_injector(MemFaultConfig::new(13).flip_single(1.0));
+        let mut port = AxiPort::default();
+        port.ar.push(0, ArBeat::new(0, 4, BurstSize::B16)).unwrap();
+        run(&mut ctrl, &mut port, 30);
+        let beats = drain_r(&mut port, 30);
+        assert_eq!(beats.len(), 4);
+        let mut wrong = 0;
+        for (i, beat) in beats.iter().enumerate() {
+            assert_eq!(beat.resp, axi::types::Resp::Okay, "nothing announced");
+            let expect: Vec<u8> = (0..16)
+                .map(|b| crate::backing::pattern_byte(i as u64 * 16 + b))
+                .collect();
+            if beat.data.as_slice() != expect.as_slice() {
+                wrong += 1;
+            }
+        }
+        assert_eq!(wrong, 4, "every beat silently corrupted");
+        assert_eq!(ctrl.fault_stats().unwrap().silent_flips(), 4);
+        assert_eq!(ctrl.stats().error_responses, 0, "and nothing counted");
+    }
+
+    #[test]
+    fn dropped_beats_never_reach_the_port() {
+        let mut ctrl = MemoryController::new(MemConfig::ideal());
+        ctrl.attach_fault_injector(MemFaultConfig::new(21).drop_r(1.0));
+        let mut port = AxiPort::default();
+        port.ar.push(0, ArBeat::new(0, 4, BurstSize::B4)).unwrap();
+        run(&mut ctrl, &mut port, 40);
+        assert!(drain_r(&mut port, 40).is_empty(), "all beats lost");
+        // The controller itself completed the burst and is reusable.
+        assert_eq!(ctrl.stats().reads_served, 1);
+        assert_eq!(ctrl.fault_stats().unwrap().dropped_beats, 4);
+        assert!(ctrl.is_idle());
+    }
+
+    #[test]
+    fn duplicated_beats_arrive_twice() {
+        let mut ctrl = MemoryController::new(MemConfig::ideal());
+        ctrl.attach_fault_injector(MemFaultConfig::new(21).dup_r(1.0));
+        let mut port = AxiPort::default();
+        port.ar.push(0, ArBeat::new(0, 2, BurstSize::B4)).unwrap();
+        let mut got = 0;
+        for now in 0..40 {
+            ctrl.tick(now, &mut port);
+            got += drain_r(&mut port, now).len();
+        }
+        assert_eq!(got, 4, "every beat delivered twice");
+        assert_eq!(ctrl.fault_stats().unwrap().duplicated_beats, 2);
+    }
+
+    #[test]
+    fn error_attribution_follows_the_uid_port_salt() {
+        let mut ctrl = MemoryController::new(MemConfig::ideal().slverr_range(0x100, 0x200));
+        let mut port = AxiPort::default();
+        // uid salted as port 2 (salt = port + 1).
+        port.ar
+            .push(
+                0,
+                ArBeat::new(0x100, 1, BurstSize::B4).with_uid((1 << 10) | 3),
+            )
+            .unwrap();
+        // Untagged read into the same fault region.
+        port.ar
+            .push(0, ArBeat::new(0x140, 1, BurstSize::B4))
+            .unwrap();
+        run(&mut ctrl, &mut port, 40);
+        drain_r(&mut port, 40);
+        let stats = ctrl.stats();
+        assert_eq!(stats.error_responses, 2);
+        assert_eq!(stats.errors_for_port(2), 1);
+        assert_eq!(stats.untagged_errors(), 1);
+        assert_eq!(stats.errors_for_port(5), 0);
+    }
+
+    #[test]
+    fn error_counters_saturate_instead_of_wrapping() {
+        let mut stats = MemStats {
+            error_responses: u64::MAX,
+            ..MemStats::default()
+        };
+        stats.error_responses_by_port[0] = u64::MAX;
+        stats.note_error(0);
+        assert_eq!(stats.error_responses, u64::MAX, "aggregate pinned");
+        assert_eq!(stats.untagged_errors(), u64::MAX, "per-port pinned");
+    }
+
+    #[test]
+    fn quarantine_remap_redirects_bursts_to_the_spare_region() {
+        // [0x100, 0x200) is a hard-error region; the spare lives at
+        // 0x10_0000.
+        let mut ctrl = MemoryController::new(MemConfig::ideal().slverr_range(0x100, 0x200));
+        let mut port = AxiPort::default();
+        port.aw
+            .push(0, AwBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        port.w.push(0, WBeat::new(vec![7; 4], true)).unwrap();
+        run(&mut ctrl, &mut port, 20);
+        assert_eq!(
+            port.b.pop_ready(20).unwrap().resp,
+            axi::types::Resp::SlvErr,
+            "hard error before quarantine"
+        );
+        ctrl.quarantine_remap(RegionRemap {
+            lo: 0x100,
+            hi: 0x200,
+            spare_base: 0x10_0000,
+        });
+        // The retried write now lands in the spare region and succeeds.
+        port.aw
+            .push(20, AwBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        port.w.push(20, WBeat::new(vec![7; 4], true)).unwrap();
+        for now in 20..40 {
+            ctrl.tick(now, &mut port);
+        }
+        assert_eq!(port.b.pop_ready(40).unwrap().resp, axi::types::Resp::Okay);
+        // Reading back through the same logical address sees the data.
+        port.ar
+            .push(40, ArBeat::new(0x100, 1, BurstSize::B4))
+            .unwrap();
+        for now in 40..60 {
+            ctrl.tick(now, &mut port);
+        }
+        let beats = drain_r(&mut port, 60);
+        assert_eq!(beats[0].resp, axi::types::Resp::Okay);
+        assert_eq!(beats[0].data, vec![7; 4]);
+        // Physically the bytes live in the spare region.
+        assert_eq!(ctrl.memory().read(0x10_0000, 4), vec![7; 4]);
+        assert_eq!(ctrl.memory().read(0x100, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn fault_and_remap_state_survive_snapshots() {
+        use sim::persist::{PersistValue, SnapshotReader, SnapshotWriter};
+        let cfg = MemConfig::zcu102();
+        let build = || {
+            let mut ctrl = MemoryController::new(cfg);
+            ctrl.memory_mut().fill_pattern(0, 4096);
+            ctrl
+        };
+        let mut ctrl = build();
+        ctrl.attach_fault_injector(
+            MemFaultConfig::new(31)
+                .spurious_slverr(0.3)
+                .flip_single(0.2)
+                .ecc(true),
+        );
+        ctrl.quarantine_remap(RegionRemap {
+            lo: 0x800,
+            hi: 0xC00,
+            spare_base: 0x20_0000,
+        });
+        let mut port = AxiPort::default();
+        for i in 0..6u64 {
+            port.ar
+                .push(0, ArBeat::new(i * 256, 4, BurstSize::B16))
+                .unwrap();
+        }
+        for now in 0..40 {
+            ctrl.tick(now, &mut port);
+        }
+        let mut w = SnapshotWriter::new();
+        ctrl.save_state(&mut w);
+        port.save_value(&mut w);
+        let bytes = w.into_bytes();
+
+        // The restored controller was never armed by API — the injector
+        // and remaps arrive purely through the snapshot.
+        let mut restored = build();
+        let mut r = SnapshotReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        let mut restored_port = AxiPort::load_value(&mut r).unwrap();
+        assert!(restored.fault_injector().is_some());
+        assert_eq!(restored.remaps().len(), 1);
+
+        let drive = |ctrl: &mut MemoryController, port: &mut AxiPort| {
+            for now in 40..200u64 {
+                if now == 50 {
+                    let _ = port.ar.push(now, ArBeat::new(0x900, 4, BurstSize::B16));
+                }
+                ctrl.tick(now, port);
+                while port.r.pop_ready(now).is_some() {}
+            }
+            let mut w = SnapshotWriter::new();
+            ctrl.save_state(&mut w);
+            port.save_value(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(
+            drive(&mut ctrl, &mut port),
+            drive(&mut restored, &mut restored_port),
+            "fault draws diverged after restore"
+        );
     }
 
     #[test]

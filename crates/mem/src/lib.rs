@@ -39,9 +39,11 @@
 pub mod backing;
 pub mod config;
 pub mod controller;
+pub mod fault;
 pub mod ps;
 
 pub use backing::SparseMemory;
 pub use config::{MemConfig, RowPolicy};
-pub use controller::{MemStats, MemoryController};
+pub use controller::{MemStats, MemoryController, RegionRemap, ERROR_PORT_SLOTS};
+pub use fault::{FaultInjector, FaultStats, MemFaultConfig};
 pub use ps::PsCpu;

@@ -36,20 +36,32 @@
 //! programs per-port credit regulators over AXI-Lite, and judges the
 //! run against the *tightened* victim bound the regulators buy (see
 //! [`QosOutcome::invariant_violations`]).
+//!
+//! A fourth family targets the *data path* itself: the fabric-fault
+//! campaigns ([`run_fabric_flat_campaign`], [`run_fabric_tree_campaign`])
+//! arm the memory controller's seeded fault injector (or a hard-error
+//! address region), put a [`ScoreboardMaster`] data-integrity oracle on
+//! one port, and judge the run against a **zero-silent-corruption**
+//! invariant on top of the usual victim bounds, scheduler equivalence
+//! and — for hard faults — hypervisor-driven region quarantine (see
+//! [`FabricOutcome::invariant_violations`]).
 
 use axi::lite::LiteBus;
+use axi::retry::RetryPolicy;
 use axi::types::{BurstSize, PortId};
 use axi::{AxiInterconnect, AxiPort};
 use ha::dma::{Dma, DmaConfig};
 use ha::fault::{RogueReader, RunawayMaster, StalledWriter, WlastViolator};
+use ha::scoreboard::{ScoreboardMaster, ScoreboardStats};
 use ha::traffic::PeriodicReader;
 use ha::Accelerator;
 use hyperconnect::analysis::ServiceModel;
 use hyperconnect::{HcConfig, HyperConnect};
 use hypervisor::{
-    HcDriver, Hypervisor, MonitorPolicy, RecoveryPolicy, RecoveryState, WatchdogPolicy,
+    HcDriver, Hypervisor, IntegrityPolicy, MonitorPolicy, RecoveryPolicy, RecoveryState,
+    WatchdogPolicy,
 };
-use mem::{MemConfig, MemoryController};
+use mem::{FaultStats, MemConfig, MemFaultConfig, MemoryController, RegionRemap};
 use sim::{Cycle, SimRng};
 
 use crate::{SchedulerMode, SocSystem, TopologyBuilder};
@@ -964,6 +976,689 @@ pub fn run_noisy_neighbor_campaign(cfg: &ChaosConfig) -> QosOutcome {
         throttle_events,
         monitor_violations: mon.violations().len(),
         end_cycle: sys.now(),
+        rng_position: sc.rng_position,
+    }
+}
+
+/// Memory window the fabric-fault oracle exercises. Burst-aligned
+/// (16 beats x 16 bytes = 256-byte bursts), decodable, and disjoint
+/// from every victim region.
+pub(crate) const ORACLE_BASE: u64 = 0x2000_0000;
+/// Span of the oracle window (64 burst slots).
+pub(crate) const ORACLE_SPAN: u64 = 64 * 256;
+/// Spare region a hard-error quarantine redirects the window onto:
+/// decodable, never written by anything else, and therefore zeroed —
+/// matching the shadow wipe [`ScoreboardMaster::note_remap`] performs.
+pub(crate) const ORACLE_SPARE: u64 = 0x2800_0000;
+/// Write+read round trips the oracle performs per campaign.
+pub(crate) const ORACLE_JOBS: u64 = 40;
+
+/// The eight seeds the CI integrity-smoke job pins for the fabric-fault
+/// family. Chosen so the set covers both transient (injector-driven)
+/// and hard (error-region + quarantine) scenarios in the flat and tree
+/// shapes, and reproduces identically on every machine.
+pub const FABRIC_PINNED_SEEDS: [u64; 8] = [2, 4, 9, 11, 13, 17, 28, 31];
+
+/// Everything the fabric-fault scenario derives from its seed.
+pub(crate) struct FabricScenario {
+    pub(crate) ports: usize,
+    pub(crate) oracle_port: usize,
+    /// `true`: a hard-error region under the oracle window (quarantine
+    /// path); `false`: transient injector faults (retry path).
+    pub(crate) hard: bool,
+    pub(crate) poll_interval: u64,
+    pub(crate) victim_periods: Vec<u64>,
+    /// Spurious-SLVERR probability per burst (transient mode).
+    pub(crate) slverr_prob: f64,
+    /// Single-bit payload-flip probability per read beat (transient
+    /// mode; the ECC model corrects every one of them).
+    pub(crate) flip_prob: f64,
+    /// Seed of the memory-side fault injector's own RNG stream.
+    pub(crate) mem_seed: u64,
+    pub(crate) retry: RetryPolicy,
+    /// Hard-error budget the hypervisor integrity policy tolerates
+    /// before commanding quarantine.
+    pub(crate) errors_allowed: u32,
+    /// RNG stream position after the derivation (see [`SimRng::draws`]).
+    pub(crate) rng_position: u64,
+}
+
+/// Draws the fabric-fault scenario. Independent of [`derive_scenario`]
+/// and [`derive_qos_scenario`] — the other families' pinned-seed
+/// fingerprints are untouched — but the same rule applies: the draw
+/// order is fixed, and drifting it silently changes what every pinned
+/// seed means.
+pub(crate) fn derive_fabric_scenario(
+    seed: u64,
+    ports_lo: usize,
+    ports_hi: usize,
+) -> FabricScenario {
+    let mut rng = SimRng::seed(seed);
+    let ports = rng.range_usize(ports_lo, ports_hi);
+    let oracle_port = rng.index(ports);
+    let hard = rng.chance(0.4);
+    let poll_interval = POLL_CHOICES[rng.index(POLL_CHOICES.len())];
+    let victim_periods = (0..ports).map(|_| rng.range_u64(32, 64)).collect();
+    let slverr_prob = rng.range_u64(40, 150) as f64 / 1000.0;
+    let flip_prob = rng.range_u64(20, 100) as f64 / 1000.0;
+    let mem_seed = rng.range_u64(1, 1 << 48);
+    let retry = RetryPolicy {
+        max_attempts: rng.range_u64(6, 10) as u32,
+        backoff_base: rng.range_u64(1, 4),
+        backoff_cap: rng.range_u64(32, 128),
+    };
+    let errors_allowed = rng.range_u64(2, 6) as u32;
+    FabricScenario {
+        ports,
+        oracle_port,
+        hard,
+        poll_interval,
+        victim_periods,
+        slverr_prob,
+        flip_prob,
+        mem_seed,
+        retry,
+        errors_allowed,
+        rng_position: rng.draws(),
+    }
+}
+
+/// The RNG stream position a fabric-fault derivation for `seed` ends at
+/// — the value fabric campaign JSON records as `rng_position`.
+pub fn fabric_scenario_rng_position(seed: u64) -> u64 {
+    derive_fabric_scenario(seed, 3, 4).rng_position
+}
+
+/// The full, deterministic record of one fabric-fault campaign.
+#[derive(Debug, Clone)]
+pub struct FabricOutcome {
+    /// Scenario seed.
+    pub seed: u64,
+    /// `"flat"` or `"tree"`.
+    pub scenario: &'static str,
+    /// Scheduler the run used (excluded from the fingerprint).
+    pub scheduler: SchedulerMode,
+    /// Slave ports on the faulted interconnect.
+    pub ports: usize,
+    /// Port hosting the data-integrity oracle.
+    pub oracle_port: usize,
+    /// Whether the fault was a hard-error region (vs transient).
+    pub hard: bool,
+    /// Hypervisor poll cadence in cycles.
+    pub poll_interval: u64,
+    /// Retry policy the oracle ran under.
+    pub retry: RetryPolicy,
+    /// Hard-error budget of the integrity policy (hard mode).
+    pub errors_allowed: u32,
+    /// Scoreboard verdict counters at the end of the run.
+    pub oracle: ScoreboardStats,
+    /// Whether the oracle finished its whole job list.
+    pub oracle_done: bool,
+    /// Closed-form worst-case completion bound armed for the oracle's
+    /// observed per-op fault maximum (see
+    /// [`ServiceModel::retry_completion_bound`]; the `+1` fault slot
+    /// covers the op's two phases, write and read).
+    pub completion_bound: u64,
+    /// Quarantine actuations the hypervisor commanded.
+    pub quarantines: u64,
+    /// Cycle of the first integrity event, when one fired.
+    pub quarantine_cycle: Option<u64>,
+    /// `ERR_TOTAL` the first integrity event reported, when one fired.
+    pub quarantine_err_total: Option<u32>,
+    /// Memory-side injector counters (zeroed in hard mode — the region
+    /// itself is the fault, no injector is armed).
+    pub injector: FaultStats,
+    /// Error responses the memory controller attributed to any port.
+    pub mem_errors: u64,
+    /// Closed-form victim read-latency bound, when one applies.
+    pub victim_bound: Option<u64>,
+    /// Worst read latency any victim observed.
+    pub victim_worst: u64,
+    /// Jobs each victim completed (insertion order, oracle port skipped).
+    pub victim_jobs: Vec<u64>,
+    /// Cycle the run ended at.
+    pub end_cycle: u64,
+    /// RNG stream position after the scenario derivation.
+    pub rng_position: u64,
+}
+
+impl FabricOutcome {
+    /// A scheduler-independent digest of the run: the same seed must
+    /// produce byte-identical fingerprints under naive, fast-forward
+    /// and sharded scheduling.
+    pub fn fingerprint(&self) -> String {
+        let o = &self.oracle;
+        format!(
+            "seed={} rng_pos={} scenario={} ports={} oracle_port={} hard={} poll={} \
+             retry={}/{}/{} allowed={} verified={} retries={} announced={} silent={} \
+             aborted={} worst={} faults={} after_remap={} done={} bound={} \
+             quarantines={} q_cycle={:?} q_err={:?} corrected={} uncorrectable={} \
+             flips={} spurious={} mem_errors={} victim_worst={} jobs={:?} end={}",
+            self.seed,
+            self.rng_position,
+            self.scenario,
+            self.ports,
+            self.oracle_port,
+            self.hard,
+            self.poll_interval,
+            self.retry.max_attempts,
+            self.retry.backoff_base,
+            self.retry.backoff_cap,
+            self.errors_allowed,
+            o.bursts_verified,
+            o.retries,
+            o.announced_errors,
+            o.silent_corruptions,
+            o.aborted_ops,
+            o.worst_completion,
+            o.worst_faults_per_op,
+            o.verified_after_remap,
+            self.oracle_done,
+            self.completion_bound,
+            self.quarantines,
+            self.quarantine_cycle,
+            self.quarantine_err_total,
+            self.injector.corrected,
+            self.injector.uncorrectable,
+            self.injector.single_flips,
+            self.injector.spurious_errors,
+            self.mem_errors,
+            self.victim_worst,
+            self.victim_jobs,
+            self.end_cycle,
+        )
+    }
+
+    /// Judges the campaign. An empty vector means it passed; each entry
+    /// describes one violated invariant:
+    ///
+    /// 1. **Zero silent corruption** — every delivered-vs-expected
+    ///    mismatch must have been announced via an error response;
+    /// 2. **Victims stay bounded** — no well-behaved port exceeds its
+    ///    closed-form read bound (when one applies) and every victim
+    ///    makes progress;
+    /// 3. **Retry meets its bound** — the oracle's worst observed op
+    ///    completion stays within the derived worst-case completion
+    ///    bound, and in transient mode no op is ever abandoned;
+    /// 4. **Hard faults end in quarantine** — the hypervisor commanded
+    ///    a region quarantine and verified round trips resumed on the
+    ///    spare region afterwards.
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let o = &self.oracle;
+        if o.silent_corruptions != 0 {
+            v.push(format!(
+                "{} silent corruptions reached the oracle unannounced",
+                o.silent_corruptions
+            ));
+        }
+        if let Some(bound) = self.victim_bound {
+            if self.victim_worst > bound {
+                v.push(format!(
+                    "victim worst-case read latency {} exceeds analysis bound {}",
+                    self.victim_worst, bound
+                ));
+            }
+        }
+        for (i, &jobs) in self.victim_jobs.iter().enumerate() {
+            if jobs == 0 {
+                v.push(format!("victim #{i} made no progress"));
+            }
+        }
+        if o.worst_completion > self.completion_bound {
+            v.push(format!(
+                "oracle op completion {} exceeds derived bound {}",
+                o.worst_completion, self.completion_bound
+            ));
+        }
+        if !self.oracle_done {
+            v.push("oracle never finished its job list".to_owned());
+        }
+        if self.hard {
+            if self.quarantines == 0 {
+                v.push("hard fault never triggered a quarantine".to_owned());
+            }
+            if o.verified_after_remap == 0 {
+                v.push("no verified round trips after the quarantine remap".to_owned());
+            }
+            if o.announced_errors == 0 {
+                v.push("hard-error region produced no announced errors".to_owned());
+            }
+        } else {
+            if o.aborted_ops != 0 {
+                v.push(format!(
+                    "{} ops abandoned under transient faults (policy must absorb them)",
+                    o.aborted_ops
+                ));
+            }
+            if o.bursts_verified == 0 {
+                v.push("transient campaign verified no bursts".to_owned());
+            }
+            if self.quarantines != 0 {
+                v.push("transient campaign must not quarantine".to_owned());
+            }
+        }
+        v
+    }
+
+    /// One JSON object describing the run, for the CI artifact.
+    pub fn to_json(&self) -> String {
+        let o = &self.oracle;
+        let violations: Vec<String> = self
+            .invariant_violations()
+            .iter()
+            .map(|s| format!("\"{}\"", s.replace('"', "'")))
+            .collect();
+        let scheduler = match self.scheduler {
+            SchedulerMode::FastForward => "fast-forward",
+            SchedulerMode::Naive => "naive",
+            SchedulerMode::Sharded { .. } => "sharded",
+        };
+        format!(
+            "{{\"schema\":\"axi-hyperconnect/fabric-run/v1\",\"seed\":{},\
+             \"rng_position\":{},\"scenario\":\"{}\",\"scheduler\":\"{}\",\
+             \"ports\":{},\"oracle_port\":{},\"hard\":{},\"poll_interval\":{},\
+             \"retry\":{{\"max_attempts\":{},\"backoff_base\":{},\"backoff_cap\":{}}},\
+             \"errors_allowed\":{},\
+             \"oracle\":{{\"bursts_verified\":{},\"retries\":{},\
+             \"announced_errors\":{},\"silent_corruptions\":{},\"aborted_ops\":{},\
+             \"worst_completion\":{},\"worst_faults_per_op\":{},\
+             \"verified_after_remap\":{},\"done\":{}}},\
+             \"completion_bound\":{},\"quarantines\":{},\"quarantine_cycle\":{},\
+             \"quarantine_err_total\":{},\
+             \"ecc\":{{\"corrected\":{},\"uncorrectable\":{},\"single_flips\":{},\
+             \"double_flips\":{},\"spurious_errors\":{}}},\
+             \"mem_errors\":{},\"victim_bound\":{},\"victim_worst\":{},\
+             \"victim_jobs\":{:?},\"end_cycle\":{},\
+             \"invariant_violations\":[{}]}}",
+            self.seed,
+            self.rng_position,
+            self.scenario,
+            scheduler,
+            self.ports,
+            self.oracle_port,
+            self.hard,
+            self.poll_interval,
+            self.retry.max_attempts,
+            self.retry.backoff_base,
+            self.retry.backoff_cap,
+            self.errors_allowed,
+            o.bursts_verified,
+            o.retries,
+            o.announced_errors,
+            o.silent_corruptions,
+            o.aborted_ops,
+            o.worst_completion,
+            o.worst_faults_per_op,
+            o.verified_after_remap,
+            self.oracle_done,
+            self.completion_bound,
+            self.quarantines,
+            self.quarantine_cycle
+                .map_or_else(|| "null".to_owned(), |c| c.to_string()),
+            self.quarantine_err_total
+                .map_or_else(|| "null".to_owned(), |e| e.to_string()),
+            self.injector.corrected,
+            self.injector.uncorrectable,
+            self.injector.single_flips,
+            self.injector.double_flips,
+            self.injector.spurious_errors,
+            self.mem_errors,
+            self.victim_bound
+                .map_or_else(|| "null".to_owned(), |b| b.to_string()),
+            self.victim_worst,
+            self.victim_jobs,
+            self.end_cycle,
+            violations.join(","),
+        )
+    }
+}
+
+/// Aggregates fabric-fault outcomes into the JSON artifact the CI
+/// integrity-smoke job uploads (same `chaos-campaign/v1` envelope as
+/// the recovery campaigns, different run schema inside).
+pub fn fabric_campaign_summary_json(outcomes: &[FabricOutcome]) -> String {
+    let total: usize = outcomes
+        .iter()
+        .map(|o| o.invariant_violations().len())
+        .sum();
+    let runs: Vec<String> = outcomes.iter().map(FabricOutcome::to_json).collect();
+    format!(
+        "{{\"schema\":\"axi-hyperconnect/chaos-campaign/v1\",\"campaigns\":{},\
+         \"invariant_violations\":{},\"runs\":[{}]}}",
+        outcomes.len(),
+        total,
+        runs.join(",")
+    )
+}
+
+/// The memory configuration a fabric scenario uses: hard mode carves
+/// the oracle window out as a slave-error region; transient mode leaves
+/// the map clean (the injector provides the faults).
+fn fabric_mem(sc: &FabricScenario) -> MemoryController {
+    let mut cfg = MemConfig::zcu102().decode_limit(DECODE_LIMIT);
+    if sc.hard {
+        cfg = cfg.slverr_range(ORACLE_BASE, ORACLE_BASE + ORACLE_SPAN);
+    }
+    let mut ctrl = MemoryController::new(cfg);
+    if !sc.hard {
+        ctrl.attach_fault_injector(
+            MemFaultConfig::new(sc.mem_seed)
+                .spurious_slverr(sc.slverr_prob)
+                .flip_single(sc.flip_prob)
+                .ecc(true),
+        );
+    }
+    ctrl
+}
+
+/// The data-integrity oracle for a fabric scenario.
+fn fabric_oracle(sc: &FabricScenario, seed: u64) -> ScoreboardMaster {
+    ScoreboardMaster::new(
+        "fabric_oracle",
+        ORACLE_BASE,
+        ORACLE_SPAN,
+        16,
+        BurstSize::B16,
+        seed,
+    )
+    .policy(sc.retry)
+    .jobs(ORACLE_JOBS)
+    .gap(sc.victim_periods[sc.oracle_port])
+}
+
+/// Downcasts the accelerator at `oracle_port` back to the concrete
+/// [`ScoreboardMaster`] (the campaign placed it there).
+fn as_scoreboard(acc: &mut dyn Accelerator) -> &mut ScoreboardMaster {
+    (acc as &mut dyn std::any::Any)
+        .downcast_mut::<ScoreboardMaster>()
+        .expect("oracle port hosts the scoreboard")
+}
+
+/// Runs one fabric-fault campaign over the flat Fig. 1 shape: 3–4
+/// masters on one HyperConnect — a [`ScoreboardMaster`] oracle on the
+/// seed's port, periodic victims everywhere else — with the memory
+/// controller either injecting transient faults or exposing a hard
+/// SLVERR region under the oracle's window. In hard mode the hypervisor
+/// watches the oracle port's `ERR_TOTAL` health register and, past the
+/// policy budget, quarantines the sick region onto a zeroed spare
+/// ([`MemoryController::quarantine_remap`]) and tells the oracle
+/// ([`ScoreboardMaster::note_remap`]).
+pub fn run_fabric_flat_campaign(cfg: &ChaosConfig) -> FabricOutcome {
+    let sc = derive_fabric_scenario(cfg.seed, 3, 4);
+    let hc = HyperConnect::new(HcConfig::new(sc.ports));
+    let first_word = MemConfig::zcu102().first_word_latency;
+    let model = ServiceModel::hyperconnect(sc.ports, 16, first_word).max_outstanding(4);
+    let mut bus = LiteBus::new();
+    bus.map(HC_BASE, 0x1000, hc.regs().clone());
+    let mut hv = Hypervisor::new(bus, HC_BASE).expect("valid HyperConnect regfile");
+    hv.hc().set_period(PERIOD).expect("period register");
+
+    let mut sys = SocSystem::new(hc, fabric_mem(&sc));
+    sys.set_scheduler(cfg.scheduler);
+    for p in 0..sc.ports {
+        if p == sc.oracle_port {
+            sys.add_accelerator(Box::new(fabric_oracle(&sc, cfg.seed)))
+                .expect("port available");
+        } else {
+            sys.add_accelerator(Box::new(PeriodicReader::new(
+                format!("victim{p}"),
+                0x1000_0000 + p as u64 * 0x0400_0000,
+                1 << 20,
+                16,
+                BurstSize::B16,
+                sc.victim_periods[p],
+            )))
+            .expect("port available");
+        }
+    }
+    if sc.hard {
+        hv.set_integrity_policy(
+            PortId(sc.oracle_port),
+            IntegrityPolicy {
+                errors_allowed: sc.errors_allowed,
+            },
+        )
+        .expect("AXI-Lite baseline read");
+    }
+
+    let oracle_port = sc.oracle_port;
+    let poll = sc.poll_interval;
+    let mut quarantines = 0u64;
+    let mut quarantine_cycle = None;
+    let mut quarantine_err_total = None;
+    sys.run_for_with(cfg.cycles, |now, sys| {
+        if now % poll != 0 {
+            return;
+        }
+        for ev in hv.poll_integrity().expect("AXI-Lite poll") {
+            // Hypervisor decision: the region under the erroring port
+            // is sick — remap it onto the spare and tell the oracle.
+            sys.memory_mut().quarantine_remap(RegionRemap {
+                lo: ORACLE_BASE,
+                hi: ORACLE_BASE + ORACLE_SPAN,
+                spare_base: ORACLE_SPARE,
+            });
+            as_scoreboard(sys.accelerator_mut(oracle_port).expect("oracle port"))
+                .note_remap(ORACLE_BASE, ORACLE_BASE + ORACLE_SPAN);
+            quarantines += 1;
+            quarantine_cycle.get_or_insert(now);
+            quarantine_err_total.get_or_insert(ev.err_total);
+        }
+    });
+
+    let mut victim_worst = 0u64;
+    let mut victim_jobs = Vec::new();
+    for p in 0..sc.ports {
+        if p == oracle_port {
+            continue;
+        }
+        victim_worst = victim_worst.max(sys.interconnect_ref().read_latency(p).max().unwrap_or(0));
+        victim_jobs.push(sys.accelerator(p).expect("victim port").jobs_completed());
+    }
+    let (oracle, oracle_done) = {
+        let acc = sys.accelerator(oracle_port).expect("oracle port");
+        let sb = acc
+            .as_any()
+            .downcast_ref::<ScoreboardMaster>()
+            .expect("oracle port hosts the scoreboard");
+        (sb.stats(), sb.is_done())
+    };
+    let mem_stats = sys.memory().stats();
+    let mem_errors = (0..sc.ports)
+        .map(|p| mem_stats.errors_for_port(p))
+        .sum::<u64>()
+        + mem_stats.untagged_errors();
+    FabricOutcome {
+        seed: cfg.seed,
+        scenario: "flat",
+        scheduler: cfg.scheduler,
+        ports: sc.ports,
+        oracle_port,
+        hard: sc.hard,
+        poll_interval: poll,
+        retry: sc.retry,
+        errors_allowed: sc.errors_allowed,
+        completion_bound: model.retry_completion_bound(&sc.retry, oracle.worst_faults_per_op + 1),
+        oracle,
+        oracle_done,
+        quarantines,
+        quarantine_cycle,
+        quarantine_err_total,
+        injector: sys.memory().fault_stats().unwrap_or_default(),
+        mem_errors,
+        victim_bound: Some(model.worst_case_read_latency()),
+        victim_worst,
+        victim_jobs,
+        end_cycle: sys.now(),
+        rng_position: sc.rng_position,
+    }
+}
+
+/// Runs one fabric-fault campaign over the two-level tree: a 2-port
+/// child HyperConnect (oracle + one victim) cascaded into a 2-port
+/// parent that also serves a second victim, with the fault at the
+/// *memory* behind the parent and the hypervisor watching the child's
+/// register file. Error responses traverse the cascade bridge, so the
+/// child-port `ERR_TOTAL` still attributes them and the quarantine path
+/// is identical to the flat shape. No closed-form victim bound is
+/// asserted (the cascade bound is workload-shaped); victims must still
+/// progress and the integrity invariants all hold.
+pub fn run_fabric_tree_campaign(cfg: &ChaosConfig) -> FabricOutcome {
+    let sc = derive_fabric_scenario(cfg.seed, 2, 2);
+    let child_hc = HyperConnect::new(HcConfig::new(2));
+    let first_word = MemConfig::zcu102().first_word_latency;
+    // Per-attempt costs in the tree pay two interconnect levels; the
+    // 4-port single-level model conservatively covers the interference
+    // both levels contribute (2 masters at each).
+    let model = ServiceModel::hyperconnect(4, 16, first_word).max_outstanding(4);
+    let mut bus = LiteBus::new();
+    bus.map(HC_BASE, 0x1000, child_hc.regs().clone());
+    let mut hv = Hypervisor::new(bus, HC_BASE).expect("valid HyperConnect regfile");
+    hv.hc().set_period(PERIOD).expect("period register");
+
+    let mut builder = TopologyBuilder::new();
+    let child = builder
+        .add_interconnect("hc_child", child_hc)
+        .expect("fresh builder");
+    let parent = builder
+        .add_interconnect("hc_parent", HyperConnect::new(HcConfig::new(2)))
+        .expect("fresh builder");
+    let memory = builder
+        .add_memory("mem0", fabric_mem(&sc))
+        .expect("fresh builder");
+    builder
+        .cascade(child, parent, 0)
+        .expect("parent port 0 free");
+    builder
+        .connect_memory(parent, memory)
+        .expect("memory unbound");
+    let mut topo = builder.build().expect("valid tree");
+    topo.set_scheduler(cfg.scheduler);
+
+    for p in 0..2 {
+        if p == sc.oracle_port {
+            topo.add_accelerator(child, Box::new(fabric_oracle(&sc, cfg.seed)))
+                .expect("child port available");
+        } else {
+            topo.add_accelerator(
+                child,
+                Box::new(PeriodicReader::new(
+                    format!("victim{p}"),
+                    0x1000_0000 + p as u64 * 0x0400_0000,
+                    1 << 20,
+                    16,
+                    BurstSize::B16,
+                    sc.victim_periods[p],
+                )),
+            )
+            .expect("child port available");
+        }
+    }
+    topo.add_accelerator(
+        parent,
+        Box::new(PeriodicReader::new(
+            "victim_parent",
+            0x3000_0000,
+            1 << 20,
+            16,
+            BurstSize::B16,
+            sc.victim_periods[0],
+        )),
+    )
+    .expect("parent port available");
+    if sc.hard {
+        hv.set_integrity_policy(
+            PortId(sc.oracle_port),
+            IntegrityPolicy {
+                errors_allowed: sc.errors_allowed,
+            },
+        )
+        .expect("AXI-Lite baseline read");
+    }
+
+    let oracle_port = sc.oracle_port;
+    let poll = sc.poll_interval;
+    let mut quarantines = 0u64;
+    let mut quarantine_cycle = None;
+    let mut quarantine_err_total = None;
+    topo.run_for_with(cfg.cycles, |now, topo| {
+        if now % poll != 0 {
+            return;
+        }
+        for ev in hv.poll_integrity().expect("AXI-Lite poll") {
+            topo.memory_mut(memory)
+                .expect("memory node")
+                .quarantine_remap(RegionRemap {
+                    lo: ORACLE_BASE,
+                    hi: ORACLE_BASE + ORACLE_SPAN,
+                    spare_base: ORACLE_SPARE,
+                });
+            as_scoreboard(topo.accelerator_mut(oracle_port).expect("oracle ordinal"))
+                .note_remap(ORACLE_BASE, ORACLE_BASE + ORACLE_SPAN);
+            quarantines += 1;
+            quarantine_cycle.get_or_insert(now);
+            quarantine_err_total.get_or_insert(ev.err_total);
+        }
+    });
+
+    let child_victim = 1 - oracle_port;
+    let victim_worst = {
+        let child_hc = topo
+            .interconnect_as::<HyperConnect>(child)
+            .expect("child is a HyperConnect");
+        let parent_hc = topo
+            .interconnect_as::<HyperConnect>(parent)
+            .expect("parent is a HyperConnect");
+        child_hc
+            .read_latency(child_victim)
+            .max()
+            .unwrap_or(0)
+            .max(parent_hc.read_latency(1).max().unwrap_or(0))
+    };
+    let victim_jobs = vec![
+        topo.accelerator(child_victim)
+            .expect("child victim")
+            .jobs_completed(),
+        topo.accelerator(2).expect("parent victim").jobs_completed(),
+    ];
+    let (oracle, oracle_done) = {
+        let acc = topo.accelerator(oracle_port).expect("oracle ordinal");
+        let sb = acc
+            .as_any()
+            .downcast_ref::<ScoreboardMaster>()
+            .expect("oracle ordinal hosts the scoreboard");
+        (sb.stats(), sb.is_done())
+    };
+    let mem_stats = topo.memory(memory).expect("memory node").stats();
+    let mem_errors =
+        (0..2).map(|p| mem_stats.errors_for_port(p)).sum::<u64>() + mem_stats.untagged_errors();
+    FabricOutcome {
+        seed: cfg.seed,
+        scenario: "tree",
+        scheduler: cfg.scheduler,
+        ports: 2,
+        oracle_port,
+        hard: sc.hard,
+        poll_interval: poll,
+        retry: sc.retry,
+        errors_allowed: sc.errors_allowed,
+        completion_bound: model.retry_completion_bound(&sc.retry, oracle.worst_faults_per_op + 1),
+        oracle,
+        oracle_done,
+        quarantines,
+        quarantine_cycle,
+        quarantine_err_total,
+        injector: topo
+            .memory(memory)
+            .expect("memory node")
+            .fault_stats()
+            .unwrap_or_default(),
+        mem_errors,
+        victim_bound: None,
+        victim_worst,
+        victim_jobs,
+        end_cycle: topo.now(),
         rng_position: sc.rng_position,
     }
 }

@@ -280,6 +280,13 @@ impl<I: AxiInterconnect + 'static> SocSystem<I> {
     /// The snapshot is deterministic: for the same workload it is
     /// byte-identical under [`SchedulerMode::FastForward`] and
     /// [`SchedulerMode::Naive`].
+    ///
+    /// When the memory controller has a fault injector armed (see
+    /// [`mem::MemoryController::attach_fault_injector`]) the snapshot
+    /// gains an `"ecc"` section with the injector/ECC counters; on a
+    /// fault-free system the JSON is byte-identical to what it was
+    /// before the fault layer existed, so schema goldens taken on clean
+    /// runs never churn.
     pub fn metrics_snapshot_json(&self) -> Option<String> {
         let ic = self
             .topo
@@ -290,17 +297,33 @@ impl<I: AxiInterconnect + 'static> SocSystem<I> {
             .bound_report()
             .map_or_else(|| "{\"enabled\":false}".to_owned(), |r| r.to_json());
         let out = self.memory().outstanding_gauge();
+        let ecc = self.memory().fault_stats().map_or_else(String::new, |s| {
+            format!(
+                ",\"ecc\":{{\"spurious_errors\":{},\"single_flips\":{},\
+                 \"double_flips\":{},\"corrected\":{},\"uncorrectable\":{},\
+                 \"dropped_beats\":{},\"duplicated_beats\":{},\"silent_flips\":{}}}",
+                s.spurious_errors,
+                s.single_flips,
+                s.double_flips,
+                s.corrected,
+                s.uncorrectable,
+                s.dropped_beats,
+                s.duplicated_beats,
+                s.silent_flips(),
+            )
+        });
         Some(format!(
             "{{\"schema\":\"axi-hyperconnect/metrics-snapshot/v1\",\
              \"interconnect\":\"{}\",\"cycles\":{},\"metrics\":{},\
              \"mem_outstanding\":{{\"current\":{},\"peak\":{}}},\
-             \"bound_monitor\":{}}}",
+             \"bound_monitor\":{}{}}}",
             ic.name(),
             self.topo.now(),
             metrics.to_json(),
             out.current(),
             out.peak(),
             bound,
+            ecc,
         ))
     }
 

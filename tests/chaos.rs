@@ -9,8 +9,10 @@
 //! campaign summary JSON written by `campaign_summary_artifact`.
 
 use axi_hyperconnect::chaos::{
-    campaign_summary_json, run_flat_campaign, run_noisy_neighbor_campaign, run_tree_campaign,
-    scenario_rng_position, ChaosConfig, ChaosOutcome, FaultKind, PINNED_SEEDS,
+    campaign_summary_json, fabric_campaign_summary_json, fabric_scenario_rng_position,
+    run_fabric_flat_campaign, run_fabric_tree_campaign, run_flat_campaign,
+    run_noisy_neighbor_campaign, run_tree_campaign, scenario_rng_position, ChaosConfig,
+    ChaosOutcome, FabricOutcome, FaultKind, FABRIC_PINNED_SEEDS, PINNED_SEEDS,
 };
 use axi_hyperconnect::SchedulerMode;
 
@@ -241,6 +243,173 @@ fn summary_records_reproducible_rng_positions() {
         assert_eq!(
             json_u64(&summary, "rng_position"),
             scenario_rng_position(seed)
+        );
+    }
+}
+
+fn assert_fabric_invariants(outcome: &FabricOutcome) {
+    let violations = outcome.invariant_violations();
+    assert!(
+        violations.is_empty(),
+        "seed {} ({} hard={}) violated invariants: {:?}\n{}",
+        outcome.seed,
+        outcome.scenario,
+        outcome.hard,
+        violations,
+        outcome.to_json(),
+    );
+}
+
+/// The fabric-fault family on the flat shape: every pinned seed holds
+/// zero-silent-corruption, bounded victims, the derived retry
+/// completion bound, and — for hard seeds — the quarantine path.
+#[test]
+fn fabric_flat_campaigns_pass_invariants_on_pinned_seeds() {
+    for &seed in &FABRIC_PINNED_SEEDS {
+        assert_fabric_invariants(&run_fabric_flat_campaign(&ChaosConfig::new(seed)));
+    }
+}
+
+/// Same invariants through the cascaded tree: faults at the memory
+/// behind the parent, the oracle and the hypervisor one level down.
+#[test]
+fn fabric_tree_campaigns_pass_invariants_on_pinned_seeds() {
+    for &seed in &FABRIC_PINNED_SEEDS {
+        assert_fabric_invariants(&run_fabric_tree_campaign(&ChaosConfig::new(seed)));
+    }
+}
+
+/// The pinned set covers both fault modes in both shapes: transient
+/// scenarios that retry to success, and hard scenarios that end in a
+/// hypervisor-commanded quarantine with verified traffic on the spare.
+#[test]
+fn fabric_pinned_seeds_cover_both_fault_modes() {
+    for run in [run_fabric_flat_campaign, run_fabric_tree_campaign] {
+        let outcomes: Vec<FabricOutcome> = FABRIC_PINNED_SEEDS
+            .iter()
+            .map(|&s| run(&ChaosConfig::new(s)))
+            .collect();
+        for hard in [false, true] {
+            assert!(
+                outcomes.iter().any(|o| o.hard == hard),
+                "no pinned fabric seed covers hard={hard} in {}",
+                outcomes[0].scenario
+            );
+        }
+        for o in &outcomes {
+            if o.hard {
+                assert!(o.quarantines >= 1, "seed {}: no quarantine", o.seed);
+                assert!(
+                    o.oracle.verified_after_remap > 0,
+                    "seed {}: spare region never verified",
+                    o.seed
+                );
+            } else {
+                assert!(
+                    o.oracle.retries > 0,
+                    "seed {}: no retries exercised",
+                    o.seed
+                );
+                assert_eq!(o.quarantines, 0, "seed {}: spurious quarantine", o.seed);
+            }
+            assert_eq!(o.oracle.silent_corruptions, 0, "seed {}", o.seed);
+        }
+    }
+}
+
+/// Fault injection is scheduler-transparent: draws are tied to beat
+/// crossings, not bare cycles, so the full fabric campaign record is
+/// byte-identical under naive, fast-forward and sharded scheduling.
+#[test]
+fn fabric_campaigns_are_scheduler_equivalent() {
+    for &seed in &FABRIC_PINNED_SEEDS[..4] {
+        let ff = run_fabric_flat_campaign(&ChaosConfig::new(seed));
+        let naive =
+            run_fabric_flat_campaign(&ChaosConfig::new(seed).scheduler(SchedulerMode::Naive));
+        let sharded = run_fabric_flat_campaign(
+            &ChaosConfig::new(seed).scheduler(SchedulerMode::Sharded { workers: 2 }),
+        );
+        assert_eq!(
+            ff.fingerprint(),
+            naive.fingerprint(),
+            "seed {seed}: fabric campaign diverges under naive scheduling"
+        );
+        assert_eq!(
+            ff.fingerprint(),
+            sharded.fingerprint(),
+            "seed {seed}: fabric campaign diverges under sharded scheduling"
+        );
+    }
+}
+
+/// Scheduler equivalence also holds through the cascade (a subset of
+/// seeds keeps the naive runs cheap).
+#[test]
+fn fabric_tree_campaigns_are_scheduler_equivalent() {
+    for &seed in &FABRIC_PINNED_SEEDS[..3] {
+        let ff = run_fabric_tree_campaign(&ChaosConfig::new(seed));
+        let naive =
+            run_fabric_tree_campaign(&ChaosConfig::new(seed).scheduler(SchedulerMode::Naive));
+        assert_eq!(
+            ff.fingerprint(),
+            naive.fingerprint(),
+            "seed {seed}: fabric tree campaign diverges across schedulers"
+        );
+    }
+}
+
+/// A fabric campaign is replayable: same seed, same record; different
+/// seed, different scenario.
+#[test]
+fn fabric_campaigns_are_deterministic_per_seed() {
+    let a = run_fabric_flat_campaign(&ChaosConfig::new(FABRIC_PINNED_SEEDS[0]));
+    let b = run_fabric_flat_campaign(&ChaosConfig::new(FABRIC_PINNED_SEEDS[0]));
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    let c = run_fabric_flat_campaign(&ChaosConfig::new(FABRIC_PINNED_SEEDS[1]));
+    assert_ne!(a.fingerprint(), c.fingerprint());
+}
+
+/// Writes the fabric campaign summary the CI integrity-smoke job
+/// uploads (to `target/fabric-campaign-summary.json`, or
+/// `$FABRIC_SUMMARY_PATH`), and sanity-checks its shape. Separate from
+/// `campaign_summary_artifact` so the two CI jobs upload independent
+/// artifacts.
+#[test]
+fn fabric_campaign_summary_artifact() {
+    let mut outcomes: Vec<FabricOutcome> = Vec::new();
+    for &seed in &FABRIC_PINNED_SEEDS {
+        outcomes.push(run_fabric_flat_campaign(&ChaosConfig::new(seed)));
+        outcomes.push(run_fabric_tree_campaign(&ChaosConfig::new(seed)));
+    }
+    let json = fabric_campaign_summary_json(&outcomes);
+    assert!(json.contains("\"schema\":\"axi-hyperconnect/chaos-campaign/v1\""));
+    assert!(json.contains("\"schema\":\"axi-hyperconnect/fabric-run/v1\""));
+    assert!(json.contains("\"campaigns\":16"));
+    assert!(json.contains("\"invariant_violations\":0"));
+    let path = std::env::var("FABRIC_SUMMARY_PATH")
+        .unwrap_or_else(|_| "target/fabric-campaign-summary.json".to_owned());
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("note: could not write {path}: {e}");
+    }
+}
+
+/// Fabric campaign JSON records a reproducible RNG stream position,
+/// exactly like the recovery family.
+#[test]
+fn fabric_summary_records_reproducible_rng_positions() {
+    for &seed in &FABRIC_PINNED_SEEDS[..4] {
+        let flat = run_fabric_flat_campaign(&ChaosConfig::new(seed));
+        assert_eq!(
+            flat.rng_position,
+            fabric_scenario_rng_position(seed),
+            "seed {seed}"
+        );
+        let json = flat.to_json();
+        assert_eq!(json_u64(&json, "seed"), seed);
+        assert_eq!(
+            json_u64(&json, "rng_position"),
+            fabric_scenario_rng_position(seed),
+            "seed {seed}: JSON rng_position does not round-trip"
         );
     }
 }

@@ -660,3 +660,86 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Transient-fault liveness and integrity: for ANY bounded
+    /// transient-fault stream (random seed, spurious-SLVERR and
+    /// single-bit-flip rates) the retry policy eventually completes
+    /// every burst with correct, verified data — no aborts, no silent
+    /// corruption, and every completion inside the closed-form bound.
+    /// The naive and fast-forward schedulers must agree byte-for-byte
+    /// on the final system image, so fault draws are schedule-invariant.
+    #[test]
+    fn retries_complete_any_bounded_transient_fault_stream(
+        seed in 1u64..u64::MAX,
+        slverr_milli in 10u64..180,
+        flip_milli in 0u64..80,
+        oracle_seed in 1u64..1u64 << 32,
+    ) {
+        let policy = axi::retry::RetryPolicy {
+            max_attempts: 12,
+            backoff_base: 2,
+            backoff_cap: 64,
+        };
+        let build = |mode: SchedulerMode| {
+            let mut memory = MemoryController::new(MemConfig::zcu102());
+            memory.attach_fault_injector(
+                mem::MemFaultConfig::new(seed)
+                    .spurious_slverr(slverr_milli as f64 / 1000.0)
+                    .flip_single(flip_milli as f64 / 1000.0)
+                    .ecc(true),
+            );
+            let mut sys = axi_hyperconnect::SocSystem::new(
+                HyperConnect::new(HcConfig::new(2)),
+                memory,
+            );
+            sys.set_scheduler(mode);
+            sys.add_accelerator(Box::new(
+                ha::scoreboard::ScoreboardMaster::new(
+                    "oracle", 0x2000_0000, 16 * 256, 16, BurstSize::B16, oracle_seed,
+                )
+                .policy(policy)
+                .jobs(12),
+            ))
+            .unwrap();
+            sys.add_accelerator(Box::new(ha::traffic::PeriodicReader::new(
+                "victim", 0x1000_0000, 1 << 20, 16, BurstSize::B16, 60,
+            )))
+            .unwrap();
+            sys
+        };
+
+        use ha::Accelerator as _;
+        let mut naive = build(SchedulerMode::Naive);
+        naive.run_for(60_000);
+        let sb = naive
+            .accelerator(0)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ha::scoreboard::ScoreboardMaster>()
+            .unwrap();
+        let s = sb.stats();
+        prop_assert!(sb.is_done(), "oracle did not finish: {:?}", s);
+        prop_assert_eq!(s.bursts_verified, 12, "{:?}", s);
+        prop_assert_eq!(s.silent_corruptions, 0, "{:?}", s);
+        prop_assert_eq!(s.aborted_ops, 0, "{:?}", s);
+        let model = hyperconnect::analysis::ServiceModel::hyperconnect(
+            2, 16, MemConfig::zcu102().first_word_latency,
+        ).max_outstanding(4);
+        let bound = model.retry_completion_bound(&policy, s.worst_faults_per_op + 1);
+        prop_assert!(
+            s.worst_completion <= bound,
+            "worst completion {} exceeds bound {}", s.worst_completion, bound
+        );
+
+        let mut ff = build(SchedulerMode::FastForward);
+        ff.run_for(60_000);
+        prop_assert_eq!(
+            naive.snapshot_bytes(),
+            ff.snapshot_bytes(),
+            "fault draws drifted between naive and fast-forward schedules"
+        );
+    }
+}

@@ -390,6 +390,68 @@ fn tree3_snapshot_split_is_exact() {
 }
 
 // ---------------------------------------------------------------------
+// Scenario 6: fabric faults — an armed memory-side injector (spurious
+// SLVERRs + ECC-corrected bit flips) under a retrying scoreboard
+// oracle. The split must carry the injector's RNG and counters, the
+// controller's error-region bookkeeping, and the scoreboard's
+// mid-retry/backoff state byte-faithfully across the restore.
+// ---------------------------------------------------------------------
+
+fn build_fabric_fault(mode: SchedulerMode) -> SocSystem<HyperConnect> {
+    let mut memory = MemoryController::new(MemConfig::zcu102());
+    memory.attach_fault_injector(
+        mem::MemFaultConfig::new(17)
+            .spurious_slverr(0.08)
+            .flip_single(0.05)
+            .ecc(true),
+    );
+    let mut sys = SocSystem::new(HyperConnect::new(HcConfig::new(3)), memory);
+    sys.set_scheduler(mode);
+    sys.add_accelerator(Box::new(
+        ha::scoreboard::ScoreboardMaster::new(
+            "fabric_oracle",
+            0x2000_0000,
+            16 * 256,
+            16,
+            BurstSize::B16,
+            13,
+        )
+        .policy(axi::retry::RetryPolicy {
+            max_attempts: 8,
+            backoff_base: 2,
+            backoff_cap: 64,
+        })
+        .gap(40),
+    ))
+    .unwrap();
+    sys.add_accelerator(Box::new(PeriodicReader::new(
+        "victim",
+        0x1000_0000,
+        1 << 20,
+        16,
+        BurstSize::B16,
+        50,
+    )))
+    .unwrap();
+    sys.add_accelerator(Box::new(RandomTraffic::new(
+        "rnd",
+        0x5000_0000,
+        1 << 20,
+        BurstSize::B16,
+        48,
+        25,
+        31, // FABRIC_PINNED_SEEDS member
+    )))
+    .unwrap();
+    sys
+}
+
+#[test]
+fn fabric_fault_snapshot_split_is_exact() {
+    oracle_system(&build_fabric_fault, 45_000, 19_777, "fabric-fault");
+}
+
+// ---------------------------------------------------------------------
 // Negative space: a snapshot must refuse a differently-shaped host.
 // ---------------------------------------------------------------------
 
@@ -442,7 +504,7 @@ fn fig3a_snapshot_sweep_every_cycle() {
     // Goldens pinned from the uninterrupted naive run; a change here
     // means the simulated microarchitecture itself changed.
     const DONE_CYCLE: Cycle = 296;
-    const FINAL_STATE_CRC: u32 = 0x81B3_7381;
+    const FINAL_STATE_CRC: u32 = 0x7890_99F8;
 
     let mut reference = build_fig3a_short(SchedulerMode::Naive);
     let outcome = reference.run_until_done(5_000);
